@@ -1,0 +1,67 @@
+//! Compiler-performance bench: empirical scaling of the CA-DD and
+//! CA-EC passes with circuit depth `d` and device size `n` (the paper
+//! states O(d²n) for CA-DD and O(dn) for CA-EC).
+
+use ca_circuit::Circuit;
+use ca_core::strategies::{CaDdPass, CaEcPass};
+use ca_core::{CaDdConfig, CaEcConfig, Context, PassManager};
+use ca_device::{uniform_device, Topology};
+use std::time::Instant;
+
+fn workload(n: usize, d: usize) -> Circuit {
+    let mut qc = Circuit::new(n, 0);
+    for q in 0..n {
+        qc.h(q);
+    }
+    qc.barrier(Vec::<usize>::new());
+    for step in 0..d {
+        // Alternating brickwork with idles at the boundary.
+        let offset = step % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            qc.ecr(q, q + 1);
+            q += 2;
+        }
+        qc.barrier(Vec::<usize>::new());
+        for q in 0..n {
+            qc.delay(500.0, q);
+        }
+        qc.barrier(Vec::<usize>::new());
+    }
+    qc
+}
+
+fn time_pass(make: impl Fn() -> PassManager, n: usize, d: usize, reps: usize) -> f64 {
+    let dev = uniform_device(Topology::line(n), 60.0);
+    let qc = workload(n, d);
+    let start = Instant::now();
+    for rep in 0..reps {
+        let pm = make();
+        let mut ctx = Context::new(&dev, rep as u64);
+        let _ = pm.compile(&qc, &mut ctx);
+    }
+    start.elapsed().as_secs_f64() / reps as f64 * 1000.0
+}
+
+fn main() {
+    ca_bench::header(
+        "Compiler performance",
+        "CA-DD scales O(d^2 n), CA-EC O(d n) with depth d and qubits n",
+    );
+    let cadd = || {
+        let mut pm = PassManager::new();
+        pm.push(CaDdPass { config: CaDdConfig::default() });
+        pm
+    };
+    let caec = || {
+        let mut pm = PassManager::new();
+        pm.push(CaEcPass { config: CaEcConfig::default() });
+        pm
+    };
+    println!("{:>6} {:>6} {:>14} {:>14}", "n", "d", "CA-DD (ms)", "CA-EC (ms)");
+    for &(n, d) in &[(6usize, 8usize), (6, 16), (6, 32), (12, 8), (12, 16), (12, 32), (24, 16), (48, 16)] {
+        let t_dd = time_pass(cadd, n, d, 3);
+        let t_ec = time_pass(caec, n, d, 3);
+        println!("{n:>6} {d:>6} {t_dd:>14.2} {t_ec:>14.2}");
+    }
+}

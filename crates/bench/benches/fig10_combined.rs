@@ -1,0 +1,13 @@
+//! Fig. 10: the combined CA-EC+DD strategy.
+
+use ca_experiments::combined::fig10;
+use ca_experiments::Budget;
+
+fn main() {
+    ca_bench::header(
+        "Fig. 10",
+        "CA-EC+DD outperforms CA-EC and CA-DD applied individually",
+    );
+    let depths: Vec<usize> = (1..=6).collect();
+    fig10(&depths, &Budget::full()).print();
+}

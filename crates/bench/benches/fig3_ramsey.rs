@@ -1,0 +1,16 @@
+//! Fig. 3(c–f): Ramsey characterization of the four error contexts.
+
+use ca_experiments::ramsey::{all_cases, RamseyConfig};
+
+fn main() {
+    ca_bench::header(
+        "Fig. 3 (c-f)",
+        "aligned DD cannot remove idle-pair ZZ; EC/staggered DD recover; \
+         spectator Z absorbed or decoupled; case IV fixed only by EC",
+    );
+    let config = RamseyConfig::full();
+    for fig in all_cases(&config) {
+        fig.print();
+        println!();
+    }
+}

@@ -1,0 +1,20 @@
+//! Fig. 4: secondary error characterization (Stark, charge parity,
+//! NNN Walsh hierarchy).
+
+use ca_experiments::secondary::{fig4_summary, nnn_walsh};
+use ca_experiments::Budget;
+
+fn main() {
+    ca_bench::header(
+        "Fig. 4 (a,b)",
+        "~20 kHz Stark shift on spectators of driven qubits; charge-parity \
+         beating at nu +/- delta",
+    );
+    fig4_summary(&Budget::full()).print();
+    ca_bench::header(
+        "Fig. 4 (c)",
+        "NNN collision suppressed progressively: none < aligned < staggered < Walsh",
+    );
+    let depths: Vec<usize> = (0..=16).step_by(2).collect();
+    nnn_walsh(&depths, &Budget::full()).print();
+}

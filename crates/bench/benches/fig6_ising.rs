@@ -1,0 +1,14 @@
+//! Fig. 6: Floquet Ising boundary correlator.
+
+use ca_experiments::ising::fig6;
+use ca_experiments::Budget;
+
+fn main() {
+    ca_bench::header(
+        "Fig. 6",
+        "twirl-only loses the +/-1 boundary-correlator pattern; CA-EC and \
+         CA-DD recover it",
+    );
+    let depths: Vec<usize> = (0..=8).collect();
+    fig6(&depths, &Budget::full()).print();
+}

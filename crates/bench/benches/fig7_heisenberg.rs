@@ -1,0 +1,38 @@
+//! Fig. 7: 12-spin Heisenberg ring — dynamics and mitigation overhead.
+
+use ca_experiments::heisenberg::fig7;
+use ca_experiments::Budget;
+
+fn main() {
+    ca_bench::header(
+        "Fig. 7 (c,d)",
+        "CA-EC/CA-DD recover the d=4 oscillation (uniform DD does not); \
+         mitigation overhead improves >3.5x vs none and >2.75x vs DD",
+    );
+    let depths: Vec<usize> = (0..=6).collect();
+    let result = fig7(&depths, &Budget { trajectories: 120, instances: 6, seed: 11 });
+    result.figure.print();
+    println!("-- Fig. 7d: estimated sampling overhead at d = {} --", depths.last().unwrap());
+    let mut base = None;
+    let mut dd = None;
+    for (label, o) in &result.overhead {
+        println!("  {label:>16}: {o:>10.2}");
+        if label == "no suppression" {
+            base = Some(*o);
+        }
+        if label == "DD" {
+            dd = Some(*o);
+        }
+    }
+    for (label, o) in &result.overhead {
+        if label.starts_with("CA-") {
+            if let (Some(b), Some(d)) = (base, dd) {
+                println!(
+                    "  {label} improvement: {:.2}x vs none (paper >3.5x), {:.2}x vs DD (paper >2.75x)",
+                    b / o,
+                    d / o
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 8: layer fidelity of the sparse 10-qubit layer and PEC γ.
+
+use ca_experiments::layer_fidelity::fig8;
+use ca_experiments::Budget;
+use ca_metrics::overhead_ratio;
+
+fn main() {
+    ca_bench::header(
+        "Fig. 8",
+        "LF 0.648 (bare) -> 0.743 (DD) -> 0.822 (CA-DD) -> 0.881 (CA-EC); \
+         gamma 2.38 -> 1.81 -> 1.48 -> 1.29; x7/x30 overhead reduction at 10 layers",
+    );
+    let (fig, results) =
+        fig8(&[1, 2, 4, 8], 4, &Budget { trajectories: 40, instances: 3, seed: 11 });
+    fig.print();
+    println!("-- measured vs paper --");
+    let paper =
+        [("bare", 0.648, 2.38), ("DD", 0.743, 1.81), ("CA-DD", 0.822, 1.48), ("CA-EC", 0.881, 1.29)];
+    for r in &results {
+        match paper.iter().find(|(l, _, _)| *l == r.label) {
+            Some((_, plf, pg)) => println!(
+                "  {:>6}: LF {:.3} (paper {:.3})   gamma {:.3} (paper {:.2})",
+                r.label, r.lf, plf, r.gamma, pg
+            ),
+            None => println!("  {:>6}: LF {:.3} gamma {:.3}", r.label, r.lf, r.gamma),
+        }
+    }
+    let get = |l: &str| results.iter().find(|r| r.label == l).map(|r| r.gamma);
+    if let (Some(gdd), Some(gcadd), Some(gcaec)) = (get("DD"), get("CA-DD"), get("CA-EC")) {
+        println!(
+            "  10-layer overhead reduction vs DD: CA-DD {:.1}x (paper ~7x), CA-EC {:.1}x (paper ~30x)",
+            overhead_ratio(gdd, gcadd, 10),
+            overhead_ratio(gdd, gcaec, 10)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Table I: residual error per (error source × suppression technique).
+
+use ca_experiments::table1::table1;
+use ca_experiments::Budget;
+
+fn main() {
+    ca_bench::header(
+        "Table I",
+        "EC fixes always-on Z/ZZ/active-ZZ/Stark but not slow Z; DD needs \
+         staggering for idle ZZ, Walsh for NNN, and cannot fix active ZZ",
+    );
+    table1(&Budget::full()).print();
+}

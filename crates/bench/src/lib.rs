@@ -1,0 +1,18 @@
+//! # ca-bench
+//!
+//! Benchmark harness: one `cargo bench` target per paper table/figure
+//! (each prints the regenerated rows next to the paper's claims), a
+//! compiler-performance bench (timing the passes' O(d²n)/O(dn)
+//! scaling), and ablation benches for the design choices DESIGN.md §6
+//! calls out.
+
+#![warn(missing_docs)]
+
+/// Prints a standard header for a figure bench.
+pub fn header(id: &str, claim: &str) {
+    println!();
+    println!("################################################################");
+    println!("# {id}");
+    println!("# paper claim: {claim}");
+    println!("################################################################");
+}

@@ -1,0 +1,249 @@
+//! Minimal complex-number arithmetic.
+//!
+//! The allowed dependency set does not include `num-complex`, so the
+//! workspace carries its own small, well-tested `C64` type. Only the
+//! operations needed by gate matrices and the statevector simulator are
+//! provided.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The complex zero.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The complex unit.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Panics on zero in debug builds.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "inverse of complex zero");
+        Self { re: self.re / n, im: -self.im / n }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both components are within `tol` of the other value's.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<It: Iterator<Item = C64>>(iter: It) -> C64 {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn multiplication_matches_hand_result() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        let p = a * b;
+        assert!(p.approx_eq(C64::new(5.0, 5.0), TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((I * I).approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let t = k as f64 * 0.5;
+            let z = C64::cis(t);
+            assert!((z.abs() - 1.0).abs() < TOL);
+            assert!((z.arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                .min((z.arg() + 2.0 * std::f64::consts::PI - t.rem_euclid(2.0 * std::f64::consts::PI)).abs())
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn division_roundtrips() {
+        let a = C64::new(0.3, -0.7);
+        let b = C64::new(-1.2, 0.4);
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = C64::new(2.0, 3.0);
+        assert_eq!(z.conj(), C64::new(2.0, -3.0));
+        assert!((z * z.conj()).approx_eq(C64::real(z.norm_sqr()), TOL));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: C64 = (0..10).map(|k| C64::new(k as f64, -(k as f64))).sum();
+        assert!(total.approx_eq(C64::new(45.0, -45.0), TOL));
+    }
+
+    #[test]
+    fn inv_of_unit_is_conj() {
+        let z = C64::cis(0.83);
+        assert!(z.inv().approx_eq(z.conj(), TOL));
+    }
+}

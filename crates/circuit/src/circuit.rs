@@ -1,0 +1,326 @@
+//! The mutable circuit container and its builder API.
+
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of instructions over `num_qubits` qubits and
+/// `num_clbits` classical bits.
+///
+/// The builder methods append and return `&mut Self` so circuits can be
+/// written fluently:
+///
+/// ```
+/// use ca_circuit::Circuit;
+/// let mut qc = Circuit::new(2, 1);
+/// qc.h(0).cx(0, 1).measure(1, 0);
+/// assert_eq!(qc.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of classical bits.
+    pub num_clbits: usize,
+    /// The instruction stream, in program order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
+        Self { num_qubits, num_clbits, instructions: Vec::new() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends an instruction, validating qubit indices.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        for &q in &instr.qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range (n={})", self.num_qubits);
+        }
+        if let Some(c) = instr.clbit {
+            assert!(c < self.num_clbits, "clbit {c} out of range");
+        }
+        if let Some(cond) = instr.condition {
+            assert!(cond.clbit < self.num_clbits, "condition clbit out of range");
+        }
+        self.instructions.push(instr);
+        self
+    }
+
+    /// Appends a plain gate on the given qubits.
+    pub fn append(&mut self, gate: Gate, qubits: impl Into<Vec<usize>>) -> &mut Self {
+        self.push(Instruction::new(gate, qubits))
+    }
+
+    // --- 1q builders -----------------------------------------------------
+
+    /// Explicit identity (occupies a 1q slot).
+    pub fn i(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::I, [q])
+    }
+
+    /// Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::X, [q])
+    }
+
+    /// Pauli Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Y, [q])
+    }
+
+    /// Pauli Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Z, [q])
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::H, [q])
+    }
+
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::S, [q])
+    }
+
+    /// S†.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Sdg, [q])
+    }
+
+    /// √X.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Sx, [q])
+    }
+
+    /// X-rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.append(Gate::Rx(theta), [q])
+    }
+
+    /// Y-rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.append(Gate::Ry(theta), [q])
+    }
+
+    /// Z-rotation (virtual).
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.append(Gate::Rz(theta), [q])
+    }
+
+    /// Generic 1q unitary.
+    pub fn u(&mut self, theta: f64, phi: f64, lam: f64, q: usize) -> &mut Self {
+        self.append(Gate::U { theta, phi, lam }, [q])
+    }
+
+    // --- 2q builders -----------------------------------------------------
+
+    /// CNOT with `control`, `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Cx, [control, target])
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Cz, [a, b])
+    }
+
+    /// Echoed cross-resonance with `control`, `target`.
+    pub fn ecr(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Ecr, [control, target])
+    }
+
+    /// ZZ rotation.
+    pub fn rzz(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Rzz(theta), [a, b])
+    }
+
+    /// Canonical gate `exp[i(α XX + β YY + γ ZZ)]` (Eq. 5).
+    pub fn can(&mut self, alpha: f64, beta: f64, gamma: f64, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Can { alpha, beta, gamma }, [a, b])
+    }
+
+    // --- non-unitary & structural ----------------------------------------
+
+    /// Z-basis measurement of `q` into classical bit `c`.
+    pub fn measure(&mut self, q: usize, c: usize) -> &mut Self {
+        let mut i = Instruction::new(Gate::Measure, [q]);
+        i.clbit = Some(c);
+        self.push(i)
+    }
+
+    /// Reset to |0⟩.
+    pub fn reset(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Reset, [q])
+    }
+
+    /// Explicit idle of `ns` nanoseconds on `q`.
+    pub fn delay(&mut self, ns: f64, q: usize) -> &mut Self {
+        self.append(Gate::Delay(ns), [q])
+    }
+
+    /// Barrier across the given qubits (empty list = all qubits).
+    pub fn barrier(&mut self, qubits: impl Into<Vec<usize>>) -> &mut Self {
+        let mut qs: Vec<usize> = qubits.into();
+        if qs.is_empty() {
+            qs = (0..self.num_qubits).collect();
+        }
+        self.push(Instruction { gate: Gate::Barrier, qubits: qs, clbit: None, condition: None })
+    }
+
+    /// Gate conditioned on a classical bit (dynamic circuits).
+    pub fn gate_if(
+        &mut self,
+        gate: Gate,
+        qubits: impl Into<Vec<usize>>,
+        clbit: usize,
+        value: bool,
+    ) -> &mut Self {
+        self.push(Instruction::new(gate, qubits).with_condition(clbit, value))
+    }
+
+    // --- whole-circuit operations -----------------------------------------
+
+    /// Appends all instructions of `other` (qubit counts must agree).
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        for i in &other.instructions {
+            self.push(i.clone());
+        }
+        self
+    }
+
+    /// Counts instructions using the given gate name.
+    pub fn count_gate(&self, name: &str) -> usize {
+        self.instructions.iter().filter(|i| i.gate.name() == name).count()
+    }
+
+    /// Counts two-qubit unitary gates.
+    pub fn count_two_qubit(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+    }
+
+    /// Depth counted over two-qubit gates only (the CNOT depth the
+    /// paper quotes for the Heisenberg circuit).
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for i in &self.instructions {
+            if !i.is_two_qubit() {
+                continue;
+            }
+            let l = i.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &i.qubits {
+                level[q] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// True when the circuit contains mid-circuit measurement or
+    /// feed-forward conditions (a dynamic circuit).
+    pub fn is_dynamic(&self) -> bool {
+        let last_meas_free = self
+            .instructions
+            .iter()
+            .rev()
+            .skip_while(|i| matches!(i.gate, Gate::Measure | Gate::Barrier))
+            .any(|i| matches!(i.gate, Gate::Measure));
+        last_meas_free || self.instructions.iter().any(|i| i.condition.is_some())
+    }
+
+    /// The set of qubits that appear in at least one instruction.
+    pub fn active_qubits(&self) -> Vec<usize> {
+        let mut used = vec![false; self.num_qubits];
+        for i in &self.instructions {
+            if matches!(i.gate, Gate::Barrier) {
+                continue;
+            }
+            for &q in &i.qubits {
+                used[q] = true;
+            }
+        }
+        used.iter().enumerate().filter(|(_, &u)| u).map(|(q, _)| q).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut qc = Circuit::new(3, 2);
+        qc.h(0).cx(0, 1).ecr(1, 2).measure(2, 0).measure(1, 1);
+        assert_eq!(qc.len(), 5);
+        assert_eq!(qc.count_gate("cx"), 1);
+        assert_eq!(qc.count_two_qubit(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_qubits() {
+        let mut qc = Circuit::new(1, 0);
+        qc.cx(0, 1);
+    }
+
+    #[test]
+    fn two_qubit_depth_counts_layers() {
+        let mut qc = Circuit::new(4, 0);
+        qc.cx(0, 1).cx(2, 3); // parallel: depth 1
+        qc.cx(1, 2); // depends on both: depth 2
+        qc.cx(0, 1); // depth 3 (qubit 1 at level 2)
+        assert_eq!(qc.two_qubit_depth(), 3);
+    }
+
+    #[test]
+    fn dynamic_detection() {
+        let mut staticc = Circuit::new(2, 2);
+        staticc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        assert!(!staticc.is_dynamic());
+
+        let mut dynamic = Circuit::new(2, 1);
+        dynamic.h(0).measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        assert!(dynamic.is_dynamic());
+    }
+
+    #[test]
+    fn active_qubits_skips_barrier_only() {
+        let mut qc = Circuit::new(4, 0);
+        qc.h(1);
+        qc.barrier(Vec::<usize>::new());
+        qc.sx(3);
+        assert_eq!(qc.active_qubits(), vec![1, 3]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2, 0);
+        a.h(0);
+        let mut b = Circuit::new(2, 0);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut qc = Circuit::new(2, 1);
+        qc.h(0).cx(0, 1).rz(0.25, 1).measure(1, 0);
+        let json = serde_json::to_string(&qc).unwrap();
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(qc, back);
+    }
+}

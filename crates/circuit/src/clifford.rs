@@ -1,0 +1,216 @@
+//! Conjugation of Pauli operators by Clifford gates.
+//!
+//! Tables are derived numerically from the gate matrices (no hand-coded
+//! lookup tables to get wrong): for a Clifford `U` and Pauli `P`, the
+//! conjugate `U·P·U†` is matched against all candidate Paulis with a
+//! ±1 sign. Two-qubit tables are cached per gate.
+
+use crate::gate::Gate;
+use crate::matrix::{Mat2, Mat4};
+use crate::pauli::{Pauli, PauliString};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Conjugates a single-qubit Pauli by a single-qubit Clifford gate:
+/// returns `(sign, P')` with `U·P·U† = sign·P'`.
+///
+/// Panics if the gate is not a single-qubit Clifford.
+pub fn conjugate_1q(gate: Gate, p: Pauli) -> (i8, Pauli) {
+    assert!(gate.is_clifford() && gate.num_qubits() == 1, "{} is not a 1q Clifford", gate.name());
+    let u = gate.matrix1().expect("unitary");
+    let conj = u.mul(&pauli_mat2(p)).mul(&u.adjoint());
+    for cand in Pauli::ALL {
+        let m = pauli_mat2(cand);
+        if conj.approx_eq(&m, 1e-9) {
+            return (1, cand);
+        }
+        if conj.approx_eq(&m.scale(crate::c64::C64::real(-1.0)), 1e-9) {
+            return (-1, cand);
+        }
+    }
+    unreachable!("conjugate of a Pauli by a Clifford must be a signed Pauli");
+}
+
+/// Conjugates a two-qubit Pauli pair `(p_first, p_second)` by a
+/// two-qubit Clifford gate (`Cx`, `Cz`, or `Ecr`): returns
+/// `(sign, (p_first', p_second'))` with the first element acting on the
+/// first listed (low-order) qubit.
+pub fn conjugate_2q(gate: Gate, pair: (Pauli, Pauli)) -> (i8, (Pauli, Pauli)) {
+    let table = two_qubit_table(gate);
+    table[pair.0.index() + 4 * pair.1.index()]
+}
+
+/// For Pauli twirling: given the Pauli pair applied *before* the gate,
+/// returns the pair to apply *after* so that the logical operation is
+/// unchanged: `P_after · G · P_before = ± G`, i.e.
+/// `P_after = G · P_before · G†` (the ±1 global phase is irrelevant).
+pub fn twirl_partner(gate: Gate, before: (Pauli, Pauli)) -> (Pauli, Pauli) {
+    conjugate_2q(gate, before).1
+}
+
+/// Propagates an n-qubit Pauli string through a 1q Clifford on `q`.
+pub fn propagate_1q(s: &PauliString, gate: Gate, q: usize) -> PauliString {
+    let (sign, p) = conjugate_1q(gate, s.paulis[q]);
+    let mut out = s.clone();
+    out.paulis[q] = p;
+    out.sign *= sign;
+    out
+}
+
+/// Propagates an n-qubit Pauli string through a 2q Clifford on `(a, b)`.
+pub fn propagate_2q(s: &PauliString, gate: Gate, a: usize, b: usize) -> PauliString {
+    let (sign, (pa, pb)) = conjugate_2q(gate, (s.paulis[a], s.paulis[b]));
+    let mut out = s.clone();
+    out.paulis[a] = pa;
+    out.paulis[b] = pb;
+    out.sign *= sign;
+    out
+}
+
+fn pauli_mat2(p: Pauli) -> Mat2 {
+    p.gate().matrix1().expect("pauli matrix")
+}
+
+fn pauli_mat4(pair: (Pauli, Pauli)) -> Mat4 {
+    // First element = low-order qubit = kron's low factor.
+    Mat4::kron(&pauli_mat2(pair.1), &pauli_mat2(pair.0))
+}
+
+type Table2Q = [(i8, (Pauli, Pauli)); 16];
+
+fn compute_table(gate: Gate) -> Table2Q {
+    let u = gate.matrix2().expect("2q unitary");
+    let ud = u.adjoint();
+    let mut out = [(1i8, (Pauli::I, Pauli::I)); 16];
+    for (idx, slot) in out.iter_mut().enumerate() {
+        let pair = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+        let conj = u.mul(&pauli_mat4(pair)).mul(&ud);
+        let mut found = false;
+        'search: for c0 in Pauli::ALL {
+            for c1 in Pauli::ALL {
+                let m = pauli_mat4((c0, c1));
+                if conj.approx_eq(&m, 1e-9) {
+                    *slot = (1, (c0, c1));
+                    found = true;
+                    break 'search;
+                }
+                if conj.approx_eq(&m.scale(crate::c64::C64::real(-1.0)), 1e-9) {
+                    *slot = (-1, (c0, c1));
+                    found = true;
+                    break 'search;
+                }
+            }
+        }
+        assert!(found, "{} did not map Pauli pair {idx} to a signed Pauli", gate.name());
+    }
+    out
+}
+
+fn two_qubit_table(gate: Gate) -> &'static Table2Q {
+    static TABLES: OnceLock<HashMap<&'static str, Table2Q>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut m = HashMap::new();
+        for g in [Gate::Cx, Gate::Cz, Gate::Ecr] {
+            m.insert(g.name(), compute_table(g));
+        }
+        m
+    });
+    tables
+        .get(gate.name())
+        .unwrap_or_else(|| panic!("no conjugation table for {}", gate.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_swaps_x_and_z() {
+        assert_eq!(conjugate_1q(Gate::H, Pauli::X), (1, Pauli::Z));
+        assert_eq!(conjugate_1q(Gate::H, Pauli::Z), (1, Pauli::X));
+        assert_eq!(conjugate_1q(Gate::H, Pauli::Y), (-1, Pauli::Y));
+    }
+
+    #[test]
+    fn s_gate_rotates_x_to_y() {
+        assert_eq!(conjugate_1q(Gate::S, Pauli::X), (1, Pauli::Y));
+        assert_eq!(conjugate_1q(Gate::S, Pauli::Y), (-1, Pauli::X));
+        assert_eq!(conjugate_1q(Gate::S, Pauli::Z), (1, Pauli::Z));
+    }
+
+    #[test]
+    fn x_flips_z_sign() {
+        assert_eq!(conjugate_1q(Gate::X, Pauli::Z), (-1, Pauli::Z));
+        assert_eq!(conjugate_1q(Gate::X, Pauli::X), (1, Pauli::X));
+    }
+
+    #[test]
+    fn cnot_textbook_propagation() {
+        // (X_c ⊗ I_t) → X_c X_t ; (I ⊗ Z_t) → Z_c Z_t ; Z_c → Z_c ; X_t → X_t.
+        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::X, Pauli::I)), (1, (Pauli::X, Pauli::X)));
+        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::I, Pauli::Z)), (1, (Pauli::Z, Pauli::Z)));
+        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::Z, Pauli::I)), (1, (Pauli::Z, Pauli::I)));
+        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::I, Pauli::X)), (1, (Pauli::I, Pauli::X)));
+    }
+
+    #[test]
+    fn all_two_qubit_tables_are_permutations_with_signs() {
+        for g in [Gate::Cx, Gate::Cz, Gate::Ecr] {
+            let mut seen = [false; 16];
+            for idx in 0..16 {
+                let pair = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+                let (sign, (a, b)) = conjugate_2q(g, pair);
+                assert!(sign == 1 || sign == -1);
+                let j = a.index() + 4 * b.index();
+                assert!(!seen[j], "{}: image collision", g.name());
+                seen[j] = true;
+            }
+            assert!(seen.iter().all(|s| *s), "{}: not a permutation", g.name());
+            // Identity maps to identity with +1.
+            assert_eq!(conjugate_2q(g, (Pauli::I, Pauli::I)), (1, (Pauli::I, Pauli::I)));
+        }
+    }
+
+    #[test]
+    fn twirl_partner_restores_gate() {
+        // Check (P_after ⊗) · G · (P_before ⊗) == ±G numerically.
+        use crate::matrix::Mat4;
+        for g in [Gate::Cx, Gate::Ecr, Gate::Cz] {
+            let gm = g.matrix2().unwrap();
+            for idx in 0..16 {
+                let before = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+                let after = twirl_partner(g, before);
+                let mb = super::pauli_mat4(before);
+                let ma = super::pauli_mat4(after);
+                let total = ma.mul(&gm).mul(&mb);
+                assert!(
+                    total.approx_eq_up_to_phase(&gm, 1e-9),
+                    "{}: twirl pair {:?} -> {:?} fails",
+                    g.name(),
+                    before,
+                    after
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_string_through_cnot_chain() {
+        // Z on target propagates backward onto control through CNOT.
+        let s = PauliString::parse("IZ").unwrap();
+        let out = propagate_2q(&s, Gate::Cx, 0, 1);
+        assert_eq!(out.to_string(), "ZZ");
+    }
+
+    #[test]
+    fn ecr_conjugation_is_involutive() {
+        // ECR is self-inverse, so conjugating twice returns the start.
+        for idx in 0..16 {
+            let pair = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+            let (s1, mid) = conjugate_2q(Gate::Ecr, pair);
+            let (s2, back) = conjugate_2q(Gate::Ecr, mid);
+            assert_eq!(back, pair);
+            assert_eq!(s1 * s2, 1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII rendering of circuits and schedules, for examples, debugging,
+//! and documentation.
+//!
+//! The drawer is column-per-layer: each stratified layer becomes one
+//! column, two-qubit gates draw a vertical link, and idle wires show
+//! as dashes. Scheduled circuits can also be rendered as a timeline
+//! with per-qubit occupancy.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::layered::{stratify, LayerKind};
+use crate::schedule::ScheduledCircuit;
+
+fn gate_tag(gate: &Gate) -> String {
+    match gate {
+        Gate::Rz(t) => format!("Rz({t:+.2})"),
+        Gate::Rx(t) => format!("Rx({t:+.2})"),
+        Gate::Ry(t) => format!("Ry({t:+.2})"),
+        Gate::Rzz(t) => format!("Rzz({t:+.2})"),
+        Gate::Can { .. } => "CAN".into(),
+        Gate::Delay(ns) => format!("~{ns:.0}~"),
+        Gate::Measure => "M".into(),
+        Gate::Reset => "|0>".into(),
+        g => g.name().to_uppercase(),
+    }
+}
+
+/// Renders a circuit as ASCII art, one column per stratified layer.
+pub fn draw(circuit: &Circuit) -> String {
+    let layered = stratify(circuit);
+    let n = circuit.num_qubits;
+    // Build per-layer per-qubit cell labels.
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for layer in &layered.layers {
+        let mut cells = vec![String::new(); n];
+        for instr in &layer.instructions {
+            match instr.qubits.as_slice() {
+                [q] => cells[*q] = gate_tag(&instr.gate),
+                [a, b] => {
+                    let (tag_a, tag_b) = match instr.gate {
+                        Gate::Cx => ("*".to_string(), "+".to_string()),
+                        Gate::Ecr => ("C".to_string(), "T".to_string()),
+                        _ => (gate_tag(&instr.gate), "#".to_string()),
+                    };
+                    cells[*a] = format!("{tag_a}{}", link_mark(*a, *b));
+                    cells[*b] = format!("{tag_b}{}", link_mark(*a, *b));
+                }
+                _ => {}
+            }
+        }
+        // Mark pass-through wires between the two endpoints of a link.
+        for instr in &layer.instructions {
+            if let [a, b] = instr.qubits.as_slice() {
+                let (lo, hi) = (*a.min(b), *a.max(b));
+                for cell in cells.iter_mut().take(hi).skip(lo + 1) {
+                    if cell.is_empty() {
+                        *cell = "|".to_string();
+                    }
+                }
+            }
+        }
+        if layer.kind != LayerKind::Other || cells.iter().any(|c| !c.is_empty()) {
+            columns.push(cells);
+        }
+    }
+    render_columns(n, &columns)
+}
+
+fn link_mark(_a: usize, _b: usize) -> &'static str {
+    ""
+}
+
+fn render_columns(n: usize, columns: &[Vec<String>]) -> String {
+    let widths: Vec<usize> =
+        columns.iter().map(|c| c.iter().map(|s| s.len()).max().unwrap_or(0).max(3)).collect();
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q:<2}: "));
+        for (col, w) in columns.iter().zip(widths.iter()) {
+            let cell = &col[q];
+            if cell.is_empty() {
+                out.push_str(&"-".repeat(w + 2));
+            } else {
+                let pad = w - cell.len();
+                let left = pad / 2 + 1;
+                let right = pad - pad / 2 + 1;
+                out.push_str(&"-".repeat(left));
+                out.push_str(cell);
+                out.push_str(&"-".repeat(right));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a scheduled circuit as a per-qubit timeline listing.
+pub fn draw_schedule(sc: &ScheduledCircuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("total duration: {:.0} ns\n", sc.duration));
+    for q in 0..sc.num_qubits {
+        out.push_str(&format!("q{q:<2}:"));
+        let mut items: Vec<_> = sc
+            .items
+            .iter()
+            .filter(|si| si.instruction.acts_on(q) && si.instruction.gate != Gate::Barrier)
+            .collect();
+        items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+        for si in items {
+            out.push_str(&format!(
+                " [{:>6.0}+{:<4.0} {}]",
+                si.t0,
+                si.duration,
+                gate_tag(&si.instruction.gate)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{schedule_asap, GateDurations};
+
+    #[test]
+    fn draws_all_wires() {
+        let mut qc = Circuit::new(3, 0);
+        qc.h(0).ecr(0, 1).sx(2);
+        let art = draw(&qc);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("q0 :"));
+        assert!(art.contains("H"));
+        assert!(art.contains("C"));
+        assert!(art.contains("T"));
+        assert!(art.contains("SX"));
+    }
+
+    #[test]
+    fn link_passthrough_marked() {
+        let mut qc = Circuit::new(3, 0);
+        qc.cx(0, 2);
+        let art = draw(&qc);
+        let q1_line = art.lines().nth(1).unwrap();
+        assert!(q1_line.contains('|'), "middle wire shows the link: {q1_line}");
+    }
+
+    #[test]
+    fn schedule_listing_contains_times() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0).ecr(0, 1);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = draw_schedule(&sc);
+        assert!(s.contains("total duration: 520 ns"));
+        assert!(s.contains("[    40+480  ECR]") || s.contains("ECR"));
+    }
+
+    #[test]
+    fn rotation_labels_include_angles() {
+        let mut qc = Circuit::new(1, 0);
+        qc.rz(0.25, 0);
+        assert!(draw(&qc).contains("Rz(+0.25)"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Single-qubit Euler-angle decompositions.
+//!
+//! The paper's Eq. (4): any `U ∈ SU(2)` can be written
+//! `U = Rz(α+π) · √X · Rz(β+π) · √X · Rz(γ)` — the hardware-native
+//! `Rz`/`√X` basis where all `Rz` are virtual. CA-EC absorbs coherent
+//! `Rz(θ)` errors by shifting these angles at zero cost.
+
+use crate::c64::C64;
+use crate::gate::Gate;
+use crate::matrix::Mat2;
+
+/// ZYZ Euler angles: `U = e^{iφ_g}·Rz(φ)·Ry(θ)·Rz(λ)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zyz {
+    /// Middle Y-rotation angle θ ∈ [0, π].
+    pub theta: f64,
+    /// Leading (leftmost) Z angle φ.
+    pub phi: f64,
+    /// Trailing (rightmost) Z angle λ.
+    pub lam: f64,
+    /// Global phase φ_g.
+    pub phase: f64,
+}
+
+/// Extracts ZYZ Euler angles from a 2×2 unitary.
+pub fn zyz_angles(u: &Mat2) -> Zyz {
+    // Normalize to SU(2): V = U / sqrt(det U), det V = 1.
+    let det = u.det();
+    let half_arg = det.arg() / 2.0;
+    let scale = C64::cis(-half_arg).scale(1.0 / det.abs().sqrt());
+    let v = u.scale(scale);
+    // V = [[cos(θ/2)e^{-i(φ+λ)/2}, -sin(θ/2)e^{-i(φ-λ)/2}],
+    //      [sin(θ/2)e^{ i(φ-λ)/2},  cos(θ/2)e^{ i(φ+λ)/2}]]
+    let c = v.0[0][0].abs().clamp(0.0, 1.0);
+    let s = v.0[1][0].abs().clamp(0.0, 1.0);
+    let theta = 2.0 * s.atan2(c);
+    let (phi, lam) = if s < 1e-10 {
+        // Diagonal: only φ+λ defined; put it all in λ.
+        (0.0, 2.0 * v.0[1][1].arg())
+    } else if c < 1e-10 {
+        // Anti-diagonal: only φ−λ defined.
+        (2.0 * v.0[1][0].arg(), 0.0)
+    } else {
+        let sum = 2.0 * v.0[1][1].arg();
+        let diff = 2.0 * v.0[1][0].arg();
+        ((sum + diff) / 2.0, (sum - diff) / 2.0)
+    };
+    Zyz { theta, phi, lam, phase: half_arg }
+}
+
+/// The Eq. (4) angles `(α, β, γ)` with
+/// `U ≅ Rz(α+π)·√X·Rz(β+π)·√X·Rz(γ)` (up to global phase).
+///
+/// Uses the standard identity `Rz(φ)Ry(θ)Rz(λ) ≅
+/// Rz(φ+π)·√X·Rz(θ+π)·√X·Rz(λ)`, i.e. `α = φ, β = θ, γ = λ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZsxzsxzAngles {
+    /// Leading virtual-Z angle (applied last); Eq. (4)'s α.
+    pub alpha: f64,
+    /// Middle virtual-Z angle; Eq. (4)'s β.
+    pub beta: f64,
+    /// Trailing virtual-Z angle (applied first); Eq. (4)'s γ.
+    pub gamma: f64,
+}
+
+/// Decomposes a 2×2 unitary into Eq. (4) angles.
+pub fn zsxzsxz_angles(u: &Mat2) -> ZsxzsxzAngles {
+    let zyz = zyz_angles(u);
+    ZsxzsxzAngles { alpha: zyz.phi, beta: zyz.theta, gamma: zyz.lam }
+}
+
+/// Builds the gate sequence for Eq. (4) in *application order*
+/// (first element applied first): `Rz(γ), √X, Rz(β+π), √X, Rz(α+π)`.
+pub fn zsxzsxz_sequence(angles: ZsxzsxzAngles) -> [Gate; 5] {
+    use std::f64::consts::PI;
+    [
+        Gate::Rz(angles.gamma),
+        Gate::Sx,
+        Gate::Rz(angles.beta + PI),
+        Gate::Sx,
+        Gate::Rz(angles.alpha + PI),
+    ]
+}
+
+/// Composes a sequence of 1q gates (application order) into a matrix.
+pub fn compose_1q(gates: &[Gate]) -> Mat2 {
+    let mut m = Mat2::identity();
+    for g in gates {
+        let gm = g.matrix1().unwrap_or_else(|| panic!("{} is not 1q unitary", g.name()));
+        m = gm.mul(&m);
+    }
+    m
+}
+
+/// Absorbs a coherent `Rz(θ)` error that occurred *before* gate `u`
+/// into the decomposition (γ → γ + θ). Returns the fused sequence in
+/// application order. The absorption is exact and free: only virtual-Z
+/// angles change (Sec. II-C of the paper).
+pub fn absorb_rz_before(u: &Mat2, theta: f64) -> [Gate; 5] {
+    let mut a = zsxzsxz_angles(u);
+    a.gamma += theta;
+    zsxzsxz_sequence(a)
+}
+
+/// Absorbs a coherent `Rz(θ)` error occurring *after* gate `u`
+/// (α → α + θ).
+pub fn absorb_rz_after(u: &Mat2, theta: f64) -> [Gate; 5] {
+    let mut a = zsxzsxz_angles(u);
+    a.alpha += theta;
+    zsxzsxz_sequence(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-9;
+
+    fn check_roundtrip(u: &Mat2) {
+        let zyz = zyz_angles(u);
+        let rebuilt = compose_1q(&[Gate::Rz(zyz.lam), Gate::Ry(zyz.theta), Gate::Rz(zyz.phi)]);
+        assert!(
+            rebuilt.approx_eq_up_to_phase(u, TOL),
+            "ZYZ roundtrip failed: {zyz:?}"
+        );
+        let seq = zsxzsxz_sequence(zsxzsxz_angles(u));
+        let rebuilt2 = compose_1q(&seq);
+        assert!(
+            rebuilt2.approx_eq_up_to_phase(u, TOL),
+            "ZSXZSXZ roundtrip failed: {zyz:?}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_standard_gates() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Ry(-2.1),
+            Gate::Rz(1.3),
+            Gate::U { theta: 0.4, phi: 2.0, lam: -0.9 },
+        ] {
+            check_roundtrip(&g.matrix1().unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrips_random_unitaries() {
+        // Deterministic pseudo-random SU(2) sweep via U(θ,φ,λ).
+        let mut k = 1u64;
+        for _ in 0..50 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let theta = (k >> 11) as f64 / (1u64 << 53) as f64 * PI;
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let phi = ((k >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0 * PI;
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lam = ((k >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0 * PI;
+            check_roundtrip(&Gate::U { theta, phi, lam }.matrix1().unwrap());
+        }
+    }
+
+    #[test]
+    fn absorption_before_is_exact_and_free() {
+        let u = Gate::U { theta: 1.1, phi: 0.3, lam: -0.8 }.matrix1().unwrap();
+        let theta_err = 0.137;
+        // Error happens first, then the gate: total = U · Rz(θ).
+        let target = u.mul(&Gate::Rz(theta_err).matrix1().unwrap());
+        let fused = compose_1q(&absorb_rz_before(&u, theta_err));
+        assert!(fused.approx_eq_up_to_phase(&target, TOL));
+        // Still exactly 2 physical pulses (√X); the rest virtual.
+        let seq = absorb_rz_before(&u, theta_err);
+        assert_eq!(seq.iter().filter(|g| !g.is_virtual()).count(), 2);
+    }
+
+    #[test]
+    fn absorption_after_is_exact() {
+        let u = Gate::U { theta: 0.5, phi: -1.2, lam: 2.2 }.matrix1().unwrap();
+        let theta_err = -0.21;
+        let target = Gate::Rz(theta_err).matrix1().unwrap().mul(&u);
+        let fused = compose_1q(&absorb_rz_after(&u, theta_err));
+        assert!(fused.approx_eq_up_to_phase(&target, TOL));
+    }
+
+    #[test]
+    fn diagonal_unitary_edge_case() {
+        check_roundtrip(&Gate::Rz(0.9).matrix1().unwrap());
+        check_roundtrip(&Gate::Rz(-3.0).matrix1().unwrap());
+    }
+
+    #[test]
+    fn antidiagonal_unitary_edge_case() {
+        check_roundtrip(&Gate::X.matrix1().unwrap());
+        let u = compose_1q(&[Gate::X, Gate::Rz(0.4)]);
+        check_roundtrip(&u);
+    }
+}

@@ -1,0 +1,499 @@
+//! The gate set.
+//!
+//! Mirrors the hardware-native basis of fixed-frequency IBM devices
+//! used in the paper — virtual `Rz`, physical `SX`/`X`, and the echoed
+//! cross-resonance `ECR` two-qubit gate — plus the logical gates the
+//! applications need (`CX`, `Rzz`, the canonical gate `Can(α,β,γ)` of
+//! Eq. (5)) and circuit-structural operations (`Delay`, `Barrier`,
+//! `Measure`, `Reset`).
+
+use crate::c64::{C64, I as IM, ONE, ZERO};
+use crate::matrix::{Mat2, Mat4};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A quantum gate or circuit operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity (explicit, occupies a 1q-gate slot).
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = √Z.
+    S,
+    /// S†.
+    Sdg,
+    /// T = S^{1/2}.
+    T,
+    /// T†.
+    Tdg,
+    /// √X — the physical 1q pulse on IBM hardware.
+    Sx,
+    /// √X†.
+    Sxdg,
+    /// Rotation about X: exp(−iθX/2).
+    Rx(f64),
+    /// Rotation about Y: exp(−iθY/2).
+    Ry(f64),
+    /// Rotation about Z: exp(−iθZ/2). Virtual (zero duration, zero cost).
+    Rz(f64),
+    /// Generic 1q gate U(θ, φ, λ) in the standard convention.
+    U {
+        /// Polar rotation angle θ.
+        theta: f64,
+        /// Leading phase angle φ.
+        phi: f64,
+        /// Trailing phase angle λ.
+        lam: f64,
+    },
+    /// CNOT; first qubit is control, second is target.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Echoed cross-resonance; first qubit is control, second target.
+    /// Locally equivalent to CNOT; internally echoes the control frame
+    /// at τg/2 and the target (rotary) frame at τg/4, τg/2, 3τg/4.
+    Ecr,
+    /// ZZ rotation exp(−iθ Z⊗Z / 2).
+    Rzz(f64),
+    /// The canonical two-qubit gate of Eq. (5):
+    /// `exp[i(α X⊗X + β Y⊗Y + γ Z⊗Z)]`.
+    Can {
+        /// XX interaction angle α.
+        alpha: f64,
+        /// YY interaction angle β.
+        beta: f64,
+        /// ZZ interaction angle γ.
+        gamma: f64,
+    },
+    /// Z-basis measurement into a classical bit.
+    Measure,
+    /// Reset to |0⟩.
+    Reset,
+    /// Explicit idle period in nanoseconds.
+    Delay(f64),
+    /// Scheduling barrier across its qubits.
+    Barrier,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (`Barrier` is variadic and
+    /// reports 0).
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cz | Gate::Ecr | Gate::Rzz(_) | Gate::Can { .. } => 2,
+            Gate::Barrier => 0,
+            _ => 1,
+        }
+    }
+
+    /// A short lowercase mnemonic.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::U { .. } => "u",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Ecr => "ecr",
+            Gate::Rzz(_) => "rzz",
+            Gate::Can { .. } => "can",
+            Gate::Measure => "measure",
+            Gate::Reset => "reset",
+            Gate::Delay(_) => "delay",
+            Gate::Barrier => "barrier",
+        }
+    }
+
+    /// True for unitary gates (i.e. not measure/reset/delay/barrier).
+    pub fn is_unitary(&self) -> bool {
+        !matches!(
+            self,
+            Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
+        )
+    }
+
+    /// True for the single-qubit Pauli gates (including identity).
+    pub fn is_pauli(&self) -> bool {
+        matches!(self, Gate::I | Gate::X | Gate::Y | Gate::Z)
+    }
+
+    /// True when the gate is implemented virtually (zero duration).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Gate::Rz(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::I)
+    }
+
+    /// True when the unitary is diagonal in the computational basis.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Cz | Gate::Rzz(_)
+        )
+    }
+
+    /// The inverse gate, when it exists within the gate set.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::U { theta, phi, lam } => Gate::U { theta: -theta, phi: -lam, lam: -phi },
+            Gate::Can { alpha, beta, gamma } => Gate::Can { alpha: -alpha, beta: -beta, gamma: -gamma },
+            g => g, // self-inverse: I, X, Y, Z, H, Cx, Cz, Ecr; non-unitary unchanged
+        }
+    }
+
+    /// 2×2 unitary for single-qubit unitary gates.
+    pub fn matrix1(&self) -> Option<Mat2> {
+        let m = match *self {
+            Gate::I => Mat2::identity(),
+            Gate::X => Mat2([[ZERO, ONE], [ONE, ZERO]]),
+            Gate::Y => Mat2([[ZERO, -IM], [IM, ZERO]]),
+            Gate::Z => Mat2([[ONE, ZERO], [ZERO, C64::real(-1.0)]]),
+            Gate::H => {
+                let h = C64::real(FRAC_1_SQRT_2);
+                Mat2([[h, h], [h, -h]])
+            }
+            Gate::S => Mat2([[ONE, ZERO], [ZERO, IM]]),
+            Gate::Sdg => Mat2([[ONE, ZERO], [ZERO, -IM]]),
+            Gate::T => Mat2([[ONE, ZERO], [ZERO, C64::cis(std::f64::consts::FRAC_PI_4)]]),
+            Gate::Tdg => Mat2([[ONE, ZERO], [ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::Sx => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                Mat2([[a, b], [b, a]])
+            }
+            Gate::Sxdg => {
+                let a = C64::new(0.5, -0.5);
+                let b = C64::new(0.5, 0.5);
+                Mat2([[a, b], [b, a]])
+            }
+            Gate::Rx(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::new(0.0, -(t / 2.0).sin());
+                Mat2([[c, s], [s, c]])
+            }
+            Gate::Ry(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::real((t / 2.0).sin());
+                Mat2([[c, -s], [s, c]])
+            }
+            Gate::Rz(t) => Mat2([[C64::cis(-t / 2.0), ZERO], [ZERO, C64::cis(t / 2.0)]]),
+            Gate::U { theta, phi, lam } => {
+                let c = (theta / 2.0).cos();
+                let s = (theta / 2.0).sin();
+                Mat2([
+                    [C64::real(c), -C64::cis(lam).scale(s)],
+                    [C64::cis(phi).scale(s), C64::cis(phi + lam).scale(c)],
+                ])
+            }
+            _ => return None,
+        };
+        Some(m)
+    }
+
+    /// 4×4 unitary for two-qubit unitary gates, in the convention that
+    /// the first listed qubit is the low-order basis bit.
+    pub fn matrix2(&self) -> Option<Mat4> {
+        let m = match *self {
+            Gate::Cx => {
+                // control = first (low bit), target = second (high bit):
+                // index = c + 2t; flips t when c = 1.
+                let mut m = Mat4::zero();
+                m.0[0][0] = ONE; // (c,t)=(0,0) -> (0,0)
+                m.0[3][1] = ONE; // (1,0) -> (1,1)
+                m.0[2][2] = ONE; // (0,1) -> (0,1)
+                m.0[1][3] = ONE; // (1,1) -> (1,0)
+                m
+            }
+            Gate::Cz => {
+                let mut m = Mat4::identity();
+                m.0[3][3] = C64::real(-1.0);
+                m
+            }
+            Gate::Ecr => {
+                // ECR = (I_t⊗X_c − X_t⊗Y_c)/√2 with control the low bit:
+                // kron(high=target factor, low=control factor).
+                let x = Gate::X.matrix1().unwrap();
+                let y = Gate::Y.matrix1().unwrap();
+                let id = Mat2::identity();
+                let t1 = Mat4::kron(&id, &x);
+                let t2 = Mat4::kron(&x, &y);
+                let mut m = Mat4::zero();
+                for i in 0..4 {
+                    for j in 0..4 {
+                        m.0[i][j] = (t1.0[i][j] - t2.0[i][j]).scale(FRAC_1_SQRT_2);
+                    }
+                }
+                m
+            }
+            Gate::Rzz(t) => {
+                let e0 = C64::cis(-t / 2.0);
+                let e1 = C64::cis(t / 2.0);
+                let mut m = Mat4::zero();
+                m.0[0][0] = e0;
+                m.0[1][1] = e1;
+                m.0[2][2] = e1;
+                m.0[3][3] = e0;
+                m
+            }
+            Gate::Can { alpha, beta, gamma } => canonical_matrix(alpha, beta, gamma),
+            _ => return None,
+        };
+        Some(m)
+    }
+
+    /// True for gates that are Clifford operations.
+    pub fn is_clifford(&self) -> bool {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Cx
+            | Gate::Cz
+            | Gate::Ecr => true,
+            Gate::Rz(t) | Gate::Rx(t) | Gate::Ry(t) => {
+                let q = t / std::f64::consts::FRAC_PI_2;
+                (q - q.round()).abs() < 1e-12
+            }
+            Gate::Rzz(t) => {
+                let q = t / std::f64::consts::FRAC_PI_2;
+                (q - q.round()).abs() < 1e-12
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The canonical two-qubit unitary `exp[i(α XX + β YY + γ ZZ)]`
+/// (Eq. (5) of the paper).
+///
+/// The three terms commute, and the matrix is block diagonal over
+/// {|00⟩, |11⟩} and {|01⟩, |10⟩}:
+///
+/// * even block: `e^{iγ} [[cos(α−β), i·sin(α−β)], [i·sin(α−β), cos(α−β)]]`
+/// * odd block:  `e^{−iγ} [[cos(α+β), i·sin(α+β)], [i·sin(α+β), cos(α+β)]]`
+pub fn canonical_matrix(alpha: f64, beta: f64, gamma: f64) -> Mat4 {
+    let mut m = Mat4::zero();
+    let d = alpha - beta;
+    let s = alpha + beta;
+    let eg = C64::cis(gamma);
+    let emg = C64::cis(-gamma);
+    // Even-parity block: indices 0 (|00⟩) and 3 (|11⟩).
+    m.0[0][0] = eg.scale(d.cos());
+    m.0[0][3] = (IM * eg).scale(d.sin());
+    m.0[3][0] = (IM * eg).scale(d.sin());
+    m.0[3][3] = eg.scale(d.cos());
+    // Odd-parity block: indices 1 (|10⟩ low-bit set) and 2 (|01⟩).
+    m.0[1][1] = emg.scale(s.cos());
+    m.0[1][2] = (IM * emg).scale(s.sin());
+    m.0[2][1] = (IM * emg).scale(s.sin());
+    m.0[2][2] = emg.scale(s.cos());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn all_unitary_gates_have_unitary_matrices() {
+        let ones: &[Gate] = &[
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(0.3),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.2),
+            Gate::U { theta: 0.4, phi: 1.0, lam: -0.6 },
+        ];
+        for g in ones {
+            assert!(g.matrix1().unwrap().is_unitary(TOL), "{}", g.name());
+        }
+        let twos: &[Gate] = &[
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Ecr,
+            Gate::Rzz(0.7),
+            Gate::Can { alpha: 0.2, beta: 0.5, gamma: -0.3 },
+        ];
+        for g in twos {
+            assert!(g.matrix2().unwrap().is_unitary(TOL), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn inverses_compose_to_identity() {
+        let ones: &[Gate] = &[
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.9),
+            Gate::Ry(0.4),
+            Gate::Rz(-0.5),
+            Gate::U { theta: 0.4, phi: 1.0, lam: -0.6 },
+        ];
+        for g in ones {
+            let m = g.matrix1().unwrap();
+            let mi = g.inverse().matrix1().unwrap();
+            assert!(
+                m.mul(&mi).approx_eq_up_to_phase(&Mat2::identity(), TOL),
+                "{}",
+                g.name()
+            );
+        }
+        let twos: &[Gate] = &[
+            Gate::Rzz(1.3),
+            Gate::Can { alpha: 0.2, beta: 0.5, gamma: -0.3 },
+            Gate::Cx,
+            Gate::Ecr,
+        ];
+        for g in twos {
+            let m = g.matrix2().unwrap();
+            let mi = g.inverse().matrix2().unwrap();
+            assert!(
+                m.mul(&mi).approx_eq_up_to_phase(&Mat4::identity(), TOL),
+                "{}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::Sx.matrix1().unwrap();
+        let x = Gate::X.matrix1().unwrap();
+        assert!(sx.mul(&sx).approx_eq_up_to_phase(&x, TOL));
+    }
+
+    #[test]
+    fn ecr_is_self_inverse() {
+        let e = Gate::Ecr.matrix2().unwrap();
+        assert!(e.mul(&e).approx_eq(&Mat4::identity(), TOL));
+    }
+
+    #[test]
+    fn ecr_matches_reference_matrix() {
+        // Reference (Qiskit convention, little-endian, q0 = control):
+        // 1/√2 [[0,1,0,i],[1,0,-i,0],[0,i,0,1],[-i,0,1,0]].
+        let e = Gate::Ecr.matrix2().unwrap();
+        let h = FRAC_1_SQRT_2;
+        let expect = [
+            [ZERO, C64::real(h), ZERO, C64::new(0.0, h)],
+            [C64::real(h), ZERO, C64::new(0.0, -h), ZERO],
+            [ZERO, C64::new(0.0, h), ZERO, C64::real(h)],
+            [C64::new(0.0, -h), ZERO, C64::real(h), ZERO],
+        ];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(e.0[i][j].approx_eq(expect[i][j], TOL), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cx_from_ecr_with_local_fixups() {
+        // CX = e^{−iπ/4}·Rz(−π/2)_c·Rx(−π/2)_t·X_c·ECR.
+        let ecr = Gate::Ecr.matrix2().unwrap();
+        let xc = Mat4::kron(&Mat2::identity(), &Gate::X.matrix1().unwrap());
+        let rxt = Mat4::kron(&Gate::Rx(-PI / 2.0).matrix1().unwrap(), &Mat2::identity());
+        let rzc = Mat4::kron(&Mat2::identity(), &Gate::Rz(-PI / 2.0).matrix1().unwrap());
+        let composed = rzc.mul(&rxt).mul(&xc).mul(&ecr);
+        assert!(composed.approx_eq_up_to_phase(&Gate::Cx.matrix2().unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn rzz_equals_canonical_gamma_only() {
+        // Rzz(θ) = exp(−iθZZ/2) = Can(0, 0, −θ/2) up to global phase.
+        let theta = 0.77;
+        let rzz = Gate::Rzz(theta).matrix2().unwrap();
+        let can = canonical_matrix(0.0, 0.0, -theta / 2.0);
+        assert!(rzz.approx_eq_up_to_phase(&can, TOL));
+    }
+
+    #[test]
+    fn canonical_terms_commute() {
+        // Can(a,0,0)·Can(0,b,0)·Can(0,0,c) = Can(a,b,c) in any order.
+        let (a, b, c) = (0.3, -0.2, 0.5);
+        let full = canonical_matrix(a, b, c);
+        let xa = canonical_matrix(a, 0.0, 0.0);
+        let yb = canonical_matrix(0.0, b, 0.0);
+        let zc = canonical_matrix(0.0, 0.0, c);
+        assert!(xa.mul(&yb).mul(&zc).approx_eq(&full, 1e-10));
+        assert!(zc.mul(&xa).mul(&yb).approx_eq(&full, 1e-10));
+    }
+
+    #[test]
+    fn canonical_at_clifford_point_is_cnot_class() {
+        // Can(π/4, 0, 0) = exp(iπ/4 XX) is locally equivalent to CNOT;
+        // sanity: it is maximally entangling, i.e. squares to X⊗X phase.
+        let m = canonical_matrix(PI / 4.0, 0.0, 0.0);
+        let xx = Mat4::kron(&Gate::X.matrix1().unwrap(), &Gate::X.matrix1().unwrap());
+        assert!(m.mul(&m).approx_eq_up_to_phase(&xx, 1e-10));
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let m = Gate::Cx.matrix2().unwrap();
+        // |c=1,t=0⟩ = index 1 maps to |c=1,t=1⟩ = index 3.
+        assert!(m.0[3][1].approx_eq(ONE, TOL));
+        assert!(m.0[1][1].approx_eq(ZERO, TOL));
+    }
+
+    #[test]
+    fn clifford_detection() {
+        assert!(Gate::Rz(PI / 2.0).is_clifford());
+        assert!(!Gate::Rz(0.3).is_clifford());
+        assert!(Gate::Ecr.is_clifford());
+        assert!(!Gate::Can { alpha: 0.1, beta: 0.0, gamma: 0.0 }.is_clifford());
+    }
+
+    #[test]
+    fn virtual_gates_are_flagged() {
+        assert!(Gate::Rz(0.1).is_virtual());
+        assert!(!Gate::Sx.is_virtual());
+        assert!(!Gate::X.is_virtual());
+    }
+}

@@ -1,0 +1,105 @@
+//! Circuit instructions: a gate applied to qubits, optionally tied to
+//! classical bits (measurement targets or feed-forward conditions).
+
+use crate::gate::Gate;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward condition: execute the instruction only when the
+/// classical bit holds `value`. This is the primitive dynamic-circuit
+/// capability used by the paper's Fig. 9 experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Index of the classical bit tested.
+    pub clbit: usize,
+    /// Value the bit must hold for the gate to fire.
+    pub value: bool,
+}
+
+/// One operation in a circuit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The gate or operation.
+    pub gate: Gate,
+    /// Qubit operands, in gate order (e.g. `[control, target]`).
+    pub qubits: Vec<usize>,
+    /// Classical bit written by a `Measure`.
+    pub clbit: Option<usize>,
+    /// Optional feed-forward condition.
+    pub condition: Option<Condition>,
+}
+
+impl Instruction {
+    /// Creates an unconditional instruction with no classical operand.
+    pub fn new(gate: Gate, qubits: impl Into<Vec<usize>>) -> Self {
+        let qubits = qubits.into();
+        debug_assert!(
+            gate.num_qubits() == 0 || gate.num_qubits() == qubits.len(),
+            "gate {} expects {} qubits, got {}",
+            gate.name(),
+            gate.num_qubits(),
+            qubits.len()
+        );
+        Self { gate, qubits, clbit: None, condition: None }
+    }
+
+    /// Attaches a feed-forward condition.
+    pub fn with_condition(mut self, clbit: usize, value: bool) -> Self {
+        self.condition = Some(Condition { clbit, value });
+        self
+    }
+
+    /// True for two-qubit unitary gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.gate.is_unitary() && self.gate.num_qubits() == 2
+    }
+
+    /// True for single-qubit unitary gates.
+    pub fn is_one_qubit(&self) -> bool {
+        self.gate.is_unitary() && self.gate.num_qubits() == 1
+    }
+
+    /// True if `q` is an operand of this instruction.
+    pub fn acts_on(&self, q: usize) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// True if any operand overlaps with `other`'s operands.
+    pub fn overlaps(&self, other: &Instruction) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_and_queries() {
+        let i = Instruction::new(Gate::Cx, vec![2, 5]);
+        assert!(i.is_two_qubit());
+        assert!(!i.is_one_qubit());
+        assert!(i.acts_on(2) && i.acts_on(5) && !i.acts_on(3));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Instruction::new(Gate::Cx, vec![0, 1]);
+        let b = Instruction::new(Gate::Sx, vec![1]);
+        let c = Instruction::new(Gate::Sx, vec![2]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn condition_attachment() {
+        let i = Instruction::new(Gate::X, vec![0]).with_condition(3, true);
+        assert_eq!(i.condition, Some(Condition { clbit: 3, value: true }));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn wrong_arity_panics_in_debug() {
+        let _ = Instruction::new(Gate::Cx, vec![0]);
+    }
+}

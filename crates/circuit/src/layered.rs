@@ -1,0 +1,227 @@
+//! Stratification of circuits into alternating layers of single-qubit
+//! and two-qubit gates (Fig. 2 of the paper).
+//!
+//! Error-mitigation protocols (PEC/PEA) and both compiler passes in
+//! this workspace operate on this layered form: twirling wraps the
+//! two-qubit layers, CA-EC walks layers accumulating compensation, and
+//! the layer-fidelity benchmark repeats a single two-qubit layer.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a stratified layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Only single-qubit unitary gates.
+    OneQubit,
+    /// Only two-qubit unitary gates (disjoint supports).
+    TwoQubit,
+    /// Measurements and resets.
+    Measurement,
+    /// Delays, conditionals and anything else.
+    Other,
+}
+
+/// One stratified layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// The kind shared by all instructions in the layer.
+    pub kind: LayerKind,
+    /// Instructions with pairwise-disjoint qubit supports.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Layer {
+    /// The two-qubit gate (if any) acting on `q` in this layer.
+    pub fn gate_on(&self, q: usize) -> Option<&Instruction> {
+        self.instructions.iter().find(|i| i.acts_on(q))
+    }
+
+    /// True when no instruction in the layer touches `q`.
+    pub fn is_idle(&self, q: usize) -> bool {
+        self.gate_on(q).is_none()
+    }
+
+    /// All qubits used by the layer.
+    pub fn support(&self) -> Vec<usize> {
+        let mut qs: Vec<usize> = self.instructions.iter().flat_map(|i| i.qubits.clone()).collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+}
+
+/// A circuit expressed as an ordered list of layers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayeredCircuit {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of classical bits.
+    pub num_clbits: usize,
+    /// The layers, in program order.
+    pub layers: Vec<Layer>,
+}
+
+fn kind_of(instr: &Instruction) -> LayerKind {
+    match instr.gate {
+        Gate::Measure | Gate::Reset => LayerKind::Measurement,
+        Gate::Delay(_) => LayerKind::Other,
+        _ if instr.condition.is_some() => LayerKind::Other,
+        _ if instr.is_one_qubit() => LayerKind::OneQubit,
+        _ if instr.is_two_qubit() => LayerKind::TwoQubit,
+        _ => LayerKind::Other,
+    }
+}
+
+/// Stratifies a circuit into layers: each instruction is placed in the
+/// earliest layer (at or after its data dependencies) whose kind
+/// matches and whose support is disjoint. Barriers force a new layer.
+pub fn stratify(circuit: &Circuit) -> LayeredCircuit {
+    let mut layers: Vec<Layer> = Vec::new();
+    // frontier[q] = first layer index where qubit q is free.
+    let mut frontier = vec![0usize; circuit.num_qubits];
+    for instr in &circuit.instructions {
+        if instr.gate == Gate::Barrier {
+            for &q in &instr.qubits {
+                frontier[q] = layers.len();
+            }
+            continue;
+        }
+        let kind = kind_of(instr);
+        let start = instr.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        let mut placed = None;
+        for (l, layer) in layers.iter().enumerate().skip(start) {
+            if layer.kind == kind && instr.qubits.iter().all(|&q| layer.is_idle(q)) {
+                placed = Some(l);
+                break;
+            }
+        }
+        let l = match placed {
+            Some(l) => l,
+            None => {
+                layers.push(Layer { kind, instructions: Vec::new() });
+                layers.len() - 1
+            }
+        };
+        layers[l].instructions.push(instr.clone());
+        for &q in &instr.qubits {
+            frontier[q] = l + 1;
+        }
+    }
+    LayeredCircuit { num_qubits: circuit.num_qubits, num_clbits: circuit.num_clbits, layers }
+}
+
+impl LayeredCircuit {
+    /// Flattens back to a circuit, optionally separating layers with
+    /// full barriers so that scheduling preserves the layer structure.
+    pub fn to_circuit(&self, with_barriers: bool) -> Circuit {
+        let mut qc = Circuit::new(self.num_qubits, self.num_clbits);
+        for (i, layer) in self.layers.iter().enumerate() {
+            if with_barriers && i > 0 {
+                qc.barrier(Vec::<usize>::new());
+            }
+            for instr in &layer.instructions {
+                qc.push(instr.clone());
+            }
+        }
+        qc
+    }
+
+    /// Indices of the two-qubit layers.
+    pub fn two_qubit_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == LayerKind::TwoQubit)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_structure_emerges() {
+        let mut qc = Circuit::new(4, 0);
+        qc.h(0).h(1).h(2).h(3);
+        qc.ecr(0, 1).ecr(2, 3);
+        qc.sx(0).sx(2);
+        qc.ecr(1, 2);
+        let layered = stratify(&qc);
+        let kinds: Vec<LayerKind> = layered.layers.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![LayerKind::OneQubit, LayerKind::TwoQubit, LayerKind::OneQubit, LayerKind::TwoQubit]
+        );
+        assert_eq!(layered.layers[1].instructions.len(), 2);
+    }
+
+    #[test]
+    fn barrier_splits_layers() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0);
+        qc.barrier(Vec::<usize>::new());
+        qc.h(1);
+        let layered = stratify(&qc);
+        assert_eq!(layered.layers.len(), 2);
+    }
+
+    #[test]
+    fn parallel_one_qubit_gates_share_a_layer() {
+        let mut qc = Circuit::new(3, 0);
+        qc.h(0).sx(1).x(2);
+        let layered = stratify(&qc);
+        assert_eq!(layered.layers.len(), 1);
+        assert_eq!(layered.layers[0].instructions.len(), 3);
+    }
+
+    #[test]
+    fn dependent_gates_stack() {
+        let mut qc = Circuit::new(1, 0);
+        qc.h(0).sx(0);
+        let layered = stratify(&qc);
+        assert_eq!(layered.layers.len(), 2);
+    }
+
+    #[test]
+    fn measurement_gets_its_own_kind() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).measure(0, 0).measure(1, 1);
+        let layered = stratify(&qc);
+        assert_eq!(layered.layers.last().unwrap().kind, LayerKind::Measurement);
+        assert_eq!(layered.layers.last().unwrap().instructions.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_instruction_multiset() {
+        let mut qc = Circuit::new(3, 0);
+        qc.h(0).ecr(0, 1).sx(2).ecr(1, 2).rz(0.3, 0);
+        let layered = stratify(&qc);
+        let back = layered.to_circuit(false);
+        assert_eq!(back.len(), qc.len());
+        assert_eq!(back.count_two_qubit(), 2);
+    }
+
+    #[test]
+    fn two_qubit_layer_indices_reported() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).ecr(0, 1).h(1);
+        let layered = stratify(&qc);
+        assert_eq!(layered.two_qubit_layer_indices(), vec![1]);
+    }
+
+    #[test]
+    fn layer_support_and_idle() {
+        let mut qc = Circuit::new(4, 0);
+        qc.ecr(0, 1);
+        let layered = stratify(&qc);
+        let layer = &layered.layers[0];
+        assert_eq!(layer.support(), vec![0, 1]);
+        assert!(layer.is_idle(2));
+        assert!(!layer.is_idle(0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # ca-circuit
+//!
+//! Quantum-circuit intermediate representation for the context-aware
+//! compiling workspace: the hardware-native gate set of fixed-frequency
+//! superconducting devices, Pauli algebra with Clifford conjugation,
+//! single- and two-qubit decompositions (Eq. 4 Euler form and the
+//! Fig. 1d canonical-gate Cartan circuit), stratification into
+//! alternating 1q/2q layers (Fig. 2), and ASAP scheduling.
+//!
+//! This crate is a *substrate*: it knows nothing about devices, noise,
+//! or suppression strategies. Those live in `ca-device`, `ca-sim`, and
+//! `ca-core`.
+
+#![warn(missing_docs)]
+
+pub mod c64;
+pub mod canonical;
+pub mod circuit;
+pub mod clifford;
+pub mod euler;
+pub mod gate;
+pub mod instruction;
+pub mod layered;
+pub mod matrix;
+pub mod pauli;
+pub mod qasm;
+pub mod draw;
+pub mod schedule;
+
+pub use c64::C64;
+pub use circuit::Circuit;
+pub use gate::Gate;
+pub use instruction::{Condition, Instruction};
+pub use layered::{stratify, Layer, LayerKind, LayeredCircuit};
+pub use matrix::{Mat2, Mat4};
+pub use pauli::{Pauli, PauliString};
+pub use qasm::to_qasm3;
+pub use draw::{draw, draw_schedule};
+pub use schedule::{schedule_alap, schedule_asap, GateDurations, ScheduledCircuit, ScheduledInstruction};

@@ -1,0 +1,305 @@
+//! Small dense complex matrices (2×2 and 4×4) used for gate unitaries,
+//! decomposition checks, and Clifford conjugation tables.
+
+use crate::c64::{C64, ONE, ZERO};
+
+/// A 2×2 complex matrix in row-major order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2(pub [[C64; 2]; 2]);
+
+/// A 4×4 complex matrix in row-major order.
+///
+/// For a two-qubit gate acting on instruction qubits `(a, b)` (in list
+/// order), the basis index is `i = bit(a) + 2·bit(b)`: the *first*
+/// listed qubit is the low-order bit. [`Mat4::kron`] follows the same
+/// convention: `kron(second, first)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat4(pub [[C64; 4]; 4]);
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const fn identity() -> Self {
+        Mat2([[ONE, ZERO], [ZERO, ONE]])
+    }
+
+    /// The zero matrix.
+    pub const fn zero() -> Self {
+        Mat2([[ZERO; 2]; 2])
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = ZERO;
+                for k in 0..2 {
+                    acc += self.0[i][k] * rhs.0[k][j];
+                }
+                out.0[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                out.0[i][j] = self.0[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> Mat2 {
+        let mut out = *self;
+        for row in out.0.iter_mut() {
+            for e in row.iter_mut() {
+                *e = *e * s;
+            }
+        }
+        out
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(r, s)| r.iter().zip(s.iter()).all(|(a, b)| a.approx_eq(*b, tol)))
+    }
+
+    /// Equality up to a global phase: true if `self ≈ e^{iφ}·other` for
+    /// some φ.
+    pub fn approx_eq_up_to_phase(&self, other: &Mat2, tol: f64) -> bool {
+        match global_phase_between(
+            self.0.iter().flatten().copied(),
+            other.0.iter().flatten().copied(),
+        ) {
+            Some(phase) => self.approx_eq(&other.scale(phase), tol),
+            None => false,
+        }
+    }
+
+    /// True when `self · self† ≈ I`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        self.0[0][0] * self.0[1][1] - self.0[0][1] * self.0[1][0]
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const fn identity() -> Self {
+        let mut m = [[ZERO; 4]; 4];
+        m[0][0] = ONE;
+        m[1][1] = ONE;
+        m[2][2] = ONE;
+        m[3][3] = ONE;
+        Mat4(m)
+    }
+
+    /// The zero matrix.
+    pub const fn zero() -> Self {
+        Mat4([[ZERO; 4]; 4])
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = ZERO;
+                for k in 0..4 {
+                    acc += self.0[i][k] * rhs.0[k][j];
+                }
+                out.0[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                out.0[i][j] = self.0[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product. `high` acts on the high-order (second listed)
+    /// qubit, `low` on the low-order (first listed) qubit.
+    pub fn kron(high: &Mat2, low: &Mat2) -> Mat4 {
+        let mut out = Mat4::zero();
+        for hi in 0..2 {
+            for hj in 0..2 {
+                for li in 0..2 {
+                    for lj in 0..2 {
+                        out.0[2 * hi + li][2 * hj + lj] = high.0[hi][hj] * low.0[li][lj];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> Mat4 {
+        let mut out = *self;
+        for row in out.0.iter_mut() {
+            for e in row.iter_mut() {
+                *e = *e * s;
+            }
+        }
+        out
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat4, tol: f64) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(r, s)| r.iter().zip(s.iter()).all(|(a, b)| a.approx_eq(*b, tol)))
+    }
+
+    /// Equality up to a global phase.
+    pub fn approx_eq_up_to_phase(&self, other: &Mat4, tol: f64) -> bool {
+        match global_phase_between(
+            self.0.iter().flatten().copied(),
+            other.0.iter().flatten().copied(),
+        ) {
+            Some(phase) => self.approx_eq(&other.scale(phase), tol),
+            None => false,
+        }
+    }
+
+    /// True when `self · self† ≈ I`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Mat4::identity(), tol)
+    }
+
+    /// Swaps the roles of the two qubits (permutes basis indices 1↔2).
+    pub fn swap_qubits(&self) -> Mat4 {
+        let perm = [0usize, 2, 1, 3];
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                out.0[perm[i]][perm[j]] = self.0[i][j];
+            }
+        }
+        out
+    }
+}
+
+/// Finds the phase `e^{iφ}` such that `a ≈ e^{iφ}·b`, keyed off the
+/// largest-magnitude entry of `b`. Returns `None` if `b` is all zeros.
+fn global_phase_between(
+    a: impl Iterator<Item = C64>,
+    b: impl Iterator<Item = C64>,
+) -> Option<C64> {
+    let pairs: Vec<(C64, C64)> = a.zip(b).collect();
+    let (pa, pb) = pairs
+        .iter()
+        .max_by(|x, y| x.1.norm_sqr().partial_cmp(&y.1.norm_sqr()).unwrap())?;
+    if pb.norm_sqr() < 1e-24 {
+        return None;
+    }
+    let ratio = *pa / *pb;
+    // Normalize to a pure phase so tiny magnitude drift does not leak in.
+    let m = ratio.abs();
+    if m < 1e-12 {
+        return None;
+    }
+    Some(ratio.scale(1.0 / m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64::I;
+
+    const TOL: f64 = 1e-12;
+
+    fn pauli_x() -> Mat2 {
+        Mat2([[ZERO, ONE], [ONE, ZERO]])
+    }
+
+    fn pauli_z() -> Mat2 {
+        Mat2([[ONE, ZERO], [ZERO, C64::real(-1.0)]])
+    }
+
+    #[test]
+    fn mat2_identity_is_unit() {
+        let x = pauli_x();
+        assert!(x.mul(&Mat2::identity()).approx_eq(&x, TOL));
+        assert!(Mat2::identity().mul(&x).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn pauli_algebra_xz() {
+        // XZ = -iY, ZX = iY → XZ = -ZX.
+        let xz = pauli_x().mul(&pauli_z());
+        let zx = pauli_z().mul(&pauli_x());
+        assert!(xz.approx_eq(&zx.scale(C64::real(-1.0)), TOL));
+    }
+
+    #[test]
+    fn mat2_unitarity() {
+        assert!(pauli_x().is_unitary(TOL));
+        let not_unitary = Mat2([[ONE, ONE], [ZERO, ONE]]);
+        assert!(!not_unitary.is_unitary(TOL));
+    }
+
+    #[test]
+    fn phase_equality_detects_global_phase() {
+        let x = pauli_x();
+        let ix = x.scale(I);
+        assert!(x.approx_eq_up_to_phase(&ix, TOL));
+        assert!(!x.approx_eq(&ix, TOL));
+        assert!(!x.approx_eq_up_to_phase(&pauli_z(), TOL));
+    }
+
+    #[test]
+    fn kron_ordering_first_qubit_is_low_bit() {
+        // Z on the first (low) qubit, identity on the second:
+        // diag(+1, -1, +1, -1) under index = bit(first) + 2·bit(second).
+        let m = Mat4::kron(&Mat2::identity(), &pauli_z());
+        for i in 0..4 {
+            let expect = if i & 1 == 0 { 1.0 } else { -1.0 };
+            assert!(m.0[i][i].approx_eq(C64::real(expect), TOL));
+        }
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let a = pauli_x();
+        let b = pauli_z();
+        let lhs = Mat4::kron(&a, &b).mul(&Mat4::kron(&b, &a));
+        let rhs = Mat4::kron(&a.mul(&b), &b.mul(&a));
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn swap_qubits_swaps_kron_factors() {
+        let m = Mat4::kron(&pauli_x(), &pauli_z());
+        let swapped = m.swap_qubits();
+        assert!(swapped.approx_eq(&Mat4::kron(&pauli_z(), &pauli_x()), TOL));
+    }
+
+    #[test]
+    fn mat4_adjoint_involutive() {
+        let m = Mat4::kron(&pauli_x(), &Mat2::identity());
+        assert!(m.adjoint().adjoint().approx_eq(&m, TOL));
+    }
+}

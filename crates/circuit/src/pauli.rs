@@ -1,0 +1,253 @@
+//! Pauli operators and Pauli strings with sign tracking.
+//!
+//! Used by the twirling pass (random Pauli insertion and propagation
+//! through Clifford layers), by CA-EC (commute/anti-commute sign
+//! bookkeeping of Z/ZZ compensations through twirl Paulis), and by the
+//! layer-fidelity protocol (Pauli-basis preparation/measurement).
+
+use crate::gate::Gate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis, in index order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Index in `ALL` (I=0, X=1, Y=2, Z=3).
+    pub fn index(self) -> usize {
+        match self {
+            Pauli::I => 0,
+            Pauli::X => 1,
+            Pauli::Y => 2,
+            Pauli::Z => 3,
+        }
+    }
+
+    /// Inverse of [`Pauli::index`].
+    pub fn from_index(i: usize) -> Pauli {
+        Pauli::ALL[i]
+    }
+
+    /// True when `self` and `other` commute (identity commutes with
+    /// everything; distinct non-identity Paulis anticommute).
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// The gate implementing this Pauli.
+    pub fn gate(self) -> Gate {
+        match self {
+            Pauli::I => Gate::I,
+            Pauli::X => Gate::X,
+            Pauli::Y => Gate::Y,
+            Pauli::Z => Gate::Z,
+        }
+    }
+
+    /// Product `self · other` as `(sign_power_of_i, pauli)`: the result
+    /// is `i^k · P`.
+    pub fn mul(self, other: Pauli) -> (u8, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (0, p),
+            (X, X) | (Y, Y) | (Z, Z) => (0, I),
+            (X, Y) => (1, Z),
+            (Y, X) => (3, Z),
+            (Y, Z) => (1, X),
+            (Z, Y) => (3, X),
+            (Z, X) => (1, Y),
+            (X, Z) => (3, Y),
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// An n-qubit Pauli string with a ±1 sign.
+///
+/// Pauli strings conjugated by Clifford unitaries stay Pauli strings
+/// with a ±1 sign (they are Hermitian, so no ±i arises).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PauliString {
+    /// Per-qubit Pauli factors; index = qubit.
+    pub paulis: Vec<Pauli>,
+    /// Overall sign (+1 or −1).
+    pub sign: i8,
+}
+
+impl PauliString {
+    /// The all-identity string.
+    pub fn identity(n: usize) -> Self {
+        Self { paulis: vec![Pauli::I; n], sign: 1 }
+    }
+
+    /// Builds from per-qubit factors with positive sign.
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        Self { paulis, sign: 1 }
+    }
+
+    /// A single-qubit Pauli embedded in an n-qubit string.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        let mut s = Self::identity(n);
+        s.paulis[q] = p;
+        s
+    }
+
+    /// Weight: number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| **p != Pauli::I).count()
+    }
+
+    /// True when all factors are identity.
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// True when `self` and `other` commute as operators: they commute
+    /// iff the number of positions with anticommuting factors is even.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        let anti = self
+            .paulis
+            .iter()
+            .zip(other.paulis.iter())
+            .filter(|(a, b)| !a.commutes_with(**b))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Product of two strings; panics unless lengths match. The result
+    /// tracks only the ±1 part of the phase and asserts that the total
+    /// `i^k` phase is real (true whenever the product is Hermitian,
+    /// which is all this library needs).
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.paulis.len(), other.paulis.len());
+        let mut k: u8 = 0;
+        let mut out = Vec::with_capacity(self.paulis.len());
+        for (a, b) in self.paulis.iter().zip(other.paulis.iter()) {
+            let (ki, p) = a.mul(*b);
+            k = (k + ki) % 4;
+            out.push(p);
+        }
+        assert!(k % 2 == 0, "non-real phase i^{k} in Pauli product");
+        let sign = self.sign * other.sign * if k == 2 { -1 } else { 1 };
+        PauliString { paulis: out, sign }
+    }
+
+    /// Parses a string like `"XIZY"` (leftmost char = qubit 0) with an
+    /// optional leading `+`/`-`.
+    pub fn parse(s: &str) -> Option<PauliString> {
+        let (sign, body) = match s.as_bytes().first()? {
+            b'+' => (1, &s[1..]),
+            b'-' => (-1, &s[1..]),
+            _ => (1, s),
+        };
+        let mut paulis = Vec::with_capacity(body.len());
+        for c in body.chars() {
+            paulis.push(match c {
+                'I' | 'i' => Pauli::I,
+                'X' | 'x' => Pauli::X,
+                'Y' | 'y' => Pauli::Y,
+                'Z' | 'z' => Pauli::Z,
+                _ => return None,
+            });
+        }
+        Some(PauliString { paulis, sign })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pauli_products() {
+        assert_eq!(Pauli::X.mul(Pauli::Y), (1, Pauli::Z));
+        assert_eq!(Pauli::Y.mul(Pauli::X), (3, Pauli::Z));
+        assert_eq!(Pauli::Z.mul(Pauli::Z), (0, Pauli::I));
+    }
+
+    #[test]
+    fn commutation_rules() {
+        assert!(Pauli::I.commutes_with(Pauli::X));
+        assert!(Pauli::X.commutes_with(Pauli::X));
+        assert!(!Pauli::X.commutes_with(Pauli::Z));
+    }
+
+    #[test]
+    fn string_commutation_even_overlap() {
+        let xx = PauliString::parse("XX").unwrap();
+        let zz = PauliString::parse("ZZ").unwrap();
+        let zi = PauliString::parse("ZI").unwrap();
+        // XX vs ZZ: two anticommuting positions → commute.
+        assert!(xx.commutes_with(&zz));
+        // XX vs ZI: one anticommuting position → anticommute.
+        assert!(!xx.commutes_with(&zi));
+    }
+
+    #[test]
+    fn string_product_signs() {
+        // (X⊗X)·(Y⊗Y) = (XY)⊗(XY) = (iZ)(iZ) = -Z⊗Z.
+        let xx = PauliString::parse("XX").unwrap();
+        let yy = PauliString::parse("YY").unwrap();
+        let prod = xx.mul(&yy);
+        assert_eq!(prod, PauliString { paulis: vec![Pauli::Z, Pauli::Z], sign: -1 });
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["XIZY", "-ZZ", "+IY"] {
+            let p = PauliString::parse(s).unwrap();
+            let shown = p.to_string();
+            let again = PauliString::parse(&shown).unwrap();
+            assert_eq!(p, again);
+        }
+        assert!(PauliString::parse("XQ").is_none());
+    }
+
+    #[test]
+    fn weight_counts_nonidentity() {
+        assert_eq!(PauliString::parse("IXIZ").unwrap().weight(), 2);
+        assert!(PauliString::identity(4).is_identity());
+    }
+
+    #[test]
+    fn single_embeds() {
+        let s = PauliString::single(3, 1, Pauli::Y);
+        assert_eq!(s.to_string(), "IYI");
+    }
+}

@@ -1,0 +1,141 @@
+//! OpenQASM 3 export.
+//!
+//! Emits circuits in a portable subset of OpenQASM 3 so compiled
+//! results can be inspected with external tooling or shipped to a real
+//! backend. Canonical gates are exported through their 3-CNOT
+//! decomposition; delays use `delay[…ns]`; feed-forward conditions use
+//! `if (c[k] == v)` blocks.
+
+use crate::canonical::can_to_cx;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use std::fmt::Write as _;
+
+/// Renders a circuit as OpenQASM 3 source.
+pub fn to_qasm3(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    out.push_str("include \"stdgates.inc\";\n");
+    let _ = writeln!(out, "qubit[{}] q;", circuit.num_qubits);
+    if circuit.num_clbits > 0 {
+        let _ = writeln!(out, "bit[{}] c;", circuit.num_clbits);
+    }
+    for instr in &circuit.instructions {
+        emit(&mut out, instr);
+    }
+    out
+}
+
+fn emit(out: &mut String, instr: &Instruction) {
+    if let Some(cond) = instr.condition {
+        let _ = writeln!(out, "if (c[{}] == {}) {{", cond.clbit, cond.value as u8);
+        let mut inner = Instruction { condition: None, ..instr.clone() };
+        inner.condition = None;
+        emit(out, &inner);
+        out.push_str("}\n");
+        return;
+    }
+    let q = |i: usize| format!("q[{}]", instr.qubits[i]);
+    let line = match instr.gate {
+        Gate::I => format!("id {};", q(0)),
+        Gate::X => format!("x {};", q(0)),
+        Gate::Y => format!("y {};", q(0)),
+        Gate::Z => format!("z {};", q(0)),
+        Gate::H => format!("h {};", q(0)),
+        Gate::S => format!("s {};", q(0)),
+        Gate::Sdg => format!("sdg {};", q(0)),
+        Gate::T => format!("t {};", q(0)),
+        Gate::Tdg => format!("tdg {};", q(0)),
+        Gate::Sx => format!("sx {};", q(0)),
+        Gate::Sxdg => format!("sxdg {};", q(0)),
+        Gate::Rx(t) => format!("rx({t}) {};", q(0)),
+        Gate::Ry(t) => format!("ry({t}) {};", q(0)),
+        Gate::Rz(t) => format!("rz({t}) {};", q(0)),
+        Gate::U { theta, phi, lam } => format!("U({theta}, {phi}, {lam}) {};", q(0)),
+        Gate::Cx => format!("cx {}, {};", q(0), q(1)),
+        Gate::Cz => format!("cz {}, {};", q(0), q(1)),
+        Gate::Ecr => format!("ecr {}, {};", q(0), q(1)),
+        Gate::Rzz(t) => format!("rzz({t}) {}, {};", q(0), q(1)),
+        Gate::Can { alpha, beta, gamma } => {
+            // Export via the exact 3-CNOT decomposition.
+            for sub in can_to_cx(alpha, beta, gamma, instr.qubits[0], instr.qubits[1]) {
+                emit(out, &sub);
+            }
+            return;
+        }
+        Gate::Measure => {
+            let c = instr.clbit.expect("measure needs a clbit");
+            format!("c[{c}] = measure {};", q(0))
+        }
+        Gate::Reset => format!("reset {};", q(0)),
+        Gate::Delay(ns) => format!("delay[{ns}ns] {};", q(0)),
+        Gate::Barrier => {
+            let qs: Vec<String> =
+                instr.qubits.iter().map(|&x| format!("q[{x}]")).collect();
+            format!("barrier {};", qs.join(", "))
+        }
+    };
+    out.push_str(&line);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_registers() {
+        let mut qc = Circuit::new(3, 2);
+        qc.h(0);
+        let s = to_qasm3(&qc);
+        assert!(s.starts_with("OPENQASM 3.0;"));
+        assert!(s.contains("qubit[3] q;"));
+        assert!(s.contains("bit[2] c;"));
+        assert!(s.contains("h q[0];"));
+    }
+
+    #[test]
+    fn no_bit_register_when_unused() {
+        let qc = Circuit::new(1, 0);
+        assert!(!to_qasm3(&qc).contains("\nbit["));
+    }
+
+    #[test]
+    fn two_qubit_gates_and_measure() {
+        let mut qc = Circuit::new(2, 1);
+        qc.ecr(0, 1).rzz(0.5, 0, 1).measure(1, 0);
+        let s = to_qasm3(&qc);
+        assert!(s.contains("ecr q[0], q[1];"));
+        assert!(s.contains("rzz(0.5) q[0], q[1];"));
+        assert!(s.contains("c[0] = measure q[1];"));
+    }
+
+    #[test]
+    fn canonical_gate_expands_to_cnots() {
+        let mut qc = Circuit::new(2, 0);
+        qc.can(0.1, 0.2, 0.3, 0, 1);
+        let s = to_qasm3(&qc);
+        assert_eq!(s.matches("cx ").count(), 3);
+        assert!(!s.contains("can"));
+    }
+
+    #[test]
+    fn conditional_wraps_in_if() {
+        let mut qc = Circuit::new(2, 1);
+        qc.measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        let s = to_qasm3(&qc);
+        assert!(s.contains("if (c[0] == 1) {"));
+        assert!(s.contains("x q[1];"));
+    }
+
+    #[test]
+    fn delay_and_barrier_syntax() {
+        let mut qc = Circuit::new(2, 0);
+        qc.delay(480.0, 0);
+        qc.barrier(vec![0, 1]);
+        let s = to_qasm3(&qc);
+        assert!(s.contains("delay[480ns] q[0];"));
+        assert!(s.contains("barrier q[0], q[1];"));
+    }
+}

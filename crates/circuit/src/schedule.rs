@@ -1,0 +1,427 @@
+//! ASAP scheduling of circuits onto a timeline with device durations.
+//!
+//! The scheduled form is the input to both compiler passes: CA-DD scans
+//! it for joint idle windows (explicit `Delay` instructions), and the
+//! simulator walks it segment by segment to accumulate context-aware
+//! crosstalk.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// Gate durations in nanoseconds.
+///
+/// Defaults mirror the fixed-frequency IBM devices of the paper:
+/// virtual `Rz` are free, 1q pulses ~40 ns, ECR ~480 ns (a multiple of
+/// 4 so the internal echo flip points land on exact segment
+/// boundaries), measurement 4 µs (Sec. V-D), feed-forward 1.15 µs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateDurations {
+    /// Physical single-qubit pulse duration (Sx, X, Rx, Ry, H, U...).
+    pub one_qubit: f64,
+    /// Two-qubit gate duration (Ecr, Cx, Cz, Rzz at full length).
+    pub two_qubit: f64,
+    /// Native canonical-gate duration (3 ECR + interleaved 1q pulses).
+    pub canonical: f64,
+    /// Measurement duration.
+    pub measure: f64,
+    /// Reset duration.
+    pub reset: f64,
+    /// Classical feed-forward latency added before conditional gates.
+    pub feedforward: f64,
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        Self {
+            one_qubit: 40.0,
+            two_qubit: 480.0,
+            canonical: 3.0 * 480.0 + 2.0 * 40.0,
+            measure: 4000.0,
+            reset: 800.0,
+            feedforward: 1150.0,
+        }
+    }
+}
+
+impl GateDurations {
+    /// Duration of a gate in nanoseconds.
+    ///
+    /// `Rzz(θ)` uses *pulse stretching* (Sec. IV-B): a native
+    /// stretched-CR implementation whose duration scales with the
+    /// rotation angle, far cheaper than a full two-CNOT construction —
+    /// this is how CA-EC keeps explicit compensations inexpensive.
+    pub fn duration_of(&self, gate: &Gate) -> f64 {
+        match gate {
+            Gate::Delay(ns) => *ns,
+            Gate::Barrier => 0.0,
+            Gate::Measure => self.measure,
+            Gate::Reset => self.reset,
+            g if g.is_virtual() => 0.0,
+            Gate::Can { .. } => self.canonical,
+            Gate::Rzz(t) => {
+                let w = t.abs().rem_euclid(2.0 * std::f64::consts::PI);
+                let w = w.min(2.0 * std::f64::consts::PI - w);
+                (self.two_qubit * w / std::f64::consts::PI).max(2.0 * self.one_qubit)
+            }
+            g if g.num_qubits() == 2 => self.two_qubit,
+            _ => self.one_qubit,
+        }
+    }
+
+    /// The fraction of the full two-qubit gate duration a gate uses —
+    /// the simulator scales depolarizing error by this for stretched
+    /// pulses.
+    pub fn two_qubit_error_scale(&self, gate: &Gate) -> f64 {
+        match gate {
+            Gate::Rzz(_) => (self.duration_of(gate) / self.two_qubit).min(1.0),
+            _ => 1.0,
+        }
+    }
+}
+
+/// An instruction placed on the timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledInstruction {
+    /// The instruction.
+    pub instruction: Instruction,
+    /// Start time in nanoseconds.
+    pub t0: f64,
+    /// Duration in nanoseconds.
+    pub duration: f64,
+}
+
+impl ScheduledInstruction {
+    /// End time.
+    pub fn t1(&self) -> f64 {
+        self.t0 + self.duration
+    }
+}
+
+/// A circuit scheduled onto a timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCircuit {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Number of classical bits.
+    pub num_clbits: usize,
+    /// Items ordered by start time (ties keep program order).
+    pub items: Vec<ScheduledInstruction>,
+    /// Total circuit duration.
+    pub duration: f64,
+    /// The durations used to build the schedule.
+    pub durations: GateDurations,
+}
+
+/// Schedules a circuit as-soon-as-possible.
+///
+/// Barriers synchronise their qubits. Conditional gates additionally
+/// wait for the measurement writing their classical bit plus the
+/// feed-forward latency.
+pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> ScheduledCircuit {
+    let mut qubit_free = vec![0.0f64; circuit.num_qubits];
+    let mut clbit_ready = vec![0.0f64; circuit.num_clbits.max(1)];
+    let mut items = Vec::with_capacity(circuit.len());
+    for instr in &circuit.instructions {
+        if instr.gate == Gate::Barrier {
+            let t = instr.qubits.iter().map(|&q| qubit_free[q]).fold(0.0, f64::max);
+            for &q in &instr.qubits {
+                qubit_free[q] = t;
+            }
+            items.push(ScheduledInstruction { instruction: instr.clone(), t0: t, duration: 0.0 });
+            continue;
+        }
+        let mut t0 = instr.qubits.iter().map(|&q| qubit_free[q]).fold(0.0, f64::max);
+        if let Some(cond) = instr.condition {
+            t0 = t0.max(clbit_ready[cond.clbit] + durations.feedforward);
+        }
+        let d = durations.duration_of(&instr.gate);
+        for &q in &instr.qubits {
+            qubit_free[q] = t0 + d;
+        }
+        if instr.gate == Gate::Measure {
+            if let Some(c) = instr.clbit {
+                clbit_ready[c] = t0 + d;
+            }
+        }
+        items.push(ScheduledInstruction { instruction: instr.clone(), t0, duration: d });
+    }
+    let duration = qubit_free.iter().copied().fold(0.0, f64::max);
+    let mut sc = ScheduledCircuit {
+        num_qubits: circuit.num_qubits,
+        num_clbits: circuit.num_clbits,
+        items,
+        duration,
+        durations,
+    };
+    sc.sort_items();
+    sc
+}
+
+/// Schedules a circuit as-late-as-possible: every instruction starts
+/// at the latest time consistent with its dependencies and the total
+/// (ASAP-equal) duration. ALAP packing moves idle periods to the
+/// *front* of each qubit's timeline, which often consolidates joint
+/// idle windows for DD.
+///
+/// Restricted to static circuits: feed-forward requires causal
+/// ordering against measurement times that the reverse pass does not
+/// model, so circuits with conditions fall back to ASAP.
+pub fn schedule_alap(circuit: &Circuit, durations: GateDurations) -> ScheduledCircuit {
+    if circuit.instructions.iter().any(|i| i.condition.is_some()) {
+        return schedule_asap(circuit, durations);
+    }
+    // Mirror trick: ASAP-schedule the reversed instruction list, then
+    // flip the time axis.
+    let mut reversed = Circuit::new(circuit.num_qubits, circuit.num_clbits);
+    for instr in circuit.instructions.iter().rev() {
+        reversed.push(instr.clone());
+    }
+    let rev = schedule_asap(&reversed, durations);
+    let total = rev.duration;
+    let mut items: Vec<ScheduledInstruction> = rev
+        .items
+        .into_iter()
+        .map(|si| {
+            let t0 = total - si.t0 - si.duration;
+            ScheduledInstruction { t0, ..si }
+        })
+        .collect();
+    items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+    ScheduledCircuit {
+        num_qubits: circuit.num_qubits,
+        num_clbits: circuit.num_clbits,
+        items,
+        duration: total,
+        durations,
+    }
+}
+
+impl ScheduledCircuit {
+    fn sort_items(&mut self) {
+        self.items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+    }
+
+    /// Items whose window overlaps `[t0, t1)` and act on `q`.
+    pub fn items_on_qubit_in(&self, q: usize, t0: f64, t1: f64) -> Vec<&ScheduledInstruction> {
+        self.items
+            .iter()
+            .filter(|si| {
+                si.instruction.acts_on(q)
+                    && si.instruction.gate != Gate::Barrier
+                    && si.t0 < t1
+                    && si.t1() > t0
+            })
+            .collect()
+    }
+
+    /// Per-qubit idle windows of strictly positive length, including
+    /// leading/trailing idles, ignoring `Delay` (delays count as idle).
+    pub fn idle_windows(&self, q: usize) -> Vec<(f64, f64)> {
+        let mut busy: Vec<(f64, f64)> = self
+            .items
+            .iter()
+            .filter(|si| {
+                si.instruction.acts_on(q)
+                    && !matches!(si.instruction.gate, Gate::Delay(_) | Gate::Barrier)
+                    && si.duration > 0.0
+            })
+            .map(|si| (si.t0, si.t1()))
+            .collect();
+        busy.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut windows = Vec::new();
+        let mut cursor = 0.0;
+        for (s, e) in busy {
+            if s > cursor + 1e-9 {
+                windows.push((cursor, s));
+            }
+            cursor = cursor.max(e);
+        }
+        if self.duration > cursor + 1e-9 {
+            windows.push((cursor, self.duration));
+        }
+        windows
+    }
+
+    /// Replaces implicit idle gaps with explicit `Delay` instructions
+    /// so downstream passes can see and rewrite them.
+    pub fn with_explicit_delays(&self) -> ScheduledCircuit {
+        let mut out = self.clone();
+        // Drop existing delay items to avoid double counting, then
+        // re-derive every gap.
+        out.items.retain(|si| !matches!(si.instruction.gate, Gate::Delay(_)));
+        let mut extra = Vec::new();
+        for q in 0..self.num_qubits {
+            for (s, e) in out.idle_windows(q) {
+                extra.push(ScheduledInstruction {
+                    instruction: Instruction::new(Gate::Delay(e - s), [q]),
+                    t0: s,
+                    duration: e - s,
+                });
+            }
+        }
+        out.items.extend(extra);
+        out.sort_items();
+        out
+    }
+
+    /// Drops timing and returns the plain circuit (delays preserved as
+    /// instructions, in start-time order).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut qc = Circuit::new(self.num_qubits, self.num_clbits);
+        for si in &self.items {
+            qc.push(si.instruction.clone());
+        }
+        qc
+    }
+
+    /// All event times (window boundaries) in sorted order, deduplicated.
+    pub fn event_times(&self) -> Vec<f64> {
+        let mut ts: Vec<f64> = Vec::with_capacity(2 * self.items.len() + 2);
+        ts.push(0.0);
+        ts.push(self.duration);
+        for si in &self.items {
+            ts.push(si.t0);
+            ts.push(si.t1());
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> GateDurations {
+        GateDurations::default()
+    }
+
+    #[test]
+    fn asap_packs_parallel_gates() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0).sx(1).ecr(0, 1);
+        let sc = schedule_asap(&qc, d());
+        assert_eq!(sc.items[0].t0, 0.0);
+        assert_eq!(sc.items[1].t0, 0.0);
+        assert_eq!(sc.items[2].t0, 40.0);
+        assert_eq!(sc.duration, 40.0 + 480.0);
+    }
+
+    #[test]
+    fn virtual_rz_takes_no_time() {
+        let mut qc = Circuit::new(1, 0);
+        qc.rz(1.0, 0).sx(0).rz(0.5, 0);
+        let sc = schedule_asap(&qc, d());
+        assert_eq!(sc.duration, 40.0);
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0);
+        qc.barrier(Vec::<usize>::new());
+        qc.sx(1);
+        let sc = schedule_asap(&qc, d());
+        let sx1 = sc.items.iter().find(|si| si.instruction.acts_on(1) && si.instruction.gate == Gate::Sx).unwrap();
+        assert_eq!(sx1.t0, 40.0);
+    }
+
+    #[test]
+    fn conditional_waits_for_measure_plus_feedforward() {
+        let mut qc = Circuit::new(2, 1);
+        qc.measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        let sc = schedule_asap(&qc, d());
+        let cond = sc.items.iter().find(|si| si.instruction.condition.is_some()).unwrap();
+        assert_eq!(cond.t0, 4000.0 + 1150.0);
+    }
+
+    #[test]
+    fn idle_windows_found() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0).sx(0); // qubit 0 busy [0,80)
+        qc.barrier(Vec::<usize>::new());
+        qc.sx(1); // qubit 1 busy [80,120)
+        let sc = schedule_asap(&qc, d());
+        let w1 = sc.idle_windows(1);
+        assert_eq!(w1, vec![(0.0, 80.0)]);
+        let w0 = sc.idle_windows(0);
+        assert_eq!(w0, vec![(80.0, 120.0)]);
+    }
+
+    #[test]
+    fn explicit_delays_fill_gaps() {
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        qc.sx(0).sx(0);
+        qc.barrier(Vec::<usize>::new());
+        qc.ecr(0, 1);
+        let sc = schedule_asap(&qc, d()).with_explicit_delays();
+        let delays: Vec<_> = sc
+            .items
+            .iter()
+            .filter(|si| matches!(si.instruction.gate, Gate::Delay(_)))
+            .collect();
+        assert_eq!(delays.len(), 1);
+        assert!(delays[0].instruction.acts_on(1));
+        assert_eq!(delays[0].t0, 480.0);
+        assert_eq!(delays[0].duration, 80.0);
+    }
+
+    #[test]
+    fn event_times_sorted_unique() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0).sx(1).ecr(0, 1);
+        let sc = schedule_asap(&qc, d());
+        let ts = sc.event_times();
+        assert_eq!(ts, vec![0.0, 40.0, 520.0]);
+    }
+
+    #[test]
+    fn items_on_qubit_in_window() {
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0).ecr(0, 1);
+        let sc = schedule_asap(&qc, d());
+        assert_eq!(sc.items_on_qubit_in(0, 0.0, 30.0).len(), 1);
+        assert_eq!(sc.items_on_qubit_in(1, 0.0, 30.0).len(), 0);
+        assert_eq!(sc.items_on_qubit_in(1, 100.0, 200.0).len(), 1);
+    }
+
+    #[test]
+    fn alap_pushes_gates_late() {
+        // sx on qubit 0 then a barrier-free ecr: ASAP puts sx at 0;
+        // ALAP pushes the early 1q gate to right before its consumer.
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0);
+        qc.sx(1).sx(1).sx(1); // qubit 1 busy 120 ns
+        qc.ecr(0, 1);
+        let asap = schedule_asap(&qc, d());
+        let alap = schedule_alap(&qc, d());
+        assert_eq!(asap.duration, alap.duration);
+        let sx0_asap = asap.items.iter().find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx).unwrap().t0;
+        let sx0_alap = alap.items.iter().find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx).unwrap().t0;
+        assert_eq!(sx0_asap, 0.0);
+        assert_eq!(sx0_alap, 80.0, "ALAP defers the sx to just before the ECR");
+    }
+
+    #[test]
+    fn alap_falls_back_for_dynamic_circuits() {
+        let mut qc = Circuit::new(2, 1);
+        qc.measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        let alap = schedule_alap(&qc, d());
+        let asap = schedule_asap(&qc, d());
+        assert_eq!(alap, asap);
+    }
+
+    #[test]
+    fn roundtrip_to_circuit_keeps_order() {
+        let mut qc = Circuit::new(2, 1);
+        qc.h(0).ecr(0, 1).measure(1, 0);
+        let sc = schedule_asap(&qc, d());
+        let back = sc.to_circuit();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.instructions[2].gate, Gate::Measure);
+    }
+}

@@ -1,0 +1,179 @@
+//! Context avoidance — the compiler direction the paper's conclusion
+//! sketches: *"One could therefore ask a compiler to not schedule
+//! circuits with these undesirable contexts."*
+//!
+//! Some correlated errors (case IV: crosstalk-adjacent qubits driven
+//! with *aligned* echo patterns, e.g. two ECR controls) can be
+//! neither decoupled (the qubits are busy) nor always absorbed. This
+//! pass removes the context instead: two-qubit layers are split so no
+//! pair of concurrent gates puts aligned-pattern qubits on a crosstalk
+//! edge. The price is circuit depth; the ablation bench quantifies the
+//! trade against CA-EC's compensation.
+
+use ca_circuit::{Gate, Instruction, Layer, LayerKind, LayeredCircuit};
+use ca_device::Device;
+
+/// Statistics from the avoidance pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AvoidReport {
+    /// Two-qubit layers examined.
+    pub layers_in: usize,
+    /// Two-qubit layers emitted (≥ `layers_in`).
+    pub layers_out: usize,
+    /// Gate pairs that conflicted and were separated.
+    pub conflicts: usize,
+}
+
+/// The echo-pattern role a qubit takes in a gate, for conflict checks.
+fn roles(instr: &Instruction) -> Vec<(usize, u8)> {
+    match instr.gate {
+        Gate::Ecr => vec![(instr.qubits[0], 1), (instr.qubits[1], 3)],
+        Gate::Can { .. } | Gate::Rzz(_) | Gate::Cx | Gate::Cz => {
+            instr.qubits.iter().map(|&q| (q, 1)).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// True when scheduling `a` and `b` concurrently creates an
+/// un-suppressible aligned-pattern crosstalk context.
+pub fn gates_conflict(device: &Device, a: &Instruction, b: &Instruction) -> bool {
+    for (qa, ra) in roles(a) {
+        for (qb, rb) in roles(b) {
+            if ra == rb && device.crosstalk.connected(qa, qb) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Splits every two-qubit layer so that no two concurrent gates
+/// conflict. Greedy first-fit: each gate goes into the earliest
+/// sub-layer where it fits.
+pub fn avoid_contexts(layered: &LayeredCircuit, device: &Device) -> (LayeredCircuit, AvoidReport) {
+    let mut out = LayeredCircuit {
+        num_qubits: layered.num_qubits,
+        num_clbits: layered.num_clbits,
+        layers: Vec::new(),
+    };
+    let mut report = AvoidReport::default();
+    for layer in &layered.layers {
+        if layer.kind != LayerKind::TwoQubit {
+            out.layers.push(layer.clone());
+            continue;
+        }
+        report.layers_in += 1;
+        let mut sublayers: Vec<Vec<Instruction>> = Vec::new();
+        for instr in &layer.instructions {
+            let mut placed = false;
+            for sub in &mut sublayers {
+                let conflict = sub.iter().any(|g| gates_conflict(device, g, instr));
+                if !conflict {
+                    sub.push(instr.clone());
+                    placed = true;
+                    break;
+                } else {
+                    report.conflicts += 1;
+                }
+            }
+            if !placed {
+                sublayers.push(vec![instr.clone()]);
+            }
+        }
+        report.layers_out += sublayers.len();
+        for sub in sublayers {
+            out.layers.push(Layer { kind: LayerKind::TwoQubit, instructions: sub });
+        }
+    }
+    (out, report)
+}
+
+/// Pass wrapper for pipelines.
+pub struct AvoidContextsPass;
+
+impl crate::pass::Pass for AvoidContextsPass {
+    fn name(&self) -> &'static str {
+        "avoid-contexts"
+    }
+    fn run(&self, ir: crate::pass::Ir, ctx: &mut crate::pass::Context<'_>) -> crate::pass::Ir {
+        let layered = ir.expect_layered();
+        let (out, _) = avoid_contexts(&layered, ctx.device);
+        crate::pass::Ir::Layered(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::{stratify, Circuit};
+    use ca_device::{uniform_device, Topology};
+
+    #[test]
+    fn adjacent_controls_are_separated() {
+        // ECR(1,0) ∥ ECR(2,3) on a line: controls 1,2 adjacent → split.
+        let device = uniform_device(Topology::line(4), 60.0);
+        let mut qc = Circuit::new(4, 0);
+        qc.ecr(1, 0).ecr(2, 3);
+        let (out, report) = avoid_contexts(&stratify(&qc), &device);
+        assert_eq!(report.layers_in, 1);
+        assert_eq!(report.layers_out, 2);
+        assert!(report.conflicts >= 1);
+        let two_q: Vec<_> =
+            out.layers.iter().filter(|l| l.kind == LayerKind::TwoQubit).collect();
+        assert_eq!(two_q.len(), 2);
+        assert_eq!(two_q[0].instructions.len(), 1);
+    }
+
+    #[test]
+    fn control_target_adjacency_is_allowed() {
+        // ECR(0,1) ∥ ECR(2,3): qubits 1 (target) and 2 (control) are
+        // adjacent, but their echo patterns are orthogonal → no split.
+        let device = uniform_device(Topology::line(4), 60.0);
+        let mut qc = Circuit::new(4, 0);
+        qc.ecr(0, 1).ecr(2, 3);
+        let (out, report) = avoid_contexts(&stratify(&qc), &device);
+        assert_eq!(report.layers_out, 1);
+        assert_eq!(report.conflicts, 0);
+        assert_eq!(
+            out.layers.iter().filter(|l| l.kind == LayerKind::TwoQubit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn canonical_gates_always_conflict_when_adjacent() {
+        // Two adjacent Can gates share the Seq1 pattern on all qubits.
+        let device = uniform_device(Topology::line(4), 60.0);
+        let mut qc = Circuit::new(4, 0);
+        qc.can(0.1, 0.1, 0.1, 0, 1).can(0.1, 0.1, 0.1, 2, 3);
+        let (_, report) = avoid_contexts(&stratify(&qc), &device);
+        assert_eq!(report.layers_out, 2);
+    }
+
+    #[test]
+    fn distant_gates_untouched() {
+        let device = uniform_device(Topology::line(6), 60.0);
+        let mut qc = Circuit::new(6, 0);
+        qc.ecr(1, 0).ecr(4, 5); // controls 1 and 4 far apart
+        let (_, report) = avoid_contexts(&stratify(&qc), &device);
+        assert_eq!(report.layers_out, 1);
+    }
+
+    #[test]
+    fn logical_order_preserved() {
+        let device = uniform_device(Topology::line(4), 60.0);
+        let mut qc = Circuit::new(4, 0);
+        qc.h(0).ecr(1, 0).ecr(2, 3).sx(2);
+        let layered = stratify(&qc);
+        let (out, _) = avoid_contexts(&layered, &device);
+        let gates = |l: &LayeredCircuit| {
+            l.to_circuit(false)
+                .instructions
+                .iter()
+                .filter(|i| i.gate != Gate::Barrier)
+                .count()
+        };
+        assert_eq!(gates(&layered), gates(&out));
+    }
+}

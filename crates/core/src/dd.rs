@@ -1,0 +1,253 @@
+//! Dynamical-decoupling insertion machinery and the context-unaware
+//! baseline passes (the paper's "DD", "aligned DD", and "staggered DD"
+//! comparators).
+//!
+//! All passes operate on a `ScheduledCircuit`: pulses are placed at
+//! exact times inside idle windows, never altering any other
+//! instruction's timing.
+
+use crate::walsh::{walsh_pulse_fractions, MAX_SEQUENCY};
+use ca_circuit::{Gate, Instruction, ScheduledCircuit, ScheduledInstruction};
+use ca_device::Device;
+
+/// Default minimum idle duration (ns) worth decoupling — windows
+/// shorter than this cannot fit two pulses with margins.
+pub const DEFAULT_DMIN_NS: f64 = 150.0;
+
+/// Computes pulse center times for the given fractional positions in
+/// window `[a, b]`, requiring that pulses of width `pulse_ns` fit
+/// without overlapping each other or the window edges. Returns `None`
+/// when they do not fit.
+pub fn pulse_centers(a: f64, b: f64, fractions: &[f64], pulse_ns: f64) -> Option<Vec<f64>> {
+    let d = b - a;
+    if d <= 0.0 {
+        return None;
+    }
+    let mut centers = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        let c = (a + f * d).clamp(a + pulse_ns / 2.0, b - pulse_ns / 2.0);
+        centers.push(c);
+    }
+    // Enforce spacing.
+    for w in centers.windows(2) {
+        if w[1] - w[0] < pulse_ns - 1e-9 {
+            return None;
+        }
+    }
+    if centers.is_empty() || centers[0] - a < pulse_ns / 2.0 - 1e-9 {
+        return if centers.is_empty() { Some(centers) } else { None };
+    }
+    Some(centers)
+}
+
+/// Inserts X pulses on `q` centered at the given times.
+pub fn insert_pulses(sc: &mut ScheduledCircuit, q: usize, centers: &[f64], pulse_ns: f64) {
+    for &c in centers {
+        sc.items.push(ScheduledInstruction {
+            instruction: Instruction::new(Gate::X, [q]),
+            t0: c - pulse_ns / 2.0,
+            duration: pulse_ns,
+        });
+    }
+    sc.items.sort_by(|x, y| x.t0.partial_cmp(&y.t0).unwrap());
+}
+
+/// Applies the sequency-`k` Walsh sequence to `q` over `[a, b]`.
+/// Returns true when the sequence fit and was inserted.
+pub fn apply_walsh_in_window(
+    sc: &mut ScheduledCircuit,
+    q: usize,
+    a: f64,
+    b: f64,
+    k: usize,
+    pulse_ns: f64,
+) -> bool {
+    let fractions = walsh_pulse_fractions(k);
+    match pulse_centers(a, b, &fractions, pulse_ns) {
+        Some(centers) if !centers.is_empty() => {
+            insert_pulses(sc, q, &centers, pulse_ns);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The highest sequency whose pulses fit in a window of length `d`.
+pub fn max_fitting_sequency(d: f64, pulse_ns: f64) -> usize {
+    let mut best = 0;
+    for k in 1..=MAX_SEQUENCY {
+        let need = (crate::walsh::pulse_count(k) as f64 + 0.5) * pulse_ns;
+        if need <= d {
+            best = k;
+        }
+    }
+    best
+}
+
+/// Context-unaware "DD" baseline (uniform insertion, as in large-scale
+/// prior work): every idle window of every qubit longer than `d_min`
+/// receives the *same* symmetric X2 sequence (pulses at 1/4 and 3/4 of
+/// the window). Jointly idle neighbours therefore end up aligned and
+/// their mutual ZZ survives — the failure mode of Fig. 3c.
+pub fn uniform_dd(sc: &ScheduledCircuit, device: &Device, d_min: f64) -> ScheduledCircuit {
+    let mut out = sc.clone();
+    let pulse = device.durations().one_qubit;
+    for q in 0..sc.num_qubits {
+        for (a, b) in sc.idle_windows(q) {
+            if b - a >= d_min {
+                apply_walsh_in_window(&mut out, q, a, b, 2, pulse);
+            }
+        }
+    }
+    out
+}
+
+/// Context-unaware *staggered* DD: a static 2-coloring of the
+/// crosstalk graph (bipartite BFS, parity fallback) assigns sequency 2
+/// to color 0 and sequency 1 to color 1. This fixes jointly idle
+/// pairs but ignores gate contexts: a spectator colored with the same
+/// pattern as a neighbouring ECR echo re-exposes their ZZ.
+pub fn staggered_dd(sc: &ScheduledCircuit, device: &Device, d_min: f64) -> ScheduledCircuit {
+    let colors = bipartite_coloring(device);
+    let mut out = sc.clone();
+    let pulse = device.durations().one_qubit;
+    for q in 0..sc.num_qubits {
+        let k = if colors[q] == 0 { 2 } else { 1 };
+        for (a, b) in sc.idle_windows(q) {
+            if b - a >= d_min {
+                apply_walsh_in_window(&mut out, q, a, b, k, pulse);
+            }
+        }
+    }
+    out
+}
+
+/// BFS 2-coloring of the crosstalk graph; odd cycles fall back to
+/// qubit-index parity for the offending nodes.
+pub fn bipartite_coloring(device: &Device) -> Vec<usize> {
+    let n = device.num_qubits();
+    let mut color = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != usize::MAX {
+            continue;
+        }
+        color[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(q) = queue.pop_front() {
+            for p in device.crosstalk.neighbors(q) {
+                if color[p] == usize::MAX {
+                    color[p] = 1 - color[q];
+                    queue.push_back(p);
+                } else if color[p] == color[q] {
+                    // Odd cycle: fall back to parity for this node.
+                    color[p] = p % 2;
+                }
+            }
+        }
+    }
+    color
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    fn sched(qc: &Circuit) -> ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    #[test]
+    fn pulse_centers_fit_and_clamp() {
+        let c = pulse_centers(0.0, 1000.0, &[0.5, 1.0], 40.0).unwrap();
+        assert_eq!(c, vec![500.0, 980.0]);
+        // Too short for two pulses.
+        assert!(pulse_centers(0.0, 50.0, &[0.5, 1.0], 40.0).is_none());
+    }
+
+    #[test]
+    fn uniform_dd_inserts_aligned_pulses() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.delay(1000.0, 0).delay(1000.0, 1);
+        let out = uniform_dd(&sched(&qc), &dev, DEFAULT_DMIN_NS);
+        let xs: Vec<&ScheduledInstruction> = out
+            .items
+            .iter()
+            .filter(|si| si.instruction.gate == Gate::X)
+            .collect();
+        assert_eq!(xs.len(), 4, "two pulses per qubit");
+        // Aligned: same times on both qubits.
+        let t0: Vec<f64> = xs.iter().filter(|si| si.instruction.acts_on(0)).map(|si| si.t0).collect();
+        let t1: Vec<f64> = xs.iter().filter(|si| si.instruction.acts_on(1)).map(|si| si.t0).collect();
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn staggered_dd_differs_between_neighbors() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.delay(1000.0, 0).delay(1000.0, 1);
+        let out = staggered_dd(&sched(&qc), &dev, DEFAULT_DMIN_NS);
+        let t0: Vec<f64> = out
+            .items
+            .iter()
+            .filter(|si| si.instruction.gate == Gate::X && si.instruction.acts_on(0))
+            .map(|si| si.t0)
+            .collect();
+        let t1: Vec<f64> = out
+            .items
+            .iter()
+            .filter(|si| si.instruction.gate == Gate::X && si.instruction.acts_on(1))
+            .map(|si| si.t0)
+            .collect();
+        assert_ne!(t0, t1, "staggered pulses must not align");
+    }
+
+    #[test]
+    fn short_windows_left_alone() {
+        let dev = uniform_device(Topology::line(1), 0.0);
+        let mut qc = Circuit::new(1, 0);
+        qc.delay(100.0, 0);
+        let out = uniform_dd(&sched(&qc), &dev, DEFAULT_DMIN_NS);
+        assert_eq!(out.items.iter().filter(|si| si.instruction.gate == Gate::X).count(), 0);
+    }
+
+    #[test]
+    fn bipartite_coloring_proper_on_even_ring() {
+        let dev = uniform_device(Topology::ring(12), 50.0);
+        let colors = bipartite_coloring(&dev);
+        for e in &dev.crosstalk.edges {
+            assert_ne!(colors[e.a], colors[e.b]);
+        }
+    }
+
+    #[test]
+    fn max_fitting_sequency_grows_with_window() {
+        assert_eq!(max_fitting_sequency(50.0, 40.0), 0);
+        assert!(max_fitting_sequency(500.0, 40.0) >= 3);
+        assert!(max_fitting_sequency(10_000.0, 40.0) >= MAX_SEQUENCY - 1);
+    }
+
+    #[test]
+    fn insertion_preserves_other_items() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.sx(0);
+        qc.barrier(Vec::<usize>::new());
+        qc.ecr(0, 1);
+        qc.barrier(Vec::<usize>::new());
+        qc.delay(1000.0, 0).delay(1000.0, 1);
+        let base = sched(&qc);
+        let out = uniform_dd(&base, &dev, DEFAULT_DMIN_NS);
+        for si in &base.items {
+            assert!(
+                out.items.iter().any(|o| o.instruction == si.instruction && o.t0 == si.t0),
+                "original item moved: {:?}",
+                si.instruction.gate
+            );
+        }
+        assert_eq!(out.duration, base.duration);
+    }
+}

@@ -1,0 +1,153 @@
+//! The compiler pass framework.
+//!
+//! Passes transform a circuit through two intermediate
+//! representations: the *layered* form (stratified alternating 1q/2q
+//! layers, Fig. 2) used by twirling and CA-EC, and the *scheduled*
+//! form (timeline with explicit timing) used by the DD passes. The
+//! [`PassManager`] runs a pipeline, converting between forms on
+//! demand via ASAP scheduling with the device's durations.
+
+use ca_circuit::{schedule_asap, stratify, Circuit, LayeredCircuit, ScheduledCircuit};
+use ca_device::Device;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Compilation state threaded through passes.
+pub struct Context<'d> {
+    /// The target device.
+    pub device: &'d Device,
+    /// Seeded randomness (twirl sampling).
+    pub rng: StdRng,
+    /// Post-processing mask for readout twirling (XOR into outcomes).
+    pub readout_mask: u64,
+}
+
+impl<'d> Context<'d> {
+    /// Creates a context with a seeded RNG.
+    pub fn new(device: &'d Device, seed: u64) -> Self {
+        Self { device, rng: StdRng::seed_from_u64(seed), readout_mask: 0 }
+    }
+}
+
+/// The intermediate representation a pass consumes/produces.
+#[derive(Clone, Debug)]
+pub enum Ir {
+    /// Stratified layers (pre-scheduling).
+    Layered(LayeredCircuit),
+    /// Timed instructions (post-scheduling).
+    Scheduled(ScheduledCircuit),
+}
+
+impl Ir {
+    /// Coerces to the layered form (panics after scheduling — DD
+    /// passes must come last).
+    pub fn expect_layered(self) -> LayeredCircuit {
+        match self {
+            Ir::Layered(l) => l,
+            Ir::Scheduled(_) => panic!("pass requires the layered form; schedule later"),
+        }
+    }
+
+    /// Coerces to the scheduled form, scheduling on demand with
+    /// barriers between layers so layer alignment is preserved.
+    pub fn into_scheduled(self, device: &Device) -> ScheduledCircuit {
+        match self {
+            Ir::Scheduled(s) => s,
+            Ir::Layered(l) => {
+                let flat = l.to_circuit(true);
+                schedule_asap(&flat, device.durations())
+            }
+        }
+    }
+}
+
+/// A compiler pass.
+pub trait Pass {
+    /// Short name for logs and reports.
+    fn name(&self) -> &'static str;
+    /// Transforms the IR.
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir;
+}
+
+/// Runs passes in order, starting from the stratified form of the
+/// input circuit and ending in the scheduled form.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Compiles a circuit: stratify → passes → schedule.
+    pub fn compile(&self, circuit: &Circuit, ctx: &mut Context<'_>) -> ScheduledCircuit {
+        let mut ir = Ir::Layered(stratify(circuit));
+        for pass in &self.passes {
+            ir = pass.run(ir, ctx);
+        }
+        ir.into_scheduled(ctx.device)
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_device::{uniform_device, Topology};
+
+    struct NoopPass;
+    impl Pass for NoopPass {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn run(&self, ir: Ir, _ctx: &mut Context<'_>) -> Ir {
+            ir
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_schedules() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).ecr(0, 1);
+        let mut ctx = Context::new(&dev, 1);
+        let pm = PassManager::new();
+        let sc = pm.compile(&qc, &mut ctx);
+        assert!(sc.duration > 0.0);
+        assert_eq!(sc.num_qubits, 2);
+    }
+
+    #[test]
+    fn pass_names_in_order() {
+        let mut pm = PassManager::new();
+        pm.push(NoopPass).push(NoopPass);
+        assert_eq!(pm.pass_names(), vec!["noop", "noop"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layered form")]
+    fn layered_after_scheduled_panics() {
+        let dev = uniform_device(Topology::line(1), 0.0);
+        let qc = Circuit::new(1, 0);
+        let sc = schedule_asap(&qc, dev.durations());
+        let _ = Ir::Scheduled(sc).expect_layered();
+    }
+}

@@ -1,0 +1,255 @@
+//! Prebuilt compilation strategies — the suppression methods compared
+//! throughout the paper's evaluation.
+
+use crate::cadd::{ca_dd, CaDdConfig};
+use crate::caec::{ca_ec, CaEcConfig};
+use crate::dd::{staggered_dd, uniform_dd, DEFAULT_DMIN_NS};
+use crate::pass::{Context, Ir, Pass, PassManager};
+use crate::twirl::pauli_twirl;
+use ca_circuit::{Circuit, ScheduledCircuit};
+use ca_device::Device;
+
+/// The error-suppression strategy to compile with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// No suppression (optionally twirled).
+    Bare,
+    /// Context-unaware uniform DD: same X2 sequence in every idle
+    /// window (the paper's "DD" baseline).
+    UniformDd,
+    /// Context-unaware staggered DD: static bipartite 2-coloring.
+    StaggeredDd,
+    /// Context-aware dynamical decoupling (Algorithm 1).
+    CaDd,
+    /// Context-aware error compensation (Algorithm 2).
+    CaEc,
+    /// Combined: CA-EC restricted to errors DD cannot suppress, then
+    /// CA-DD (Sec. V-E).
+    CaEcPlusDd,
+}
+
+impl Strategy {
+    /// All strategies, in comparison order.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Bare,
+        Strategy::UniformDd,
+        Strategy::StaggeredDd,
+        Strategy::CaDd,
+        Strategy::CaEc,
+        Strategy::CaEcPlusDd,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Bare => "bare",
+            Strategy::UniformDd => "DD",
+            Strategy::StaggeredDd => "staggered DD",
+            Strategy::CaDd => "CA-DD",
+            Strategy::CaEc => "CA-EC",
+            Strategy::CaEcPlusDd => "CA-EC+DD",
+        }
+    }
+}
+
+/// Compilation options.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// The suppression strategy.
+    pub strategy: Strategy,
+    /// Whether to Pauli-twirl two-qubit layers.
+    pub twirl: bool,
+    /// Seed for twirl sampling.
+    pub seed: u64,
+    /// Minimum idle duration (ns) considered for DD.
+    pub d_min: f64,
+}
+
+impl CompileOptions {
+    /// Options for a strategy with twirling enabled.
+    pub fn new(strategy: Strategy, seed: u64) -> Self {
+        Self { strategy, twirl: true, seed, d_min: DEFAULT_DMIN_NS }
+    }
+
+    /// Options without twirling (characterization experiments).
+    pub fn untwirled(strategy: Strategy, seed: u64) -> Self {
+        Self { twirl: false, ..Self::new(strategy, seed) }
+    }
+}
+
+/// Pauli-twirl pass (layered form).
+pub struct TwirlPass;
+impl Pass for TwirlPass {
+    fn name(&self) -> &'static str {
+        "pauli-twirl"
+    }
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+        let layered = ir.expect_layered();
+        let (twirled, _) = pauli_twirl(&layered, &mut ctx.rng);
+        Ir::Layered(twirled)
+    }
+}
+
+/// CA-EC pass (layered form).
+pub struct CaEcPass {
+    /// Pass configuration.
+    pub config: CaEcConfig,
+}
+impl Pass for CaEcPass {
+    fn name(&self) -> &'static str {
+        "ca-ec"
+    }
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+        let layered = ir.expect_layered();
+        let (out, _) = ca_ec(&layered, ctx.device, self.config);
+        Ir::Layered(out)
+    }
+}
+
+/// Uniform-DD pass (scheduled form).
+pub struct UniformDdPass {
+    /// Minimum idle duration (ns).
+    pub d_min: f64,
+}
+impl Pass for UniformDdPass {
+    fn name(&self) -> &'static str {
+        "uniform-dd"
+    }
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+        let sc = ir.into_scheduled(ctx.device);
+        Ir::Scheduled(uniform_dd(&sc, ctx.device, self.d_min))
+    }
+}
+
+/// Staggered-DD pass (scheduled form).
+pub struct StaggeredDdPass {
+    /// Minimum idle duration (ns).
+    pub d_min: f64,
+}
+impl Pass for StaggeredDdPass {
+    fn name(&self) -> &'static str {
+        "staggered-dd"
+    }
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+        let sc = ir.into_scheduled(ctx.device);
+        Ir::Scheduled(staggered_dd(&sc, ctx.device, self.d_min))
+    }
+}
+
+/// CA-DD pass (scheduled form) — Algorithm 1.
+pub struct CaDdPass {
+    /// Pass configuration.
+    pub config: CaDdConfig,
+}
+impl Pass for CaDdPass {
+    fn name(&self) -> &'static str {
+        "ca-dd"
+    }
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+        let sc = ir.into_scheduled(ctx.device);
+        Ir::Scheduled(ca_dd(&sc, ctx.device, self.config))
+    }
+}
+
+/// Builds the pass pipeline for a strategy.
+pub fn pipeline(options: &CompileOptions) -> PassManager {
+    let mut pm = PassManager::new();
+    if options.twirl {
+        pm.push(TwirlPass);
+    }
+    match options.strategy {
+        Strategy::Bare => {}
+        Strategy::UniformDd => {
+            pm.push(UniformDdPass { d_min: options.d_min });
+        }
+        Strategy::StaggeredDd => {
+            pm.push(StaggeredDdPass { d_min: options.d_min });
+        }
+        Strategy::CaDd => {
+            pm.push(CaDdPass { config: CaDdConfig { d_min: options.d_min } });
+        }
+        Strategy::CaEc => {
+            pm.push(CaEcPass { config: CaEcConfig::default() });
+        }
+        Strategy::CaEcPlusDd => {
+            pm.push(CaEcPass { config: CaEcConfig { only_undecoupled: true, ..CaEcConfig::default() } });
+            pm.push(CaDdPass { config: CaDdConfig { d_min: options.d_min } });
+        }
+    }
+    pm
+}
+
+/// One-call compilation: stratify, twirl, suppress, schedule.
+pub fn compile(circuit: &Circuit, device: &Device, options: &CompileOptions) -> ScheduledCircuit {
+    let mut ctx = Context::new(device, options.seed);
+    pipeline(options).compile(circuit, &mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::Gate;
+    use ca_device::{uniform_device, Topology};
+
+    fn case_i_circuit() -> Circuit {
+        // Two active qubits + two jointly idle neighbours.
+        let mut qc = Circuit::new(4, 0);
+        qc.h(2).h(3);
+        qc.ecr(0, 1);
+        qc.ecr(0, 1);
+        qc
+    }
+
+    #[test]
+    fn every_strategy_compiles() {
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let qc = case_i_circuit();
+        for s in Strategy::ALL {
+            let sc = compile(&qc, &dev, &CompileOptions::new(s, 3));
+            assert!(sc.duration > 0.0, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn cadd_adds_pulses_bare_does_not() {
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let qc = case_i_circuit();
+        let count_x = |sc: &ScheduledCircuit| {
+            sc.items.iter().filter(|si| si.instruction.gate == Gate::X).count()
+        };
+        let bare = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::Bare, 3));
+        let cadd = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaDd, 3));
+        assert_eq!(count_x(&bare), 0);
+        assert!(count_x(&cadd) > 0);
+    }
+
+    #[test]
+    fn caec_adds_compensation_gates() {
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let qc = case_i_circuit();
+        let caec = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaEc, 3));
+        let has_comp = caec.items.iter().any(|si| {
+            matches!(si.instruction.gate, Gate::Rz(_) | Gate::Rzz(_))
+        });
+        assert!(has_comp);
+    }
+
+    #[test]
+    fn twirl_changes_with_seed_strategy_pipeline() {
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let qc = case_i_circuit();
+        let a = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 1));
+        let b = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 2));
+        assert_ne!(
+            a.items.iter().map(|si| si.instruction.gate.name()).collect::<Vec<_>>(),
+            b.items.iter().map(|si| si.instruction.gate.name()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pipeline_names_match_strategy() {
+        let opts = CompileOptions::new(Strategy::CaEcPlusDd, 0);
+        let names = pipeline(&opts).pass_names();
+        assert_eq!(names, vec!["pauli-twirl", "ca-ec", "ca-dd"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pauli twirling of two-qubit Clifford layers (Sec. III-A, Fig. 2).
+//!
+//! Random Pauli pairs are inserted before each two-qubit Clifford gate
+//! and their conjugated partners after it, leaving the logical circuit
+//! unchanged while tailoring the gate's error channel into a Pauli
+//! channel. Twirl Paulis are kept as explicit `OneQubit` layers so the
+//! CA-EC pass can commute compensations through them with the correct
+//! signs (Algorithm 2's commute/anti-commute bookkeeping); hardware
+//! would merge them with neighbouring 1q gates at zero cost.
+
+use ca_circuit::clifford::twirl_partner;
+use ca_circuit::pauli::Pauli;
+use ca_circuit::{Instruction, Layer, LayerKind, LayeredCircuit};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Which layers a twirl was applied to, with the sampled Paulis —
+/// returned for reproducibility and analysis.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TwirlRecord {
+    /// `(layer_index_in_output, qubit, pauli)` for every inserted gate.
+    pub inserted: Vec<(usize, usize, Pauli)>,
+}
+
+/// Twirls every `TwoQubit` layer of a stratified circuit: inserts a
+/// fresh random Pauli layer before and its conjugated partner after.
+/// Identity Paulis are kept as explicit `I` gates so twirl layers have
+/// uniform duration (as on hardware, where they merge into the 1q
+/// layers).
+pub fn pauli_twirl(
+    layered: &LayeredCircuit,
+    rng: &mut StdRng,
+) -> (LayeredCircuit, TwirlRecord) {
+    let mut out = LayeredCircuit {
+        num_qubits: layered.num_qubits,
+        num_clbits: layered.num_clbits,
+        layers: Vec::new(),
+    };
+    let mut record = TwirlRecord::default();
+    for layer in &layered.layers {
+        if layer.kind != LayerKind::TwoQubit {
+            out.layers.push(layer.clone());
+            continue;
+        }
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        for instr in &layer.instructions {
+            // Clifford gates admit the full 16-element Pauli twirl.
+            // Canonical/Rzz interaction gates commute with P⊗P, so they
+            // admit the 4-element diagonal twirl {II, XX, YY, ZZ}.
+            let (pb, pa) = if instr.gate.is_clifford() {
+                let pb = (
+                    Pauli::from_index(rng.random_range(0..4usize)),
+                    Pauli::from_index(rng.random_range(0..4usize)),
+                );
+                (pb, twirl_partner(instr.gate, pb))
+            } else if matches!(instr.gate, ca_circuit::Gate::Can { .. } | ca_circuit::Gate::Rzz(_)) {
+                let p = Pauli::from_index(rng.random_range(0..4usize));
+                ((p, p), (p, p))
+            } else {
+                panic!("cannot twirl {}", instr.gate.name());
+            };
+            let (a, b) = (instr.qubits[0], instr.qubits[1]);
+            before.push(Instruction::new(pb.0.gate(), [a]));
+            before.push(Instruction::new(pb.1.gate(), [b]));
+            after.push(Instruction::new(pa.0.gate(), [a]));
+            after.push(Instruction::new(pa.1.gate(), [b]));
+            let li = out.layers.len();
+            record.inserted.push((li, a, pb.0));
+            record.inserted.push((li, b, pb.1));
+            record.inserted.push((li + 2, a, pa.0));
+            record.inserted.push((li + 2, b, pa.1));
+        }
+        out.layers.push(Layer { kind: LayerKind::OneQubit, instructions: before });
+        out.layers.push(layer.clone());
+        out.layers.push(Layer { kind: LayerKind::OneQubit, instructions: after });
+    }
+    (out, record)
+}
+
+/// Readout twirling (Sec. V-C): flips each measured qubit with a
+/// random X right before measurement and records which classical bits
+/// must be flipped back in post-processing. Returns the mask of bits
+/// to XOR into every outcome.
+pub fn readout_twirl(layered: &mut LayeredCircuit, rng: &mut StdRng) -> u64 {
+    let mut mask = 0u64;
+    let mut flips = Vec::new();
+    for layer in &layered.layers {
+        if layer.kind != LayerKind::Measurement {
+            continue;
+        }
+        for instr in &layer.instructions {
+            if instr.gate == ca_circuit::Gate::Measure && rng.random::<bool>() {
+                flips.push(instr.qubits[0]);
+                if let Some(c) = instr.clbit {
+                    mask |= 1 << c;
+                }
+            }
+        }
+    }
+    if flips.is_empty() {
+        return 0;
+    }
+    // Insert the X layer right before the first measurement layer.
+    let pos = layered
+        .layers
+        .iter()
+        .position(|l| l.kind == LayerKind::Measurement)
+        .expect("measurement layer exists");
+    let xs = flips
+        .into_iter()
+        .map(|q| Instruction::new(ca_circuit::Gate::X, [q]))
+        .collect();
+    layered.layers.insert(pos, Layer { kind: LayerKind::OneQubit, instructions: xs });
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::canonical::fragment_unitary;
+    use ca_circuit::{stratify, Circuit};
+    use rand::SeedableRng;
+
+    #[test]
+    fn twirl_preserves_logical_unitary() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).ecr(0, 1).sx(1);
+        let layered = stratify(&qc);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (twirled, _) = pauli_twirl(&layered, &mut rng);
+            let base = fragment_unitary(&layered.to_circuit(false).instructions, 0, 1);
+            let tw = fragment_unitary(&twirled.to_circuit(false).instructions, 0, 1);
+            assert!(
+                tw.approx_eq_up_to_phase(&base, 1e-9),
+                "twirl changed the logical unitary (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn twirl_adds_layers_around_two_qubit() {
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        let layered = stratify(&qc);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (twirled, record) = pauli_twirl(&layered, &mut rng);
+        assert_eq!(twirled.layers.len(), 3);
+        assert_eq!(twirled.layers[0].kind, LayerKind::OneQubit);
+        assert_eq!(twirled.layers[1].kind, LayerKind::TwoQubit);
+        assert_eq!(twirled.layers[2].kind, LayerKind::OneQubit);
+        assert_eq!(record.inserted.len(), 4);
+    }
+
+    #[test]
+    fn twirl_is_random_across_seeds() {
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        let layered = stratify(&qc);
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (t, _) = pauli_twirl(&layered, &mut rng);
+            let names: Vec<String> = t.layers[0]
+                .instructions
+                .iter()
+                .map(|i| i.gate.name().to_string())
+                .collect();
+            distinct.insert(names.join(","));
+        }
+        assert!(distinct.len() > 3, "16 seeds should produce several distinct twirls");
+    }
+
+    #[test]
+    fn readout_twirl_mask_matches_flips() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).measure(0, 0).measure(1, 1);
+        let mut found_nonzero = false;
+        for seed in 0..10 {
+            let mut layered = stratify(&qc);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = readout_twirl(&mut layered, &mut rng);
+            if mask != 0 {
+                found_nonzero = true;
+                // An X layer must have been inserted before measurement.
+                let meas_pos = layered
+                    .layers
+                    .iter()
+                    .position(|l| l.kind == LayerKind::Measurement)
+                    .unwrap();
+                assert!(meas_pos > 0);
+                let prev = &layered.layers[meas_pos - 1];
+                assert!(prev.instructions.iter().all(|i| i.gate == ca_circuit::Gate::X));
+            }
+        }
+        assert!(found_nonzero);
+    }
+}

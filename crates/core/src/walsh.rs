@@ -1,0 +1,160 @@
+//! The Walsh–Hadamard dynamical-decoupling sequence dictionary
+//! (Sec. III-C and Fig. 5b of the paper).
+//!
+//! Sequences are indexed by *sequency* (number of sign flips over the
+//! window). Key properties, each tested below:
+//!
+//! * every sequence `k ≥ 1` has zero mean → suppresses single-qubit Z;
+//! * any two distinct sequences have zero-mean product → suppresses ZZ
+//!   between any pair of differently-colored qubits;
+//! * lower sequency ⇒ fewer pulses, so the compiler's greedy coloring
+//!   naturally minimises pulse count by preferring low colors.
+//!
+//! Sequency 1 (`τ/2−X−τ/2−X`) matches the paper's target-spectator
+//! sequence and the ECR control echo pattern; sequency 2
+//! (`τ/4−X−τ/2−X−τ/4`) matches the control-spectator sequence; the
+//! ECR target rotary corresponds to sequency 3.
+
+/// Resolution of the dictionary: sign vectors over `2^M` sub-intervals
+/// (supports sequencies 1 … 2^M − 1 = 15).
+const M: usize = 4;
+
+/// Number of distinct sequences available (sequency 1..=15).
+pub const MAX_SEQUENCY: usize = (1 << M) - 1;
+
+fn paley_signs(p: usize) -> Vec<i8> {
+    // Paley function: sign(i) = (−1)^{popcount(p & bitrev-ish index)}.
+    // Using natural bit order of the interval index against p.
+    let len = 1 << M;
+    (0..len)
+        .map(|i| {
+            // Interval index bits, MSB = coarsest Rademacher.
+            let mut parity = 0u32;
+            for b in 0..M {
+                if p & (1 << b) != 0 {
+                    // Rademacher r_{b+1} flips 2^{b+1} times: sign from
+                    // bit (M-1-b) of i.
+                    parity ^= ((i >> (M - 1 - b)) & 1) as u32;
+                }
+            }
+            if parity == 0 {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+fn flips(signs: &[i8]) -> usize {
+    signs.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// The sign vector (over `2^M` equal sub-intervals) of the
+/// sequency-`k` Walsh function, `1 ≤ k ≤ MAX_SEQUENCY`.
+pub fn walsh_signs(k: usize) -> Vec<i8> {
+    assert!((1..=MAX_SEQUENCY).contains(&k), "sequency {k} out of range");
+    // Order all Paley functions by their flip count; flip counts are a
+    // permutation of 0..2^M−1, so sequency k picks the unique function
+    // with k flips.
+    for p in 1..(1 << M) {
+        let s = paley_signs(p);
+        if flips(&s) == k {
+            return s;
+        }
+    }
+    unreachable!("sequency {k} must exist");
+}
+
+/// Fractional pulse positions for the sequency-`k` sequence: one π
+/// pulse per sign flip, plus a closing pulse at 1.0 when the flip
+/// count is odd so the frame is restored by the window's end.
+pub fn walsh_pulse_fractions(k: usize) -> Vec<f64> {
+    let signs = walsh_signs(k);
+    let len = signs.len() as f64;
+    let mut out: Vec<f64> = signs
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[0] != w[1])
+        .map(|(i, _)| (i as f64 + 1.0) / len)
+        .collect();
+    if out.len() % 2 == 1 {
+        out.push(1.0);
+    }
+    out
+}
+
+/// Number of pulses used by sequency `k`.
+pub fn pulse_count(k: usize) -> usize {
+    walsh_pulse_fractions(k).len()
+}
+
+/// Mean of a sign vector (exactly 0 for every k ≥ 1).
+pub fn mean(signs: &[i8]) -> f64 {
+    signs.iter().map(|&s| s as f64).sum::<f64>() / signs.len() as f64
+}
+
+/// Mean of the elementwise product of two sign vectors (exactly 0 for
+/// distinct sequencies — the ZZ-suppression condition).
+pub fn product_mean(a: &[i8], b: &[i8]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x * y) as f64).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequency_counts_flips() {
+        for k in 1..=MAX_SEQUENCY {
+            assert_eq!(flips(&walsh_signs(k)), k, "sequency {k}");
+        }
+    }
+
+    #[test]
+    fn zero_mean_suppresses_z() {
+        for k in 1..=MAX_SEQUENCY {
+            assert_eq!(mean(&walsh_signs(k)), 0.0, "sequency {k} must have zero mean");
+        }
+    }
+
+    #[test]
+    fn pairwise_orthogonality_suppresses_zz() {
+        for a in 1..=MAX_SEQUENCY {
+            for b in 1..=MAX_SEQUENCY {
+                let pm = product_mean(&walsh_signs(a), &walsh_signs(b));
+                if a == b {
+                    assert_eq!(pm, 1.0);
+                } else {
+                    assert_eq!(pm, 0.0, "sequencies {a},{b} must be orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sequences_match() {
+        // Sequency 1: flip at 1/2, closing pulse at 1 → τ/2−X−τ/2−X.
+        assert_eq!(walsh_pulse_fractions(1), vec![0.5, 1.0]);
+        // Sequency 2: flips at 1/4 and 3/4 → τ/4−X−τ/2−X−τ/4.
+        assert_eq!(walsh_pulse_fractions(2), vec![0.25, 0.75]);
+        // Sequency 3: flips at 1/4, 1/2, 3/4 plus closing pulse.
+        assert_eq!(walsh_pulse_fractions(3), vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn pulse_counts_monotone_enough() {
+        // Lower colors should not use more pulses than roughly their
+        // sequency; exact counts: flips rounded up to even.
+        for k in 1..=MAX_SEQUENCY {
+            assert_eq!(pulse_count(k), k + (k % 2));
+        }
+    }
+
+    #[test]
+    fn frame_restored() {
+        for k in 1..=MAX_SEQUENCY {
+            assert_eq!(walsh_pulse_fractions(k).len() % 2, 0, "even pulse count restores frame");
+        }
+    }
+}

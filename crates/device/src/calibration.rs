@@ -1,0 +1,219 @@
+//! Device calibration data.
+//!
+//! Mirrors the "reported backend information" the paper's CA-EC pass
+//! consumes without extra calibration (Sec. II-D): per-edge always-on
+//! ZZ rates, per-qubit coherence and readout numbers, spectator Stark
+//! shifts, charge-parity strengths, and next-nearest-neighbour
+//! collision terms.
+//!
+//! Units: times in nanoseconds or microseconds as named; rates in kHz.
+
+use ca_circuit::GateDurations;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serde adapter: (de)serialises `BTreeMap<(usize, usize), V>` as a
+/// list of `(a, b, value)` entries, since JSON map keys must be
+/// strings.
+pub mod pair_map {
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    /// Serialises the map as an entry list.
+    pub fn serialize<S, V>(map: &BTreeMap<(usize, usize), V>, ser: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+        V: Serialize + Clone,
+    {
+        let entries: Vec<(usize, usize, V)> =
+            map.iter().map(|(&(a, b), v)| (a, b, v.clone())).collect();
+        entries.serialize(ser)
+    }
+
+    /// Rebuilds the map from an entry list.
+    pub fn deserialize<'de, D, V>(de: D) -> Result<BTreeMap<(usize, usize), V>, D::Error>
+    where
+        D: Deserializer<'de>,
+        V: Deserialize<'de>,
+    {
+        let entries: Vec<(usize, usize, V)> = Vec::deserialize(de)?;
+        Ok(entries.into_iter().map(|(a, b, v)| ((a, b), v)).collect())
+    }
+}
+
+/// Converts a rate ν (kHz) acting for τ (ns) into an accumulated phase
+/// angle in radians: `θ = 2π·ν·τ`.
+pub fn phase_rad(nu_khz: f64, tau_ns: f64) -> f64 {
+    2.0 * std::f64::consts::PI * nu_khz * 1e3 * tau_ns * 1e-9
+}
+
+/// Per-qubit calibration record.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QubitCal {
+    /// Energy-relaxation time T1 (µs).
+    pub t1_us: f64,
+    /// Dephasing time T2 (µs).
+    pub t2_us: f64,
+    /// Readout assignment error probability.
+    pub readout_err: f64,
+    /// Depolarizing error probability per physical 1q gate.
+    pub gate_err_1q: f64,
+    /// RMS of the quasi-static (low-frequency) detuning distribution
+    /// (kHz); sampled once per shot. DD refocuses it, EC cannot.
+    pub quasistatic_khz: f64,
+    /// Charge-parity splitting δ (kHz); its *sign* flips shot to shot
+    /// (Eq. 6), so only DD can remove it.
+    pub charge_parity_khz: f64,
+}
+
+impl Default for QubitCal {
+    fn default() -> Self {
+        Self {
+            t1_us: 250.0,
+            t2_us: 150.0,
+            readout_err: 0.015,
+            gate_err_1q: 2e-4,
+            quasistatic_khz: 3.0,
+            charge_parity_khz: 0.0,
+        }
+    }
+}
+
+/// Per-edge (coupled-pair) calibration record.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCal {
+    /// Always-on ZZ rate ν (kHz) of Eq. (1).
+    pub zz_khz: f64,
+    /// Depolarizing error probability per two-qubit gate on this edge.
+    pub gate_err_2q: f64,
+}
+
+impl Default for EdgeCal {
+    fn default() -> Self {
+        Self { zz_khz: 60.0, gate_err_2q: 7e-3 }
+    }
+}
+
+/// A next-nearest-neighbour ZZ term from a frequency collision
+/// (Sec. III-C): qubits `i` and `k` interact through middle qubit `j`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NnnTerm {
+    /// First outer qubit.
+    pub i: usize,
+    /// Middle (mediating) qubit.
+    pub j: usize,
+    /// Second outer qubit.
+    pub k: usize,
+    /// The enhanced ZZ rate between `i` and `k` (kHz).
+    pub zz_khz: f64,
+}
+
+/// Full calibration snapshot for a device.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Per-qubit records, indexed by qubit.
+    pub qubits: Vec<QubitCal>,
+    /// Per-edge records keyed by normalised `(min, max)` pairs.
+    #[serde(with = "pair_map")]
+    pub edges: BTreeMap<(usize, usize), EdgeCal>,
+    /// Directed spectator Stark shift (kHz): key `(driven, spectator)`;
+    /// a gate driving `driven` Stark-shifts `spectator` (Fig. 4a).
+    #[serde(with = "pair_map")]
+    pub stark_khz: BTreeMap<(usize, usize), f64>,
+    /// Next-nearest-neighbour collision terms.
+    pub nnn: Vec<NnnTerm>,
+    /// Gate durations for scheduling.
+    pub durations: GateDurations,
+}
+
+impl Calibration {
+    /// A uniform calibration over a given edge set: every pair gets
+    /// `zz_khz`, every qubit the default record. Deterministic —
+    /// useful for tests and controlled experiments.
+    pub fn uniform(num_qubits: usize, edges: &[(usize, usize)], zz_khz: f64) -> Self {
+        let mut map = BTreeMap::new();
+        for &(a, b) in edges {
+            map.insert((a.min(b), a.max(b)), EdgeCal { zz_khz, ..EdgeCal::default() });
+        }
+        Self {
+            qubits: vec![QubitCal::default(); num_qubits],
+            edges: map,
+            stark_khz: BTreeMap::new(),
+            nnn: Vec::new(),
+            durations: GateDurations::default(),
+        }
+    }
+
+    /// The ZZ rate on edge `(a, b)` in kHz (0 if not coupled).
+    pub fn zz_khz(&self, a: usize, b: usize) -> f64 {
+        self.edges.get(&(a.min(b), a.max(b))).map_or(0.0, |e| e.zz_khz)
+    }
+
+    /// The two-qubit gate error on edge `(a, b)`.
+    pub fn gate_err_2q(&self, a: usize, b: usize) -> f64 {
+        self.edges.get(&(a.min(b), a.max(b))).map_or(0.0, |e| e.gate_err_2q)
+    }
+
+    /// Stark shift (kHz) on `spectator` while `driven` is being driven.
+    pub fn stark_on(&self, driven: usize, spectator: usize) -> f64 {
+        self.stark_khz.get(&(driven, spectator)).copied().unwrap_or(0.0)
+    }
+
+    /// NNN ZZ rate between outer qubits `i` and `k` (kHz), summed over
+    /// all collision records matching the unordered pair.
+    pub fn nnn_khz(&self, i: usize, k: usize) -> f64 {
+        self.nnn
+            .iter()
+            .filter(|t| (t.i == i && t.k == k) || (t.i == k && t.k == i))
+            .map(|t| t.zz_khz)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_conversion() {
+        // 100 kHz for 500 ns → 2π·0.05 rad ≈ 0.3141…
+        let th = phase_rad(100.0, 500.0);
+        assert!((th - 2.0 * std::f64::consts::PI * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_calibration_covers_edges() {
+        let edges = [(0, 1), (1, 2)];
+        let cal = Calibration::uniform(3, &edges, 80.0);
+        assert_eq!(cal.zz_khz(1, 0), 80.0);
+        assert_eq!(cal.zz_khz(2, 1), 80.0);
+        assert_eq!(cal.zz_khz(0, 2), 0.0);
+    }
+
+    #[test]
+    fn stark_is_directed() {
+        let mut cal = Calibration::uniform(2, &[(0, 1)], 50.0);
+        cal.stark_khz.insert((0, 1), 20.0);
+        assert_eq!(cal.stark_on(0, 1), 20.0);
+        assert_eq!(cal.stark_on(1, 0), 0.0);
+    }
+
+    #[test]
+    fn nnn_lookup_is_symmetric() {
+        let mut cal = Calibration::uniform(3, &[(0, 1), (1, 2)], 50.0);
+        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 10.0 });
+        assert_eq!(cal.nnn_khz(0, 2), 10.0);
+        assert_eq!(cal.nnn_khz(2, 0), 10.0);
+        assert_eq!(cal.nnn_khz(0, 1), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cal = Calibration::uniform(2, &[(0, 1)], 75.0);
+        let s = serde_json::to_string(&cal).unwrap();
+        let back: Calibration = serde_json::from_str(&s).unwrap();
+        assert_eq!(cal, back);
+    }
+}

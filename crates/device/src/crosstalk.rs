@@ -1,0 +1,150 @@
+//! The crosstalk interaction graph (Algorithm 1, line 2:
+//! `BuildInteractionGraph`).
+//!
+//! Nodes are qubits; edges carry the ZZ rate that two qubits accrue
+//! when jointly idle. Nearest-neighbour edges come from the coupling
+//! map; next-nearest-neighbour edges are added for frequency-collision
+//! triplets above a threshold (Fig. 4c).
+
+use crate::calibration::Calibration;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The provenance of a crosstalk edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrosstalkKind {
+    /// Directly coupled pair (always-on ZZ, Eq. 1).
+    NearestNeighbor,
+    /// Collision-enhanced next-nearest-neighbour pair (Sec. III-C).
+    NextNearest,
+}
+
+/// An edge of the crosstalk graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkEdge {
+    /// Lower qubit index.
+    pub a: usize,
+    /// Higher qubit index.
+    pub b: usize,
+    /// ZZ rate in kHz.
+    pub zz_khz: f64,
+    /// Edge provenance.
+    pub kind: CrosstalkKind,
+}
+
+/// The crosstalk graph used by coloring (CA-DD) and accumulation
+/// (CA-EC).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkGraph {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// All crosstalk edges.
+    pub edges: Vec<CrosstalkEdge>,
+}
+
+impl CrosstalkGraph {
+    /// Builds the graph from device data: one edge per coupled pair,
+    /// plus NNN edges whose rate exceeds `nnn_threshold_khz`.
+    pub fn build(topology: &Topology, cal: &Calibration, nnn_threshold_khz: f64) -> Self {
+        let mut edges = Vec::new();
+        for &(a, b) in &topology.edges {
+            edges.push(CrosstalkEdge {
+                a,
+                b,
+                zz_khz: cal.zz_khz(a, b),
+                kind: CrosstalkKind::NearestNeighbor,
+            });
+        }
+        for t in &cal.nnn {
+            if t.zz_khz >= nnn_threshold_khz {
+                edges.push(CrosstalkEdge {
+                    a: t.i.min(t.k),
+                    b: t.i.max(t.k),
+                    zz_khz: t.zz_khz,
+                    kind: CrosstalkKind::NextNearest,
+                });
+            }
+        }
+        Self { num_qubits: topology.num_qubits, edges }
+    }
+
+    /// Crosstalk neighbours of `q` (over both edge kinds), ascending.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == q {
+                    Some(e.b)
+                } else if e.b == q {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The edge between `a` and `b`, if any.
+    pub fn edge(&self, a: usize, b: usize) -> Option<&CrosstalkEdge> {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.edges.iter().find(|e| e.a == lo && e.b == hi)
+    }
+
+    /// True when `a` and `b` share a crosstalk edge.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.edge(a, b).is_some()
+    }
+
+    /// Maximum degree of the graph — a lower bound driver for the
+    /// number of colors CA-DD may need.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_qubits).map(|q| self.neighbors(q).len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::NnnTerm;
+
+    #[test]
+    fn nn_edges_from_topology() {
+        let topo = Topology::line(3);
+        let cal = Calibration::uniform(3, &topo.edges, 42.0);
+        let g = CrosstalkGraph::build(&topo, &cal, 5.0);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(0, 2));
+        assert_eq!(g.edge(0, 1).unwrap().zz_khz, 42.0);
+    }
+
+    #[test]
+    fn nnn_edge_added_above_threshold() {
+        let topo = Topology::line(3);
+        let mut cal = Calibration::uniform(3, &topo.edges, 42.0);
+        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        let g = CrosstalkGraph::build(&topo, &cal, 5.0);
+        assert!(g.connected(0, 2));
+        assert_eq!(g.edge(0, 2).unwrap().kind, CrosstalkKind::NextNearest);
+        // Below threshold it is ignored.
+        cal.nnn[0].zz_khz = 0.1;
+        let g2 = CrosstalkGraph::build(&topo, &cal, 5.0);
+        assert!(!g2.connected(0, 2));
+    }
+
+    #[test]
+    fn collision_triplet_raises_degree() {
+        let topo = Topology::line(3);
+        let mut cal = Calibration::uniform(3, &topo.edges, 42.0);
+        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        let g = CrosstalkGraph::build(&topo, &cal, 5.0);
+        // Qubit 1 still has 2 neighbours, but 0 and 2 now have 2 each:
+        // the triangle forces 3 colors in CA-DD.
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+}

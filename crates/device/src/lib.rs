@@ -1,0 +1,24 @@
+//! # ca-device
+//!
+//! Device-model substrate: coupling topologies, calibration snapshots
+//! (always-on ZZ rates, Stark shifts, charge-parity strengths, NNN
+//! collision terms, coherence and error numbers), the crosstalk
+//! interaction graph consumed by CA-DD's coloring, and seeded
+//! synthetic presets standing in for the IBM backends of the paper.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod crosstalk;
+pub mod device;
+pub mod presets;
+pub mod topology;
+
+pub use calibration::{phase_rad, Calibration, EdgeCal, NnnTerm, QubitCal};
+pub use crosstalk::{CrosstalkEdge, CrosstalkGraph, CrosstalkKind};
+pub use device::{Device, DEFAULT_NNN_THRESHOLD_KHZ};
+pub use presets::{
+    brisbane_like, nazca_like, penguino_like, sample_calibration, sherbrooke_like,
+    uniform_device, NoiseProfile,
+};
+pub use topology::Topology;

@@ -1,0 +1,122 @@
+//! Fig. 10: the combined compiling strategy.
+//!
+//! A 6-qubit Floquet-type circuit whose measured pair (2,3) suffers
+//! *both* kinds of error per step: an aligned control–control ZZ
+//! during the gate layer (case IV — only EC can fix it) and idle-period
+//! noise including stochastic low-frequency detuning (which only DD can
+//! refocus). CA-EC+DD therefore outperforms either method alone, as in
+//! the paper.
+
+use crate::report::{Figure, Series};
+use crate::runner::{
+    all_zeros_fidelity, all_zeros_fidelity_observables, averaged_expectations, Budget,
+};
+use ca_circuit::Circuit;
+use ca_core::{CompileOptions, Strategy};
+use ca_device::{uniform_device, Device, Topology};
+use ca_sim::NoiseConfig;
+
+/// Number of qubits.
+pub const N: usize = 6;
+
+/// The Fig. 10 device: strong enough quasi-static noise that DD's
+/// advantage over EC on idle periods is visible.
+pub fn combined_device() -> Device {
+    let mut dev = uniform_device(Topology::line(N), 80.0);
+    for q in &mut dev.calibration.qubits {
+        q.quasistatic_khz = 10.0;
+    }
+    dev
+}
+
+/// Builds the d-step Floquet circuit: each step has a two-qubit layer
+/// with adjacent controls on the measured pair (2,3) and an idle
+/// period. Even step counts keep the logical circuit an identity.
+pub fn floquet_circuit(d: usize, idle_ns: f64) -> Circuit {
+    let mut qc = Circuit::new(N, 0);
+    qc.h(2).h(3);
+    qc.barrier(Vec::<usize>::new());
+    for _ in 0..d {
+        qc.ecr(2, 1).ecr(3, 4);
+        qc.barrier(Vec::<usize>::new());
+        for q in 0..N {
+            qc.delay(idle_ns, q);
+        }
+        qc.barrier(Vec::<usize>::new());
+    }
+    qc.h(2).h(3);
+    qc
+}
+
+/// Runs the Fig. 10b comparison: P₀₀ of the measured pair vs step.
+pub fn fig10(depths: &[usize], budget: &Budget) -> Figure {
+    let device = combined_device();
+    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let obs = all_zeros_fidelity_observables(N, &[2, 3]);
+    // Even depths only (ECR self-inverse).
+    let even: Vec<usize> = depths.iter().map(|&d| d * 2).collect();
+    let xs: Vec<f64> = even.iter().map(|&d| d as f64).collect();
+    let mut fig = Figure::new("fig10", "combined strategy Floquet benchmark", "step d", "P00");
+    for (label, strategy) in [
+        ("twirled", Strategy::Bare),
+        ("CA-DD", Strategy::CaDd),
+        ("CA-EC", Strategy::CaEc),
+        ("CA-EC+DD", Strategy::CaEcPlusDd),
+    ] {
+        let ys: Vec<f64> = even
+            .iter()
+            .map(|&d| {
+                let vals = averaged_expectations(
+                    &device,
+                    &noise,
+                    &floquet_circuit(d, 1000.0),
+                    &obs,
+                    &CompileOptions::new(strategy, budget.seed),
+                    budget,
+                );
+                all_zeros_fidelity(&vals)
+            })
+            .collect();
+        fig.push(Series::new(label, xs.clone(), ys));
+    }
+    fig.note("paper (ibm_penguino1): CA-EC+DD outperforms both constituents");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_is_logical_identity_at_even_depth() {
+        let device = uniform_device(Topology::line(N), 0.0);
+        let obs = all_zeros_fidelity_observables(N, &[2, 3]);
+        let vals = averaged_expectations(
+            &device,
+            &NoiseConfig::ideal(),
+            &floquet_circuit(4, 500.0),
+            &obs,
+            &CompileOptions::untwirled(Strategy::Bare, 1),
+            &Budget { trajectories: 1, instances: 1, seed: 1 },
+        );
+        let f = all_zeros_fidelity(&vals);
+        assert!((f - 1.0).abs() < 1e-9, "P00 {f}");
+    }
+
+    #[test]
+    fn combined_beats_constituents() {
+        let budget = Budget::quick();
+        let fig = fig10(&[4], &budget);
+        let get = |label: &str| {
+            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+        };
+        let combined = get("CA-EC+DD");
+        let cadd = get("CA-DD");
+        let bare = get("twirled");
+        assert!(combined > bare, "combined {combined} vs bare {bare}");
+        assert!(
+            combined > cadd - 0.02,
+            "combined {combined} must not lose to CA-DD {cadd}"
+        );
+    }
+}

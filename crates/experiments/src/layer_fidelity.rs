@@ -1,0 +1,278 @@
+//! Fig. 8: layer-fidelity benchmarking of a sparse 10-qubit layer.
+//!
+//! The layer (Fig. 8a, `ibm_nazca` qubits 37–40, 52, 56–60 relabelled
+//! 0–9) contains 3 ECR gates and 4 idle qubits, with an adjacent
+//! control–control pair (0,1) and an adjacent idle pair (8,9) — the
+//! two contexts that separate CA-EC from CA-DD from uniform DD.
+//!
+//! Protocol (after McKay et al., simplified — see EXPERIMENTS.md):
+//! partition the qubits into the disjoint gate pairs, the idle pair,
+//! and idle singles; for each partition sample Pauli operators, track
+//! them through the layer's Clifford action, and fit the decay of the
+//! sign-corrected expectation over depth. The layer fidelity is the
+//! product of the per-partition average decays, and the PEC overhead
+//! base is `γ = LF^{−2}`.
+
+use crate::report::{Figure, Series};
+use crate::runner::Budget;
+use ca_circuit::clifford::propagate_2q;
+use ca_circuit::{Circuit, Gate, Pauli, PauliString};
+use ca_core::{pipeline, CompileOptions, Context, Strategy};
+use ca_device::{presets, Device, Topology};
+use ca_metrics::fit_decay;
+use ca_sim::{NoiseConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The three ECR gates of the Fig. 8a layer: controls 0 and 1 are
+/// crosstalk-adjacent (case IV), qubits 3, 5, 8, 9 idle, with (8, 9)
+/// an adjacent idle pair.
+pub const LAYER_GATES: [(usize, usize); 3] = [(0, 4), (1, 2), (7, 6)];
+
+/// Disjoint partitions measured simultaneously.
+pub fn partitions() -> Vec<Vec<usize>> {
+    vec![vec![0, 4], vec![1, 2], vec![7, 6], vec![8, 9], vec![3], vec![5]]
+}
+
+/// The Fig. 8 device. The paper picked this layer *because* its
+/// control–control pair (Q37–Q38, our 0–1) has strong ZZ that DD
+/// cannot suppress; we pin that edge to the strong end of the sampled
+/// range accordingly.
+pub fn fig8_device(seed: u64) -> Device {
+    let mut dev = presets::nazca_like(Topology::fig8_layer(), seed);
+    dev.calibration.edges.get_mut(&(0, 1)).expect("edge (0,1)").zz_khz = 110.0;
+    dev
+}
+
+/// Builds the benchmark circuit: Pauli-eigenstate preparation on every
+/// partition, then `d` copies of the layer.
+fn benchmark_circuit(preps: &[(usize, Pauli)], d: usize) -> Circuit {
+    let mut qc = Circuit::new(10, 0);
+    for &(q, p) in preps {
+        match p {
+            Pauli::I | Pauli::Z => {}
+            Pauli::X => {
+                qc.h(q);
+            }
+            Pauli::Y => {
+                qc.h(q);
+                qc.s(q);
+            }
+        }
+    }
+    qc.barrier(Vec::<usize>::new());
+    for _ in 0..d {
+        for (c, t) in LAYER_GATES {
+            qc.ecr(c, t);
+        }
+        qc.barrier(Vec::<usize>::new());
+    }
+    qc
+}
+
+/// Propagates the prepared Pauli string through `d` applications of
+/// the layer's Clifford action.
+fn propagate_through_layers(prep: &PauliString, d: usize) -> PauliString {
+    let mut p = prep.clone();
+    for _ in 0..d {
+        for (c, t) in LAYER_GATES {
+            p = propagate_2q(&p, Gate::Ecr, c, t);
+        }
+    }
+    p
+}
+
+/// Samples a non-identity Pauli on the partition's support.
+fn sample_pauli(partition: &[usize], rng: &mut StdRng) -> Vec<(usize, Pauli)> {
+    loop {
+        let assignment: Vec<(usize, Pauli)> = partition
+            .iter()
+            .map(|&q| (q, Pauli::from_index(rng.random_range(0..4usize))))
+            .collect();
+        if assignment.iter().any(|(_, p)| *p != Pauli::I) {
+            return assignment;
+        }
+    }
+}
+
+/// Layer-fidelity estimate for one strategy.
+#[derive(Clone, Debug)]
+pub struct LayerFidelity {
+    /// Strategy label.
+    pub label: String,
+    /// Per-partition average decays λ_p.
+    pub partition_lambdas: Vec<f64>,
+    /// Layer fidelity LF = Π λ_p.
+    pub lf: f64,
+    /// PEC overhead base γ = LF^{−2}.
+    pub gamma: f64,
+}
+
+/// Measures the layer fidelity under one compilation strategy.
+pub fn measure_layer_fidelity(
+    device: &Device,
+    strategy: Strategy,
+    depths: &[usize],
+    paulis_per_partition: usize,
+    budget: &Budget,
+) -> LayerFidelity {
+    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let sim = Simulator::with_config(device.clone(), noise);
+    let mut rng = StdRng::seed_from_u64(budget.seed ^ 0x51F8);
+    let parts = partitions();
+    // Sample Pauli sets once, shared across strategies via the seed.
+    let sampled: Vec<Vec<Vec<(usize, Pauli)>>> = parts
+        .iter()
+        .map(|p| (0..paulis_per_partition).map(|_| sample_pauli(p, &mut rng)).collect())
+        .collect();
+
+    let mut partition_lambdas = Vec::with_capacity(parts.len());
+    for (part_idx, pauli_set) in sampled.iter().enumerate() {
+        let mut lambdas = Vec::new();
+        for assignment in pauli_set {
+            // Expectations over depth for this prepared Pauli.
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut prep = PauliString::identity(10);
+            for &(q, p) in assignment {
+                prep.paulis[q] = p;
+            }
+            for &d in depths {
+                let target = propagate_through_layers(&prep, d);
+                let circuit = benchmark_circuit(assignment, d);
+                let mut acc = 0.0;
+                for inst in 0..budget.instances {
+                    let seed = budget.seed
+                        .wrapping_add(inst as u64 * 7919)
+                        .wrapping_add(part_idx as u64 * 104729);
+                    let opts = CompileOptions::new(strategy, seed);
+                    let pm = pipeline(&opts);
+                    let mut ctx = Context::new(device, seed);
+                    let sc = pm.compile(&circuit, &mut ctx);
+                    acc += sim.expect_pauli(&sc, &target, budget.trajectories, seed ^ 0x77);
+                }
+                xs.push(d as f64);
+                ys.push(acc / budget.instances as f64);
+            }
+            let fit = fit_decay(&xs, &ys);
+            lambdas.push(fit.lambda.clamp(0.0, 1.0));
+        }
+        partition_lambdas.push(lambdas.iter().sum::<f64>() / lambdas.len() as f64);
+    }
+    let lf: f64 = partition_lambdas.iter().product();
+    LayerFidelity {
+        label: strategy.label().to_string(),
+        partition_lambdas,
+        lf,
+        gamma: ca_metrics::gamma_from_layer_fidelity(lf.max(1e-6)),
+    }
+}
+
+/// Runs the Fig. 8 comparison across strategies.
+pub fn fig8(
+    depths: &[usize],
+    paulis_per_partition: usize,
+    budget: &Budget,
+) -> (Figure, Vec<LayerFidelity>) {
+    let device = fig8_device(37);
+    let strategies =
+        [Strategy::Bare, Strategy::UniformDd, Strategy::CaDd, Strategy::CaEc];
+    let results: Vec<LayerFidelity> = strategies
+        .iter()
+        .map(|&s| measure_layer_fidelity(&device, s, depths, paulis_per_partition, budget))
+        .collect();
+    let xs: Vec<f64> = (0..results.len()).map(|i| i as f64).collect();
+    let mut fig = Figure::new("fig8", "layer fidelity of the sparse 10-qubit layer", "strategy", "value");
+    fig.push(Series::new("LF", xs.clone(), results.iter().map(|r| r.lf).collect()));
+    fig.push(Series::new("gamma", xs, results.iter().map(|r| r.gamma).collect()));
+    for (i, r) in results.iter().enumerate() {
+        fig.note(format!("strategy {i} = {}", r.label));
+    }
+    fig.note("paper (ibm_nazca): LF 0.648 (bare) → 0.743 (DD) → 0.822 (CA-DD) → 0.881 (CA-EC)");
+    fig.note("paper: γ 2.38 → 1.81 → 1.48 → 1.29");
+    (fig, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let mut all: Vec<usize> = partitions().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn layer_gates_fit_topology() {
+        let topo = Topology::fig8_layer();
+        for (c, t) in LAYER_GATES {
+            assert!(topo.has_edge(c, t), "({c},{t}) not coupled");
+        }
+        // Adjacent controls 0 and 1 (the case-IV pair of Fig. 8b).
+        assert!(topo.has_edge(0, 1));
+        // Adjacent idle pair (8,9).
+        assert!(topo.has_edge(8, 9));
+    }
+
+    #[test]
+    fn pauli_propagation_stays_in_partition() {
+        // Layer gates map each gate-pair's Paulis within the pair.
+        let mut prep = PauliString::identity(10);
+        prep.paulis[0] = Pauli::X;
+        prep.paulis[4] = Pauli::Z;
+        let out = propagate_through_layers(&prep, 3);
+        for (q, p) in out.paulis.iter().enumerate() {
+            if !(q == 0 || q == 4) {
+                assert_eq!(*p, Pauli::I, "leaked to qubit {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_layer_fidelity_is_unity() {
+        let mut device = fig8_device(37);
+        // Strip all noise from the calibration so even gate errors are 0.
+        for q in &mut device.calibration.qubits {
+            q.gate_err_1q = 0.0;
+            q.readout_err = 0.0;
+        }
+        let keys: Vec<_> = device.calibration.edges.keys().copied().collect();
+        for k in keys {
+            device.calibration.edges.get_mut(&k).unwrap().gate_err_2q = 0.0;
+        }
+        // Noise config off via zeroed rates won't help for zz (edge zz
+        // persists) — instead build an ideal-noise measurement:
+        let lf = {
+            let noise = NoiseConfig::ideal();
+            let sim = Simulator::with_config(device.clone(), noise);
+            // single Pauli, single depth sanity: ZZ on (8,9).
+            let mut prep = PauliString::identity(10);
+            prep.paulis[8] = Pauli::Z;
+            prep.paulis[9] = Pauli::Z;
+            let circuit = benchmark_circuit(&[(8, Pauli::Z), (9, Pauli::Z)], 4);
+            let target = propagate_through_layers(&prep, 4);
+            let opts = CompileOptions::new(Strategy::Bare, 3);
+            let pm = pipeline(&opts);
+            let mut ctx = Context::new(&device, 3);
+            let sc = pm.compile(&circuit, &mut ctx);
+            sim.expect_pauli(&sc, &target, 1, 9)
+        };
+        assert!((lf - 1.0).abs() < 1e-9, "ideal expectation {lf}");
+    }
+
+    #[test]
+    fn caec_beats_bare_layer_fidelity() {
+        let device = fig8_device(37);
+        let budget = Budget { trajectories: 16, instances: 2, seed: 5 };
+        let bare = measure_layer_fidelity(&device, Strategy::Bare, &[1, 2, 4], 2, &budget);
+        let caec = measure_layer_fidelity(&device, Strategy::CaEc, &[1, 2, 4], 2, &budget);
+        assert!(
+            caec.lf > bare.lf,
+            "CA-EC LF {} must beat bare {}",
+            caec.lf,
+            bare.lf
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # ca-experiments
+//!
+//! Experiment drivers reproducing every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index). Each driver
+//! returns a [`report::Figure`] that the benchmark harness renders as
+//! a text table.
+
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod combined;
+pub mod dynamic;
+pub mod heisenberg;
+pub mod ising;
+pub mod layer_fidelity;
+pub mod ramsey;
+pub mod report;
+pub mod runner;
+pub mod secondary;
+pub mod table1;
+
+pub use report::{Figure, Series};
+pub use runner::Budget;

@@ -1,0 +1,153 @@
+//! Result containers and text rendering for figure/table
+//! reproductions. `cargo bench` prints these as aligned tables, one
+//! per paper figure.
+
+/// One curve of a figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legend where possible).
+    pub label: String,
+    /// X values.
+    pub xs: Vec<f64>,
+    /// Y values.
+    pub ys: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        Self { label: label.into(), xs, ys }
+    }
+
+    /// The final y value (often the headline number).
+    pub fn last_y(&self) -> f64 {
+        *self.ys.last().expect("non-empty series")
+    }
+
+    /// Mean of y values.
+    pub fn mean_y(&self) -> f64 {
+        self.ys.iter().sum::<f64>() / self.ys.len() as f64
+    }
+}
+
+/// A reproduced figure: several series over a common x grid, plus
+/// free-form notes (paper-vs-measured summaries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig3c"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Paper-vs-measured commentary emitted with the table.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, xlabel: &str, ylabel: &str) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) -> &mut Self {
+        if let Some(first) = self.series.first() {
+            assert_eq!(first.xs, series.xs, "series must share an x grid");
+        }
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        if self.series.is_empty() {
+            return out;
+        }
+        let mut header = format!("{:>10}", self.xlabel);
+        for s in &self.series {
+            header.push_str(&format!("  {:>16}", truncate(&s.label, 16)));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        let xs = &self.series[0].xs;
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = format!("{x:>10.3}");
+            for s in &self.series {
+                row.push_str(&format!("  {:>16.4}", s.ys[i]));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_series() {
+        let mut f = Figure::new("figX", "demo", "d", "F");
+        f.push(Series::new("bare", vec![0.0, 1.0], vec![1.0, 0.5]));
+        f.push(Series::new("CA-EC", vec![0.0, 1.0], vec![1.0, 0.9]));
+        f.note("paper: CA-EC wins");
+        let r = f.render();
+        assert!(r.contains("bare"));
+        assert!(r.contains("CA-EC"));
+        assert!(r.contains("0.9000"));
+        assert!(r.contains("note: paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share an x grid")]
+    fn mismatched_grids_rejected() {
+        let mut f = Figure::new("f", "t", "x", "y");
+        f.push(Series::new("a", vec![0.0], vec![1.0]));
+        f.push(Series::new("b", vec![1.0], vec![1.0]));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("s", vec![0.0, 1.0, 2.0], vec![1.0, 0.8, 0.6]);
+        assert_eq!(s.last_y(), 0.6);
+        assert!((s.mean_y() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared experiment execution: twirl-averaged expectation values of
+//! compiled circuits under the noisy simulator.
+
+use ca_circuit::{Circuit, PauliString};
+use ca_core::{pipeline, CompileOptions, Context, PassManager, Strategy};
+use ca_device::Device;
+use ca_sim::{NoiseConfig, Simulator};
+
+/// Shared budget knobs: every experiment exposes a `quick` profile for
+/// unit tests and a `full` profile for the benchmark harness.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Trajectories averaged per compiled instance.
+    pub trajectories: usize,
+    /// Independent twirl/compile instances averaged per data point.
+    pub instances: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Budget {
+    /// Small budget for unit tests (seconds).
+    pub fn quick() -> Self {
+        Self { trajectories: 20, instances: 2, seed: 11 }
+    }
+
+    /// Full budget for benchmark-quality curves.
+    pub fn full() -> Self {
+        Self { trajectories: 120, instances: 8, seed: 11 }
+    }
+}
+
+/// Averages Pauli expectations over `instances` independently compiled
+/// (re-twirled) copies of the circuit.
+pub fn averaged_expectations(
+    device: &Device,
+    noise: &NoiseConfig,
+    circuit: &Circuit,
+    observables: &[PauliString],
+    options: &CompileOptions,
+    budget: &Budget,
+) -> Vec<f64> {
+    averaged_expectations_with(
+        device,
+        noise,
+        circuit,
+        observables,
+        |seed| pipeline(&CompileOptions { seed, ..*options }),
+        budget,
+    )
+}
+
+/// Same as [`averaged_expectations`] but with a caller-supplied
+/// pipeline builder (custom pass combinations, e.g. "aligned DD + EC").
+pub fn averaged_expectations_with(
+    device: &Device,
+    noise: &NoiseConfig,
+    circuit: &Circuit,
+    observables: &[PauliString],
+    make_pipeline: impl Fn(u64) -> PassManager,
+    budget: &Budget,
+) -> Vec<f64> {
+    let sim = Simulator::with_config(device.clone(), *noise);
+    let mut acc = vec![0.0; observables.len()];
+    for inst in 0..budget.instances {
+        let seed = budget.seed.wrapping_add(inst as u64 * 0x9E37);
+        let pm = make_pipeline(seed);
+        let mut ctx = Context::new(device, seed);
+        let sc = pm.compile(circuit, &mut ctx);
+        let vals = sim.expect_paulis(&sc, observables, budget.trajectories, seed ^ 0xABCD);
+        for (a, v) in acc.iter_mut().zip(vals.iter()) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= budget.instances as f64;
+    }
+    acc
+}
+
+/// The fidelity of an n-qubit all-|+⟩ Ramsey register measured after
+/// the closing Hadamards: `F = P(0…0) = 2^{-n}·Σ_S ⟨Z_S⟩` over all
+/// subsets S of the register qubits.
+pub fn all_zeros_fidelity_observables(num_qubits: usize, register: &[usize]) -> Vec<PauliString> {
+    let k = register.len();
+    assert!(k <= 10, "register too large for subset expansion");
+    (0..(1usize << k))
+        .map(|mask| {
+            let mut p = PauliString::identity(num_qubits);
+            for (bit, &q) in register.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    p.paulis[q] = ca_circuit::Pauli::Z;
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Combines the subset expectations of
+/// [`all_zeros_fidelity_observables`] into `P(0…0)`.
+pub fn all_zeros_fidelity(expectations: &[f64]) -> f64 {
+    expectations.iter().sum::<f64>() / expectations.len() as f64
+}
+
+/// Convenience: a [`CompileOptions`] for a strategy, untwirled.
+pub fn untwirled(strategy: Strategy, seed: u64) -> CompileOptions {
+    CompileOptions::untwirled(strategy, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_device::{uniform_device, Topology};
+
+    #[test]
+    fn fidelity_observables_cover_subsets() {
+        let obs = all_zeros_fidelity_observables(3, &[0, 2]);
+        assert_eq!(obs.len(), 4);
+        // On |000⟩ every Z-subset expectation is +1 → F = 1.
+        let f = all_zeros_fidelity(&vec![1.0; 4]);
+        assert!((f - 1.0).abs() < 1e-12);
+        // Uniformly random state: ⟨Z_S⟩ = 0 except identity → F = 1/4.
+        let mut e = vec![0.0; 4];
+        e[0] = 1.0;
+        assert!((all_zeros_fidelity(&e) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaged_expectations_ideal_identity() {
+        let dev = uniform_device(Topology::line(2), 0.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(0); // logical identity
+        let obs = [PauliString::parse("ZI").unwrap()];
+        let got = averaged_expectations(
+            &dev,
+            &NoiseConfig::ideal(),
+            &qc,
+            &obs,
+            &CompileOptions::untwirled(Strategy::Bare, 1),
+            &Budget::quick(),
+        );
+        assert!((got[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twirled_instances_average() {
+        let dev = uniform_device(Topology::line(2), 0.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1).ecr(0, 1); // identity up to global phase
+        let obs = [PauliString::parse("ZZ").unwrap()];
+        let got = averaged_expectations(
+            &dev,
+            &NoiseConfig::ideal(),
+            &qc,
+            &obs,
+            &CompileOptions::new(Strategy::Bare, 5),
+            &Budget::quick(),
+        );
+        assert!((got[0] - 1.0).abs() < 1e-9, "twirl must preserve logic: {got:?}");
+    }
+}

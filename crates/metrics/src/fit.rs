@@ -1,0 +1,152 @@
+//! Curve fitting: exponential decay `F(d) = A·λ^d` (the workhorse of
+//! Ramsey, layer-fidelity, and mitigation-overhead analysis) and plain
+//! linear least squares.
+
+/// Result of a decay fit `F(d) = A·λ^d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecayFit {
+    /// Amplitude at d = 0.
+    pub a: f64,
+    /// Per-step decay factor λ ∈ (0, 1].
+    pub lambda: f64,
+    /// Root-mean-square residual of the fit.
+    pub rmse: f64,
+}
+
+/// Ordinary least squares `y = m·x + b`; returns `(m, b)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let m = (n * sxy - sx * sy) / denom;
+    let b = (sy - m * sx) / n;
+    (m, b)
+}
+
+/// Fits `F(d) = A·λ^d` by log-linear regression on the positive
+/// samples, refined with a few Gauss–Newton steps on the original
+/// (non-log) least-squares objective so small/noisy tails don't skew
+/// the result.
+pub fn fit_decay(ds: &[f64], fs: &[f64]) -> DecayFit {
+    assert_eq!(ds.len(), fs.len());
+    // Initial guess from the log-domain fit over positive points.
+    let pos: Vec<(f64, f64)> = ds
+        .iter()
+        .zip(fs.iter())
+        .filter(|(_, &f)| f > 1e-6)
+        .map(|(&d, &f)| (d, f.ln()))
+        .collect();
+    let (mut a, mut lambda) = if pos.len() >= 2 {
+        let xs: Vec<f64> = pos.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pos.iter().map(|p| p.1).collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        (b.exp(), m.exp().clamp(1e-6, 1.5))
+    } else {
+        (fs.first().copied().unwrap_or(1.0).max(1e-3), 0.9)
+    };
+
+    // Gauss–Newton on r_i = A·λ^d_i − f_i.
+    for _ in 0..30 {
+        let mut jtj = [[0.0f64; 2]; 2];
+        let mut jtr = [0.0f64; 2];
+        for (&d, &f) in ds.iter().zip(fs.iter()) {
+            let model = a * lambda.powf(d);
+            let r = model - f;
+            let da = lambda.powf(d);
+            let dl = if lambda > 0.0 { a * d * lambda.powf(d - 1.0) } else { 0.0 };
+            jtj[0][0] += da * da;
+            jtj[0][1] += da * dl;
+            jtj[1][0] += da * dl;
+            jtj[1][1] += dl * dl;
+            jtr[0] += da * r;
+            jtr[1] += dl * r;
+        }
+        let det = jtj[0][0] * jtj[1][1] - jtj[0][1] * jtj[1][0];
+        if det.abs() < 1e-15 {
+            break;
+        }
+        let step_a = (jtj[1][1] * jtr[0] - jtj[0][1] * jtr[1]) / det;
+        let step_l = (jtj[0][0] * jtr[1] - jtj[1][0] * jtr[0]) / det;
+        a -= step_a;
+        lambda -= step_l;
+        lambda = lambda.clamp(1e-6, 1.5);
+        a = a.clamp(1e-9, 10.0);
+        if step_a.abs() < 1e-12 && step_l.abs() < 1e-12 {
+            break;
+        }
+    }
+    let rmse = (ds
+        .iter()
+        .zip(fs.iter())
+        .map(|(&d, &f)| {
+            let r = a * lambda.powf(d) - f;
+            r * r
+        })
+        .sum::<f64>()
+        / ds.len() as f64)
+        .sqrt();
+    DecayFit { a, lambda, rmse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((b + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_fit_exact_data() {
+        let ds: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let fs: Vec<f64> = ds.iter().map(|d| 0.92 * 0.85f64.powf(*d)).collect();
+        let fit = fit_decay(&ds, &fs);
+        assert!((fit.a - 0.92).abs() < 1e-6, "{fit:?}");
+        assert!((fit.lambda - 0.85).abs() < 1e-6, "{fit:?}");
+        assert!(fit.rmse < 1e-9);
+    }
+
+    #[test]
+    fn decay_fit_with_noise() {
+        let ds: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let fs: Vec<f64> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| 0.9 * 0.8f64.powf(*d) + 0.01 * ((i as f64 * 1.7).sin()))
+            .collect();
+        let fit = fit_decay(&ds, &fs);
+        assert!((fit.lambda - 0.8).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn decay_fit_handles_negative_tail() {
+        // Shot noise can push the tail below zero; the fit must not
+        // panic and should still find the bulk decay.
+        let ds: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let mut fs: Vec<f64> = ds.iter().map(|d| 0.95 * 0.7f64.powf(*d)).collect();
+        fs[13] = -0.01;
+        fs[14] = -0.005;
+        let fit = fit_decay(&ds, &fs);
+        assert!((fit.lambda - 0.7).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn flat_data_gives_lambda_one() {
+        let ds: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let fs = vec![0.99; 10];
+        let fit = fit_decay(&ds, &fs);
+        assert!((fit.lambda - 1.0).abs() < 1e-3, "{fit:?}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # ca-metrics
+//!
+//! Analysis utilities shared by the experiments and benchmarks:
+//! exponential-decay fitting (`F = A·λ^d`), periodogram frequency
+//! extraction for Ramsey characterization, error-mitigation overhead
+//! estimators (`γ = LF^{−2}`, the global-depolarization model of
+//! Fig. 7d), and basic statistics.
+//!
+//! This crate is dependency-free (beyond `std`) so it can be reused by
+//! any consumer of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod overhead;
+pub mod ramsey;
+pub mod stats;
+
+pub use fit::{fit_decay, linear_fit, DecayFit};
+pub use overhead::{gamma_from_layer_fidelity, overhead_ratio, DepolarizationModel};
+pub use ramsey::{beat_frequencies, peak_frequency, power_at};
+pub use stats::{bootstrap_halfwidth, mean, std_dev, std_err};

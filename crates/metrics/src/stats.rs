@@ -1,0 +1,90 @@
+//! Small statistics helpers: means, standard errors, bootstrap CIs.
+
+/// Arithmetic mean; panics on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for < 2 samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Standard error of the mean.
+pub fn std_err(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Deterministic bootstrap confidence half-width for the mean:
+/// resamples with a splitmix-style PRNG so results are reproducible
+/// without pulling `rand` into this crate.
+pub fn bootstrap_halfwidth(xs: &[f64], resamples: usize, seed: u64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut acc = 0.0;
+            for _ in 0..xs.len() {
+                let idx = (next() % xs.len() as u64) as usize;
+                acc += xs[idx];
+            }
+            acc / xs.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = means[(resamples as f64 * 0.16) as usize];
+    let hi = means[(resamples as f64 * 0.84) as usize];
+    (hi - lo) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((std_dev(&xs) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_err_shrinks() {
+        let a: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        assert!(std_err(&b) < std_err(&a));
+    }
+
+    #[test]
+    fn bootstrap_reasonable_and_deterministic() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        let h1 = bootstrap_halfwidth(&xs, 200, 7);
+        let h2 = bootstrap_halfwidth(&xs, 200, 7);
+        assert_eq!(h1, h2);
+        let se = std_err(&xs);
+        assert!(h1 > 0.3 * se && h1 < 3.0 * se, "h {h1} vs se {se}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(bootstrap_halfwidth(&[1.0], 10, 0), 0.0);
+    }
+}

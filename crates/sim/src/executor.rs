@@ -1,0 +1,647 @@
+//! Trajectory executor: runs a scheduled circuit shot by shot against
+//! the context-aware noise model.
+//!
+//! Per shot, coherent Z/ZZ phases accumulate in *scalar pending banks*
+//! (one per qubit / crosstalk edge) and are flushed into the
+//! statevector lazily — immediately before any non-diagonal unitary on
+//! an involved qubit, before projections, and at the end. This is
+//! exact for diagonal noise and makes dynamical decoupling work with
+//! no special casing: the inserted X pulses conjugate earlier flushed
+//! phases precisely as on hardware.
+
+use crate::noise::{
+    amplitude_damping_kraus, dephasing_prob, damping_prob, t_phi_us, NoiseConfig, ShotNoise,
+};
+use crate::result::RunResult;
+use crate::statevector::State;
+use crate::timeline::{build_segments, SegmentOp};
+use ca_circuit::pauli::PauliString;
+use ca_circuit::{Gate, ScheduledCircuit};
+use ca_device::{phase_rad, Device};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The simulator: a device plus a noise configuration.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    /// Device under simulation.
+    pub device: Device,
+    /// Enabled noise processes.
+    pub config: NoiseConfig,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PlanOp {
+    /// Accrue one timeline segment into the pending banks.
+    Segment(usize),
+    /// Collapse a measured/reset qubit (window start).
+    Project { item: usize },
+    /// Apply the unitary of a scheduled item (window end).
+    Apply { item: usize },
+}
+
+/// Precomputed execution plan shared by all shots.
+struct Plan<'a> {
+    sc: &'a ScheduledCircuit,
+    segments: Vec<SegmentOp>,
+    ops: Vec<PlanOp>,
+    /// Map from crosstalk-edge index to `(a, b)`.
+    edge_pairs: Vec<(usize, usize)>,
+    /// Per-qubit list of incident crosstalk-edge indices.
+    incident: Vec<Vec<usize>>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the full noise model.
+    pub fn new(device: Device) -> Self {
+        Self { device, config: NoiseConfig::default() }
+    }
+
+    /// Creates a simulator with an explicit noise configuration.
+    pub fn with_config(device: Device, config: NoiseConfig) -> Self {
+        Self { device, config }
+    }
+
+    fn plan<'a>(&self, sc: &'a ScheduledCircuit) -> Plan<'a> {
+        let segments = build_segments(sc, &self.device, &self.config);
+        let mut keyed: Vec<(f64, u8, PlanOp)> = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            keyed.push((seg.t1, 0, PlanOp::Segment(i)));
+        }
+        for (i, si) in sc.items.iter().enumerate() {
+            match si.instruction.gate {
+                Gate::Barrier | Gate::Delay(_) => {}
+                // Rank order at equal times: segments flush first, then
+                // unitaries ending here, then projections starting here.
+                Gate::Measure | Gate::Reset => keyed.push((si.t0, 2, PlanOp::Project { item: i })),
+                _ => keyed.push((si.t1(), 1, PlanOp::Apply { item: i })),
+            }
+        }
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let edge_pairs: Vec<(usize, usize)> =
+            self.device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
+        let mut incident = vec![Vec::new(); sc.num_qubits];
+        for (idx, &(a, b)) in edge_pairs.iter().enumerate() {
+            if a < sc.num_qubits && b < sc.num_qubits {
+                incident[a].push(idx);
+                incident[b].push(idx);
+            }
+        }
+        Plan { sc, segments, ops: keyed.into_iter().map(|(_, _, op)| op).collect(), edge_pairs, incident }
+    }
+
+    /// Runs one trajectory; returns the final state and classical bits.
+    fn trajectory(&self, plan: &Plan<'_>, rng: &mut StdRng) -> (State, Vec<bool>) {
+        let n = plan.sc.num_qubits;
+        let shot = ShotNoise::sample(&self.device, &self.config, rng);
+        let mut st = State::zero(n);
+        let mut bits = vec![false; plan.sc.num_clbits.max(1)];
+        let mut pend_rz = vec![0.0f64; n];
+        let mut pend_rzz = vec![0.0f64; plan.edge_pairs.len()];
+        let mut deco_dt = vec![0.0f64; n];
+
+        let flush_qubit = |q: usize,
+                           st: &mut State,
+                           pend_rz: &mut [f64],
+                           pend_rzz: &mut [f64],
+                           deco_dt: &mut [f64],
+                           rng: &mut StdRng| {
+            if pend_rz[q].abs() > 1e-15 {
+                st.apply_rz(pend_rz[q], q);
+                pend_rz[q] = 0.0;
+            }
+            for &e in &plan.incident[q] {
+                if pend_rzz[e].abs() > 1e-15 {
+                    let (a, b) = plan.edge_pairs[e];
+                    st.apply_rzz(pend_rzz[e], a, b);
+                    pend_rzz[e] = 0.0;
+                }
+            }
+            if self.config.decoherence && deco_dt[q] > 0.0 {
+                let cal = &self.device.calibration.qubits[q];
+                let dt = deco_dt[q];
+                deco_dt[q] = 0.0;
+                let p_damp = damping_prob(dt, cal.t1_us);
+                if p_damp > 0.0 {
+                    st.apply_kraus_1q(&amplitude_damping_kraus(p_damp), q, rng);
+                }
+                let p_z = dephasing_prob(dt, t_phi_us(cal.t1_us, cal.t2_us));
+                if p_z > 0.0 && rng.random::<f64>() < p_z {
+                    st.apply_rz(std::f64::consts::PI, q);
+                }
+            }
+        };
+
+        for op in &plan.ops {
+            match *op {
+                PlanOp::Segment(i) => {
+                    let seg = &plan.segments[i];
+                    for &(q, th) in &seg.rz_static {
+                        pend_rz[q] += th;
+                    }
+                    for &(a, b, th) in &seg.rzz_static {
+                        if th.abs() > 1e-15 {
+                            if let Some(e) = plan
+                                .edge_pairs
+                                .iter()
+                                .position(|&(x, y)| (x, y) == (a.min(b), a.max(b)))
+                            {
+                                pend_rzz[e] += th;
+                            }
+                        }
+                    }
+                    for q in 0..n {
+                        let rate = shot.z_rate_khz(&self.device, q);
+                        if rate != 0.0 {
+                            pend_rz[q] += phase_rad(rate, seg.signed_dt[q]);
+                        }
+                        deco_dt[q] += seg.dt();
+                    }
+                }
+                PlanOp::Project { item } => {
+                    let si = &plan.sc.items[item];
+                    let q = si.instruction.qubits[0];
+                    flush_qubit(q, &mut st, &mut pend_rz, &mut pend_rzz, &mut deco_dt, rng);
+                    match si.instruction.gate {
+                        Gate::Measure => {
+                            let outcome = st.measure(q, rng);
+                            let recorded = if self.config.readout_error {
+                                let p = self.device.calibration.qubits[q].readout_err;
+                                if rng.random::<f64>() < p {
+                                    !outcome
+                                } else {
+                                    outcome
+                                }
+                            } else {
+                                outcome
+                            };
+                            if let Some(c) = si.instruction.clbit {
+                                bits[c] = recorded;
+                            }
+                        }
+                        Gate::Reset => st.reset(q, rng),
+                        _ => unreachable!(),
+                    }
+                }
+                PlanOp::Apply { item } => {
+                    let si = &plan.sc.items[item];
+                    let instr = &si.instruction;
+                    if let Some(cond) = instr.condition {
+                        if bits[cond.clbit] != cond.value {
+                            continue;
+                        }
+                    }
+                    let gate = instr.gate;
+                    if !gate.is_unitary() {
+                        continue;
+                    }
+                    if !gate.is_diagonal() {
+                        for &q in &instr.qubits {
+                            flush_qubit(q, &mut st, &mut pend_rz, &mut pend_rzz, &mut deco_dt, rng);
+                        }
+                    }
+                    match instr.qubits.len() {
+                        1 => {
+                            let q = instr.qubits[0];
+                            if let Gate::Rz(th) = gate {
+                                st.apply_rz(th, q);
+                            } else {
+                                st.apply_1q(&gate.matrix1().expect("1q unitary"), q);
+                            }
+                            if self.config.gate_error && !gate.is_virtual() {
+                                let p = self.device.calibration.qubits[q].gate_err_1q;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(0..3usize);
+                                    let pg = [Gate::X, Gate::Y, Gate::Z][k];
+                                    st.apply_1q(&pg.matrix1().unwrap(), q);
+                                }
+                            }
+                        }
+                        2 => {
+                            let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                            if let Gate::Rzz(th) = gate {
+                                st.apply_rzz(th, a, b);
+                            } else {
+                                st.apply_2q(&gate.matrix2().expect("2q unitary"), a, b);
+                            }
+                            if self.config.gate_error {
+                                let scale = plan.sc.durations.two_qubit_error_scale(&gate);
+                                let p = self.device.calibration.gate_err_2q(a, b) * scale;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(1..16usize);
+                                    let pa = k % 4;
+                                    let pb = k / 4;
+                                    let paulis = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
+                                    if let Some(g) = paulis[pa] {
+                                        st.apply_1q(&g.matrix1().unwrap(), a);
+                                    }
+                                    if let Some(g) = paulis[pb] {
+                                        st.apply_1q(&g.matrix1().unwrap(), b);
+                                    }
+                                }
+                            }
+                        }
+                        _ => panic!("unsupported gate arity"),
+                    }
+                }
+            }
+        }
+        // Final flush so the returned state carries all trailing noise.
+        for q in 0..n {
+            flush_qubit(q, &mut st, &mut pend_rz, &mut pend_rzz, &mut deco_dt, rng);
+        }
+        (st, bits)
+    }
+
+    /// Runs `shots` trajectories and gathers classical-bit counts.
+    pub fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
+        let plan = self.plan(sc);
+        let nbits = sc.num_clbits;
+        let chunks = chunk_ranges(shots);
+        let counts_parts: Vec<std::collections::BTreeMap<u64, usize>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(start, len)| {
+                        let plan_ref = &plan;
+                        scope.spawn(move || {
+                            let mut rng =
+                                StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(start as u64 + 1)));
+                            let mut counts = std::collections::BTreeMap::new();
+                            for _ in 0..len {
+                                let (_, bits) = self.trajectory(plan_ref, &mut rng);
+                                let key = pack_bits(&bits, nbits);
+                                *counts.entry(key).or_insert(0) += 1;
+                            }
+                            counts
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shot thread")).collect()
+            });
+        let mut counts = std::collections::BTreeMap::new();
+        for part in counts_parts {
+            for (k, v) in part {
+                *counts.entry(k).or_insert(0) += v;
+            }
+        }
+        RunResult { shots, num_clbits: nbits, counts }
+    }
+
+    /// Averages the quantum expectation values of the given Pauli
+    /// strings over `shots` trajectories (no sampling noise beyond the
+    /// stochastic noise processes themselves).
+    pub fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let plan = self.plan(sc);
+        let chunks = chunk_ranges(shots);
+        let sums: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, len)| {
+                    let plan_ref = &plan;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(start as u64 + 1)),
+                        );
+                        let mut acc = vec![0.0; paulis.len()];
+                        for _ in 0..len {
+                            let (st, _) = self.trajectory(plan_ref, &mut rng);
+                            for (i, p) in paulis.iter().enumerate() {
+                                acc[i] += st.expect_pauli(p);
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shot thread")).collect()
+        });
+        let mut out = vec![0.0; paulis.len()];
+        for part in sums {
+            for (o, p) in out.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= shots as f64;
+        }
+        out
+    }
+
+    /// Convenience: single Pauli expectation.
+    pub fn expect_pauli(
+        &self,
+        sc: &ScheduledCircuit,
+        pauli: &PauliString,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)[0]
+    }
+
+    /// Runs a single trajectory (deterministic for a given seed) and
+    /// returns the final state and classical bits. Test hook.
+    pub fn run_single(&self, sc: &ScheduledCircuit, seed: u64) -> (State, Vec<bool>) {
+        let plan = self.plan(sc);
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.trajectory(&plan, &mut rng)
+    }
+}
+
+/// Packs classical bits little-endian into a u64 key.
+pub fn pack_bits(bits: &[bool], nbits: usize) -> u64 {
+    let mut k = 0u64;
+    for (i, &b) in bits.iter().take(nbits.min(64)).enumerate() {
+        if b {
+            k |= 1 << i;
+        }
+    }
+    k
+}
+
+fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16).max(1);
+    let per = shots.div_ceil(workers);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < shots {
+        let len = per.min(shots - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations, PauliString};
+    use ca_device::{uniform_device, Topology};
+
+    fn ideal_sim(n: usize) -> Simulator {
+        Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal())
+    }
+
+    fn sched(qc: &Circuit) -> ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    #[test]
+    fn ideal_bell_counts() {
+        let sim = ideal_sim(2);
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let res = sim.run_counts(&sched(&qc), 400, 7);
+        assert_eq!(res.shots, 400);
+        let p00 = res.probability(0b00);
+        let p11 = res.probability(0b11);
+        assert!((p00 + p11 - 1.0).abs() < 1e-12, "only correlated outcomes");
+        assert!((p00 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn expectation_mode_is_noiseless_for_ideal() {
+        let sim = ideal_sim(1);
+        let mut qc = Circuit::new(1, 0);
+        qc.h(0);
+        let x = sim.expect_pauli(&sched(&qc), &PauliString::parse("X").unwrap(), 10, 3);
+        assert!((x - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn conditional_gate_fires_on_one() {
+        let sim = ideal_sim(2);
+        let mut qc = Circuit::new(2, 2);
+        // Prepare |1⟩, measure → bit 0 = 1 → X on qubit 1 → measure 1.
+        qc.x(0).measure(0, 0).gate_if(Gate::X, [1], 0, true).measure(1, 1);
+        let res = sim.run_counts(&sched(&qc), 50, 5);
+        assert!((res.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_gate_skipped_on_zero() {
+        let sim = ideal_sim(2);
+        let mut qc = Circuit::new(2, 2);
+        qc.measure(0, 0).gate_if(Gate::X, [1], 0, true).measure(1, 1);
+        let res = sim.run_counts(&sched(&qc), 50, 5);
+        assert!((res.probability(0b00) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_crosstalk_dephases_idle_plus_state() {
+        // Two idle coupled qubits in |++⟩ accrue U11; Ramsey contrast
+        // on qubit 0 oscillates with θ = 2πν·τ.
+        let dev = uniform_device(Topology::line(2), 100.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::coherent_only());
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(1);
+        qc.barrier(Vec::<usize>::new());
+        qc.delay(2500.0, 0).delay(2500.0, 1);
+        let x = sim.expect_pauli(&sched(&qc), &PauliString::parse("XI").unwrap(), 1, 2);
+        // θ = 2π·100kHz·2.5µs = π/2·... = 1.5708 rad; with the Rz(−θ)
+        // local terms, ⟨X⟩ = cos(θ)·cos(θ)... measured against exact:
+        let theta = ca_device::phase_rad(100.0, 2500.0);
+        // Exact: state (|0⟩+|1⟩)/√2 ⊗ same under U11:
+        // ⟨X₀⟩ = cos(θ)·cos(θ_z + ...). Compute numerically instead:
+        use crate::statevector::State;
+        let mut st = State::zero(2);
+        let h = ca_circuit::Gate::H.matrix1().unwrap();
+        st.apply_1q(&h, 0);
+        st.apply_1q(&h, 1);
+        st.apply_rzz(theta, 0, 1);
+        st.apply_rz(-theta, 0);
+        st.apply_rz(-theta, 1);
+        let expect = st.expect_pauli(&PauliString::parse("XI").unwrap());
+        assert!((x - expect).abs() < 1e-9, "sim {x} vs exact {expect}");
+    }
+
+    #[test]
+    fn x2_echo_cancels_single_qubit_z_noise() {
+        // Quasi-static detuning alone; an X at the middle of the idle
+        // refocuses it exactly.
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].quasistatic_khz = 50.0;
+        let cfg = NoiseConfig { quasistatic: true, ..NoiseConfig::ideal() };
+        let sim = Simulator::with_config(dev, cfg);
+        // Without echo: big dephasing.
+        let mut bare = Circuit::new(1, 0);
+        bare.h(0).delay(4000.0, 0).h(0);
+        let z_bare = sim.expect_pauli(&sched(&bare), &PauliString::parse("Z").unwrap(), 200, 11);
+        assert!(z_bare < 0.8, "bare Ramsey dephases: {z_bare}");
+        // With echo: X in the middle, phases cancel; end with X to undo.
+        let mut echo = Circuit::new(1, 0);
+        echo.h(0).delay(2000.0, 0).x(0).delay(2000.0, 0).h(0);
+        // After refocusing, state is X·|+⟩-path → H·X·|+⟩… measure Z:
+        // H X Rz(0) |+⟩ = H X |+⟩ = H|+⟩ = |0⟩ → ⟨Z⟩ = +1.
+        let z_echo = sim.expect_pauli(&sched(&echo), &PauliString::parse("Z").unwrap(), 200, 11);
+        assert!((z_echo - 1.0).abs() < 1e-9, "echo refocuses exactly: {z_echo}");
+    }
+
+    #[test]
+    fn staggered_dd_cancels_zz_but_aligned_does_not() {
+        let dev = uniform_device(Topology::line(2), 80.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::coherent_only());
+        // Zero-width pulses make the DD cancellation algebraically
+        // exact; realistic pulse widths are exercised elsewhere.
+        let durations = GateDurations { one_qubit: 0.0, ..GateDurations::default() };
+        let sched = |qc: &Circuit| schedule_asap(qc, durations);
+        let tau = 2000.0;
+        // Aligned: X on both qubits at the same midpoint.
+        let mut aligned = Circuit::new(2, 0);
+        aligned.h(0).h(1);
+        aligned.barrier(Vec::<usize>::new());
+        aligned.delay(tau, 0).delay(tau, 1);
+        aligned.x(0).x(1);
+        aligned.delay(tau, 0).delay(tau, 1);
+        aligned.x(0).x(1);
+        aligned.barrier(Vec::<usize>::new());
+        aligned.h(0).h(1);
+        // Staggered: qubit 1 echoes at the quarter points instead.
+        let mut staggered = Circuit::new(2, 0);
+        staggered.h(0).h(1);
+        staggered.barrier(Vec::<usize>::new());
+        staggered.delay(tau, 0);
+        staggered.delay(tau / 2.0, 1).x(1).delay(tau, 1);
+        staggered.x(0);
+        staggered.delay(tau, 0);
+        staggered.x(1).delay(tau / 2.0, 1);
+        staggered.x(0);
+        staggered.barrier(Vec::<usize>::new());
+        staggered.h(0).h(1);
+        let z = PauliString::parse("ZI").unwrap();
+        let za = sim.expect_pauli(&sched(&aligned), &z, 1, 1);
+        let zs = sim.expect_pauli(&sched(&staggered), &z, 1, 1);
+        // Aligned cancels local Z but leaves ZZ: ⟨Z₀⟩ = cos(θ_zz_total).
+        let theta = ca_device::phase_rad(80.0, 2.0 * tau);
+        assert!((za - theta.cos()).abs() < 1e-9, "aligned leaves ZZ: {za}");
+        assert!((zs - 1.0).abs() < 1e-9, "staggered cancels everything: {zs}");
+    }
+
+    #[test]
+    fn t1_decay_statistics() {
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].t1_us = 50.0;
+        dev.calibration.qubits[0].t2_us = 100.0;
+        let cfg = NoiseConfig { decoherence: true, ..NoiseConfig::ideal() };
+        let sim = Simulator::with_config(dev, cfg);
+        let mut qc = Circuit::new(1, 1);
+        qc.x(0).delay(50_000.0, 0).measure(0, 0);
+        let res = sim.run_counts(&sched(&qc), 2000, 13);
+        let p1 = res.probability(1);
+        let expect = (-1.0f64).exp(); // decay over exactly T1.
+        assert!((p1 - expect).abs() < 0.05, "p1 {p1} vs {expect}");
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].readout_err = 0.2;
+        let cfg = NoiseConfig { readout_error: true, ..NoiseConfig::ideal() };
+        let sim = Simulator::with_config(dev, cfg);
+        let mut qc = Circuit::new(1, 1);
+        qc.measure(0, 0);
+        let res = sim.run_counts(&sched(&qc), 3000, 17);
+        let p1 = res.probability(1);
+        assert!((p1 - 0.2).abs() < 0.03, "readout flips ~20%: {p1}");
+    }
+
+    #[test]
+    fn measurement_neighbor_accrues_conditional_phase() {
+        // Fig. 9 physics: measuring q0 while q1 idles next to it makes
+        // q1 pick up Rz(±θ) conditioned on the outcome.
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::coherent_only());
+        let mut qc = Circuit::new(2, 1);
+        qc.x(0); // deterministic outcome 1
+        qc.h(1);
+        qc.measure(0, 0);
+        let sc = sched(&qc);
+        let (st, bits) = sim.run_single(&sc, 5);
+        assert!(bits[0]);
+        // q1's Bloch vector rotated by the accumulated phase; its X
+        // expectation is cos of the total accrued angle.
+        let x1 = st.expect_pauli(&PauliString::parse("IX").unwrap());
+        assert!(x1 < 0.999, "phase accrued during readout window: {x1}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations, PauliString};
+    use ca_device::{uniform_device, Topology};
+
+    fn sched(qc: &Circuit) -> ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    #[test]
+    fn reset_reinitializes_mid_circuit() {
+        let sim = Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(1, 1);
+        qc.x(0).reset(0).measure(0, 0);
+        let res = sim.run_counts(&sched(&qc), 50, 3);
+        assert!((res.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_measurements_of_entangled_pair_agree() {
+        let sim = Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let res = sim.run_counts(&sched(&qc), 300, 9);
+        // Never anti-correlated.
+        assert_eq!(res.probability(0b01), 0.0);
+        assert_eq!(res.probability(0b10), 0.0);
+    }
+
+    #[test]
+    fn gate_error_statistics_scale_with_rate() {
+        let mut dev = uniform_device(Topology::line(2), 0.0);
+        let keys: Vec<_> = dev.calibration.edges.keys().copied().collect();
+        for k in keys {
+            dev.calibration.edges.get_mut(&k).unwrap().gate_err_2q = 0.25;
+        }
+        let cfg = NoiseConfig { gate_error: true, ..NoiseConfig::ideal() };
+        let sim = Simulator::with_config(dev, cfg);
+        // Identity-equivalent pair of ECRs; depolarizing error shows up
+        // as a drop in the return probability.
+        let mut qc = Circuit::new(2, 2);
+        qc.ecr(0, 1).ecr(0, 1).measure(0, 0).measure(1, 1);
+        let res = sim.run_counts(&sched(&qc), 2000, 5);
+        let p00 = res.probability(0b00);
+        // Two gates at p=0.25: survival ≈ (1−p)² + small returns.
+        assert!(p00 < 0.75, "depolarizing must reduce p00: {p00}");
+        assert!(p00 > 0.45, "but not destroy it: {p00}");
+    }
+
+    #[test]
+    fn virtual_rz_between_halves_shifts_ramsey_phase() {
+        let sim = Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(1, 0);
+        qc.h(0).rz(1.234, 0).h(0);
+        let z = sim.expect_pauli(&sched(&qc), &PauliString::parse("Z").unwrap(), 1, 1);
+        assert!((z - 1.234f64.cos()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn barrier_only_circuit_is_identity() {
+        let sim = Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(2, 0);
+        qc.barrier(Vec::<usize>::new());
+        let (st, _) = sim.run_single(&sched(&qc), 1);
+        assert!((st.amps[0].norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pack_bits_is_little_endian() {
+        assert_eq!(pack_bits(&[true, false, true], 3), 0b101);
+        assert_eq!(pack_bits(&[false, true], 2), 0b10);
+    }
+}

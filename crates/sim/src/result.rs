@@ -1,0 +1,101 @@
+//! Run results: classical-bit counts and derived statistics.
+
+use std::collections::BTreeMap;
+
+/// Counts of classical-register outcomes over a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total shots.
+    pub shots: usize,
+    /// Number of classical bits in the register.
+    pub num_clbits: usize,
+    /// Outcome → count; keys pack bits little-endian (bit `i` of the
+    /// key is classical bit `i`).
+    pub counts: BTreeMap<u64, usize>,
+}
+
+impl RunResult {
+    /// Probability of an exact outcome pattern.
+    pub fn probability(&self, pattern: u64) -> f64 {
+        *self.counts.get(&pattern).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// Marginal probability that classical bit `c` reads 1.
+    pub fn marginal_one(&self, c: usize) -> f64 {
+        let bit = 1u64 << c;
+        let ones: usize = self.counts.iter().filter(|(k, _)| *k & bit != 0).map(|(_, v)| v).sum();
+        ones as f64 / self.shots as f64
+    }
+
+    /// ⟨Z⟩-style expectation of the parity of the given classical bits:
+    /// `Σ (−1)^{popcount(outcome & mask)} p(outcome)`.
+    pub fn parity_expectation(&self, clbits: &[usize]) -> f64 {
+        let mask: u64 = clbits.iter().fold(0, |m, &c| m | (1 << c));
+        let mut acc = 0.0;
+        for (&k, &v) in &self.counts {
+            let parity = (k & mask).count_ones() % 2;
+            let sign = if parity == 0 { 1.0 } else { -1.0 };
+            acc += sign * v as f64;
+        }
+        acc / self.shots as f64
+    }
+
+    /// Standard error of the parity expectation (binomial).
+    pub fn parity_stderr(&self, clbits: &[usize]) -> f64 {
+        let e = self.parity_expectation(clbits);
+        ((1.0 - e * e).max(0.0) / self.shots as f64).sqrt()
+    }
+
+    /// Merges another result into this one (same register layout).
+    pub fn merge(&mut self, other: &RunResult) {
+        assert_eq!(self.num_clbits, other.num_clbits);
+        self.shots += other.shots;
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(entries: &[(u64, usize)]) -> RunResult {
+        let counts: BTreeMap<u64, usize> = entries.iter().copied().collect();
+        let shots = counts.values().sum();
+        RunResult { shots, num_clbits: 2, counts }
+    }
+
+    #[test]
+    fn probability_and_marginals() {
+        let r = result(&[(0b00, 50), (0b01, 25), (0b11, 25)]);
+        assert!((r.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((r.marginal_one(0) - 0.5).abs() < 1e-12);
+        assert!((r.marginal_one(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_expectation_signs() {
+        let r = result(&[(0b00, 50), (0b11, 50)]);
+        // Even parity both outcomes → ⟨ZZ⟩ = 1.
+        assert!((r.parity_expectation(&[0, 1]) - 1.0).abs() < 1e-12);
+        // Single-bit parity: half 0, half 1 → 0.
+        assert!(r.parity_expectation(&[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = result(&[(0b00, 10)]);
+        let b = result(&[(0b00, 5), (0b01, 5)]);
+        a.merge(&b);
+        assert_eq!(a.shots, 20);
+        assert_eq!(a.counts[&0b00], 15);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_shots() {
+        let small = result(&[(0b00, 10), (0b01, 10)]);
+        let big = result(&[(0b00, 1000), (0b01, 1000)]);
+        assert!(big.parity_stderr(&[0]) < small.parity_stderr(&[0]));
+    }
+}

@@ -1,0 +1,399 @@
+//! Dense statevector with the operations the trajectory engine needs:
+//! 1q/2q unitaries, fast diagonal Z/ZZ rotations (the coherent-error
+//! workhorse), Pauli expectations, projective measurement, and
+//! single-qubit Kraus-channel sampling for amplitude damping.
+
+use ca_circuit::c64::{C64, ONE, ZERO};
+use ca_circuit::matrix::{Mat2, Mat4};
+use ca_circuit::pauli::{Pauli, PauliString};
+use rand::RngExt;
+
+/// A pure state of `n` qubits: `2^n` complex amplitudes, qubit `q` is
+/// bit `q` of the basis index (little-endian, matching `ca-circuit`'s
+/// matrix convention).
+#[derive(Clone, Debug)]
+pub struct State {
+    /// Number of qubits.
+    pub n: usize,
+    /// Amplitudes, length `2^n`.
+    pub amps: Vec<C64>,
+}
+
+impl State {
+    /// |0…0⟩.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 24, "statevector limited to 24 qubits");
+        let mut amps = vec![ZERO; 1 << n];
+        amps[0] = ONE;
+        Self { n, amps }
+    }
+
+    /// A computational basis state.
+    pub fn basis(n: usize, index: usize) -> Self {
+        let mut amps = vec![ZERO; 1 << n];
+        amps[index] = ONE;
+        Self { n, amps }
+    }
+
+    /// Squared norm (should stay ≈1 between explicit renormalisations).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales to unit norm.
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            let inv = 1.0 / n;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        let bit = 1usize << q;
+        let (m00, m01, m10, m11) = (m.0[0][0], m.0[0][1], m.0[1][0], m.0[1][1]);
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[j] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    /// Applies a 4×4 unitary to qubits `(a, b)` where `a` is the
+    /// low-order index bit of the matrix (first listed operand).
+    pub fn apply_2q(&mut self, m: &Mat4, a: usize, b: usize) {
+        assert_ne!(a, b);
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & ba == 0 && i & bb == 0 {
+                let idx = [i, i | ba, i | bb, i | ba | bb];
+                let v = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+                for (r, &out_i) in idx.iter().enumerate() {
+                    let mut acc = ZERO;
+                    for (c, &vc) in v.iter().enumerate() {
+                        acc += m.0[r][c] * vc;
+                    }
+                    self.amps[out_i] = acc;
+                }
+            }
+        }
+    }
+
+    /// Fast diagonal: `Rz(θ)` on `q`.
+    pub fn apply_rz(&mut self, theta: f64, q: usize) {
+        let bit = 1usize << q;
+        let e0 = C64::cis(-theta / 2.0);
+        let e1 = C64::cis(theta / 2.0);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = *a * if i & bit == 0 { e0 } else { e1 };
+        }
+    }
+
+    /// Fast diagonal: `Rzz(θ)` on `(a, b)`.
+    pub fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let even = C64::cis(-theta / 2.0);
+        let odd = C64::cis(theta / 2.0);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            let parity = ((i & ba != 0) as u8) ^ ((i & bb != 0) as u8);
+            *amp = *amp * if parity == 0 { even } else { odd };
+        }
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projective Z measurement of `q`: collapses, renormalises, and
+    /// returns the outcome.
+    pub fn measure(&mut self, q: usize, rng: &mut impl RngExt) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.random::<f64>() < p1;
+        self.project(q, outcome);
+        outcome
+    }
+
+    /// Forces qubit `q` into the given outcome (collapse + renormalise).
+    pub fn project(&mut self, q: usize, outcome: bool) {
+        let bit = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & bit != 0) as bool) != outcome {
+                *a = ZERO;
+            }
+        }
+        self.renormalize();
+    }
+
+    /// Resets qubit `q` to |0⟩ (measure, then classical flip if 1).
+    pub fn reset(&mut self, q: usize, rng: &mut impl RngExt) {
+        let outcome = self.measure(q, rng);
+        if outcome {
+            self.apply_1q(&ca_circuit::Gate::X.matrix1().unwrap(), q);
+        }
+    }
+
+    /// Expectation value of a signed Pauli string (real by Hermiticity).
+    pub fn expect_pauli(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.paulis.len(), self.n);
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() < 1e-30 {
+                continue;
+            }
+            // ⟨ψ|P|ψ⟩ = Σ_i conj(ψ_{j(i)})·phase_i·ψ_i where P|i⟩ = phase·|j⟩.
+            let mut j = i;
+            let mut phase = C64::real(1.0);
+            for (q, pq) in p.paulis.iter().enumerate() {
+                let bit = 1usize << q;
+                let b = i & bit != 0;
+                match pq {
+                    Pauli::I => {}
+                    Pauli::X => {
+                        j ^= bit;
+                    }
+                    Pauli::Y => {
+                        j ^= bit;
+                        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                        phase = phase * if b { C64::new(0.0, -1.0) } else { C64::new(0.0, 1.0) };
+                    }
+                    Pauli::Z => {
+                        if b {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            let term = self.amps[j].conj() * phase * *a;
+            acc += term.re;
+        }
+        acc * p.sign as f64
+    }
+
+    /// Samples a full computational-basis bitstring without collapsing
+    /// (returns the basis index).
+    pub fn sample_index(&self, rng: &mut impl RngExt) -> usize {
+        let r: f64 = rng.random::<f64>() * self.norm_sqr();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Applies one branch of a single-qubit Kraus channel, sampled with
+    /// the Born weights (Monte-Carlo wavefunction step). The Kraus set
+    /// must satisfy `Σ K†K = I`.
+    pub fn apply_kraus_1q(&mut self, kraus: &[Mat2], q: usize, rng: &mut impl RngExt) {
+        let r: f64 = rng.random();
+        let mut acc = 0.0;
+        for (idx, k) in kraus.iter().enumerate() {
+            let w = self.branch_weight(k, q);
+            acc += w;
+            if r < acc || idx == kraus.len() - 1 {
+                self.apply_1q(k, q);
+                self.renormalize();
+                return;
+            }
+        }
+    }
+
+    /// ‖K|ψ⟩‖² for a 1q operator K on qubit `q`.
+    fn branch_weight(&self, k: &Mat2, q: usize) -> f64 {
+        let bit = 1usize << q;
+        let mut w = 0.0;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let n0 = k.0[0][0] * self.amps[i] + k.0[0][1] * self.amps[j];
+                let n1 = k.0[1][0] * self.amps[i] + k.0[1][1] * self.amps[j];
+                w += n0.norm_sqr() + n1.norm_sqr();
+            }
+        }
+        w
+    }
+
+    /// Fidelity |⟨other|self⟩|².
+    pub fn fidelity(&self, other: &State) -> f64 {
+        let ip: C64 = self
+            .amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| b.conj() * *a)
+            .sum();
+        ip.norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn hadamard_makes_plus_state() {
+        let mut s = State::zero(1);
+        s.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        assert!((s.amps[0].re - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+        assert!((s.amps[1].re - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+        assert!((s.expect_pauli(&PauliString::parse("X").unwrap()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_via_cx() {
+        let mut s = State::zero(2);
+        s.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        s.apply_2q(&Gate::Cx.matrix2().unwrap(), 0, 1);
+        assert!((s.expect_pauli(&PauliString::parse("ZZ").unwrap()) - 1.0).abs() < TOL);
+        assert!((s.expect_pauli(&PauliString::parse("XX").unwrap()) - 1.0).abs() < TOL);
+        assert!(s.expect_pauli(&PauliString::parse("ZI").unwrap()).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_2q_respects_qubit_order() {
+        // CX with control 1, target 0 on |01⟩ (qubit1=0, qubit0=1):
+        // index 1 → control clear → unchanged.
+        let mut s = State::basis(2, 1);
+        s.apply_2q(&Gate::Cx.matrix2().unwrap(), 1, 0);
+        assert!(s.amps[1].approx_eq(ONE, TOL));
+        // |10⟩ (index 2, qubit1=1): flips qubit 0 → |11⟩ (index 3).
+        let mut s = State::basis(2, 2);
+        s.apply_2q(&Gate::Cx.matrix2().unwrap(), 1, 0);
+        assert!(s.amps[3].approx_eq(ONE, TOL));
+    }
+
+    #[test]
+    fn rz_diag_matches_dense() {
+        let mut a = State::zero(2);
+        a.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        a.apply_1q(&Gate::H.matrix1().unwrap(), 1);
+        let mut b = a.clone();
+        a.apply_rz(0.37, 1);
+        b.apply_1q(&Gate::Rz(0.37).matrix1().unwrap(), 1);
+        for (x, y) in a.amps.iter().zip(b.amps.iter()) {
+            assert!(x.approx_eq(*y, TOL));
+        }
+    }
+
+    #[test]
+    fn rzz_diag_matches_dense() {
+        let mut a = State::zero(2);
+        a.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        a.apply_1q(&Gate::H.matrix1().unwrap(), 1);
+        let mut b = a.clone();
+        a.apply_rzz(0.81, 0, 1);
+        b.apply_2q(&Gate::Rzz(0.81).matrix2().unwrap(), 0, 1);
+        for (x, y) in a.amps.iter().zip(b.amps.iter()) {
+            assert!(x.approx_eq(*y, TOL));
+        }
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut ones = 0;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let mut s = State::zero(1);
+            s.apply_1q(&Gate::Ry(1.0).matrix1().unwrap(), 0);
+            if s.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let expect = (0.5f64).sin().powi(2); // sin²(θ/2), θ=1.
+        let freq = ones as f64 / 2000.0;
+        assert!((freq - expect).abs() < 0.04, "freq {freq} vs {expect}");
+    }
+
+    #[test]
+    fn projection_collapses() {
+        let mut s = State::zero(2);
+        s.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        s.apply_2q(&Gate::Cx.matrix2().unwrap(), 0, 1);
+        s.project(0, true);
+        assert!((s.prob_one(1) - 1.0).abs() < TOL);
+        assert!((s.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn amplitude_damping_relaxes_excited_state() {
+        // γ = 1: the excited state must fully decay to |0⟩.
+        let g = 1.0f64;
+        let k0 = Mat2([[ONE, ZERO], [ZERO, C64::real((1.0 - g).sqrt())]]);
+        let k1 = Mat2([[ZERO, C64::real(g.sqrt())], [ZERO, ZERO]]);
+        let mut s = State::basis(1, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.apply_kraus_1q(&[k0, k1], 0, &mut rng);
+        assert!((s.prob_one(0)).abs() < TOL);
+    }
+
+    #[test]
+    fn kraus_statistics_partial_damping() {
+        let g = 0.3f64;
+        let k0 = Mat2([[ONE, ZERO], [ZERO, C64::real((1.0 - g).sqrt())]]);
+        let k1 = Mat2([[ZERO, C64::real(g.sqrt())], [ZERO, ZERO]]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut decayed = 0;
+        for _ in 0..3000 {
+            let mut s = State::basis(1, 1);
+            s.apply_kraus_1q(&[k0, k1], 0, &mut rng);
+            if s.prob_one(0) < 0.5 {
+                decayed += 1;
+            }
+        }
+        let freq = decayed as f64 / 3000.0;
+        assert!((freq - g).abs() < 0.03, "freq {freq} vs {g}");
+    }
+
+    #[test]
+    fn expect_pauli_y() {
+        let mut s = State::zero(1);
+        // S·H|0⟩ = |+i⟩, the +1 eigenstate of Y.
+        s.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        s.apply_1q(&Gate::S.matrix1().unwrap(), 0);
+        assert!((s.expect_pauli(&PauliString::parse("Y").unwrap()) - 1.0).abs() < TOL);
+        // Signed string flips the expectation.
+        assert!((s.expect_pauli(&PauliString::parse("-Y").unwrap()) + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn sample_index_distribution() {
+        let mut s = State::zero(1);
+        s.apply_1q(&Gate::H.matrix1().unwrap(), 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            ones += s.sample_index(&mut rng);
+        }
+        assert!((ones as f64 / 2000.0 - 0.5).abs() < 0.04);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = State::basis(1, 0);
+        let b = State::basis(1, 1);
+        assert!(a.fidelity(&b).abs() < TOL);
+        assert!((a.fidelity(&a) - 1.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,465 @@
+//! Timeline segmentation and context-aware coherent-noise accumulation.
+//!
+//! The scheduled circuit is chopped into segments at every instruction
+//! boundary *and* at the internal echo flip points of each ECR gate
+//! (control frame flips at τg/2; target rotary frame flips at τg/4,
+//! τg/2, 3τg/4). Within a segment every qubit has a constant context
+//! and toggling-frame sign σ ∈ {−1, +1}, and each crosstalk edge
+//! `(i,j)` with rate ν accrues the Eq. (1) phases
+//!
+//! ```text
+//! θ_zz(i,j) += 2πν·Δt·σ_i·σ_j     θ_z(i) += −2πν·Δt·σ_i   (and j)
+//! ```
+//!
+//! This single integral rule reproduces all four contexts of Fig. 3:
+//! aligned DD pulses leave σ_i·σ_j ≡ 1 (ZZ survives), staggered/Walsh
+//! pulses zero the signed area, the ECR control echo refocuses ZZ to
+//! its spectator (case II), and parallel ECR controls re-align (case
+//! IV). Circuit-level DD pulses need no signs here — they are real X
+//! gates whose conjugation the executor performs exactly; only
+//! *gate-internal* echoes need σ.
+
+use crate::noise::NoiseConfig;
+use ca_circuit::{Gate, ScheduledCircuit};
+use ca_device::{phase_rad, Device};
+
+/// What a qubit is doing during one segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activity {
+    /// Idle (or inside an explicit delay).
+    Idle,
+    /// Inside a physical single-qubit gate (or conditional 1q gate).
+    Driven1Q {
+        /// Index of the covering scheduled item.
+        item: usize,
+    },
+    /// Control of an ECR gate; `sign` is the echo frame in this
+    /// sub-segment (+1 first half, −1 second half).
+    EcrControl {
+        /// Index of the covering scheduled item.
+        item: usize,
+        /// Toggling-frame sign.
+        sign: f64,
+    },
+    /// Target of an ECR gate; the rotary echo flips each quarter
+    /// (+1, −1, +1, −1).
+    EcrTarget {
+        /// Index of the covering scheduled item.
+        item: usize,
+        /// Toggling-frame sign.
+        sign: f64,
+    },
+    /// Inside a natively executed canonical gate (approximated as an
+    /// echoed gate: both frames flip at the midpoint).
+    CanActive {
+        /// Index of the covering scheduled item.
+        item: usize,
+        /// Toggling-frame sign.
+        sign: f64,
+    },
+    /// Being measured (collapsed at window start; couplings continue).
+    Measuring {
+        /// Index of the covering scheduled item.
+        item: usize,
+    },
+    /// Being reset.
+    Resetting {
+        /// Index of the covering scheduled item.
+        item: usize,
+    },
+}
+
+impl Activity {
+    /// The toggling-frame sign σ for this activity.
+    pub fn sign(&self) -> f64 {
+        match self {
+            Activity::EcrControl { sign, .. }
+            | Activity::EcrTarget { sign, .. }
+            | Activity::CanActive { sign, .. } => *sign,
+            _ => 1.0,
+        }
+    }
+
+    /// The covering item index, if any.
+    pub fn item(&self) -> Option<usize> {
+        match self {
+            Activity::Driven1Q { item }
+            | Activity::EcrControl { item, .. }
+            | Activity::EcrTarget { item, .. }
+            | Activity::CanActive { item, .. }
+            | Activity::Measuring { item }
+            | Activity::Resetting { item } => Some(*item),
+            Activity::Idle => None,
+        }
+    }
+
+    /// True when the qubit's drive can Stark-shift its neighbours
+    /// (single-qubit pulses and the ECR control drive — Sec. III-C).
+    pub fn is_starking(&self) -> bool {
+        matches!(self, Activity::Driven1Q { .. } | Activity::EcrControl { .. })
+    }
+}
+
+/// One timeline segment with precomputed *static* coherent phases.
+///
+/// The executor adds the static phases to its pending diagonal banks
+/// and multiplies `signed_dt` by the per-shot stochastic Z rates; all
+/// per-segment work is scalar.
+#[derive(Clone, Debug)]
+pub struct SegmentOp {
+    /// Segment start (ns).
+    pub t0: f64,
+    /// Segment end (ns).
+    pub t1: f64,
+    /// Coherent Z phases per qubit: `(qubit, θ)`.
+    pub rz_static: Vec<(usize, f64)>,
+    /// Coherent ZZ phases per edge: `(i, j, θ)`.
+    pub rzz_static: Vec<(usize, usize, f64)>,
+    /// Per-qubit σ·Δt in ns (for per-shot stochastic Z rates).
+    pub signed_dt: Vec<f64>,
+    /// Per-qubit activities (kept for inspection / tests).
+    pub activity: Vec<Activity>,
+}
+
+impl SegmentOp {
+    /// Segment length in ns.
+    pub fn dt(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// Determines each qubit's activity over `[a, b)`; the interval must
+/// not straddle any event boundary.
+fn activities_at(sc: &ScheduledCircuit, a: f64, b: f64) -> Vec<Activity> {
+    let mid = 0.5 * (a + b);
+    let mut out = vec![Activity::Idle; sc.num_qubits];
+    for (idx, si) in sc.items.iter().enumerate() {
+        if si.duration <= 0.0 || si.t0 > mid || si.t1() < mid {
+            continue;
+        }
+        let gate = si.instruction.gate;
+        if matches!(gate, Gate::Barrier | Gate::Delay(_)) {
+            continue;
+        }
+        let frac = (mid - si.t0) / si.duration;
+        match gate {
+            Gate::Ecr => {
+                let c = si.instruction.qubits[0];
+                let t = si.instruction.qubits[1];
+                let csign = if frac < 0.5 { 1.0 } else { -1.0 };
+                let quarter = (frac * 4.0).floor() as i32 % 4;
+                let tsign = if quarter % 2 == 0 { 1.0 } else { -1.0 };
+                out[c] = Activity::EcrControl { item: idx, sign: csign };
+                out[t] = Activity::EcrTarget { item: idx, sign: tsign };
+            }
+            Gate::Can { .. } | Gate::Rzz(_) | Gate::Cx | Gate::Cz => {
+                let sign = if frac < 0.5 { 1.0 } else { -1.0 };
+                for &q in &si.instruction.qubits {
+                    out[q] = Activity::CanActive { item: idx, sign };
+                }
+            }
+            Gate::Measure => {
+                out[si.instruction.qubits[0]] = Activity::Measuring { item: idx };
+            }
+            Gate::Reset => {
+                out[si.instruction.qubits[0]] = Activity::Resetting { item: idx };
+            }
+            _ => {
+                for &q in &si.instruction.qubits {
+                    out[q] = Activity::Driven1Q { item: idx };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the ordered segment list with static coherent contributions.
+pub fn build_segments(
+    sc: &ScheduledCircuit,
+    device: &Device,
+    config: &NoiseConfig,
+) -> Vec<SegmentOp> {
+    // Event times: instruction boundaries + 2q-gate quarter points.
+    let mut times = sc.event_times();
+    for si in &sc.items {
+        if si.duration > 0.0 && si.instruction.is_two_qubit() {
+            for k in 1..4 {
+                times.push(si.t0 + si.duration * k as f64 / 4.0);
+            }
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut segments = Vec::new();
+    for w in times.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let dt = b - a;
+        if dt <= 1e-9 {
+            continue;
+        }
+        let activity = activities_at(sc, a, b);
+        let mut rz: Vec<f64> = vec![0.0; sc.num_qubits];
+        let mut rzz: Vec<(usize, usize, f64)> = Vec::new();
+        let mut signed_dt = vec![0.0; sc.num_qubits];
+        for (q, act) in activity.iter().enumerate() {
+            signed_dt[q] = act.sign() * dt;
+        }
+
+        if config.zz_crosstalk {
+            for e in &device.crosstalk.edges {
+                let (i, j) = (e.a, e.b);
+                let ai = activity[i];
+                let aj = activity[j];
+                // The gate's own pair: the intended interaction is part
+                // of the calibrated gate unitary, not an error.
+                if ai.item().is_some() && ai.item() == aj.item() {
+                    continue;
+                }
+                let theta = phase_rad(e.zz_khz, dt);
+                let (si, sj) = (ai.sign(), aj.sign());
+                rzz.push((i, j, theta * si * sj));
+                rz[i] -= theta * si;
+                rz[j] -= theta * sj;
+            }
+        }
+
+        if config.stark {
+            for (q, act) in activity.iter().enumerate() {
+                if !act.is_starking() {
+                    continue;
+                }
+                for s in device.crosstalk.neighbors(q) {
+                    if activity[s] == Activity::Idle {
+                        let nu = device.calibration.stark_on(q, s);
+                        if nu != 0.0 {
+                            rz[s] += phase_rad(nu, dt);
+                        }
+                    }
+                }
+            }
+        }
+
+        let rz_static: Vec<(usize, f64)> =
+            rz.iter().enumerate().filter(|(_, th)| th.abs() > 1e-15).map(|(q, th)| (q, *th)).collect();
+        segments.push(SegmentOp { t0: a, t1: b, rz_static, rzz_static: rzz, signed_dt, activity });
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    fn dev2() -> Device {
+        uniform_device(Topology::line(2), 100.0)
+    }
+
+    fn segs(qc: &Circuit, dev: &Device) -> Vec<SegmentOp> {
+        let sc = schedule_asap(qc, GateDurations::default());
+        build_segments(&sc, dev, &NoiseConfig::coherent_only())
+    }
+
+    #[test]
+    fn idle_pair_accrues_u11_phases() {
+        let dev = dev2();
+        let mut qc = Circuit::new(2, 0);
+        qc.delay(500.0, 0).delay(500.0, 1);
+        let s = segs(&qc, &dev);
+        assert_eq!(s.len(), 1);
+        let theta = ca_device::phase_rad(100.0, 500.0);
+        assert_eq!(s[0].rzz_static, vec![(0, 1, theta)]);
+        // Z phases are −θ each (U11 of Eq. 2).
+        assert_eq!(s[0].rz_static.len(), 2);
+        assert!((s[0].rz_static[0].1 + theta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecr_quarters_have_expected_signs() {
+        let dev = uniform_device(Topology::line(3), 100.0);
+        let mut qc = Circuit::new(3, 0);
+        qc.ecr(0, 1); // qubit 2 idles as target spectator of qubit 1.
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        assert_eq!(s.len(), 4, "ECR chops into quarters");
+        // Control sign: +,+,−,− ; target sign: +,−,+,−.
+        let csigns: Vec<f64> = s.iter().map(|x| x.activity[0].sign()).collect();
+        let tsigns: Vec<f64> = s.iter().map(|x| x.activity[1].sign()).collect();
+        assert_eq!(csigns, vec![1.0, 1.0, -1.0, -1.0]);
+        assert_eq!(tsigns, vec![1.0, -1.0, 1.0, -1.0]);
+        // Edge (1,2): target–spectator ZZ phases cancel over the gate.
+        let net: f64 = s
+            .iter()
+            .flat_map(|x| x.rzz_static.iter())
+            .filter(|(a, b, _)| (*a, *b) == (1, 2))
+            .map(|(_, _, th)| th)
+            .sum();
+        assert!(net.abs() < 1e-12, "rotary refocuses target-spectator ZZ");
+        // But the spectator's Z phase from that edge survives.
+        let zq2: f64 = s
+            .iter()
+            .flat_map(|x| x.rz_static.iter())
+            .filter(|(q, _)| *q == 2)
+            .map(|(_, th)| th)
+            .sum();
+        assert!(zq2.abs() > 1e-6, "spectator Z error survives (case III)");
+    }
+
+    #[test]
+    fn own_pair_interaction_excluded_during_gate() {
+        let dev = dev2();
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        let s = segs(&qc, &dev);
+        for seg in &s {
+            assert!(seg.rzz_static.is_empty(), "no self-pair ZZ during own gate");
+        }
+    }
+
+    #[test]
+    fn control_echo_refocuses_spectator_zz() {
+        // Qubit 0 idle spectator of control qubit 1 in ECR(1,2).
+        let dev = uniform_device(Topology::line(3), 100.0);
+        let mut qc = Circuit::new(3, 0);
+        qc.ecr(1, 2);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        let net: f64 = s
+            .iter()
+            .flat_map(|x| x.rzz_static.iter())
+            .filter(|(a, b, _)| (*a, *b) == (0, 1))
+            .map(|(_, _, th)| th)
+            .sum();
+        assert!(net.abs() < 1e-12, "control echo refocuses ZZ (case II)");
+    }
+
+    #[test]
+    fn stark_applies_to_idle_neighbors_only() {
+        let mut dev = uniform_device(Topology::line(2), 0.0);
+        dev.calibration.stark_khz.insert((0, 1), 20.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.x(0);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        let z1: f64 = s
+            .iter()
+            .flat_map(|x| x.rz_static.iter())
+            .filter(|(q, _)| *q == 1)
+            .map(|(_, th)| th)
+            .sum();
+        let expect = ca_device::phase_rad(20.0, 40.0);
+        assert!((z1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_dt_tracks_activity() {
+        let dev = dev2();
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        let s = segs(&qc, &dev);
+        // Control signed time sums to zero over the echoed gate.
+        let total: f64 = s.iter().map(|x| x.signed_dt[0]).sum();
+        assert!(total.abs() < 1e-9);
+        // Target too (rotary quarters).
+        let total_t: f64 = s.iter().map(|x| x.signed_dt[1]).sum();
+        assert!(total_t.abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_config_gates_contributions() {
+        let dev = dev2();
+        let mut qc = Circuit::new(2, 0);
+        qc.delay(500.0, 0).delay(500.0, 1);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = build_segments(&sc, &dev, &NoiseConfig::ideal());
+        assert!(s[0].rzz_static.is_empty());
+        assert!(s[0].rz_static.is_empty());
+    }
+
+    #[test]
+    fn measuring_qubit_keeps_coupling() {
+        let dev = dev2();
+        let mut qc = Circuit::new(2, 1);
+        qc.measure(0, 0);
+        let s = segs(&qc, &dev);
+        // During the readout window the idle neighbour still accrues
+        // ZZ with the measured qubit (the Fig. 9 error mechanism).
+        let net: f64 = s
+            .iter()
+            .flat_map(|x| x.rzz_static.iter())
+            .map(|(_, _, th)| th)
+            .sum();
+        assert!(net.abs() > 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Calibration, NnnTerm, Topology};
+
+    #[test]
+    fn nnn_edge_contributes_like_a_direct_edge() {
+        let topo = Topology::line(3);
+        let mut cal = Calibration::uniform(3, &topo.edges, 0.0);
+        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        let dev = ca_device::Device::new("nnn", topo, cal);
+        let mut qc = Circuit::new(3, 0);
+        qc.delay(1000.0, 0).delay(1000.0, 1).delay(1000.0, 2);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        let nnn_zz: f64 = segs
+            .iter()
+            .flat_map(|s| s.rzz_static.iter())
+            .filter(|(a, b, _)| (*a, *b) == (0, 2))
+            .map(|(_, _, th)| th)
+            .sum();
+        assert!((nnn_zz - ca_device::phase_rad(12.0, 1000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_can_flips_at_midpoint() {
+        let dev = uniform_device(Topology::line(3), 50.0);
+        let mut qc = Circuit::new(3, 0);
+        qc.can(0.1, 0.2, 0.3, 0, 1);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        // Both gate qubits carry ±1 halves; spectator ZZ refocuses.
+        let signs: Vec<f64> = segs.iter().map(|s| s.activity[0].sign()).collect();
+        assert!(signs.contains(&1.0) && signs.contains(&-1.0));
+        let zz_12: f64 = segs
+            .iter()
+            .flat_map(|s| s.rzz_static.iter())
+            .filter(|(a, b, _)| (*a, *b) == (1, 2))
+            .map(|(_, _, th)| th)
+            .sum();
+        assert!(zz_12.abs() < 1e-12, "spectator ZZ refocused by the Can echo");
+    }
+
+    #[test]
+    fn reset_window_keeps_neighbor_coupling() {
+        let dev = uniform_device(Topology::line(2), 70.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.reset(0);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        assert!(matches!(segs[0].activity[0], Activity::Resetting { .. }));
+        let total: f64 = segs.iter().flat_map(|s| s.rzz_static.iter()).map(|(_, _, t)| t).sum();
+        assert!(total.abs() > 1e-9);
+    }
+
+    #[test]
+    fn conditional_gate_window_counts_as_driven() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 1);
+        qc.measure(0, 0).gate_if(ca_circuit::Gate::X, [1], 0, true);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        let has_driven_q1 = segs.iter().any(|s| matches!(s.activity[1], Activity::Driven1Q { .. }));
+        assert!(has_driven_q1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: full compile→simulate pipelines.
+
+use context_aware_compiling::prelude::*;
+
+fn workload() -> Circuit {
+    let mut qc = Circuit::new(4, 0);
+    qc.h(2).h(3);
+    qc.barrier(Vec::<usize>::new());
+    for _ in 0..6 {
+        qc.ecr(1, 0);
+        qc.delay(480.0, 2).delay(480.0, 3);
+        qc.barrier(Vec::<usize>::new());
+    }
+    qc.h(2).h(3);
+    qc
+}
+
+fn idle_pair_fidelity(device: &Device, noise: &NoiseConfig, strategy: Strategy, seed: u64) -> f64 {
+    let sim = Simulator::with_config(device.clone(), *noise);
+    let obs: Vec<PauliString> = ["IIII", "IIZI", "IIIZ", "IIZZ"]
+        .iter()
+        .map(|s| PauliString::parse(s).unwrap())
+        .collect();
+    let mut total = 0.0;
+    for inst in 0..4u64 {
+        let compiled = compile(&workload(), device, &CompileOptions::new(strategy, seed + inst));
+        let vals = sim.expect_paulis(&compiled, &obs, 30, seed ^ inst.wrapping_mul(977));
+        total += vals.iter().sum::<f64>() / vals.len() as f64;
+    }
+    total / 4.0
+}
+
+#[test]
+fn all_strategies_preserve_logic_under_ideal_noise() {
+    // Zero crosstalk: CA-EC then compensates nothing, and every
+    // strategy must be logically transparent. (On a *noisy* device,
+    // EC's compensations are rotations that cancel only against the
+    // physical error — covered by the coherent-noise test below.)
+    let device = uniform_device(Topology::line(4), 0.0);
+    let noise = NoiseConfig::ideal();
+    for strategy in Strategy::ALL {
+        let f = idle_pair_fidelity(&device, &noise, strategy, 3);
+        assert!(
+            (f - 1.0).abs() < 1e-6,
+            "{} must be logically transparent: F = {f}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn context_aware_strategies_beat_bare_under_coherent_noise() {
+    let device = uniform_device(Topology::line(4), 90.0);
+    let noise = NoiseConfig::coherent_only();
+    let bare = idle_pair_fidelity(&device, &noise, Strategy::Bare, 3);
+    for strategy in [Strategy::CaDd, Strategy::CaEc, Strategy::CaEcPlusDd] {
+        let f = idle_pair_fidelity(&device, &noise, strategy, 3);
+        assert!(
+            f > bare + 0.05,
+            "{}: {f} must clearly beat bare {bare}",
+            strategy.label()
+        );
+        assert!(f > 0.9, "{}: {f} should nearly eliminate coherent error", strategy.label());
+    }
+}
+
+#[test]
+fn compiled_schedules_are_well_formed() {
+    let device = uniform_device(Topology::line(4), 80.0);
+    for strategy in Strategy::ALL {
+        let sc = compile(&workload(), &device, &CompileOptions::new(strategy, 9));
+        // Items sorted by start time and inside the schedule span.
+        let mut last = 0.0;
+        for item in &sc.items {
+            assert!(item.t0 >= last - 1e-9, "{}: unsorted items", strategy.label());
+            last = item.t0;
+            assert!(item.t1() <= sc.duration + 1e-6, "{}: item beyond span", strategy.label());
+        }
+        // No two non-virtual items overlap on the same qubit.
+        for q in 0..4 {
+            let mut busy: Vec<(f64, f64)> = sc
+                .items
+                .iter()
+                .filter(|si| {
+                    si.instruction.acts_on(q)
+                        && si.duration > 0.0
+                        && !matches!(si.instruction.gate, Gate::Delay(_) | Gate::Barrier)
+                })
+                .map(|si| (si.t0, si.t1()))
+                .collect();
+            busy.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in busy.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-6,
+                    "{}: overlapping items on qubit {q}: {:?}",
+                    strategy.label(),
+                    w
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn device_snapshot_roundtrips_through_json() {
+    let device = nazca_like(Topology::ring(6), 42);
+    let json = device.to_json();
+    let restored = Device::from_json(&json).unwrap();
+    assert_eq!(device, restored);
+    // And the restored device compiles identically.
+    let a = compile(&workload(), &device, &CompileOptions::new(Strategy::CaDd, 7));
+    let mut qc4 = workload();
+    qc4.num_qubits = 4;
+    let b = compile(&workload(), &restored, &CompileOptions::new(Strategy::CaDd, 7));
+    assert_eq!(a.items.len(), b.items.len());
+    let _ = qc4;
+}
+
+#[test]
+fn facade_prelude_compiles_the_doc_example() {
+    let device = uniform_device(Topology::line(4), 80.0);
+    let mut qc = Circuit::new(4, 0);
+    qc.h(2).h(3);
+    qc.ecr(0, 1).ecr(0, 1);
+    qc.h(2).h(3);
+    let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7));
+    let sim = Simulator::with_config(device, NoiseConfig::coherent_only());
+    let z = sim.expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7);
+    assert!(z > 0.99, "suppressed Ramsey must return: {z}");
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the core data structures and compiler
+//! invariants.
+
+use ca_circuit::canonical::fragment_unitary;
+use ca_circuit::euler::{compose_1q, zsxzsxz_angles, zsxzsxz_sequence};
+use ca_circuit::{schedule_asap, stratify, Circuit, Gate, GateDurations, PauliString};
+use ca_core::{ca_dd, ca_ec, pauli_twirl, CaDdConfig, CaEcConfig};
+use ca_device::{uniform_device, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_1q_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::Sx),
+        (-3.0f64..3.0).prop_map(Gate::Rz),
+        (-3.0f64..3.0).prop_map(Gate::Rx),
+        ((-3.0f64..3.0), (-3.0f64..3.0), (-3.0f64..3.0))
+            .prop_map(|(theta, phi, lam)| Gate::U { theta, phi, lam }),
+    ]
+}
+
+/// A random small circuit on `n` qubits with 1q gates, ECRs, delays.
+fn arb_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    let instr = prop_oneof![
+        (arb_1q_gate(), 0..n).prop_map(|(g, q)| (g, q, usize::MAX)),
+        (0..n.saturating_sub(1)).prop_map(|q| (Gate::Ecr, q, q + 1)),
+        ((200.0f64..2000.0), 0..n).prop_map(|(d, q)| (Gate::Delay(d), q, usize::MAX)),
+    ];
+    proptest::collection::vec(instr, 1..24).prop_map(move |items| {
+        let mut qc = Circuit::new(n, 0);
+        for (g, a, b) in items {
+            if b == usize::MAX {
+                qc.append(g, [a]);
+            } else {
+                qc.append(g, [a, b]);
+            }
+        }
+        qc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn euler_decomposition_roundtrips(theta in 0.0f64..std::f64::consts::PI,
+                                      phi in -6.3f64..6.3,
+                                      lam in -6.3f64..6.3) {
+        let u = Gate::U { theta, phi, lam }.matrix1().unwrap();
+        let rebuilt = compose_1q(&zsxzsxz_sequence(zsxzsxz_angles(&u)));
+        prop_assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-8));
+    }
+
+    #[test]
+    fn canonical_three_cnot_is_exact(a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0) {
+        let target = ca_circuit::gate::canonical_matrix(a, b, c);
+        let circ = ca_circuit::canonical::can_to_cx(a, b, c, 0, 1);
+        let built = fragment_unitary(&circ, 0, 1);
+        prop_assert!(built.approx_eq_up_to_phase(&target, 1e-8));
+    }
+
+    #[test]
+    fn pauli_string_product_is_involutive(s in proptest::collection::vec(0usize..4, 1..8)) {
+        let p = PauliString::new(s.iter().map(|&i| ca_circuit::Pauli::from_index(i)).collect());
+        let sq = p.mul(&p);
+        prop_assert!(sq.is_identity());
+        prop_assert_eq!(sq.sign, 1);
+    }
+
+    #[test]
+    fn stratify_preserves_instruction_count(qc in arb_circuit(4)) {
+        let layered = stratify(&qc);
+        let back = layered.to_circuit(false);
+        let gates = |c: &Circuit| c.instructions.iter().filter(|i| i.gate != Gate::Barrier).count();
+        prop_assert_eq!(gates(&qc), gates(&back));
+    }
+
+    #[test]
+    fn schedule_is_causal_and_packed(qc in arb_circuit(4)) {
+        let sc = schedule_asap(&qc, GateDurations::default());
+        // Every item within span; per-qubit items non-overlapping.
+        for item in &sc.items {
+            prop_assert!(item.t0 >= 0.0);
+            prop_assert!(item.t1() <= sc.duration + 1e-9);
+        }
+        for q in 0..4 {
+            let mut busy: Vec<(f64, f64)> = sc.items.iter()
+                .filter(|si| si.instruction.acts_on(q) && si.duration > 0.0
+                        && !matches!(si.instruction.gate, Gate::Barrier))
+                .map(|si| (si.t0, si.t1())).collect();
+            busy.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            for w in busy.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn twirl_never_changes_the_layer_structure(seed in 0u64..500) {
+        let mut qc = Circuit::new(4, 0);
+        qc.h(0).ecr(0, 1).ecr(2, 3).sx(2).ecr(1, 2);
+        let layered = stratify(&qc);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (twirled, _) = pauli_twirl(&layered, &mut rng);
+        // Same number of two-qubit layers with identical gate supports.
+        let supports = |l: &ca_circuit::LayeredCircuit| -> Vec<Vec<usize>> {
+            l.layers.iter().filter(|x| x.kind == ca_circuit::LayerKind::TwoQubit)
+                .map(|x| x.support()).collect()
+        };
+        prop_assert_eq!(supports(&layered), supports(&twirled));
+    }
+
+    #[test]
+    fn ca_dd_only_adds_x_pulses(qc in arb_circuit(4), zz in 20.0f64..120.0) {
+        let device = uniform_device(Topology::line(4), zz);
+        let sc = schedule_asap(&qc, device.durations());
+        let out = ca_dd(&sc, &device, CaDdConfig::default());
+        // Original items unchanged, same total duration.
+        for si in &sc.items {
+            prop_assert!(out.items.iter().any(|o| o.instruction == si.instruction
+                && (o.t0 - si.t0).abs() < 1e-9));
+        }
+        prop_assert!((out.duration - sc.duration).abs() < 1e-9);
+        // Everything added is an X pulse.
+        prop_assert_eq!(
+            out.items.len() - sc.items.len(),
+            out.items.iter().filter(|si| si.instruction.gate == Gate::X).count()
+                - sc.items.iter().filter(|si| si.instruction.gate == Gate::X).count()
+        );
+        // Pulses per qubit are even (frames restored).
+        for q in 0..4 {
+            let added = out.items.iter().filter(|si| si.instruction.gate == Gate::X
+                && si.instruction.acts_on(q)).count()
+                - sc.items.iter().filter(|si| si.instruction.gate == Gate::X
+                && si.instruction.acts_on(q)).count();
+            prop_assert_eq!(added % 2, 0, "odd pulse count on qubit {}", q);
+        }
+    }
+
+    #[test]
+    fn ca_ec_is_identity_on_zero_crosstalk(qc in arb_circuit(4)) {
+        let device = uniform_device(Topology::line(4), 0.0);
+        let layered = stratify(&qc);
+        let (out, report) = ca_ec(&layered, &device, CaEcConfig::default());
+        prop_assert_eq!(report, ca_core::CaEcReport::default());
+        prop_assert_eq!(out.to_circuit(false), layered.to_circuit(false));
+    }
+}
