@@ -61,7 +61,9 @@ fn walsh_escalation() {
         for inst in 0..budget.instances {
             let seed = budget.seed + inst as u64;
             let mut pm = PassManager::new();
-            pm.push(CaDdPass { config: CaDdConfig::default() });
+            pm.push(CaDdPass {
+                config: CaDdConfig::default(),
+            });
             let mut ctx = ca_core::Context::new(&pm_dev, seed);
             let sc = pm.compile(&qc, &mut ctx);
             let vals = sim.expect_paulis(&sc, &obs, budget.trajectories, seed ^ 0x33);
@@ -90,10 +92,19 @@ fn absorption_cost() {
     let (_, without) = ca_ec(
         &twirled,
         &device,
-        CaEcConfig { forbid_absorption: true, ..CaEcConfig::default() },
+        CaEcConfig {
+            forbid_absorption: true,
+            ..CaEcConfig::default()
+        },
     );
-    println!("  default:            absorbed = {:>3}, inserted gates = {:>3}", with.absorbed, with.inserted);
-    println!("  forbid_absorption:  absorbed = {:>3}, inserted gates = {:>3}", without.absorbed, without.inserted);
+    println!(
+        "  default:            absorbed = {:>3}, inserted gates = {:>3}",
+        with.absorbed, with.inserted
+    );
+    println!(
+        "  forbid_absorption:  absorbed = {:>3}, inserted gates = {:>3}",
+        without.absorbed, without.inserted
+    );
     println!("  (absorption converts explicit compensation gates into free angle shifts)");
 }
 
@@ -108,7 +119,10 @@ fn twirl_sign_tracking() {
     let noise = NoiseConfig::coherent_only();
     let obs = all_zeros_fidelity_observables(6, &[2, 3]);
     let budget = Budget::full();
-    for (label, ignore) in [("with sign tracking", false), ("without sign tracking", true)] {
+    for (label, ignore) in [
+        ("with sign tracking", false),
+        ("without sign tracking", true),
+    ] {
         let vals = averaged_expectations_with(
             &device,
             &noise,
@@ -118,7 +132,10 @@ fn twirl_sign_tracking() {
                 let mut pm = PassManager::new();
                 pm.push(TwirlPass);
                 pm.push(CaEcPass {
-                    config: CaEcConfig { ignore_twirl_signs: ignore, ..CaEcConfig::default() },
+                    config: CaEcConfig {
+                        ignore_twirl_signs: ignore,
+                        ..CaEcConfig::default()
+                    },
                 });
                 pm
             },

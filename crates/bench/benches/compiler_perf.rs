@@ -50,16 +50,32 @@ fn main() {
     );
     let cadd = || {
         let mut pm = PassManager::new();
-        pm.push(CaDdPass { config: CaDdConfig::default() });
+        pm.push(CaDdPass {
+            config: CaDdConfig::default(),
+        });
         pm
     };
     let caec = || {
         let mut pm = PassManager::new();
-        pm.push(CaEcPass { config: CaEcConfig::default() });
+        pm.push(CaEcPass {
+            config: CaEcConfig::default(),
+        });
         pm
     };
-    println!("{:>6} {:>6} {:>14} {:>14}", "n", "d", "CA-DD (ms)", "CA-EC (ms)");
-    for &(n, d) in &[(6usize, 8usize), (6, 16), (6, 32), (12, 8), (12, 16), (12, 32), (24, 16), (48, 16)] {
+    println!(
+        "{:>6} {:>6} {:>14} {:>14}",
+        "n", "d", "CA-DD (ms)", "CA-EC (ms)"
+    );
+    for &(n, d) in &[
+        (6usize, 8usize),
+        (6, 16),
+        (6, 32),
+        (12, 8),
+        (12, 16),
+        (12, 32),
+        (24, 16),
+        (48, 16),
+    ] {
         let t_dd = time_pass(cadd, n, d, 3);
         let t_ec = time_pass(caec, n, d, 3);
         println!("{n:>6} {d:>6} {t_dd:>14.2} {t_ec:>14.2}");

@@ -10,9 +10,19 @@ fn main() {
          mitigation overhead improves >3.5x vs none and >2.75x vs DD",
     );
     let depths: Vec<usize> = (0..=6).collect();
-    let result = fig7(&depths, &Budget { trajectories: 120, instances: 6, seed: 11 });
+    let result = fig7(
+        &depths,
+        &Budget {
+            trajectories: 120,
+            instances: 6,
+            seed: 11,
+        },
+    );
     result.figure.print();
-    println!("-- Fig. 7d: estimated sampling overhead at d = {} --", depths.last().unwrap());
+    println!(
+        "-- Fig. 7d: estimated sampling overhead at d = {} --",
+        depths.last().unwrap()
+    );
     let mut base = None;
     let mut dd = None;
     for (label, o) in &result.overhead {

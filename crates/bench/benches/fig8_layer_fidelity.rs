@@ -10,12 +10,23 @@ fn main() {
         "LF 0.648 (bare) -> 0.743 (DD) -> 0.822 (CA-DD) -> 0.881 (CA-EC); \
          gamma 2.38 -> 1.81 -> 1.48 -> 1.29; x7/x30 overhead reduction at 10 layers",
     );
-    let (fig, results) =
-        fig8(&[1, 2, 4, 8], 4, &Budget { trajectories: 40, instances: 3, seed: 11 });
+    let (fig, results) = fig8(
+        &[1, 2, 4, 8],
+        4,
+        &Budget {
+            trajectories: 40,
+            instances: 3,
+            seed: 11,
+        },
+    );
     fig.print();
     println!("-- measured vs paper --");
-    let paper =
-        [("bare", 0.648, 2.38), ("DD", 0.743, 1.81), ("CA-DD", 0.822, 1.48), ("CA-EC", 0.881, 1.29)];
+    let paper = [
+        ("bare", 0.648, 2.38),
+        ("DD", 0.743, 1.81),
+        ("CA-DD", 0.822, 1.48),
+        ("CA-EC", 0.881, 1.29),
+    ];
     for r in &results {
         match paper.iter().find(|(l, _, _)| *l == r.label) {
             Some((_, plf, pg)) => println!(

@@ -1,0 +1,188 @@
+//! Engine scaling sweep: qubit count 10 → 127 across both engines.
+//!
+//! Runs a DD-compiled Clifford layer circuit at increasing device
+//! sizes on the statevector engine (while it remains feasible) and
+//! the stabilizer engine (to full device scale), prints the
+//! wall-clock table, and emits a machine-readable `BENCH_scaling.json`
+//! at the repository root so the performance trajectory is recorded
+//! across PRs.
+
+use ca_circuit::Circuit;
+use ca_core::{pipeline, CompileOptions, Context, Strategy};
+use ca_device::{uniform_device, Topology};
+use ca_experiments::large_scale;
+use ca_experiments::Budget;
+use ca_sim::{Engine, NoiseConfig, Simulator};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+const SHOTS: usize = 1000;
+
+struct Row {
+    engine: &'static str,
+    qubits: usize,
+    shots: usize,
+    seconds: f64,
+    shots_per_s: f64,
+}
+
+impl Row {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("engine".into(), self.engine.to_value()),
+            ("qubits".into(), self.qubits.to_value()),
+            ("shots".into(), self.shots.to_value()),
+            ("seconds".into(), self.seconds.to_value()),
+            ("shots_per_s".into(), self.shots_per_s.to_value()),
+        ])
+    }
+}
+
+/// A DD-compiled brickwork Clifford circuit on a line of `n` qubits.
+fn workload(n: usize, seed: u64) -> ca_circuit::ScheduledCircuit {
+    let device = uniform_device(Topology::line(n), 60.0);
+    let mut qc = Circuit::new(n, n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    qc.barrier(Vec::<usize>::new());
+    for layer in 0..4 {
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            qc.ecr(q, q + 1);
+            q += 2;
+        }
+        qc.barrier(Vec::<usize>::new());
+    }
+    for q in 0..n {
+        qc.measure(q, q);
+    }
+    let opts = CompileOptions::new(Strategy::CaDd, seed);
+    let pm = pipeline(&opts);
+    let mut ctx = Context::new(&device, seed);
+    pm.compile(&qc, &mut ctx)
+}
+
+fn time_run(engine: Engine, n: usize) -> Row {
+    let device = uniform_device(Topology::line(n), 60.0);
+    let sc = workload(n, 7);
+    let sim = Simulator::with_engine(
+        device,
+        NoiseConfig {
+            readout_error: false,
+            ..NoiseConfig::default()
+        },
+        engine,
+    );
+    let name = sim.engine_name_for(&sc);
+    let start = Instant::now();
+    let res = sim.run_counts(&sc, SHOTS, 11);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(res.shots, SHOTS);
+    Row {
+        engine: name,
+        qubits: n,
+        shots: SHOTS,
+        seconds,
+        shots_per_s: SHOTS as f64 / seconds.max(1e-9),
+    }
+}
+
+fn main() {
+    ca_bench::header(
+        "scaling",
+        "stabilizer engine opens the 100+ qubit regime the paper's devices live in; \
+         dense engine caps out near 20 qubits",
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:>12} {:>7} {:>7} {:>10} {:>12}",
+        "engine", "qubits", "shots", "seconds", "shots/s"
+    );
+    // The dense sweep is capped at 14 qubits to keep routine bench
+    // runs short — at 18 qubits it already needs ~10 minutes for
+    // 1000 shots (the recorded BENCH_scaling.json has that point).
+    for &n in &[10usize, 12, 14] {
+        let r = time_run(Engine::Statevector, n);
+        println!(
+            "{:>12} {:>7} {:>7} {:>10.3} {:>12.0}",
+            r.engine, r.qubits, r.shots, r.seconds, r.shots_per_s
+        );
+        rows.push(r);
+    }
+    for &n in &[10usize, 14, 18, 28, 44, 64, 96, 127] {
+        let r = time_run(Engine::Stabilizer, n);
+        println!(
+            "{:>12} {:>7} {:>7} {:>10.3} {:>12.0}",
+            r.engine, r.qubits, r.shots, r.seconds, r.shots_per_s
+        );
+        rows.push(r);
+    }
+
+    // The acceptance-scale experiment: 127-qubit heavy-hex
+    // layer-fidelity/DD comparison, 1000 shots per expectation.
+    println!();
+    println!("-- 127-qubit heavy-hex layer-fidelity/DD (1000 shots) --");
+    let budget = Budget {
+        trajectories: 1000,
+        instances: 1,
+        seed: 11,
+    };
+    let start = Instant::now();
+    let (fig, results) = large_scale::fig_large_scale(&[1, 2, 4, 8], &budget);
+    let total = start.elapsed().as_secs_f64();
+    fig.print();
+    for r in &results {
+        println!(
+            "  {:>12}: LF {:.4} gamma {:.3} [{} engine, {:.2}s]",
+            r.label, r.lf, r.gamma, r.engine, r.wall_s
+        );
+    }
+    println!("  total wall time: {total:.2}s (acceptance budget: 10s)");
+
+    let experiment = Value::Obj(vec![
+        ("depths".into(), vec![1usize, 2, 4, 8].to_value()),
+        ("shots".into(), 1000usize.to_value()),
+        ("total_seconds".into(), total.to_value()),
+        (
+            "strategies".into(),
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(vec![
+                            ("label".into(), r.label.to_value()),
+                            ("engine".into(), r.engine.to_value()),
+                            ("lf".into(), r.lf.to_value()),
+                            ("gamma".into(), r.gamma.to_value()),
+                            ("seconds".into(), r.wall_s.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let doc = Value::Obj(vec![
+        ("bench".into(), "scaling".to_value()),
+        ("shots".into(), SHOTS.to_value()),
+        (
+            "rows".into(),
+            Value::Arr(rows.iter().map(Row::to_value).collect()),
+        ),
+        ("large_scale_127q".into(), experiment),
+    ]);
+    let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_scaling.json");
+    println!("  wrote {path}");
+}
+
+/// Adapter: serialises an already-built [`Value`] tree.
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}

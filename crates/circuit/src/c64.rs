@@ -41,13 +41,19 @@ impl C64 {
     /// Returns `e^{iθ} = cos θ + i sin θ`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -73,13 +79,19 @@ impl C64 {
     pub fn inv(self) -> Self {
         let n = self.norm_sqr();
         debug_assert!(n > 0.0, "inverse of complex zero");
-        Self { re: self.re / n, im: -self.im / n }
+        Self {
+            re: self.re / n,
+            im: -self.im / n,
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// True when both components are within `tol` of the other value's.
@@ -119,6 +131,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiplication by the inverse
     fn div(self, rhs: C64) -> C64 {
         self * rhs.inv()
     }
@@ -213,10 +226,16 @@ mod tests {
             let t = k as f64 * 0.5;
             let z = C64::cis(t);
             assert!((z.abs() - 1.0).abs() < TOL);
-            assert!((z.arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min((z.arg() + 2.0 * std::f64::consts::PI - t.rem_euclid(2.0 * std::f64::consts::PI)).abs())
-                < 1e-9);
+            assert!(
+                (z.arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                    .min(
+                        (z.arg() + 2.0 * std::f64::consts::PI
+                            - t.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-9
+            );
         }
     }
 

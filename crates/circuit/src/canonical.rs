@@ -69,7 +69,11 @@ pub fn can_to_ecr(alpha: f64, beta: f64, gamma: f64, a: usize, b: usize) -> Vec<
 /// zero-overhead compensation (Sec. II-C).
 pub fn absorb_rzz_into_can(gate: Gate, theta: f64) -> Gate {
     match gate {
-        Gate::Can { alpha, beta, gamma } => Gate::Can { alpha, beta, gamma: gamma - theta / 2.0 },
+        Gate::Can { alpha, beta, gamma } => Gate::Can {
+            alpha,
+            beta,
+            gamma: gamma - theta / 2.0,
+        },
         Gate::Rzz(t) => Gate::Rzz(t + theta),
         _ => panic!("cannot absorb Rzz into {}", gate.name()),
     }
@@ -83,7 +87,10 @@ pub fn fragment_unitary(instrs: &[Instruction], a: usize, b: usize) -> Mat4 {
     for i in instrs {
         let gm = match i.qubits.as_slice() {
             [q] => {
-                let u = i.gate.matrix1().unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
+                let u = i
+                    .gate
+                    .matrix1()
+                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
                 if *q == a {
                     Mat4::kron(&Mat2::identity(), &u)
                 } else if *q == b {
@@ -93,7 +100,10 @@ pub fn fragment_unitary(instrs: &[Instruction], a: usize, b: usize) -> Mat4 {
                 }
             }
             [q0, q1] => {
-                let u = i.gate.matrix2().unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
+                let u = i
+                    .gate
+                    .matrix2()
+                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
                 if (*q0, *q1) == (a, b) {
                     u
                 } else if (*q0, *q1) == (b, a) {
@@ -168,15 +178,28 @@ mod tests {
     fn rzz_absorption_is_exact() {
         let (a, b, g) = (0.31, 0.12, -0.44);
         let theta = 0.27;
-        let absorbed = absorb_rzz_into_can(Gate::Can { alpha: a, beta: b, gamma: g }, theta);
+        let absorbed = absorb_rzz_into_can(
+            Gate::Can {
+                alpha: a,
+                beta: b,
+                gamma: g,
+            },
+            theta,
+        );
         let target = Gate::Rzz(theta)
             .matrix2()
             .unwrap()
             .mul(&canonical_matrix(a, b, g));
-        assert!(absorbed.matrix2().unwrap().approx_eq_up_to_phase(&target, TOL));
+        assert!(absorbed
+            .matrix2()
+            .unwrap()
+            .approx_eq_up_to_phase(&target, TOL));
         // Rzz commutes with Can, so before/after orders agree.
         let target2 = canonical_matrix(a, b, g).mul(&Gate::Rzz(theta).matrix2().unwrap());
-        assert!(absorbed.matrix2().unwrap().approx_eq_up_to_phase(&target2, TOL));
+        assert!(absorbed
+            .matrix2()
+            .unwrap()
+            .approx_eq_up_to_phase(&target2, TOL));
     }
 
     #[test]
@@ -227,16 +250,27 @@ mod solver {
                                             let circ = vec![
                                                 Instruction::new(Gate::Rz(spre * FRAC_PI_2), [b]),
                                                 Instruction::new(Gate::Cx, [b, a]),
-                                                Instruction::new(Gate::Rz(sg * 2.0 * gamma + og), [a]),
-                                                Instruction::new(Gate::Ry(sa * 2.0 * alpha + oa), [b]),
+                                                Instruction::new(
+                                                    Gate::Rz(sg * 2.0 * gamma + og),
+                                                    [a],
+                                                ),
+                                                Instruction::new(
+                                                    Gate::Ry(sa * 2.0 * alpha + oa),
+                                                    [b],
+                                                ),
                                                 Instruction::new(Gate::Cx, [a, b]),
-                                                Instruction::new(Gate::Ry(sb * 2.0 * beta + ob), [b]),
+                                                Instruction::new(
+                                                    Gate::Ry(sb * 2.0 * beta + ob),
+                                                    [b],
+                                                ),
                                                 Instruction::new(Gate::Cx, [b, a]),
                                                 Instruction::new(Gate::Rz(spost * FRAC_PI_2), [a]),
                                             ];
                                             let built = fragment_unitary(&circ, 0, 1);
                                             if built.approx_eq_up_to_phase(&target, 1e-9) {
-                                                hits.push((swap, sg, og, sa, oa, sb, ob, spre, spost));
+                                                hits.push((
+                                                    swap, sg, og, sa, oa, sb, ob, spre, spost,
+                                                ));
                                             }
                                         }
                                     }

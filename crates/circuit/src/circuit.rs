@@ -29,7 +29,11 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
-        Self { num_qubits, num_clbits, instructions: Vec::new() }
+        Self {
+            num_qubits,
+            num_clbits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of instructions.
@@ -45,7 +49,11 @@ impl Circuit {
     /// Appends an instruction, validating qubit indices.
     pub fn push(&mut self, instr: Instruction) -> &mut Self {
         for &q in &instr.qubits {
-            assert!(q < self.num_qubits, "qubit {q} out of range (n={})", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range (n={})",
+                self.num_qubits
+            );
         }
         if let Some(c) = instr.clbit {
             assert!(c < self.num_clbits, "clbit {c} out of range");
@@ -176,7 +184,12 @@ impl Circuit {
         if qs.is_empty() {
             qs = (0..self.num_qubits).collect();
         }
-        self.push(Instruction { gate: Gate::Barrier, qubits: qs, clbit: None, condition: None })
+        self.push(Instruction {
+            gate: Gate::Barrier,
+            qubits: qs,
+            clbit: None,
+            condition: None,
+        })
     }
 
     /// Gate conditioned on a classical bit (dynamic circuits).
@@ -203,12 +216,18 @@ impl Circuit {
 
     /// Counts instructions using the given gate name.
     pub fn count_gate(&self, name: &str) -> usize {
-        self.instructions.iter().filter(|i| i.gate.name() == name).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.name() == name)
+            .count()
     }
 
     /// Counts two-qubit unitary gates.
     pub fn count_two_qubit(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_two_qubit())
+            .count()
     }
 
     /// Depth counted over two-qubit gates only (the CNOT depth the
@@ -252,7 +271,11 @@ impl Circuit {
                 used[q] = true;
             }
         }
-        used.iter().enumerate().filter(|(_, &u)| u).map(|(q, _)| q).collect()
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(q, _)| q)
+            .collect()
     }
 }
 

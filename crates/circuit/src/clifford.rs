@@ -16,7 +16,11 @@ use std::sync::OnceLock;
 ///
 /// Panics if the gate is not a single-qubit Clifford.
 pub fn conjugate_1q(gate: Gate, p: Pauli) -> (i8, Pauli) {
-    assert!(gate.is_clifford() && gate.num_qubits() == 1, "{} is not a 1q Clifford", gate.name());
+    assert!(
+        gate.is_clifford() && gate.num_qubits() == 1,
+        "{} is not a 1q Clifford",
+        gate.name()
+    );
     let u = gate.matrix1().expect("unitary");
     let conj = u.mul(&pauli_mat2(p)).mul(&u.adjoint());
     for cand in Pauli::ALL {
@@ -32,12 +36,44 @@ pub fn conjugate_1q(gate: Gate, p: Pauli) -> (i8, Pauli) {
 }
 
 /// Conjugates a two-qubit Pauli pair `(p_first, p_second)` by a
-/// two-qubit Clifford gate (`Cx`, `Cz`, or `Ecr`): returns
-/// `(sign, (p_first', p_second'))` with the first element acting on the
-/// first listed (low-order) qubit.
+/// two-qubit Clifford gate: returns `(sign, (p_first', p_second'))`
+/// with the first element acting on the first listed (low-order)
+/// qubit. The common gates (`Cx`, `Cz`, `Ecr`) hit a cached table;
+/// other two-qubit Cliffords (e.g. `Rzz(kπ/2)`) are derived on the
+/// fly.
 pub fn conjugate_2q(gate: Gate, pair: (Pauli, Pauli)) -> (i8, (Pauli, Pauli)) {
-    let table = two_qubit_table(gate);
-    table[pair.0.index() + 4 * pair.1.index()]
+    if let Some(table) = cached_two_qubit_table(gate) {
+        return table[pair.0.index() + 4 * pair.1.index()];
+    }
+    conjugation_table_2q(gate)[pair.0.index() + 4 * pair.1.index()]
+}
+
+/// The full single-qubit conjugation table of a 1q Clifford gate,
+/// indexed by [`Pauli::index`]: `table[P] = (sign, U·P·U†)`.
+///
+/// Derived numerically from the gate matrix — the tableau simulator's
+/// generic gate driver. Panics if the gate is not a 1q Clifford.
+pub fn conjugation_table_1q(gate: Gate) -> [(i8, Pauli); 4] {
+    let mut out = [(1i8, Pauli::I); 4];
+    for p in Pauli::ALL {
+        out[p.index()] = conjugate_1q(gate, p);
+    }
+    out
+}
+
+/// The full two-qubit conjugation table of any 2q Clifford gate,
+/// indexed by `pair.0.index() + 4 * pair.1.index()`.
+///
+/// Works for every Clifford in the gate set (including `Rzz` at
+/// multiples of π/2), unlike the cached fast path which only covers
+/// `Cx`/`Cz`/`Ecr`. Panics if the gate is not a 2q Clifford.
+pub fn conjugation_table_2q(gate: Gate) -> Table2Q {
+    assert!(
+        gate.is_clifford() && gate.num_qubits() == 2,
+        "{} is not a 2q Clifford",
+        gate.name()
+    );
+    compute_table(gate)
 }
 
 /// For Pauli twirling: given the Pauli pair applied *before* the gate,
@@ -76,7 +112,8 @@ fn pauli_mat4(pair: (Pauli, Pauli)) -> Mat4 {
     Mat4::kron(&pauli_mat2(pair.1), &pauli_mat2(pair.0))
 }
 
-type Table2Q = [(i8, (Pauli, Pauli)); 16];
+/// A 16-entry signed-Pauli-pair conjugation table.
+pub type Table2Q = [(i8, (Pauli, Pauli)); 16];
 
 fn compute_table(gate: Gate) -> Table2Q {
     let u = gate.matrix2().expect("2q unitary");
@@ -101,13 +138,20 @@ fn compute_table(gate: Gate) -> Table2Q {
                 }
             }
         }
-        assert!(found, "{} did not map Pauli pair {idx} to a signed Pauli", gate.name());
+        assert!(
+            found,
+            "{} did not map Pauli pair {idx} to a signed Pauli",
+            gate.name()
+        );
     }
     out
 }
 
-fn two_qubit_table(gate: Gate) -> &'static Table2Q {
+fn cached_two_qubit_table(gate: Gate) -> Option<&'static Table2Q> {
     static TABLES: OnceLock<HashMap<&'static str, Table2Q>> = OnceLock::new();
+    if !matches!(gate, Gate::Cx | Gate::Cz | Gate::Ecr) {
+        return None;
+    }
     let tables = TABLES.get_or_init(|| {
         let mut m = HashMap::new();
         for g in [Gate::Cx, Gate::Cz, Gate::Ecr] {
@@ -115,9 +159,7 @@ fn two_qubit_table(gate: Gate) -> &'static Table2Q {
         }
         m
     });
-    tables
-        .get(gate.name())
-        .unwrap_or_else(|| panic!("no conjugation table for {}", gate.name()))
+    tables.get(gate.name())
 }
 
 #[cfg(test)]
@@ -147,10 +189,22 @@ mod tests {
     #[test]
     fn cnot_textbook_propagation() {
         // (X_c ⊗ I_t) → X_c X_t ; (I ⊗ Z_t) → Z_c Z_t ; Z_c → Z_c ; X_t → X_t.
-        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::X, Pauli::I)), (1, (Pauli::X, Pauli::X)));
-        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::I, Pauli::Z)), (1, (Pauli::Z, Pauli::Z)));
-        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::Z, Pauli::I)), (1, (Pauli::Z, Pauli::I)));
-        assert_eq!(conjugate_2q(Gate::Cx, (Pauli::I, Pauli::X)), (1, (Pauli::I, Pauli::X)));
+        assert_eq!(
+            conjugate_2q(Gate::Cx, (Pauli::X, Pauli::I)),
+            (1, (Pauli::X, Pauli::X))
+        );
+        assert_eq!(
+            conjugate_2q(Gate::Cx, (Pauli::I, Pauli::Z)),
+            (1, (Pauli::Z, Pauli::Z))
+        );
+        assert_eq!(
+            conjugate_2q(Gate::Cx, (Pauli::Z, Pauli::I)),
+            (1, (Pauli::Z, Pauli::I))
+        );
+        assert_eq!(
+            conjugate_2q(Gate::Cx, (Pauli::I, Pauli::X)),
+            (1, (Pauli::I, Pauli::X))
+        );
     }
 
     #[test]
@@ -167,14 +221,17 @@ mod tests {
             }
             assert!(seen.iter().all(|s| *s), "{}: not a permutation", g.name());
             // Identity maps to identity with +1.
-            assert_eq!(conjugate_2q(g, (Pauli::I, Pauli::I)), (1, (Pauli::I, Pauli::I)));
+            assert_eq!(
+                conjugate_2q(g, (Pauli::I, Pauli::I)),
+                (1, (Pauli::I, Pauli::I))
+            );
         }
     }
 
     #[test]
     fn twirl_partner_restores_gate() {
         // Check (P_after ⊗) · G · (P_before ⊗) == ±G numerically.
-        use crate::matrix::Mat4;
+
         for g in [Gate::Cx, Gate::Ecr, Gate::Cz] {
             let gm = g.matrix2().unwrap();
             for idx in 0..16 {
@@ -192,6 +249,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tables_cover_all_paulis() {
+        for g in [
+            Gate::H,
+            Gate::S,
+            Gate::Sx,
+            Gate::X,
+            Gate::Rz(std::f64::consts::FRAC_PI_2),
+        ] {
+            let t = conjugation_table_1q(g);
+            let mut seen = [false; 4];
+            for (s, p) in t {
+                assert!(s == 1 || s == -1);
+                seen[p.index()] = true;
+            }
+            assert!(
+                seen.iter().all(|x| *x),
+                "{} table is a permutation",
+                g.name()
+            );
+            assert_eq!(t[0], (1, Pauli::I));
+        }
+    }
+
+    #[test]
+    fn clifford_rzz_has_a_table() {
+        // Rzz(π/2) is Clifford; the generic path must derive its table.
+        let g = Gate::Rzz(std::f64::consts::FRAC_PI_2);
+        let t = conjugation_table_2q(g);
+        let mut seen = [false; 16];
+        for (s, (a, b)) in t {
+            assert!(s == 1 || s == -1);
+            seen[a.index() + 4 * b.index()] = true;
+        }
+        assert!(seen.iter().all(|x| *x), "rzz table is a permutation");
+        // Z⊗Z commutes with the gate.
+        assert_eq!(
+            conjugate_2q(g, (Pauli::Z, Pauli::Z)),
+            (1, (Pauli::Z, Pauli::Z))
+        );
+        // X on one qubit picks up the partner Z.
+        let (_, (a, b)) = conjugate_2q(g, (Pauli::X, Pauli::I));
+        assert_eq!((a, b), (Pauli::Y, Pauli::Z));
     }
 
     #[test]

@@ -71,8 +71,10 @@ fn link_mark(_a: usize, _b: usize) -> &'static str {
 }
 
 fn render_columns(n: usize, columns: &[Vec<String>]) -> String {
-    let widths: Vec<usize> =
-        columns.iter().map(|c| c.iter().map(|s| s.len()).max().unwrap_or(0).max(3)).collect();
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|c| c.iter().map(|s| s.len()).max().unwrap_or(0).max(3))
+        .collect();
     let mut out = String::new();
     for q in 0..n {
         out.push_str(&format!("q{q:<2}: "));
@@ -143,7 +145,10 @@ mod tests {
         qc.cx(0, 2);
         let art = draw(&qc);
         let q1_line = art.lines().nth(1).unwrap();
-        assert!(q1_line.contains('|'), "middle wire shows the link: {q1_line}");
+        assert!(
+            q1_line.contains('|'),
+            "middle wire shows the link: {q1_line}"
+        );
     }
 
     #[test]

@@ -45,7 +45,12 @@ pub fn zyz_angles(u: &Mat2) -> Zyz {
         let diff = 2.0 * v.0[1][0].arg();
         ((sum + diff) / 2.0, (sum - diff) / 2.0)
     };
-    Zyz { theta, phi, lam, phase: half_arg }
+    Zyz {
+        theta,
+        phi,
+        lam,
+        phase: half_arg,
+    }
 }
 
 /// The Eq. (4) angles `(α, β, γ)` with
@@ -66,7 +71,11 @@ pub struct ZsxzsxzAngles {
 /// Decomposes a 2×2 unitary into Eq. (4) angles.
 pub fn zsxzsxz_angles(u: &Mat2) -> ZsxzsxzAngles {
     let zyz = zyz_angles(u);
-    ZsxzsxzAngles { alpha: zyz.phi, beta: zyz.theta, gamma: zyz.lam }
+    ZsxzsxzAngles {
+        alpha: zyz.phi,
+        beta: zyz.theta,
+        gamma: zyz.lam,
+    }
 }
 
 /// Builds the gate sequence for Eq. (4) in *application order*
@@ -86,7 +95,9 @@ pub fn zsxzsxz_sequence(angles: ZsxzsxzAngles) -> [Gate; 5] {
 pub fn compose_1q(gates: &[Gate]) -> Mat2 {
     let mut m = Mat2::identity();
     for g in gates {
-        let gm = g.matrix1().unwrap_or_else(|| panic!("{} is not 1q unitary", g.name()));
+        let gm = g
+            .matrix1()
+            .unwrap_or_else(|| panic!("{} is not 1q unitary", g.name()));
         m = gm.mul(&m);
     }
     m
@@ -146,7 +157,11 @@ mod tests {
             Gate::Rx(0.7),
             Gate::Ry(-2.1),
             Gate::Rz(1.3),
-            Gate::U { theta: 0.4, phi: 2.0, lam: -0.9 },
+            Gate::U {
+                theta: 0.4,
+                phi: 2.0,
+                lam: -0.9,
+            },
         ] {
             check_roundtrip(&g.matrix1().unwrap());
         }
@@ -157,11 +172,17 @@ mod tests {
         // Deterministic pseudo-random SU(2) sweep via U(θ,φ,λ).
         let mut k = 1u64;
         for _ in 0..50 {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let theta = (k >> 11) as f64 / (1u64 << 53) as f64 * PI;
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let phi = ((k >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0 * PI;
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lam = ((k >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0 * PI;
             check_roundtrip(&Gate::U { theta, phi, lam }.matrix1().unwrap());
         }
@@ -169,7 +190,13 @@ mod tests {
 
     #[test]
     fn absorption_before_is_exact_and_free() {
-        let u = Gate::U { theta: 1.1, phi: 0.3, lam: -0.8 }.matrix1().unwrap();
+        let u = Gate::U {
+            theta: 1.1,
+            phi: 0.3,
+            lam: -0.8,
+        }
+        .matrix1()
+        .unwrap();
         let theta_err = 0.137;
         // Error happens first, then the gate: total = U · Rz(θ).
         let target = u.mul(&Gate::Rz(theta_err).matrix1().unwrap());
@@ -182,7 +209,13 @@ mod tests {
 
     #[test]
     fn absorption_after_is_exact() {
-        let u = Gate::U { theta: 0.5, phi: -1.2, lam: 2.2 }.matrix1().unwrap();
+        let u = Gate::U {
+            theta: 0.5,
+            phi: -1.2,
+            lam: 2.2,
+        }
+        .matrix1()
+        .unwrap();
         let theta_err = -0.21;
         let target = Gate::Rz(theta_err).matrix1().unwrap().mul(&u);
         let fused = compose_1q(&absorb_rz_after(&u, theta_err));

@@ -138,14 +138,25 @@ impl Gate {
 
     /// True when the gate is implemented virtually (zero duration).
     pub fn is_virtual(&self) -> bool {
-        matches!(self, Gate::Rz(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::I)
+        matches!(
+            self,
+            Gate::Rz(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::I
+        )
     }
 
     /// True when the unitary is diagonal in the computational basis.
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Cz | Gate::Rzz(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Cz
+                | Gate::Rzz(_)
         )
     }
 
@@ -162,8 +173,16 @@ impl Gate {
             Gate::Ry(t) => Gate::Ry(-t),
             Gate::Rz(t) => Gate::Rz(-t),
             Gate::Rzz(t) => Gate::Rzz(-t),
-            Gate::U { theta, phi, lam } => Gate::U { theta: -theta, phi: -lam, lam: -phi },
-            Gate::Can { alpha, beta, gamma } => Gate::Can { alpha: -alpha, beta: -beta, gamma: -gamma },
+            Gate::U { theta, phi, lam } => Gate::U {
+                theta: -theta,
+                phi: -lam,
+                lam: -phi,
+            },
+            Gate::Can { alpha, beta, gamma } => Gate::Can {
+                alpha: -alpha,
+                beta: -beta,
+                gamma: -gamma,
+            },
             g => g, // self-inverse: I, X, Y, Z, H, Cx, Cz, Ecr; non-unitary unchanged
         }
     }
@@ -347,7 +366,11 @@ mod tests {
             Gate::Rx(0.3),
             Gate::Ry(-1.1),
             Gate::Rz(2.2),
-            Gate::U { theta: 0.4, phi: 1.0, lam: -0.6 },
+            Gate::U {
+                theta: 0.4,
+                phi: 1.0,
+                lam: -0.6,
+            },
         ];
         for g in ones {
             assert!(g.matrix1().unwrap().is_unitary(TOL), "{}", g.name());
@@ -357,7 +380,11 @@ mod tests {
             Gate::Cz,
             Gate::Ecr,
             Gate::Rzz(0.7),
-            Gate::Can { alpha: 0.2, beta: 0.5, gamma: -0.3 },
+            Gate::Can {
+                alpha: 0.2,
+                beta: 0.5,
+                gamma: -0.3,
+            },
         ];
         for g in twos {
             assert!(g.matrix2().unwrap().is_unitary(TOL), "{}", g.name());
@@ -373,7 +400,11 @@ mod tests {
             Gate::Rx(0.9),
             Gate::Ry(0.4),
             Gate::Rz(-0.5),
-            Gate::U { theta: 0.4, phi: 1.0, lam: -0.6 },
+            Gate::U {
+                theta: 0.4,
+                phi: 1.0,
+                lam: -0.6,
+            },
         ];
         for g in ones {
             let m = g.matrix1().unwrap();
@@ -386,7 +417,11 @@ mod tests {
         }
         let twos: &[Gate] = &[
             Gate::Rzz(1.3),
-            Gate::Can { alpha: 0.2, beta: 0.5, gamma: -0.3 },
+            Gate::Can {
+                alpha: 0.2,
+                beta: 0.5,
+                gamma: -0.3,
+            },
             Gate::Cx,
             Gate::Ecr,
         ];
@@ -487,7 +522,12 @@ mod tests {
         assert!(Gate::Rz(PI / 2.0).is_clifford());
         assert!(!Gate::Rz(0.3).is_clifford());
         assert!(Gate::Ecr.is_clifford());
-        assert!(!Gate::Can { alpha: 0.1, beta: 0.0, gamma: 0.0 }.is_clifford());
+        assert!(!Gate::Can {
+            alpha: 0.1,
+            beta: 0.0,
+            gamma: 0.0
+        }
+        .is_clifford());
     }
 
     #[test]

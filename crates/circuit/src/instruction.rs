@@ -39,7 +39,12 @@ impl Instruction {
             gate.num_qubits(),
             qubits.len()
         );
-        Self { gate, qubits, clbit: None, condition: None }
+        Self {
+            gate,
+            qubits,
+            clbit: None,
+            condition: None,
+        }
     }
 
     /// Attaches a feed-forward condition.
@@ -93,7 +98,13 @@ mod tests {
     #[test]
     fn condition_attachment() {
         let i = Instruction::new(Gate::X, vec![0]).with_condition(3, true);
-        assert_eq!(i.condition, Some(Condition { clbit: 3, value: true }));
+        assert_eq!(
+            i.condition,
+            Some(Condition {
+                clbit: 3,
+                value: true
+            })
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl Layer {
 
     /// All qubits used by the layer.
     pub fn support(&self) -> Vec<usize> {
-        let mut qs: Vec<usize> = self.instructions.iter().flat_map(|i| i.qubits.clone()).collect();
+        let mut qs: Vec<usize> = self
+            .instructions
+            .iter()
+            .flat_map(|i| i.qubits.clone())
+            .collect();
         qs.sort_unstable();
         qs.dedup();
         qs
@@ -101,7 +105,10 @@ pub fn stratify(circuit: &Circuit) -> LayeredCircuit {
         let l = match placed {
             Some(l) => l,
             None => {
-                layers.push(Layer { kind, instructions: Vec::new() });
+                layers.push(Layer {
+                    kind,
+                    instructions: Vec::new(),
+                });
                 layers.len() - 1
             }
         };
@@ -110,7 +117,11 @@ pub fn stratify(circuit: &Circuit) -> LayeredCircuit {
             frontier[q] = l + 1;
         }
     }
-    LayeredCircuit { num_qubits: circuit.num_qubits, num_clbits: circuit.num_clbits, layers }
+    LayeredCircuit {
+        num_qubits: circuit.num_qubits,
+        num_clbits: circuit.num_clbits,
+        layers,
+    }
 }
 
 impl LayeredCircuit {
@@ -155,7 +166,12 @@ mod tests {
         let kinds: Vec<LayerKind> = layered.layers.iter().map(|l| l.kind).collect();
         assert_eq!(
             kinds,
-            vec![LayerKind::OneQubit, LayerKind::TwoQubit, LayerKind::OneQubit, LayerKind::TwoQubit]
+            vec![
+                LayerKind::OneQubit,
+                LayerKind::TwoQubit,
+                LayerKind::OneQubit,
+                LayerKind::TwoQubit
+            ]
         );
         assert_eq!(layered.layers[1].instructions.len(), 2);
     }

@@ -17,6 +17,7 @@ pub mod c64;
 pub mod canonical;
 pub mod circuit;
 pub mod clifford;
+pub mod draw;
 pub mod euler;
 pub mod gate;
 pub mod instruction;
@@ -24,16 +25,17 @@ pub mod layered;
 pub mod matrix;
 pub mod pauli;
 pub mod qasm;
-pub mod draw;
 pub mod schedule;
 
 pub use c64::C64;
 pub use circuit::Circuit;
+pub use draw::{draw, draw_schedule};
 pub use gate::Gate;
 pub use instruction::{Condition, Instruction};
 pub use layered::{stratify, Layer, LayerKind, LayeredCircuit};
 pub use matrix::{Mat2, Mat4};
 pub use pauli::{Pauli, PauliString};
 pub use qasm::to_qasm3;
-pub use draw::{draw, draw_schedule};
-pub use schedule::{schedule_alap, schedule_asap, GateDurations, ScheduledCircuit, ScheduledInstruction};
+pub use schedule::{
+    schedule_alap, schedule_asap, GateDurations, ScheduledCircuit, ScheduledInstruction,
+};

@@ -58,7 +58,7 @@ impl Mat2 {
         let mut out = *self;
         for row in out.0.iter_mut() {
             for e in row.iter_mut() {
-                *e = *e * s;
+                *e *= s;
             }
         }
         out
@@ -158,7 +158,7 @@ impl Mat4 {
         let mut out = *self;
         for row in out.0.iter_mut() {
             for e in row.iter_mut() {
-                *e = *e * s;
+                *e *= s;
             }
         }
         out
@@ -203,10 +203,7 @@ impl Mat4 {
 
 /// Finds the phase `e^{iφ}` such that `a ≈ e^{iφ}·b`, keyed off the
 /// largest-magnitude entry of `b`. Returns `None` if `b` is all zeros.
-fn global_phase_between(
-    a: impl Iterator<Item = C64>,
-    b: impl Iterator<Item = C64>,
-) -> Option<C64> {
+fn global_phase_between(a: impl Iterator<Item = C64>, b: impl Iterator<Item = C64>) -> Option<C64> {
     let pairs: Vec<(C64, C64)> = a.zip(b).collect();
     let (pa, pb) = pairs
         .iter()

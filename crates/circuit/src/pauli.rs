@@ -59,6 +59,7 @@ impl Pauli {
 
     /// Product `self · other` as `(sign_power_of_i, pauli)`: the result
     /// is `i^k · P`.
+    #[allow(clippy::should_implement_trait)] // returns a phase alongside the Pauli
     pub fn mul(self, other: Pauli) -> (u8, Pauli) {
         use Pauli::*;
         match (self, other) {
@@ -101,7 +102,10 @@ pub struct PauliString {
 impl PauliString {
     /// The all-identity string.
     pub fn identity(n: usize) -> Self {
-        Self { paulis: vec![Pauli::I; n], sign: 1 }
+        Self {
+            paulis: vec![Pauli::I; n],
+            sign: 1,
+        }
     }
 
     /// Builds from per-qubit factors with positive sign.
@@ -151,7 +155,7 @@ impl PauliString {
             k = (k + ki) % 4;
             out.push(p);
         }
-        assert!(k % 2 == 0, "non-real phase i^{k} in Pauli product");
+        assert!(k.is_multiple_of(2), "non-real phase i^{k} in Pauli product");
         let sign = self.sign * other.sign * if k == 2 { -1 } else { 1 };
         PauliString { paulis: out, sign }
     }
@@ -225,7 +229,13 @@ mod tests {
         let xx = PauliString::parse("XX").unwrap();
         let yy = PauliString::parse("YY").unwrap();
         let prod = xx.mul(&yy);
-        assert_eq!(prod, PauliString { paulis: vec![Pauli::Z, Pauli::Z], sign: -1 });
+        assert_eq!(
+            prod,
+            PauliString {
+                paulis: vec![Pauli::Z, Pauli::Z],
+                sign: -1
+            }
+        );
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub fn to_qasm3(circuit: &Circuit) -> String {
 fn emit(out: &mut String, instr: &Instruction) {
     if let Some(cond) = instr.condition {
         let _ = writeln!(out, "if (c[{}] == {}) {{", cond.clbit, cond.value as u8);
-        let mut inner = Instruction { condition: None, ..instr.clone() };
-        inner.condition = None;
+        let inner = Instruction {
+            condition: None,
+            ..instr.clone()
+        };
         emit(out, &inner);
         out.push_str("}\n");
         return;
@@ -71,8 +73,7 @@ fn emit(out: &mut String, instr: &Instruction) {
         Gate::Reset => format!("reset {};", q(0)),
         Gate::Delay(ns) => format!("delay[{ns}ns] {};", q(0)),
         Gate::Barrier => {
-            let qs: Vec<String> =
-                instr.qubits.iter().map(|&x| format!("q[{x}]")).collect();
+            let qs: Vec<String> = instr.qubits.iter().map(|&x| format!("q[{x}]")).collect();
             format!("barrier {};", qs.join(", "))
         }
     };

@@ -125,14 +125,26 @@ pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> ScheduledCi
     let mut items = Vec::with_capacity(circuit.len());
     for instr in &circuit.instructions {
         if instr.gate == Gate::Barrier {
-            let t = instr.qubits.iter().map(|&q| qubit_free[q]).fold(0.0, f64::max);
+            let t = instr
+                .qubits
+                .iter()
+                .map(|&q| qubit_free[q])
+                .fold(0.0, f64::max);
             for &q in &instr.qubits {
                 qubit_free[q] = t;
             }
-            items.push(ScheduledInstruction { instruction: instr.clone(), t0: t, duration: 0.0 });
+            items.push(ScheduledInstruction {
+                instruction: instr.clone(),
+                t0: t,
+                duration: 0.0,
+            });
             continue;
         }
-        let mut t0 = instr.qubits.iter().map(|&q| qubit_free[q]).fold(0.0, f64::max);
+        let mut t0 = instr
+            .qubits
+            .iter()
+            .map(|&q| qubit_free[q])
+            .fold(0.0, f64::max);
         if let Some(cond) = instr.condition {
             t0 = t0.max(clbit_ready[cond.clbit] + durations.feedforward);
         }
@@ -145,7 +157,11 @@ pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> ScheduledCi
                 clbit_ready[c] = t0 + d;
             }
         }
-        items.push(ScheduledInstruction { instruction: instr.clone(), t0, duration: d });
+        items.push(ScheduledInstruction {
+            instruction: instr.clone(),
+            t0,
+            duration: d,
+        });
     }
     let duration = qubit_free.iter().copied().fold(0.0, f64::max);
     let mut sc = ScheduledCircuit {
@@ -250,7 +266,8 @@ impl ScheduledCircuit {
         let mut out = self.clone();
         // Drop existing delay items to avoid double counting, then
         // re-derive every gap.
-        out.items.retain(|si| !matches!(si.instruction.gate, Gate::Delay(_)));
+        out.items
+            .retain(|si| !matches!(si.instruction.gate, Gate::Delay(_)));
         let mut extra = Vec::new();
         for q in 0..self.num_qubits {
             for (s, e) in out.idle_windows(q) {
@@ -325,7 +342,11 @@ mod tests {
         qc.barrier(Vec::<usize>::new());
         qc.sx(1);
         let sc = schedule_asap(&qc, d());
-        let sx1 = sc.items.iter().find(|si| si.instruction.acts_on(1) && si.instruction.gate == Gate::Sx).unwrap();
+        let sx1 = sc
+            .items
+            .iter()
+            .find(|si| si.instruction.acts_on(1) && si.instruction.gate == Gate::Sx)
+            .unwrap();
         assert_eq!(sx1.t0, 40.0);
     }
 
@@ -334,7 +355,11 @@ mod tests {
         let mut qc = Circuit::new(2, 1);
         qc.measure(0, 0).gate_if(Gate::X, [1], 0, true);
         let sc = schedule_asap(&qc, d());
-        let cond = sc.items.iter().find(|si| si.instruction.condition.is_some()).unwrap();
+        let cond = sc
+            .items
+            .iter()
+            .find(|si| si.instruction.condition.is_some())
+            .unwrap();
         assert_eq!(cond.t0, 4000.0 + 1150.0);
     }
 
@@ -400,8 +425,18 @@ mod tests {
         let asap = schedule_asap(&qc, d());
         let alap = schedule_alap(&qc, d());
         assert_eq!(asap.duration, alap.duration);
-        let sx0_asap = asap.items.iter().find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx).unwrap().t0;
-        let sx0_alap = alap.items.iter().find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx).unwrap().t0;
+        let sx0_asap = asap
+            .items
+            .iter()
+            .find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx)
+            .unwrap()
+            .t0;
+        let sx0_alap = alap
+            .items
+            .iter()
+            .find(|si| si.instruction.acts_on(0) && si.instruction.gate == Gate::Sx)
+            .unwrap()
+            .t0;
         assert_eq!(sx0_asap, 0.0);
         assert_eq!(sx0_alap, 80.0, "ALAP defers the sx to just before the ECR");
     }

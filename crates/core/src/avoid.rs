@@ -83,7 +83,10 @@ pub fn avoid_contexts(layered: &LayeredCircuit, device: &Device) -> (LayeredCirc
         }
         report.layers_out += sublayers.len();
         for sub in sublayers {
-            out.layers.push(Layer { kind: LayerKind::TwoQubit, instructions: sub });
+            out.layers.push(Layer {
+                kind: LayerKind::TwoQubit,
+                instructions: sub,
+            });
         }
     }
     (out, report)
@@ -119,8 +122,11 @@ mod tests {
         assert_eq!(report.layers_in, 1);
         assert_eq!(report.layers_out, 2);
         assert!(report.conflicts >= 1);
-        let two_q: Vec<_> =
-            out.layers.iter().filter(|l| l.kind == LayerKind::TwoQubit).collect();
+        let two_q: Vec<_> = out
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::TwoQubit)
+            .collect();
         assert_eq!(two_q.len(), 2);
         assert_eq!(two_q[0].instructions.len(), 1);
     }
@@ -136,7 +142,10 @@ mod tests {
         assert_eq!(report.layers_out, 1);
         assert_eq!(report.conflicts, 0);
         assert_eq!(
-            out.layers.iter().filter(|l| l.kind == LayerKind::TwoQubit).count(),
+            out.layers
+                .iter()
+                .filter(|l| l.kind == LayerKind::TwoQubit)
+                .count(),
             1
         );
     }

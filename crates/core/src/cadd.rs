@@ -59,7 +59,9 @@ pub struct CaDdConfig {
 
 impl Default for CaDdConfig {
     fn default() -> Self {
-        Self { d_min: crate::dd::DEFAULT_DMIN_NS }
+        Self {
+            d_min: crate::dd::DEFAULT_DMIN_NS,
+        }
     }
 }
 
@@ -139,7 +141,11 @@ fn split_group(group: &mut VecDeque<(usize, f64, f64)>, d_min: f64, out: &mut Ve
             }
             qs.into_iter().collect()
         };
-        out.push(JointWindow { t0: wa, t1: wb, qubits: qubits.clone() });
+        out.push(JointWindow {
+            t0: wa,
+            t1: wb,
+            qubits: qubits.clone(),
+        });
         // Split every member overlapping [wa, wb] into before/after
         // residues and iterate on what remains. Members that only
         // *partially* overlap the window keep their overlapping middle
@@ -210,8 +216,7 @@ pub fn color_graph(
         order.sort_by_key(|q| std::cmp::Reverse(forbidden.get(q).map_or(0, |s| s.len())));
         let mut assigned: BTreeMap<usize, usize> = BTreeMap::new();
         for &q in &order {
-            let mut banned: BTreeSet<usize> =
-                forbidden.get(&q).cloned().unwrap_or_default();
+            let mut banned: BTreeSet<usize> = forbidden.get(&q).cloned().unwrap_or_default();
             for p in graph.neighbors(q) {
                 if let Some(&c) = assigned.get(&p) {
                     banned.insert(c);
@@ -222,7 +227,9 @@ pub fn color_graph(
                     }
                 }
             }
-            let color = (1..=MAX_SEQUENCY).find(|k| !banned.contains(k)).unwrap_or(1);
+            let color = (1..=MAX_SEQUENCY)
+                .find(|k| !banned.contains(k))
+                .unwrap_or(1);
             assigned.insert(q, color);
         }
         for (&q, &c) in &assigned {
@@ -309,8 +316,14 @@ mod tests {
         let w = collect_joint_delays(&sc, &dev.crosstalk, 150.0);
         let c = color_graph(&w, &dev.crosstalk, &sc);
         let color0 = c.assignments[0][&0];
-        assert_ne!(color0, CONTROL_COLOR, "spectator must stagger against the control echo");
-        assert_eq!(color0, 2, "lowest allowed color is 2 (the paper's τ/4−X−τ/2−X−τ/4)");
+        assert_ne!(
+            color0, CONTROL_COLOR,
+            "spectator must stagger against the control echo"
+        );
+        assert_eq!(
+            color0, 2,
+            "lowest allowed color is 2 (the paper's τ/4−X−τ/2−X−τ/4)"
+        );
     }
 
     #[test]
@@ -333,7 +346,12 @@ mod tests {
         // crosstalk graph → three distinct colors.
         let topo = Topology::line(3);
         let mut dev = uniform_device(topo, 50.0);
-        dev.calibration.nnn.push(ca_device::NnnTerm { i: 0, j: 1, k: 2, zz_khz: 10.0 });
+        dev.calibration.nnn.push(ca_device::NnnTerm {
+            i: 0,
+            j: 1,
+            k: 2,
+            zz_khz: 10.0,
+        });
         let dev = ca_device::Device::new("collision", dev.topology, dev.calibration);
         let mut qc = Circuit::new(3, 0);
         qc.delay(2000.0, 0).delay(2000.0, 1).delay(2000.0, 2);
@@ -393,7 +411,10 @@ mod tests {
         qc.ecr(0, 1);
         let out = ca_dd(&sched(&qc), &dev, CaDdConfig::default());
         assert_eq!(
-            out.items.iter().filter(|si| si.instruction.gate == Gate::X).count(),
+            out.items
+                .iter()
+                .filter(|si| si.instruction.gate == Gate::X)
+                .count(),
             0,
             "no idle windows → no pulses"
         );

@@ -181,8 +181,7 @@ pub fn ca_ec(
                                 // ECR or other: conjugation leaves the
                                 // Z/ZZ dictionary → compensate first.
                                 if theta.abs() >= threshold {
-                                    pre_insert
-                                        .push(Instruction::new(Gate::Rzz(-theta), [i, j]));
+                                    pre_insert.push(Instruction::new(Gate::Rzz(-theta), [i, j]));
                                     report.inserted += 1;
                                 } else {
                                     report.dropped += 1;
@@ -237,7 +236,12 @@ pub fn ca_ec(
                             continue;
                         }
                         match instr.gate {
-                            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg
+                            Gate::I
+                            | Gate::Z
+                            | Gate::S
+                            | Gate::Sdg
+                            | Gate::T
+                            | Gate::Tdg
                             | Gate::Rz(_) => {}
                             Gate::X | Gate::Y => {
                                 if !config.ignore_twirl_signs {
@@ -247,10 +251,8 @@ pub fn ca_ec(
                             }
                             _ => {
                                 if pend_zz[&key].abs() >= threshold {
-                                    pre_insert.push(Instruction::new(
-                                        Gate::Rzz(-pend_zz[&key]),
-                                        [i, j],
-                                    ));
+                                    pre_insert
+                                        .push(Instruction::new(Gate::Rzz(-pend_zz[&key]), [i, j]));
                                     report.inserted += 1;
                                 } else {
                                     report.dropped += 1;
@@ -272,8 +274,7 @@ pub fn ca_ec(
                     });
                     if touches {
                         if pend_zz[&key].abs() >= threshold {
-                            pre_insert
-                                .push(Instruction::new(Gate::Rzz(-pend_zz[&key]), [i, j]));
+                            pre_insert.push(Instruction::new(Gate::Rzz(-pend_zz[&key]), [i, j]));
                             report.inserted += 1;
                         } else {
                             report.dropped += 1;
@@ -340,9 +341,7 @@ pub fn ca_ec(
                     };
                     for d in driven {
                         for s in device.crosstalk.neighbors(d) {
-                            if patterns[s] == Pattern::Flat
-                                && current.is_idle(s)
-                            {
+                            if patterns[s] == Pattern::Flat && current.is_idle(s) {
                                 err_z[s] += phase_rad(device.calibration.stark_on(d, s), tau);
                             }
                         }
@@ -353,7 +352,10 @@ pub fn ca_ec(
 
         // --- Phase C: emit --------------------------------------------
         if !pre_insert.is_empty() {
-            out.layers.push(Layer { kind: LayerKind::TwoQubit, instructions: pre_insert });
+            out.layers.push(Layer {
+                kind: LayerKind::TwoQubit,
+                instructions: pre_insert,
+            });
         }
         out.layers.push(current);
         let mut virtuals = post_virtual;
@@ -364,7 +366,10 @@ pub fn ca_ec(
             }
         }
         if !virtuals.is_empty() {
-            out.layers.push(Layer { kind: LayerKind::OneQubit, instructions: virtuals });
+            out.layers.push(Layer {
+                kind: LayerKind::OneQubit,
+                instructions: virtuals,
+            });
         }
     }
 
@@ -379,7 +384,10 @@ pub fn ca_ec(
         }
     }
     if !tail.is_empty() {
-        out.layers.push(Layer { kind: LayerKind::TwoQubit, instructions: tail });
+        out.layers.push(Layer {
+            kind: LayerKind::TwoQubit,
+            instructions: tail,
+        });
     }
     (out, report)
 }
@@ -447,7 +455,10 @@ mod tests {
         let mut qc = Circuit::new(3, 0);
         qc.ecr(0, 1);
         let (out, report) = ca_ec(&stratify(&qc), &device, CaEcConfig::default());
-        assert_eq!(report.inserted, 0, "spectator ZZ is refocused by the gate echo");
+        assert_eq!(
+            report.inserted, 0,
+            "spectator ZZ is refocused by the gate echo"
+        );
         assert!(report.virtual_rz > 0);
         let rz_on_2 = out
             .layers
@@ -465,7 +476,10 @@ mod tests {
         let mut qc = Circuit::new(4, 0);
         qc.ecr(1, 0).ecr(2, 3);
         let (_, report) = ca_ec(&stratify(&qc), &device, CaEcConfig::default());
-        assert!(report.inserted >= 1, "case-IV ZZ must be compensated: {report:?}");
+        assert!(
+            report.inserted >= 1,
+            "case-IV ZZ must be compensated: {report:?}"
+        );
     }
 
     #[test]
@@ -476,7 +490,10 @@ mod tests {
         let (_, report) = ca_ec(
             &stratify(&qc),
             &device,
-            CaEcConfig { only_undecoupled: true, ..CaEcConfig::default() },
+            CaEcConfig {
+                only_undecoupled: true,
+                ..CaEcConfig::default()
+            },
         );
         assert_eq!(report.inserted, 0);
         assert_eq!(report.virtual_rz, 0);
@@ -490,7 +507,10 @@ mod tests {
         let (_, report) = ca_ec(
             &stratify(&qc),
             &device,
-            CaEcConfig { only_undecoupled: true, ..CaEcConfig::default() },
+            CaEcConfig {
+                only_undecoupled: true,
+                ..CaEcConfig::default()
+            },
         );
         assert!(report.inserted >= 1);
     }
@@ -521,7 +541,7 @@ mod tests {
             // compensation Rzz(+θ_2q − θ_1q) shifts γ by −(θ_2q−θ_1q)/2.
             let th2 = ca_device::phase_rad(100.0, 480.0);
             let th1 = ca_device::phase_rad(100.0, 40.0);
-            let expect = 0.5 - (-th2 + th1) / 2.0 * -1.0;
+            let expect = 0.5 - -((-th2 + th1) / 2.0);
             // absorb_rzz_into_can(g, −θ_pend): γ → γ − (−θ_pend)/2 = γ + θ_pend/2
             let expect2 = 0.5 + (-th2 + th1) / 2.0;
             assert!(

@@ -35,7 +35,11 @@ pub fn pulse_centers(a: f64, b: f64, fractions: &[f64], pulse_ns: f64) -> Option
         }
     }
     if centers.is_empty() || centers[0] - a < pulse_ns / 2.0 - 1e-9 {
-        return if centers.is_empty() { Some(centers) } else { None };
+        return if centers.is_empty() {
+            Some(centers)
+        } else {
+            None
+        };
     }
     Some(centers)
 }
@@ -179,8 +183,16 @@ mod tests {
             .collect();
         assert_eq!(xs.len(), 4, "two pulses per qubit");
         // Aligned: same times on both qubits.
-        let t0: Vec<f64> = xs.iter().filter(|si| si.instruction.acts_on(0)).map(|si| si.t0).collect();
-        let t1: Vec<f64> = xs.iter().filter(|si| si.instruction.acts_on(1)).map(|si| si.t0).collect();
+        let t0: Vec<f64> = xs
+            .iter()
+            .filter(|si| si.instruction.acts_on(0))
+            .map(|si| si.t0)
+            .collect();
+        let t1: Vec<f64> = xs
+            .iter()
+            .filter(|si| si.instruction.acts_on(1))
+            .map(|si| si.t0)
+            .collect();
         assert_eq!(t0, t1);
     }
 
@@ -211,7 +223,13 @@ mod tests {
         let mut qc = Circuit::new(1, 0);
         qc.delay(100.0, 0);
         let out = uniform_dd(&sched(&qc), &dev, DEFAULT_DMIN_NS);
-        assert_eq!(out.items.iter().filter(|si| si.instruction.gate == Gate::X).count(), 0);
+        assert_eq!(
+            out.items
+                .iter()
+                .filter(|si| si.instruction.gate == Gate::X)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -243,7 +261,9 @@ mod tests {
         let out = uniform_dd(&base, &dev, DEFAULT_DMIN_NS);
         for si in &base.items {
             assert!(
-                out.items.iter().any(|o| o.instruction == si.instruction && o.t0 == si.t0),
+                out.items
+                    .iter()
+                    .any(|o| o.instruction == si.instruction && o.t0 == si.t0),
                 "original item moved: {:?}",
                 si.instruction.gate
             );

@@ -31,8 +31,8 @@ pub mod walsh;
 pub use avoid::{avoid_contexts, AvoidContextsPass, AvoidReport};
 pub use cadd::{ca_dd, CaDdConfig, Coloring, JointWindow, CONTROL_COLOR, TARGET_COLOR};
 pub use caec::{ca_ec, CaEcConfig, CaEcReport};
-pub use decompose::{decompose_can, DecomposeCanPass};
 pub use dd::{staggered_dd, uniform_dd, DEFAULT_DMIN_NS};
+pub use decompose::{decompose_can, DecomposeCanPass};
 pub use dynamic::append_measure_compensation;
 pub use pass::{Context, Ir, Pass, PassManager};
 pub use strategies::{compile, pipeline, CompileOptions, Strategy};

@@ -25,7 +25,11 @@ pub struct Context<'d> {
 impl<'d> Context<'d> {
     /// Creates a context with a seeded RNG.
     pub fn new(device: &'d Device, seed: u64) -> Self {
-        Self { device, rng: StdRng::seed_from_u64(seed), readout_mask: 0 }
+        Self {
+            device,
+            rng: StdRng::seed_from_u64(seed),
+            readout_mask: 0,
+        }
     }
 }
 

@@ -68,12 +68,20 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// Options for a strategy with twirling enabled.
     pub fn new(strategy: Strategy, seed: u64) -> Self {
-        Self { strategy, twirl: true, seed, d_min: DEFAULT_DMIN_NS }
+        Self {
+            strategy,
+            twirl: true,
+            seed,
+            d_min: DEFAULT_DMIN_NS,
+        }
     }
 
     /// Options without twirling (characterization experiments).
     pub fn untwirled(strategy: Strategy, seed: u64) -> Self {
-        Self { twirl: false, ..Self::new(strategy, seed) }
+        Self {
+            twirl: false,
+            ..Self::new(strategy, seed)
+        }
     }
 }
 
@@ -160,20 +168,39 @@ pub fn pipeline(options: &CompileOptions) -> PassManager {
     match options.strategy {
         Strategy::Bare => {}
         Strategy::UniformDd => {
-            pm.push(UniformDdPass { d_min: options.d_min });
+            pm.push(UniformDdPass {
+                d_min: options.d_min,
+            });
         }
         Strategy::StaggeredDd => {
-            pm.push(StaggeredDdPass { d_min: options.d_min });
+            pm.push(StaggeredDdPass {
+                d_min: options.d_min,
+            });
         }
         Strategy::CaDd => {
-            pm.push(CaDdPass { config: CaDdConfig { d_min: options.d_min } });
+            pm.push(CaDdPass {
+                config: CaDdConfig {
+                    d_min: options.d_min,
+                },
+            });
         }
         Strategy::CaEc => {
-            pm.push(CaEcPass { config: CaEcConfig::default() });
+            pm.push(CaEcPass {
+                config: CaEcConfig::default(),
+            });
         }
         Strategy::CaEcPlusDd => {
-            pm.push(CaEcPass { config: CaEcConfig { only_undecoupled: true, ..CaEcConfig::default() } });
-            pm.push(CaDdPass { config: CaDdConfig { d_min: options.d_min } });
+            pm.push(CaEcPass {
+                config: CaEcConfig {
+                    only_undecoupled: true,
+                    ..CaEcConfig::default()
+                },
+            });
+            pm.push(CaDdPass {
+                config: CaDdConfig {
+                    d_min: options.d_min,
+                },
+            });
         }
     }
     pm
@@ -215,7 +242,10 @@ mod tests {
         let dev = uniform_device(Topology::line(4), 60.0);
         let qc = case_i_circuit();
         let count_x = |sc: &ScheduledCircuit| {
-            sc.items.iter().filter(|si| si.instruction.gate == Gate::X).count()
+            sc.items
+                .iter()
+                .filter(|si| si.instruction.gate == Gate::X)
+                .count()
         };
         let bare = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::Bare, 3));
         let cadd = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaDd, 3));
@@ -228,9 +258,10 @@ mod tests {
         let dev = uniform_device(Topology::line(4), 60.0);
         let qc = case_i_circuit();
         let caec = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaEc, 3));
-        let has_comp = caec.items.iter().any(|si| {
-            matches!(si.instruction.gate, Gate::Rz(_) | Gate::Rzz(_))
-        });
+        let has_comp = caec
+            .items
+            .iter()
+            .any(|si| matches!(si.instruction.gate, Gate::Rz(_) | Gate::Rzz(_)));
         assert!(has_comp);
     }
 
@@ -241,8 +272,14 @@ mod tests {
         let a = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 1));
         let b = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 2));
         assert_ne!(
-            a.items.iter().map(|si| si.instruction.gate.name()).collect::<Vec<_>>(),
-            b.items.iter().map(|si| si.instruction.gate.name()).collect::<Vec<_>>()
+            a.items
+                .iter()
+                .map(|si| si.instruction.gate.name())
+                .collect::<Vec<_>>(),
+            b.items
+                .iter()
+                .map(|si| si.instruction.gate.name())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -27,10 +27,7 @@ pub struct TwirlRecord {
 /// Identity Paulis are kept as explicit `I` gates so twirl layers have
 /// uniform duration (as on hardware, where they merge into the 1q
 /// layers).
-pub fn pauli_twirl(
-    layered: &LayeredCircuit,
-    rng: &mut StdRng,
-) -> (LayeredCircuit, TwirlRecord) {
+pub fn pauli_twirl(layered: &LayeredCircuit, rng: &mut StdRng) -> (LayeredCircuit, TwirlRecord) {
     let mut out = LayeredCircuit {
         num_qubits: layered.num_qubits,
         num_clbits: layered.num_clbits,
@@ -54,7 +51,10 @@ pub fn pauli_twirl(
                     Pauli::from_index(rng.random_range(0..4usize)),
                 );
                 (pb, twirl_partner(instr.gate, pb))
-            } else if matches!(instr.gate, ca_circuit::Gate::Can { .. } | ca_circuit::Gate::Rzz(_)) {
+            } else if matches!(
+                instr.gate,
+                ca_circuit::Gate::Can { .. } | ca_circuit::Gate::Rzz(_)
+            ) {
                 let p = Pauli::from_index(rng.random_range(0..4usize));
                 ((p, p), (p, p))
             } else {
@@ -71,9 +71,15 @@ pub fn pauli_twirl(
             record.inserted.push((li + 2, a, pa.0));
             record.inserted.push((li + 2, b, pa.1));
         }
-        out.layers.push(Layer { kind: LayerKind::OneQubit, instructions: before });
+        out.layers.push(Layer {
+            kind: LayerKind::OneQubit,
+            instructions: before,
+        });
         out.layers.push(layer.clone());
-        out.layers.push(Layer { kind: LayerKind::OneQubit, instructions: after });
+        out.layers.push(Layer {
+            kind: LayerKind::OneQubit,
+            instructions: after,
+        });
     }
     (out, record)
 }
@@ -111,7 +117,13 @@ pub fn readout_twirl(layered: &mut LayeredCircuit, rng: &mut StdRng) -> u64 {
         .into_iter()
         .map(|q| Instruction::new(ca_circuit::Gate::X, [q]))
         .collect();
-    layered.layers.insert(pos, Layer { kind: LayerKind::OneQubit, instructions: xs });
+    layered.layers.insert(
+        pos,
+        Layer {
+            kind: LayerKind::OneQubit,
+            instructions: xs,
+        },
+    );
     mask
 }
 
@@ -169,7 +181,10 @@ mod tests {
                 .collect();
             distinct.insert(names.join(","));
         }
-        assert!(distinct.len() > 3, "16 seeds should produce several distinct twirls");
+        assert!(
+            distinct.len() > 3,
+            "16 seeds should produce several distinct twirls"
+        );
     }
 
     #[test]
@@ -191,7 +206,10 @@ mod tests {
                     .unwrap();
                 assert!(meas_pos > 0);
                 let prev = &layered.layers[meas_pos - 1];
-                assert!(prev.instructions.iter().all(|i| i.gate == ca_circuit::Gate::X));
+                assert!(prev
+                    .instructions
+                    .iter()
+                    .all(|i| i.gate == ca_circuit::Gate::X));
             }
         }
         assert!(found_nonzero);

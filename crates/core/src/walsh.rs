@@ -97,7 +97,11 @@ pub fn mean(signs: &[i8]) -> f64 {
 /// Mean of the elementwise product of two sign vectors (exactly 0 for
 /// distinct sequencies — the ZZ-suppression condition).
 pub fn product_mean(a: &[i8], b: &[i8]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x * y) as f64).sum::<f64>() / a.len() as f64
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x * y) as f64)
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 #[cfg(test)]
@@ -114,7 +118,11 @@ mod tests {
     #[test]
     fn zero_mean_suppresses_z() {
         for k in 1..=MAX_SEQUENCY {
-            assert_eq!(mean(&walsh_signs(k)), 0.0, "sequency {k} must have zero mean");
+            assert_eq!(
+                mean(&walsh_signs(k)),
+                0.0,
+                "sequency {k} must have zero mean"
+            );
         }
     }
 
@@ -154,7 +162,11 @@ mod tests {
     #[test]
     fn frame_restored() {
         for k in 1..=MAX_SEQUENCY {
-            assert_eq!(walsh_pulse_fractions(k).len() % 2, 0, "even pulse count restores frame");
+            assert_eq!(
+                walsh_pulse_fractions(k).len() % 2,
+                0,
+                "even pulse count restores frame"
+            );
         }
     }
 }

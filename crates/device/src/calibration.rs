@@ -14,31 +14,24 @@ use std::collections::BTreeMap;
 
 /// Serde adapter: (de)serialises `BTreeMap<(usize, usize), V>` as a
 /// list of `(a, b, value)` entries, since JSON map keys must be
-/// strings.
+/// strings. Written against the offline serde shim's value-tree API
+/// (`to_value`/`from_value` instead of `serialize`/`deserialize`).
 pub mod pair_map {
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-    use serde::{Deserialize, Serialize};
+    use serde::{DeError, Deserialize, Serialize, Value};
     use std::collections::BTreeMap;
 
     /// Serialises the map as an entry list.
-    pub fn serialize<S, V>(map: &BTreeMap<(usize, usize), V>, ser: S) -> Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-        V: Serialize + Clone,
-    {
-        let entries: Vec<(usize, usize, V)> =
-            map.iter().map(|(&(a, b), v)| (a, b, v.clone())).collect();
-        entries.serialize(ser)
+    pub fn to_value<V: Serialize>(map: &BTreeMap<(usize, usize), V>) -> Value {
+        Value::Arr(
+            map.iter()
+                .map(|(&(a, b), v)| Value::Arr(vec![a.to_value(), b.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
     /// Rebuilds the map from an entry list.
-    pub fn deserialize<'de, D, V>(de: D) -> Result<BTreeMap<(usize, usize), V>, D::Error>
-    where
-        D: Deserializer<'de>,
-        V: Deserialize<'de>,
-    {
-        let entries: Vec<(usize, usize, V)> = Vec::deserialize(de)?;
+    pub fn from_value<V: Deserialize>(v: &Value) -> Result<BTreeMap<(usize, usize), V>, DeError> {
+        let entries: Vec<(usize, usize, V)> = Vec::from_value(v)?;
         Ok(entries.into_iter().map(|(a, b, v)| ((a, b), v)).collect())
     }
 }
@@ -92,7 +85,10 @@ pub struct EdgeCal {
 
 impl Default for EdgeCal {
     fn default() -> Self {
-        Self { zz_khz: 60.0, gate_err_2q: 7e-3 }
+        Self {
+            zz_khz: 60.0,
+            gate_err_2q: 7e-3,
+        }
     }
 }
 
@@ -135,7 +131,13 @@ impl Calibration {
     pub fn uniform(num_qubits: usize, edges: &[(usize, usize)], zz_khz: f64) -> Self {
         let mut map = BTreeMap::new();
         for &(a, b) in edges {
-            map.insert((a.min(b), a.max(b)), EdgeCal { zz_khz, ..EdgeCal::default() });
+            map.insert(
+                (a.min(b), a.max(b)),
+                EdgeCal {
+                    zz_khz,
+                    ..EdgeCal::default()
+                },
+            );
         }
         Self {
             qubits: vec![QubitCal::default(); num_qubits],
@@ -148,17 +150,24 @@ impl Calibration {
 
     /// The ZZ rate on edge `(a, b)` in kHz (0 if not coupled).
     pub fn zz_khz(&self, a: usize, b: usize) -> f64 {
-        self.edges.get(&(a.min(b), a.max(b))).map_or(0.0, |e| e.zz_khz)
+        self.edges
+            .get(&(a.min(b), a.max(b)))
+            .map_or(0.0, |e| e.zz_khz)
     }
 
     /// The two-qubit gate error on edge `(a, b)`.
     pub fn gate_err_2q(&self, a: usize, b: usize) -> f64 {
-        self.edges.get(&(a.min(b), a.max(b))).map_or(0.0, |e| e.gate_err_2q)
+        self.edges
+            .get(&(a.min(b), a.max(b)))
+            .map_or(0.0, |e| e.gate_err_2q)
     }
 
     /// Stark shift (kHz) on `spectator` while `driven` is being driven.
     pub fn stark_on(&self, driven: usize, spectator: usize) -> f64 {
-        self.stark_khz.get(&(driven, spectator)).copied().unwrap_or(0.0)
+        self.stark_khz
+            .get(&(driven, spectator))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// NNN ZZ rate between outer qubits `i` and `k` (kHz), summed over
@@ -203,7 +212,12 @@ mod tests {
     #[test]
     fn nnn_lookup_is_symmetric() {
         let mut cal = Calibration::uniform(3, &[(0, 1), (1, 2)], 50.0);
-        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 10.0 });
+        cal.nnn.push(NnnTerm {
+            i: 0,
+            j: 1,
+            k: 2,
+            zz_khz: 10.0,
+        });
         assert_eq!(cal.nnn_khz(0, 2), 10.0);
         assert_eq!(cal.nnn_khz(2, 0), 10.0);
         assert_eq!(cal.nnn_khz(0, 1), 0.0);

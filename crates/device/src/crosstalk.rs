@@ -65,7 +65,10 @@ impl CrosstalkGraph {
                 });
             }
         }
-        Self { num_qubits: topology.num_qubits, edges }
+        Self {
+            num_qubits: topology.num_qubits,
+            edges,
+        }
     }
 
     /// Crosstalk neighbours of `q` (over both edge kinds), ascending.
@@ -102,7 +105,10 @@ impl CrosstalkGraph {
     /// Maximum degree of the graph — a lower bound driver for the
     /// number of colors CA-DD may need.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_qubits).map(|q| self.neighbors(q).len()).max().unwrap_or(0)
+        (0..self.num_qubits)
+            .map(|q| self.neighbors(q).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -126,7 +132,12 @@ mod tests {
     fn nnn_edge_added_above_threshold() {
         let topo = Topology::line(3);
         let mut cal = Calibration::uniform(3, &topo.edges, 42.0);
-        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        cal.nnn.push(NnnTerm {
+            i: 0,
+            j: 1,
+            k: 2,
+            zz_khz: 12.0,
+        });
         let g = CrosstalkGraph::build(&topo, &cal, 5.0);
         assert!(g.connected(0, 2));
         assert_eq!(g.edge(0, 2).unwrap().kind, CrosstalkKind::NextNearest);
@@ -140,7 +151,12 @@ mod tests {
     fn collision_triplet_raises_degree() {
         let topo = Topology::line(3);
         let mut cal = Calibration::uniform(3, &topo.edges, 42.0);
-        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        cal.nnn.push(NnnTerm {
+            i: 0,
+            j: 1,
+            k: 2,
+            zz_khz: 12.0,
+        });
         let g = CrosstalkGraph::build(&topo, &cal, 5.0);
         // Qubit 1 still has 2 neighbours, but 0 and 2 now have 2 each:
         // the triangle forces 3 colors in CA-DD.

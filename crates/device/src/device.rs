@@ -28,7 +28,12 @@ impl Device {
     /// Assembles a device, deriving the crosstalk graph.
     pub fn new(name: impl Into<String>, topology: Topology, calibration: Calibration) -> Self {
         let crosstalk = CrosstalkGraph::build(&topology, &calibration, DEFAULT_NNN_THRESHOLD_KHZ);
-        Self { name: name.into(), topology, calibration, crosstalk }
+        Self {
+            name: name.into(),
+            topology,
+            calibration,
+            crosstalk,
+        }
     }
 
     /// Number of qubits.

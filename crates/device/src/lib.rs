@@ -18,7 +18,7 @@ pub use calibration::{phase_rad, Calibration, EdgeCal, NnnTerm, QubitCal};
 pub use crosstalk::{CrosstalkEdge, CrosstalkGraph, CrosstalkKind};
 pub use device::{Device, DEFAULT_NNN_THRESHOLD_KHZ};
 pub use presets::{
-    brisbane_like, nazca_like, penguino_like, sample_calibration, sherbrooke_like,
+    brisbane_like, eagle_like, nazca_like, penguino_like, sample_calibration, sherbrooke_like,
     uniform_device, NoiseProfile,
 };
 pub use topology::Topology;

@@ -113,11 +113,22 @@ pub fn sample_calibration(topology: &Topology, profile: &NoiseProfile, seed: u64
     let mut nnn = Vec::new();
     for (i, j, k) in topology.nnn_triplets() {
         if rng.random::<f64>() < profile.collision_prob {
-            nnn.push(NnnTerm { i, j, k, zz_khz: sample(&mut rng, profile.collision_khz) });
+            nnn.push(NnnTerm {
+                i,
+                j,
+                k,
+                zz_khz: sample(&mut rng, profile.collision_khz),
+            });
         }
     }
 
-    Calibration { qubits, edges, stark_khz: stark, nnn, durations: GateDurations::default() }
+    Calibration {
+        qubits,
+        edges,
+        stark_khz: stark,
+        nnn,
+        durations: GateDurations::default(),
+    }
 }
 
 /// An `ibm_nazca`-like device on the given topology (Figs. 3, 6–9).
@@ -129,7 +140,10 @@ pub fn nazca_like(topology: Topology, seed: u64) -> Device {
 /// An `ibm_brisbane`-like device: somewhat stronger ZZ spread
 /// (used for case IV of Fig. 3f).
 pub fn brisbane_like(topology: Topology, seed: u64) -> Device {
-    let profile = NoiseProfile { zz_khz: (30.0, 140.0), ..NoiseProfile::default() };
+    let profile = NoiseProfile {
+        zz_khz: (30.0, 140.0),
+        ..NoiseProfile::default()
+    };
     let cal = sample_calibration(&topology, &profile, seed);
     Device::new("brisbane_like", topology, cal)
 }
@@ -137,7 +151,10 @@ pub fn brisbane_like(topology: Topology, seed: u64) -> Device {
 /// An `ibm_sherbrooke`-like device: guaranteed NNN collision structure
 /// (used for Fig. 4c).
 pub fn sherbrooke_like(topology: Topology, seed: u64) -> Device {
-    let profile = NoiseProfile { collision_prob: 1.0, ..NoiseProfile::default() };
+    let profile = NoiseProfile {
+        collision_prob: 1.0,
+        ..NoiseProfile::default()
+    };
     let cal = sample_calibration(&topology, &profile, seed);
     Device::new("sherbrooke_like", topology, cal)
 }
@@ -152,6 +169,17 @@ pub fn penguino_like(topology: Topology, seed: u64) -> Device {
     };
     let cal = sample_calibration(&topology, &profile, seed);
     Device::new("penguino_like", topology, cal)
+}
+
+/// A full 127-qubit Eagle-class device on the heavy-hex lattice of
+/// [`Topology::heavy_hex_127`] with the default noise profile — the
+/// scale regime of the paper's flagship experiments (Figs. 6–8 ran on
+/// 100+ qubit devices). Dense simulation is infeasible here; the
+/// stabilizer engine runs it comfortably.
+pub fn eagle_like(seed: u64) -> Device {
+    let topology = Topology::heavy_hex_127();
+    let cal = sample_calibration(&topology, &NoiseProfile::default(), seed);
+    Device::new("eagle_like", topology, cal)
 }
 
 /// A deterministic uniform device: identical ZZ on every edge, default
@@ -193,6 +221,17 @@ mod tests {
         let dev = sherbrooke_like(Topology::line(3), 11);
         assert_eq!(dev.calibration.nnn.len(), 1);
         assert!(dev.crosstalk.connected(0, 2));
+    }
+
+    #[test]
+    fn eagle_preset_has_full_scale() {
+        let dev = eagle_like(3);
+        assert_eq!(dev.num_qubits(), 127);
+        assert_eq!(dev.calibration.qubits.len(), 127);
+        assert_eq!(dev.calibration.edges.len(), 144);
+        // Deterministic per seed.
+        assert_eq!(dev, eagle_like(3));
+        assert_ne!(dev, eagle_like(4));
     }
 
     #[test]

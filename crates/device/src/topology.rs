@@ -22,10 +22,16 @@ impl Topology {
         let mut set = BTreeSet::new();
         for (a, b) in edges {
             assert!(a != b, "self-loop on qubit {a}");
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             set.insert((a.min(b), a.max(b)));
         }
-        Self { num_qubits, edges: set.into_iter().collect() }
+        Self {
+            num_qubits,
+            edges: set.into_iter().collect(),
+        }
     }
 
     /// A linear chain `0—1—…—(n−1)`.
@@ -71,6 +77,65 @@ impl Topology {
             }
         }
         Self::new(next, edges)
+    }
+
+    /// The 127-qubit heavy-hex lattice of IBM's Eagle processors
+    /// (`ibm_washington` / `ibm_nazca` class): seven qubit rows of
+    /// length 14/15/15/15/15/15/14 joined by four-qubit bridge groups
+    /// whose columns alternate between {0,4,8,12} and {2,6,10,14}.
+    /// Qubit numbering interleaves rows and bridge groups exactly like
+    /// the real device (row 0 = 0–13, bridges 14–17, row 1 = 18–32, …,
+    /// row 6 = 113–126).
+    pub fn heavy_hex_127() -> Self {
+        let row_cols: [(usize, usize); 7] = [
+            (0, 13),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (1, 14),
+        ];
+        let mut next = 0usize;
+        let mut row_qubit: Vec<std::collections::BTreeMap<usize, usize>> = Vec::new();
+        let mut edges = Vec::new();
+        let mut bridge_starts = Vec::new();
+        for (r, &(c0, c1)) in row_cols.iter().enumerate() {
+            // Row chain.
+            let mut map = std::collections::BTreeMap::new();
+            for c in c0..=c1 {
+                map.insert(c, next);
+                if c > c0 {
+                    edges.push((next - 1, next));
+                }
+                next += 1;
+            }
+            row_qubit.push(map);
+            // Bridge group below this row (none after the last row).
+            if r < 6 {
+                bridge_starts.push(next);
+                next += 4;
+            }
+        }
+        for (r, &start) in bridge_starts.iter().enumerate() {
+            let cols: [usize; 4] = if r % 2 == 0 {
+                [0, 4, 8, 12]
+            } else {
+                [2, 6, 10, 14]
+            };
+            for (k, &c) in cols.iter().enumerate() {
+                let bridge = start + k;
+                if let Some(&top) = row_qubit[r].get(&c) {
+                    edges.push((top, bridge));
+                }
+                if let Some(&bottom) = row_qubit[r + 1].get(&c) {
+                    edges.push((bridge, bottom));
+                }
+            }
+        }
+        let t = Self::new(next, edges);
+        debug_assert_eq!(t.num_qubits, 127);
+        t
     }
 
     /// The 10-qubit sparse-layer layout of Fig. 8a (`ibm_nazca` qubits
@@ -209,6 +274,42 @@ mod tests {
         assert!(t.has_edge(10, 5));
         assert!(t.has_edge(4, 11));
         assert!(t.has_edge(11, 9));
+    }
+
+    #[test]
+    fn heavy_hex_127_matches_eagle() {
+        let t = Topology::heavy_hex_127();
+        assert_eq!(t.num_qubits, 127);
+        assert_eq!(t.edges.len(), 144);
+        // Heavy hex: degree ≤ 3 everywhere, graph fully connected.
+        for q in 0..127 {
+            let d = t.degree(q);
+            assert!((1..=3).contains(&d), "qubit {q} degree {d}");
+        }
+        // Spot-check the known Eagle couplings.
+        assert!(t.has_edge(0, 14) && t.has_edge(14, 18), "bridge 14: 0↔18");
+        assert!(t.has_edge(12, 17) && t.has_edge(17, 30), "bridge 17: 12↔30");
+        assert!(
+            t.has_edge(96, 109) && t.has_edge(109, 114),
+            "bridge 109: 96↔114"
+        );
+        assert!(
+            t.has_edge(108, 112) && t.has_edge(112, 126),
+            "bridge 112: 108↔126"
+        );
+        // Connectivity via BFS.
+        let mut seen = [false; 127];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(q) = stack.pop() {
+            for nb in t.neighbors(q) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "lattice is connected");
     }
 
     #[test]

@@ -56,12 +56,20 @@ pub fn true_tau_ns(device: &Device) -> f64 {
 
 /// Measures Bell fidelity for a given τ estimate.
 pub fn bell_fidelity(device: &Device, tau_est_ns: f64, budget: &Budget) -> f64 {
-    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
     let sim = Simulator::with_config(device.clone(), noise);
     let qc = bell_circuit(device, tau_est_ns);
     let sc = ca_circuit::schedule_asap(&qc, device.durations());
     let obs = all_zeros_fidelity_observables(3, &[1, 2]);
-    let vals = sim.expect_paulis(&sc, &obs, budget.trajectories * budget.instances, budget.seed);
+    let vals = sim.expect_paulis(
+        &sc,
+        &obs,
+        budget.trajectories * budget.instances,
+        budget.seed,
+    );
     all_zeros_fidelity(&vals)
 }
 
@@ -70,10 +78,22 @@ pub fn fig9(taus_ns: &[f64], budget: &Budget) -> Figure {
     let device = dynamic_device();
     let xs: Vec<f64> = taus_ns.iter().map(|t| t / 1000.0).collect();
     let bare = bell_fidelity(&device, 0.0, budget);
-    let ys: Vec<f64> = taus_ns.iter().map(|&t| bell_fidelity(&device, t, budget)).collect();
-    let mut fig = Figure::new("fig9c", "dynamic Bell fidelity vs assumed idle time", "tau (us)", "Bell fidelity F");
+    let ys: Vec<f64> = taus_ns
+        .iter()
+        .map(|&t| bell_fidelity(&device, t, budget))
+        .collect();
+    let mut fig = Figure::new(
+        "fig9c",
+        "dynamic Bell fidelity vs assumed idle time",
+        "tau (us)",
+        "Bell fidelity F",
+    );
     fig.push(Series::new("CA-EC", xs.clone(), ys));
-    fig.push(Series::new("no compensation", xs.clone(), vec![bare; xs.len()]));
+    fig.push(Series::new(
+        "no compensation",
+        xs.clone(),
+        vec![bare; xs.len()],
+    ));
     fig.note(format!(
         "true window = {:.2} us (measurement {:.1} + feed-forward {:.2})",
         true_tau_ns(&device) / 1000.0,
@@ -118,7 +138,10 @@ mod tests {
         let budget = Budget::quick();
         let truth = true_tau_ns(&device);
         let taus = [0.4 * truth, 0.7 * truth, truth, 1.3 * truth, 1.6 * truth];
-        let fs: Vec<f64> = taus.iter().map(|&t| bell_fidelity(&device, t, &budget)).collect();
+        let fs: Vec<f64> = taus
+            .iter()
+            .map(|&t| bell_fidelity(&device, t, &budget))
+            .collect();
         let best = fs
             .iter()
             .enumerate()

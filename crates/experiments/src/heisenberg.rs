@@ -116,13 +116,20 @@ pub struct HeisenbergResult {
 /// Runs Fig. 7c/7d.
 pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
     let device = heisenberg_device(23);
-    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
     let j = (1.0, 1.0, 1.0);
     let dt = 0.2;
     let obs = [z2_observable()];
     let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
-    let mut fig =
-        Figure::new("fig7c", "Heisenberg ring Trotter dynamics", "step d", "<Z2>");
+    let mut fig = Figure::new(
+        "fig7c",
+        "Heisenberg ring Trotter dynamics",
+        "step d",
+        "<Z2>",
+    );
 
     let ideal: Vec<f64> = depths
         .iter()
@@ -133,7 +140,11 @@ pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
                 &trotter_circuit(d, j, dt),
                 &obs,
                 &CompileOptions::untwirled(Strategy::Bare, budget.seed),
-                &Budget { trajectories: 1, instances: 1, seed: budget.seed },
+                &Budget {
+                    trajectories: 1,
+                    instances: 1,
+                    seed: budget.seed,
+                },
             )[0]
         })
         .collect();
@@ -146,15 +157,21 @@ pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
         let mut pm = PassManager::new();
         pm.push(TwirlPass);
         if label == "CA-EC" {
-            pm.push(CaEcPass { config: CaEcConfig::default() });
+            pm.push(CaEcPass {
+                config: CaEcConfig::default(),
+            });
         }
         pm.push(DecomposeCanPass);
         match label {
             "DD" => {
-                pm.push(UniformDdPass { d_min: DEFAULT_DMIN_NS });
+                pm.push(UniformDdPass {
+                    d_min: DEFAULT_DMIN_NS,
+                });
             }
             "CA-DD" => {
-                pm.push(CaDdPass { config: CaDdConfig::default() });
+                pm.push(CaDdPass {
+                    config: CaDdConfig::default(),
+                });
             }
             _ => {}
         }
@@ -194,7 +211,10 @@ pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
         c.two_qubit_depth(),
     ));
     fig.note("paper: CA-EC/CA-DD recover the d=4 oscillation; uniform DD does not");
-    HeisenbergResult { figure: fig, overhead }
+    HeisenbergResult {
+        figure: fig,
+        overhead,
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +244,11 @@ mod tests {
                 qc,
                 &obs,
                 &CompileOptions::untwirled(Strategy::Bare, 1),
-                &Budget { trajectories: 1, instances: 1, seed: 1 },
+                &Budget {
+                    trajectories: 1,
+                    instances: 1,
+                    seed: 1,
+                },
             )[0]
         };
         let a = run(&trotter_circuit(2, (1.0, 1.0, 1.0), 0.2));
@@ -261,7 +285,11 @@ mod tests {
             &trotter_circuit(0, (1.0, 1.0, 1.0), 0.2),
             &obs,
             &CompileOptions::untwirled(Strategy::Bare, 1),
-            &Budget { trajectories: 1, instances: 1, seed: 1 },
+            &Budget {
+                trajectories: 1,
+                instances: 1,
+                seed: 1,
+            },
         )[0];
         assert!((v0 - 1.0).abs() < 1e-9);
         let v3 = averaged_expectations(
@@ -270,7 +298,11 @@ mod tests {
             &trotter_circuit(3, (1.0, 1.0, 1.0), 0.2),
             &obs,
             &CompileOptions::untwirled(Strategy::Bare, 1),
-            &Budget { trajectories: 1, instances: 1, seed: 1 },
+            &Budget {
+                trajectories: 1,
+                instances: 1,
+                seed: 1,
+            },
         )[0];
         assert!((v3 - 1.0).abs() > 0.05, "dynamics must evolve: {v3}");
     }
@@ -287,7 +319,11 @@ mod tests {
             &trotter_circuit(2, (1.0, 1.0, 1.0), 0.2),
             &obs,
             &CompileOptions::untwirled(Strategy::Bare, 1),
-            &Budget { trajectories: 1, instances: 1, seed: 1 },
+            &Budget {
+                trajectories: 1,
+                instances: 1,
+                seed: 1,
+            },
         )[0];
         let twirled = averaged_expectations(
             &device,
@@ -295,8 +331,15 @@ mod tests {
             &trotter_circuit(2, (1.0, 1.0, 1.0), 0.2),
             &obs,
             &CompileOptions::new(Strategy::Bare, 5),
-            &Budget { trajectories: 1, instances: 3, seed: 5 },
+            &Budget {
+                trajectories: 1,
+                instances: 3,
+                seed: 5,
+            },
         )[0];
-        assert!((bare - twirled).abs() < 1e-9, "bare {bare} vs twirled {twirled}");
+        assert!(
+            (bare - twirled).abs() < 1e-9,
+            "bare {bare} vs twirled {twirled}"
+        );
     }
 }

@@ -58,10 +58,18 @@ pub fn ising_device() -> Device {
 /// ⟨X₀X₅⟩ vs Floquet steps.
 pub fn fig6(depths: &[usize], budget: &Budget) -> Figure {
     let device = ising_device();
-    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
     let obs = [boundary_observable()];
     let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
-    let mut fig = Figure::new("fig6", "Floquet Ising boundary correlator", "step d", "<X0 X5>");
+    let mut fig = Figure::new(
+        "fig6",
+        "Floquet Ising boundary correlator",
+        "step d",
+        "<X0 X5>",
+    );
 
     // Ideal reference.
     let ideal: Vec<f64> = depths
@@ -73,15 +81,21 @@ pub fn fig6(depths: &[usize], budget: &Budget) -> Figure {
                 &floquet_circuit(d),
                 &obs,
                 &CompileOptions::untwirled(Strategy::Bare, budget.seed),
-                &Budget { trajectories: 1, instances: 1, seed: budget.seed },
+                &Budget {
+                    trajectories: 1,
+                    instances: 1,
+                    seed: budget.seed,
+                },
             )[0]
         })
         .collect();
     fig.push(Series::new("ideal", xs.clone(), ideal));
 
-    for (label, strategy) in
-        [("twirled", Strategy::Bare), ("CA-EC", Strategy::CaEc), ("CA-DD", Strategy::CaDd)]
-    {
+    for (label, strategy) in [
+        ("twirled", Strategy::Bare),
+        ("CA-EC", Strategy::CaEc),
+        ("CA-DD", Strategy::CaDd),
+    ] {
         let ys: Vec<f64> = depths
             .iter()
             .map(|&d| {
@@ -115,7 +129,11 @@ mod tests {
                 &floquet_circuit(d),
                 &[boundary_observable()],
                 &CompileOptions::untwirled(Strategy::Bare, 1),
-                &Budget { trajectories: 1, instances: 1, seed: 1 },
+                &Budget {
+                    trajectories: 1,
+                    instances: 1,
+                    seed: 1,
+                },
             )[0];
             assert!(
                 (v.abs() - 1.0).abs() < 1e-9 || v.abs() < 1e-9,
@@ -129,7 +147,11 @@ mod tests {
         let budget = Budget::quick();
         let fig = fig6(&[3], &budget);
         let get = |label: &str| {
-            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.last_y())
+                .unwrap()
         };
         let ideal = get("ideal");
         if ideal.abs() > 0.5 {

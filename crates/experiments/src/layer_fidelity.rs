@@ -31,7 +31,14 @@ pub const LAYER_GATES: [(usize, usize); 3] = [(0, 4), (1, 2), (7, 6)];
 
 /// Disjoint partitions measured simultaneously.
 pub fn partitions() -> Vec<Vec<usize>> {
-    vec![vec![0, 4], vec![1, 2], vec![7, 6], vec![8, 9], vec![3], vec![5]]
+    vec![
+        vec![0, 4],
+        vec![1, 2],
+        vec![7, 6],
+        vec![8, 9],
+        vec![3],
+        vec![5],
+    ]
 }
 
 /// The Fig. 8 device. The paper picked this layer *because* its
@@ -40,7 +47,11 @@ pub fn partitions() -> Vec<Vec<usize>> {
 /// range accordingly.
 pub fn fig8_device(seed: u64) -> Device {
     let mut dev = presets::nazca_like(Topology::fig8_layer(), seed);
-    dev.calibration.edges.get_mut(&(0, 1)).expect("edge (0,1)").zz_khz = 110.0;
+    dev.calibration
+        .edges
+        .get_mut(&(0, 1))
+        .expect("edge (0,1)")
+        .zz_khz = 110.0;
     dev
 }
 
@@ -116,14 +127,21 @@ pub fn measure_layer_fidelity(
     paulis_per_partition: usize,
     budget: &Budget,
 ) -> LayerFidelity {
-    let noise = NoiseConfig { readout_error: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
     let sim = Simulator::with_config(device.clone(), noise);
     let mut rng = StdRng::seed_from_u64(budget.seed ^ 0x51F8);
     let parts = partitions();
     // Sample Pauli sets once, shared across strategies via the seed.
     let sampled: Vec<Vec<Vec<(usize, Pauli)>>> = parts
         .iter()
-        .map(|p| (0..paulis_per_partition).map(|_| sample_pauli(p, &mut rng)).collect())
+        .map(|p| {
+            (0..paulis_per_partition)
+                .map(|_| sample_pauli(p, &mut rng))
+                .collect()
+        })
         .collect();
 
     let mut partition_lambdas = Vec::with_capacity(parts.len());
@@ -142,7 +160,8 @@ pub fn measure_layer_fidelity(
                 let circuit = benchmark_circuit(assignment, d);
                 let mut acc = 0.0;
                 for inst in 0..budget.instances {
-                    let seed = budget.seed
+                    let seed = budget
+                        .seed
                         .wrapping_add(inst as u64 * 7919)
                         .wrapping_add(part_idx as u64 * 104729);
                     let opts = CompileOptions::new(strategy, seed);
@@ -175,16 +194,33 @@ pub fn fig8(
     budget: &Budget,
 ) -> (Figure, Vec<LayerFidelity>) {
     let device = fig8_device(37);
-    let strategies =
-        [Strategy::Bare, Strategy::UniformDd, Strategy::CaDd, Strategy::CaEc];
+    let strategies = [
+        Strategy::Bare,
+        Strategy::UniformDd,
+        Strategy::CaDd,
+        Strategy::CaEc,
+    ];
     let results: Vec<LayerFidelity> = strategies
         .iter()
         .map(|&s| measure_layer_fidelity(&device, s, depths, paulis_per_partition, budget))
         .collect();
     let xs: Vec<f64> = (0..results.len()).map(|i| i as f64).collect();
-    let mut fig = Figure::new("fig8", "layer fidelity of the sparse 10-qubit layer", "strategy", "value");
-    fig.push(Series::new("LF", xs.clone(), results.iter().map(|r| r.lf).collect()));
-    fig.push(Series::new("gamma", xs, results.iter().map(|r| r.gamma).collect()));
+    let mut fig = Figure::new(
+        "fig8",
+        "layer fidelity of the sparse 10-qubit layer",
+        "strategy",
+        "value",
+    );
+    fig.push(Series::new(
+        "LF",
+        xs.clone(),
+        results.iter().map(|r| r.lf).collect(),
+    ));
+    fig.push(Series::new(
+        "gamma",
+        xs,
+        results.iter().map(|r| r.gamma).collect(),
+    ));
     for (i, r) in results.iter().enumerate() {
         fig.note(format!("strategy {i} = {}", r.label));
     }
@@ -265,7 +301,11 @@ mod tests {
     #[test]
     fn caec_beats_bare_layer_fidelity() {
         let device = fig8_device(37);
-        let budget = Budget { trajectories: 16, instances: 2, seed: 5 };
+        let budget = Budget {
+            trajectories: 16,
+            instances: 2,
+            seed: 5,
+        };
         let bare = measure_layer_fidelity(&device, Strategy::Bare, &[1, 2, 4], 2, &budget);
         let caec = measure_layer_fidelity(&device, Strategy::CaEc, &[1, 2, 4], 2, &budget);
         assert!(

@@ -12,6 +12,7 @@ pub mod combined;
 pub mod dynamic;
 pub mod heisenberg;
 pub mod ising;
+pub mod large_scale;
 pub mod layer_fidelity;
 pub mod ramsey;
 pub mod report;

@@ -56,7 +56,10 @@ impl RamseyConfig {
 }
 
 fn noise() -> NoiseConfig {
-    NoiseConfig { readout_error: false, ..NoiseConfig::default() }
+    NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    }
 }
 
 /// The pipelines compared in Fig. 3, by label.
@@ -65,22 +68,35 @@ fn make_pipeline(kind: &str) -> PassManager {
     match kind {
         "noisy" => {}
         "aligned DD" => {
-            pm.push(UniformDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(UniformDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
         }
         "staggered DD" => {
-            pm.push(StaggeredDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(StaggeredDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
         }
         "CA-DD" => {
-            pm.push(CaDdPass { config: CaDdConfig::default() });
+            pm.push(CaDdPass {
+                config: CaDdConfig::default(),
+            });
         }
         "EC" => {
-            pm.push(CaEcPass { config: CaEcConfig::default() });
+            pm.push(CaEcPass {
+                config: CaEcConfig::default(),
+            });
         }
         "aligned DD + EC" => {
             pm.push(CaEcPass {
-                config: CaEcConfig { zz_only: true, ..CaEcConfig::default() },
+                config: CaEcConfig {
+                    zz_only: true,
+                    ..CaEcConfig::default()
+                },
             });
-            pm.push(UniformDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(UniformDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
         }
         other => panic!("unknown pipeline {other}"),
     }
@@ -149,7 +165,13 @@ pub fn case_i(config: &RamseyConfig) -> Figure {
         &device,
         build,
         &[0, 1],
-        &["noisy", "aligned DD", "staggered DD", "EC", "aligned DD + EC"],
+        &[
+            "noisy",
+            "aligned DD",
+            "staggered DD",
+            "EC",
+            "aligned DD + EC",
+        ],
         config,
     );
     fig.note("paper: aligned DD alone cannot remove ZZ; EC / staggered DD / DD+EC recover");
@@ -216,7 +238,10 @@ pub fn case_iv(config: &RamseyConfig) -> Figure {
     // Only even depths keep the logical circuit an identity
     // (ECR is self-inverse).
     let even_depths: Vec<usize> = config.depths.iter().map(|&d| d * 2).collect();
-    let cfg = RamseyConfig { depths: even_depths, ..config.clone() };
+    let cfg = RamseyConfig {
+        depths: even_depths,
+        ..config.clone()
+    };
     let build = |d: usize| {
         let mut qc = Circuit::new(4, 0);
         qc.h(1).h(2);
@@ -243,7 +268,12 @@ pub fn case_iv(config: &RamseyConfig) -> Figure {
 
 /// All four Fig. 3 panels.
 pub fn all_cases(config: &RamseyConfig) -> Vec<Figure> {
-    vec![case_i(config), case_ii(config), case_iii(config), case_iv(config)]
+    vec![
+        case_i(config),
+        case_ii(config),
+        case_iii(config),
+        case_iv(config),
+    ]
 }
 
 #[cfg(test)]
@@ -252,10 +282,17 @@ mod tests {
 
     #[test]
     fn case_i_ec_and_staggered_beat_bare() {
-        let cfg = RamseyConfig { depths: vec![12], ..RamseyConfig::quick() };
+        let cfg = RamseyConfig {
+            depths: vec![12],
+            ..RamseyConfig::quick()
+        };
         let fig = case_i(&cfg);
         let get = |label: &str| {
-            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.last_y())
+                .unwrap()
         };
         let bare = get("noisy");
         let ec = get("EC");
@@ -270,10 +307,17 @@ mod tests {
         // DD must underperform staggered DD clearly.
         // θ per interval = 2π·100 kHz·500 ns ≈ 0.314 → d = 10 gives
         // θ ≈ π (fidelity minimum for aligned DD).
-        let cfg = RamseyConfig { depths: vec![10], ..RamseyConfig::quick() };
+        let cfg = RamseyConfig {
+            depths: vec![10],
+            ..RamseyConfig::quick()
+        };
         let fig = case_i(&cfg);
         let get = |label: &str| {
-            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.last_y())
+                .unwrap()
         };
         assert!(
             get("staggered DD") > get("aligned DD") + 0.2,
@@ -285,24 +329,41 @@ mod tests {
 
     #[test]
     fn case_iv_only_ec_helps() {
-        let cfg = RamseyConfig { depths: vec![5], ..RamseyConfig::quick() };
+        let cfg = RamseyConfig {
+            depths: vec![5],
+            ..RamseyConfig::quick()
+        };
         let fig = case_iv(&cfg);
         let get = |label: &str| {
-            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.last_y())
+                .unwrap()
         };
         let bare = get("noisy");
         let ec = get("EC");
         let cadd = get("CA-DD");
         assert!(ec > bare + 0.05, "EC {ec} vs bare {bare}");
-        assert!(ec > cadd + 0.05, "EC {ec} vs CA-DD {cadd} (DD cannot fix case IV)");
+        assert!(
+            ec > cadd + 0.05,
+            "EC {ec} vs CA-DD {cadd} (DD cannot fix case IV)"
+        );
     }
 
     #[test]
     fn case_ii_and_iii_suppression() {
-        let cfg = RamseyConfig { depths: vec![10], ..RamseyConfig::quick() };
+        let cfg = RamseyConfig {
+            depths: vec![10],
+            ..RamseyConfig::quick()
+        };
         for fig in [case_ii(&cfg), case_iii(&cfg)] {
             let get = |label: &str| {
-                fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+                fig.series
+                    .iter()
+                    .find(|s| s.label == label)
+                    .map(|s| s.last_y())
+                    .unwrap()
             };
             let bare = get("noisy");
             let ec = get("EC");

@@ -17,7 +17,11 @@ impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, xs: Vec<f64>, ys: Vec<f64>) -> Self {
         assert_eq!(xs.len(), ys.len());
-        Self { label: label.into(), xs, ys }
+        Self {
+            label: label.into(),
+            xs,
+            ys,
+        }
     }
 
     /// The final y value (often the headline number).

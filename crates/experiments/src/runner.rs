@@ -21,12 +21,20 @@ pub struct Budget {
 impl Budget {
     /// Small budget for unit tests (seconds).
     pub fn quick() -> Self {
-        Self { trajectories: 20, instances: 2, seed: 11 }
+        Self {
+            trajectories: 20,
+            instances: 2,
+            seed: 11,
+        }
     }
 
     /// Full budget for benchmark-quality curves.
     pub fn full() -> Self {
-        Self { trajectories: 120, instances: 8, seed: 11 }
+        Self {
+            trajectories: 120,
+            instances: 8,
+            seed: 11,
+        }
     }
 }
 
@@ -118,7 +126,7 @@ mod tests {
         let obs = all_zeros_fidelity_observables(3, &[0, 2]);
         assert_eq!(obs.len(), 4);
         // On |000⟩ every Z-subset expectation is +1 → F = 1.
-        let f = all_zeros_fidelity(&vec![1.0; 4]);
+        let f = all_zeros_fidelity(&[1.0; 4]);
         assert!((f - 1.0).abs() < 1e-12);
         // Uniformly random state: ⟨Z_S⟩ = 0 except identity → F = 1/4.
         let mut e = vec![0.0; 4];
@@ -157,6 +165,9 @@ mod tests {
             &CompileOptions::new(Strategy::Bare, 5),
             &Budget::quick(),
         );
-        assert!((got[0] - 1.0).abs() < 1e-9, "twirl must preserve logic: {got:?}");
+        assert!(
+            (got[0] - 1.0).abs() < 1e-9,
+            "twirl must preserve logic: {got:?}"
+        );
     }
 }

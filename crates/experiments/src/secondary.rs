@@ -33,7 +33,11 @@ pub fn stark_spectroscopy(budget: &Budget) -> StarkResult {
     let stark = 20.0; // kHz, the paper's observed magnitude
     let mut dev = uniform_device(Topology::line(2), 0.0);
     dev.calibration.stark_khz.insert((1, 0), stark);
-    let noise = NoiseConfig { readout_error: false, decoherence: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        decoherence: false,
+        ..NoiseConfig::default()
+    };
     let sim = Simulator::with_config(dev.clone(), noise);
     let x0 = PauliString::parse("XI").unwrap();
 
@@ -90,7 +94,11 @@ pub fn charge_parity_beating(budget: &Budget) -> ChargeParityResult {
     let mut dev = uniform_device(Topology::line(1), 0.0);
     dev.calibration.qubits[0].charge_parity_khz = delta;
     dev.calibration.qubits[0].quasistatic_khz = 0.0;
-    let noise = NoiseConfig { readout_error: false, decoherence: false, ..NoiseConfig::default() };
+    let noise = NoiseConfig {
+        readout_error: false,
+        decoherence: false,
+        ..NoiseConfig::default()
+    };
     let sim = Simulator::with_config(dev.clone(), noise);
     let x = PauliString::parse("X").unwrap();
 
@@ -123,7 +131,12 @@ pub fn charge_parity_beating(budget: &Budget) -> ChargeParityResult {
 pub fn collision_device(zz_khz: f64, nnn_khz: f64) -> Device {
     let topo = Topology::line(3);
     let mut cal = Calibration::uniform(3, &topo.edges, zz_khz);
-    cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: nnn_khz });
+    cal.nnn.push(NnnTerm {
+        i: 0,
+        j: 1,
+        k: 2,
+        zz_khz: nnn_khz,
+    });
     Device::new("collision", topo, cal)
 }
 
@@ -156,35 +169,40 @@ pub fn nnn_walsh(depths: &[usize], budget: &Budget) -> Figure {
         ("none", || PassManager::new()),
         ("aligned", || {
             let mut pm = PassManager::new();
-            pm.push(UniformDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(UniformDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
             pm
         }),
         ("staggered", || {
             let mut pm = PassManager::new();
-            pm.push(StaggeredDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(StaggeredDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
             pm
         }),
         ("Walsh", || {
             let mut pm = PassManager::new();
-            pm.push(CaDdPass { config: CaDdConfig::default() });
+            pm.push(CaDdPass {
+                config: CaDdConfig::default(),
+            });
             pm
         }),
     ];
-    let mut fig = Figure::new("fig4c", "NNN collision suppression", "depth d", "Ramsey fidelity");
+    let mut fig = Figure::new(
+        "fig4c",
+        "NNN collision suppression",
+        "depth d",
+        "Ramsey fidelity",
+    );
     let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
     let obs = all_zeros_fidelity_observables(3, &[0, 1, 2]);
     for (label, mk) in sequences {
         let ys: Vec<f64> = depths
             .iter()
             .map(|&d| {
-                let vals = averaged_expectations_with(
-                    &device,
-                    &noise,
-                    &build(d),
-                    &obs,
-                    |_| mk(),
-                    budget,
-                );
+                let vals =
+                    averaged_expectations_with(&device, &noise, &build(d), &obs, |_| mk(), budget);
                 all_zeros_fidelity(&vals)
             })
             .collect();
@@ -202,7 +220,11 @@ pub fn fig4_summary(budget: &Budget) -> Figure {
     fig.push(Series::new(
         "measured",
         vec![0.0, 1.0, 2.0],
-        vec![stark.driven_peak_khz - stark.idle_peak_khz, cp.center_khz, cp.delta_khz],
+        vec![
+            stark.driven_peak_khz - stark.idle_peak_khz,
+            cp.center_khz,
+            cp.delta_khz,
+        ],
     ));
     fig.push(Series::new(
         "calibrated/known",
@@ -231,17 +253,39 @@ mod tests {
     #[test]
     fn charge_parity_splitting_recovered() {
         let r = charge_parity_beating(&Budget::quick());
-        assert!((r.center_khz - r.known_khz).abs() < 8.0, "center {}", r.center_khz);
-        assert!((r.delta_khz - r.calibrated_khz).abs() < 8.0, "delta {}", r.delta_khz);
+        assert!(
+            (r.center_khz - r.known_khz).abs() < 8.0,
+            "center {}",
+            r.center_khz
+        );
+        assert!(
+            (r.delta_khz - r.calibrated_khz).abs() < 8.0,
+            "delta {}",
+            r.delta_khz
+        );
     }
 
     #[test]
     fn walsh_beats_staggered_on_collision() {
         let fig = nnn_walsh(&[10], &Budget::quick());
         let get = |label: &str| {
-            fig.series.iter().find(|s| s.label == label).map(|s| s.last_y()).unwrap()
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.last_y())
+                .unwrap()
         };
-        assert!(get("Walsh") > get("staggered") + 0.01, "walsh {} stag {}", get("Walsh"), get("staggered"));
-        assert!(get("staggered") > get("none"), "stag {} none {}", get("staggered"), get("none"));
+        assert!(
+            get("Walsh") > get("staggered") + 0.01,
+            "walsh {} stag {}",
+            get("Walsh"),
+            get("staggered")
+        );
+        assert!(
+            get("staggered") > get("none"),
+            "stag {} none {}",
+            get("staggered"),
+            get("none")
+        );
     }
 }

@@ -29,8 +29,14 @@ use ca_device::{uniform_device, Device, Topology};
 use ca_sim::NoiseConfig;
 
 /// Error-source rows of Table I.
-pub const ROWS: [&str; 6] =
-    ["Z (idle)", "ZZ (idle)", "ZZ (active)", "Stark Z", "Slow Z", "NNN ZZ"];
+pub const ROWS: [&str; 6] = [
+    "Z (idle)",
+    "ZZ (idle)",
+    "ZZ (active)",
+    "Stark Z",
+    "Slow Z",
+    "NNN ZZ",
+];
 
 /// Technique columns.
 pub const COLS: [&str; 5] = ["none", "EC", "aligned DD", "staggered DD", "Walsh DD"];
@@ -40,16 +46,24 @@ fn technique_pipeline(col: &str) -> PassManager {
     match col {
         "none" => {}
         "EC" => {
-            pm.push(CaEcPass { config: CaEcConfig::default() });
+            pm.push(CaEcPass {
+                config: CaEcConfig::default(),
+            });
         }
         "aligned DD" => {
-            pm.push(UniformDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(UniformDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
         }
         "staggered DD" => {
-            pm.push(StaggeredDdPass { d_min: DEFAULT_DMIN_NS });
+            pm.push(StaggeredDdPass {
+                d_min: DEFAULT_DMIN_NS,
+            });
         }
         "Walsh DD" => {
-            pm.push(CaDdPass { config: CaDdConfig::default() });
+            pm.push(CaDdPass {
+                config: CaDdConfig::default(),
+            });
         }
         other => panic!("unknown technique {other}"),
     }
@@ -89,7 +103,12 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
                 qc.barrier(Vec::<usize>::new());
             }
             qc.x(1).h(0);
-            Row { device, circuit: qc, register: vec![0], noise: coherent(base_noise) }
+            Row {
+                device,
+                circuit: qc,
+                register: vec![0],
+                noise: coherent(base_noise),
+            }
         }
         "ZZ (idle)" => {
             let device = uniform_device(Topology::line(2), 80.0);
@@ -101,7 +120,12 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
                 qc.barrier(Vec::<usize>::new());
             }
             qc.h(0).h(1);
-            Row { device, circuit: qc, register: vec![0, 1], noise: coherent(base_noise) }
+            Row {
+                device,
+                circuit: qc,
+                register: vec![0, 1],
+                noise: coherent(base_noise),
+            }
         }
         "ZZ (active)" => {
             // Case IV: adjacent controls of parallel ECRs.
@@ -114,8 +138,16 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
                 qc.barrier(Vec::<usize>::new());
             }
             qc.h(1).h(2);
-            let noise = NoiseConfig { gate_error: false, ..base_noise };
-            Row { device, circuit: qc, register: vec![1, 2], noise }
+            let noise = NoiseConfig {
+                gate_error: false,
+                ..base_noise
+            };
+            Row {
+                device,
+                circuit: qc,
+                register: vec![1, 2],
+                noise,
+            }
         }
         "Stark Z" => {
             let mut device = uniform_device(Topology::line(2), 0.0);
@@ -130,8 +162,16 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
             }
             qc.barrier(Vec::<usize>::new());
             qc.h(0);
-            let noise = NoiseConfig { gate_error: false, ..base_noise };
-            Row { device, circuit: qc, register: vec![0], noise }
+            let noise = NoiseConfig {
+                gate_error: false,
+                ..base_noise
+            };
+            Row {
+                device,
+                circuit: qc,
+                register: vec![0],
+                noise,
+            }
         }
         "Slow Z" => {
             let mut device = uniform_device(Topology::line(1), 0.0);
@@ -144,8 +184,16 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
                 qc.barrier(Vec::<usize>::new());
             }
             qc.h(0);
-            let noise = NoiseConfig { charge_parity: true, ..base_noise };
-            Row { device, circuit: qc, register: vec![0], noise }
+            let noise = NoiseConfig {
+                charge_parity: true,
+                ..base_noise
+            };
+            Row {
+                device,
+                circuit: qc,
+                register: vec![0],
+                noise,
+            }
         }
         "NNN ZZ" => {
             let device = collision_device(0.0, 15.0);
@@ -157,7 +205,12 @@ fn build_row(row: &str, depth: usize, tau: f64) -> Row {
                 qc.barrier(Vec::<usize>::new());
             }
             qc.h(0).h(2);
-            Row { device, circuit: qc, register: vec![0, 2], noise: coherent(base_noise) }
+            Row {
+                device,
+                circuit: qc,
+                register: vec![0, 2],
+                noise: coherent(base_noise),
+            }
         }
         other => panic!("unknown row {other}"),
     }
@@ -169,7 +222,12 @@ pub fn table1(budget: &Budget) -> Figure {
     let depth = 8;
     let tau = 1000.0;
     let xs: Vec<f64> = (0..ROWS.len()).map(|i| i as f64).collect();
-    let mut fig = Figure::new("table1", "residual infidelity per error source x technique", "row", "1 - F");
+    let mut fig = Figure::new(
+        "table1",
+        "residual infidelity per error source x technique",
+        "row",
+        "1 - F",
+    );
     for col in COLS {
         let ys: Vec<f64> = ROWS
             .iter()
@@ -211,20 +269,41 @@ mod tests {
 
     #[test]
     fn table_matches_paper_checkmarks() {
-        let fig = table1(&Budget { trajectories: 24, instances: 2, seed: 3 });
+        let fig = table1(&Budget {
+            trajectories: 24,
+            instances: 2,
+            seed: 3,
+        });
         // Row 1: ZZ (idle): aligned fails, staggered & Walsh & EC work.
-        assert!(suppressed(cell(&fig, 1, "EC")), "EC on ZZ idle: {}", cell(&fig, 1, "EC"));
+        assert!(
+            suppressed(cell(&fig, 1, "EC")),
+            "EC on ZZ idle: {}",
+            cell(&fig, 1, "EC")
+        );
         assert!(suppressed(cell(&fig, 1, "staggered DD")));
-        assert!(!suppressed(cell(&fig, 1, "aligned DD")), "aligned must fail ZZ idle");
+        assert!(
+            !suppressed(cell(&fig, 1, "aligned DD")),
+            "aligned must fail ZZ idle"
+        );
         // Row 2: ZZ (active): only EC.
-        assert!(suppressed(cell(&fig, 2, "EC")), "EC on case IV: {}", cell(&fig, 2, "EC"));
-        assert!(!suppressed(cell(&fig, 2, "Walsh DD")), "DD cannot fix case IV");
+        assert!(
+            suppressed(cell(&fig, 2, "EC")),
+            "EC on case IV: {}",
+            cell(&fig, 2, "EC")
+        );
+        assert!(
+            !suppressed(cell(&fig, 2, "Walsh DD")),
+            "DD cannot fix case IV"
+        );
         // Row 4: slow Z: EC fails, DD works.
         assert!(!suppressed(cell(&fig, 4, "EC")), "EC cannot fix slow Z");
         assert!(suppressed(cell(&fig, 4, "Walsh DD")));
         // Row 5: NNN ZZ: Walsh works, staggered does not.
         assert!(suppressed(cell(&fig, 5, "Walsh DD")));
-        assert!(!suppressed(cell(&fig, 5, "staggered DD")), "staggered must miss NNN");
+        assert!(
+            !suppressed(cell(&fig, 5, "staggered DD")),
+            "staggered must miss NNN"
+        );
         // "none" column: every row shows a real error.
         for row in 0..ROWS.len() {
             assert!(

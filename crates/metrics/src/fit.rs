@@ -59,7 +59,11 @@ pub fn fit_decay(ds: &[f64], fs: &[f64]) -> DecayFit {
             let model = a * lambda.powf(d);
             let r = model - f;
             let da = lambda.powf(d);
-            let dl = if lambda > 0.0 { a * d * lambda.powf(d - 1.0) } else { 0.0 };
+            let dl = if lambda > 0.0 {
+                a * d * lambda.powf(d - 1.0)
+            } else {
+                0.0
+            };
             jtj[0][0] += da * da;
             jtj[0][1] += da * dl;
             jtj[1][0] += da * dl;

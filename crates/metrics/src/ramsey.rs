@@ -35,7 +35,11 @@ pub fn peak_frequency(ts: &[f64], ys: &[f64], f_min: f64, f_max: f64, steps: usi
     // Parabolic interpolation around the grid maximum.
     let (pm, p0, pp) = (powers[imax - 1], powers[imax], powers[imax + 1]);
     let denom = pm - 2.0 * p0 + pp;
-    let shift = if denom.abs() > 1e-30 { 0.5 * (pm - pp) / denom } else { 0.0 };
+    let shift = if denom.abs() > 1e-30 {
+        0.5 * (pm - pp) / denom
+    } else {
+        0.0
+    };
     f_min + (imax as f64 + shift.clamp(-0.5, 0.5)) * df
 }
 
@@ -74,8 +78,10 @@ mod tests {
 
     fn signal(freq: f64, n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
         let ts: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
-        let ys: Vec<f64> =
-            ts.iter().map(|t| (2.0 * std::f64::consts::PI * freq * t).cos()).collect();
+        let ys: Vec<f64> = ts
+            .iter()
+            .map(|t| (2.0 * std::f64::consts::PI * freq * t).cos())
+            .collect();
         (ts, ys)
     }
 

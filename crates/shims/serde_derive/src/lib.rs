@@ -1,0 +1,438 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! Generates impls of the value-tree `serde::Serialize` /
+//! `serde::Deserialize` shim traits for non-generic structs with named
+//! fields and enums (unit, tuple, and struct variants). Supports the
+//! one serde attribute this workspace uses, `#[serde(with = "module")]`
+//! on fields, by calling `module::to_value` / `module::from_value`.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline); the parser covers exactly the shapes the
+//! workspace defines and fails loudly on anything else.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// --- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_visibility(&mut toks);
+    let kw = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!(
+                    "serde_derive shim: only brace structs supported for `{name}`, got {other:?}"
+                ),
+            };
+            Item::Struct {
+                name,
+                fields: parse_named_fields(body),
+            }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn expect_ident(toks: &mut Toks) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+/// Skips (and inspects) leading `#[...]` attributes; returns the
+/// `with = "module"` payload if a `#[serde(with = "...")]` is present.
+fn take_attrs(toks: &mut Toks) -> Option<String> {
+    let mut with = None;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(w) = parse_serde_with(g.stream()) {
+                    with = Some(w);
+                }
+            }
+            other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+        }
+    }
+    with
+}
+
+fn skip_attrs(toks: &mut Toks) {
+    let _ = take_attrs(toks);
+}
+
+fn skip_visibility(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Matches `serde ( with = "module" )` inside an attribute's brackets.
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let parts: Vec<TokenTree> = inner.into_iter().collect();
+    match parts.as_slice() {
+        [TokenTree::Ident(k), TokenTree::Punct(eq), TokenTree::Literal(l)]
+            if k.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = l.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        other => panic!("serde_derive shim: unsupported serde attribute: {other:?}"),
+    }
+}
+
+/// Skips a type expression up to a top-level `,` (tracking `<...>`
+/// nesting; parenthesised types arrive as single groups).
+fn skip_type(toks: &mut Toks) {
+    let mut angle: i32 = 0;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let with = take_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut toks);
+        let name = expect_ident(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while toks.peek().is_some() {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
+                toks.next();
+                VariantKind::Named(names)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut commas = 0;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// --- codegen ------------------------------------------------------------
+
+fn ser_field_expr(f: &Field, access: &str) -> String {
+    match &f.with {
+        Some(m) => format!("{m}::to_value({access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn de_field_expr(f: &Field, value: &str) -> String {
+    match &f.with {
+        Some(m) => format!("{m}::from_value({value})?"),
+        None => format!("::serde::Deserialize::from_value({value})?"),
+    }
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let expr = ser_field_expr(f, &format!("&self.{}", f.name));
+        pushes.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{}\"), {expr}));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(__obj)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let expr = de_field_expr(f, &format!("__v.get(\"{}\")", f.name));
+        inits.push_str(&format!("{}: {expr},\n", f.name));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if __v.as_obj().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\"object for {name}\", __v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "Self::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Arr(::std::vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "Self::{vn}({}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let binds = fields.join(", ");
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "__o.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "Self::{vn} {{ {binds} }} => {{\n\
+                         let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Obj(__o))])\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(__p)?))"
+                    )
+                } else {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                             let __a = __p.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\", __p))?;\n\
+                             if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-tuple for {name}::{vn}\", __p));\n\
+                             }}\n\
+                             ::std::result::Result::Ok(Self::{vn}({}))\n\
+                         }}",
+                        elems.join(", ")
+                    )
+                };
+                data_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+            }
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::Deserialize::from_value(__p.get(\"{f}\"))?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(Self::{vn} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown unit variant {{__other}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(__o) if __o.len() == 1 => {{\n\
+                         let (__k, __p) = &__o[0];\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", __v)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

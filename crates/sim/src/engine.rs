@@ -1,0 +1,221 @@
+//! The engine abstraction: shot execution behind a trait, with two
+//! implementations and an auto-selection policy.
+//!
+//! * [`StatevectorEngine`] — the dense trajectory executor: exact for
+//!   every gate and for coherent context-dependent noise, but
+//!   exponential in qubits (hard cap 24).
+//! * [`crate::StabilizerEngine`] — CHP tableau + Pauli frames: linear
+//!   scaling to hundreds of qubits for Clifford circuits, with
+//!   coherent noise mapped to its Pauli twirl at layer boundaries.
+//!
+//! ## Selection rules (`Engine::Auto`, the default)
+//!
+//! 1. Non-Clifford circuit, feed-forward, or anything else the
+//!    tableau cannot represent → statevector.
+//! 2. Clifford circuit on more than [`AUTO_DENSE_MAX_QUBITS`] qubits
+//!    → stabilizer (the dense engine would be infeasible).
+//! 3. Clifford circuit that the dense engine *can* afford →
+//!    statevector, because it treats coherent crosstalk exactly where
+//!    the tableau engine applies the twirl approximation. Force
+//!    `Engine::Stabilizer` to study the twirled model at small sizes.
+
+use crate::executor::Simulator;
+use crate::pauli_frame::{stabilizer_supports, StabilizerEngine};
+use crate::result::RunResult;
+use ca_circuit::{PauliString, ScheduledCircuit};
+
+/// Hard qubit cap of the dense statevector engine (2ⁿ amplitudes).
+pub const DENSE_MAX_QUBITS: usize = 24;
+
+/// Largest qubit count for which `Auto` still prefers the dense
+/// engine on Clifford circuits: exactly the dense feasibility cap, so
+/// `Auto` only trades exact coherent-noise treatment for the twirl
+/// approximation when the dense engine genuinely cannot run.
+pub const AUTO_DENSE_MAX_QUBITS: usize = DENSE_MAX_QUBITS;
+
+/// Which engine a [`Simulator`] uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Pick per circuit: see the module-level selection rules.
+    #[default]
+    Auto,
+    /// Always the dense statevector engine.
+    Statevector,
+    /// Always the stabilizer/Pauli-frame engine (panics on
+    /// non-Clifford circuits).
+    Stabilizer,
+}
+
+/// Shot execution abstracted over backends.
+pub trait SimEngine {
+    /// Engine name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// True when this engine can execute the scheduled circuit.
+    fn supports(&self, sc: &ScheduledCircuit) -> bool;
+
+    /// Runs `shots` and gathers classical-bit counts.
+    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult;
+
+    /// Averages quantum Pauli expectations over `shots`.
+    fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64>;
+
+    /// Convenience: a single Pauli expectation.
+    fn expect_pauli(
+        &self,
+        sc: &ScheduledCircuit,
+        pauli: &PauliString,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)[0]
+    }
+}
+
+/// The dense statevector engine, borrowing a simulator configuration.
+pub struct StatevectorEngine<'a> {
+    /// The owning simulator (device + noise configuration).
+    pub sim: &'a Simulator,
+}
+
+impl SimEngine for StatevectorEngine<'_> {
+    fn name(&self) -> &'static str {
+        "statevector"
+    }
+
+    fn supports(&self, sc: &ScheduledCircuit) -> bool {
+        sc.num_qubits <= DENSE_MAX_QUBITS
+    }
+
+    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
+        self.sim.run_counts_dense(sc, shots, seed)
+    }
+
+    fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        self.sim.expect_paulis_dense(sc, paulis, shots, seed)
+    }
+}
+
+impl SimEngine for StabilizerEngine<'_> {
+    fn name(&self) -> &'static str {
+        "stabilizer"
+    }
+
+    fn supports(&self, sc: &ScheduledCircuit) -> bool {
+        stabilizer_supports(sc)
+    }
+
+    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
+        StabilizerEngine::run_counts(self, sc, shots, seed)
+    }
+
+    fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        StabilizerEngine::expect_paulis(self, sc, paulis, shots, seed)
+    }
+}
+
+impl Simulator {
+    /// Resolves the engine for a circuit according to the simulator's
+    /// [`Engine`] setting and the module-level selection rules.
+    pub fn engine_for<'a>(&'a self, sc: &ScheduledCircuit) -> Box<dyn SimEngine + 'a> {
+        match self.engine {
+            Engine::Statevector => Box::new(StatevectorEngine { sim: self }),
+            Engine::Stabilizer => Box::new(StabilizerEngine::new(self)),
+            Engine::Auto => {
+                if stabilizer_supports(sc) && sc.num_qubits > AUTO_DENSE_MAX_QUBITS {
+                    Box::new(StabilizerEngine::new(self))
+                } else {
+                    Box::new(StatevectorEngine { sim: self })
+                }
+            }
+        }
+    }
+
+    /// The engine name `Auto` would resolve to for this circuit.
+    pub fn engine_name_for(&self, sc: &ScheduledCircuit) -> &'static str {
+        self.engine_for(sc).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseConfig;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    fn sched(qc: &Circuit) -> ca_circuit::ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    #[test]
+    fn auto_prefers_dense_at_small_sizes() {
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+    }
+
+    #[test]
+    fn auto_selects_stabilizer_at_scale() {
+        let n = 40;
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(n, 0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        assert_eq!(sim.engine_name_for(&sched(&qc)), "stabilizer");
+        // A non-Clifford rotation forces dense even at scale.
+        qc.rz(0.3, 0);
+        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+    }
+
+    #[test]
+    fn forced_engines_are_respected() {
+        let dev = uniform_device(Topology::line(2), 0.0);
+        let mut sim = Simulator::with_config(dev, NoiseConfig::ideal());
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        sim.engine = Engine::Stabilizer;
+        assert_eq!(sim.engine_name_for(&sched(&qc)), "stabilizer");
+        sim.engine = Engine::Statevector;
+        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+    }
+
+    #[test]
+    fn both_engines_agree_on_ideal_bell() {
+        let dev = uniform_device(Topology::line(2), 0.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::ideal());
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let sc = sched(&qc);
+        for engine in [Engine::Statevector, Engine::Stabilizer] {
+            let mut s = sim.clone();
+            s.engine = engine;
+            let res = s.run_counts(&sc, 1000, 7);
+            let p00 = res.probability(0b00);
+            assert!((p00 + res.probability(0b11) - 1.0).abs() < 1e-12);
+            assert!((p00 - 0.5).abs() < 0.08, "{engine:?}: {p00}");
+        }
+    }
+}

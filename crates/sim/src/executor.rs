@@ -9,89 +9,65 @@
 //! no special casing: the inserted X pulses conjugate earlier flushed
 //! phases precisely as on hardware.
 
+use crate::engine::Engine;
 use crate::noise::{
-    amplitude_damping_kraus, dephasing_prob, damping_prob, t_phi_us, NoiseConfig, ShotNoise,
+    amplitude_damping_kraus, damping_prob, dephasing_prob, t_phi_us, NoiseConfig, ShotNoise,
 };
+use crate::plan::{map_shots, ExecutionPlan, PlanOp};
 use crate::result::RunResult;
 use crate::statevector::State;
-use crate::timeline::{build_segments, SegmentOp};
 use ca_circuit::pauli::PauliString;
 use ca_circuit::{Gate, ScheduledCircuit};
 use ca_device::{phase_rad, Device};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// The simulator: a device plus a noise configuration.
+/// The simulator: a device, a noise configuration, and an engine
+/// selection policy (see [`crate::engine`]).
 #[derive(Clone, Debug)]
 pub struct Simulator {
     /// Device under simulation.
     pub device: Device,
     /// Enabled noise processes.
     pub config: NoiseConfig,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum PlanOp {
-    /// Accrue one timeline segment into the pending banks.
-    Segment(usize),
-    /// Collapse a measured/reset qubit (window start).
-    Project { item: usize },
-    /// Apply the unitary of a scheduled item (window end).
-    Apply { item: usize },
-}
-
-/// Precomputed execution plan shared by all shots.
-struct Plan<'a> {
-    sc: &'a ScheduledCircuit,
-    segments: Vec<SegmentOp>,
-    ops: Vec<PlanOp>,
-    /// Map from crosstalk-edge index to `(a, b)`.
-    edge_pairs: Vec<(usize, usize)>,
-    /// Per-qubit list of incident crosstalk-edge indices.
-    incident: Vec<Vec<usize>>,
+    /// Backend selection (defaults to [`Engine::Auto`]).
+    pub engine: Engine,
 }
 
 impl Simulator {
     /// Creates a simulator with the full noise model.
     pub fn new(device: Device) -> Self {
-        Self { device, config: NoiseConfig::default() }
+        Self {
+            device,
+            config: NoiseConfig::default(),
+            engine: Engine::Auto,
+        }
     }
 
     /// Creates a simulator with an explicit noise configuration.
     pub fn with_config(device: Device, config: NoiseConfig) -> Self {
-        Self { device, config }
+        Self {
+            device,
+            config,
+            engine: Engine::Auto,
+        }
     }
 
-    fn plan<'a>(&self, sc: &'a ScheduledCircuit) -> Plan<'a> {
-        let segments = build_segments(sc, &self.device, &self.config);
-        let mut keyed: Vec<(f64, u8, PlanOp)> = Vec::new();
-        for (i, seg) in segments.iter().enumerate() {
-            keyed.push((seg.t1, 0, PlanOp::Segment(i)));
+    /// Creates a simulator pinned to a specific engine.
+    pub fn with_engine(device: Device, config: NoiseConfig, engine: Engine) -> Self {
+        Self {
+            device,
+            config,
+            engine,
         }
-        for (i, si) in sc.items.iter().enumerate() {
-            match si.instruction.gate {
-                Gate::Barrier | Gate::Delay(_) => {}
-                // Rank order at equal times: segments flush first, then
-                // unitaries ending here, then projections starting here.
-                Gate::Measure | Gate::Reset => keyed.push((si.t0, 2, PlanOp::Project { item: i })),
-                _ => keyed.push((si.t1(), 1, PlanOp::Apply { item: i })),
-            }
-        }
-        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        let edge_pairs: Vec<(usize, usize)> =
-            self.device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
-        let mut incident = vec![Vec::new(); sc.num_qubits];
-        for (idx, &(a, b)) in edge_pairs.iter().enumerate() {
-            if a < sc.num_qubits && b < sc.num_qubits {
-                incident[a].push(idx);
-                incident[b].push(idx);
-            }
-        }
-        Plan { sc, segments, ops: keyed.into_iter().map(|(_, _, op)| op).collect(), edge_pairs, incident }
+    }
+
+    fn plan<'a>(&self, sc: &'a ScheduledCircuit) -> ExecutionPlan<'a> {
+        ExecutionPlan::build(sc, &self.device, &self.config)
     }
 
     /// Runs one trajectory; returns the final state and classical bits.
-    fn trajectory(&self, plan: &Plan<'_>, rng: &mut StdRng) -> (State, Vec<bool>) {
+    fn trajectory(&self, plan: &ExecutionPlan<'_>, rng: &mut StdRng) -> (State, Vec<bool>) {
         let n = plan.sc.num_qubits;
         let shot = ShotNoise::sample(&self.device, &self.config, rng);
         let mut st = State::zero(n);
@@ -139,16 +115,8 @@ impl Simulator {
                     for &(q, th) in &seg.rz_static {
                         pend_rz[q] += th;
                     }
-                    for &(a, b, th) in &seg.rzz_static {
-                        if th.abs() > 1e-15 {
-                            if let Some(e) = plan
-                                .edge_pairs
-                                .iter()
-                                .position(|&(x, y)| (x, y) == (a.min(b), a.max(b)))
-                            {
-                                pend_rzz[e] += th;
-                            }
-                        }
+                    for &(e, th) in &plan.seg_edges[i] {
+                        pend_rzz[e] += th;
                     }
                     for q in 0..n {
                         let rate = shot.z_rate_khz(&self.device, q);
@@ -231,7 +199,8 @@ impl Simulator {
                                     let k = rng.random_range(1..16usize);
                                     let pa = k % 4;
                                     let pb = k / 4;
-                                    let paulis = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
+                                    let paulis =
+                                        [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
                                     if let Some(g) = paulis[pa] {
                                         st.apply_1q(&g.matrix1().unwrap(), a);
                                     }
@@ -253,44 +222,14 @@ impl Simulator {
         (st, bits)
     }
 
-    /// Runs `shots` trajectories and gathers classical-bit counts.
+    /// Runs `shots` and gathers classical-bit counts, dispatching to
+    /// the engine the [`Engine`] policy selects for this circuit.
     pub fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
-        let plan = self.plan(sc);
-        let nbits = sc.num_clbits;
-        let chunks = chunk_ranges(shots);
-        let counts_parts: Vec<std::collections::BTreeMap<u64, usize>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&(start, len)| {
-                        let plan_ref = &plan;
-                        scope.spawn(move || {
-                            let mut rng =
-                                StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(start as u64 + 1)));
-                            let mut counts = std::collections::BTreeMap::new();
-                            for _ in 0..len {
-                                let (_, bits) = self.trajectory(plan_ref, &mut rng);
-                                let key = pack_bits(&bits, nbits);
-                                *counts.entry(key).or_insert(0) += 1;
-                            }
-                            counts
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("shot thread")).collect()
-            });
-        let mut counts = std::collections::BTreeMap::new();
-        for part in counts_parts {
-            for (k, v) in part {
-                *counts.entry(k).or_insert(0) += v;
-            }
-        }
-        RunResult { shots, num_clbits: nbits, counts }
+        self.engine_for(sc).run_counts(sc, shots, seed)
     }
 
     /// Averages the quantum expectation values of the given Pauli
-    /// strings over `shots` trajectories (no sampling noise beyond the
-    /// stochastic noise processes themselves).
+    /// strings over `shots`, dispatching like [`Self::run_counts`].
     pub fn expect_paulis(
         &self,
         sc: &ScheduledCircuit,
@@ -298,32 +237,77 @@ impl Simulator {
         shots: usize,
         seed: u64,
     ) -> Vec<f64> {
+        self.engine_for(sc).expect_paulis(sc, paulis, shots, seed)
+    }
+
+    /// Panics with a clear message when the circuit exceeds the dense
+    /// engine's hard qubit cap (2ⁿ amplitudes).
+    fn assert_dense_feasible(&self, sc: &ScheduledCircuit) {
+        assert!(
+            sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS,
+            "circuit has {} qubits; the dense statevector engine is limited to {} — \
+             only Clifford circuits can run on the stabilizer engine at this scale",
+            sc.num_qubits,
+            crate::engine::DENSE_MAX_QUBITS
+        );
+    }
+
+    /// Runs `shots` trajectories on the dense statevector engine.
+    pub(crate) fn run_counts_dense(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> RunResult {
+        self.assert_dense_feasible(sc);
         let plan = self.plan(sc);
-        let chunks = chunk_ranges(shots);
-        let sums: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&(start, len)| {
-                    let plan_ref = &plan;
-                    scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(
-                            seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(start as u64 + 1)),
-                        );
-                        let mut acc = vec![0.0; paulis.len()];
-                        for _ in 0..len {
-                            let (st, _) = self.trajectory(plan_ref, &mut rng);
-                            for (i, p) in paulis.iter().enumerate() {
-                                acc[i] += st.expect_pauli(p);
-                            }
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shot thread")).collect()
-        });
+        let nbits = sc.num_clbits;
+        let parts = map_shots(
+            shots,
+            seed,
+            std::collections::BTreeMap::<u64, usize>::new,
+            |rng, counts| {
+                let (_, bits) = self.trajectory(&plan, rng);
+                *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
+            },
+        );
+        let mut counts = std::collections::BTreeMap::new();
+        for part in parts {
+            for (k, v) in part {
+                *counts.entry(k).or_insert(0) += v;
+            }
+        }
+        RunResult {
+            shots,
+            num_clbits: nbits,
+            counts,
+        }
+    }
+
+    /// Dense-engine Pauli expectations (no sampling noise beyond the
+    /// stochastic noise processes themselves).
+    pub(crate) fn expect_paulis_dense(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        self.assert_dense_feasible(sc);
+        let plan = self.plan(sc);
+        let parts = map_shots(
+            shots,
+            seed,
+            || vec![0.0; paulis.len()],
+            |rng, acc| {
+                let (st, _) = self.trajectory(&plan, rng);
+                for (i, p) in paulis.iter().enumerate() {
+                    acc[i] += st.expect_pauli(p);
+                }
+            },
+        );
         let mut out = vec![0.0; paulis.len()];
-        for part in sums {
+        for part in parts {
             for (o, p) in out.iter_mut().zip(part.iter()) {
                 *o += p;
             }
@@ -345,8 +329,9 @@ impl Simulator {
         self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)[0]
     }
 
-    /// Runs a single trajectory (deterministic for a given seed) and
-    /// returns the final state and classical bits. Test hook.
+    /// Runs a single dense trajectory (deterministic for a given seed)
+    /// and returns the final state and classical bits. Test hook;
+    /// always uses the statevector engine (a tableau has no `State`).
     pub fn run_single(&self, sc: &ScheduledCircuit, seed: u64) -> (State, Vec<bool>) {
         let plan = self.plan(sc);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -363,19 +348,6 @@ pub fn pack_bits(bits: &[bool], nbits: usize) -> u64 {
         }
     }
     k
-}
-
-fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16).max(1);
-    let per = shots.div_ceil(workers);
-    let mut out = Vec::new();
-    let mut start = 0;
-    while start < shots {
-        let len = per.min(shots - start);
-        out.push((start, len));
-        start += len;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -419,7 +391,10 @@ mod tests {
         let sim = ideal_sim(2);
         let mut qc = Circuit::new(2, 2);
         // Prepare |1⟩, measure → bit 0 = 1 → X on qubit 1 → measure 1.
-        qc.x(0).measure(0, 0).gate_if(Gate::X, [1], 0, true).measure(1, 1);
+        qc.x(0)
+            .measure(0, 0)
+            .gate_if(Gate::X, [1], 0, true)
+            .measure(1, 1);
         let res = sim.run_counts(&sched(&qc), 50, 5);
         assert!((res.probability(0b11) - 1.0).abs() < 1e-12);
     }
@@ -428,7 +403,9 @@ mod tests {
     fn conditional_gate_skipped_on_zero() {
         let sim = ideal_sim(2);
         let mut qc = Circuit::new(2, 2);
-        qc.measure(0, 0).gate_if(Gate::X, [1], 0, true).measure(1, 1);
+        qc.measure(0, 0)
+            .gate_if(Gate::X, [1], 0, true)
+            .measure(1, 1);
         let res = sim.run_counts(&sched(&qc), 50, 5);
         assert!((res.probability(0b00) - 1.0).abs() < 1e-12);
     }
@@ -467,7 +444,10 @@ mod tests {
         // refocuses it exactly.
         let mut dev = uniform_device(Topology::line(1), 0.0);
         dev.calibration.qubits[0].quasistatic_khz = 50.0;
-        let cfg = NoiseConfig { quasistatic: true, ..NoiseConfig::ideal() };
+        let cfg = NoiseConfig {
+            quasistatic: true,
+            ..NoiseConfig::ideal()
+        };
         let sim = Simulator::with_config(dev, cfg);
         // Without echo: big dephasing.
         let mut bare = Circuit::new(1, 0);
@@ -480,7 +460,10 @@ mod tests {
         // After refocusing, state is X·|+⟩-path → H·X·|+⟩… measure Z:
         // H X Rz(0) |+⟩ = H X |+⟩ = H|+⟩ = |0⟩ → ⟨Z⟩ = +1.
         let z_echo = sim.expect_pauli(&sched(&echo), &PauliString::parse("Z").unwrap(), 200, 11);
-        assert!((z_echo - 1.0).abs() < 1e-9, "echo refocuses exactly: {z_echo}");
+        assert!(
+            (z_echo - 1.0).abs() < 1e-9,
+            "echo refocuses exactly: {z_echo}"
+        );
     }
 
     #[test]
@@ -489,7 +472,10 @@ mod tests {
         let sim = Simulator::with_config(dev, NoiseConfig::coherent_only());
         // Zero-width pulses make the DD cancellation algebraically
         // exact; realistic pulse widths are exercised elsewhere.
-        let durations = GateDurations { one_qubit: 0.0, ..GateDurations::default() };
+        let durations = GateDurations {
+            one_qubit: 0.0,
+            ..GateDurations::default()
+        };
         let sched = |qc: &Circuit| schedule_asap(qc, durations);
         let tau = 2000.0;
         // Aligned: X on both qubits at the same midpoint.
@@ -520,7 +506,10 @@ mod tests {
         // Aligned cancels local Z but leaves ZZ: ⟨Z₀⟩ = cos(θ_zz_total).
         let theta = ca_device::phase_rad(80.0, 2.0 * tau);
         assert!((za - theta.cos()).abs() < 1e-9, "aligned leaves ZZ: {za}");
-        assert!((zs - 1.0).abs() < 1e-9, "staggered cancels everything: {zs}");
+        assert!(
+            (zs - 1.0).abs() < 1e-9,
+            "staggered cancels everything: {zs}"
+        );
     }
 
     #[test]
@@ -528,7 +517,10 @@ mod tests {
         let mut dev = uniform_device(Topology::line(1), 0.0);
         dev.calibration.qubits[0].t1_us = 50.0;
         dev.calibration.qubits[0].t2_us = 100.0;
-        let cfg = NoiseConfig { decoherence: true, ..NoiseConfig::ideal() };
+        let cfg = NoiseConfig {
+            decoherence: true,
+            ..NoiseConfig::ideal()
+        };
         let sim = Simulator::with_config(dev, cfg);
         let mut qc = Circuit::new(1, 1);
         qc.x(0).delay(50_000.0, 0).measure(0, 0);
@@ -542,7 +534,10 @@ mod tests {
     fn readout_error_flips_bits() {
         let mut dev = uniform_device(Topology::line(1), 0.0);
         dev.calibration.qubits[0].readout_err = 0.2;
-        let cfg = NoiseConfig { readout_error: true, ..NoiseConfig::ideal() };
+        let cfg = NoiseConfig {
+            readout_error: true,
+            ..NoiseConfig::ideal()
+        };
         let sim = Simulator::with_config(dev, cfg);
         let mut qc = Circuit::new(1, 1);
         qc.measure(0, 0);
@@ -583,7 +578,8 @@ mod more_tests {
 
     #[test]
     fn reset_reinitializes_mid_circuit() {
-        let sim = Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(1, 1);
         qc.x(0).reset(0).measure(0, 0);
         let res = sim.run_counts(&sched(&qc), 50, 3);
@@ -592,7 +588,8 @@ mod more_tests {
 
     #[test]
     fn sequential_measurements_of_entangled_pair_agree() {
-        let sim = Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
         let res = sim.run_counts(&sched(&qc), 300, 9);
@@ -608,7 +605,10 @@ mod more_tests {
         for k in keys {
             dev.calibration.edges.get_mut(&k).unwrap().gate_err_2q = 0.25;
         }
-        let cfg = NoiseConfig { gate_error: true, ..NoiseConfig::ideal() };
+        let cfg = NoiseConfig {
+            gate_error: true,
+            ..NoiseConfig::ideal()
+        };
         let sim = Simulator::with_config(dev, cfg);
         // Identity-equivalent pair of ECRs; depolarizing error shows up
         // as a drop in the return probability.
@@ -623,7 +623,8 @@ mod more_tests {
 
     #[test]
     fn virtual_rz_between_halves_shifts_ramsey_phase() {
-        let sim = Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(1, 0);
         qc.h(0).rz(1.234, 0).h(0);
         let z = sim.expect_pauli(&sched(&qc), &PauliString::parse("Z").unwrap(), 1, 1);
@@ -632,7 +633,8 @@ mod more_tests {
 
     #[test]
     fn barrier_only_circuit_is_identity() {
-        let sim = Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(2, 0);
         qc.barrier(Vec::<usize>::new());
         let (st, _) = sim.run_single(&sched(&qc), 1);

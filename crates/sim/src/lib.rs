@@ -4,26 +4,45 @@
 //! fixed-frequency superconducting devices — the hardware substitute
 //! for the paper's IBM backends (see DESIGN.md §2).
 //!
-//! The model: a dense statevector evolved trajectory-by-trajectory.
-//! Context-dependent coherent crosstalk (always-on ZZ of Eq. 1, gate
-//! spectator Z, AC Stark, NNN collision terms) accumulates along a
-//! segmented timeline that knows the internal echo structure of each
-//! ECR gate; stochastic processes (charge parity, quasi-static 1/f
-//! detuning, T1/T2, depolarizing gate error, readout error) are
-//! sampled per shot. Dynamical decoupling, twirling, and error
+//! Two engines share one noise timeline behind the [`SimEngine`]
+//! trait:
+//!
+//! * **statevector** — a dense state evolved trajectory-by-trajectory:
+//!   exact for all gates and for the coherent context-dependent
+//!   crosstalk (always-on ZZ of Eq. 1, gate spectator Z, AC Stark, NNN
+//!   collision terms) accumulated along a segmented timeline that
+//!   knows the internal echo structure of each ECR gate. Exponential
+//!   in qubits (≤ 24).
+//! * **stabilizer** — a CHP tableau plus per-shot Pauli frames for
+//!   Clifford circuits: the same pending-bank timeline, with coherent
+//!   phases converted to Pauli-twirled stochastic channels at layer
+//!   boundaries. Linear scaling to full-device sizes (127+ qubits).
+//!
+//! Stochastic processes (charge parity, quasi-static 1/f detuning,
+//! T1/T2, depolarizing gate error, readout error) are sampled per
+//! shot in both engines. Dynamical decoupling, twirling, and error
 //! compensation then work — or fail — for exactly the physical reasons
-//! laid out in the paper.
+//! laid out in the paper. [`Engine::Auto`] (the default) picks the
+//! backend per circuit; see [`engine`] for the rules.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod executor;
 pub mod noise;
+pub mod pauli_frame;
+pub mod plan;
 pub mod result;
+pub mod stabilizer;
 pub mod statevector;
 pub mod timeline;
 
+pub use engine::{Engine, SimEngine, StatevectorEngine, AUTO_DENSE_MAX_QUBITS};
 pub use executor::{pack_bits, Simulator};
 pub use noise::{NoiseConfig, ShotNoise};
+pub use pauli_frame::{stabilizer_supports, FramePlan, StabilizerEngine};
+pub use plan::ExecutionPlan;
 pub use result::RunResult;
+pub use stabilizer::Tableau;
 pub use statevector::State;
 pub use timeline::{build_segments, Activity, SegmentOp};

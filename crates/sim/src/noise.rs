@@ -107,14 +107,16 @@ impl ShotNoise {
                 0.0
             };
         }
-        Self { parity_sign, detuning_khz }
+        Self {
+            parity_sign,
+            detuning_khz,
+        }
     }
 
     /// The total stochastic Z rate (kHz) on `q` for this shot:
     /// `±δ + ε` (Eq. 6 plus the quasi-static term).
     pub fn z_rate_khz(&self, device: &Device, q: usize) -> f64 {
-        self.parity_sign[q] * device.calibration.qubits[q].charge_parity_khz
-            + self.detuning_khz[q]
+        self.parity_sign[q] * device.calibration.qubits[q].charge_parity_khz + self.detuning_khz[q]
     }
 }
 

@@ -1,0 +1,746 @@
+//! Stabilizer-engine shot sampler: one reference tableau run plus
+//! per-shot Pauli frames, with the context-aware noise model mapped
+//! onto Pauli-twirled stochastic channels.
+//!
+//! ## How noise survives the Clifford approximation
+//!
+//! The dense engine accumulates every coherent Z/ZZ phase in scalar
+//! *pending banks* and applies them exactly. This engine keeps the
+//! identical banks — same timeline segments, same signed-time echo
+//! bookkeeping — but at each *flush point* converts the accumulated
+//! angle θ into its Pauli twirl: a stochastic `Z` (or `Z⊗Z`) flip
+//! with probability `sin²(θ/2)`. Two bank rules make the compiler
+//! physics survive:
+//!
+//! * a 1q Clifford that conjugates `Z → ±Z` (X/Y DD pulses, virtual
+//!   phases) does **not** flush; it toggles the bank sign, exactly as
+//!   the pulse toggles the physical accumulation frame. Staggered DD
+//!   and Walsh sequences therefore drive the banks to ~0 before any
+//!   twirl happens — suppression is preserved *coherently*;
+//! * basis-changing 1q gates (`H`, `Sx`…), entangling gates,
+//!   measurements, and circuit end flush. Flushing at two-qubit gates
+//!   is the paper's twirled-layer boundary: leftover coherent phases
+//!   become stochastic Pauli noise there, which is precisely the
+//!   approximation Pauli twirling makes physical.
+//!
+//! Decoherence is applied as the Pauli-twirl of amplitude damping
+//! (`X`/`Y`/`Z` each with γ/4) plus pure dephasing; depolarizing gate
+//! error and readout error are already Pauli/classical channels and
+//! match the dense engine exactly.
+//!
+//! ## Measurement randomness
+//!
+//! Shots reuse one reference tableau sample; a shot's outcome is the
+//! reference bit XOR the frame's X component. The frame's Z component
+//! is freshly randomized wherever `Z_q` stabilizes the state (at
+//! initialisation and after every measurement/reset) — physically
+//! invisible, but it supplies the per-shot randomness that later
+//! collapses need (the Stim trick).
+
+use crate::executor::{pack_bits, Simulator};
+use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
+use crate::plan::{map_shots, ExecutionPlan, PlanOp};
+use crate::result::RunResult;
+use crate::stabilizer::{pack_pauli, pauli_from_bits, pauli_to_bits, Tableau};
+use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q, Table2Q};
+use ca_circuit::pauli::{Pauli, PauliString};
+use ca_circuit::{Gate, ScheduledCircuit};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// True when the stabilizer engine can execute the scheduled circuit:
+/// every gate is a Clifford (or a structural/projective op) and there
+/// is no classical feed-forward.
+pub fn stabilizer_supports(sc: &ScheduledCircuit) -> bool {
+    sc.items.iter().all(|si| {
+        let g = si.instruction.gate;
+        si.instruction.condition.is_none()
+            && (matches!(
+                g,
+                Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
+            ) || g.is_clifford())
+    })
+}
+
+/// Per-item precomputed frame action.
+enum ItemOp {
+    One {
+        q: usize,
+        table: Box<[(i8, Pauli); 4]>,
+        /// `Some(s)` when the gate conjugates `Z → s·Z` (bank toggles,
+        /// no flush); `None` when it changes basis (flush first).
+        z_sign: Option<i8>,
+    },
+    Two {
+        a: usize,
+        b: usize,
+        table: Box<Table2Q>,
+        diagonal: bool,
+    },
+}
+
+/// The frame-simulation plan: the shared [`ExecutionPlan`] plus the
+/// reference tableau run and per-item conjugation tables.
+pub struct FramePlan<'a> {
+    plan: ExecutionPlan<'a>,
+    /// Frame action per scheduled item (None for structural ops).
+    items: Vec<Option<ItemOp>>,
+    /// Reference measurement outcomes, in plan (time) order.
+    ref_outcomes: Vec<bool>,
+    /// Reference tableau after the full circuit (for expectations).
+    ref_tableau: Tableau,
+    words: usize,
+}
+
+/// Exact cache key for conjugation tables: gate mnemonic plus the
+/// angle's bit pattern (zero for parameterless gates).
+fn table_key(gate: &Gate) -> (&'static str, u64) {
+    let angle = match *gate {
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Rzz(t) => t,
+        _ => 0.0,
+    };
+    (gate.name(), angle.to_bits())
+}
+
+impl<'a> FramePlan<'a> {
+    /// Builds the plan and executes the noiseless reference run.
+    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Self {
+        assert!(
+            stabilizer_supports(sc),
+            "circuit is not Clifford; use the statevector engine"
+        );
+        let plan = ExecutionPlan::build(sc, &sim.device, &sim.config);
+        let mut cache1: HashMap<(&'static str, u64), Box<[(i8, Pauli); 4]>> = HashMap::new();
+        let mut cache2: HashMap<(&'static str, u64), Box<Table2Q>> = HashMap::new();
+        let mut items = Vec::with_capacity(sc.items.len());
+        for si in &sc.items {
+            let gate = si.instruction.gate;
+            if !gate.is_unitary() || gate == Gate::Barrier {
+                items.push(None);
+                continue;
+            }
+            let op = match si.instruction.qubits.len() {
+                1 => {
+                    let table = cache1
+                        .entry(table_key(&gate))
+                        .or_insert_with(|| Box::new(conjugation_table_1q(gate)))
+                        .clone();
+                    let z_sign = match table[Pauli::Z.index()] {
+                        (s, Pauli::Z) => Some(s),
+                        _ => None,
+                    };
+                    ItemOp::One {
+                        q: si.instruction.qubits[0],
+                        table,
+                        z_sign,
+                    }
+                }
+                2 => {
+                    let table = cache2
+                        .entry(table_key(&gate))
+                        .or_insert_with(|| Box::new(conjugation_table_2q(gate)))
+                        .clone();
+                    ItemOp::Two {
+                        a: si.instruction.qubits[0],
+                        b: si.instruction.qubits[1],
+                        table,
+                        diagonal: gate.is_diagonal(),
+                    }
+                }
+                _ => panic!("unsupported gate arity"),
+            };
+            items.push(Some(op));
+        }
+
+        // Reference run: the *noiseless* circuit on the tableau.
+        let mut tableau = Tableau::zero(sc.num_qubits);
+        let mut ref_rng = StdRng::seed_from_u64(seed ^ 0xC1F0_0D5E_ED00_55AA);
+        let x_table = conjugation_table_1q(Gate::X);
+        let mut ref_outcomes = Vec::new();
+        for op in &plan.ops {
+            match *op {
+                PlanOp::Segment(_) => {}
+                PlanOp::Apply { item } => match items[item].as_ref().expect("unitary item") {
+                    ItemOp::One { q, table, .. } => tableau.apply_1q(table, *q),
+                    ItemOp::Two { a, b, table, .. } => tableau.apply_2q(table, *a, *b),
+                },
+                PlanOp::Project { item } => {
+                    let si = &plan.sc.items[item];
+                    let q = si.instruction.qubits[0];
+                    match si.instruction.gate {
+                        Gate::Measure => ref_outcomes.push(tableau.measure(q, &mut ref_rng)),
+                        Gate::Reset => tableau.reset(q, &mut ref_rng, &x_table),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+
+        let words = sc.num_qubits.div_ceil(64);
+        Self {
+            plan,
+            items,
+            ref_outcomes,
+            ref_tableau: tableau,
+            words,
+        }
+    }
+
+    /// Runs one shot: propagates a Pauli frame with sampled noise and
+    /// returns `(frame_x, frame_z, classical bits)`.
+    fn shot(&self, sim: &Simulator, rng: &mut StdRng) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
+        let n = self.plan.sc.num_qubits;
+        let config = &sim.config;
+        let shot = ShotNoise::sample(&sim.device, config, rng);
+        let mut fx = vec![0u64; self.words];
+        let mut fz = vec![0u64; self.words];
+        // Initial Z-frame randomization: Z stabilizes |0…0⟩.
+        randomize_z_all(&mut fz, n, rng);
+        let mut bits = vec![false; self.plan.sc.num_clbits.max(1)];
+        let mut pend_rz = vec![0.0f64; n];
+        let mut pend_rzz = vec![0.0f64; self.plan.edge_pairs.len()];
+        let mut deco_dt = vec![0.0f64; n];
+        let mut meas_i = 0usize;
+
+        macro_rules! flush_qubit {
+            ($q:expr, $rng:expr) => {{
+                let q = $q;
+                let theta = pend_rz[q];
+                if theta.abs() > 1e-15 {
+                    pend_rz[q] = 0.0;
+                    if $rng.random::<f64>() < (theta / 2.0).sin().powi(2) {
+                        toggle(&mut fz, q);
+                    }
+                }
+                for &e in &self.plan.incident[q] {
+                    let th = pend_rzz[e];
+                    if th.abs() > 1e-15 {
+                        pend_rzz[e] = 0.0;
+                        if $rng.random::<f64>() < (th / 2.0).sin().powi(2) {
+                            let (a, b) = self.plan.edge_pairs[e];
+                            toggle(&mut fz, a);
+                            toggle(&mut fz, b);
+                        }
+                    }
+                }
+                if config.decoherence && deco_dt[q] > 0.0 {
+                    let cal = &sim.device.calibration.qubits[q];
+                    let dt = deco_dt[q];
+                    deco_dt[q] = 0.0;
+                    // Pauli twirl of amplitude damping: X, Y, Z each γ/4.
+                    let gamma = damping_prob(dt, cal.t1_us);
+                    if gamma > 0.0 {
+                        let r: f64 = $rng.random();
+                        if r < gamma / 4.0 {
+                            toggle(&mut fx, q);
+                        } else if r < gamma / 2.0 {
+                            toggle(&mut fx, q);
+                            toggle(&mut fz, q);
+                        } else if r < 3.0 * gamma / 4.0 {
+                            toggle(&mut fz, q);
+                        }
+                    }
+                    let p_z = dephasing_prob(dt, t_phi_us(cal.t1_us, cal.t2_us));
+                    if p_z > 0.0 && $rng.random::<f64>() < p_z {
+                        toggle(&mut fz, q);
+                    }
+                }
+            }};
+        }
+
+        for op in &self.plan.ops {
+            match *op {
+                PlanOp::Segment(i) => {
+                    let seg = &self.plan.segments[i];
+                    for &(q, th) in &seg.rz_static {
+                        pend_rz[q] += th;
+                    }
+                    for &(e, th) in &self.plan.seg_edges[i] {
+                        pend_rzz[e] += th;
+                    }
+                    for q in 0..n {
+                        let rate = shot.z_rate_khz(&sim.device, q);
+                        if rate != 0.0 {
+                            pend_rz[q] += ca_device::phase_rad(rate, seg.signed_dt[q]);
+                        }
+                        deco_dt[q] += seg.dt();
+                    }
+                }
+                PlanOp::Project { item } => {
+                    let si = &self.plan.sc.items[item];
+                    let q = si.instruction.qubits[0];
+                    flush_qubit!(q, rng);
+                    match si.instruction.gate {
+                        Gate::Measure => {
+                            let reference = self.ref_outcomes[meas_i];
+                            meas_i += 1;
+                            let mut outcome = reference ^ get(&fx, q);
+                            if config.readout_error {
+                                let p = sim.device.calibration.qubits[q].readout_err;
+                                if rng.random::<f64>() < p {
+                                    outcome = !outcome;
+                                }
+                            }
+                            if let Some(c) = si.instruction.clbit {
+                                bits[c] = outcome;
+                            }
+                            // Post-collapse Z randomization.
+                            set(&mut fz, q, rng.random::<bool>());
+                        }
+                        Gate::Reset => {
+                            set(&mut fx, q, false);
+                            set(&mut fz, q, rng.random::<bool>());
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                PlanOp::Apply { item } => {
+                    let si = &self.plan.sc.items[item];
+                    match self.items[item].as_ref().expect("unitary item") {
+                        ItemOp::One { q, table, z_sign } => {
+                            let q = *q;
+                            match z_sign {
+                                Some(s) => {
+                                    if *s < 0 {
+                                        // Z-preserving pulse (X/Y): the bank
+                                        // toggles with the physical frame.
+                                        pend_rz[q] = -pend_rz[q];
+                                        for &e in &self.plan.incident[q] {
+                                            pend_rzz[e] = -pend_rzz[e];
+                                        }
+                                    }
+                                }
+                                None => flush_qubit!(q, rng),
+                            }
+                            let p = get_pauli(&fx, &fz, q);
+                            let (_, p2) = table[p.index()];
+                            set_pauli(&mut fx, &mut fz, q, p2);
+                            if config.gate_error && !si.instruction.gate.is_virtual() {
+                                let p = sim.device.calibration.qubits[q].gate_err_1q;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(0..3usize);
+                                    inject(&mut fx, &mut fz, q, [Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                }
+                            }
+                        }
+                        ItemOp::Two {
+                            a,
+                            b,
+                            table,
+                            diagonal,
+                        } => {
+                            let (a, b) = (*a, *b);
+                            if !diagonal {
+                                // Twirled-layer boundary: leftover
+                                // coherent phases become Pauli noise here.
+                                flush_qubit!(a, rng);
+                                flush_qubit!(b, rng);
+                            }
+                            let pa = get_pauli(&fx, &fz, a);
+                            let pb = get_pauli(&fx, &fz, b);
+                            let (_, (qa, qb)) = table[pa.index() + 4 * pb.index()];
+                            set_pauli(&mut fx, &mut fz, a, qa);
+                            set_pauli(&mut fx, &mut fz, b, qb);
+                            if config.gate_error {
+                                let scale = self
+                                    .plan
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                let p = sim.device.calibration.gate_err_2q(a, b) * scale;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(1..16usize);
+                                    inject(&mut fx, &mut fz, a, Pauli::from_index(k % 4));
+                                    inject(&mut fx, &mut fz, b, Pauli::from_index(k / 4));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for q in 0..n {
+            flush_qubit!(q, rng);
+        }
+        (fx, fz, bits)
+    }
+}
+
+#[inline]
+fn get(v: &[u64], q: usize) -> bool {
+    v[q / 64] >> (q % 64) & 1 == 1
+}
+
+#[inline]
+fn set(v: &mut [u64], q: usize, on: bool) {
+    if on {
+        v[q / 64] |= 1 << (q % 64);
+    } else {
+        v[q / 64] &= !(1 << (q % 64));
+    }
+}
+
+#[inline]
+fn toggle(v: &mut [u64], q: usize) {
+    v[q / 64] ^= 1 << (q % 64);
+}
+
+#[inline]
+fn get_pauli(fx: &[u64], fz: &[u64], q: usize) -> Pauli {
+    pauli_from_bits(get(fx, q), get(fz, q))
+}
+
+#[inline]
+fn set_pauli(fx: &mut [u64], fz: &mut [u64], q: usize, p: Pauli) {
+    let (x, z) = pauli_to_bits(p);
+    set(fx, q, x);
+    set(fz, q, z);
+}
+
+/// Multiplies the frame by `p` at qubit `q` (signs are irrelevant for
+/// frames, so this is a bitwise XOR in the symplectic picture).
+#[inline]
+fn inject(fx: &mut [u64], fz: &mut [u64], q: usize, p: Pauli) {
+    let (x, z) = pauli_to_bits(p);
+    if x {
+        toggle(fx, q);
+    }
+    if z {
+        toggle(fz, q);
+    }
+}
+
+fn randomize_z_all(fz: &mut [u64], n: usize, rng: &mut StdRng) {
+    for (w, word) in fz.iter_mut().enumerate() {
+        let bits_here = (n - w * 64).min(64);
+        let mask = if bits_here == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits_here) - 1
+        };
+        *word = rng.random::<u64>() & mask;
+    }
+}
+
+/// The stabilizer/Pauli-frame engine: a [`crate::SimEngine`] over a
+/// borrowed simulator configuration.
+pub struct StabilizerEngine<'a> {
+    /// The owning simulator (device + noise configuration).
+    pub sim: &'a Simulator,
+}
+
+impl<'a> StabilizerEngine<'a> {
+    /// Borrows the simulator.
+    pub fn new(sim: &'a Simulator) -> Self {
+        Self { sim }
+    }
+
+    /// Shot-sampled classical counts (see [`crate::SimEngine`]).
+    pub fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
+        let plan = FramePlan::build(self.sim, sc, seed);
+        let nbits = sc.num_clbits;
+        let parts = map_shots(
+            shots,
+            seed,
+            std::collections::BTreeMap::<u64, usize>::new,
+            |rng, counts| {
+                let (_, _, bits) = plan.shot(self.sim, rng);
+                *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
+            },
+        );
+        let mut counts = std::collections::BTreeMap::new();
+        for part in parts {
+            for (k, v) in part {
+                *counts.entry(k).or_insert(0) += v;
+            }
+        }
+        RunResult {
+            shots,
+            num_clbits: nbits,
+            counts,
+        }
+    }
+
+    /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
+    pub fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let plan = FramePlan::build(self.sim, sc, seed);
+        // Reference expectation and packed masks per observable.
+        let prepared: Vec<(i32, Vec<u64>, Vec<u64>)> = paulis
+            .iter()
+            .map(|p| {
+                let r = plan.ref_tableau.expect(p);
+                let (px, pz) = pack_pauli(p);
+                (r, px, pz)
+            })
+            .collect();
+        let sums = map_shots(
+            shots,
+            seed,
+            || vec![0.0; prepared.len()],
+            |rng, acc| {
+                let (fx, fz, _) = plan.shot(self.sim, rng);
+                for (i, (r, px, pz)) in prepared.iter().enumerate() {
+                    if *r == 0 {
+                        continue;
+                    }
+                    let mut parity = 0u64;
+                    for w in 0..fx.len() {
+                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
+                    }
+                    let flip = parity.count_ones() % 2 == 1;
+                    acc[i] += if flip { -*r as f64 } else { *r as f64 };
+                }
+            },
+        );
+        let mut out = vec![0.0; paulis.len()];
+        for part in sums {
+            for (o, p) in out.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= shots as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseConfig;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    fn sched(qc: &Circuit) -> ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    fn ideal(n: usize) -> Simulator {
+        Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal())
+    }
+
+    #[test]
+    fn supports_clifford_only() {
+        let mut ok = Circuit::new(2, 1);
+        ok.h(0)
+            .ecr(0, 1)
+            .rz(std::f64::consts::FRAC_PI_2, 1)
+            .measure(0, 0);
+        assert!(stabilizer_supports(&sched(&ok)));
+        let mut bad = Circuit::new(1, 0);
+        bad.rz(0.3, 0);
+        assert!(!stabilizer_supports(&sched(&bad)));
+        let mut cond = Circuit::new(2, 1);
+        cond.measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        assert!(!stabilizer_supports(&sched(&cond)));
+    }
+
+    #[test]
+    fn ideal_bell_counts_match_physics() {
+        let sim = ideal(2);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let res = eng.run_counts(&sched(&qc), 2000, 7);
+        assert_eq!(res.shots, 2000);
+        let p00 = res.probability(0b00);
+        let p11 = res.probability(0b11);
+        assert!((p00 + p11 - 1.0).abs() < 1e-12, "only correlated outcomes");
+        assert!((p00 - 0.5).abs() < 0.05, "fair split: {p00}");
+    }
+
+    #[test]
+    fn measurement_randomness_across_shots() {
+        // H;M must be ~50/50 across shots even with zero noise — the
+        // init-Z randomization supplies the entropy.
+        let sim = ideal(1);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(1, 1);
+        qc.h(0).measure(0, 0);
+        let res = eng.run_counts(&sched(&qc), 4000, 3);
+        assert!(
+            (res.probability(1) - 0.5).abs() < 0.04,
+            "p1 {}",
+            res.probability(1)
+        );
+    }
+
+    #[test]
+    fn repeated_measurement_is_consistent_within_a_shot() {
+        let sim = ideal(1);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(1, 2);
+        qc.h(0).measure(0, 0).measure(0, 1);
+        let res = eng.run_counts(&sched(&qc), 500, 5);
+        assert_eq!(
+            res.probability(0b01) + res.probability(0b10),
+            0.0,
+            "bits agree"
+        );
+    }
+
+    #[test]
+    fn ideal_expectations_are_exact() {
+        let sim = ideal(2);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).cx(0, 1);
+        let sc = sched(&qc);
+        let obs = [
+            PauliString::parse("ZZ").unwrap(),
+            PauliString::parse("XX").unwrap(),
+            PauliString::parse("YY").unwrap(),
+            PauliString::parse("ZI").unwrap(),
+        ];
+        let got = eng.expect_paulis(&sc, &obs, 50, 9);
+        assert!((got[0] - 1.0).abs() < 1e-12);
+        assert!((got[1] - 1.0).abs() < 1e-12);
+        assert!((got[2] + 1.0).abs() < 1e-12);
+        assert!(got[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].readout_err = 0.2;
+        let cfg = NoiseConfig {
+            readout_error: true,
+            ..NoiseConfig::ideal()
+        };
+        let sim = Simulator::with_config(dev, cfg);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(1, 1);
+        qc.measure(0, 0);
+        let res = eng.run_counts(&sched(&qc), 4000, 17);
+        assert!((res.probability(1) - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn x2_echo_cancels_quasistatic_noise() {
+        // The frame engine must preserve DD refocusing: with the echo
+        // the pending bank cancels *before* any twirl, so the Ramsey
+        // contrast stays perfect; without it the twirl dephases.
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].quasistatic_khz = 50.0;
+        let cfg = NoiseConfig {
+            quasistatic: true,
+            ..NoiseConfig::ideal()
+        };
+        let sim = Simulator::with_config(dev, cfg);
+        let eng = StabilizerEngine::new(&sim);
+        let z = PauliString::parse("Z").unwrap();
+
+        let mut bare = Circuit::new(1, 0);
+        bare.h(0).delay(4000.0, 0).h(0);
+        let z_bare = eng.expect_paulis(&sched(&bare), std::slice::from_ref(&z), 400, 11)[0];
+        assert!(z_bare < 0.8, "bare Ramsey dephases: {z_bare}");
+
+        let mut echo = Circuit::new(1, 0);
+        echo.h(0).delay(2000.0, 0).x(0).delay(2000.0, 0).h(0);
+        let z_echo = eng.expect_paulis(&sched(&echo), std::slice::from_ref(&z), 400, 11)[0];
+        assert!(
+            (z_echo - 1.0).abs() < 1e-12,
+            "echo refocuses exactly: {z_echo}"
+        );
+    }
+
+    #[test]
+    fn staggered_dd_beats_aligned_under_twirl() {
+        // The aligned sequence leaves the ZZ bank full at the final
+        // flush (twirled into ZZ flips); staggering zeroes it.
+        let dev = uniform_device(Topology::line(2), 80.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::coherent_only());
+        let eng = StabilizerEngine::new(&sim);
+        let durations = GateDurations {
+            one_qubit: 0.0,
+            ..GateDurations::default()
+        };
+        let sched0 = |qc: &Circuit| schedule_asap(qc, durations);
+        let tau = 2000.0;
+        let mut aligned = Circuit::new(2, 0);
+        aligned.h(0).h(1);
+        aligned.barrier(Vec::<usize>::new());
+        aligned.delay(tau, 0).delay(tau, 1);
+        aligned.x(0).x(1);
+        aligned.delay(tau, 0).delay(tau, 1);
+        aligned.x(0).x(1);
+        aligned.barrier(Vec::<usize>::new());
+        aligned.h(0).h(1);
+        let mut staggered = Circuit::new(2, 0);
+        staggered.h(0).h(1);
+        staggered.barrier(Vec::<usize>::new());
+        staggered.delay(tau, 0);
+        staggered.delay(tau / 2.0, 1).x(1).delay(tau, 1);
+        staggered.x(0);
+        staggered.delay(tau, 0);
+        staggered.x(1).delay(tau / 2.0, 1);
+        staggered.x(0);
+        staggered.barrier(Vec::<usize>::new());
+        staggered.h(0).h(1);
+        let z = PauliString::parse("ZI").unwrap();
+        let za = eng.expect_paulis(&sched0(&aligned), std::slice::from_ref(&z), 600, 1)[0];
+        let zs = eng.expect_paulis(&sched0(&staggered), std::slice::from_ref(&z), 600, 1)[0];
+        assert!(
+            (zs - 1.0).abs() < 1e-12,
+            "staggered cancels everything: {zs}"
+        );
+        // Aligned: twirled ZZ leaves ⟨Z⟩ ≈ 1 − 2·sin²(θ/2) = cos θ.
+        let theta = ca_device::phase_rad(80.0, 2.0 * tau);
+        assert!(
+            (za - theta.cos()).abs() < 0.1,
+            "aligned ≈ cos θ: {za} vs {}",
+            theta.cos()
+        );
+    }
+
+    #[test]
+    fn t1_decay_statistics_approximate_dense() {
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].t1_us = 50.0;
+        dev.calibration.qubits[0].t2_us = 100.0;
+        let cfg = NoiseConfig {
+            decoherence: true,
+            ..NoiseConfig::ideal()
+        };
+        let sim = Simulator::with_config(dev, cfg);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(1, 1);
+        qc.x(0).delay(50_000.0, 0).measure(0, 0);
+        let res = eng.run_counts(&sched(&qc), 4000, 13);
+        // Twirled damping decays the excited population as
+        // 1 − γ/2 (X and Y kicks re-equilibrate) rather than 1 − γ;
+        // accept the twirl approximation's band around e^{-1}.
+        let p1 = res.probability(1);
+        assert!(p1 > 0.2 && p1 < 0.75, "twirled T1 decay in band: {p1}");
+    }
+
+    #[test]
+    fn large_clifford_circuit_runs_fast() {
+        // 60 qubits — impossible dense, instant with frames.
+        let n = 60;
+        let dev = uniform_device(Topology::line(n), 60.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::default());
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(n, n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for q in (0..n - 1).step_by(2) {
+            qc.ecr(q, q + 1);
+        }
+        for q in 0..n {
+            qc.measure(q, q);
+        }
+        let res = eng.run_counts(&sched(&qc), 200, 21);
+        assert_eq!(res.shots, 200);
+        assert_eq!(res.num_clbits, n);
+    }
+}

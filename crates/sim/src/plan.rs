@@ -1,0 +1,209 @@
+//! The shared execution plan: a scheduled circuit lowered to a single
+//! time-ordered op stream that interleaves noise-timeline segments
+//! with projections and unitary applications.
+//!
+//! Both engines consume this plan — the dense statevector trajectory
+//! executor and the stabilizer/Pauli-frame sampler — so the
+//! context-aware noise timeline (echo structure, flush ordering,
+//! crosstalk edge bookkeeping) is defined in exactly one place.
+
+use crate::noise::NoiseConfig;
+use crate::timeline::{build_segments, SegmentOp};
+use ca_circuit::{Gate, ScheduledCircuit};
+use ca_device::Device;
+
+/// One step of the lowered op stream.
+#[derive(Clone, Copy, Debug)]
+pub enum PlanOp {
+    /// Accrue one timeline segment into the pending phase banks.
+    Segment(usize),
+    /// Collapse a measured/reset qubit (window start).
+    Project {
+        /// Index into `sc.items`.
+        item: usize,
+    },
+    /// Apply the unitary of a scheduled item (window end).
+    Apply {
+        /// Index into `sc.items`.
+        item: usize,
+    },
+}
+
+/// Precomputed execution plan shared by all shots of a run.
+pub struct ExecutionPlan<'a> {
+    /// The scheduled circuit being executed.
+    pub sc: &'a ScheduledCircuit,
+    /// Noise-timeline segments (see [`build_segments`]).
+    pub segments: Vec<SegmentOp>,
+    /// Time-ordered op stream. At equal times segments flush first,
+    /// then unitaries ending there, then projections starting there.
+    pub ops: Vec<PlanOp>,
+    /// Crosstalk-edge index → `(a, b)` qubit pair.
+    pub edge_pairs: Vec<(usize, usize)>,
+    /// Per-qubit list of incident crosstalk-edge indices.
+    pub incident: Vec<Vec<usize>>,
+    /// Per-segment ZZ contributions resolved to edge indices:
+    /// `(edge, θ)` — precomputed so the per-shot loop never searches
+    /// the edge list (O(edges²·segments·shots) at 127 qubits
+    /// otherwise).
+    pub seg_edges: Vec<Vec<(usize, f64)>>,
+}
+
+impl<'a> ExecutionPlan<'a> {
+    /// Lowers a scheduled circuit against a device and noise config.
+    pub fn build(sc: &'a ScheduledCircuit, device: &Device, config: &NoiseConfig) -> Self {
+        let segments = build_segments(sc, device, config);
+        let mut keyed: Vec<(f64, u8, PlanOp)> = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            keyed.push((seg.t1, 0, PlanOp::Segment(i)));
+        }
+        for (i, si) in sc.items.iter().enumerate() {
+            match si.instruction.gate {
+                Gate::Barrier | Gate::Delay(_) => {}
+                // Rank order at equal times: segments flush first, then
+                // unitaries ending here, then projections starting here.
+                Gate::Measure | Gate::Reset => keyed.push((si.t0, 2, PlanOp::Project { item: i })),
+                _ => keyed.push((si.t1(), 1, PlanOp::Apply { item: i })),
+            }
+        }
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let edge_pairs: Vec<(usize, usize)> =
+            device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
+        let mut incident = vec![Vec::new(); sc.num_qubits];
+        let mut edge_index = std::collections::HashMap::new();
+        for (idx, &(a, b)) in edge_pairs.iter().enumerate() {
+            edge_index.insert((a.min(b), a.max(b)), idx);
+            if a < sc.num_qubits && b < sc.num_qubits {
+                incident[a].push(idx);
+                incident[b].push(idx);
+            }
+        }
+        let seg_edges: Vec<Vec<(usize, f64)>> = segments
+            .iter()
+            .map(|seg| {
+                seg.rzz_static
+                    .iter()
+                    .filter(|(_, _, th)| th.abs() > 1e-15)
+                    .filter_map(|&(a, b, th)| {
+                        edge_index.get(&(a.min(b), a.max(b))).map(|&e| (e, th))
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            sc,
+            segments,
+            ops: keyed.into_iter().map(|(_, _, op)| op).collect(),
+            edge_pairs,
+            incident,
+            seg_edges,
+        }
+    }
+}
+
+/// Fixed shot-block size: chunk boundaries (and therefore the RNG
+/// stream of every shot) are independent of the host's core count, so
+/// a seed reproduces the same counts on any machine.
+const CHUNK_SHOTS: usize = 128;
+
+/// Splits `shots` into fixed-size ranges (machine-independent).
+pub fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < shots {
+        let len = CHUNK_SHOTS.min(shots - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// The per-chunk RNG seed: decorrelates chunks deterministically.
+pub fn chunk_seed(seed: u64, start: usize) -> u64 {
+    seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(start as u64 + 1))
+}
+
+/// Runs `shots` across scoped worker threads. Chunk boundaries and
+/// per-chunk RNG streams are fixed by the seed alone (workers pick up
+/// chunks in a strided pattern), so classical counts are bit-for-bit
+/// reproducible across machines; floating-point accumulations are
+/// reproducible up to summation order. Returns the per-worker
+/// accumulators for the caller to merge. The single fan-out used by
+/// both engines' `run_counts` and `expect_paulis`.
+pub fn map_shots<Acc: Send>(
+    shots: usize,
+    seed: u64,
+    new_acc: impl Fn() -> Acc + Sync,
+    per_shot: impl Fn(&mut rand::rngs::StdRng, &mut Acc) + Sync,
+) -> Vec<Acc> {
+    use rand::SeedableRng;
+    let chunks = chunk_ranges(shots);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+        .min(chunks.len().max(1));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let chunks = &chunks;
+                let new_acc = &new_acc;
+                let per_shot = &per_shot;
+                scope.spawn(move || {
+                    let mut acc = new_acc();
+                    for &(start, len) in chunks.iter().skip(w).step_by(workers) {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(chunk_seed(seed, start));
+                        for _ in 0..len {
+                            per_shot(&mut rng, &mut acc);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shot thread"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    #[test]
+    fn plan_orders_segments_before_applies() {
+        let dev = uniform_device(Topology::line(2), 50.0);
+        let mut qc = Circuit::new(2, 1);
+        qc.h(0).ecr(0, 1).measure(1, 0);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let plan = ExecutionPlan::build(&sc, &dev, &NoiseConfig::coherent_only());
+        // Every Apply/Project op references a valid item; segments cover
+        // the full duration.
+        for op in &plan.ops {
+            match *op {
+                PlanOp::Segment(i) => assert!(i < plan.segments.len()),
+                PlanOp::Apply { item } | PlanOp::Project { item } => {
+                    assert!(item < sc.items.len())
+                }
+            }
+        }
+        let total: f64 = plan.segments.iter().map(|s| s.dt()).sum();
+        assert!((total - sc.duration).abs() < 1e-9);
+        assert_eq!(plan.edge_pairs, vec![(0, 1)]);
+        assert_eq!(plan.incident[0], vec![0]);
+    }
+
+    #[test]
+    fn chunks_cover_all_shots() {
+        for shots in [1usize, 7, 100, 1001] {
+            let chunks = chunk_ranges(shots);
+            let covered: usize = chunks.iter().map(|&(_, len)| len).sum();
+            assert_eq!(covered, shots);
+            assert_eq!(chunks[0].0, 0);
+        }
+    }
+}

@@ -23,7 +23,12 @@ impl RunResult {
     /// Marginal probability that classical bit `c` reads 1.
     pub fn marginal_one(&self, c: usize) -> f64 {
         let bit = 1u64 << c;
-        let ones: usize = self.counts.iter().filter(|(k, _)| *k & bit != 0).map(|(_, v)| v).sum();
+        let ones: usize = self
+            .counts
+            .iter()
+            .filter(|(k, _)| *k & bit != 0)
+            .map(|(_, v)| v)
+            .sum();
         ones as f64 / self.shots as f64
     }
 
@@ -63,7 +68,11 @@ mod tests {
     fn result(entries: &[(u64, usize)]) -> RunResult {
         let counts: BTreeMap<u64, usize> = entries.iter().copied().collect();
         let shots = counts.values().sum();
-        RunResult { shots, num_clbits: 2, counts }
+        RunResult {
+            shots,
+            num_clbits: 2,
+            counts,
+        }
     }
 
     #[test]

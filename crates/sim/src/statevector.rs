@@ -22,7 +22,11 @@ pub struct State {
 impl State {
     /// |0…0⟩.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= 24, "statevector limited to 24 qubits");
+        assert!(
+            n <= crate::engine::DENSE_MAX_QUBITS,
+            "statevector limited to {} qubits",
+            crate::engine::DENSE_MAX_QUBITS
+        );
         let mut amps = vec![ZERO; 1 << n];
         amps[0] = ONE;
         Self { n, amps }
@@ -75,7 +79,12 @@ impl State {
         for i in 0..self.amps.len() {
             if i & ba == 0 && i & bb == 0 {
                 let idx = [i, i | ba, i | bb, i | ba | bb];
-                let v = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+                let v = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
                 for (r, &out_i) in idx.iter().enumerate() {
                     let mut acc = ZERO;
                     for (c, &vc) in v.iter().enumerate() {
@@ -93,7 +102,7 @@ impl State {
         let e0 = C64::cis(-theta / 2.0);
         let e1 = C64::cis(theta / 2.0);
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = *a * if i & bit == 0 { e0 } else { e1 };
+            *a *= if i & bit == 0 { e0 } else { e1 };
         }
     }
 
@@ -105,7 +114,7 @@ impl State {
         let odd = C64::cis(theta / 2.0);
         for (i, amp) in self.amps.iter_mut().enumerate() {
             let parity = ((i & ba != 0) as u8) ^ ((i & bb != 0) as u8);
-            *amp = *amp * if parity == 0 { even } else { odd };
+            *amp *= if parity == 0 { even } else { odd };
         }
     }
 
@@ -133,7 +142,7 @@ impl State {
     pub fn project(&mut self, q: usize, outcome: bool) {
         let bit = 1usize << q;
         for (i, a) in self.amps.iter_mut().enumerate() {
-            if ((i & bit != 0) as bool) != outcome {
+            if (i & bit != 0) != outcome {
                 *a = ZERO;
             }
         }
@@ -170,7 +179,11 @@ impl State {
                     Pauli::Y => {
                         j ^= bit;
                         // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                        phase = phase * if b { C64::new(0.0, -1.0) } else { C64::new(0.0, 1.0) };
+                        phase *= if b {
+                            C64::new(0.0, -1.0)
+                        } else {
+                            C64::new(0.0, 1.0)
+                        };
                     }
                     Pauli::Z => {
                         if b {

@@ -96,7 +96,10 @@ impl Activity {
     /// True when the qubit's drive can Stark-shift its neighbours
     /// (single-qubit pulses and the ECR control drive — Sec. III-C).
     pub fn is_starking(&self) -> bool {
-        matches!(self, Activity::Driven1Q { .. } | Activity::EcrControl { .. })
+        matches!(
+            self,
+            Activity::Driven1Q { .. } | Activity::EcrControl { .. }
+        )
     }
 }
 
@@ -149,8 +152,14 @@ fn activities_at(sc: &ScheduledCircuit, a: f64, b: f64) -> Vec<Activity> {
                 let csign = if frac < 0.5 { 1.0 } else { -1.0 };
                 let quarter = (frac * 4.0).floor() as i32 % 4;
                 let tsign = if quarter % 2 == 0 { 1.0 } else { -1.0 };
-                out[c] = Activity::EcrControl { item: idx, sign: csign };
-                out[t] = Activity::EcrTarget { item: idx, sign: tsign };
+                out[c] = Activity::EcrControl {
+                    item: idx,
+                    sign: csign,
+                };
+                out[t] = Activity::EcrTarget {
+                    item: idx,
+                    sign: tsign,
+                };
             }
             Gate::Can { .. } | Gate::Rzz(_) | Gate::Cx | Gate::Cz => {
                 let sign = if frac < 0.5 { 1.0 } else { -1.0 };
@@ -241,9 +250,20 @@ pub fn build_segments(
             }
         }
 
-        let rz_static: Vec<(usize, f64)> =
-            rz.iter().enumerate().filter(|(_, th)| th.abs() > 1e-15).map(|(q, th)| (q, *th)).collect();
-        segments.push(SegmentOp { t0: a, t1: b, rz_static, rzz_static: rzz, signed_dt, activity });
+        let rz_static: Vec<(usize, f64)> = rz
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.abs() > 1e-15)
+            .map(|(q, th)| (q, *th))
+            .collect();
+        segments.push(SegmentOp {
+            t0: a,
+            t1: b,
+            rz_static,
+            rzz_static: rzz,
+            signed_dt,
+            activity,
+        });
     }
     segments
 }
@@ -406,7 +426,12 @@ mod more_tests {
     fn nnn_edge_contributes_like_a_direct_edge() {
         let topo = Topology::line(3);
         let mut cal = Calibration::uniform(3, &topo.edges, 0.0);
-        cal.nnn.push(NnnTerm { i: 0, j: 1, k: 2, zz_khz: 12.0 });
+        cal.nnn.push(NnnTerm {
+            i: 0,
+            j: 1,
+            k: 2,
+            zz_khz: 12.0,
+        });
         let dev = ca_device::Device::new("nnn", topo, cal);
         let mut qc = Circuit::new(3, 0);
         qc.delay(1000.0, 0).delay(1000.0, 1).delay(1000.0, 2);
@@ -437,7 +462,10 @@ mod more_tests {
             .filter(|(a, b, _)| (*a, *b) == (1, 2))
             .map(|(_, _, th)| th)
             .sum();
-        assert!(zz_12.abs() < 1e-12, "spectator ZZ refocused by the Can echo");
+        assert!(
+            zz_12.abs() < 1e-12,
+            "spectator ZZ refocused by the Can echo"
+        );
     }
 
     #[test]
@@ -448,7 +476,11 @@ mod more_tests {
         let sc = schedule_asap(&qc, GateDurations::default());
         let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
         assert!(matches!(segs[0].activity[0], Activity::Resetting { .. }));
-        let total: f64 = segs.iter().flat_map(|s| s.rzz_static.iter()).map(|(_, _, t)| t).sum();
+        let total: f64 = segs
+            .iter()
+            .flat_map(|s| s.rzz_static.iter())
+            .map(|(_, _, t)| t)
+            .sum();
         assert!(total.abs() > 1e-9);
     }
 
@@ -459,7 +491,9 @@ mod more_tests {
         qc.measure(0, 0).gate_if(ca_circuit::Gate::X, [1], 0, true);
         let sc = schedule_asap(&qc, GateDurations::default());
         let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
-        let has_driven_q1 = segs.iter().any(|s| matches!(s.activity[1], Activity::Driven1Q { .. }));
+        let has_driven_q1 = segs
+            .iter()
+            .any(|s| matches!(s.activity[1], Activity::Driven1Q { .. }));
         assert!(has_driven_q1);
     }
 }

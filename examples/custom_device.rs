@@ -15,7 +15,12 @@ fn main() {
     // qubits 1 and 3 (mediated by 2).
     let topo = Topology::line(5);
     let mut cal = Calibration::uniform(5, &topo.edges, 70.0);
-    cal.nnn.push(context_aware_compiling::device::NnnTerm { i: 1, j: 2, k: 3, zz_khz: 9.0 });
+    cal.nnn.push(context_aware_compiling::device::NnnTerm {
+        i: 1,
+        j: 2,
+        k: 3,
+        zz_khz: 9.0,
+    });
     cal.stark_khz.insert((0, 1), 22.0);
     let device = Device::new("custom", topo, cal);
 
@@ -40,7 +45,10 @@ fn main() {
     println!();
     println!("CA-DD joint idle windows and Walsh colors:");
     for (w, colors) in windows.iter().zip(coloring.assignments.iter()) {
-        println!("  [{:>7.0}, {:>7.0}] ns  qubits {:?}  colors {:?}", w.t0, w.t1, w.qubits, colors);
+        println!(
+            "  [{:>7.0}, {:>7.0}] ns  qubits {:?}  colors {:?}",
+            w.t0, w.t1, w.qubits, colors
+        );
     }
 
     let mut rng = StdRng::seed_from_u64(3);

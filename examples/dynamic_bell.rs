@@ -9,7 +9,11 @@ use context_aware_compiling::experiments::dynamic;
 use context_aware_compiling::experiments::Budget;
 
 fn main() {
-    let budget = Budget { trajectories: 120, instances: 2, seed: 5 };
+    let budget = Budget {
+        trajectories: 120,
+        instances: 2,
+        seed: 5,
+    };
     let taus: Vec<f64> = (1..=12).map(|k| k as f64 * 700.0).collect();
     let fig = dynamic::fig9(&taus, &budget);
     fig.print();

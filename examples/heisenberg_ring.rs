@@ -9,11 +9,18 @@ use context_aware_compiling::experiments::Budget;
 
 fn main() {
     let depths: Vec<usize> = (0..=6).collect();
-    let budget = Budget { trajectories: 48, instances: 4, seed: 11 };
+    let budget = Budget {
+        trajectories: 48,
+        instances: 4,
+        seed: 11,
+    };
     let result = heisenberg::fig7(&depths, &budget);
     result.figure.print();
     println!();
-    println!("Estimated sampling overhead at d = {} (lower is better):", depths.last().unwrap());
+    println!(
+        "Estimated sampling overhead at d = {} (lower is better):",
+        depths.last().unwrap()
+    );
     for (label, o) in &result.overhead {
         println!("  {label:>16}: {o:.2}");
     }

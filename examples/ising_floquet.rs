@@ -9,7 +9,11 @@ use context_aware_compiling::experiments::Budget;
 
 fn main() {
     let depths: Vec<usize> = (0..=8).collect();
-    let budget = Budget { trajectories: 60, instances: 4, seed: 11 };
+    let budget = Budget {
+        trajectories: 60,
+        instances: 4,
+        seed: 11,
+    };
     let fig = ising::fig6(&depths, &budget);
     fig.print();
     println!();

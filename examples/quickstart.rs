@@ -26,7 +26,10 @@ fn main() {
 
     let sim = Simulator::with_config(
         device.clone(),
-        NoiseConfig { readout_error: false, ..NoiseConfig::default() },
+        NoiseConfig {
+            readout_error: false,
+            ..NoiseConfig::default()
+        },
     );
     // Fidelity of the idle register returning to |00⟩.
     let observables: Vec<PauliString> = ["IIII", "IIZI", "IIIZ", "IIZZ"]

@@ -46,17 +46,18 @@ pub use ca_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ca_circuit::{
-        schedule_asap, stratify, Circuit, Gate, GateDurations, Pauli, PauliString,
-        ScheduledCircuit,
+        schedule_asap, stratify, Circuit, Gate, GateDurations, Pauli, PauliString, ScheduledCircuit,
     };
     pub use ca_core::{
         ca_dd, ca_ec, compile, pauli_twirl, CaDdConfig, CaEcConfig, CompileOptions, Context,
         PassManager, Strategy,
     };
     pub use ca_device::{
-        nazca_like, uniform_device, Calibration, Device, NoiseProfile, Topology,
+        eagle_like, nazca_like, uniform_device, Calibration, Device, NoiseProfile, Topology,
     };
     pub use ca_experiments::{Budget, Figure, Series};
     pub use ca_metrics::{fit_decay, gamma_from_layer_fidelity, DecayFit};
-    pub use ca_sim::{NoiseConfig, RunResult, Simulator, State};
+    pub use ca_sim::{
+        Engine, NoiseConfig, RunResult, SimEngine, Simulator, StabilizerEngine, State, Tableau,
+    };
 }

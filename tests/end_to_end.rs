@@ -23,7 +23,11 @@ fn idle_pair_fidelity(device: &Device, noise: &NoiseConfig, strategy: Strategy, 
         .collect();
     let mut total = 0.0;
     for inst in 0..4u64 {
-        let compiled = compile(&workload(), device, &CompileOptions::new(strategy, seed + inst));
+        let compiled = compile(
+            &workload(),
+            device,
+            &CompileOptions::new(strategy, seed + inst),
+        );
         let vals = sim.expect_paulis(&compiled, &obs, 30, seed ^ inst.wrapping_mul(977));
         total += vals.iter().sum::<f64>() / vals.len() as f64;
     }
@@ -60,7 +64,11 @@ fn context_aware_strategies_beat_bare_under_coherent_noise() {
             "{}: {f} must clearly beat bare {bare}",
             strategy.label()
         );
-        assert!(f > 0.9, "{}: {f} should nearly eliminate coherent error", strategy.label());
+        assert!(
+            f > 0.9,
+            "{}: {f} should nearly eliminate coherent error",
+            strategy.label()
+        );
     }
 }
 
@@ -72,9 +80,17 @@ fn compiled_schedules_are_well_formed() {
         // Items sorted by start time and inside the schedule span.
         let mut last = 0.0;
         for item in &sc.items {
-            assert!(item.t0 >= last - 1e-9, "{}: unsorted items", strategy.label());
+            assert!(
+                item.t0 >= last - 1e-9,
+                "{}: unsorted items",
+                strategy.label()
+            );
             last = item.t0;
-            assert!(item.t1() <= sc.duration + 1e-6, "{}: item beyond span", strategy.label());
+            assert!(
+                item.t1() <= sc.duration + 1e-6,
+                "{}: item beyond span",
+                strategy.label()
+            );
         }
         // No two non-virtual items overlap on the same qubit.
         for q in 0..4 {
@@ -108,10 +124,18 @@ fn device_snapshot_roundtrips_through_json() {
     let restored = Device::from_json(&json).unwrap();
     assert_eq!(device, restored);
     // And the restored device compiles identically.
-    let a = compile(&workload(), &device, &CompileOptions::new(Strategy::CaDd, 7));
+    let a = compile(
+        &workload(),
+        &device,
+        &CompileOptions::new(Strategy::CaDd, 7),
+    );
     let mut qc4 = workload();
     qc4.num_qubits = 4;
-    let b = compile(&workload(), &restored, &CompileOptions::new(Strategy::CaDd, 7));
+    let b = compile(
+        &workload(),
+        &restored,
+        &CompileOptions::new(Strategy::CaDd, 7),
+    );
     assert_eq!(a.items.len(), b.items.len());
     let _ = qc4;
 }

@@ -1,0 +1,205 @@
+//! Cross-backend equivalence: random Clifford circuits on ≤ 8 qubits
+//! must give statistically matching outcome distributions on the
+//! stabilizer and statevector engines — noiseless, and with
+//! Pauli-twirled (depolarizing + readout) noise, where both engines
+//! implement the *same* stochastic channels and should agree up to
+//! shot noise.
+//!
+//! Coherent noise terms are intentionally excluded here: the dense
+//! engine treats them exactly while the stabilizer engine applies
+//! their Pauli twirl, so they agree in distribution only after twirl
+//! averaging (covered by the targeted tests in `ca-sim`).
+
+use context_aware_compiling::prelude::*;
+use proptest::prelude::*;
+// Explicit import so `Strategy` means proptest's trait (the compile
+// Strategy enum is referenced by path below).
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn arb_clifford_1q() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::Sx),
+        (1..4usize).prop_map(|k| Gate::Rz(k as f64 * std::f64::consts::FRAC_PI_2)),
+    ]
+}
+
+/// A random Clifford circuit on `n` qubits: 1q Cliffords, ECR/CX/CZ
+/// on neighbouring pairs, delays, and a full measurement round.
+fn arb_clifford_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    let instr = prop_oneof![
+        (arb_clifford_1q(), 0..n).prop_map(|(g, q)| (g, q, usize::MAX)),
+        (0..n - 1).prop_map(|q| (Gate::Ecr, q, q + 1)),
+        (0..n - 1).prop_map(|q| (Gate::Cx, q, q + 1)),
+        (0..n - 1).prop_map(|q| (Gate::Cz, q, q + 1)),
+        ((300.0f64..1500.0), 0..n).prop_map(|(d, q)| (Gate::Delay(d), q, usize::MAX)),
+    ];
+    proptest::collection::vec(instr, 4..28).prop_map(move |items| {
+        let mut qc = Circuit::new(n, n);
+        for (g, a, b) in items {
+            if b == usize::MAX {
+                qc.append(g, [a]);
+            } else {
+                qc.append(g, [a, b]);
+            }
+        }
+        for q in 0..n {
+            qc.measure(q, q);
+        }
+        qc
+    })
+}
+
+/// Total variation distance between two outcome distributions.
+fn tvd(a: &RunResult, b: &RunResult) -> f64 {
+    let keys: std::collections::BTreeSet<u64> =
+        a.counts.keys().chain(b.counts.keys()).copied().collect();
+    keys.iter()
+        .map(|k| (a.probability(*k) - b.probability(*k)).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+fn run_both(qc: &Circuit, noise: NoiseConfig, shots: usize, seed: u64) -> (RunResult, RunResult) {
+    let device = uniform_device(Topology::line(qc.num_qubits), 0.0);
+    let sc = schedule_asap(qc, GateDurations::default());
+    let dense = Simulator::with_engine(device.clone(), noise, Engine::Statevector);
+    let stab = Simulator::with_engine(device, noise, Engine::Stabilizer);
+    (
+        dense.run_counts(&sc, shots, seed),
+        stab.run_counts(&sc, shots, seed + 1),
+    )
+}
+
+/// Expected TVD between two empirical distributions of `shots`
+/// samples each is bounded by ~√(K/shots); this threshold gives wide
+/// margin while still catching real disagreements.
+fn tvd_threshold(shots: usize, outcomes: usize) -> f64 {
+    2.5 * ((outcomes.max(2) as f64) / shots as f64).sqrt() + 0.02
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn noiseless_distributions_match(qc in arb_clifford_circuit(5), case_seed in 0u64..1000) {
+        let shots = 1200;
+        let (d, s) = run_both(&qc, NoiseConfig::ideal(), shots, 31 + case_seed);
+        let outcomes = d.counts.len().max(s.counts.len());
+        let t = tvd(&d, &s);
+        prop_assert!(
+            t < tvd_threshold(shots, outcomes),
+            "noiseless TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
+        );
+    }
+
+    #[test]
+    fn pauli_noise_distributions_match(qc in arb_clifford_circuit(4), case_seed in 0u64..1000) {
+        // Depolarizing gate error + readout error: both engines
+        // implement identical stochastic channels.
+        let noise = NoiseConfig {
+            gate_error: true,
+            readout_error: true,
+            ..NoiseConfig::ideal()
+        };
+        let shots = 1500;
+        let (d, s) = run_both(&qc, noise, shots, 7 + case_seed);
+        let outcomes = d.counts.len().max(s.counts.len());
+        let t = tvd(&d, &s);
+        prop_assert!(
+            t < tvd_threshold(shots, outcomes),
+            "noisy TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
+        );
+    }
+}
+
+#[test]
+fn expectations_match_on_random_clifford_circuits() {
+    // Noiseless expectation values are exact on both engines: the
+    // stabilizer result must equal the dense result to numerical
+    // precision on every random circuit.
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..25 {
+        let n = 2 + (trial % 5);
+        let mut qc = Circuit::new(n, 0);
+        for _ in 0..18 {
+            match rng.random_range(0..3usize) {
+                0 => {
+                    let g =
+                        [Gate::H, Gate::S, Gate::Sx, Gate::X, Gate::Y][rng.random_range(0..5usize)];
+                    qc.append(g, [rng.random_range(0..n)]);
+                }
+                1 => {
+                    if n >= 2 {
+                        let a = rng.random_range(0..n - 1);
+                        qc.ecr(a, a + 1);
+                    }
+                }
+                _ => {
+                    let a = rng.random_range(0..n);
+                    qc.delay(500.0, a);
+                }
+            }
+        }
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let device = uniform_device(Topology::line(n), 0.0);
+        let dense =
+            Simulator::with_engine(device.clone(), NoiseConfig::ideal(), Engine::Statevector);
+        let stab = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::Stabilizer);
+        for _ in 0..4 {
+            let p = PauliString::new(
+                (0..n)
+                    .map(|_| ca_circuit::Pauli::from_index(rng.random_range(0..4usize)))
+                    .collect(),
+            );
+            let ed = dense.expect_pauli(&sc, &p, 1, 5);
+            let es = stab.expect_pauli(&sc, &p, 8, 5);
+            assert!(
+                (ed - es).abs() < 1e-9,
+                "trial {trial}: ⟨{p}⟩ dense {ed} vs stabilizer {es} for {qc:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn twirled_compilation_agrees_across_engines() {
+    // A twirled, DD-compiled Clifford workload: the full compile
+    // pipeline output must stay Clifford and both engines must agree
+    // on the ideal-noise distribution.
+    let device = uniform_device(Topology::line(5), 40.0);
+    let mut qc = Circuit::new(5, 5);
+    qc.h(0).ecr(0, 1).ecr(2, 3).sx(4);
+    qc.barrier(Vec::<usize>::new());
+    qc.ecr(1, 2).ecr(3, 4);
+    for q in 0..5 {
+        qc.measure(q, q);
+    }
+    let sc = compile(
+        &qc,
+        &device,
+        &CompileOptions::new(ca_core::Strategy::CaDd, 13),
+    );
+    assert!(
+        ca_sim::stabilizer_supports(&sc),
+        "compiled circuit stays Clifford"
+    );
+    let dense = Simulator::with_engine(device.clone(), NoiseConfig::ideal(), Engine::Statevector);
+    let stab = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::Stabilizer);
+    let shots = 1500;
+    let d = dense.run_counts(&sc, shots, 3);
+    let s = stab.run_counts(&sc, shots, 4);
+    let outcomes = d.counts.len().max(s.counts.len());
+    let t = tvd(&d, &s);
+    assert!(
+        t < tvd_threshold(shots, outcomes),
+        "TVD {t:.4} with {outcomes} outcomes"
+    );
+}

@@ -75,7 +75,10 @@ fn walsh_pairs_cancel_zz_iff_distinct() {
     let sim = Simulator::with_config(device.clone(), NoiseConfig::coherent_only());
     let tau = 8000.0;
     // Use zero-width pulses for algebraic exactness.
-    let durations = GateDurations { one_qubit: 0.0, ..GateDurations::default() };
+    let durations = GateDurations {
+        one_qubit: 0.0,
+        ..GateDurations::default()
+    };
     for k0 in 1..=4usize {
         for k1 in 1..=4usize {
             let mut qc = Circuit::new(2, 0);
@@ -153,7 +156,11 @@ fn stark_phase_matches_calibration() {
     let sc = schedule_asap(&qc, device.durations());
     let theta = phase_rad(30.0, n as f64 * device.durations().one_qubit);
     let x0 = sim.expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1);
-    assert!((x0 - theta.cos()).abs() < 1e-9, "⟨X₀⟩ {x0} vs {}", theta.cos());
+    assert!(
+        (x0 - theta.cos()).abs() < 1e-9,
+        "⟨X₀⟩ {x0} vs {}",
+        theta.cos()
+    );
 }
 
 #[test]
@@ -162,7 +169,10 @@ fn charge_parity_average_is_cosine_product() {
     // the two parities.
     let mut device = uniform_device(Topology::line(1), 0.0);
     device.calibration.qubits[0].charge_parity_khz = 40.0;
-    let cfg = NoiseConfig { charge_parity: true, ..NoiseConfig::ideal() };
+    let cfg = NoiseConfig {
+        charge_parity: true,
+        ..NoiseConfig::ideal()
+    };
     let sim = Simulator::with_config(device.clone(), cfg);
     let tau = 6000.0;
     let mut qc = Circuit::new(1, 0);

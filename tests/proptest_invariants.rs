@@ -19,8 +19,11 @@ fn arb_1q_gate() -> impl Strategy<Value = Gate> {
         Just(Gate::Sx),
         (-3.0f64..3.0).prop_map(Gate::Rz),
         (-3.0f64..3.0).prop_map(Gate::Rx),
-        ((-3.0f64..3.0), (-3.0f64..3.0), (-3.0f64..3.0))
-            .prop_map(|(theta, phi, lam)| Gate::U { theta, phi, lam }),
+        ((-3.0f64..3.0), (-3.0f64..3.0), (-3.0f64..3.0)).prop_map(|(theta, phi, lam)| Gate::U {
+            theta,
+            phi,
+            lam
+        }),
     ]
 }
 
