@@ -66,7 +66,9 @@ fn walsh_escalation() {
             });
             let mut ctx = ca_core::Context::new(&pm_dev, seed);
             let sc = pm.compile(&qc, &mut ctx);
-            let vals = sim.expect_paulis(&sc, &obs, budget.trajectories, seed ^ 0x33);
+            let vals = sim
+                .expect_paulis(&sc, &obs, budget.trajectories, seed ^ 0x33)
+                .expect("simulate");
             acc += all_zeros_fidelity(&vals);
         }
         acc / budget.instances as f64

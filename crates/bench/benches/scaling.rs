@@ -1,18 +1,27 @@
-//! Engine scaling sweep: qubit count 10 → 127 across both engines.
+//! Engine scaling sweep: qubit count 10 → 127 across all engines.
 //!
 //! Runs a DD-compiled Clifford layer circuit at increasing device
-//! sizes on the statevector engine (while it remains feasible) and
-//! the stabilizer engine (to full device scale), prints the
-//! wall-clock table, and emits a machine-readable `BENCH_scaling.json`
-//! at the repository root so the performance trajectory is recorded
-//! across PRs.
+//! sizes on the statevector engine (while it remains feasible), the
+//! serial stabilizer engine, and the bit-parallel frame-batch engine
+//! (to full device scale), prints the wall-clock table, and emits a
+//! machine-readable `BENCH_scaling.json` at the repository root so
+//! the performance trajectory is recorded across PRs.
+//!
+//! The serial and batch engines are seeded identically, so beyond the
+//! timing rows this bench asserts their 127-qubit counts are
+//! bit-identical — the batch speedup is free of any statistical
+//! caveat.
+//!
+//! Pass `--smoke` for the CI-sized run: a reduced sweep at a small
+//! shot count that still exercises the batch-vs-serial identity and
+//! the 127-qubit experiment, without touching `BENCH_scaling.json`.
 
 use ca_circuit::Circuit;
 use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::{uniform_device, Topology};
 use ca_experiments::large_scale;
 use ca_experiments::Budget;
-use ca_sim::{Engine, NoiseConfig, Simulator};
+use ca_sim::{Engine, NoiseConfig, RunResult, Simulator};
 use serde::{Serialize, Value};
 use std::time::Instant;
 
@@ -64,7 +73,7 @@ fn workload(n: usize, seed: u64) -> ca_circuit::ScheduledCircuit {
     pm.compile(&qc, &mut ctx)
 }
 
-fn time_run(engine: Engine, n: usize) -> Row {
+fn time_run(engine: Engine, n: usize, shots: usize) -> (Row, RunResult) {
     let device = uniform_device(Topology::line(n), 60.0);
     let sc = workload(n, 7);
     let sim = Simulator::with_engine(
@@ -75,25 +84,37 @@ fn time_run(engine: Engine, n: usize) -> Row {
         },
         engine,
     );
-    let name = sim.engine_name_for(&sc);
+    let name = sim.engine_name_for(&sc).expect("resolve engine");
     let start = Instant::now();
-    let res = sim.run_counts(&sc, SHOTS, 11);
+    let res = sim.run_counts(&sc, shots, 11).expect("simulate");
     let seconds = start.elapsed().as_secs_f64();
-    assert_eq!(res.shots, SHOTS);
-    Row {
-        engine: name,
-        qubits: n,
-        shots: SHOTS,
-        seconds,
-        shots_per_s: SHOTS as f64 / seconds.max(1e-9),
-    }
+    assert_eq!(res.shots, shots);
+    (
+        Row {
+            engine: name,
+            qubits: n,
+            shots,
+            seconds,
+            shots_per_s: shots as f64 / seconds.max(1e-9),
+        },
+        res,
+    )
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>12} {:>7} {:>7} {:>10.3} {:>12.0}",
+        r.engine, r.qubits, r.shots, r.seconds, r.shots_per_s
+    );
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shots = if smoke { 192 } else { SHOTS };
     ca_bench::header(
         "scaling",
-        "stabilizer engine opens the 100+ qubit regime the paper's devices live in; \
-         dense engine caps out near 20 qubits",
+        "frame-batch engine packs 64 shots per word on top of the stabilizer \
+         engine's 100+ qubit reach; dense engine caps out near 20 qubits",
     );
     let mut rows: Vec<Row> = Vec::new();
     println!(
@@ -103,34 +124,55 @@ fn main() {
     // The dense sweep is capped at 14 qubits to keep routine bench
     // runs short — at 18 qubits it already needs ~10 minutes for
     // 1000 shots (the recorded BENCH_scaling.json has that point).
-    for &n in &[10usize, 12, 14] {
-        let r = time_run(Engine::Statevector, n);
-        println!(
-            "{:>12} {:>7} {:>7} {:>10.3} {:>12.0}",
-            r.engine, r.qubits, r.shots, r.seconds, r.shots_per_s
-        );
-        rows.push(r);
+    if !smoke {
+        for &n in &[10usize, 12, 14] {
+            let (r, _) = time_run(Engine::Statevector, n, shots);
+            print_row(&r);
+            rows.push(r);
+        }
     }
-    for &n in &[10usize, 14, 18, 28, 44, 64, 96, 127] {
-        let r = time_run(Engine::Stabilizer, n);
-        println!(
-            "{:>12} {:>7} {:>7} {:>10.3} {:>12.0}",
-            r.engine, r.qubits, r.shots, r.seconds, r.shots_per_s
-        );
+    let frame_sizes: &[usize] = if smoke {
+        &[18, 127]
+    } else {
+        &[10, 14, 18, 28, 44, 64, 96, 127]
+    };
+    let mut serial_127 = None;
+    let mut batch_127 = None;
+    for &n in frame_sizes {
+        let (r, serial_counts) = time_run(Engine::Stabilizer, n, shots);
+        print_row(&r);
+        let serial_s = r.seconds;
         rows.push(r);
+        let (r, batch_counts) = time_run(Engine::FrameBatch, n, shots);
+        print_row(&r);
+        let batch_s = r.seconds;
+        rows.push(r);
+        // Same seed ⇒ the two frame engines must agree bit-for-bit.
+        assert_eq!(
+            serial_counts, batch_counts,
+            "frame-batch counts diverge from serial at {n} qubits"
+        );
+        if n == 127 {
+            serial_127 = Some(serial_s);
+            batch_127 = Some(batch_s);
+        }
     }
+    let speedup_127 = serial_127.unwrap() / batch_127.unwrap().max(1e-9);
+    println!("  frame-batch vs serial at 127q: {speedup_127:.1}x (bit-identical counts)");
 
     // The acceptance-scale experiment: 127-qubit heavy-hex
-    // layer-fidelity/DD comparison, 1000 shots per expectation.
+    // layer-fidelity/DD comparison (runs on the frame-batch engine
+    // via `Engine::Auto`).
     println!();
-    println!("-- 127-qubit heavy-hex layer-fidelity/DD (1000 shots) --");
+    println!("-- 127-qubit heavy-hex layer-fidelity/DD ({shots} shots) --");
     let budget = Budget {
-        trajectories: 1000,
+        trajectories: shots,
         instances: 1,
         seed: 11,
     };
+    let depths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let start = Instant::now();
-    let (fig, results) = large_scale::fig_large_scale(&[1, 2, 4, 8], &budget);
+    let (fig, results) = large_scale::fig_large_scale(depths, &budget);
     let total = start.elapsed().as_secs_f64();
     fig.print();
     for r in &results {
@@ -138,12 +180,18 @@ fn main() {
             "  {:>12}: LF {:.4} gamma {:.3} [{} engine, {:.2}s]",
             r.label, r.lf, r.gamma, r.engine, r.wall_s
         );
+        assert_eq!(r.engine, "frame-batch", "Auto must pick the batch engine");
     }
     println!("  total wall time: {total:.2}s (acceptance budget: 10s)");
 
+    if smoke {
+        println!("  smoke run: BENCH_scaling.json left untouched");
+        return;
+    }
+
     let experiment = Value::Obj(vec![
-        ("depths".into(), vec![1usize, 2, 4, 8].to_value()),
-        ("shots".into(), 1000usize.to_value()),
+        ("depths".into(), depths.to_vec().to_value()),
+        ("shots".into(), shots.to_value()),
         ("total_seconds".into(), total.to_value()),
         (
             "strategies".into(),
@@ -170,6 +218,7 @@ fn main() {
             "rows".into(),
             Value::Arr(rows.iter().map(Row::to_value).collect()),
         ),
+        ("batch_speedup_127q".into(), speedup_127.to_value()),
         ("large_scale_127q".into(), experiment),
     ]);
     let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");

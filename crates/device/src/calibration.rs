@@ -37,7 +37,9 @@ pub mod pair_map {
 }
 
 /// Converts a rate ν (kHz) acting for τ (ns) into an accumulated phase
-/// angle in radians: `θ = 2π·ν·τ`.
+/// angle in radians: `θ = 2π·ν·τ`. `#[inline]` because it sits on the
+/// per-lane flush path of the frame engines (cross-crate).
+#[inline]
 pub fn phase_rad(nu_khz: f64, tau_ns: f64) -> f64 {
     2.0 * std::f64::consts::PI * nu_khz * 1e3 * tau_ns * 1e-9
 }

@@ -40,7 +40,10 @@ pub fn measure_zz_khz(device: &Device, a: usize, b: usize, trajectories: usize) 
             qc.delay(t, b);
         }
         let sc = schedule_asap(&qc, device.durations());
-        ys.push(sim.expect_pauli(&sc, &x_obs, trajectories, 7 + k as u64));
+        ys.push(
+            sim.expect_pauli(&sc, &x_obs, trajectories, 7 + k as u64)
+                .expect("simulate"),
+        );
         ts_ms.push(t * 1e-6);
     }
     peak_frequency(&ts_ms, &ys, 5.0, 300.0, 1200) / 2.0
@@ -76,7 +79,10 @@ pub fn measure_stark_khz(
             qc.x(driven);
         }
         let sc = schedule_asap(&qc, device.durations());
-        ys.push(sim.expect_pauli(&sc, &x_obs, trajectories, 13 + k as u64));
+        ys.push(
+            sim.expect_pauli(&sc, &x_obs, trajectories, 13 + k as u64)
+                .expect("simulate"),
+        );
         ts_ms.push(t * 1e-6);
     }
     peak_frequency(&ts_ms, &ys, 1.0, 80.0, 1000)

@@ -64,12 +64,14 @@ pub fn bell_fidelity(device: &Device, tau_est_ns: f64, budget: &Budget) -> f64 {
     let qc = bell_circuit(device, tau_est_ns);
     let sc = ca_circuit::schedule_asap(&qc, device.durations());
     let obs = all_zeros_fidelity_observables(3, &[1, 2]);
-    let vals = sim.expect_paulis(
-        &sc,
-        &obs,
-        budget.trajectories * budget.instances,
-        budget.seed,
-    );
+    let vals = sim
+        .expect_paulis(
+            &sc,
+            &obs,
+            budget.trajectories * budget.instances,
+            budget.seed,
+        )
+        .expect("simulate");
     all_zeros_fidelity(&vals)
 }
 
@@ -115,7 +117,7 @@ mod tests {
         let qc = bell_circuit(&device, 0.0);
         let sc = ca_circuit::schedule_asap(&qc, device.durations());
         let obs = all_zeros_fidelity_observables(3, &[1, 2]);
-        let vals = sim.expect_paulis(&sc, &obs, 40, 3);
+        let vals = sim.expect_paulis(&sc, &obs, 40, 3).expect("simulate");
         let f = all_zeros_fidelity(&vals);
         assert!((f - 1.0).abs() < 1e-9, "ideal Bell fidelity {f}");
     }

@@ -168,7 +168,9 @@ pub fn measure_layer_fidelity(
                     let pm = pipeline(&opts);
                     let mut ctx = Context::new(device, seed);
                     let sc = pm.compile(&circuit, &mut ctx);
-                    acc += sim.expect_pauli(&sc, &target, budget.trajectories, seed ^ 0x77);
+                    acc += sim
+                        .expect_pauli(&sc, &target, budget.trajectories, seed ^ 0x77)
+                        .expect("simulate");
                 }
                 xs.push(d as f64);
                 ys.push(acc / budget.instances as f64);
@@ -293,7 +295,7 @@ mod tests {
             let pm = pipeline(&opts);
             let mut ctx = Context::new(&device, 3);
             let sc = pm.compile(&circuit, &mut ctx);
-            sim.expect_pauli(&sc, &target, 1, 9)
+            sim.expect_pauli(&sc, &target, 1, 9).expect("simulate")
         };
         assert!((lf - 1.0).abs() < 1e-9, "ideal expectation {lf}");
     }

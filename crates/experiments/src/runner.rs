@@ -75,7 +75,9 @@ pub fn averaged_expectations_with(
         let pm = make_pipeline(seed);
         let mut ctx = Context::new(device, seed);
         let sc = pm.compile(circuit, &mut ctx);
-        let vals = sim.expect_paulis(&sc, observables, budget.trajectories, seed ^ 0xABCD);
+        let vals = sim
+            .expect_paulis(&sc, observables, budget.trajectories, seed ^ 0xABCD)
+            .expect("simulate");
         for (a, v) in acc.iter_mut().zip(vals.iter()) {
             *a += v;
         }

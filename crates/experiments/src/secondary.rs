@@ -56,12 +56,18 @@ pub fn stark_spectroscopy(budget: &Budget) -> StarkResult {
             qc.x(1);
         }
         let sc = ca_circuit::schedule_asap(&qc, dev.durations());
-        driven.push(sim.expect_pauli(&sc, &x0, budget.trajectories.max(1), budget.seed));
+        driven.push(
+            sim.expect_pauli(&sc, &x0, budget.trajectories.max(1), budget.seed)
+                .expect("simulate"),
+        );
         // Idle: same wall time with nothing on the neighbour.
         let mut qi = Circuit::new(2, 0);
         qi.h(0).delay(t, 1);
         let sci = ca_circuit::schedule_asap(&qi, dev.durations());
-        idle.push(sim.expect_pauli(&sci, &x0, budget.trajectories.max(1), budget.seed));
+        idle.push(
+            sim.expect_pauli(&sci, &x0, budget.trajectories.max(1), budget.seed)
+                .expect("simulate"),
+        );
         ts_ms.push(t * 1e-6); // ns → ms so frequencies read in kHz
     }
     let driven_peak = peak_frequency(&ts_ms, &driven, 1.0, 60.0, 600);
@@ -114,7 +120,10 @@ pub fn charge_parity_beating(budget: &Budget) -> ChargeParityResult {
         qc.rz(2.0 * std::f64::consts::PI * known * 1e3 * t * 1e-9, 0);
         let sc = ca_circuit::schedule_asap(&qc, dev.durations());
         // Average over many parity samples.
-        ys.push(sim.expect_pauli(&sc, &x, (budget.trajectories * 8).max(64), budget.seed));
+        ys.push(
+            sim.expect_pauli(&sc, &x, (budget.trajectories * 8).max(64), budget.seed)
+                .expect("simulate"),
+        );
         ts_ms.push(t * 1e-6);
     }
     let (center, half_split) = beat_frequencies(&ts_ms, &ys, 40.0, 160.0, 1200);

@@ -1,26 +1,39 @@
-//! The engine abstraction: shot execution behind a trait, with two
-//! implementations and an auto-selection policy.
+//! The engine abstraction: shot execution behind a trait, with three
+//! implementations and an auto-selection policy. Dispatch is
+//! panic-free: every entry point validates the circuit up front and
+//! returns a structured [`SimError`] instead of crashing.
 //!
 //! * [`StatevectorEngine`] — the dense trajectory executor: exact for
 //!   every gate and for coherent context-dependent noise, but
 //!   exponential in qubits (hard cap 24).
-//! * [`crate::StabilizerEngine`] — CHP tableau + Pauli frames: linear
-//!   scaling to hundreds of qubits for Clifford circuits, with
-//!   coherent noise mapped to its Pauli twirl at layer boundaries.
+//! * [`crate::StabilizerEngine`] — CHP tableau + serial Pauli frames:
+//!   linear scaling for Clifford circuits, one frame per shot. The
+//!   reference implementation for the frame model.
+//! * [`crate::BatchedFrameEngine`] — the same frame model propagated
+//!   64 shots per machine word with bit-identical seeded counts;
+//!   the engine the large-scale workloads run on.
 //!
 //! ## Selection rules (`Engine::Auto`, the default)
 //!
 //! 1. Non-Clifford circuit, feed-forward, or anything else the
-//!    tableau cannot represent → statevector.
+//!    tableau cannot represent → statevector, **if** it fits the
+//!    dense cap; otherwise no engine supports the circuit and
+//!    dispatch returns [`SimError::NoSupportingEngine`] naming both
+//!    constraints.
 //! 2. Clifford circuit on more than [`AUTO_DENSE_MAX_QUBITS`] qubits
-//!    → stabilizer (the dense engine would be infeasible).
+//!    → the batched frame engine (the dense engine would be
+//!    infeasible; the serial frame engine would leave a ~64× factor
+//!    on the table).
 //! 3. Clifford circuit that the dense engine *can* afford →
 //!    statevector, because it treats coherent crosstalk exactly where
-//!    the tableau engine applies the twirl approximation. Force
-//!    `Engine::Stabilizer` to study the twirled model at small sizes.
+//!    the frame engines apply the twirl approximation. Force
+//!    `Engine::FrameBatch`/`Engine::Stabilizer` to study the twirled
+//!    model at small sizes.
 
+use crate::error::SimError;
 use crate::executor::Simulator;
-use crate::pauli_frame::{stabilizer_supports, StabilizerEngine};
+use crate::frame_batch::BatchedFrameEngine;
+use crate::pauli_frame::{stabilizer_check, stabilizer_supports, StabilizerEngine};
 use crate::result::RunResult;
 use ca_circuit::{PauliString, ScheduledCircuit};
 
@@ -41,21 +54,58 @@ pub enum Engine {
     Auto,
     /// Always the dense statevector engine.
     Statevector,
-    /// Always the stabilizer/Pauli-frame engine (panics on
+    /// Always the serial stabilizer/Pauli-frame engine (errors on
     /// non-Clifford circuits).
     Stabilizer,
+    /// Always the bit-parallel batched frame engine: 64 shots per
+    /// word, bit-identical seeded counts to [`Engine::Stabilizer`]
+    /// (errors on non-Clifford circuits).
+    FrameBatch,
 }
 
-/// Shot execution abstracted over backends.
+/// Validates that every instruction's operand list matches its gate's
+/// declared arity. Shared pre-flight for all engines: the simulators'
+/// inner loops assume 1- and 2-qubit operand lists and must never see
+/// a malformed instruction (constructible in release builds, where
+/// the circuit builder's debug assertion is compiled out).
+pub fn check_gate_arities(sc: &ScheduledCircuit) -> Result<(), SimError> {
+    for si in &sc.items {
+        let gate = si.instruction.gate;
+        let expected = gate.num_qubits();
+        // Barrier is variadic (reports 0); everything else is exact.
+        if expected != 0 && si.instruction.qubits.len() != expected {
+            return Err(SimError::UnsupportedGateArity {
+                gate: gate.name(),
+                expected,
+                got: si.instruction.qubits.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shot execution abstracted over backends. All execution methods
+/// validate the circuit and return [`SimError`] rather than panic.
 pub trait SimEngine {
     /// Engine name for logs and reports.
     fn name(&self) -> &'static str;
 
+    /// `Ok` when this engine can execute the scheduled circuit;
+    /// otherwise the specific constraint it violates.
+    fn validate(&self, sc: &ScheduledCircuit) -> Result<(), SimError>;
+
     /// True when this engine can execute the scheduled circuit.
-    fn supports(&self, sc: &ScheduledCircuit) -> bool;
+    fn supports(&self, sc: &ScheduledCircuit) -> bool {
+        self.validate(sc).is_ok()
+    }
 
     /// Runs `shots` and gathers classical-bit counts.
-    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult;
+    fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError>;
 
     /// Averages quantum Pauli expectations over `shots`.
     fn expect_paulis(
@@ -64,7 +114,7 @@ pub trait SimEngine {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64>;
+    ) -> Result<Vec<f64>, SimError>;
 
     /// Convenience: a single Pauli expectation.
     fn expect_pauli(
@@ -73,8 +123,8 @@ pub trait SimEngine {
         pauli: &PauliString,
         shots: usize,
         seed: u64,
-    ) -> f64 {
-        self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)[0]
+    ) -> Result<f64, SimError> {
+        Ok(self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)?[0])
     }
 }
 
@@ -89,12 +139,25 @@ impl SimEngine for StatevectorEngine<'_> {
         "statevector"
     }
 
-    fn supports(&self, sc: &ScheduledCircuit) -> bool {
-        sc.num_qubits <= DENSE_MAX_QUBITS
+    fn validate(&self, sc: &ScheduledCircuit) -> Result<(), SimError> {
+        check_gate_arities(sc)?;
+        if sc.num_qubits > DENSE_MAX_QUBITS {
+            return Err(SimError::DenseCapExceeded {
+                qubits: sc.num_qubits,
+                max: DENSE_MAX_QUBITS,
+            });
+        }
+        Ok(())
     }
 
-    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
-        self.sim.run_counts_dense(sc, shots, seed)
+    fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
+        self.validate(sc)?;
+        Ok(self.sim.run_counts_dense(sc, shots, seed))
     }
 
     fn expect_paulis(
@@ -103,8 +166,9 @@ impl SimEngine for StatevectorEngine<'_> {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64> {
-        self.sim.expect_paulis_dense(sc, paulis, shots, seed)
+    ) -> Result<Vec<f64>, SimError> {
+        self.validate(sc)?;
+        Ok(self.sim.expect_paulis_dense(sc, paulis, shots, seed))
     }
 }
 
@@ -113,11 +177,16 @@ impl SimEngine for StabilizerEngine<'_> {
         "stabilizer"
     }
 
-    fn supports(&self, sc: &ScheduledCircuit) -> bool {
-        stabilizer_supports(sc)
+    fn validate(&self, sc: &ScheduledCircuit) -> Result<(), SimError> {
+        stabilizer_check(sc)
     }
 
-    fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
+    fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
         StabilizerEngine::run_counts(self, sc, shots, seed)
     }
 
@@ -127,31 +196,82 @@ impl SimEngine for StabilizerEngine<'_> {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, SimError> {
         StabilizerEngine::expect_paulis(self, sc, paulis, shots, seed)
+    }
+}
+
+impl SimEngine for BatchedFrameEngine<'_> {
+    fn name(&self) -> &'static str {
+        "frame-batch"
+    }
+
+    fn validate(&self, sc: &ScheduledCircuit) -> Result<(), SimError> {
+        stabilizer_check(sc)
+    }
+
+    fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
+        BatchedFrameEngine::run_counts(self, sc, shots, seed)
+    }
+
+    fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        BatchedFrameEngine::expect_paulis(self, sc, paulis, shots, seed)
     }
 }
 
 impl Simulator {
     /// Resolves the engine for a circuit according to the simulator's
     /// [`Engine`] setting and the module-level selection rules.
-    pub fn engine_for<'a>(&'a self, sc: &ScheduledCircuit) -> Box<dyn SimEngine + 'a> {
+    ///
+    /// Forced engines always resolve (their execution methods report
+    /// unsupported circuits); `Auto` detects the no-engine case up
+    /// front and returns [`SimError::NoSupportingEngine`] naming both
+    /// the dense qubit cap and the Clifford requirement.
+    pub fn engine_for<'a>(
+        &'a self,
+        sc: &ScheduledCircuit,
+    ) -> Result<Box<dyn SimEngine + 'a>, SimError> {
         match self.engine {
-            Engine::Statevector => Box::new(StatevectorEngine { sim: self }),
-            Engine::Stabilizer => Box::new(StabilizerEngine::new(self)),
+            Engine::Statevector => Ok(Box::new(StatevectorEngine { sim: self })),
+            Engine::Stabilizer => Ok(Box::new(StabilizerEngine::new(self))),
+            Engine::FrameBatch => Ok(Box::new(BatchedFrameEngine::new(self))),
             Engine::Auto => {
-                if stabilizer_supports(sc) && sc.num_qubits > AUTO_DENSE_MAX_QUBITS {
-                    Box::new(StabilizerEngine::new(self))
+                check_gate_arities(sc)?;
+                let clifford = stabilizer_supports(sc);
+                if clifford && sc.num_qubits > AUTO_DENSE_MAX_QUBITS {
+                    Ok(Box::new(BatchedFrameEngine::new(self)))
+                } else if sc.num_qubits <= DENSE_MAX_QUBITS {
+                    Ok(Box::new(StatevectorEngine { sim: self }))
                 } else {
-                    Box::new(StatevectorEngine { sim: self })
+                    let blocking_gate = match stabilizer_check(sc) {
+                        Err(SimError::NotClifford { gate }) => gate,
+                        _ => "unknown",
+                    };
+                    Err(SimError::NoSupportingEngine {
+                        qubits: sc.num_qubits,
+                        dense_max: DENSE_MAX_QUBITS,
+                        blocking_gate,
+                    })
                 }
             }
         }
     }
 
-    /// The engine name `Auto` would resolve to for this circuit.
-    pub fn engine_name_for(&self, sc: &ScheduledCircuit) -> &'static str {
-        self.engine_for(sc).name()
+    /// The engine name [`Self::engine_for`] resolves to for this
+    /// circuit, or the dispatch error.
+    pub fn engine_name_for(&self, sc: &ScheduledCircuit) -> Result<&'static str, SimError> {
+        Ok(self.engine_for(sc)?.name())
     }
 }
 
@@ -159,7 +279,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::noise::NoiseConfig;
-    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_circuit::{schedule_asap, Circuit, Gate, GateDurations};
     use ca_device::{uniform_device, Topology};
 
     fn sched(qc: &Circuit) -> ca_circuit::ScheduledCircuit {
@@ -172,11 +292,11 @@ mod tests {
             Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(2, 0);
         qc.h(0).cx(0, 1);
-        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "statevector");
     }
 
     #[test]
-    fn auto_selects_stabilizer_at_scale() {
+    fn auto_selects_frame_batch_at_scale() {
         let n = 40;
         let sim =
             Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal());
@@ -184,10 +304,39 @@ mod tests {
         for q in 0..n - 1 {
             qc.cx(q, q + 1);
         }
-        assert_eq!(sim.engine_name_for(&sched(&qc)), "stabilizer");
-        // A non-Clifford rotation forces dense even at scale.
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "frame-batch");
+    }
+
+    #[test]
+    fn auto_reports_no_engine_for_wide_non_clifford() {
+        // A non-Clifford rotation above the dense cap: no engine can
+        // run it, and the error must name both constraints.
+        let n = 40;
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(n, 0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
         qc.rz(0.3, 0);
-        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+        let sc = sched(&qc);
+        let err = match sim.engine_for(&sc) {
+            Err(e) => e,
+            Ok(engine) => panic!("expected no-engine error, resolved {}", engine.name()),
+        };
+        assert_eq!(
+            err,
+            SimError::NoSupportingEngine {
+                qubits: n,
+                dense_max: DENSE_MAX_QUBITS,
+                blocking_gate: "rz",
+            }
+        );
+        // The sampling APIs surface the same error instead of failing
+        // deep inside the dense executor at run time.
+        assert_eq!(sim.run_counts(&sc, 10, 1).unwrap_err(), err);
+        let z = ca_circuit::PauliString::identity(n);
+        assert_eq!(sim.expect_paulis(&sc, &[z], 10, 1).unwrap_err(), err);
     }
 
     #[test]
@@ -197,25 +346,50 @@ mod tests {
         let mut qc = Circuit::new(2, 0);
         qc.h(0).cx(0, 1);
         sim.engine = Engine::Stabilizer;
-        assert_eq!(sim.engine_name_for(&sched(&qc)), "stabilizer");
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "stabilizer");
         sim.engine = Engine::Statevector;
-        assert_eq!(sim.engine_name_for(&sched(&qc)), "statevector");
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "statevector");
+        sim.engine = Engine::FrameBatch;
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "frame-batch");
     }
 
     #[test]
-    fn both_engines_agree_on_ideal_bell() {
+    fn all_engines_agree_on_ideal_bell() {
         let dev = uniform_device(Topology::line(2), 0.0);
         let sim = Simulator::with_config(dev, NoiseConfig::ideal());
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
         let sc = sched(&qc);
-        for engine in [Engine::Statevector, Engine::Stabilizer] {
+        for engine in [Engine::Statevector, Engine::Stabilizer, Engine::FrameBatch] {
             let mut s = sim.clone();
             s.engine = engine;
-            let res = s.run_counts(&sc, 1000, 7);
+            let res = s.run_counts(&sc, 1000, 7).unwrap();
             let p00 = res.probability(0b00);
             assert!((p00 + res.probability(0b11) - 1.0).abs() < 1e-12);
             assert!((p00 - 0.5).abs() < 0.08, "{engine:?}: {p00}");
         }
+    }
+
+    #[test]
+    fn dense_engine_rejects_arity_mismatch() {
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(3), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(3, 0);
+        qc.push(ca_circuit::Instruction {
+            gate: Gate::Cz,
+            qubits: vec![0, 1, 2],
+            clbit: None,
+            condition: None,
+        });
+        let sc = sched(&qc);
+        let err = sim.run_counts(&sc, 5, 3).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnsupportedGateArity {
+                gate: "cz",
+                expected: 2,
+                got: 3
+            }
+        );
     }
 }

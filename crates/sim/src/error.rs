@@ -1,0 +1,120 @@
+//! Structured simulation errors.
+//!
+//! Engine dispatch and execution never panic on malformed-but-
+//! constructible inputs (wrong gate arity, circuits no engine can
+//! represent); they return a [`SimError`] carrying enough structure
+//! for callers to branch on and a human-readable message naming every
+//! violated constraint.
+
+use std::fmt;
+
+/// Why a circuit could not be simulated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An instruction's qubit operand list does not match its gate's
+    /// arity (e.g. a single-qubit gate appended to three qubits).
+    /// No engine can execute such an instruction.
+    UnsupportedGateArity {
+        /// Gate mnemonic.
+        gate: &'static str,
+        /// Arity the gate defines.
+        expected: usize,
+        /// Number of qubit operands the instruction carries.
+        got: usize,
+    },
+    /// The circuit exceeds the dense statevector engine's hard qubit
+    /// cap (2ⁿ amplitudes).
+    DenseCapExceeded {
+        /// Circuit width.
+        qubits: usize,
+        /// The dense engine's cap ([`crate::engine::DENSE_MAX_QUBITS`]).
+        max: usize,
+    },
+    /// The stabilizer/frame engines require a Clifford circuit with no
+    /// classical feed-forward; this circuit violates that.
+    NotClifford {
+        /// Mnemonic of the first offending gate, or `"feed-forward"`
+        /// when a conditional instruction is the blocker.
+        gate: &'static str,
+    },
+    /// `Engine::Auto` found no engine able to run the circuit: it is
+    /// both too wide for the dense engine and not Clifford, so the
+    /// stabilizer engines cannot represent it either.
+    NoSupportingEngine {
+        /// Circuit width.
+        qubits: usize,
+        /// The dense engine's qubit cap.
+        dense_max: usize,
+        /// Mnemonic of the first non-Clifford gate (or
+        /// `"feed-forward"`).
+        blocking_gate: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::UnsupportedGateArity {
+                gate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "unsupported gate arity: `{gate}` expects {expected} qubit operand(s) \
+                 but the instruction lists {got}"
+            ),
+            SimError::DenseCapExceeded { qubits, max } => write!(
+                f,
+                "circuit has {qubits} qubits; the dense statevector engine is limited \
+                 to {max} (2^n amplitudes)"
+            ),
+            SimError::NotClifford { gate } => write!(
+                f,
+                "circuit is not Clifford (first blocker: {gate}); the stabilizer and \
+                 frame-batch engines require Clifford gates and no feed-forward"
+            ),
+            SimError::NoSupportingEngine {
+                qubits,
+                dense_max,
+                blocking_gate,
+            } => write!(
+                f,
+                "no engine supports this circuit: {qubits} qubits exceeds the dense \
+                 statevector cap of {dense_max}, and the stabilizer/frame-batch engines \
+                 require a Clifford circuit (first blocker: {blocking_gate})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_constraints() {
+        let e = SimError::NoSupportingEngine {
+            qubits: 40,
+            dense_max: 24,
+            blocking_gate: "rz",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("40 qubits"), "{msg}");
+        assert!(msg.contains("24"), "{msg}");
+        assert!(msg.contains("Clifford"), "{msg}");
+        assert!(msg.contains("rz"), "{msg}");
+    }
+
+    #[test]
+    fn arity_message_is_specific() {
+        let e = SimError::UnsupportedGateArity {
+            gate: "x",
+            expected: 1,
+            got: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("x"), "{msg}");
+    }
+}

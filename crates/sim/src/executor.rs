@@ -10,6 +10,7 @@
 //! phases precisely as on hardware.
 
 use crate::engine::Engine;
+use crate::error::SimError;
 use crate::noise::{
     amplitude_damping_kraus, damping_prob, dephasing_prob, t_phi_us, NoiseConfig, ShotNoise,
 };
@@ -210,7 +211,10 @@ impl Simulator {
                                 }
                             }
                         }
-                        _ => panic!("unsupported gate arity"),
+                        // Every public entry point runs
+                        // `check_gate_arities` first, so operand
+                        // lists here are exactly 1 or 2 long.
+                        _ => unreachable!("gate arity validated before execution"),
                     }
                 }
             }
@@ -224,8 +228,14 @@ impl Simulator {
 
     /// Runs `shots` and gathers classical-bit counts, dispatching to
     /// the engine the [`Engine`] policy selects for this circuit.
-    pub fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
-        self.engine_for(sc).run_counts(sc, shots, seed)
+    /// Unsupported circuits yield a [`SimError`], never a panic.
+    pub fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
+        self.engine_for(sc)?.run_counts(sc, shots, seed)
     }
 
     /// Averages the quantum expectation values of the given Pauli
@@ -236,30 +246,20 @@ impl Simulator {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64> {
-        self.engine_for(sc).expect_paulis(sc, paulis, shots, seed)
-    }
-
-    /// Panics with a clear message when the circuit exceeds the dense
-    /// engine's hard qubit cap (2ⁿ amplitudes).
-    fn assert_dense_feasible(&self, sc: &ScheduledCircuit) {
-        assert!(
-            sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS,
-            "circuit has {} qubits; the dense statevector engine is limited to {} — \
-             only Clifford circuits can run on the stabilizer engine at this scale",
-            sc.num_qubits,
-            crate::engine::DENSE_MAX_QUBITS
-        );
+    ) -> Result<Vec<f64>, SimError> {
+        self.engine_for(sc)?.expect_paulis(sc, paulis, shots, seed)
     }
 
     /// Runs `shots` trajectories on the dense statevector engine.
+    /// Callers (the [`crate::StatevectorEngine`] trait impl) validate
+    /// arity and the qubit cap first.
     pub(crate) fn run_counts_dense(
         &self,
         sc: &ScheduledCircuit,
         shots: usize,
         seed: u64,
     ) -> RunResult {
-        self.assert_dense_feasible(sc);
+        debug_assert!(sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
         let plan = self.plan(sc);
         let nbits = sc.num_clbits;
         let parts = map_shots(
@@ -271,17 +271,7 @@ impl Simulator {
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
-        let mut counts = std::collections::BTreeMap::new();
-        for part in parts {
-            for (k, v) in part {
-                *counts.entry(k).or_insert(0) += v;
-            }
-        }
-        RunResult {
-            shots,
-            num_clbits: nbits,
-            counts,
-        }
+        RunResult::from_parts(shots, nbits, parts)
     }
 
     /// Dense-engine Pauli expectations (no sampling noise beyond the
@@ -293,7 +283,7 @@ impl Simulator {
         shots: usize,
         seed: u64,
     ) -> Vec<f64> {
-        self.assert_dense_feasible(sc);
+        debug_assert!(sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
         let plan = self.plan(sc);
         let parts = map_shots(
             shots,
@@ -325,14 +315,15 @@ impl Simulator {
         pauli: &PauliString,
         shots: usize,
         seed: u64,
-    ) -> f64 {
-        self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)[0]
+    ) -> Result<f64, SimError> {
+        Ok(self.expect_paulis(sc, std::slice::from_ref(pauli), shots, seed)?[0])
     }
 
     /// Runs a single dense trajectory (deterministic for a given seed)
     /// and returns the final state and classical bits. Test hook;
     /// always uses the statevector engine (a tableau has no `State`).
     pub fn run_single(&self, sc: &ScheduledCircuit, seed: u64) -> (State, Vec<bool>) {
+        crate::engine::check_gate_arities(sc).expect("run_single: malformed circuit");
         let plan = self.plan(sc);
         let mut rng = StdRng::seed_from_u64(seed);
         self.trajectory(&plan, &mut rng)
@@ -369,7 +360,7 @@ mod tests {
         let sim = ideal_sim(2);
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
-        let res = sim.run_counts(&sched(&qc), 400, 7);
+        let res = sim.run_counts(&sched(&qc), 400, 7).unwrap();
         assert_eq!(res.shots, 400);
         let p00 = res.probability(0b00);
         let p11 = res.probability(0b11);
@@ -382,7 +373,9 @@ mod tests {
         let sim = ideal_sim(1);
         let mut qc = Circuit::new(1, 0);
         qc.h(0);
-        let x = sim.expect_pauli(&sched(&qc), &PauliString::parse("X").unwrap(), 10, 3);
+        let x = sim
+            .expect_pauli(&sched(&qc), &PauliString::parse("X").unwrap(), 10, 3)
+            .unwrap();
         assert!((x - 1.0).abs() < 1e-10);
     }
 
@@ -395,7 +388,7 @@ mod tests {
             .measure(0, 0)
             .gate_if(Gate::X, [1], 0, true)
             .measure(1, 1);
-        let res = sim.run_counts(&sched(&qc), 50, 5);
+        let res = sim.run_counts(&sched(&qc), 50, 5).unwrap();
         assert!((res.probability(0b11) - 1.0).abs() < 1e-12);
     }
 
@@ -406,7 +399,7 @@ mod tests {
         qc.measure(0, 0)
             .gate_if(Gate::X, [1], 0, true)
             .measure(1, 1);
-        let res = sim.run_counts(&sched(&qc), 50, 5);
+        let res = sim.run_counts(&sched(&qc), 50, 5).unwrap();
         assert!((res.probability(0b00) - 1.0).abs() < 1e-12);
     }
 
@@ -420,7 +413,9 @@ mod tests {
         qc.h(0).h(1);
         qc.barrier(Vec::<usize>::new());
         qc.delay(2500.0, 0).delay(2500.0, 1);
-        let x = sim.expect_pauli(&sched(&qc), &PauliString::parse("XI").unwrap(), 1, 2);
+        let x = sim
+            .expect_pauli(&sched(&qc), &PauliString::parse("XI").unwrap(), 1, 2)
+            .unwrap();
         // θ = 2π·100kHz·2.5µs = π/2·... = 1.5708 rad; with the Rz(−θ)
         // local terms, ⟨X⟩ = cos(θ)·cos(θ)... measured against exact:
         let theta = ca_device::phase_rad(100.0, 2500.0);
@@ -452,14 +447,18 @@ mod tests {
         // Without echo: big dephasing.
         let mut bare = Circuit::new(1, 0);
         bare.h(0).delay(4000.0, 0).h(0);
-        let z_bare = sim.expect_pauli(&sched(&bare), &PauliString::parse("Z").unwrap(), 200, 11);
+        let z_bare = sim
+            .expect_pauli(&sched(&bare), &PauliString::parse("Z").unwrap(), 200, 11)
+            .unwrap();
         assert!(z_bare < 0.8, "bare Ramsey dephases: {z_bare}");
         // With echo: X in the middle, phases cancel; end with X to undo.
         let mut echo = Circuit::new(1, 0);
         echo.h(0).delay(2000.0, 0).x(0).delay(2000.0, 0).h(0);
         // After refocusing, state is X·|+⟩-path → H·X·|+⟩… measure Z:
         // H X Rz(0) |+⟩ = H X |+⟩ = H|+⟩ = |0⟩ → ⟨Z⟩ = +1.
-        let z_echo = sim.expect_pauli(&sched(&echo), &PauliString::parse("Z").unwrap(), 200, 11);
+        let z_echo = sim
+            .expect_pauli(&sched(&echo), &PauliString::parse("Z").unwrap(), 200, 11)
+            .unwrap();
         assert!(
             (z_echo - 1.0).abs() < 1e-9,
             "echo refocuses exactly: {z_echo}"
@@ -501,8 +500,8 @@ mod tests {
         staggered.barrier(Vec::<usize>::new());
         staggered.h(0).h(1);
         let z = PauliString::parse("ZI").unwrap();
-        let za = sim.expect_pauli(&sched(&aligned), &z, 1, 1);
-        let zs = sim.expect_pauli(&sched(&staggered), &z, 1, 1);
+        let za = sim.expect_pauli(&sched(&aligned), &z, 1, 1).unwrap();
+        let zs = sim.expect_pauli(&sched(&staggered), &z, 1, 1).unwrap();
         // Aligned cancels local Z but leaves ZZ: ⟨Z₀⟩ = cos(θ_zz_total).
         let theta = ca_device::phase_rad(80.0, 2.0 * tau);
         assert!((za - theta.cos()).abs() < 1e-9, "aligned leaves ZZ: {za}");
@@ -524,7 +523,7 @@ mod tests {
         let sim = Simulator::with_config(dev, cfg);
         let mut qc = Circuit::new(1, 1);
         qc.x(0).delay(50_000.0, 0).measure(0, 0);
-        let res = sim.run_counts(&sched(&qc), 2000, 13);
+        let res = sim.run_counts(&sched(&qc), 2000, 13).unwrap();
         let p1 = res.probability(1);
         let expect = (-1.0f64).exp(); // decay over exactly T1.
         assert!((p1 - expect).abs() < 0.05, "p1 {p1} vs {expect}");
@@ -541,7 +540,7 @@ mod tests {
         let sim = Simulator::with_config(dev, cfg);
         let mut qc = Circuit::new(1, 1);
         qc.measure(0, 0);
-        let res = sim.run_counts(&sched(&qc), 3000, 17);
+        let res = sim.run_counts(&sched(&qc), 3000, 17).unwrap();
         let p1 = res.probability(1);
         assert!((p1 - 0.2).abs() < 0.03, "readout flips ~20%: {p1}");
     }
@@ -582,7 +581,7 @@ mod more_tests {
             Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(1, 1);
         qc.x(0).reset(0).measure(0, 0);
-        let res = sim.run_counts(&sched(&qc), 50, 3);
+        let res = sim.run_counts(&sched(&qc), 50, 3).unwrap();
         assert!((res.probability(0) - 1.0).abs() < 1e-12);
     }
 
@@ -592,7 +591,7 @@ mod more_tests {
             Simulator::with_config(uniform_device(Topology::line(2), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
-        let res = sim.run_counts(&sched(&qc), 300, 9);
+        let res = sim.run_counts(&sched(&qc), 300, 9).unwrap();
         // Never anti-correlated.
         assert_eq!(res.probability(0b01), 0.0);
         assert_eq!(res.probability(0b10), 0.0);
@@ -614,7 +613,7 @@ mod more_tests {
         // as a drop in the return probability.
         let mut qc = Circuit::new(2, 2);
         qc.ecr(0, 1).ecr(0, 1).measure(0, 0).measure(1, 1);
-        let res = sim.run_counts(&sched(&qc), 2000, 5);
+        let res = sim.run_counts(&sched(&qc), 2000, 5).unwrap();
         let p00 = res.probability(0b00);
         // Two gates at p=0.25: survival ≈ (1−p)² + small returns.
         assert!(p00 < 0.75, "depolarizing must reduce p00: {p00}");
@@ -627,7 +626,9 @@ mod more_tests {
             Simulator::with_config(uniform_device(Topology::line(1), 0.0), NoiseConfig::ideal());
         let mut qc = Circuit::new(1, 0);
         qc.h(0).rz(1.234, 0).h(0);
-        let z = sim.expect_pauli(&sched(&qc), &PauliString::parse("Z").unwrap(), 1, 1);
+        let z = sim
+            .expect_pauli(&sched(&qc), &PauliString::parse("Z").unwrap(), 1, 1)
+            .unwrap();
         assert!((z - 1.234f64.cos()).abs() < 1e-10);
     }
 

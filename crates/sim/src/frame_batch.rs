@@ -1,0 +1,936 @@
+//! Bit-parallel batched Pauli-frame engine: 64 shots per machine word.
+//!
+//! The serial sampler in [`crate::pauli_frame`] propagates one frame
+//! per shot. This engine packs the frames of 64 shots into one `u64`
+//! *bit-plane per qubit* (`fx[q]`/`fz[q]`, bit `j` = shot-lane `j`)
+//! and conjugates all 64 frames per gate with a handful of word-wide
+//! XOR/AND operations — the standard Stim-style batching that turns
+//! the per-gate cost from O(shots) into O(shots/64).
+//!
+//! ## Why the counts are bit-identical to the serial engine
+//!
+//! Ignoring signs (frames never need them), conjugation by a Clifford
+//! acts **GF(2)-linearly** on a Pauli's symplectic bits: the image of
+//! `Y = i·XZ` is the XOR of the images of `X` and `Z`. Each cached
+//! conjugation table therefore collapses to a tiny GF(2) matrix
+//! ([`Symp1`]: 2×2, [`Symp2`]: 4×4) applied word-wise — exactly the
+//! same frame update the serial engine performs one shot at a time.
+//!
+//! Noise needs per-shot randomness, and here the two serial-path
+//! invariants pay off:
+//!
+//! * shot `i`'s RNG is seeded by [`crate::plan::shot_seed`]`(seed, i)`
+//!   alone, so lane `j` of batch `b` re-creates the identical stream
+//!   the serial engine uses for shot `64·b + j`;
+//! * the pending Z/ZZ banks are RNG-*independent* (the stochastic
+//!   rate multiplies the signed time only at flush), so the entire
+//!   bank evolution is precomputed **once per plan** into a linear
+//!   [`BatchOp`] program. At run time a batch walks that program and
+//!   makes, per lane, exactly the draws the serial sampler makes per
+//!   shot, in the same order — Bernoulli masks are assembled one lane
+//!   bit at a time and applied to the planes word-wise.
+//!
+//! The result: classical counts are bit-for-bit equal to
+//! [`crate::StabilizerEngine`] for any seed, any shot count (tail
+//! batches simply run fewer lanes), and any worker-thread count
+//! (batches are independent; expectation sums are reduced in batch
+//! order, and each shot contributes an integer ±1, so even the f64
+//! accumulations are exact).
+
+use crate::error::SimError;
+use crate::executor::Simulator;
+use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
+use crate::pauli_frame::{FramePlan, ItemOp};
+use crate::plan::{map_batches, shot_seed, PlanOp};
+use crate::result::RunResult;
+use crate::stabilizer::pauli_to_bits;
+use ca_circuit::clifford::Table2Q;
+use ca_circuit::pauli::{Pauli, PauliString};
+use ca_circuit::{Gate, ScheduledCircuit};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Shot-lanes per batch word.
+pub const LANES: usize = 64;
+
+/// The GF(2) symplectic action of a 1q Clifford on one qubit's
+/// `(x, z)` frame bits, as lane masks (all-ones or all-zeros).
+#[derive(Clone, Copy)]
+struct Symp1 {
+    /// x-input contribution to the x output.
+    xx: u64,
+    /// z-input contribution to the x output.
+    xz: u64,
+    /// x-input contribution to the z output.
+    zx: u64,
+    /// z-input contribution to the z output.
+    zz: u64,
+}
+
+impl Symp1 {
+    fn from_table(table: &[(i8, Pauli); 4]) -> Self {
+        let (x_to_x, x_to_z) = pauli_to_bits(table[Pauli::X.index()].1);
+        let (z_to_x, z_to_z) = pauli_to_bits(table[Pauli::Z.index()].1);
+        debug_assert_eq!(table[Pauli::I.index()].1, Pauli::I);
+        debug_assert_eq!(
+            pauli_to_bits(table[Pauli::Y.index()].1),
+            (x_to_x ^ z_to_x, x_to_z ^ z_to_z),
+            "conjugation must be GF(2)-linear on symplectic bits"
+        );
+        let m = |b: bool| if b { u64::MAX } else { 0 };
+        Self {
+            xx: m(x_to_x),
+            xz: m(z_to_x),
+            zx: m(x_to_z),
+            zz: m(z_to_z),
+        }
+    }
+
+    fn is_identity(&self) -> bool {
+        self.xx == u64::MAX && self.xz == 0 && self.zx == 0 && self.zz == u64::MAX
+    }
+
+    #[inline]
+    fn apply(&self, x: u64, z: u64) -> (u64, u64) {
+        ((x & self.xx) ^ (z & self.xz), (x & self.zx) ^ (z & self.zz))
+    }
+}
+
+/// The GF(2) symplectic action of a 2q Clifford on `(x_a, z_a, x_b,
+/// z_b)`: `mat[out][in]` lane masks.
+#[derive(Clone, Copy)]
+struct Symp2 {
+    mat: [[u64; 4]; 4],
+}
+
+impl Symp2 {
+    fn from_table(table: &Table2Q) -> Self {
+        // Images of the four symplectic basis vectors X⊗I, Z⊗I,
+        // I⊗X, I⊗Z (table index = first.index() + 4·second.index()).
+        let col = |idx: usize| -> [bool; 4] {
+            let (_, (pa, pb)) = table[idx];
+            let (xa, za) = pauli_to_bits(pa);
+            let (xb, zb) = pauli_to_bits(pb);
+            [xa, za, xb, zb]
+        };
+        let cols = [
+            col(Pauli::X.index()),
+            col(Pauli::Z.index()),
+            col(4 * Pauli::X.index()),
+            col(4 * Pauli::Z.index()),
+        ];
+        #[cfg(debug_assertions)]
+        for idx in 0..16 {
+            let (pa, pb) = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+            let (xa, za) = pauli_to_bits(pa);
+            let (xb, zb) = pauli_to_bits(pb);
+            let input = [xa, za, xb, zb];
+            let mut predicted = [false; 4];
+            for (i, &on) in input.iter().enumerate() {
+                if on {
+                    for o in 0..4 {
+                        predicted[o] ^= cols[i][o];
+                    }
+                }
+            }
+            let (_, (qa, qb)) = table[idx];
+            let (axa, aza) = pauli_to_bits(qa);
+            let (axb, azb) = pauli_to_bits(qb);
+            debug_assert_eq!(
+                predicted,
+                [axa, aza, axb, azb],
+                "2q conjugation must be GF(2)-linear on symplectic bits"
+            );
+        }
+        let m = |b: bool| if b { u64::MAX } else { 0 };
+        let mut mat = [[0u64; 4]; 4];
+        for (i, c) in cols.iter().enumerate() {
+            for o in 0..4 {
+                mat[o][i] = m(c[o]);
+            }
+        }
+        Self { mat }
+    }
+
+    #[inline]
+    fn apply(&self, v: [u64; 4]) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (o, slot) in out.iter_mut().enumerate() {
+            let row = &self.mat[o];
+            *slot = (v[0] & row[0]) ^ (v[1] & row[1]) ^ (v[2] & row[2]) ^ (v[3] & row[3]);
+        }
+        out
+    }
+}
+
+/// One step of the precompiled batch program. The sequence of ops —
+/// and the draws each op makes per lane — mirrors the serial
+/// sampler's per-shot control flow exactly.
+enum BatchOp {
+    /// A twirl-flush point for qubit `q`.
+    Flush {
+        q: usize,
+        /// Deterministic bank phase and signed time at this flush;
+        /// absent when both are exactly zero (no draw on any lane,
+        /// matching the serial `|θ| > ε` gate).
+        bank: Option<(f64, f64)>,
+        /// Crosstalk edges flushing here: `(a, b, sin²(θ/2))`, in the
+        /// serial engine's incident-edge order.
+        edges: Vec<(usize, usize, f64)>,
+        /// `(γ, p_z)` of the decoherence twirl, when enabled and the
+        /// qubit accrued idle time.
+        deco: Option<(f64, f64)>,
+    },
+    /// 1q frame conjugation + depolarizing draw (`err_p = 0` ⇒ none).
+    Gate1 { q: usize, m: Symp1, err_p: f64 },
+    /// 2q frame conjugation + two-qubit depolarizing draw.
+    Gate2 {
+        a: usize,
+        b: usize,
+        m: Symp2,
+        err_p: f64,
+    },
+    /// Measurement against the shared reference outcome.
+    Measure {
+        q: usize,
+        reference: bool,
+        clbit: Option<usize>,
+        /// Readout flip probability; `None` when readout error is
+        /// disabled (no draw at all, matching the serial path).
+        readout: Option<f64>,
+    },
+    /// Reset to |0⟩: clear X, randomize Z.
+    Reset { q: usize },
+}
+
+/// The batch program plus the shared reference run.
+pub struct BatchPlan<'a> {
+    frame: FramePlan<'a>,
+    ops: Vec<BatchOp>,
+    n: usize,
+    /// Words of the *serial* frame layout (`ceil(n/64)`): the initial
+    /// Z randomization must consume exactly this many `u64` draws per
+    /// lane to stay stream-compatible with the serial engine.
+    serial_words: usize,
+}
+
+impl<'a> BatchPlan<'a> {
+    /// Builds the frame plan (reference tableau run included) and
+    /// compiles the scheduled circuit + noise timeline into the
+    /// linear batch program by replaying the serial sampler's control
+    /// flow once with scalar banks.
+    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
+        let frame = FramePlan::build(sim, sc, seed)?;
+        let n = sc.num_qubits;
+        let config = &sim.config;
+        let plan = &frame.plan;
+
+        let mut ops: Vec<BatchOp> = Vec::new();
+        let mut stat = vec![0.0f64; n];
+        let mut time = vec![0.0f64; n];
+        let mut rzz = vec![0.0f64; plan.edge_pairs.len()];
+        let mut deco_dt = vec![0.0f64; n];
+        let mut meas_i = 0usize;
+
+        let emit_flush = |q: usize,
+                          stat: &mut [f64],
+                          time: &mut [f64],
+                          rzz: &mut [f64],
+                          deco_dt: &mut [f64],
+                          ops: &mut Vec<BatchOp>| {
+            let bank = if stat[q] != 0.0 || time[q] != 0.0 {
+                let b = (stat[q], time[q]);
+                stat[q] = 0.0;
+                time[q] = 0.0;
+                Some(b)
+            } else {
+                None
+            };
+            let mut edges = Vec::new();
+            for &e in &plan.incident[q] {
+                let th = rzz[e];
+                if th.abs() > 1e-15 {
+                    rzz[e] = 0.0;
+                    let (a, b) = plan.edge_pairs[e];
+                    edges.push((a, b, (th / 2.0).sin().powi(2)));
+                }
+            }
+            let deco = if config.decoherence && deco_dt[q] > 0.0 {
+                let cal = &sim.device.calibration.qubits[q];
+                let dt = deco_dt[q];
+                deco_dt[q] = 0.0;
+                Some((
+                    damping_prob(dt, cal.t1_us),
+                    dephasing_prob(dt, t_phi_us(cal.t1_us, cal.t2_us)),
+                ))
+            } else {
+                None
+            };
+            if bank.is_some() || !edges.is_empty() || deco.is_some() {
+                ops.push(BatchOp::Flush {
+                    q,
+                    bank,
+                    edges,
+                    deco,
+                });
+            }
+        };
+
+        for op in &plan.ops {
+            match *op {
+                PlanOp::Segment(i) => {
+                    let seg = &plan.segments[i];
+                    for &(q, th) in &seg.rz_static {
+                        stat[q] += th;
+                    }
+                    for &(e, th) in &plan.seg_edges[i] {
+                        rzz[e] += th;
+                    }
+                    let dt = seg.dt();
+                    for q in 0..n {
+                        time[q] += seg.signed_dt[q];
+                        deco_dt[q] += dt;
+                    }
+                }
+                PlanOp::Project { item } => {
+                    let si = &plan.sc.items[item];
+                    let q = si.instruction.qubits[0];
+                    emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
+                    match si.instruction.gate {
+                        Gate::Measure => {
+                            let reference = frame.ref_outcomes[meas_i];
+                            meas_i += 1;
+                            ops.push(BatchOp::Measure {
+                                q,
+                                reference,
+                                clbit: si.instruction.clbit,
+                                readout: config
+                                    .readout_error
+                                    .then(|| sim.device.calibration.qubits[q].readout_err),
+                            });
+                        }
+                        Gate::Reset => ops.push(BatchOp::Reset { q }),
+                        _ => unreachable!(),
+                    }
+                }
+                PlanOp::Apply { item } => {
+                    let si = &plan.sc.items[item];
+                    match frame.items[item].as_ref().expect("unitary item") {
+                        ItemOp::One { q, table, z_sign } => {
+                            let q = *q;
+                            match z_sign {
+                                Some(s) => {
+                                    if *s < 0 {
+                                        stat[q] = -stat[q];
+                                        time[q] = -time[q];
+                                        for &e in &plan.incident[q] {
+                                            rzz[e] = -rzz[e];
+                                        }
+                                    }
+                                }
+                                None => emit_flush(
+                                    q,
+                                    &mut stat,
+                                    &mut time,
+                                    &mut rzz,
+                                    &mut deco_dt,
+                                    &mut ops,
+                                ),
+                            }
+                            let m = Symp1::from_table(table);
+                            let err_p = if config.gate_error && !si.instruction.gate.is_virtual() {
+                                sim.device.calibration.qubits[q].gate_err_1q
+                            } else {
+                                0.0
+                            };
+                            if !m.is_identity() || err_p > 0.0 {
+                                ops.push(BatchOp::Gate1 { q, m, err_p });
+                            }
+                        }
+                        ItemOp::Two {
+                            a,
+                            b,
+                            table,
+                            diagonal,
+                        } => {
+                            let (a, b) = (*a, *b);
+                            if !diagonal {
+                                emit_flush(
+                                    a,
+                                    &mut stat,
+                                    &mut time,
+                                    &mut rzz,
+                                    &mut deco_dt,
+                                    &mut ops,
+                                );
+                                emit_flush(
+                                    b,
+                                    &mut stat,
+                                    &mut time,
+                                    &mut rzz,
+                                    &mut deco_dt,
+                                    &mut ops,
+                                );
+                            }
+                            let err_p = if config.gate_error {
+                                let scale = plan
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                sim.device.calibration.gate_err_2q(a, b) * scale
+                            } else {
+                                0.0
+                            };
+                            ops.push(BatchOp::Gate2 {
+                                a,
+                                b,
+                                m: Symp2::from_table(table),
+                                err_p,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for q in 0..n {
+            emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
+        }
+
+        Ok(Self {
+            serial_words: frame.words,
+            frame,
+            ops,
+            n,
+        })
+    }
+
+    /// Runs one batch of `active ≤ 64` shot-lanes starting at global
+    /// shot index `base`. Returns the final bit-planes and the
+    /// per-lane classical keys.
+    fn run_batch(&self, sim: &Simulator, seed: u64, base: usize, active: usize) -> BatchOut {
+        let n = self.n;
+        let mut fx = vec![0u64; n];
+        let mut fz = vec![0u64; n];
+        // Per-lane stochastic Z rates, laid out `[q][lane]` so flush
+        // events read contiguously.
+        let mut rates = vec![0.0f64; n * LANES];
+        let mut keys = [0u64; LANES];
+
+        // Per-lane RNG streams: identical to serial shots base+j.
+        let mut rngs: Vec<StdRng> = (0..active)
+            .map(|j| StdRng::seed_from_u64(shot_seed(seed, base + j)))
+            .collect();
+
+        // Shot-start draws, in serial order per lane: stochastic-rate
+        // sample, then initial Z-frame randomization.
+        for (j, rng) in rngs.iter_mut().enumerate() {
+            let shot = ShotNoise::sample(&sim.device, &sim.config, rng);
+            for q in 0..n {
+                rates[q * LANES + j] = shot.z_rate_khz(&sim.device, q);
+            }
+            let bit = 1u64 << j;
+            for w in 0..self.serial_words {
+                let bits_here = (n - w * 64).min(64);
+                let mask = if bits_here == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits_here) - 1
+                };
+                let r = rng.random::<u64>() & mask;
+                for q in w * 64..w * 64 + bits_here {
+                    if r >> (q % 64) & 1 == 1 {
+                        fz[q] |= bit;
+                    }
+                }
+            }
+        }
+
+        for op in &self.ops {
+            match op {
+                BatchOp::Flush {
+                    q,
+                    bank,
+                    edges,
+                    deco,
+                } => {
+                    let q = *q;
+                    if let Some((stat, time)) = bank {
+                        let mut zm = 0u64;
+                        for (j, rng) in rngs.iter_mut().enumerate() {
+                            let theta = stat + ca_device::phase_rad(rates[q * LANES + j], *time);
+                            if theta.abs() > 1e-15
+                                && rng.random::<f64>() < (theta / 2.0).sin().powi(2)
+                            {
+                                zm |= 1 << j;
+                            }
+                        }
+                        fz[q] ^= zm;
+                    }
+                    for &(a, b, p) in edges {
+                        let mut zm = 0u64;
+                        for (j, rng) in rngs.iter_mut().enumerate() {
+                            if rng.random::<f64>() < p {
+                                zm |= 1 << j;
+                            }
+                        }
+                        fz[a] ^= zm;
+                        fz[b] ^= zm;
+                    }
+                    if let Some((gamma, p_z)) = deco {
+                        if *gamma > 0.0 {
+                            let mut xm = 0u64;
+                            let mut zm = 0u64;
+                            for (j, rng) in rngs.iter_mut().enumerate() {
+                                let r: f64 = rng.random();
+                                if r < gamma / 4.0 {
+                                    xm |= 1 << j;
+                                } else if r < gamma / 2.0 {
+                                    xm |= 1 << j;
+                                    zm |= 1 << j;
+                                } else if r < 3.0 * gamma / 4.0 {
+                                    zm |= 1 << j;
+                                }
+                            }
+                            fx[q] ^= xm;
+                            fz[q] ^= zm;
+                        }
+                        if *p_z > 0.0 {
+                            let mut zm = 0u64;
+                            for (j, rng) in rngs.iter_mut().enumerate() {
+                                if rng.random::<f64>() < *p_z {
+                                    zm |= 1 << j;
+                                }
+                            }
+                            fz[q] ^= zm;
+                        }
+                    }
+                }
+                BatchOp::Gate1 { q, m, err_p } => {
+                    let q = *q;
+                    let (nx, nz) = m.apply(fx[q], fz[q]);
+                    fx[q] = nx;
+                    fz[q] = nz;
+                    if *err_p > 0.0 {
+                        let mut xm = 0u64;
+                        let mut zm = 0u64;
+                        for (j, rng) in rngs.iter_mut().enumerate() {
+                            if rng.random::<f64>() < *err_p {
+                                let k = rng.random_range(0..3usize);
+                                let (x, z) = pauli_to_bits([Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                if x {
+                                    xm |= 1 << j;
+                                }
+                                if z {
+                                    zm |= 1 << j;
+                                }
+                            }
+                        }
+                        fx[q] ^= xm;
+                        fz[q] ^= zm;
+                    }
+                }
+                BatchOp::Gate2 { a, b, m, err_p } => {
+                    let (a, b) = (*a, *b);
+                    let out = m.apply([fx[a], fz[a], fx[b], fz[b]]);
+                    fx[a] = out[0];
+                    fz[a] = out[1];
+                    fx[b] = out[2];
+                    fz[b] = out[3];
+                    if *err_p > 0.0 {
+                        let mut xa = 0u64;
+                        let mut za = 0u64;
+                        let mut xb = 0u64;
+                        let mut zb = 0u64;
+                        for (j, rng) in rngs.iter_mut().enumerate() {
+                            if rng.random::<f64>() < *err_p {
+                                let k = rng.random_range(1..16usize);
+                                let (x1, z1) = pauli_to_bits(Pauli::from_index(k % 4));
+                                let (x2, z2) = pauli_to_bits(Pauli::from_index(k / 4));
+                                let bit = 1u64 << j;
+                                if x1 {
+                                    xa |= bit;
+                                }
+                                if z1 {
+                                    za |= bit;
+                                }
+                                if x2 {
+                                    xb |= bit;
+                                }
+                                if z2 {
+                                    zb |= bit;
+                                }
+                            }
+                        }
+                        fx[a] ^= xa;
+                        fz[a] ^= za;
+                        fx[b] ^= xb;
+                        fz[b] ^= zb;
+                    }
+                }
+                BatchOp::Measure {
+                    q,
+                    reference,
+                    clbit,
+                    readout,
+                } => {
+                    let q = *q;
+                    let mut new_z = 0u64;
+                    for (j, rng) in rngs.iter_mut().enumerate() {
+                        let bit = 1u64 << j;
+                        let mut outcome = reference ^ (fx[q] & bit != 0);
+                        if let Some(p) = readout {
+                            if rng.random::<f64>() < *p {
+                                outcome = !outcome;
+                            }
+                        }
+                        if let Some(c) = clbit {
+                            if *c < 64 {
+                                if outcome {
+                                    keys[j] |= 1 << c;
+                                } else {
+                                    keys[j] &= !(1 << c);
+                                }
+                            }
+                        }
+                        if rng.random::<bool>() {
+                            new_z |= bit;
+                        }
+                    }
+                    fz[q] = new_z;
+                }
+                BatchOp::Reset { q } => {
+                    let q = *q;
+                    let mut new_z = 0u64;
+                    for (j, rng) in rngs.iter_mut().enumerate() {
+                        if rng.random::<bool>() {
+                            new_z |= 1 << j;
+                        }
+                    }
+                    fx[q] = 0;
+                    fz[q] = new_z;
+                }
+            }
+        }
+        BatchOut { fx, fz, keys }
+    }
+}
+
+/// The finished state of one batch: per-qubit frame bit-planes and
+/// per-lane classical keys.
+struct BatchOut {
+    fx: Vec<u64>,
+    fz: Vec<u64>,
+    keys: [u64; LANES],
+}
+
+/// The bit-parallel batched frame engine (see the module docs): a
+/// [`crate::SimEngine`] over a borrowed simulator configuration,
+/// producing bit-identical seeded counts to the serial
+/// [`crate::StabilizerEngine`] at a fraction of the cost.
+pub struct BatchedFrameEngine<'a> {
+    /// The owning simulator (device + noise configuration).
+    pub sim: &'a Simulator,
+}
+
+impl<'a> BatchedFrameEngine<'a> {
+    /// Borrows the simulator.
+    pub fn new(sim: &'a Simulator) -> Self {
+        Self { sim }
+    }
+
+    /// Shot-sampled classical counts (see [`crate::SimEngine`]).
+    pub fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
+        self.run_counts_with_workers(sc, shots, seed, None)
+    }
+
+    /// [`Self::run_counts`] with an explicit worker-thread count —
+    /// the determinism hook: counts are identical for every choice.
+    pub fn run_counts_with_workers(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let plan = BatchPlan::build(self.sim, sc, seed)?;
+        let nbits = sc.num_clbits;
+        let batches = shots.div_ceil(LANES);
+        let parts = map_batches(batches, workers, |b| {
+            let base = b * LANES;
+            let active = LANES.min(shots - base);
+            let out = plan.run_batch(self.sim, seed, base, active);
+            let mut counts = BTreeMap::new();
+            for &key in out.keys.iter().take(active) {
+                *counts.entry(key).or_insert(0usize) += 1;
+            }
+            counts
+        });
+        Ok(RunResult::from_parts(shots, nbits, parts))
+    }
+
+    /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
+    pub fn expect_paulis(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        self.expect_paulis_with_workers(sc, paulis, shots, seed, None)
+    }
+
+    /// [`Self::expect_paulis`] with an explicit worker-thread count.
+    /// Per-batch partial sums are reduced in batch order and every
+    /// shot contributes an integer ±1, so the result is bit-identical
+    /// for every worker count — and equal to the serial engine's.
+    pub fn expect_paulis_with_workers(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Result<Vec<f64>, SimError> {
+        let plan = BatchPlan::build(self.sim, sc, seed)?;
+        // Reference expectation plus the observable's support as
+        // per-qubit plane selectors: lane-parity word =
+        // XOR over support of (z_obs ? fx[q] : 0) ^ (x_obs ? fz[q] : 0).
+        let prepared: Vec<(i32, Vec<(usize, bool, bool)>)> = paulis
+            .iter()
+            .map(|p| {
+                let r = plan.frame.ref_tableau.expect(p);
+                let support: Vec<(usize, bool, bool)> = p
+                    .paulis
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &pl)| pl != Pauli::I)
+                    .map(|(q, &pl)| {
+                        let (x, z) = pauli_to_bits(pl);
+                        (q, x, z)
+                    })
+                    .collect();
+                (r, support)
+            })
+            .collect();
+        let batches = shots.div_ceil(LANES);
+        let partials: Vec<Vec<f64>> = map_batches(batches, workers, |b| {
+            let base = b * LANES;
+            let active = LANES.min(shots - base);
+            let out = plan.run_batch(self.sim, seed, base, active);
+            let lane_mask = if active == LANES {
+                u64::MAX
+            } else {
+                (1u64 << active) - 1
+            };
+            prepared
+                .iter()
+                .map(|(r, support)| {
+                    if *r == 0 {
+                        return 0.0;
+                    }
+                    let mut parity = 0u64;
+                    for &(q, x_obs, z_obs) in support {
+                        if z_obs {
+                            parity ^= out.fx[q];
+                        }
+                        if x_obs {
+                            parity ^= out.fz[q];
+                        }
+                    }
+                    let flips = (parity & lane_mask).count_ones() as i64;
+                    (*r as i64 * (active as i64 - 2 * flips)) as f64
+                })
+                .collect()
+        });
+        let mut out = vec![0.0; paulis.len()];
+        for part in partials {
+            for (o, p) in out.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= shots as f64;
+        }
+        Ok(out)
+    }
+}
+
+/// Verifies a 1q table's symplectic form against direct lookups —
+/// exposed for the property tests.
+#[cfg(test)]
+fn symp1_matches_table(table: &[(i8, Pauli); 4]) -> bool {
+    let m = Symp1::from_table(table);
+    Pauli::ALL.iter().all(|&p| {
+        let (x, z) = pauli_to_bits(p);
+        let lane = |b: bool| if b { 1u64 } else { 0 };
+        let (nx, nz) = m.apply(lane(x), lane(z));
+        (nx == 1, nz == 1) == pauli_to_bits(table[p.index()].1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseConfig;
+    use crate::pauli_frame::StabilizerEngine;
+    use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q};
+    use ca_circuit::{schedule_asap, Circuit, GateDurations};
+    use ca_device::{uniform_device, Topology};
+
+    fn sched(qc: &Circuit) -> ScheduledCircuit {
+        schedule_asap(qc, GateDurations::default())
+    }
+
+    #[test]
+    fn symplectic_forms_match_tables() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rz(std::f64::consts::FRAC_PI_2),
+        ] {
+            assert!(
+                symp1_matches_table(&conjugation_table_1q(g)),
+                "{}",
+                g.name()
+            );
+        }
+        for g in [
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Ecr,
+            Gate::Rzz(std::f64::consts::FRAC_PI_2),
+        ] {
+            let table = conjugation_table_2q(g);
+            let m = Symp2::from_table(&table);
+            for idx in 0..16 {
+                let (pa, pb) = (Pauli::from_index(idx % 4), Pauli::from_index(idx / 4));
+                let (xa, za) = pauli_to_bits(pa);
+                let (xb, zb) = pauli_to_bits(pb);
+                let lane = |b: bool| if b { 1u64 } else { 0 };
+                let out = m.apply([lane(xa), lane(za), lane(xb), lane(zb)]);
+                let (_, (qa, qb)) = table[idx];
+                let (exa, eza) = pauli_to_bits(qa);
+                let (exb, ezb) = pauli_to_bits(qb);
+                assert_eq!(
+                    [out[0] == 1, out[1] == 1, out[2] == 1, out[3] == 1],
+                    [exa, eza, exb, ezb],
+                    "{} on pair {idx}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    /// A noisy 5-qubit Clifford workload exercising every channel.
+    fn noisy_workload() -> (Simulator, Circuit) {
+        let mut dev = uniform_device(Topology::line(5), 60.0);
+        for q in 0..5 {
+            dev.calibration.qubits[q].quasistatic_khz = 30.0;
+            dev.calibration.qubits[q].charge_parity_khz = 3.0;
+            dev.calibration.qubits[q].t1_us = 80.0;
+            dev.calibration.qubits[q].t2_us = 90.0;
+            dev.calibration.qubits[q].readout_err = 0.03;
+            dev.calibration.qubits[q].gate_err_1q = 0.002;
+        }
+        let sim = Simulator::with_config(dev, NoiseConfig::default());
+        let mut qc = Circuit::new(5, 5);
+        qc.h(0).sx(1).x(2).s(3).h(4);
+        qc.ecr(0, 1).cx(2, 3);
+        qc.delay(800.0, 4);
+        qc.x(4);
+        qc.delay(800.0, 4);
+        qc.cz(1, 2).ecr(3, 4);
+        qc.reset(2);
+        qc.h(2);
+        for q in 0..5 {
+            qc.measure(q, q);
+        }
+        (sim, qc)
+    }
+
+    #[test]
+    fn batch_counts_bit_identical_to_serial() {
+        let (sim, qc) = noisy_workload();
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        for (shots, seed) in [(1usize, 3u64), (63, 5), (64, 7), (65, 9), (200, 11)] {
+            let a = serial.run_counts(&sc, shots, seed).unwrap();
+            let b = batch.run_counts(&sc, shots, seed).unwrap();
+            assert_eq!(a, b, "shots {shots} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_expectations_bit_identical_to_serial() {
+        let (sim, mut qc) = noisy_workload();
+        // Strip measurements so expectations see the frame state.
+        qc.instructions.retain(|i| i.gate != Gate::Measure);
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let obs = [
+            PauliString::parse("ZZIII").unwrap(),
+            PauliString::parse("IXXII").unwrap(),
+            PauliString::parse("IIIZZ").unwrap(),
+            PauliString::parse("YIIIY").unwrap(),
+        ];
+        let a = serial.expect_paulis(&sc, &obs, 300, 17).unwrap();
+        let b = batch.expect_paulis(&sc, &obs, 300, 17).unwrap();
+        assert_eq!(a, b, "expectation sums are integer-exact");
+    }
+
+    #[test]
+    fn counts_independent_of_worker_count() {
+        let (sim, qc) = noisy_workload();
+        let sc = sched(&qc);
+        let batch = BatchedFrameEngine::new(&sim);
+        let reference = batch
+            .run_counts_with_workers(&sc, 500, 23, Some(1))
+            .unwrap();
+        for workers in [2usize, 3, 8] {
+            let got = batch
+                .run_counts_with_workers(&sc, 500, 23, Some(workers))
+                .unwrap();
+            assert_eq!(reference, got, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn wide_device_tail_lanes() {
+        // 127 qubits (two serial frame words) with a non-multiple-of-64
+        // shot count: exercises both word-boundary paths at once.
+        let n = 127;
+        let dev = uniform_device(Topology::line(n), 40.0);
+        let sim = Simulator::with_config(dev, NoiseConfig::default());
+        let mut qc = Circuit::new(n, n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for q in (0..n - 1).step_by(2) {
+            qc.ecr(q, q + 1);
+        }
+        for q in 0..n {
+            qc.measure(q, q);
+        }
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let a = serial.run_counts(&sc, 70, 31).unwrap();
+        let b = batch.run_counts(&sc, 70, 31).unwrap();
+        assert_eq!(a, b);
+    }
+}

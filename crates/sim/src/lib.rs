@@ -17,18 +17,28 @@
 //!   Clifford circuits: the same pending-bank timeline, with coherent
 //!   phases converted to Pauli-twirled stochastic channels at layer
 //!   boundaries. Linear scaling to full-device sizes (127+ qubits).
+//! * **frame-batch** — the same frame model propagated **64 shots per
+//!   machine word** ([`frame_batch`]): bit-identical seeded counts to
+//!   the serial stabilizer engine, tens of times faster, and the
+//!   engine `Auto` picks for large Clifford workloads.
 //!
 //! Stochastic processes (charge parity, quasi-static 1/f detuning,
 //! T1/T2, depolarizing gate error, readout error) are sampled per
-//! shot in both engines. Dynamical decoupling, twirling, and error
+//! shot in every engine, from RNG streams seeded per shot index
+//! ([`plan::shot_seed`]) so results are independent of thread count
+//! and batching. Dynamical decoupling, twirling, and error
 //! compensation then work — or fail — for exactly the physical reasons
 //! laid out in the paper. [`Engine::Auto`] (the default) picks the
-//! backend per circuit; see [`engine`] for the rules.
+//! backend per circuit; see [`engine`] for the rules. Dispatch and
+//! execution are panic-free: unsupported circuits yield a structured
+//! [`SimError`].
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod executor;
+pub mod frame_batch;
 pub mod noise;
 pub mod pauli_frame;
 pub mod plan;
@@ -37,10 +47,15 @@ pub mod stabilizer;
 pub mod statevector;
 pub mod timeline;
 
-pub use engine::{Engine, SimEngine, StatevectorEngine, AUTO_DENSE_MAX_QUBITS};
+pub use engine::{
+    check_gate_arities, Engine, SimEngine, StatevectorEngine, AUTO_DENSE_MAX_QUBITS,
+    DENSE_MAX_QUBITS,
+};
+pub use error::SimError;
 pub use executor::{pack_bits, Simulator};
+pub use frame_batch::{BatchPlan, BatchedFrameEngine, LANES};
 pub use noise::{NoiseConfig, ShotNoise};
-pub use pauli_frame::{stabilizer_supports, FramePlan, StabilizerEngine};
+pub use pauli_frame::{stabilizer_check, stabilizer_supports, FramePlan, StabilizerEngine};
 pub use plan::ExecutionPlan;
 pub use result::RunResult;
 pub use stabilizer::Tableau;

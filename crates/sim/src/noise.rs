@@ -86,10 +86,18 @@ pub struct ShotNoise {
 
 impl ShotNoise {
     /// Samples per-shot parameters for a device.
+    ///
+    /// Gaussian detunings use both halves of each Box–Muller pair —
+    /// half the draws and transcendentals of independent sampling.
+    /// This is on the per-shot hot path of every engine (hundreds of
+    /// thousands of samples per large-scale run), and all engines
+    /// share this one function, which keeps the serial and batched
+    /// frame engines' RNG streams bit-identical.
     pub fn sample(device: &Device, config: &NoiseConfig, rng: &mut StdRng) -> Self {
         let n = device.num_qubits();
         let mut parity_sign = vec![0.0; n];
         let mut detuning_khz = vec![0.0; n];
+        let mut spare: Option<f64> = None;
         for q in 0..n {
             let cal = &device.calibration.qubits[q];
             parity_sign[q] = if config.charge_parity && cal.charge_parity_khz > 0.0 {
@@ -102,7 +110,15 @@ impl ShotNoise {
                 0.0
             };
             detuning_khz[q] = if config.quasistatic && cal.quasistatic_khz > 0.0 {
-                gaussian(rng) * cal.quasistatic_khz
+                let z = match spare.take() {
+                    Some(z) => z,
+                    None => {
+                        let (z0, z1) = gaussian_pair(rng);
+                        spare = Some(z1);
+                        z0
+                    }
+                };
+                z * cal.quasistatic_khz
             } else {
                 0.0
             };
@@ -120,11 +136,19 @@ impl ShotNoise {
     }
 }
 
-/// Standard normal sample (Box–Muller).
+/// Standard normal sample (Box–Muller, cosine half).
 pub fn gaussian(rng: &mut StdRng) -> f64 {
+    gaussian_pair(rng).0
+}
+
+/// Two independent standard normal samples from one Box–Muller
+/// transform (two uniform draws, one `ln`/`sqrt`, one `sin_cos`).
+pub fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
     let u1: f64 = rng.random::<f64>().max(1e-300);
     let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    let r = (-2.0 * u1.ln()).sqrt();
+    let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+    (r * c, r * s)
 }
 
 /// Amplitude-damping Kraus pair for decay probability γ.

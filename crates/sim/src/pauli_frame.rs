@@ -28,6 +28,21 @@
 //! error and readout error are already Pauli/classical channels and
 //! match the dense engine exactly.
 //!
+//! ## Factored pending banks and per-shot RNG streams
+//!
+//! Per qubit the Z bank is stored *factored* as `(θ_static, t_signed)`
+//! — the deterministic phase plus the signed idle time that the
+//! shot's stochastic Z rate multiplies at flush:
+//! `θ = θ_static + phase_rad(rate, t_signed)`. Both components are
+//! RNG-independent (sign toggles negate both), which is what lets the
+//! bit-parallel [`crate::frame_batch`] engine precompute the entire
+//! bank evolution once per plan and reproduce this sampler's flush
+//! angles — and therefore its random draws — *bit for bit*. For the
+//! same reason every shot's RNG is seeded from
+//! [`crate::plan::shot_seed`]`(seed, shot_index)` alone: shot `i`
+//! sees one fixed stream no matter how shots are chunked over threads
+//! or packed into 64-lane words.
+//!
 //! ## Measurement randomness
 //!
 //! Shots reuse one reference tableau sample; a shot's outcome is the
@@ -37,9 +52,10 @@
 //! invisible, but it supplies the per-shot randomness that later
 //! collapses need (the Stim trick).
 
+use crate::error::SimError;
 use crate::executor::{pack_bits, Simulator};
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
-use crate::plan::{map_shots, ExecutionPlan, PlanOp};
+use crate::plan::{map_shots_indexed, ExecutionPlan, PlanOp};
 use crate::result::RunResult;
 use crate::stabilizer::{pack_pauli, pauli_from_bits, pauli_to_bits, Tableau};
 use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q, Table2Q};
@@ -53,18 +69,34 @@ use std::collections::HashMap;
 /// every gate is a Clifford (or a structural/projective op) and there
 /// is no classical feed-forward.
 pub fn stabilizer_supports(sc: &ScheduledCircuit) -> bool {
-    sc.items.iter().all(|si| {
+    stabilizer_check(sc).is_ok()
+}
+
+/// [`stabilizer_supports`] with the blocking construct named: `Err`
+/// carries the first non-Clifford gate (or feed-forward condition)
+/// that rules the tableau representation out.
+pub fn stabilizer_check(sc: &ScheduledCircuit) -> Result<(), SimError> {
+    crate::engine::check_gate_arities(sc)?;
+    for si in &sc.items {
         let g = si.instruction.gate;
-        si.instruction.condition.is_none()
-            && (matches!(
-                g,
-                Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
-            ) || g.is_clifford())
-    })
+        if si.instruction.condition.is_some() {
+            return Err(SimError::NotClifford {
+                gate: "feed-forward",
+            });
+        }
+        let structural = matches!(
+            g,
+            Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
+        );
+        if !structural && !g.is_clifford() {
+            return Err(SimError::NotClifford { gate: g.name() });
+        }
+    }
+    Ok(())
 }
 
 /// Per-item precomputed frame action.
-enum ItemOp {
+pub(crate) enum ItemOp {
     One {
         q: usize,
         table: Box<[(i8, Pauli); 4]>,
@@ -83,14 +115,14 @@ enum ItemOp {
 /// The frame-simulation plan: the shared [`ExecutionPlan`] plus the
 /// reference tableau run and per-item conjugation tables.
 pub struct FramePlan<'a> {
-    plan: ExecutionPlan<'a>,
+    pub(crate) plan: ExecutionPlan<'a>,
     /// Frame action per scheduled item (None for structural ops).
-    items: Vec<Option<ItemOp>>,
+    pub(crate) items: Vec<Option<ItemOp>>,
     /// Reference measurement outcomes, in plan (time) order.
-    ref_outcomes: Vec<bool>,
+    pub(crate) ref_outcomes: Vec<bool>,
     /// Reference tableau after the full circuit (for expectations).
-    ref_tableau: Tableau,
-    words: usize,
+    pub(crate) ref_tableau: Tableau,
+    pub(crate) words: usize,
 }
 
 /// Exact cache key for conjugation tables: gate mnemonic plus the
@@ -105,11 +137,12 @@ fn table_key(gate: &Gate) -> (&'static str, u64) {
 
 impl<'a> FramePlan<'a> {
     /// Builds the plan and executes the noiseless reference run.
-    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Self {
-        assert!(
-            stabilizer_supports(sc),
-            "circuit is not Clifford; use the statevector engine"
-        );
+    /// Fails with a structured [`SimError`] — never a panic — when the
+    /// circuit is outside the tableau representation (non-Clifford,
+    /// feed-forward, or an instruction whose operand count does not
+    /// match its gate's arity).
+    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
+        stabilizer_check(sc)?;
         let plan = ExecutionPlan::build(sc, &sim.device, &sim.config);
         let mut cache1: HashMap<(&'static str, u64), Box<[(i8, Pauli); 4]>> = HashMap::new();
         let mut cache2: HashMap<(&'static str, u64), Box<Table2Q>> = HashMap::new();
@@ -148,7 +181,15 @@ impl<'a> FramePlan<'a> {
                         diagonal: gate.is_diagonal(),
                     }
                 }
-                _ => panic!("unsupported gate arity"),
+                got => {
+                    // Unreachable after `stabilizer_check`, but kept as
+                    // a structured error so no caller path can panic.
+                    return Err(SimError::UnsupportedGateArity {
+                        gate: gate.name(),
+                        expected: gate.num_qubits(),
+                        got,
+                    });
+                }
             };
             items.push(Some(op));
         }
@@ -178,13 +219,13 @@ impl<'a> FramePlan<'a> {
         }
 
         let words = sc.num_qubits.div_ceil(64);
-        Self {
+        Ok(Self {
             plan,
             items,
             ref_outcomes,
             ref_tableau: tableau,
             words,
-        }
+        })
     }
 
     /// Runs one shot: propagates a Pauli frame with sampled noise and
@@ -198,7 +239,11 @@ impl<'a> FramePlan<'a> {
         // Initial Z-frame randomization: Z stabilizes |0…0⟩.
         randomize_z_all(&mut fz, n, rng);
         let mut bits = vec![false; self.plan.sc.num_clbits.max(1)];
-        let mut pend_rz = vec![0.0f64; n];
+        // Factored Z banks (see the module docs): deterministic phase
+        // plus signed time, combined with the shot's stochastic rate
+        // only at flush. ZZ banks have no stochastic part.
+        let mut pend_stat = vec![0.0f64; n];
+        let mut pend_time = vec![0.0f64; n];
         let mut pend_rzz = vec![0.0f64; self.plan.edge_pairs.len()];
         let mut deco_dt = vec![0.0f64; n];
         let mut meas_i = 0usize;
@@ -206,12 +251,12 @@ impl<'a> FramePlan<'a> {
         macro_rules! flush_qubit {
             ($q:expr, $rng:expr) => {{
                 let q = $q;
-                let theta = pend_rz[q];
-                if theta.abs() > 1e-15 {
-                    pend_rz[q] = 0.0;
-                    if $rng.random::<f64>() < (theta / 2.0).sin().powi(2) {
-                        toggle(&mut fz, q);
-                    }
+                let theta = pend_stat[q]
+                    + ca_device::phase_rad(shot.z_rate_khz(&sim.device, q), pend_time[q]);
+                pend_stat[q] = 0.0;
+                pend_time[q] = 0.0;
+                if theta.abs() > 1e-15 && $rng.random::<f64>() < (theta / 2.0).sin().powi(2) {
+                    toggle(&mut fz, q);
                 }
                 for &e in &self.plan.incident[q] {
                     let th = pend_rzz[e];
@@ -254,17 +299,15 @@ impl<'a> FramePlan<'a> {
                 PlanOp::Segment(i) => {
                     let seg = &self.plan.segments[i];
                     for &(q, th) in &seg.rz_static {
-                        pend_rz[q] += th;
+                        pend_stat[q] += th;
                     }
                     for &(e, th) in &self.plan.seg_edges[i] {
                         pend_rzz[e] += th;
                     }
+                    let dt = seg.dt();
                     for q in 0..n {
-                        let rate = shot.z_rate_khz(&sim.device, q);
-                        if rate != 0.0 {
-                            pend_rz[q] += ca_device::phase_rad(rate, seg.signed_dt[q]);
-                        }
-                        deco_dt[q] += seg.dt();
+                        pend_time[q] += seg.signed_dt[q];
+                        deco_dt[q] += dt;
                     }
                 }
                 PlanOp::Project { item } => {
@@ -305,7 +348,8 @@ impl<'a> FramePlan<'a> {
                                     if *s < 0 {
                                         // Z-preserving pulse (X/Y): the bank
                                         // toggles with the physical frame.
-                                        pend_rz[q] = -pend_rz[q];
+                                        pend_stat[q] = -pend_stat[q];
+                                        pend_time[q] = -pend_time[q];
                                         for &e in &self.plan.incident[q] {
                                             pend_rzz[e] = -pend_rzz[e];
                                         }
@@ -411,7 +455,7 @@ fn inject(fx: &mut [u64], fz: &mut [u64], q: usize, p: Pauli) {
     }
 }
 
-fn randomize_z_all(fz: &mut [u64], n: usize, rng: &mut StdRng) {
+pub(crate) fn randomize_z_all(fz: &mut [u64], n: usize, rng: &mut StdRng) {
     for (w, word) in fz.iter_mut().enumerate() {
         let bits_here = (n - w * 64).min(64);
         let mask = if bits_here == 64 {
@@ -423,8 +467,10 @@ fn randomize_z_all(fz: &mut [u64], n: usize, rng: &mut StdRng) {
     }
 }
 
-/// The stabilizer/Pauli-frame engine: a [`crate::SimEngine`] over a
-/// borrowed simulator configuration.
+/// The serial stabilizer/Pauli-frame engine: a [`crate::SimEngine`]
+/// over a borrowed simulator configuration, propagating one frame per
+/// shot. The reference implementation the bit-parallel
+/// [`crate::BatchedFrameEngine`] is validated against.
 pub struct StabilizerEngine<'a> {
     /// The owning simulator (device + noise configuration).
     pub sim: &'a Simulator,
@@ -437,29 +483,25 @@ impl<'a> StabilizerEngine<'a> {
     }
 
     /// Shot-sampled classical counts (see [`crate::SimEngine`]).
-    pub fn run_counts(&self, sc: &ScheduledCircuit, shots: usize, seed: u64) -> RunResult {
-        let plan = FramePlan::build(self.sim, sc, seed);
+    pub fn run_counts(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<RunResult, SimError> {
+        let plan = FramePlan::build(self.sim, sc, seed)?;
         let nbits = sc.num_clbits;
-        let parts = map_shots(
+        let parts = map_shots_indexed(
             shots,
             seed,
+            None,
             std::collections::BTreeMap::<u64, usize>::new,
             |rng, counts| {
                 let (_, _, bits) = plan.shot(self.sim, rng);
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
-        let mut counts = std::collections::BTreeMap::new();
-        for part in parts {
-            for (k, v) in part {
-                *counts.entry(k).or_insert(0) += v;
-            }
-        }
-        RunResult {
-            shots,
-            num_clbits: nbits,
-            counts,
-        }
+        Ok(RunResult::from_parts(shots, nbits, parts))
     }
 
     /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
@@ -469,8 +511,8 @@ impl<'a> StabilizerEngine<'a> {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64> {
-        let plan = FramePlan::build(self.sim, sc, seed);
+    ) -> Result<Vec<f64>, SimError> {
+        let plan = FramePlan::build(self.sim, sc, seed)?;
         // Reference expectation and packed masks per observable.
         let prepared: Vec<(i32, Vec<u64>, Vec<u64>)> = paulis
             .iter()
@@ -480,9 +522,10 @@ impl<'a> StabilizerEngine<'a> {
                 (r, px, pz)
             })
             .collect();
-        let sums = map_shots(
+        let sums = map_shots_indexed(
             shots,
             seed,
+            None,
             || vec![0.0; prepared.len()],
             |rng, acc| {
                 let (fx, fz, _) = plan.shot(self.sim, rng);
@@ -508,7 +551,7 @@ impl<'a> StabilizerEngine<'a> {
         for o in &mut out {
             *o /= shots as f64;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -537,10 +580,18 @@ mod tests {
         assert!(stabilizer_supports(&sched(&ok)));
         let mut bad = Circuit::new(1, 0);
         bad.rz(0.3, 0);
-        assert!(!stabilizer_supports(&sched(&bad)));
+        assert_eq!(
+            stabilizer_check(&sched(&bad)),
+            Err(SimError::NotClifford { gate: "rz" })
+        );
         let mut cond = Circuit::new(2, 1);
         cond.measure(0, 0).gate_if(Gate::X, [1], 0, true);
-        assert!(!stabilizer_supports(&sched(&cond)));
+        assert_eq!(
+            stabilizer_check(&sched(&cond)),
+            Err(SimError::NotClifford {
+                gate: "feed-forward"
+            })
+        );
     }
 
     #[test]
@@ -549,7 +600,7 @@ mod tests {
         let eng = StabilizerEngine::new(&sim);
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
-        let res = eng.run_counts(&sched(&qc), 2000, 7);
+        let res = eng.run_counts(&sched(&qc), 2000, 7).unwrap();
         assert_eq!(res.shots, 2000);
         let p00 = res.probability(0b00);
         let p11 = res.probability(0b11);
@@ -565,7 +616,7 @@ mod tests {
         let eng = StabilizerEngine::new(&sim);
         let mut qc = Circuit::new(1, 1);
         qc.h(0).measure(0, 0);
-        let res = eng.run_counts(&sched(&qc), 4000, 3);
+        let res = eng.run_counts(&sched(&qc), 4000, 3).unwrap();
         assert!(
             (res.probability(1) - 0.5).abs() < 0.04,
             "p1 {}",
@@ -579,7 +630,7 @@ mod tests {
         let eng = StabilizerEngine::new(&sim);
         let mut qc = Circuit::new(1, 2);
         qc.h(0).measure(0, 0).measure(0, 1);
-        let res = eng.run_counts(&sched(&qc), 500, 5);
+        let res = eng.run_counts(&sched(&qc), 500, 5).unwrap();
         assert_eq!(
             res.probability(0b01) + res.probability(0b10),
             0.0,
@@ -600,7 +651,7 @@ mod tests {
             PauliString::parse("YY").unwrap(),
             PauliString::parse("ZI").unwrap(),
         ];
-        let got = eng.expect_paulis(&sc, &obs, 50, 9);
+        let got = eng.expect_paulis(&sc, &obs, 50, 9).unwrap();
         assert!((got[0] - 1.0).abs() < 1e-12);
         assert!((got[1] - 1.0).abs() < 1e-12);
         assert!((got[2] + 1.0).abs() < 1e-12);
@@ -619,7 +670,7 @@ mod tests {
         let eng = StabilizerEngine::new(&sim);
         let mut qc = Circuit::new(1, 1);
         qc.measure(0, 0);
-        let res = eng.run_counts(&sched(&qc), 4000, 17);
+        let res = eng.run_counts(&sched(&qc), 4000, 17).unwrap();
         assert!((res.probability(1) - 0.2).abs() < 0.03);
     }
 
@@ -640,12 +691,16 @@ mod tests {
 
         let mut bare = Circuit::new(1, 0);
         bare.h(0).delay(4000.0, 0).h(0);
-        let z_bare = eng.expect_paulis(&sched(&bare), std::slice::from_ref(&z), 400, 11)[0];
+        let z_bare = eng
+            .expect_paulis(&sched(&bare), std::slice::from_ref(&z), 400, 11)
+            .unwrap()[0];
         assert!(z_bare < 0.8, "bare Ramsey dephases: {z_bare}");
 
         let mut echo = Circuit::new(1, 0);
         echo.h(0).delay(2000.0, 0).x(0).delay(2000.0, 0).h(0);
-        let z_echo = eng.expect_paulis(&sched(&echo), std::slice::from_ref(&z), 400, 11)[0];
+        let z_echo = eng
+            .expect_paulis(&sched(&echo), std::slice::from_ref(&z), 400, 11)
+            .unwrap()[0];
         assert!(
             (z_echo - 1.0).abs() < 1e-12,
             "echo refocuses exactly: {z_echo}"
@@ -686,8 +741,12 @@ mod tests {
         staggered.barrier(Vec::<usize>::new());
         staggered.h(0).h(1);
         let z = PauliString::parse("ZI").unwrap();
-        let za = eng.expect_paulis(&sched0(&aligned), std::slice::from_ref(&z), 600, 1)[0];
-        let zs = eng.expect_paulis(&sched0(&staggered), std::slice::from_ref(&z), 600, 1)[0];
+        let za = eng
+            .expect_paulis(&sched0(&aligned), std::slice::from_ref(&z), 600, 1)
+            .unwrap()[0];
+        let zs = eng
+            .expect_paulis(&sched0(&staggered), std::slice::from_ref(&z), 600, 1)
+            .unwrap()[0];
         assert!(
             (zs - 1.0).abs() < 1e-12,
             "staggered cancels everything: {zs}"
@@ -714,7 +773,7 @@ mod tests {
         let eng = StabilizerEngine::new(&sim);
         let mut qc = Circuit::new(1, 1);
         qc.x(0).delay(50_000.0, 0).measure(0, 0);
-        let res = eng.run_counts(&sched(&qc), 4000, 13);
+        let res = eng.run_counts(&sched(&qc), 4000, 13).unwrap();
         // Twirled damping decays the excited population as
         // 1 − γ/2 (X and Y kicks re-equilibrate) rather than 1 − γ;
         // accept the twirl approximation's band around e^{-1}.
@@ -739,8 +798,34 @@ mod tests {
         for q in 0..n {
             qc.measure(q, q);
         }
-        let res = eng.run_counts(&sched(&qc), 200, 21);
+        let res = eng.run_counts(&sched(&qc), 200, 21).unwrap();
         assert_eq!(res.shots, 200);
         assert_eq!(res.num_clbits, n);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error_not_a_panic() {
+        // Construct the malformed instruction directly (the builder's
+        // debug assertion would catch it in dev builds; release-built
+        // callers and deserialized circuits reach the engine).
+        let sim = ideal(3);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(3, 1);
+        qc.push(ca_circuit::Instruction {
+            gate: Gate::X,
+            qubits: vec![0, 1, 2],
+            clbit: None,
+            condition: None,
+        });
+        qc.measure(0, 0);
+        let err = eng.run_counts(&sched(&qc), 10, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnsupportedGateArity {
+                gate: "x",
+                expected: 1,
+                got: 3
+            }
+        );
     }
 }

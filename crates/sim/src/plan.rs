@@ -106,6 +106,110 @@ impl<'a> ExecutionPlan<'a> {
 /// a seed reproduces the same counts on any machine.
 const CHUNK_SHOTS: usize = 128;
 
+/// The RNG seed of one shot, derived from the run seed and the shot's
+/// global index alone (SplitMix64-style mix). Both Pauli-frame paths —
+/// the serial reference sampler and the bit-parallel batch engine —
+/// seed shot `i` identically from this function, which is what makes
+/// their counts bit-identical and thread-count independent.
+pub fn shot_seed(seed: u64, shot: usize) -> u64 {
+    let mut z = seed ^ (shot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves the worker-thread count for a fan-out over `jobs` work
+/// units: an explicit request wins, then the `CA_SIM_WORKERS`
+/// environment variable (used by CI to pin thread counts in
+/// determinism checks), then the host's available parallelism.
+pub fn worker_count(requested: Option<usize>, jobs: usize) -> usize {
+    let base = requested
+        .or_else(|| {
+            std::env::var("CA_SIM_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        });
+    base.clamp(1, 16).min(jobs.max(1))
+}
+
+/// Runs `shots` across worker threads with a *per-shot* seeded RNG
+/// (see [`shot_seed`]): shot `i` sees the same stream no matter how
+/// shots are distributed over threads. Returns per-worker accumulators
+/// for the caller to merge. Used by the serial Pauli-frame sampler;
+/// the batch engine reproduces the identical per-shot streams 64
+/// lanes at a time.
+pub fn map_shots_indexed<Acc: Send>(
+    shots: usize,
+    seed: u64,
+    workers: Option<usize>,
+    new_acc: impl Fn() -> Acc + Sync,
+    per_shot: impl Fn(&mut rand::rngs::StdRng, &mut Acc) + Sync,
+) -> Vec<Acc> {
+    use rand::SeedableRng;
+    let chunks = chunk_ranges(shots);
+    let workers = worker_count(workers, chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let chunks = &chunks;
+                let new_acc = &new_acc;
+                let per_shot = &per_shot;
+                scope.spawn(move || {
+                    let mut acc = new_acc();
+                    for &(start, len) in chunks.iter().skip(w).step_by(workers) {
+                        for i in start..start + len {
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(shot_seed(seed, i));
+                            per_shot(&mut rng, &mut acc);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shot thread"))
+            .collect()
+    })
+}
+
+/// Runs `jobs` independent batch jobs across worker threads and
+/// returns their outputs **in job order**, regardless of thread count
+/// or scheduling. Integer count merges are order-independent anyway;
+/// returning in job order additionally makes floating-point
+/// accumulations (expectation sums) bit-identical across worker
+/// counts, which the batch engine's determinism guarantee relies on.
+pub fn map_batches<Out: Send>(
+    jobs: usize,
+    workers: Option<usize>,
+    run: impl Fn(usize) -> Out + Sync,
+) -> Vec<Out> {
+    let workers = worker_count(workers, jobs);
+    let slots: Vec<std::sync::Mutex<Option<Out>>> =
+        (0..jobs).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || {
+                for j in (w..jobs).step_by(workers) {
+                    let out = run(j);
+                    *slots[j].lock().expect("batch slot") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("batch slot").expect("batch output"))
+        .collect()
+}
+
 /// Splits `shots` into fixed-size ranges (machine-independent).
 pub fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
@@ -138,11 +242,7 @@ pub fn map_shots<Acc: Send>(
 ) -> Vec<Acc> {
     use rand::SeedableRng;
     let chunks = chunk_ranges(shots);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
-        .min(chunks.len().max(1));
+    let workers = worker_count(None, chunks.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {

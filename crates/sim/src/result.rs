@@ -15,6 +15,32 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Builds a result by merging partial count maps — the single
+    /// aggregation point for every engine's shot fan-out (per-worker
+    /// maps from the serial samplers, per-64-shot-word maps from the
+    /// batch engine). Integer merges are order-independent, so the
+    /// result is identical for any partitioning of the same shots.
+    pub fn from_parts(
+        shots: usize,
+        num_clbits: usize,
+        parts: impl IntoIterator<Item = BTreeMap<u64, usize>>,
+    ) -> Self {
+        let mut counts = BTreeMap::new();
+        let mut merged = 0usize;
+        for part in parts {
+            for (k, v) in part {
+                merged += v;
+                *counts.entry(k).or_insert(0) += v;
+            }
+        }
+        debug_assert_eq!(merged, shots, "partial counts must cover every shot");
+        Self {
+            shots,
+            num_clbits,
+            counts,
+        }
+    }
+
     /// Probability of an exact outcome pattern.
     pub fn probability(&self, pattern: u64) -> f64 {
         *self.counts.get(&pattern).unwrap_or(&0) as f64 / self.shots as f64
@@ -99,6 +125,17 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.shots, 20);
         assert_eq!(a.counts[&0b00], 15);
+    }
+
+    #[test]
+    fn from_parts_merges_partition_independently() {
+        let a: BTreeMap<u64, usize> = [(0b00u64, 3), (0b01, 2)].into_iter().collect();
+        let b: BTreeMap<u64, usize> = [(0b01u64, 1), (0b11, 4)].into_iter().collect();
+        let fwd = RunResult::from_parts(10, 2, [a.clone(), b.clone()]);
+        let rev = RunResult::from_parts(10, 2, [b, a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.counts[&0b01], 3);
+        assert_eq!(fwd.shots, 10);
     }
 
     #[test]

@@ -43,7 +43,9 @@ fn main() {
         let instances = 4;
         for seed in 0..instances {
             let compiled = compile(&qc, &device, &CompileOptions::new(strategy, seed));
-            let vals = sim.expect_paulis(&compiled, &observables, 60, seed ^ 0xA5);
+            let vals = sim
+                .expect_paulis(&compiled, &observables, 60, seed ^ 0xA5)
+                .expect("simulate");
             total += vals.iter().sum::<f64>() / vals.len() as f64;
         }
         println!("{:<14}  {:.4}", strategy.label(), total / instances as f64);

@@ -28,7 +28,7 @@
 //! // Compile with context-aware dynamical decoupling and simulate.
 //! let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7));
 //! let sim = Simulator::with_config(device, NoiseConfig::coherent_only());
-//! let z = sim.expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7);
+//! let z = sim.expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7).unwrap();
 //! assert!(z > 0.99);
 //! ```
 //!
@@ -58,6 +58,7 @@ pub mod prelude {
     pub use ca_experiments::{Budget, Figure, Series};
     pub use ca_metrics::{fit_decay, gamma_from_layer_fidelity, DecayFit};
     pub use ca_sim::{
-        Engine, NoiseConfig, RunResult, SimEngine, Simulator, StabilizerEngine, State, Tableau,
+        BatchedFrameEngine, Engine, NoiseConfig, RunResult, SimEngine, SimError, Simulator,
+        StabilizerEngine, State, Tableau,
     };
 }

@@ -28,7 +28,9 @@ fn idle_pair_fidelity(device: &Device, noise: &NoiseConfig, strategy: Strategy, 
             device,
             &CompileOptions::new(strategy, seed + inst),
         );
-        let vals = sim.expect_paulis(&compiled, &obs, 30, seed ^ inst.wrapping_mul(977));
+        let vals = sim
+            .expect_paulis(&compiled, &obs, 30, seed ^ inst.wrapping_mul(977))
+            .expect("simulate");
         total += vals.iter().sum::<f64>() / vals.len() as f64;
     }
     total / 4.0
@@ -149,6 +151,8 @@ fn facade_prelude_compiles_the_doc_example() {
     qc.h(2).h(3);
     let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7));
     let sim = Simulator::with_config(device, NoiseConfig::coherent_only());
-    let z = sim.expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7);
+    let z = sim
+        .expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7)
+        .expect("simulate");
     assert!(z > 0.99, "suppressed Ramsey must return: {z}");
 }

@@ -5,15 +5,25 @@
 //! implement the *same* stochastic channels and should agree up to
 //! shot noise.
 //!
-//! Coherent noise terms are intentionally excluded here: the dense
-//! engine treats them exactly while the stabilizer engine applies
-//! their Pauli twirl, so they agree in distribution only after twirl
-//! averaging (covered by the targeted tests in `ca-sim`).
+//! The batched frame engine is held to a much stronger standard: for
+//! any seed, shot count, and worker-thread count its counts must be
+//! **bit-identical** to the serial stabilizer engine's (both paths
+//! seed shot `i`'s RNG from the seed and `i` alone and make the same
+//! draws in the same order).
+//!
+//! Coherent noise terms are intentionally excluded from the
+//! dense-vs-stabilizer statistical checks: the dense engine treats
+//! them exactly while the stabilizer engine applies their Pauli
+//! twirl, so they agree in distribution only after twirl averaging
+//! (covered by the targeted tests in `ca-sim`). The batch-vs-serial
+//! checks run with *every* channel enabled — the two frame paths
+//! implement the identical model.
 
 use context_aware_compiling::prelude::*;
 use proptest::prelude::*;
 // Explicit import so `Strategy` means proptest's trait (the compile
 // Strategy enum is referenced by path below).
+use ca_sim::BatchedFrameEngine;
 use proptest::Strategy;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -73,9 +83,24 @@ fn run_both(qc: &Circuit, noise: NoiseConfig, shots: usize, seed: u64) -> (RunRe
     let dense = Simulator::with_engine(device.clone(), noise, Engine::Statevector);
     let stab = Simulator::with_engine(device, noise, Engine::Stabilizer);
     (
-        dense.run_counts(&sc, shots, seed),
-        stab.run_counts(&sc, shots, seed + 1),
+        dense.run_counts(&sc, shots, seed).unwrap(),
+        stab.run_counts(&sc, shots, seed + 1).unwrap(),
     )
+}
+
+/// A noisy simulator with every stochastic channel lit up, for the
+/// bit-identity checks between the two frame engines.
+fn noisy_frame_sim(n: usize) -> Simulator {
+    let mut dev = uniform_device(Topology::line(n), 55.0);
+    for q in 0..n {
+        dev.calibration.qubits[q].quasistatic_khz = 25.0;
+        dev.calibration.qubits[q].charge_parity_khz = 4.0;
+        dev.calibration.qubits[q].t1_us = 70.0;
+        dev.calibration.qubits[q].t2_us = 80.0;
+        dev.calibration.qubits[q].readout_err = 0.02;
+        dev.calibration.qubits[q].gate_err_1q = 0.003;
+    }
+    Simulator::with_config(dev, NoiseConfig::default())
 }
 
 /// Expected TVD between two empirical distributions of `shots`
@@ -118,6 +143,94 @@ proptest! {
             "noisy TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
         );
     }
+
+    #[test]
+    fn batch_matches_serial_on_random_circuits_and_tail_shot_counts(
+        qc in arb_clifford_circuit(5),
+        // Deliberately not a multiple of 64 most of the time: the
+        // final batch word runs a partial set of lanes and the unused
+        // high lanes must never leak into counts (tail masking).
+        shots in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let sim = noisy_frame_sim(qc.num_qubits);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let a = serial.run_counts(&sc, shots, seed).unwrap();
+        let b = batch.run_counts(&sc, shots, seed).unwrap();
+        prop_assert_eq!(a, b, "shots {} seed {} for {:?}", shots, seed, qc);
+    }
+}
+
+#[test]
+fn batch_and_serial_counts_are_bit_identical_with_full_noise() {
+    // The acceptance-criterion check, at a shot count spanning
+    // several batch words plus a partial tail word.
+    let sim = noisy_frame_sim(6);
+    let mut qc = Circuit::new(6, 6);
+    for q in 0..6 {
+        qc.h(q);
+    }
+    qc.ecr(0, 1).ecr(2, 3).ecr(4, 5);
+    qc.x(1).delay(900.0, 0);
+    qc.cx(1, 2).cz(3, 4);
+    qc.reset(5);
+    qc.h(5);
+    for q in 0..6 {
+        qc.measure(q, q);
+    }
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let serial = StabilizerEngine::new(&sim);
+    let batch = BatchedFrameEngine::new(&sim);
+    for seed in [1u64, 42, 977] {
+        let a = serial.run_counts(&sc, 1000, seed).unwrap();
+        let b = batch.run_counts(&sc, 1000, seed).unwrap();
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(a.shots, 1000);
+    }
+}
+
+#[test]
+fn batch_counts_and_expectations_identical_across_worker_counts() {
+    let sim = noisy_frame_sim(5);
+    let mut qc = Circuit::new(5, 5);
+    for q in 0..5 {
+        qc.h(q);
+    }
+    qc.ecr(0, 1).ecr(2, 3);
+    qc.x(4).delay(600.0, 4).x(4);
+    qc.ecr(1, 2).ecr(3, 4);
+    for q in 0..5 {
+        qc.measure(q, q);
+    }
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let batch = BatchedFrameEngine::new(&sim);
+    let counts1 = batch.run_counts_with_workers(&sc, 777, 5, Some(1)).unwrap();
+    for workers in [2usize, 8] {
+        let got = batch
+            .run_counts_with_workers(&sc, 777, 5, Some(workers))
+            .unwrap();
+        assert_eq!(counts1, got, "counts differ at {workers} workers");
+    }
+
+    let mut open = qc.clone();
+    open.instructions.retain(|i| i.gate != Gate::Measure);
+    let sco = schedule_asap(&open, GateDurations::default());
+    let obs = [
+        PauliString::parse("ZZIII").unwrap(),
+        PauliString::parse("IIXXI").unwrap(),
+        PauliString::parse("IIIIZ").unwrap(),
+    ];
+    let e1 = batch
+        .expect_paulis_with_workers(&sco, &obs, 777, 5, Some(1))
+        .unwrap();
+    for workers in [2usize, 8] {
+        let got = batch
+            .expect_paulis_with_workers(&sco, &obs, 777, 5, Some(workers))
+            .unwrap();
+        assert_eq!(e1, got, "expectations differ at {workers} workers");
+    }
 }
 
 #[test]
@@ -152,19 +265,22 @@ fn expectations_match_on_random_clifford_circuits() {
         let device = uniform_device(Topology::line(n), 0.0);
         let dense =
             Simulator::with_engine(device.clone(), NoiseConfig::ideal(), Engine::Statevector);
-        let stab = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::Stabilizer);
+        let stab = Simulator::with_engine(device.clone(), NoiseConfig::ideal(), Engine::Stabilizer);
+        let frames = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::FrameBatch);
         for _ in 0..4 {
             let p = PauliString::new(
                 (0..n)
                     .map(|_| ca_circuit::Pauli::from_index(rng.random_range(0..4usize)))
                     .collect(),
             );
-            let ed = dense.expect_pauli(&sc, &p, 1, 5);
-            let es = stab.expect_pauli(&sc, &p, 8, 5);
+            let ed = dense.expect_pauli(&sc, &p, 1, 5).unwrap();
+            let es = stab.expect_pauli(&sc, &p, 8, 5).unwrap();
+            let eb = frames.expect_pauli(&sc, &p, 8, 5).unwrap();
             assert!(
                 (ed - es).abs() < 1e-9,
                 "trial {trial}: ⟨{p}⟩ dense {ed} vs stabilizer {es} for {qc:?}"
             );
+            assert_eq!(es, eb, "trial {trial}: serial vs batch ⟨{p}⟩");
         }
     }
 }
@@ -194,12 +310,46 @@ fn twirled_compilation_agrees_across_engines() {
     let dense = Simulator::with_engine(device.clone(), NoiseConfig::ideal(), Engine::Statevector);
     let stab = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::Stabilizer);
     let shots = 1500;
-    let d = dense.run_counts(&sc, shots, 3);
-    let s = stab.run_counts(&sc, shots, 4);
+    let d = dense.run_counts(&sc, shots, 3).unwrap();
+    let s = stab.run_counts(&sc, shots, 4).unwrap();
     let outcomes = d.counts.len().max(s.counts.len());
     let t = tvd(&d, &s);
     assert!(
         t < tvd_threshold(shots, outcomes),
         "TVD {t:.4} with {outcomes} outcomes"
     );
+}
+
+#[test]
+fn unsupported_circuits_error_instead_of_crashing() {
+    // Three-qubit operand list: constructible in release builds and
+    // through deserialization; every engine must refuse it with a
+    // structured error.
+    let device = uniform_device(Topology::line(3), 0.0);
+    let mut qc = Circuit::new(3, 0);
+    qc.push(ca_circuit::Instruction {
+        gate: Gate::X,
+        qubits: vec![0, 1, 2],
+        clbit: None,
+        condition: None,
+    });
+    let sc = schedule_asap(&qc, GateDurations::default());
+    for engine in [
+        Engine::Auto,
+        Engine::Statevector,
+        Engine::Stabilizer,
+        Engine::FrameBatch,
+    ] {
+        let sim = Simulator::with_engine(device.clone(), NoiseConfig::ideal(), engine);
+        let err = sim.run_counts(&sc, 4, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ca_sim::SimError::UnsupportedGateArity {
+                gate: "x",
+                expected: 1,
+                got: 3
+            },
+            "{engine:?}"
+        );
+    }
 }

@@ -31,7 +31,9 @@ fn idle_pair_matches_u11_closed_form() {
         qc.delay(tau, 0).delay(tau, 1);
         let sc = schedule_asap(&qc, GateDurations::default());
         let theta = phase_rad(NU_KHZ, tau);
-        let x0 = sim.expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1);
+        let x0 = sim
+            .expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1)
+            .expect("simulate");
         let expect = theta.cos() * theta.cos();
         assert!(
             (x0 - expect).abs() < 1e-9,
@@ -57,7 +59,9 @@ fn control_spectator_accrues_minus_theta() {
         }
         let sc = schedule_asap(&qc, durations);
         let theta = phase_rad(NU_KHZ, durations.two_qubit) * d as f64;
-        let x0 = sim.expect_pauli(&sc, &PauliString::parse("XII").unwrap(), 1, 1);
+        let x0 = sim
+            .expect_pauli(&sc, &PauliString::parse("XII").unwrap(), 1, 1)
+            .expect("simulate");
         assert!(
             (x0 - theta.cos()).abs() < 1e-9,
             "d {d}: ⟨X₀⟩ {x0} vs cos(dθ) {}",
@@ -99,7 +103,9 @@ fn walsh_pairs_cancel_zz_iff_distinct() {
             let _ = b;
             assert!(apply_walsh_in_window(&mut sc, 0, start, end, k0, 0.0));
             assert!(apply_walsh_in_window(&mut sc, 1, start, end, k1, 0.0));
-            let x0 = sim.expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1);
+            let x0 = sim
+                .expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1)
+                .expect("simulate");
             let theta = phase_rad(NU_KHZ, tau);
             if k0 == k1 {
                 // Aligned: local Z cancelled, ZZ survives in full.
@@ -155,7 +161,9 @@ fn stark_phase_matches_calibration() {
     }
     let sc = schedule_asap(&qc, device.durations());
     let theta = phase_rad(30.0, n as f64 * device.durations().one_qubit);
-    let x0 = sim.expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1);
+    let x0 = sim
+        .expect_pauli(&sc, &PauliString::parse("XI").unwrap(), 1, 1)
+        .expect("simulate");
     assert!(
         (x0 - theta.cos()).abs() < 1e-9,
         "⟨X₀⟩ {x0} vs {}",
@@ -178,7 +186,9 @@ fn charge_parity_average_is_cosine_product() {
     let mut qc = Circuit::new(1, 0);
     qc.h(0).delay(tau, 0);
     let sc = schedule_asap(&qc, device.durations());
-    let x = sim.expect_pauli(&sc, &PauliString::parse("X").unwrap(), 4000, 3);
+    let x = sim
+        .expect_pauli(&sc, &PauliString::parse("X").unwrap(), 4000, 3)
+        .expect("simulate");
     let expect = phase_rad(40.0, tau).cos();
     assert!(
         (x - expect).abs() < 0.05,
