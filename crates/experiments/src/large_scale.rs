@@ -253,7 +253,7 @@ pub fn measure_large_layer_fidelity_with(
         engine,
         partition_lambdas,
         lf,
-        gamma: ca_metrics::gamma_from_layer_fidelity(lf.max(1e-9)),
+        gamma: ca_metrics::gamma_from_layer_fidelity(lf.max(1e-9)).expect("clamped LF is positive"),
         wall_s,
     }
 }

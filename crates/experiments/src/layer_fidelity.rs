@@ -185,7 +185,7 @@ pub fn measure_layer_fidelity(
         label: strategy.label().to_string(),
         partition_lambdas,
         lf,
-        gamma: ca_metrics::gamma_from_layer_fidelity(lf.max(1e-6)),
+        gamma: ca_metrics::gamma_from_layer_fidelity(lf.max(1e-6)).expect("clamped LF is positive"),
     }
 }
 

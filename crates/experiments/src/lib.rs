@@ -14,6 +14,7 @@ pub mod heisenberg;
 pub mod ising;
 pub mod large_scale;
 pub mod layer_fidelity;
+pub mod pec;
 pub mod ramsey;
 pub mod report;
 pub mod runner;

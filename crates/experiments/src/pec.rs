@@ -1,0 +1,360 @@
+//! PEC experiments (Secs. V-B/C): the mitigation consequence of
+//! Fig. 8.
+//!
+//! Two drivers:
+//!
+//! * [`fig_pec_gamma`] — learns the per-layer Pauli channel of the
+//!   sparse 10-qubit Fig. 8a layer under each strategy (bare →
+//!   DD → CA-DD → CA-EC), inverts it, and reports the *learned* PEC
+//!   overhead base γ next to the closed-form `γ = LF^{−2}`. The
+//!   paper's trajectory is γ 2.38 → 1.81 → 1.48 → 1.29: context-aware
+//!   compiling makes the residual twirled noise cheap to cancel.
+//! * [`pec_demo`] / [`pec_demo_127`] — runs the full learn → invert →
+//!   sample → mitigate pipeline on one observable and shows the
+//!   mitigated estimate landing on the ideal value while the raw one
+//!   decays, at equal shots. At 127 qubits the executor runs on the
+//!   bit-parallel frame-batch engine against a single cached
+//!   execution plan for every sampled PEC instance.
+
+use crate::layer_fidelity::{fig8_device, partitions as fig8_partitions, LAYER_GATES};
+use crate::report::{Figure, Series};
+use crate::runner::Budget;
+use ca_circuit::{Pauli, PauliString};
+use ca_core::{compile, CompileOptions, Strategy};
+use ca_device::Device;
+use ca_mitigation::{
+    invert, invert_clamped, layer_anchor_items, layer_circuit, learn_layer_channel, mitigate_pauli,
+    propagate_through_layers, LearnConfig, MitigationError, PecConfig, MIN_INVERTIBLE_FIDELITY,
+};
+use ca_sim::{Engine, NoiseConfig, Simulator};
+
+/// Learned-γ result for one strategy.
+#[derive(Clone, Debug)]
+pub struct PecGammaResult {
+    /// Strategy label.
+    pub label: String,
+    /// Engine the learning circuits ran on.
+    pub engine: String,
+    /// Layer fidelity implied by the learned channel.
+    pub lf: f64,
+    /// γ from the quasi-probability inverse (exact Σ|q| accounting).
+    pub gamma_learned: f64,
+    /// Closed-form γ = LF^{−2} from the same learned LF.
+    pub gamma_formula: f64,
+    /// False when some learned fidelity sat below the invertibility
+    /// floor and `gamma_learned` is the clamped *lower bound* (bare
+    /// compilation at strong crosstalk lands here).
+    pub invertible: bool,
+}
+
+fn learn_config(depths: &[usize], budget: &Budget) -> LearnConfig {
+    LearnConfig {
+        depths: depths.to_vec(),
+        shots: budget.trajectories,
+        instances: budget.instances,
+        seed: budget.seed,
+        noise: NoiseConfig {
+            readout_error: false,
+            ..NoiseConfig::default()
+        },
+    }
+}
+
+/// Learns the layer channel and γ for one strategy on the Fig. 8
+/// layer.
+pub fn learn_gamma(
+    device: &Device,
+    strategy: Strategy,
+    depths: &[usize],
+    budget: &Budget,
+) -> Result<PecGammaResult, MitigationError> {
+    let parts = fig8_partitions();
+    let learned = learn_layer_channel(
+        device,
+        strategy,
+        &LAYER_GATES,
+        &parts,
+        &learn_config(depths, budget),
+    )?;
+    // Strategies whose channel is too deep to invert (bare at strong
+    // crosstalk) still get a γ *lower bound* via the clamped inverse.
+    let (quasi, invertible) = match invert(&learned.channel) {
+        Ok(q) => (q, true),
+        Err(MitigationError::DegenerateFidelity { .. }) => (
+            invert_clamped(&learned.channel, MIN_INVERTIBLE_FIDELITY),
+            false,
+        ),
+        Err(e) => return Err(e),
+    };
+    Ok(PecGammaResult {
+        label: strategy.label().to_string(),
+        engine: learned.engine.clone(),
+        lf: learned.lf,
+        gamma_learned: quasi.gamma,
+        gamma_formula: ca_metrics::gamma_from_layer_fidelity(learned.lf.max(1e-6))?,
+        invertible,
+    })
+}
+
+/// The Fig. 8 γ trajectory with *learned* channels, over the four
+/// paper strategies plus the Sec. V-E combined one. Clifford
+/// strategies learn on the frame-batch engine; CA-EC's non-Clifford
+/// compensations resolve to the dense engine at 10 qubits.
+///
+/// Strategies are listed in this simulator's measured quality order:
+/// γ falls monotonically along `bare → DD → CA-EC → CA-DD →
+/// CA-EC+DD`. This differs from the paper in one place — standalone
+/// CA-EC lands between DD and CA-DD instead of winning outright —
+/// a known gap of this reproduction (visible in the seed's Fig. 8
+/// bench as well): our CA-EC pays real pulse-stretched `Rzz` gates
+/// for compensations that merge into frame changes at zero cost on
+/// hardware, and it has no echo against the stochastic dephasing
+/// terms DD removes. The paper's headline conclusion — context-aware
+/// compiling makes the residual channel strictly cheaper to cancel,
+/// step by step — survives intact with the combined strategy as the
+/// final point.
+pub fn fig_pec_gamma(
+    depths: &[usize],
+    budget: &Budget,
+) -> Result<(Figure, Vec<PecGammaResult>), MitigationError> {
+    let device = fig8_device(37);
+    let strategies = [
+        Strategy::Bare,
+        Strategy::UniformDd,
+        Strategy::CaEc,
+        Strategy::CaDd,
+        Strategy::CaEcPlusDd,
+    ];
+    let mut results = Vec::with_capacity(strategies.len());
+    for &s in &strategies {
+        results.push(learn_gamma(&device, s, depths, budget)?);
+    }
+    let xs: Vec<f64> = (0..results.len()).map(|i| i as f64).collect();
+    let mut fig = Figure::new(
+        "fig_pec_gamma",
+        "learned PEC overhead base γ of the sparse 10-qubit layer",
+        "strategy",
+        "gamma",
+    );
+    fig.push(Series::new(
+        "gamma (learned channel)",
+        xs.clone(),
+        results.iter().map(|r| r.gamma_learned).collect(),
+    ));
+    fig.push(Series::new(
+        "gamma = LF^-2",
+        xs,
+        results.iter().map(|r| r.gamma_formula).collect(),
+    ));
+    for (i, r) in results.iter().enumerate() {
+        fig.note(format!(
+            "strategy {i} = {} [{} engine] LF {:.3}",
+            r.label, r.engine, r.lf
+        ));
+    }
+    fig.note("paper: γ 2.38 (bare) → 1.81 (DD) → 1.48 (CA-DD) → 1.29 (CA-EC)");
+    fig.note("this reproduction: standalone CA-EC sits between DD and CA-DD; CA-EC+DD is best");
+    Ok((fig, results))
+}
+
+/// One PEC mitigation demonstration: learned channel, inverted and
+/// sampled, against the paired unmitigated estimate.
+#[derive(Clone, Debug)]
+pub struct PecDemoResult {
+    /// Strategy label.
+    pub label: String,
+    /// Full-layer γ of the learned channel (all partitions).
+    pub gamma_layer: f64,
+    /// γ actually paid: the observable-support restriction raised to
+    /// the number of mitigated layer applications.
+    pub gamma_total: f64,
+    /// Mitigated layer applications.
+    pub depth: usize,
+    /// Unmitigated estimate and its standard error.
+    pub raw: f64,
+    /// Standard error of `raw`.
+    pub raw_err: f64,
+    /// PEC estimate and its (γ-amplified) standard error.
+    pub mitigated: f64,
+    /// Standard error of `mitigated`.
+    pub mitigated_err: f64,
+    /// The noiseless value of the observable (+1 by construction).
+    pub ideal: f64,
+    /// Shots used by both estimates.
+    pub shots: usize,
+}
+
+/// How to run a [`pec_demo`]: strategy, circuit depth, learning
+/// depths, and the shot budget shared by both estimates.
+#[derive(Clone, Debug)]
+pub struct PecDemoSpec<'a> {
+    /// Compile strategy (must stay Clifford — the executor runs on
+    /// the frame engines).
+    pub strategy: Strategy,
+    /// Mitigated layer applications in the demo circuit.
+    pub depth: usize,
+    /// Depths the learner fits its decays over.
+    pub learn_depths: &'a [usize],
+    /// Shots for the mitigated and the paired raw estimate.
+    pub shots: usize,
+}
+
+/// Runs the full pipeline on one device/layer: learns the channel
+/// under the spec's strategy, prepares the first gate pair in an
+/// X⊗X eigenstate, applies `depth` layers, and mitigates the
+/// propagated pair observable with the support-restricted inverse.
+pub fn pec_demo(
+    device: &Device,
+    layer: &[(usize, usize)],
+    parts: &[Vec<usize>],
+    spec: &PecDemoSpec<'_>,
+    budget: &Budget,
+) -> Result<PecDemoResult, MitigationError> {
+    let n = device.topology.num_qubits;
+    let (strategy, depth, shots) = (spec.strategy, spec.depth, spec.shots);
+    let learned = learn_layer_channel(
+        device,
+        strategy,
+        layer,
+        parts,
+        &learn_config(spec.learn_depths, budget),
+    )?;
+    let quasi = invert(&learned.channel)?;
+
+    // X⊗X on the first gate pair: maximally sensitive to the twirled
+    // Z/ZZ channel, so the raw estimate decays visibly and the
+    // mitigated-vs-raw comparison has real signal.
+    let (a, b) = layer[0];
+    let preps = [(a, Pauli::X), (b, Pauli::X)];
+    let mut prep = PauliString::identity(n);
+    prep.paulis[a] = Pauli::X;
+    prep.paulis[b] = Pauli::X;
+    let observable = propagate_through_layers(&prep, layer, depth);
+    let qc = layer_circuit(n, &preps, layer, depth);
+    let sc = compile(
+        &qc,
+        device,
+        &CompileOptions::new(strategy, budget.seed.wrapping_add(101)),
+    );
+    let anchors = layer_anchor_items(&sc, layer.len())?;
+    let restricted = quasi.restrict_to_support(&[a, b]);
+
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
+    let sim = Simulator::with_engine(device.clone(), noise, Engine::FrameBatch);
+    let run = mitigate_pauli(
+        &sim,
+        &sc,
+        &anchors,
+        &restricted,
+        &observable,
+        &PecConfig {
+            shots,
+            seed: budget.seed ^ 0xD301,
+            workers: None,
+        },
+    )?;
+    Ok(PecDemoResult {
+        label: strategy.label().to_string(),
+        gamma_layer: quasi.gamma,
+        gamma_total: run.gamma_total,
+        depth,
+        raw: run.raw,
+        raw_err: run.raw_std_err,
+        mitigated: run.mitigated.value,
+        mitigated_err: run.mitigated.std_err,
+        ideal: 1.0,
+        shots,
+    })
+}
+
+/// [`pec_demo`] at full device scale: the 127-qubit heavy-hex sparse
+/// layer under CA-DD, every sampled PEC instance executed against
+/// one cached frame-batch plan.
+pub fn pec_demo_127(
+    depth: usize,
+    learn_depths: &[usize],
+    budget: &Budget,
+    shots: usize,
+) -> Result<PecDemoResult, MitigationError> {
+    let device = crate::large_scale::eagle_device(127);
+    let layer = crate::large_scale::sparse_device_layer(&device.topology);
+    let parts = crate::large_scale::partitions(&device.topology, &layer);
+    pec_demo(
+        &device,
+        &layer,
+        &parts,
+        &PecDemoSpec {
+            strategy: Strategy::CaDd,
+            depth,
+            learn_depths,
+            shots,
+        },
+        budget,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learned_gamma_tracks_formula_for_clifford_strategies() {
+        // One cheap strategy end-to-end: the learned γ must be > 1,
+        // finite, and within a loose band of LF^{-2} (they measure
+        // the same noise through different estimators).
+        let budget = Budget {
+            trajectories: 128,
+            instances: 1,
+            seed: 19,
+        };
+        let device = fig8_device(37);
+        let r = learn_gamma(&device, Strategy::CaDd, &[1, 2, 4], &budget).unwrap();
+        assert_eq!(r.engine, "frame-batch");
+        assert!(r.gamma_learned > 1.0, "γ {}", r.gamma_learned);
+        assert!(r.lf > 0.0 && r.lf < 1.0, "LF {}", r.lf);
+        let excess_ratio = (r.gamma_learned - 1.0) / (r.gamma_formula - 1.0);
+        assert!(
+            (0.3..3.0).contains(&excess_ratio),
+            "learned γ {} vs formula {}",
+            r.gamma_learned,
+            r.gamma_formula
+        );
+    }
+
+    #[test]
+    fn pec_demo_beats_raw_on_the_fig8_layer() {
+        let budget = Budget {
+            trajectories: 256,
+            instances: 1,
+            seed: 5,
+        };
+        let device = fig8_device(37);
+        let parts = fig8_partitions();
+        let demo = pec_demo(
+            &device,
+            &LAYER_GATES,
+            &parts,
+            &PecDemoSpec {
+                strategy: Strategy::CaDd,
+                depth: 4,
+                learn_depths: &[1, 2, 4],
+                shots: 4096,
+            },
+            &budget,
+        )
+        .unwrap();
+        assert!(
+            (demo.mitigated - demo.ideal).abs() < (demo.raw - demo.ideal).abs(),
+            "mitigated {} ± {} must beat raw {} ± {}",
+            demo.mitigated,
+            demo.mitigated_err,
+            demo.raw,
+            demo.raw_err
+        );
+        assert!(demo.gamma_total >= 1.0);
+        assert!(demo.gamma_layer >= demo.gamma_total.powf(1.0 / demo.depth as f64) - 1e-9);
+    }
+}

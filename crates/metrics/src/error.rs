@@ -1,0 +1,60 @@
+//! Structured analysis errors, mirroring `ca-sim::SimError`'s
+//! conventions: degenerate inputs yield a typed error carrying the
+//! offending value, never a panic.
+
+use std::fmt;
+
+/// Why an estimator could not be evaluated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricsError {
+    /// A layer fidelity must be positive (and finite) for
+    /// `γ = LF^{−2}` to exist; degenerate decay fits can produce
+    /// zero, negative, or non-finite values.
+    NonPositiveLayerFidelity {
+        /// The offending fitted layer fidelity.
+        lf: f64,
+    },
+    /// A Pauli fidelity at or below zero cannot be inverted into a
+    /// quasi-probability (1/f diverges or flips sign).
+    NonPositivePauliFidelity {
+        /// The offending fidelity.
+        fidelity: f64,
+    },
+    /// An estimator was handed an empty sample.
+    EmptySample,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MetricsError::NonPositiveLayerFidelity { lf } => write!(
+                f,
+                "layer fidelity must be positive and finite for γ = LF^-2; \
+                 the fit produced {lf}"
+            ),
+            MetricsError::NonPositivePauliFidelity { fidelity } => write!(
+                f,
+                "Pauli fidelity must be positive to invert a channel; \
+                 the fit produced {fidelity}"
+            ),
+            MetricsError::EmptySample => {
+                write!(f, "estimator needs at least one sample")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_offending_value() {
+        let e = MetricsError::NonPositiveLayerFidelity { lf: -0.25 };
+        assert!(e.to_string().contains("-0.25"), "{e}");
+        let e = MetricsError::NonPositivePauliFidelity { fidelity: 0.0 };
+        assert!(e.to_string().contains('0'), "{e}");
+    }
+}

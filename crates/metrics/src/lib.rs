@@ -11,12 +11,17 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod fit;
 pub mod overhead;
 pub mod ramsey;
 pub mod stats;
 
+pub use error::MetricsError;
 pub use fit::{fit_decay, linear_fit, DecayFit};
-pub use overhead::{gamma_from_layer_fidelity, overhead_ratio, DepolarizationModel};
+pub use overhead::{
+    gamma_from_layer_fidelity, mitigated_estimate, overhead_ratio, pec_shots_for_precision,
+    DepolarizationModel, MitigatedEstimate,
+};
 pub use ramsey::{beat_frequencies, peak_frequency, power_at};
 pub use stats::{bootstrap_halfwidth, mean, std_dev, std_err};

@@ -1,13 +1,64 @@
 //! Error-mitigation sampling-overhead estimators (Secs. V-B, V-C).
 
+use crate::error::MetricsError;
 use crate::fit::{fit_decay, DecayFit};
+use crate::stats::{mean, std_err};
 
 /// PEC sampling-overhead base from a layer fidelity: `γ = LF^{−2}`
 /// (matches the paper's Fig. 8 numbers: LF 0.648 → γ ≈ 2.38,
-/// 0.881 → γ ≈ 1.29).
-pub fn gamma_from_layer_fidelity(lf: f64) -> f64 {
-    assert!(lf > 0.0);
-    lf.powi(-2)
+/// 0.881 → γ ≈ 1.29). Degenerate fits (LF ≤ 0, NaN, ∞) yield a
+/// structured [`MetricsError`] instead of a panic — decay fits on
+/// very noisy data can and do produce them.
+pub fn gamma_from_layer_fidelity(lf: f64) -> Result<f64, MetricsError> {
+    if !lf.is_finite() || lf <= 0.0 {
+        return Err(MetricsError::NonPositiveLayerFidelity { lf });
+    }
+    Ok(lf.powi(-2))
+}
+
+/// A sign-weighted (PEC) estimate: the rescaled mean of per-shot
+/// `sign · outcome` products and its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MitigatedEstimate {
+    /// The mitigated expectation `γ_total · mean(s_i · o_i)`.
+    pub value: f64,
+    /// Standard error of [`Self::value`] (the γ-amplified shot
+    /// noise — the sampling-overhead cost made visible).
+    pub std_err: f64,
+    /// The total quasi-probability norm `γ_total` applied.
+    pub gamma_total: f64,
+    /// Number of shots averaged.
+    pub shots: usize,
+}
+
+/// Combines per-shot signed outcomes (`s_i · o_i`, with `s_i = ±1`
+/// the sampled quasi-probability sign and `o_i = ±1` the measured
+/// eigenvalue) into the PEC estimator `γ_total · mean ± γ_total ·
+/// stderr` (Sec. V-B): the variance estimator that makes γ the
+/// *sampling overhead* — hitting a fixed precision costs `γ_total²`
+/// more shots than an unmitigated average. An empty sample is a
+/// structured [`MetricsError`], never a panic.
+pub fn mitigated_estimate(
+    signed_outcomes: &[f64],
+    gamma_total: f64,
+) -> Result<MitigatedEstimate, MetricsError> {
+    if signed_outcomes.is_empty() {
+        return Err(MetricsError::EmptySample);
+    }
+    Ok(MitigatedEstimate {
+        value: gamma_total * mean(signed_outcomes),
+        std_err: gamma_total * std_err(signed_outcomes),
+        gamma_total,
+        shots: signed_outcomes.len(),
+    })
+}
+
+/// Shots needed for an absolute precision `epsilon` on a
+/// PEC-mitigated expectation over `layers` mitigated layer
+/// applications: `(γ^layers / ε)²` — the γ^layers exponential the
+/// paper quotes (×7 and ×30 at 10 layers) turned into a shot budget.
+pub fn pec_shots_for_precision(gamma: f64, layers: u32, epsilon: f64) -> f64 {
+    (gamma.powi(layers as i32) / epsilon).powi(2)
 }
 
 /// Sampling-overhead ratio between two strategies for a circuit of
@@ -61,17 +112,62 @@ mod tests {
 
     #[test]
     fn gamma_matches_paper_numbers() {
-        assert!((gamma_from_layer_fidelity(0.648) - 2.3815).abs() < 0.01);
-        assert!((gamma_from_layer_fidelity(0.743) - 1.8116).abs() < 0.01);
-        assert!((gamma_from_layer_fidelity(0.822) - 1.4801).abs() < 0.01);
-        assert!((gamma_from_layer_fidelity(0.881) - 1.2885).abs() < 0.01);
+        let g = |lf: f64| gamma_from_layer_fidelity(lf).unwrap();
+        assert!((g(0.648) - 2.3815).abs() < 0.01);
+        assert!((g(0.743) - 1.8116).abs() < 0.01);
+        assert!((g(0.822) - 1.4801).abs() < 0.01);
+        assert!((g(0.881) - 1.2885).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_layer_fidelity_is_an_error_not_a_panic() {
+        // Decay fits on pure noise can return 0, negative, or
+        // non-finite λ products; each must surface as a structured
+        // error.
+        for lf in [0.0, -0.3, f64::NAN, f64::INFINITY] {
+            let err = gamma_from_layer_fidelity(lf).unwrap_err();
+            assert!(
+                matches!(err, MetricsError::NonPositiveLayerFidelity { .. }),
+                "{lf}: {err}"
+            );
+        }
+        // The error names the offending value for finite inputs.
+        let err = gamma_from_layer_fidelity(-0.3).unwrap_err();
+        assert_eq!(err, MetricsError::NonPositiveLayerFidelity { lf: -0.3 });
+    }
+
+    #[test]
+    fn mitigated_estimate_rescales_mean_and_error() {
+        // 3/4 of signed outcomes +1, 1/4 −1 → mean 0.5; γ = 2 doubles
+        // both the value and the shot-noise error bar.
+        let signed = [1.0, 1.0, 1.0, -1.0];
+        let est = mitigated_estimate(&signed, 2.0).unwrap();
+        assert!((est.value - 1.0).abs() < 1e-12);
+        assert!((est.std_err - 2.0 * std_err(&signed)).abs() < 1e-12);
+        assert_eq!(est.shots, 4);
+        assert_eq!(
+            mitigated_estimate(&[], 2.0).unwrap_err(),
+            crate::MetricsError::EmptySample
+        );
+    }
+
+    #[test]
+    fn shot_budget_amplifies_exponentially() {
+        // γ = 1.81 vs 1.29 at 10 layers: the shot-budget ratio is the
+        // square of the paper's ×30 signal-overhead factor.
+        let dd = pec_shots_for_precision(1.8116, 10, 0.01);
+        let caec = pec_shots_for_precision(1.2885, 10, 0.01);
+        let ratio = dd / caec;
+        assert!((ratio.sqrt() - 30.0).abs() < 5.0, "√ratio {}", ratio.sqrt());
+        // γ = 1 (perfect channel) costs exactly the unmitigated budget.
+        assert!((pec_shots_for_precision(1.0, 10, 0.01) - 1e4).abs() < 1e-6);
     }
 
     #[test]
     fn ten_layer_amplification_matches_paper() {
-        let g_dd = gamma_from_layer_fidelity(0.743);
-        let g_cadd = gamma_from_layer_fidelity(0.822);
-        let g_caec = gamma_from_layer_fidelity(0.881);
+        let g_dd = gamma_from_layer_fidelity(0.743).unwrap();
+        let g_cadd = gamma_from_layer_fidelity(0.822).unwrap();
+        let g_caec = gamma_from_layer_fidelity(0.881).unwrap();
         let r1 = overhead_ratio(g_dd, g_cadd, 10);
         let r2 = overhead_ratio(g_dd, g_caec, 10);
         assert!((r1 - 7.0).abs() < 1.0, "~7×: {r1}");

@@ -1,0 +1,90 @@
+//! Structured mitigation errors, following the `ca-sim::SimError`
+//! conventions: degenerate inputs yield a typed error, never a panic.
+
+use ca_metrics::MetricsError;
+use ca_sim::SimError;
+use std::fmt;
+
+/// Why a mitigation stage could not run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MitigationError {
+    /// The simulator rejected a circuit (non-Clifford on a frame
+    /// engine, arity mismatch, invalid insertion, …).
+    Sim(SimError),
+    /// An analysis estimator rejected its input (degenerate layer or
+    /// Pauli fidelity).
+    Metrics(MetricsError),
+    /// A learned Pauli fidelity is too small to invert: `1/f` would
+    /// amplify sampling noise past any useful γ budget. Re-learn with
+    /// more shots/depths or a better-compiled layer.
+    DegenerateFidelity {
+        /// Partition index within the learned layer.
+        partition: usize,
+        /// Pauli index (base-4 over the partition's qubits) of the
+        /// offending fidelity.
+        pauli_index: usize,
+        /// The fidelity the fit produced.
+        fidelity: f64,
+    },
+    /// The scheduled circuit's two-qubit gate count is not a multiple
+    /// of the layer size, so per-layer insertion anchors cannot be
+    /// identified (e.g. the compile strategy added two-qubit
+    /// compensation gates).
+    AnchorMismatch {
+        /// Two-qubit unitary items found in the scheduled circuit.
+        two_qubit_items: usize,
+        /// Two-qubit gates per layer application expected.
+        gates_per_layer: usize,
+    },
+    /// The learner needs at least two depths to fit a decay.
+    NotEnoughDepths {
+        /// Depths supplied.
+        got: usize,
+    },
+    /// The PEC executor needs at least one shot to estimate anything.
+    NoShots,
+}
+
+impl fmt::Display for MitigationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitigationError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MitigationError::Metrics(e) => write!(f, "estimator failed: {e}"),
+            MitigationError::DegenerateFidelity {
+                partition,
+                pauli_index,
+                fidelity,
+            } => write!(
+                f,
+                "learned Pauli fidelity {fidelity} (partition {partition}, Pauli index \
+                 {pauli_index}) is below the invertibility floor"
+            ),
+            MitigationError::AnchorMismatch {
+                two_qubit_items,
+                gates_per_layer,
+            } => write!(
+                f,
+                "cannot place per-layer insertion anchors: {two_qubit_items} two-qubit \
+                 items is not a multiple of the layer size {gates_per_layer}"
+            ),
+            MitigationError::NotEnoughDepths { got } => {
+                write!(f, "need at least 2 decay depths, got {got}")
+            }
+            MitigationError::NoShots => write!(f, "PEC needs at least one shot"),
+        }
+    }
+}
+
+impl std::error::Error for MitigationError {}
+
+impl From<SimError> for MitigationError {
+    fn from(e: SimError) -> Self {
+        MitigationError::Sim(e)
+    }
+}
+
+impl From<MetricsError> for MitigationError {
+    fn from(e: MetricsError) -> Self {
+        MitigationError::Metrics(e)
+    }
+}

@@ -1,0 +1,312 @@
+//! Quasi-probability inversion of learned Pauli channels (Sec. V-B).
+//!
+//! A Pauli channel is diagonal in the Pauli-transfer basis: its
+//! eigenvalues are the Pauli fidelities `f_b`. Its inverse is the map
+//! with eigenvalues `1/f_b`, which transforms back to a *signed*
+//! Pauli mixture `q_a = 4^{−k} Σ_b ±(1/f_b)` — a quasi-probability:
+//! `Σ q_a = 1` but individual entries can be negative. PEC realises
+//! the inverse by sampling Pauli `a` with probability `|q_a|/γ` and
+//! weighting the outcome by `γ · sign(q_a)`, where `γ = Σ|q_a| ≥ 1`
+//! is the sampling-overhead base. γ is exact here (no bound): it
+//! multiplies across partitions and across mitigated layer
+//! applications, which is the `γ^layers` explosion the paper's
+//! overhead comparisons quote.
+
+use crate::channel::{anticommutes, LayerChannel, PartitionChannel};
+use crate::error::MitigationError;
+use ca_circuit::Pauli;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Smallest Pauli fidelity the inverter accepts: below this, `1/f`
+/// amplifies noise past any useful budget (γ per partition > ~40)
+/// and a fit this deep in the noise floor carries no information.
+pub const MIN_INVERTIBLE_FIDELITY: f64 = 0.025;
+
+/// The signed sampling distribution inverting one partition channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuasiPartition {
+    /// The partition's qubits (global indices), base-4 digit order.
+    pub qubits: Vec<usize>,
+    /// Signed quasi-probabilities; sums to exactly 1.
+    pub quasi: Vec<f64>,
+    /// `γ = Σ|q|` for this partition (≥ 1).
+    pub gamma: f64,
+    /// Cumulative |q| table for O(log) sampling.
+    cumulative: Vec<f64>,
+}
+
+impl QuasiPartition {
+    fn new(qubits: Vec<usize>, quasi: Vec<f64>) -> Self {
+        let gamma: f64 = quasi.iter().map(|q| q.abs()).sum();
+        let mut acc = 0.0;
+        let cumulative = quasi
+            .iter()
+            .map(|q| {
+                acc += q.abs();
+                acc
+            })
+            .collect();
+        Self {
+            qubits,
+            quasi,
+            gamma,
+            cumulative,
+        }
+    }
+
+    /// Draws one inverse-channel element: the Pauli index and the
+    /// sign of its quasi-probability.
+    pub fn sample(&self, rng: &mut StdRng) -> (usize, i8) {
+        let u: f64 = rng.random::<f64>() * self.gamma;
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        let idx = idx.min(self.quasi.len() - 1);
+        let sign = if self.quasi[idx] < 0.0 { -1 } else { 1 };
+        (idx, sign)
+    }
+
+    /// The sampled element's Pauli factors on the (global) qubits,
+    /// identities skipped.
+    pub fn index_paulis(&self, idx: usize) -> Vec<(usize, Pauli)> {
+        crate::channel::index_paulis_on(idx, &self.qubits)
+    }
+}
+
+/// The quasi-probability inverse of a full layer channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuasiChannel {
+    /// Per-partition inverses (disjoint supports).
+    pub partitions: Vec<QuasiPartition>,
+    /// Layer γ: the product of the partition γs — the overhead base
+    /// the paper compares across strategies (`γ = LF^{−2}`-scale).
+    pub gamma: f64,
+}
+
+impl QuasiChannel {
+    /// The inverse restricted to the partitions that overlap
+    /// `support` (global qubit indices). The learned channel is a
+    /// tensor product over partitions, so an observable supported
+    /// inside a subset of partitions is biased only by those factors
+    /// — restricting the inverse cancels the same bias at a γ that
+    /// pays only for the relevant partitions, which is what makes
+    /// PEC affordable on a 127-qubit layer.
+    pub fn restrict_to_support(&self, support: &[usize]) -> QuasiChannel {
+        let partitions: Vec<QuasiPartition> = self
+            .partitions
+            .iter()
+            .filter(|p| p.qubits.iter().any(|q| support.contains(q)))
+            .cloned()
+            .collect();
+        let gamma = partitions.iter().map(|p| p.gamma).product();
+        QuasiChannel { partitions, gamma }
+    }
+}
+
+/// Inverts a learned layer channel partition by partition. Fails with
+/// a structured error when any Pauli fidelity is at or below
+/// [`MIN_INVERTIBLE_FIDELITY`] — the degenerate-fit case.
+pub fn invert(channel: &LayerChannel) -> Result<QuasiChannel, MitigationError> {
+    let mut partitions = Vec::with_capacity(channel.partitions.len());
+    for (pi, part) in channel.partitions.iter().enumerate() {
+        partitions.push(invert_partition(part, pi)?);
+    }
+    let gamma = partitions.iter().map(|p| p.gamma).product();
+    Ok(QuasiChannel { partitions, gamma })
+}
+
+/// [`invert`] with every Pauli fidelity clamped up to `floor` first:
+/// never fails, at the price of only *lower-bounding* γ for channels
+/// deep in the noise floor. The honest tool for reporting a γ
+/// trajectory that includes a hopeless strategy (bare compilation at
+/// strong crosstalk) next to invertible ones; for actual PEC
+/// execution use the strict [`invert`].
+pub fn invert_clamped(channel: &LayerChannel, floor: f64) -> QuasiChannel {
+    let partitions: Vec<QuasiPartition> = channel
+        .partitions
+        .iter()
+        .map(|part| {
+            let mut f: Vec<f64> = part
+                .fidelities()
+                .iter()
+                .map(|&x| if x.is_finite() { x.max(floor) } else { floor })
+                .collect();
+            f[0] = 1.0;
+            quasi_from_fidelities(part.qubits.clone(), &f)
+        })
+        .collect();
+    let gamma = partitions.iter().map(|p| p.gamma).product();
+    QuasiChannel { partitions, gamma }
+}
+
+fn invert_partition(
+    part: &PartitionChannel,
+    partition: usize,
+) -> Result<QuasiPartition, MitigationError> {
+    let f = part.fidelities();
+    for (pauli_index, &fid) in f.iter().enumerate() {
+        if fid <= MIN_INVERTIBLE_FIDELITY || !fid.is_finite() {
+            return Err(MitigationError::DegenerateFidelity {
+                partition,
+                pauli_index,
+                fidelity: fid,
+            });
+        }
+    }
+    Ok(quasi_from_fidelities(part.qubits.clone(), &f))
+}
+
+/// The signed inverse distribution from a (positive) fidelity vector:
+/// `q = 4^{−k} · W(1/f)` with the signed Walsh transform `W`.
+fn quasi_from_fidelities(qubits: Vec<usize>, f: &[f64]) -> QuasiPartition {
+    let k = qubits.len();
+    let len = f.len();
+    let norm = 1.0 / len as f64;
+    let quasi: Vec<f64> = (0..len)
+        .map(|a| {
+            norm * f
+                .iter()
+                .enumerate()
+                .map(|(b, &fb)| {
+                    let inv = 1.0 / fb;
+                    if anticommutes(a, b, k) {
+                        -inv
+                    } else {
+                        inv
+                    }
+                })
+                .sum::<f64>()
+        })
+        .collect();
+    QuasiPartition::new(qubits, quasi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{probs_to_fidelities, product_index};
+    use rand::SeedableRng;
+
+    fn z_flip_channel(p: f64) -> PartitionChannel {
+        PartitionChannel {
+            qubits: vec![0],
+            probs: vec![1.0 - p, 0.0, 0.0, p],
+        }
+    }
+
+    #[test]
+    fn identity_channel_inverts_to_identity_with_gamma_one() {
+        let layer = LayerChannel {
+            partitions: vec![PartitionChannel::identity(vec![0, 1])],
+        };
+        let q = invert(&layer).unwrap();
+        assert!((q.gamma - 1.0).abs() < 1e-12);
+        assert!((q.partitions[0].quasi[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_flip_inverse_is_known_closed_form() {
+        // Λ = (1−p)·I + p·Z ⇒ Λ⁻¹ has q_I = (1−p)/(1−2p), q_Z =
+        // −p/(1−2p), γ = 1/(1−2p).
+        let p = 0.1;
+        let layer = LayerChannel {
+            partitions: vec![z_flip_channel(p)],
+        };
+        let q = invert(&layer).unwrap();
+        let qp = &q.partitions[0];
+        assert!((qp.quasi[0] - (1.0 - p) / (1.0 - 2.0 * p)).abs() < 1e-12);
+        assert!((qp.quasi[3] + p / (1.0 - 2.0 * p)).abs() < 1e-12);
+        assert!((q.gamma - 1.0 / (1.0 - 2.0 * p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_composed_with_channel_is_identity() {
+        // Signed XOR-convolution of q with the channel's probs must
+        // put all mass (weight 1) on identity.
+        let p = 0.08;
+        let ch = z_flip_channel(p);
+        let layer = LayerChannel {
+            partitions: vec![ch.clone()],
+        };
+        let q = invert(&layer).unwrap();
+        let mut composed = [0.0; 4];
+        for (a, &qa) in q.partitions[0].quasi.iter().enumerate() {
+            for (b, &pb) in ch.probs.iter().enumerate() {
+                composed[product_index(a, b, 1)] += qa * pb;
+            }
+        }
+        assert!((composed[0] - 1.0).abs() < 1e-12);
+        for &c in &composed[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_fidelity_is_a_structured_error() {
+        // A fidelity at the noise floor must be refused, naming the
+        // partition and Pauli.
+        let f = [1.0, 0.01, 0.01, 1.0];
+        let part = PartitionChannel::from_fidelities(vec![3], &f);
+        let fids = probs_to_fidelities(&part.probs);
+        assert!(fids[1] < MIN_INVERTIBLE_FIDELITY);
+        let layer = LayerChannel {
+            partitions: vec![part],
+        };
+        let err = invert(&layer).unwrap_err();
+        assert!(matches!(
+            err,
+            MitigationError::DegenerateFidelity { partition: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn restriction_keeps_only_overlapping_partitions() {
+        let layer = LayerChannel {
+            partitions: vec![
+                z_flip_channel(0.1),
+                PartitionChannel {
+                    qubits: vec![1, 2],
+                    probs: {
+                        let mut p = vec![0.0; 16];
+                        p[0] = 0.92;
+                        p[5] = 0.08;
+                        p
+                    },
+                },
+                PartitionChannel::identity(vec![3]),
+            ],
+        };
+        let q = invert(&layer).unwrap();
+        let restricted = q.restrict_to_support(&[2]);
+        assert_eq!(restricted.partitions.len(), 1);
+        assert_eq!(restricted.partitions[0].qubits, vec![1, 2]);
+        assert!(restricted.gamma < q.gamma);
+        assert!(restricted.gamma >= 1.0);
+    }
+
+    #[test]
+    fn sampling_frequencies_match_quasi_magnitudes() {
+        let p = 0.12;
+        let layer = LayerChannel {
+            partitions: vec![z_flip_channel(p)],
+        };
+        let q = invert(&layer).unwrap();
+        let qp = &q.partitions[0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let mut counts = [0usize; 4];
+        let mut signed_sum = 0.0;
+        for _ in 0..n {
+            let (idx, sign) = qp.sample(&mut rng);
+            counts[idx] += 1;
+            signed_sum += sign as f64;
+        }
+        for (idx, &c) in counts.iter().enumerate() {
+            let expect = qp.quasi[idx].abs() / qp.gamma;
+            let got = c as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "idx {idx}: {got} vs {expect}");
+        }
+        // E[sign]·γ = Σq = 1.
+        let resampled_mass = signed_sum / n as f64 * qp.gamma;
+        assert!((resampled_mass - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the mitigation pipeline's algebra:
+//!
+//! * every channel built from fitted fidelities — the constructor the
+//!   learner uses, including on noisy/inconsistent fits — is a valid
+//!   Pauli distribution;
+//! * the quasi-probability inverse always has γ ≥ 1, composes with
+//!   the channel to the identity exactly, and *resampling* it (the
+//!   Monte-Carlo step PEC actually performs) round-trips back to the
+//!   identity within statistical tolerance.
+
+use ca_mitigation::channel::{product_index, PartitionChannel};
+use ca_mitigation::{invert, LayerChannel, MitigationError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fitted-fidelity vectors as the learner produces them: mostly near
+/// 1, sometimes deep, occasionally inconsistent (the transform then
+/// yields small negatives the projection must clean up).
+fn arb_fidelities(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    let len = 1usize << (2 * k);
+    proptest::collection::vec(0.3f64..1.0, len..len + 1)
+}
+
+fn channel_from(k: usize, fids: &[f64]) -> PartitionChannel {
+    let qubits: Vec<usize> = (0..k).collect();
+    PartitionChannel::from_fidelities(qubits, fids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn learned_channels_are_valid_distributions(
+        f1 in arb_fidelities(1),
+        f2 in arb_fidelities(2),
+    ) {
+        for ch in [channel_from(1, &f1), channel_from(2, &f2)] {
+            let total: f64 = ch.probs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sums to 1: {total}");
+            prop_assert!(ch.probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // Cleaned fidelities of a valid distribution stay in [−1, 1]
+            // with f_I = 1.
+            let fids = ch.fidelities();
+            prop_assert!((fids[0] - 1.0).abs() < 1e-9);
+            prop_assert!(fids.iter().all(|f| (-1.0..=1.0 + 1e-12).contains(f)));
+        }
+    }
+
+    #[test]
+    fn inverse_has_gamma_at_least_one_and_cancels_exactly(
+        f1 in arb_fidelities(1),
+        f2 in arb_fidelities(2),
+    ) {
+        let layer = LayerChannel {
+            partitions: vec![channel_from(1, &f1), {
+                let mut c = channel_from(2, &f2);
+                c.qubits = vec![1, 2];
+                c
+            }],
+        };
+        let quasi = match invert(&layer) {
+            Ok(q) => q,
+            // Very deep random channels can dip below the
+            // invertibility floor; the typed refusal is the contract.
+            Err(MitigationError::DegenerateFidelity { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        };
+        prop_assert!(quasi.gamma >= 1.0 - 1e-12, "γ {} < 1", quasi.gamma);
+        let mut product = 1.0;
+        for (part, qp) in layer.partitions.iter().zip(quasi.partitions.iter()) {
+            prop_assert!(qp.gamma >= 1.0 - 1e-12);
+            prop_assert!((qp.quasi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            product *= qp.gamma;
+            // Signed XOR-convolution of inverse and channel = identity.
+            let k = part.width();
+            let mut composed = vec![0.0; part.probs.len()];
+            for (a, &qa) in qp.quasi.iter().enumerate() {
+                for (b, &pb) in part.probs.iter().enumerate() {
+                    composed[product_index(a, b, k)] += qa * pb;
+                }
+            }
+            prop_assert!((composed[0] - 1.0).abs() < 1e-9, "identity mass {}", composed[0]);
+            for &c in &composed[1..] {
+                prop_assert!(c.abs() < 1e-9, "residual error mass {c}");
+            }
+        }
+        prop_assert!((quasi.gamma - product).abs() < 1e-9, "γ multiplies over partitions");
+    }
+
+    #[test]
+    fn resampled_inverse_round_trips_statistically(
+        f in arb_fidelities(1),
+        seed in 0u64..1000,
+    ) {
+        let ch = channel_from(1, &f);
+        let layer = LayerChannel { partitions: vec![ch.clone()] };
+        let quasi = match invert(&layer) {
+            Ok(q) => q,
+            Err(_) => return Ok(()),
+        };
+        let qp = &quasi.partitions[0];
+        // Monte-Carlo estimate of the signed inverse distribution, as
+        // the PEC executor samples it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000usize;
+        let mut signed_counts = [0i64; 4];
+        for _ in 0..n {
+            let (idx, sign) = qp.sample(&mut rng);
+            signed_counts[idx] += sign as i64;
+        }
+        let q_hat: Vec<f64> = signed_counts
+            .iter()
+            .map(|&c| qp.gamma * c as f64 / n as f64)
+            .collect();
+        // Compose the *resampled* inverse with the channel: the
+        // result must be the identity within sampling tolerance.
+        let mut composed = [0.0; 4];
+        for (a, &qa) in q_hat.iter().enumerate() {
+            for (b, &pb) in ch.probs.iter().enumerate() {
+                composed[product_index(a, b, 1)] += qa * pb;
+            }
+        }
+        let tol = 5.0 * qp.gamma / (n as f64).sqrt() + 1e-9;
+        prop_assert!(
+            (composed[0] - 1.0).abs() < tol,
+            "identity mass {} (tol {tol})",
+            composed[0]
+        );
+        for &c in &composed[1..] {
+            prop_assert!(c.abs() < tol, "residual {c} (tol {tol})");
+        }
+    }
+}

@@ -37,6 +37,17 @@ pub enum SimError {
         /// when a conditional instruction is the blocker.
         gate: &'static str,
     },
+    /// A per-shot Pauli insertion does not fit the circuit it was
+    /// built against: its anchor item is out of range or not a
+    /// unitary gate, or it names a qubit outside the circuit.
+    InvalidInsertion {
+        /// Shot index of the offending insertion.
+        shot: usize,
+        /// Anchor item index of the offending insertion.
+        item: usize,
+        /// Which constraint the insertion violates.
+        reason: &'static str,
+    },
     /// `Engine::Auto` found no engine able to run the circuit: it is
     /// both too wide for the dense engine and not Clifford, so the
     /// stabilizer engines cannot represent it either.
@@ -72,6 +83,10 @@ impl fmt::Display for SimError {
                 f,
                 "circuit is not Clifford (first blocker: {gate}); the stabilizer and \
                  frame-batch engines require Clifford gates and no feed-forward"
+            ),
+            SimError::InvalidInsertion { shot, item, reason } => write!(
+                f,
+                "invalid Pauli insertion at shot {shot}, anchor item {item}: {reason}"
             ),
             SimError::NoSupportingEngine {
                 qubits,

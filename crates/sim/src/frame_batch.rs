@@ -39,10 +39,11 @@
 
 use crate::error::SimError;
 use crate::executor::Simulator;
+use crate::insert::{InsertionSet, PauliInsertion};
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
 use crate::pauli_frame::{FramePlan, ItemOp};
 use crate::plan::{map_batches, shot_seed, PlanOp};
-use crate::result::RunResult;
+use crate::result::{PauliFlips, RunResult};
 use crate::stabilizer::pauli_to_bits;
 use ca_circuit::clifford::Table2Q;
 use ca_circuit::pauli::{Pauli, PauliString};
@@ -202,6 +203,12 @@ enum BatchOp {
     },
     /// Reset to |0⟩: clear X, randomize Z.
     Reset { q: usize },
+    /// Per-shot Pauli-insertion anchor for a scheduled item: applies
+    /// whatever insertions the run's [`InsertionSet`] carries for the
+    /// batch's shot-lanes at this item. RNG-free (a pure plane XOR),
+    /// so it exists in every plan at zero cost to plain runs and
+    /// keeps insertion runs bit-identical to the serial sampler.
+    Anchor { item: usize },
 }
 
 /// The batch program plus the shared reference run.
@@ -347,6 +354,7 @@ impl<'a> BatchPlan<'a> {
                             if !m.is_identity() || err_p > 0.0 {
                                 ops.push(BatchOp::Gate1 { q, m, err_p });
                             }
+                            ops.push(BatchOp::Anchor { item });
                         }
                         ItemOp::Two {
                             a,
@@ -388,6 +396,7 @@ impl<'a> BatchPlan<'a> {
                                 m: Symp2::from_table(table),
                                 err_p,
                             });
+                            ops.push(BatchOp::Anchor { item });
                         }
                     }
                 }
@@ -406,9 +415,17 @@ impl<'a> BatchPlan<'a> {
     }
 
     /// Runs one batch of `active ≤ 64` shot-lanes starting at global
-    /// shot index `base`. Returns the final bit-planes and the
-    /// per-lane classical keys.
-    fn run_batch(&self, sim: &Simulator, seed: u64, base: usize, active: usize) -> BatchOut {
+    /// shot index `base`, applying any per-shot Pauli insertions in
+    /// `ins`. Returns the final bit-planes and the per-lane classical
+    /// keys.
+    fn run_batch(
+        &self,
+        sim: &Simulator,
+        seed: u64,
+        base: usize,
+        active: usize,
+        ins: &InsertionSet,
+    ) -> BatchOut {
         let n = self.n;
         let mut fx = vec![0u64; n];
         let mut fz = vec![0u64; n];
@@ -610,10 +627,173 @@ impl<'a> BatchPlan<'a> {
                     fx[q] = 0;
                     fz[q] = new_z;
                 }
+                BatchOp::Anchor { item } => {
+                    for &(shot, q, p) in ins.in_shot_range(*item, base, base + active) {
+                        let bit = 1u64 << (shot - base);
+                        let (x, z) = pauli_to_bits(p);
+                        if x {
+                            fx[q] ^= bit;
+                        }
+                        if z {
+                            fz[q] ^= bit;
+                        }
+                    }
+                }
             }
         }
         BatchOut { fx, fz, keys }
     }
+
+    /// Shot-sampled classical counts over this prepared plan.
+    fn counts(
+        &self,
+        sim: &Simulator,
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> RunResult {
+        let nbits = self.frame.plan.sc.num_clbits;
+        let batches = shots.div_ceil(LANES);
+        let parts = map_batches(batches, workers, |b| {
+            let base = b * LANES;
+            let active = LANES.min(shots - base);
+            let out = self.run_batch(sim, seed, base, active, ins);
+            let mut counts = BTreeMap::new();
+            for &key in out.keys.iter().take(active) {
+                *counts.entry(key).or_insert(0usize) += 1;
+            }
+            counts
+        });
+        RunResult::from_parts(shots, nbits, parts)
+    }
+
+    /// Reference expectation plus the observable's support as
+    /// per-qubit plane selectors: lane-parity word =
+    /// XOR over support of (z_obs ? fx[q] : 0) ^ (x_obs ? fz[q] : 0).
+    fn prepare_observables(&self, paulis: &[PauliString]) -> PreparedObs {
+        paulis
+            .iter()
+            .map(|p| {
+                let r = self.frame.ref_tableau.expect(p);
+                let support: Vec<(usize, bool, bool)> = p
+                    .paulis
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &pl)| pl != Pauli::I)
+                    .map(|(q, &pl)| {
+                        let (x, z) = pauli_to_bits(pl);
+                        (q, x, z)
+                    })
+                    .collect();
+                (r, support)
+            })
+            .collect()
+    }
+
+    /// Frame-averaged Pauli expectations over this prepared plan.
+    fn expectations(
+        &self,
+        sim: &Simulator,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Vec<f64> {
+        let prepared = self.prepare_observables(paulis);
+        let batches = shots.div_ceil(LANES);
+        let partials: Vec<Vec<f64>> = map_batches(batches, workers, |b| {
+            let base = b * LANES;
+            let active = LANES.min(shots - base);
+            let out = self.run_batch(sim, seed, base, active, ins);
+            let lane_mask = if active == LANES {
+                u64::MAX
+            } else {
+                (1u64 << active) - 1
+            };
+            prepared
+                .iter()
+                .map(|(r, support)| {
+                    if *r == 0 {
+                        return 0.0;
+                    }
+                    let parity = support_parity(&out, support);
+                    let flips = (parity & lane_mask).count_ones() as i64;
+                    (*r as i64 * (active as i64 - 2 * flips)) as f64
+                })
+                .collect()
+        });
+        let mut out = vec![0.0; paulis.len()];
+        for part in partials {
+            for (o, p) in out.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= shots as f64;
+        }
+        out
+    }
+
+    /// Per-shot ±1 outcomes over this prepared plan: batch `b`'s
+    /// masked parity word *is* word `b` of the shot bitvector, so the
+    /// result is assembled with no per-shot work at all.
+    fn flips(
+        &self,
+        sim: &Simulator,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> PauliFlips {
+        let prepared = self.prepare_observables(paulis);
+        let batches = shots.div_ceil(LANES);
+        let partials: Vec<Vec<u64>> = map_batches(batches, workers, |b| {
+            let base = b * LANES;
+            let active = LANES.min(shots - base);
+            let out = self.run_batch(sim, seed, base, active, ins);
+            let lane_mask = if active == LANES {
+                u64::MAX
+            } else {
+                (1u64 << active) - 1
+            };
+            prepared
+                .iter()
+                .map(|(_, support)| support_parity(&out, support) & lane_mask)
+                .collect()
+        });
+        let mut flips = vec![vec![0u64; batches]; paulis.len()];
+        for (b, words) in partials.iter().enumerate() {
+            for (o, w) in words.iter().enumerate() {
+                flips[o][b] = *w;
+            }
+        }
+        PauliFlips {
+            shots,
+            refs: prepared.iter().map(|(r, _)| *r).collect(),
+            flips,
+        }
+    }
+}
+
+/// `(reference expectation, support plane selectors)` per observable.
+type PreparedObs = Vec<(i32, Vec<(usize, bool, bool)>)>;
+
+/// Lane-parity word of one observable against a batch's final planes.
+#[inline]
+fn support_parity(out: &BatchOut, support: &[(usize, bool, bool)]) -> u64 {
+    let mut parity = 0u64;
+    for &(q, x_obs, z_obs) in support {
+        if z_obs {
+            parity ^= out.fx[q];
+        }
+        if x_obs {
+            parity ^= out.fz[q];
+        }
+    }
+    parity
 }
 
 /// The finished state of one batch: per-qubit frame bit-planes and
@@ -659,19 +839,23 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<RunResult, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        let nbits = sc.num_clbits;
-        let batches = shots.div_ceil(LANES);
-        let parts = map_batches(batches, workers, |b| {
-            let base = b * LANES;
-            let active = LANES.min(shots - base);
-            let out = plan.run_batch(self.sim, seed, base, active);
-            let mut counts = BTreeMap::new();
-            for &key in out.keys.iter().take(active) {
-                *counts.entry(key).or_insert(0usize) += 1;
-            }
-            counts
-        });
-        Ok(RunResult::from_parts(shots, nbits, parts))
+        Ok(plan.counts(self.sim, shots, seed, &InsertionSet::empty(), workers))
+    }
+
+    /// [`Self::run_counts`] with scheduled per-shot Pauli insertions
+    /// (see [`crate::insert`]): bit-identical to the serial engine's
+    /// [`crate::StabilizerEngine::run_counts_with_insertions`] for
+    /// any seed, shot count, and worker count.
+    pub fn run_counts_with_insertions(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let plan = BatchPlan::build(self.sim, sc, seed)?;
+        Ok(plan.counts(self.sim, shots, seed, ins, workers))
     }
 
     /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
@@ -698,66 +882,125 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<Vec<f64>, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        // Reference expectation plus the observable's support as
-        // per-qubit plane selectors: lane-parity word =
-        // XOR over support of (z_obs ? fx[q] : 0) ^ (x_obs ? fz[q] : 0).
-        let prepared: Vec<(i32, Vec<(usize, bool, bool)>)> = paulis
-            .iter()
-            .map(|p| {
-                let r = plan.frame.ref_tableau.expect(p);
-                let support: Vec<(usize, bool, bool)> = p
-                    .paulis
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &pl)| pl != Pauli::I)
-                    .map(|(q, &pl)| {
-                        let (x, z) = pauli_to_bits(pl);
-                        (q, x, z)
-                    })
-                    .collect();
-                (r, support)
-            })
-            .collect();
-        let batches = shots.div_ceil(LANES);
-        let partials: Vec<Vec<f64>> = map_batches(batches, workers, |b| {
-            let base = b * LANES;
-            let active = LANES.min(shots - base);
-            let out = plan.run_batch(self.sim, seed, base, active);
-            let lane_mask = if active == LANES {
-                u64::MAX
-            } else {
-                (1u64 << active) - 1
-            };
-            prepared
-                .iter()
-                .map(|(r, support)| {
-                    if *r == 0 {
-                        return 0.0;
-                    }
-                    let mut parity = 0u64;
-                    for &(q, x_obs, z_obs) in support {
-                        if z_obs {
-                            parity ^= out.fx[q];
-                        }
-                        if x_obs {
-                            parity ^= out.fz[q];
-                        }
-                    }
-                    let flips = (parity & lane_mask).count_ones() as i64;
-                    (*r as i64 * (active as i64 - 2 * flips)) as f64
-                })
-                .collect()
-        });
-        let mut out = vec![0.0; paulis.len()];
-        for part in partials {
-            for (o, p) in out.iter_mut().zip(part.iter()) {
-                *o += p;
-            }
-        }
-        for o in &mut out {
-            *o /= shots as f64;
-        }
-        Ok(out)
+        Ok(plan.expectations(
+            self.sim,
+            paulis,
+            shots,
+            seed,
+            &InsertionSet::empty(),
+            workers,
+        ))
+    }
+
+    /// [`Self::expect_paulis`] with scheduled per-shot Pauli
+    /// insertions.
+    pub fn expect_paulis_with_insertions(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Result<Vec<f64>, SimError> {
+        let plan = BatchPlan::build(self.sim, sc, seed)?;
+        Ok(plan.expectations(self.sim, paulis, shots, seed, ins, workers))
+    }
+
+    /// Per-shot ±1 outcomes (see [`crate::result::PauliFlips`]):
+    /// bit-identical to the serial engine's
+    /// [`crate::StabilizerEngine::expect_flips`].
+    pub fn expect_flips(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Result<PauliFlips, SimError> {
+        let plan = BatchPlan::build(self.sim, sc, seed)?;
+        Ok(plan.flips(self.sim, paulis, shots, seed, ins, workers))
+    }
+}
+
+/// A compiled frame-batch execution plan cached for repeated runs —
+/// the PEC workhorse: probabilistic error cancellation samples
+/// thousands of Pauli-insertion instances of one circuit, and every
+/// instance reuses this single plan (reference tableau run, batch
+/// program, conjugation tables) instead of recompiling.
+///
+/// Built by [`Simulator::prepare_frames`]; runs are bit-identical to
+/// the one-shot engine entry points at the same seed.
+pub struct PreparedFrames<'a> {
+    sim: &'a Simulator,
+    plan: BatchPlan<'a>,
+    seed: u64,
+}
+
+impl Simulator {
+    /// Compiles `sc` once into a reusable frame-batch plan (the
+    /// plan-cache API). Fails like the frame engines on non-Clifford
+    /// or malformed circuits. The seed fixes the reference tableau
+    /// run and every shot's noise stream; repeated runs with
+    /// different insertion sets stay shot-wise paired, which is
+    /// exactly what a mitigated-vs-raw comparison wants.
+    pub fn prepare_frames<'a>(
+        &'a self,
+        sc: &'a ScheduledCircuit,
+        seed: u64,
+    ) -> Result<PreparedFrames<'a>, SimError> {
+        Ok(PreparedFrames {
+            sim: self,
+            plan: BatchPlan::build(self, sc, seed)?,
+            seed,
+        })
+    }
+}
+
+impl PreparedFrames<'_> {
+    /// The seed the plan was prepared with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Validates a raw insertion list against this plan's circuit.
+    pub fn insertions(&self, list: &[PauliInsertion]) -> Result<InsertionSet, SimError> {
+        InsertionSet::build(self.plan.frame.plan.sc, list)
+    }
+
+    /// Shot-sampled classical counts without recompiling.
+    pub fn run_counts(
+        &self,
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> RunResult {
+        self.plan.counts(self.sim, shots, self.seed, ins, workers)
+    }
+
+    /// Frame-averaged Pauli expectations without recompiling.
+    pub fn expect_paulis(
+        &self,
+        paulis: &[PauliString],
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Vec<f64> {
+        self.plan
+            .expectations(self.sim, paulis, shots, self.seed, ins, workers)
+    }
+
+    /// Per-shot ±1 outcomes without recompiling.
+    pub fn expect_flips(
+        &self,
+        paulis: &[PauliString],
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> PauliFlips {
+        self.plan
+            .flips(self.sim, paulis, shots, self.seed, ins, workers)
     }
 }
 
@@ -907,6 +1150,94 @@ mod tests {
                 .unwrap();
             assert_eq!(reference, got, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn insertions_flip_outcomes_and_stay_bit_identical() {
+        let (sim, qc) = noisy_workload();
+        let sc = sched(&qc);
+        // Insert an X on qubit 2 right after the final H(2) for half
+        // the shots: those shots' bit 2 must flip relative to the
+        // uninserted run, identically on both engines.
+        let h2 = sc
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, si)| si.instruction.gate == Gate::H && si.instruction.qubits == [2])
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap();
+        let shots = 150usize;
+        let list: Vec<PauliInsertion> = (0..shots)
+            .filter(|s| s % 2 == 0)
+            .map(|shot| PauliInsertion {
+                shot,
+                item: h2,
+                qubit: 2,
+                pauli: Pauli::X,
+            })
+            .collect();
+        let ins = InsertionSet::build(&sc, &list).unwrap();
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let a = serial
+            .run_counts_with_insertions(&sc, shots, 5, &ins)
+            .unwrap();
+        let b = batch
+            .run_counts_with_insertions(&sc, shots, 5, &ins, None)
+            .unwrap();
+        assert_eq!(a, b, "insertion runs must stay bit-identical");
+        let plain = batch.run_counts(&sc, shots, 5).unwrap();
+        assert_ne!(a, plain, "insertions must change sampled outcomes");
+    }
+
+    #[test]
+    fn expect_flips_matches_expect_paulis() {
+        let (sim, mut qc) = noisy_workload();
+        qc.instructions.retain(|i| i.gate != Gate::Measure);
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let obs = [
+            PauliString::parse("ZZIII").unwrap(),
+            PauliString::parse("IXXII").unwrap(),
+            PauliString::parse("YIIIY").unwrap(),
+        ];
+        let none = InsertionSet::empty();
+        // 130 shots: two full words plus a partial tail word.
+        let fs = serial.expect_flips(&sc, &obs, 130, 9, &none).unwrap();
+        let fb = batch.expect_flips(&sc, &obs, 130, 9, &none, None).unwrap();
+        assert_eq!(fs, fb, "per-shot flips must be bit-identical");
+        let means = batch.expect_paulis(&sc, &obs, 130, 9).unwrap();
+        for (o, m) in means.iter().enumerate() {
+            assert_eq!(fb.mean(o), *m, "observable {o}");
+        }
+    }
+
+    #[test]
+    fn prepared_frames_reuse_matches_fresh_runs() {
+        let (sim, qc) = noisy_workload();
+        let sc = sched(&qc);
+        let prepared = sim.prepare_frames(&sc, 13).unwrap();
+        let batch = BatchedFrameEngine::new(&sim);
+        let none = InsertionSet::empty();
+        for shots in [40usize, 128] {
+            assert_eq!(
+                prepared.run_counts(shots, &none, None),
+                batch.run_counts(&sc, shots, 13).unwrap(),
+                "{shots} shots"
+            );
+        }
+        // Validation runs against the prepared circuit.
+        let err = prepared
+            .insertions(&[PauliInsertion {
+                shot: 0,
+                item: usize::MAX,
+                qubit: 0,
+                pauli: Pauli::Z,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidInsertion { .. }));
     }
 
     #[test]

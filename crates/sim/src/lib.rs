@@ -32,6 +32,14 @@
 //! backend per circuit; see [`engine`] for the rules. Dispatch and
 //! execution are panic-free: unsupported circuits yield a structured
 //! [`SimError`].
+//!
+//! The frame engines additionally support **per-shot Pauli
+//! insertions** ([`insert`]) and a **plan cache**
+//! ([`Simulator::prepare_frames`] → [`PreparedFrames`]): the
+//! execution hooks probabilistic error cancellation uses to run
+//! thousands of sampled Pauli-insertion instances against one
+//! compiled plan, with counts bit-identical between the serial and
+//! bit-parallel paths.
 
 #![warn(missing_docs)]
 
@@ -39,6 +47,7 @@ pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod frame_batch;
+pub mod insert;
 pub mod noise;
 pub mod pauli_frame;
 pub mod plan;
@@ -53,11 +62,12 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use executor::{pack_bits, Simulator};
-pub use frame_batch::{BatchPlan, BatchedFrameEngine, LANES};
+pub use frame_batch::{BatchPlan, BatchedFrameEngine, PreparedFrames, LANES};
+pub use insert::{InsertionSet, PauliInsertion};
 pub use noise::{NoiseConfig, ShotNoise};
 pub use pauli_frame::{stabilizer_check, stabilizer_supports, FramePlan, StabilizerEngine};
 pub use plan::ExecutionPlan;
-pub use result::RunResult;
+pub use result::{PauliFlips, RunResult};
 pub use stabilizer::Tableau;
 pub use statevector::State;
 pub use timeline::{build_segments, Activity, SegmentOp};

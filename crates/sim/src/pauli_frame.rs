@@ -54,9 +54,10 @@
 
 use crate::error::SimError;
 use crate::executor::{pack_bits, Simulator};
+use crate::insert::InsertionSet;
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
 use crate::plan::{map_shots_indexed, ExecutionPlan, PlanOp};
-use crate::result::RunResult;
+use crate::result::{PauliFlips, RunResult};
 use crate::stabilizer::{pack_pauli, pauli_from_bits, pauli_to_bits, Tableau};
 use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q, Table2Q};
 use ca_circuit::pauli::{Pauli, PauliString};
@@ -229,8 +230,17 @@ impl<'a> FramePlan<'a> {
     }
 
     /// Runs one shot: propagates a Pauli frame with sampled noise and
-    /// returns `(frame_x, frame_z, classical bits)`.
-    fn shot(&self, sim: &Simulator, rng: &mut StdRng) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
+    /// returns `(frame_x, frame_z, classical bits)`. `shot_idx` is the
+    /// global shot index, used only to look up the shot's Pauli
+    /// insertions in `ins` — applying an insertion is an RNG-free
+    /// frame XOR, so the random stream is untouched by it.
+    fn shot(
+        &self,
+        sim: &Simulator,
+        rng: &mut StdRng,
+        shot_idx: usize,
+        ins: &InsertionSet,
+    ) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
         let n = self.plan.sc.num_qubits;
         let config = &sim.config;
         let shot = ShotNoise::sample(&sim.device, config, rng);
@@ -401,6 +411,11 @@ impl<'a> FramePlan<'a> {
                             }
                         }
                     }
+                    // Scheduled per-shot Pauli insertions (PEC): pure
+                    // frame XORs after the item's own error draws.
+                    for &(_, q, p) in ins.for_shot(item, shot_idx) {
+                        inject(&mut fx, &mut fz, q, p);
+                    }
                 }
             }
         }
@@ -489,6 +504,19 @@ impl<'a> StabilizerEngine<'a> {
         shots: usize,
         seed: u64,
     ) -> Result<RunResult, SimError> {
+        self.run_counts_with_insertions(sc, shots, seed, &InsertionSet::empty())
+    }
+
+    /// [`Self::run_counts`] with scheduled per-shot Pauli insertions
+    /// (see [`crate::insert`]): the PEC hook. An empty set reproduces
+    /// the plain run exactly.
+    pub fn run_counts_with_insertions(
+        &self,
+        sc: &ScheduledCircuit,
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+    ) -> Result<RunResult, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
         let nbits = sc.num_clbits;
         let parts = map_shots_indexed(
@@ -496,8 +524,8 @@ impl<'a> StabilizerEngine<'a> {
             seed,
             None,
             std::collections::BTreeMap::<u64, usize>::new,
-            |rng, counts| {
-                let (_, _, bits) = plan.shot(self.sim, rng);
+            |i, rng, counts| {
+                let (_, _, bits) = plan.shot(self.sim, rng, i, ins);
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
@@ -511,6 +539,19 @@ impl<'a> StabilizerEngine<'a> {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        self.expect_paulis_with_insertions(sc, paulis, shots, seed, &InsertionSet::empty())
+    }
+
+    /// [`Self::expect_paulis`] with scheduled per-shot Pauli
+    /// insertions.
+    pub fn expect_paulis_with_insertions(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
     ) -> Result<Vec<f64>, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
         // Reference expectation and packed masks per observable.
@@ -527,9 +568,9 @@ impl<'a> StabilizerEngine<'a> {
             seed,
             None,
             || vec![0.0; prepared.len()],
-            |rng, acc| {
-                let (fx, fz, _) = plan.shot(self.sim, rng);
-                for (i, (r, px, pz)) in prepared.iter().enumerate() {
+            |i, rng, acc| {
+                let (fx, fz, _) = plan.shot(self.sim, rng, i, ins);
+                for (o, (r, px, pz)) in prepared.iter().enumerate() {
                     if *r == 0 {
                         continue;
                     }
@@ -538,7 +579,7 @@ impl<'a> StabilizerEngine<'a> {
                         parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
                     }
                     let flip = parity.count_ones() % 2 == 1;
-                    acc[i] += if flip { -*r as f64 } else { *r as f64 };
+                    acc[o] += if flip { -*r as f64 } else { *r as f64 };
                 }
             },
         );
@@ -552,6 +593,63 @@ impl<'a> StabilizerEngine<'a> {
             *o /= shots as f64;
         }
         Ok(out)
+    }
+
+    /// Per-shot ±1 outcomes (see [`PauliFlips`]): the sign-resolved
+    /// form of [`Self::expect_paulis_with_insertions`], needed by
+    /// sign-weighted estimators like PEC. Bit-identical to the batch
+    /// engine's [`crate::BatchedFrameEngine::expect_flips`].
+    pub fn expect_flips(
+        &self,
+        sc: &ScheduledCircuit,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+    ) -> Result<PauliFlips, SimError> {
+        let plan = FramePlan::build(self.sim, sc, seed)?;
+        let prepared: Vec<(i32, Vec<u64>, Vec<u64>)> = paulis
+            .iter()
+            .map(|p| {
+                let r = plan.ref_tableau.expect(p);
+                let (px, pz) = pack_pauli(p);
+                (r, px, pz)
+            })
+            .collect();
+        let words = shots.div_ceil(64);
+        // Per-worker bitvectors cover disjoint shot indices, so the
+        // merge is a plain OR — order-independent and exact.
+        let parts = map_shots_indexed(
+            shots,
+            seed,
+            None,
+            || vec![vec![0u64; words]; prepared.len()],
+            |i, rng, acc| {
+                let (fx, fz, _) = plan.shot(self.sim, rng, i, ins);
+                for (o, (_, px, pz)) in prepared.iter().enumerate() {
+                    let mut parity = 0u64;
+                    for w in 0..fx.len() {
+                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
+                    }
+                    if parity.count_ones() % 2 == 1 {
+                        acc[o][i / 64] |= 1 << (i % 64);
+                    }
+                }
+            },
+        );
+        let mut flips = vec![vec![0u64; words]; prepared.len()];
+        for part in parts {
+            for (acc, obs) in flips.iter_mut().zip(part.iter()) {
+                for (a, w) in acc.iter_mut().zip(obs.iter()) {
+                    *a |= w;
+                }
+            }
+        }
+        Ok(PauliFlips {
+            shots,
+            refs: prepared.iter().map(|(r, _, _)| *r).collect(),
+            flips,
+        })
     }
 }
 

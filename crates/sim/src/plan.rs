@@ -139,16 +139,17 @@ pub fn worker_count(requested: Option<usize>, jobs: usize) -> usize {
 
 /// Runs `shots` across worker threads with a *per-shot* seeded RNG
 /// (see [`shot_seed`]): shot `i` sees the same stream no matter how
-/// shots are distributed over threads. Returns per-worker accumulators
-/// for the caller to merge. Used by the serial Pauli-frame sampler;
-/// the batch engine reproduces the identical per-shot streams 64
-/// lanes at a time.
+/// shots are distributed over threads. The closure receives the
+/// global shot index (used for per-shot Pauli-insertion lookups).
+/// Returns per-worker accumulators for the caller to merge. Used by
+/// the serial Pauli-frame sampler; the batch engine reproduces the
+/// identical per-shot streams 64 lanes at a time.
 pub fn map_shots_indexed<Acc: Send>(
     shots: usize,
     seed: u64,
     workers: Option<usize>,
     new_acc: impl Fn() -> Acc + Sync,
-    per_shot: impl Fn(&mut rand::rngs::StdRng, &mut Acc) + Sync,
+    per_shot: impl Fn(usize, &mut rand::rngs::StdRng, &mut Acc) + Sync,
 ) -> Vec<Acc> {
     use rand::SeedableRng;
     let chunks = chunk_ranges(shots);
@@ -164,7 +165,7 @@ pub fn map_shots_indexed<Acc: Send>(
                     for &(start, len) in chunks.iter().skip(w).step_by(workers) {
                         for i in start..start + len {
                             let mut rng = rand::rngs::StdRng::seed_from_u64(shot_seed(seed, i));
-                            per_shot(&mut rng, &mut acc);
+                            per_shot(i, &mut rng, &mut acc);
                         }
                     }
                     acc

@@ -87,6 +87,59 @@ impl RunResult {
     }
 }
 
+/// Per-shot Pauli-expectation outcomes from the frame engines: for
+/// each observable, the reference-tableau expectation and a bitvector
+/// over shots marking which shots' frames flip its sign. This is the
+/// raw material for sign-weighted estimators (probabilistic error
+/// cancellation needs each shot's ±1 outcome, not just the mean), and
+/// both frame engines produce it bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauliFlips {
+    /// Total shots.
+    pub shots: usize,
+    /// Reference (noiseless) expectation per observable: −1, 0, or +1.
+    pub refs: Vec<i32>,
+    /// `flips[obs]` is a bitvector of `ceil(shots/64)` words; bit `i`
+    /// set means shot `i`'s frame anticommutes with the observable.
+    pub flips: Vec<Vec<u64>>,
+}
+
+impl PauliFlips {
+    /// Shot `shot`'s ±1 outcome for observable `obs` (0.0 when the
+    /// reference expectation vanishes — the observable is not a
+    /// stabilizer of the prepared state, so single shots carry no
+    /// signal).
+    pub fn value(&self, obs: usize, shot: usize) -> f64 {
+        let flip = self.flips[obs][shot / 64] >> (shot % 64) & 1 == 1;
+        let r = self.refs[obs] as f64;
+        if flip {
+            -r
+        } else {
+            r
+        }
+    }
+
+    /// Mean outcome of observable `obs` over all shots — equals the
+    /// engines' `expect_paulis` result for the same run.
+    pub fn mean(&self, obs: usize) -> f64 {
+        if self.refs[obs] == 0 || self.shots == 0 {
+            return 0.0;
+        }
+        let mut flipped = 0u32;
+        for (w, word) in self.flips[obs].iter().enumerate() {
+            let bits_here = (self.shots - w * 64).min(64);
+            let mask = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
+            flipped += (word & mask).count_ones();
+        }
+        let sum = self.refs[obs] as i64 * (self.shots as i64 - 2 * flipped as i64);
+        sum as f64 / self.shots as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +196,32 @@ mod tests {
         let small = result(&[(0b00, 10), (0b01, 10)]);
         let big = result(&[(0b00, 1000), (0b01, 1000)]);
         assert!(big.parity_stderr(&[0]) < small.parity_stderr(&[0]));
+    }
+
+    #[test]
+    fn pauli_flips_values_and_mean() {
+        // 70 shots, one observable with ref +1: shots 0 and 65 flip.
+        let flips = vec![vec![1u64, 1u64 << 1]];
+        let pf = PauliFlips {
+            shots: 70,
+            refs: vec![1],
+            flips,
+        };
+        assert_eq!(pf.value(0, 0), -1.0);
+        assert_eq!(pf.value(0, 1), 1.0);
+        assert_eq!(pf.value(0, 65), -1.0);
+        let expect = (70.0 - 2.0 * 2.0) / 70.0;
+        assert!((pf.mean(0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_flips_mean_masks_tail_lanes() {
+        // Garbage beyond the shot count must not affect the mean.
+        let pf = PauliFlips {
+            shots: 3,
+            refs: vec![-1],
+            flips: vec![vec![u64::MAX]],
+        };
+        assert!((pf.mean(0) - 1.0).abs() < 1e-12);
     }
 }

@@ -41,6 +41,7 @@ pub use ca_core as core;
 pub use ca_device as device;
 pub use ca_experiments as experiments;
 pub use ca_metrics as metrics;
+pub use ca_mitigation as mitigation;
 pub use ca_sim as sim;
 
 /// The most common imports in one place.

@@ -23,7 +23,7 @@ use context_aware_compiling::prelude::*;
 use proptest::prelude::*;
 // Explicit import so `Strategy` means proptest's trait (the compile
 // Strategy enum is referenced by path below).
-use ca_sim::BatchedFrameEngine;
+use ca_sim::{BatchedFrameEngine, InsertionSet, PauliInsertion};
 use proptest::Strategy;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -110,6 +110,30 @@ fn tvd_threshold(shots: usize, outcomes: usize) -> f64 {
     2.5 * ((outcomes.max(2) as f64) / shots as f64).sqrt() + 0.02
 }
 
+/// A deterministic pseudo-random PEC-style insertion set: Paulis on
+/// arbitrary qubits anchored at arbitrary unitary items, spread over
+/// the shot range.
+fn random_insertions(sc: &ScheduledCircuit, shots: usize, count: usize, seed: u64) -> InsertionSet {
+    let unitary_items: Vec<usize> = sc
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(_, si)| si.instruction.gate.is_unitary())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!unitary_items.is_empty(), "workload has unitary gates");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let list: Vec<PauliInsertion> = (0..count)
+        .map(|_| PauliInsertion {
+            shot: rng.random_range(0..shots),
+            item: unitary_items[rng.random_range(0..unitary_items.len())],
+            qubit: rng.random_range(0..sc.num_qubits),
+            pauli: ca_circuit::Pauli::from_index(rng.random_range(1..4usize)),
+        })
+        .collect();
+    InsertionSet::build(sc, &list).expect("valid insertions")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -142,6 +166,26 @@ proptest! {
             t < tvd_threshold(shots, outcomes),
             "noisy TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
         );
+    }
+
+    #[test]
+    fn pec_insertions_stay_bit_identical_on_random_circuits(
+        qc in arb_clifford_circuit(5),
+        // Odd shot counts on purpose: partial tail words must apply
+        // each insertion to the right lane.
+        shots in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        let sim = noisy_frame_sim(qc.num_qubits);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let ins = random_insertions(&sc, shots, 1 + shots / 2, seed ^ 0xABCD);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let a = serial.run_counts_with_insertions(&sc, shots, seed, &ins).unwrap();
+        let b = batch
+            .run_counts_with_insertions(&sc, shots, seed, &ins, None)
+            .unwrap();
+        prop_assert_eq!(a, b, "shots {} seed {} for {:?}", shots, seed, qc);
     }
 
     #[test]
@@ -230,6 +274,84 @@ fn batch_counts_and_expectations_identical_across_worker_counts() {
             .expect_paulis_with_workers(&sco, &obs, 777, 5, Some(workers))
             .unwrap();
         assert_eq!(e1, got, "expectations differ at {workers} workers");
+    }
+}
+
+#[test]
+fn pec_sampled_counts_identical_across_engines_and_worker_counts() {
+    // The PEC execution path end to end: a noisy workload with a
+    // dense per-shot insertion schedule must produce bit-identical
+    // counts on the serial stabilizer engine and on the batch engine
+    // at 1, 2, and 8 workers — including an odd shot count spanning
+    // several partial batch words.
+    let sim = noisy_frame_sim(6);
+    let mut qc = Circuit::new(6, 6);
+    for q in 0..6 {
+        qc.h(q);
+    }
+    qc.ecr(0, 1).ecr(2, 3).ecr(4, 5);
+    qc.x(1).delay(700.0, 0);
+    qc.cx(1, 2).cz(3, 4);
+    for q in 0..6 {
+        qc.measure(q, q);
+    }
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let serial = StabilizerEngine::new(&sim);
+    let batch = BatchedFrameEngine::new(&sim);
+    for (shots, seed) in [(333usize, 3u64), (1001, 41)] {
+        let ins = random_insertions(&sc, shots, 2 * shots, seed);
+        let reference = serial
+            .run_counts_with_insertions(&sc, shots, seed, &ins)
+            .unwrap();
+        for workers in [1usize, 2, 8] {
+            let got = batch
+                .run_counts_with_insertions(&sc, shots, seed, &ins, Some(workers))
+                .unwrap();
+            assert_eq!(
+                reference, got,
+                "shots {shots} seed {seed} workers {workers}"
+            );
+        }
+        // And the insertions really change the sampled distribution.
+        let plain = serial.run_counts(&sc, shots, seed).unwrap();
+        assert_ne!(reference, plain, "insertions must act");
+    }
+}
+
+#[test]
+fn pec_per_shot_flips_identical_across_engines_and_worker_counts() {
+    let sim = noisy_frame_sim(5);
+    let mut qc = Circuit::new(5, 0);
+    for q in 0..5 {
+        qc.h(q);
+    }
+    qc.ecr(0, 1).ecr(2, 3);
+    qc.x(4).delay(500.0, 4).x(4);
+    qc.ecr(1, 2).ecr(3, 4);
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let obs = [
+        PauliString::parse("XXIII").unwrap(),
+        PauliString::parse("IIZZI").unwrap(),
+        PauliString::parse("ZIIIZ").unwrap(),
+    ];
+    let shots = 200;
+    let seed = 17;
+    let ins = random_insertions(&sc, shots, shots, seed);
+    let serial = StabilizerEngine::new(&sim);
+    let batch = BatchedFrameEngine::new(&sim);
+    let reference = serial.expect_flips(&sc, &obs, shots, seed, &ins).unwrap();
+    for workers in [1usize, 2, 8] {
+        let got = batch
+            .expect_flips(&sc, &obs, shots, seed, &ins, Some(workers))
+            .unwrap();
+        assert_eq!(reference, got, "{workers} workers");
+    }
+    // The per-shot means agree with the aggregate expectation API.
+    let means = batch
+        .expect_paulis_with_insertions(&sc, &obs, shots, seed, &ins, None)
+        .unwrap();
+    for (o, m) in means.iter().enumerate() {
+        assert_eq!(reference.mean(o), *m, "observable {o}");
     }
 }
 

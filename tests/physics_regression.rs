@@ -5,6 +5,8 @@
 use ca_circuit::{schedule_asap, Circuit, GateDurations, PauliString};
 use ca_core::dd::apply_walsh_in_window;
 use ca_device::{phase_rad, uniform_device, Topology};
+use ca_experiments::pec::fig_pec_gamma;
+use ca_experiments::Budget;
 use ca_sim::{NoiseConfig, Simulator};
 
 const NU_KHZ: f64 = 100.0;
@@ -169,6 +171,76 @@ fn stark_phase_matches_calibration() {
         "⟨X₀⟩ {x0} vs {}",
         theta.cos()
     );
+}
+
+#[test]
+fn learned_gamma_trajectory_is_ordered_and_tracks_closed_form() {
+    // Golden Fig. 8 mitigation check: the γ of the *learned* per-layer
+    // Pauli channel must fall monotonically along the strategy
+    // trajectory (this reproduction's measured order — see
+    // `ca_experiments::pec` for why standalone CA-EC sits between DD
+    // and CA-DD here), and for every invertible strategy the exact
+    // Σ|q| γ must agree with the closed-form γ = LF^{−2} evaluated at
+    // the same learned layer fidelity. Fully deterministic for the
+    // fixed seed, so the margins below are regression guards, not
+    // statistical bets.
+    let budget = Budget {
+        trajectories: 128,
+        instances: 2,
+        seed: 11,
+    };
+    let (_, results) = fig_pec_gamma(&[1, 2, 4], &budget).expect("learn the trajectory");
+    let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["bare", "DD", "CA-EC", "CA-DD", "CA-EC+DD"]);
+    for w in results.windows(2) {
+        assert!(
+            w[0].gamma_learned > w[1].gamma_learned,
+            "γ must fall along the trajectory: {} {:.3} !> {} {:.3}",
+            w[0].label,
+            w[0].gamma_learned,
+            w[1].label,
+            w[1].gamma_learned
+        );
+    }
+    for r in &results {
+        assert!(
+            r.gamma_learned >= 1.0,
+            "{}: γ {} < 1",
+            r.label,
+            r.gamma_learned
+        );
+        if !r.invertible || r.lf < 0.5 {
+            // Bare at strong crosstalk is (near-)degenerate: depending
+            // on the budget it is either non-invertible (γ is a
+            // clamped lower bound) or so deep that the exact Σ|q| γ
+            // legitimately races far past LF^{-2} — both estimators
+            // only track each other in the perturbative regime.
+            // Ordering (checked above) is the claim for bare.
+            assert_eq!(r.label, "bare");
+            continue;
+        }
+        // Exact γ vs closed-form LF^{-2}: the same noise through two
+        // estimators. They agree on the overhead *excess* within a
+        // modest band (the closed form slightly overweights it).
+        let excess_ratio = (r.gamma_learned - 1.0) / (r.gamma_formula - 1.0);
+        assert!(
+            (0.65..1.1).contains(&excess_ratio),
+            "{}: learned γ {:.3} vs LF^-2 {:.3} (excess ratio {excess_ratio:.3})",
+            r.label,
+            r.gamma_learned,
+            r.gamma_formula
+        );
+    }
+    // The DD-family layer fidelities land in the paper's ballpark
+    // (0.74–0.88 band, Fig. 8b) rather than collapsing.
+    for r in &results[1..] {
+        assert!(
+            r.lf > 0.7 && r.lf < 0.99,
+            "{}: learned LF {:.3} out of band",
+            r.label,
+            r.lf
+        );
+    }
 }
 
 #[test]
