@@ -135,6 +135,46 @@ mod tests {
     }
 
     #[test]
+    fn frame_engines_reproduce_the_fig9_sweep() {
+        // The same protocol forced onto the stabilizer engine: the
+        // conditional Z runs as exact feed-forward and the conditional
+        // Rz compensation folds into the coherent banks, so the twirled
+        // model must show the same structure as the dense engine —
+        // fidelity far above bare at the true τ, peaking there.
+        use ca_sim::Engine;
+        let device = dynamic_device();
+        let noise = NoiseConfig {
+            readout_error: false,
+            ..NoiseConfig::default()
+        };
+        let sim = Simulator::with_engine(device.clone(), noise, Engine::Stabilizer);
+        let truth = true_tau_ns(&device);
+        let obs = all_zeros_fidelity_observables(3, &[1, 2]);
+        let fid = |tau: f64| {
+            let qc = bell_circuit(&device, tau);
+            let sc = ca_circuit::schedule_asap(&qc, device.durations());
+            all_zeros_fidelity(&sim.expect_paulis(&sc, &obs, 400, 11).expect("simulate"))
+        };
+        let fs: Vec<f64> = [0.0, 0.4, 0.7, 1.0, 1.3]
+            .iter()
+            .map(|f| fid(f * truth))
+            .collect();
+        assert!(
+            fs[3] > fs[0] + 0.3,
+            "compensated {} must far exceed bare {}",
+            fs[3],
+            fs[0]
+        );
+        let best = fs[1..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 2, "fidelity must peak at the true τ: {fs:?}");
+    }
+
+    #[test]
     fn sweep_peaks_near_true_tau() {
         let device = dynamic_device();
         let budget = Budget::quick();

@@ -22,9 +22,13 @@
 //! tracked through the layer's Clifford action, and its
 //! sign-corrected expectation fitted to a decay over depth. The layer
 //! fidelity is the product of per-partition decays and the PEC base
-//! is `γ = LF^{−2}`. CA-EC is deliberately absent: its Rz/Rzz
-//! compensation angles are non-Clifford, so it needs the dense engine
-//! (see the engine-selection rules in `ca-sim`).
+//! is `γ = LF^{−2}`. CA-EC is deliberately absent from *this*
+//! benchmark: its Rz/Rzz compensation angles are non-Clifford, and
+//! while the frame engines nowadays bank-fold arbitrary diagonal
+//! rotations (see `ca-sim`'s engine rules), the LF comparison here
+//! keeps to the strategies whose frame treatment is exact. The
+//! dynamic-circuit workload (`crate::dynamic_127`) is where CA-EC
+//! runs at device scale on the frame engines.
 
 use crate::report::{Figure, Series};
 use crate::runner::Budget;

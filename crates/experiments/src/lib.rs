@@ -10,6 +10,7 @@
 pub mod characterize;
 pub mod combined;
 pub mod dynamic;
+pub mod dynamic_127;
 pub mod heisenberg;
 pub mod ising;
 pub mod large_scale;

@@ -30,7 +30,7 @@ use ca_circuit::{schedule_asap, Circuit, Gate, Pauli, PauliString, ScheduledCirc
 use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::Device;
 use ca_metrics::fit_decay;
-use ca_sim::{stabilizer_supports, Engine, NoiseConfig, Simulator};
+use ca_sim::{clifford_supports, Engine, NoiseConfig, Simulator};
 
 /// Budget and seeding of one learning run.
 #[derive(Clone, Debug)]
@@ -257,11 +257,15 @@ pub fn learn_layer_channel(
     })
 }
 
-/// Pins the learner's engine: Clifford-compiled circuits run on the
-/// bit-parallel frame-batch engine; anything else (CA-EC's
-/// non-Clifford compensation angles) resolves through `Auto`.
+/// Pins the learner's engine: strictly Clifford-compiled circuits run
+/// on the bit-parallel frame-batch engine; anything else (CA-EC's
+/// non-Clifford compensation angles) resolves through `Auto`. The
+/// *strict* Clifford predicate is deliberate: the frame engines can
+/// nowadays bank-fold arbitrary diagonal angles, but learning wants
+/// the exact dense treatment of those compensations at small sizes,
+/// not the twirl approximation.
 fn simulator_for(device: &Device, noise: &NoiseConfig, sc: &ScheduledCircuit) -> Simulator {
-    let engine = if stabilizer_supports(sc) {
+    let engine = if clifford_supports(sc) {
         Engine::FrameBatch
     } else {
         Engine::Auto

@@ -15,20 +15,30 @@
 //!
 //! ## Selection rules (`Engine::Auto`, the default)
 //!
-//! 1. Non-Clifford circuit, feed-forward, or anything else the
-//!    tableau cannot represent → statevector, **if** it fits the
-//!    dense cap; otherwise no engine supports the circuit and
+//! The frame engines' circuit class is *Clifford + diagonal
+//! rotations + classical feed-forward*: Clifford gates conjugate the
+//! frames, arbitrary-angle diagonal rotations (`Rz`, `Rzz`, `T`)
+//! fold into the coherent phase banks, conditional Pauli gates are
+//! exact feed-forward, and conditional diagonal rotations rewrite
+//! into bank terms against their measured source qubit (see
+//! [`crate::pauli_frame`]). The rules:
+//!
+//! 1. A circuit outside that class — a non-diagonal non-Clifford
+//!    gate (`Rx(θ)`, `T`-free `U`, `Can`), or a conditional wrapping
+//!    a non-Pauli non-diagonal gate → statevector, **if** it fits
+//!    the dense cap; otherwise no engine supports the circuit and
 //!    dispatch returns [`SimError::NoSupportingEngine`] naming both
-//!    constraints.
-//! 2. Clifford circuit on more than [`AUTO_DENSE_MAX_QUBITS`] qubits
-//!    → the batched frame engine (the dense engine would be
-//!    infeasible; the serial frame engine would leave a ~64× factor
-//!    on the table).
-//! 3. Clifford circuit that the dense engine *can* afford →
-//!    statevector, because it treats coherent crosstalk exactly where
-//!    the frame engines apply the twirl approximation. Force
-//!    `Engine::FrameBatch`/`Engine::Stabilizer` to study the twirled
-//!    model at small sizes.
+//!    the cap and the offending gate.
+//! 2. A frame-representable circuit (feed-forward included) on more
+//!    than [`AUTO_DENSE_MAX_QUBITS`] qubits → the batched frame
+//!    engine (the dense engine would be infeasible; the serial frame
+//!    engine would leave a ~64× factor on the table). Dynamic
+//!    circuits never trigger a dense fallback at scale.
+//! 3. A circuit the dense engine *can* afford → statevector, because
+//!    it treats coherent crosstalk (and arbitrary-angle rotations)
+//!    exactly where the frame engines apply the twirl approximation.
+//!    Force `Engine::FrameBatch`/`Engine::Stabilizer` to study the
+//!    twirled model at small sizes.
 
 use crate::error::SimError;
 use crate::executor::Simulator;
@@ -55,11 +65,12 @@ pub enum Engine {
     /// Always the dense statevector engine.
     Statevector,
     /// Always the serial stabilizer/Pauli-frame engine (errors on
-    /// non-Clifford circuits).
+    /// circuits outside the Clifford + diagonal + feed-forward class).
     Stabilizer,
     /// Always the bit-parallel batched frame engine: 64 shots per
     /// word, bit-identical seeded counts to [`Engine::Stabilizer`]
-    /// (errors on non-Clifford circuits).
+    /// (errors on circuits outside the Clifford + diagonal +
+    /// feed-forward class).
     FrameBatch,
 }
 
@@ -248,14 +259,16 @@ impl Simulator {
             Engine::FrameBatch => Ok(Box::new(BatchedFrameEngine::new(self))),
             Engine::Auto => {
                 check_gate_arities(sc)?;
-                let clifford = stabilizer_supports(sc);
-                if clifford && sc.num_qubits > AUTO_DENSE_MAX_QUBITS {
+                let frame_ok = stabilizer_supports(sc);
+                if frame_ok && sc.num_qubits > AUTO_DENSE_MAX_QUBITS {
                     Ok(Box::new(BatchedFrameEngine::new(self)))
                 } else if sc.num_qubits <= DENSE_MAX_QUBITS {
                     Ok(Box::new(StatevectorEngine { sim: self }))
                 } else {
                     let blocking_gate = match stabilizer_check(sc) {
-                        Err(SimError::NotClifford { gate }) => gate,
+                        Err(SimError::NotClifford { gate })
+                        | Err(SimError::UnsupportedConditional { gate }) => gate,
+                        Err(SimError::ConditionalClbitOutOfRange { .. }) => "feed-forward",
                         _ => "unknown",
                     };
                     Err(SimError::NoSupportingEngine {
@@ -309,8 +322,9 @@ mod tests {
 
     #[test]
     fn auto_reports_no_engine_for_wide_non_clifford() {
-        // A non-Clifford rotation above the dense cap: no engine can
-        // run it, and the error must name both constraints.
+        // A non-diagonal non-Clifford rotation above the dense cap:
+        // no engine can run it, and the error must name both
+        // constraints.
         let n = 40;
         let sim =
             Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal());
@@ -318,7 +332,7 @@ mod tests {
         for q in 0..n - 1 {
             qc.cx(q, q + 1);
         }
-        qc.rz(0.3, 0);
+        qc.append(Gate::Rx(0.3), [0]);
         let sc = sched(&qc);
         let err = match sim.engine_for(&sc) {
             Err(e) => e,
@@ -329,7 +343,7 @@ mod tests {
             SimError::NoSupportingEngine {
                 qubits: n,
                 dense_max: DENSE_MAX_QUBITS,
-                blocking_gate: "rz",
+                blocking_gate: "rx",
             }
         );
         // The sampling APIs surface the same error instead of failing
@@ -337,6 +351,59 @@ mod tests {
         assert_eq!(sim.run_counts(&sc, 10, 1).unwrap_err(), err);
         let z = ca_circuit::PauliString::identity(n);
         assert_eq!(sim.expect_paulis(&sc, &[z], 10, 1).unwrap_err(), err);
+    }
+
+    #[test]
+    fn auto_runs_feed_forward_on_frames_at_scale() {
+        // Clifford + feed-forward above the dense cap must resolve to
+        // the batched frame engine — no dense fallback for dynamic
+        // circuits (the Fig. 9 workload class at device scale).
+        let n = 40;
+        let sim =
+            Simulator::with_config(uniform_device(Topology::line(n), 0.0), NoiseConfig::ideal());
+        let mut qc = Circuit::new(n, 1);
+        qc.h(0).cx(0, 1).h(0).measure(0, 0);
+        qc.gate_if(Gate::Z, [1], 0, true);
+        qc.gate_if(Gate::Rz(0.3), [1], 0, true);
+        assert_eq!(sim.engine_name_for(&sched(&qc)).unwrap(), "frame-batch");
+    }
+
+    #[test]
+    fn auto_names_the_gate_behind_an_unsupported_conditional() {
+        // A conditional wrapping a non-Clifford, non-diagonal gate
+        // above the dense cap: structured error naming the gate on
+        // every engine, never a silent dense fallback.
+        let n = 40;
+        let mut qc = Circuit::new(n, 1);
+        qc.measure(0, 0).gate_if(Gate::Rx(0.3), [1], 0, true);
+        let sc = sched(&qc);
+        let dev = uniform_device(Topology::line(n), 0.0);
+        let auto = Simulator::with_config(dev.clone(), NoiseConfig::ideal());
+        assert_eq!(
+            auto.run_counts(&sc, 10, 1).unwrap_err(),
+            SimError::NoSupportingEngine {
+                qubits: n,
+                dense_max: DENSE_MAX_QUBITS,
+                blocking_gate: "rx",
+            }
+        );
+        for engine in [Engine::Stabilizer, Engine::FrameBatch] {
+            let sim = Simulator::with_engine(dev.clone(), NoiseConfig::ideal(), engine);
+            assert_eq!(
+                sim.run_counts(&sc, 10, 1).unwrap_err(),
+                SimError::UnsupportedConditional { gate: "rx" },
+                "{engine:?}"
+            );
+        }
+        // The dense engine itself is only stopped by its qubit cap.
+        let wide = Simulator::with_engine(dev, NoiseConfig::ideal(), Engine::Statevector);
+        assert_eq!(
+            wide.run_counts(&sc, 10, 1).unwrap_err(),
+            SimError::DenseCapExceeded {
+                qubits: n,
+                max: DENSE_MAX_QUBITS,
+            }
+        );
     }
 
     #[test]

@@ -30,11 +30,11 @@ pub enum SimError {
         /// The dense engine's cap ([`crate::engine::DENSE_MAX_QUBITS`]).
         max: usize,
     },
-    /// The stabilizer/frame engines require a Clifford circuit with no
-    /// classical feed-forward; this circuit violates that.
+    /// The stabilizer/frame engines require every unconditional gate
+    /// to be Clifford or a diagonal rotation (bank-folded); this
+    /// circuit carries a gate that is neither.
     NotClifford {
-        /// Mnemonic of the first offending gate, or `"feed-forward"`
-        /// when a conditional instruction is the blocker.
+        /// Mnemonic of the first offending gate.
         gate: &'static str,
     },
     /// A per-shot Pauli insertion does not fit the circuit it was
@@ -47,6 +47,28 @@ pub enum SimError {
         item: usize,
         /// Which constraint the insertion violates.
         reason: &'static str,
+    },
+    /// A feed-forward condition wraps a gate the frame engines cannot
+    /// represent conditionally. Frames track a shot's deviation from
+    /// one shared reference run as a Pauli operator, so a conditional
+    /// gate must either *be* a Pauli (exact classical feed-forward) or
+    /// be a virtual diagonal rotation (folded into the coherent phase
+    /// banks); anything else — a conditional `H`, `Sx`, `Rx(θ)`, or
+    /// any two-qubit conditional — leaves a non-Pauli deviation on the
+    /// shots whose condition bit disagrees with the reference's.
+    UnsupportedConditional {
+        /// Mnemonic of the conditionally wrapped gate.
+        gate: &'static str,
+    },
+    /// A feed-forward condition reads a classical bit at or beyond the
+    /// frame engines' 64-bit classical register window (the batch
+    /// engine evaluates conditions against a packed 64-bit key per
+    /// shot-lane, and counts keys are 64-bit everywhere).
+    ConditionalClbitOutOfRange {
+        /// The classical bit the condition reads.
+        clbit: usize,
+        /// First unsupported bit index (always 64).
+        max: usize,
     },
     /// `Engine::Auto` found no engine able to run the circuit: it is
     /// both too wide for the dense engine and not Clifford, so the
@@ -81,8 +103,21 @@ impl fmt::Display for SimError {
             ),
             SimError::NotClifford { gate } => write!(
                 f,
-                "circuit is not Clifford (first blocker: {gate}); the stabilizer and \
-                 frame-batch engines require Clifford gates and no feed-forward"
+                "circuit is not frame-representable (first blocker: {gate}); the \
+                 stabilizer and frame-batch engines require every unconditional gate \
+                 to be Clifford or a diagonal rotation"
+            ),
+            SimError::UnsupportedConditional { gate } => write!(
+                f,
+                "classical feed-forward on `{gate}` is outside the frame engines' \
+                 conditional gate set (Pauli gates are applied exactly; virtual diagonal \
+                 rotations fold into the coherent phase banks; other conditionals need \
+                 the dense statevector engine)"
+            ),
+            SimError::ConditionalClbitOutOfRange { clbit, max } => write!(
+                f,
+                "feed-forward condition reads classical bit {clbit}; the frame engines \
+                 evaluate conditions against a packed {max}-bit classical register"
             ),
             SimError::InvalidInsertion { shot, item, reason } => write!(
                 f,

@@ -36,6 +36,13 @@
 //! (batches are independent; expectation sums are reduced in batch
 //! order, and each shot contributes an integer ±1, so even the f64
 //! accumulations are exact).
+//!
+//! Classical feed-forward batches too: a conditional gate becomes a
+//! lane-masked [`BatchOp::CondGate`] whose per-lane firing decision
+//! is read from the lane's packed classical key and XOR-ed against
+//! the shared reference run's — the serial engine's exact rule,
+//! evaluated 64 shots at a time — while conditional *diagonal*
+//! rotations compile away entirely into the precomputed banks.
 
 use crate::error::SimError;
 use crate::executor::Simulator;
@@ -154,6 +161,17 @@ impl Symp2 {
         Self { mat }
     }
 
+    /// The identity action: used when an op exists only for its error
+    /// draw (bank-folded `Rzz`, whose rotation lives in the banks but
+    /// whose pulse still depolarizes).
+    fn identity() -> Self {
+        let mut mat = [[0u64; 4]; 4];
+        for (i, row) in mat.iter_mut().enumerate() {
+            row[i] = u64::MAX;
+        }
+        Self { mat }
+    }
+
     #[inline]
     fn apply(&self, v: [u64; 4]) -> [u64; 4] {
         let mut out = [0u64; 4];
@@ -203,6 +221,24 @@ enum BatchOp {
     },
     /// Reset to |0⟩: clear X, randomize Z.
     Reset { q: usize },
+    /// Conditional Pauli gate (classical feed-forward): per lane, the
+    /// condition is evaluated against the lane's packed classical key
+    /// and the Pauli's plane bits are XOR-ed in exactly when the
+    /// lane's firing decision differs from the reference run's — the
+    /// serial engine's exact rule, word-wide. A fired lane of a
+    /// physical pulse additionally draws its depolarizing error.
+    CondGate {
+        q: usize,
+        /// Plane bits of the injected Pauli.
+        x: bool,
+        z: bool,
+        clbit: usize,
+        value: bool,
+        /// Whether the shared reference run fired the gate.
+        ref_fired: bool,
+        /// 1q depolarizing probability for fired lanes (0 ⇒ no draw).
+        err_p: f64,
+    },
     /// Per-shot Pauli-insertion anchor for a scheduled item: applies
     /// whatever insertions the run's [`InsertionSet`] carries for the
     /// batch's shot-lanes at this item. RNG-free (a pure plane XOR),
@@ -324,6 +360,77 @@ impl<'a> BatchPlan<'a> {
                 PlanOp::Apply { item } => {
                     let si = &plan.sc.items[item];
                     match frame.items[item].as_ref().expect("unitary item") {
+                        ItemOp::CondPauli {
+                            q,
+                            pauli,
+                            clbit,
+                            value,
+                            ref_fired,
+                            physical,
+                        } => {
+                            let q = *q;
+                            if *physical {
+                                // Shot-independent bank evolution:
+                                // feed-forward pulses flush, exactly
+                                // as the serial sampler does.
+                                emit_flush(
+                                    q,
+                                    &mut stat,
+                                    &mut time,
+                                    &mut rzz,
+                                    &mut deco_dt,
+                                    &mut ops,
+                                );
+                            }
+                            let (x, z) = pauli_to_bits(*pauli);
+                            let err_p = if *physical && config.gate_error {
+                                sim.device.calibration.qubits[q].gate_err_1q
+                            } else {
+                                0.0
+                            };
+                            ops.push(BatchOp::CondGate {
+                                q,
+                                x,
+                                z,
+                                clbit: *clbit,
+                                value: *value,
+                                ref_fired: *ref_fired,
+                                err_p,
+                            });
+                            ops.push(BatchOp::Anchor { item });
+                        }
+                        ItemOp::BankRz { q, theta } => {
+                            stat[*q] += *theta;
+                            ops.push(BatchOp::Anchor { item });
+                        }
+                        ItemOp::BankRzz { a, b, edge, theta } => {
+                            rzz[*edge] += *theta;
+                            let err_p = if config.gate_error {
+                                let scale = plan
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                sim.device.calibration.gate_err_2q(*a, *b) * scale
+                            } else {
+                                0.0
+                            };
+                            if err_p > 0.0 {
+                                ops.push(BatchOp::Gate2 {
+                                    a: *a,
+                                    b: *b,
+                                    m: Symp2::identity(),
+                                    err_p,
+                                });
+                            }
+                            ops.push(BatchOp::Anchor { item });
+                        }
+                        ItemOp::CondBankRz { q, theta, edge } => {
+                            stat[*q] += *theta;
+                            if let Some((e, th)) = edge {
+                                rzz[*e] += *th;
+                            }
+                            ops.push(BatchOp::Anchor { item });
+                        }
                         ItemOp::One { q, table, z_sign } => {
                             let q = *q;
                             match z_sign {
@@ -626,6 +733,43 @@ impl<'a> BatchPlan<'a> {
                     }
                     fx[q] = 0;
                     fz[q] = new_z;
+                }
+                BatchOp::CondGate {
+                    q,
+                    x,
+                    z,
+                    clbit,
+                    value,
+                    ref_fired,
+                    err_p,
+                } => {
+                    let q = *q;
+                    let mut xm = 0u64;
+                    let mut zm = 0u64;
+                    for (j, rng) in rngs.iter_mut().enumerate() {
+                        let bit = 1u64 << j;
+                        let fired = (keys[j] >> clbit & 1 == 1) == *value;
+                        if fired != *ref_fired {
+                            if *x {
+                                xm ^= bit;
+                            }
+                            if *z {
+                                zm ^= bit;
+                            }
+                        }
+                        if *err_p > 0.0 && fired && rng.random::<f64>() < *err_p {
+                            let k = rng.random_range(0..3usize);
+                            let (ex, ez) = pauli_to_bits([Pauli::X, Pauli::Y, Pauli::Z][k]);
+                            if ex {
+                                xm ^= bit;
+                            }
+                            if ez {
+                                zm ^= bit;
+                            }
+                        }
+                    }
+                    fx[q] ^= xm;
+                    fz[q] ^= zm;
                 }
                 BatchOp::Anchor { item } => {
                     for &(shot, q, p) in ins.in_shot_range(*item, base, base + active) {
@@ -1117,11 +1261,18 @@ mod tests {
         }
     }
 
+    /// Strips the trailing measurement round so expectations see the
+    /// frame state (shared by the expectation-identity tests; counts
+    /// tests keep the measurements — they are uniformly supported).
+    fn without_measurements(mut qc: Circuit) -> Circuit {
+        qc.instructions.retain(|i| i.gate != Gate::Measure);
+        qc
+    }
+
     #[test]
     fn batch_expectations_bit_identical_to_serial() {
-        let (sim, mut qc) = noisy_workload();
-        // Strip measurements so expectations see the frame state.
-        qc.instructions.retain(|i| i.gate != Gate::Measure);
+        let (sim, qc) = noisy_workload();
+        let qc = without_measurements(qc);
         let sc = sched(&qc);
         let serial = StabilizerEngine::new(&sim);
         let batch = BatchedFrameEngine::new(&sim);
@@ -1193,8 +1344,8 @@ mod tests {
 
     #[test]
     fn expect_flips_matches_expect_paulis() {
-        let (sim, mut qc) = noisy_workload();
-        qc.instructions.retain(|i| i.gate != Gate::Measure);
+        let (sim, qc) = noisy_workload();
+        let qc = without_measurements(qc);
         let sc = sched(&qc);
         let serial = StabilizerEngine::new(&sim);
         let batch = BatchedFrameEngine::new(&sim);
@@ -1238,6 +1389,75 @@ mod tests {
             }])
             .unwrap_err();
         assert!(matches!(err, SimError::InvalidInsertion { .. }));
+    }
+
+    /// A noisy dynamic workload: mid-circuit measurement, conditional
+    /// Pauli corrections (X/Y/Z), an outcome-conditioned diagonal
+    /// rotation, bank-folded Rz/Rzz, and a reset — every new
+    /// feed-forward path in one circuit.
+    fn dynamic_workload_with(final_round: bool) -> (Simulator, Circuit) {
+        let (sim, _) = noisy_workload();
+        let mut qc = Circuit::new(5, 5);
+        qc.h(0).cx(0, 1).cx(1, 2).h(1);
+        qc.measure(1, 0);
+        qc.gate_if(Gate::Z, [2], 0, true);
+        qc.gate_if(Gate::X, [0], 0, false);
+        qc.gate_if(Gate::Y, [3], 0, true);
+        qc.gate_if(Gate::Rz(0.37), [2], 0, true);
+        qc.rz(0.21, 3).rzz(0.5, 3, 4);
+        qc.reset(1);
+        qc.h(1).ecr(3, 4);
+        if final_round {
+            for q in 0..5 {
+                qc.measure(q, q);
+            }
+        }
+        (sim, qc)
+    }
+
+    fn dynamic_workload() -> (Simulator, Circuit) {
+        dynamic_workload_with(true)
+    }
+
+    #[test]
+    fn conditional_circuits_stay_bit_identical_to_serial() {
+        let (sim, qc) = dynamic_workload();
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        for (shots, seed) in [(1usize, 3u64), (63, 5), (64, 7), (65, 9), (257, 11)] {
+            let a = serial.run_counts(&sc, shots, seed).unwrap();
+            let b = batch.run_counts(&sc, shots, seed).unwrap();
+            assert_eq!(a, b, "shots {shots} seed {seed}");
+        }
+        // Worker-count independence holds through feed-forward too.
+        let reference = batch
+            .run_counts_with_workers(&sc, 300, 23, Some(1))
+            .unwrap();
+        for workers in [2usize, 3, 8] {
+            let got = batch
+                .run_counts_with_workers(&sc, 300, 23, Some(workers))
+                .unwrap();
+            assert_eq!(reference, got, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn conditional_expectations_bit_identical_to_serial() {
+        // Keep the mid-circuit measurement (it feeds the conditions);
+        // only the final readout round is absent.
+        let (sim, qc) = dynamic_workload_with(false);
+        let sc = sched(&qc);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let obs = [
+            PauliString::parse("ZZIII").unwrap(),
+            PauliString::parse("IIZZI").unwrap(),
+            PauliString::parse("XIIII").unwrap(),
+        ];
+        let a = serial.expect_paulis(&sc, &obs, 130, 17).unwrap();
+        let b = batch.expect_paulis(&sc, &obs, 130, 17).unwrap();
+        assert_eq!(a, b, "expectation sums are integer-exact");
     }
 
     #[test]

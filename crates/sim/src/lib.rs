@@ -14,13 +14,16 @@
 //!   knows the internal echo structure of each ECR gate. Exponential
 //!   in qubits (≤ 24).
 //! * **stabilizer** — a CHP tableau plus per-shot Pauli frames for
-//!   Clifford circuits: the same pending-bank timeline, with coherent
-//!   phases converted to Pauli-twirled stochastic channels at layer
-//!   boundaries. Linear scaling to full-device sizes (127+ qubits).
+//!   Clifford circuits with diagonal rotations and classical
+//!   feed-forward (conditional Paulis exact, conditional diagonal
+//!   rotations bank-rewritten — see [`pauli_frame`]): the same
+//!   pending-bank timeline, with coherent phases converted to
+//!   Pauli-twirled stochastic channels at layer boundaries. Linear
+//!   scaling to full-device sizes (127+ qubits).
 //! * **frame-batch** — the same frame model propagated **64 shots per
 //!   machine word** ([`frame_batch`]): bit-identical seeded counts to
 //!   the serial stabilizer engine, tens of times faster, and the
-//!   engine `Auto` picks for large Clifford workloads.
+//!   engine `Auto` picks for large Clifford and dynamic workloads.
 //!
 //! Stochastic processes (charge parity, quasi-static 1/f detuning,
 //! T1/T2, depolarizing gate error, readout error) are sampled per
@@ -65,7 +68,10 @@ pub use executor::{pack_bits, Simulator};
 pub use frame_batch::{BatchPlan, BatchedFrameEngine, PreparedFrames, LANES};
 pub use insert::{InsertionSet, PauliInsertion};
 pub use noise::{NoiseConfig, ShotNoise};
-pub use pauli_frame::{stabilizer_check, stabilizer_supports, FramePlan, StabilizerEngine};
+pub use pauli_frame::{
+    clifford_supports, stabilizer_check, stabilizer_supports, FramePlan, StabilizerEngine,
+    COND_CLBIT_MAX,
+};
 pub use plan::ExecutionPlan;
 pub use result::{PauliFlips, RunResult};
 pub use stabilizer::Tableau;

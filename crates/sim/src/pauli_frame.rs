@@ -51,6 +51,28 @@
 //! initialisation and after every measurement/reset) — physically
 //! invisible, but it supplies the per-shot randomness that later
 //! collapses need (the Stim trick).
+//!
+//! ## Classical feed-forward
+//!
+//! Dynamic circuits are first-class. A conditional **Pauli** gate is
+//! exact: the reference run keeps its own classical register and
+//! fires the gate against *its* recorded bits, and a shot whose
+//! recorded bit disagrees with the reference's multiplies the Pauli
+//! into its frame — precisely the operator by which the two
+//! evolutions then differ. `Reset` is the same mechanism fused
+//! (measure, then X when excited). A conditional **diagonal
+//! rotation** (the outcome-conditioned `Rz` of CA-EC's Fig. 9b
+//! compensation) is rewritten against the measured source qubit:
+//! firing on `m` means applying `exp(−i(θ/2)·Z_q·(I∓Z_src)/2)`, an
+//! unconditional local-plus-edge bank term that cancels coherently
+//! against the crosstalk phases accrued during the measurement
+//! window — the cancellation CA-EC exists to deliver — before any
+//! twirl happens. Unconditional diagonal rotations of arbitrary
+//! angle (`Rz`, `Rzz`, `T`) likewise fold into the banks. What stays
+//! out of reach is a conditional that wraps a non-Pauli,
+//! non-diagonal gate (`H`, `Sx`, `Rx(θ)`, any 2q conditional): the
+//! deviation between fired and unfired shots is not a Pauli, and
+//! [`stabilizer_check`] reports it as a structured error.
 
 use crate::error::SimError;
 use crate::executor::{pack_bits, Simulator};
@@ -66,34 +88,95 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 
+/// First classical-bit index the frame engines' conditionals cannot
+/// read (conditions are evaluated against a packed 64-bit key).
+pub const COND_CLBIT_MAX: usize = 64;
+
 /// True when the stabilizer engine can execute the scheduled circuit:
-/// every gate is a Clifford (or a structural/projective op) and there
-/// is no classical feed-forward.
+/// every unconditional gate is a Clifford or a diagonal rotation
+/// (folded into the coherent banks), and every feed-forward condition
+/// wraps a Pauli gate (applied exactly) or a single-qubit diagonal
+/// rotation (rewritten into bank terms against the measured source).
 pub fn stabilizer_supports(sc: &ScheduledCircuit) -> bool {
     stabilizer_check(sc).is_ok()
 }
 
 /// [`stabilizer_supports`] with the blocking construct named: `Err`
-/// carries the first non-Clifford gate (or feed-forward condition)
-/// that rules the tableau representation out.
+/// carries the first gate (or conditional construct) that rules the
+/// frame representation out.
 pub fn stabilizer_check(sc: &ScheduledCircuit) -> Result<(), SimError> {
     crate::engine::check_gate_arities(sc)?;
     for si in &sc.items {
         let g = si.instruction.gate;
-        if si.instruction.condition.is_some() {
-            return Err(SimError::NotClifford {
-                gate: "feed-forward",
-            });
+        if let Some(cond) = si.instruction.condition {
+            if cond.clbit >= COND_CLBIT_MAX {
+                return Err(SimError::ConditionalClbitOutOfRange {
+                    clbit: cond.clbit,
+                    max: COND_CLBIT_MAX,
+                });
+            }
+            let supported =
+                g.is_pauli() || (g.is_unitary() && g.num_qubits() == 1 && g.is_diagonal());
+            if !supported {
+                return Err(SimError::UnsupportedConditional { gate: g.name() });
+            }
+            continue;
         }
-        let structural = matches!(
-            g,
-            Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
-        );
-        if !structural && !g.is_clifford() {
+        if !is_structural(g) && !g.is_clifford() && !g.is_diagonal() {
             return Err(SimError::NotClifford { gate: g.name() });
         }
     }
     Ok(())
+}
+
+/// Non-unitary circuit-structure ops both support predicates admit.
+fn is_structural(g: Gate) -> bool {
+    matches!(
+        g,
+        Gate::Measure | Gate::Reset | Gate::Delay(_) | Gate::Barrier
+    )
+}
+
+/// True when the circuit is *static Clifford*: no feed-forward and
+/// every gate exactly Clifford — the class both frame engines
+/// represented before conditional and diagonal-bank support landed.
+/// Noise learning pins its frame-batch fast path with this stricter
+/// predicate so that learning circuits carrying arbitrary-angle
+/// diagonal compensations (CA-EC) keep running on the exact dense
+/// engine at small sizes instead of silently switching to the
+/// twirled bank model.
+pub fn clifford_supports(sc: &ScheduledCircuit) -> bool {
+    sc.items.iter().all(|si| {
+        let g = si.instruction.gate;
+        si.instruction.condition.is_none() && (is_structural(g) || g.is_clifford())
+    })
+}
+
+/// The `Rz`-equivalent rotation angle of a single-qubit diagonal
+/// unitary (up to global phase): the angle the frame engines fold
+/// into the qubit's coherent Z bank.
+fn diagonal_angle_1q(gate: Gate) -> Option<f64> {
+    match gate {
+        Gate::I => Some(0.0),
+        Gate::Z => Some(std::f64::consts::PI),
+        Gate::S => Some(std::f64::consts::FRAC_PI_2),
+        Gate::Sdg => Some(-std::f64::consts::FRAC_PI_2),
+        Gate::T => Some(std::f64::consts::FRAC_PI_4),
+        Gate::Tdg => Some(-std::f64::consts::FRAC_PI_4),
+        Gate::Rz(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// The Pauli a conditional Pauli gate injects.
+fn pauli_of(gate: Gate) -> Option<Pauli> {
+    match gate {
+        Gate::I => Some(Pauli::I),
+        Gate::X => Some(Pauli::X),
+        Gate::Y => Some(Pauli::Y),
+        Gate::Z => Some(Pauli::Z),
+        _ => None,
+    }
 }
 
 /// Per-item precomputed frame action.
@@ -110,6 +193,52 @@ pub(crate) enum ItemOp {
         b: usize,
         table: Box<Table2Q>,
         diagonal: bool,
+    },
+    /// Conditional Pauli gate — exact classical feed-forward. The
+    /// reference run applies the Pauli when *its* recorded bit
+    /// matches `value`; a shot whose recorded bit disagrees with the
+    /// reference's multiplies the Pauli into its frame (the two
+    /// evolutions then differ by exactly that Pauli).
+    CondPauli {
+        q: usize,
+        pauli: Pauli,
+        clbit: usize,
+        value: bool,
+        /// Whether the reference run fired the gate (resolved during
+        /// the reference pass in plan order).
+        ref_fired: bool,
+        /// True for physical pulses (X/Y): the qubit's banks flush
+        /// first (the bank evolution must stay shot-independent, so
+        /// a per-shot sign toggle is not an option) and a fired shot
+        /// draws the 1q depolarizing error.
+        physical: bool,
+    },
+    /// Virtual diagonal rotation folded into the qubit's coherent Z
+    /// bank: cancels coherently against accrued crosstalk phases
+    /// (the CA-EC mechanism) and twirls with the rest of the bank at
+    /// the next flush.
+    BankRz { q: usize, theta: f64 },
+    /// Diagonal ZZ rotation folded into an edge bank, plus the
+    /// pulse-stretched gate's own two-qubit depolarizing draw.
+    BankRzz {
+        a: usize,
+        b: usize,
+        edge: usize,
+        theta: f64,
+    },
+    /// Conditional diagonal rotation rewritten against the measured
+    /// source qubit `a` (which stays collapsed in its post-measurement
+    /// eigenstate): firing on `m = 1` means applying
+    /// `exp(−i(θ/2)·Z_q·(I−Z_a)/2)`, i.e. `Rz(θ/2)` on `q` plus
+    /// `Rzz(∓θ/2)` on the `(a, q)` edge — two shot-independent bank
+    /// terms. Exact before the twirl whenever the source qubit is not
+    /// re-excited before the edge bank flushes; conditions therefore
+    /// act on the measured *state* (readout-error flips on the
+    /// recorded bit are not seen by this path).
+    CondBankRz {
+        q: usize,
+        theta: f64,
+        edge: Option<(usize, f64)>,
     },
 }
 
@@ -148,10 +277,89 @@ impl<'a> FramePlan<'a> {
         let mut cache1: HashMap<(&'static str, u64), Box<[(i8, Pauli); 4]>> = HashMap::new();
         let mut cache2: HashMap<(&'static str, u64), Box<Table2Q>> = HashMap::new();
         let mut items = Vec::with_capacity(sc.items.len());
-        for si in &sc.items {
+        for (i, si) in sc.items.iter().enumerate() {
             let gate = si.instruction.gate;
             if !gate.is_unitary() || gate == Gate::Barrier {
                 items.push(None);
+                continue;
+            }
+            if let Some(cond) = si.instruction.condition {
+                let q = si.instruction.qubits[0];
+                let op = if let Some(pauli) = pauli_of(gate) {
+                    ItemOp::CondPauli {
+                        q,
+                        pauli,
+                        clbit: cond.clbit,
+                        value: cond.value,
+                        ref_fired: false,
+                        physical: !gate.is_virtual(),
+                    }
+                } else {
+                    // `stabilizer_check` admitted it, so it is a 1q
+                    // diagonal rotation: rewrite against the measured
+                    // source qubit (see [`ItemOp::CondBankRz`]). A
+                    // gate that is diagonal but unknown to the angle
+                    // table stays a structured error, never a panic.
+                    let theta = diagonal_angle_1q(gate)
+                        .ok_or(SimError::UnsupportedConditional { gate: gate.name() })?;
+                    match plan.cond_source.get(&i).copied().flatten() {
+                        Some(aux) if aux != q => {
+                            let edge = plan.edge_index[&(aux.min(q), aux.max(q))];
+                            let th_edge = if cond.value {
+                                -theta / 2.0
+                            } else {
+                                theta / 2.0
+                            };
+                            ItemOp::CondBankRz {
+                                q,
+                                theta: theta / 2.0,
+                                edge: Some((edge, th_edge)),
+                            }
+                        }
+                        // Conditioned on the target's own measurement:
+                        // the edge term collapses to a global phase.
+                        Some(_) => ItemOp::CondBankRz {
+                            q,
+                            theta: theta / 2.0,
+                            edge: None,
+                        },
+                        // Bit never written before this point: the
+                        // condition resolves statically against 0.
+                        None => ItemOp::CondBankRz {
+                            q,
+                            theta: if cond.value { 0.0 } else { theta },
+                            edge: None,
+                        },
+                    }
+                };
+                items.push(Some(op));
+                continue;
+            }
+            if !gate.is_clifford() {
+                // `stabilizer_check` admitted it, so it is diagonal:
+                // fold the rotation into the coherent banks. Gates
+                // outside the angle tables stay structured errors,
+                // never panics.
+                let op = match si.instruction.qubits.len() {
+                    1 => ItemOp::BankRz {
+                        q: si.instruction.qubits[0],
+                        theta: diagonal_angle_1q(gate)
+                            .ok_or(SimError::NotClifford { gate: gate.name() })?,
+                    },
+                    _ => {
+                        let Gate::Rzz(theta) = gate else {
+                            return Err(SimError::NotClifford { gate: gate.name() });
+                        };
+                        let (a, b) = (si.instruction.qubits[0], si.instruction.qubits[1]);
+                        ItemOp::BankRzz {
+                            a,
+                            b,
+                            edge: plan.edge_index[&(a.min(b), a.max(b))],
+                            theta,
+                        }
+                    }
+                };
+                items.push(Some(op));
                 continue;
             }
             let op = match si.instruction.qubits.len() {
@@ -195,23 +403,55 @@ impl<'a> FramePlan<'a> {
             items.push(Some(op));
         }
 
-        // Reference run: the *noiseless* circuit on the tableau.
+        // Reference run: the *noiseless* circuit on the tableau. The
+        // reference carries its own classical register so conditional
+        // Paulis fire against the reference's recorded bits; bank
+        // rotations are invisible here (they live frame-side).
         let mut tableau = Tableau::zero(sc.num_qubits);
         let mut ref_rng = StdRng::seed_from_u64(seed ^ 0xC1F0_0D5E_ED00_55AA);
         let x_table = conjugation_table_1q(Gate::X);
+        let y_table = conjugation_table_1q(Gate::Y);
+        let z_table = conjugation_table_1q(Gate::Z);
+        let mut ref_bits = vec![false; sc.num_clbits.max(1)];
         let mut ref_outcomes = Vec::new();
         for op in &plan.ops {
             match *op {
                 PlanOp::Segment(_) => {}
-                PlanOp::Apply { item } => match items[item].as_ref().expect("unitary item") {
+                PlanOp::Apply { item } => match items[item].as_mut().expect("unitary item") {
                     ItemOp::One { q, table, .. } => tableau.apply_1q(table, *q),
                     ItemOp::Two { a, b, table, .. } => tableau.apply_2q(table, *a, *b),
+                    ItemOp::CondPauli {
+                        q,
+                        pauli,
+                        clbit,
+                        value,
+                        ref_fired,
+                        ..
+                    } => {
+                        let fired = ref_bits[*clbit] == *value;
+                        *ref_fired = fired;
+                        if fired {
+                            match pauli {
+                                Pauli::I => {}
+                                Pauli::X => tableau.apply_1q(&x_table, *q),
+                                Pauli::Y => tableau.apply_1q(&y_table, *q),
+                                Pauli::Z => tableau.apply_1q(&z_table, *q),
+                            }
+                        }
+                    }
+                    ItemOp::BankRz { .. } | ItemOp::BankRzz { .. } | ItemOp::CondBankRz { .. } => {}
                 },
                 PlanOp::Project { item } => {
                     let si = &plan.sc.items[item];
                     let q = si.instruction.qubits[0];
                     match si.instruction.gate {
-                        Gate::Measure => ref_outcomes.push(tableau.measure(q, &mut ref_rng)),
+                        Gate::Measure => {
+                            let outcome = tableau.measure(q, &mut ref_rng);
+                            if let Some(c) = si.instruction.clbit {
+                                ref_bits[c] = outcome;
+                            }
+                            ref_outcomes.push(outcome);
+                        }
                         Gate::Reset => tableau.reset(q, &mut ref_rng, &x_table),
                         _ => unreachable!(),
                     }
@@ -351,6 +591,58 @@ impl<'a> FramePlan<'a> {
                 PlanOp::Apply { item } => {
                     let si = &self.plan.sc.items[item];
                     match self.items[item].as_ref().expect("unitary item") {
+                        ItemOp::CondPauli {
+                            q,
+                            pauli,
+                            clbit,
+                            value,
+                            ref_fired,
+                            physical,
+                        } => {
+                            let q = *q;
+                            if *physical {
+                                // Feed-forward is a twirled-layer
+                                // boundary: banks flush so their
+                                // evolution stays shot-independent.
+                                flush_qubit!(q, rng);
+                            }
+                            let fired = bits[*clbit] == *value;
+                            if fired != *ref_fired {
+                                inject(&mut fx, &mut fz, q, *pauli);
+                            }
+                            if *physical && config.gate_error && fired {
+                                let p = sim.device.calibration.qubits[q].gate_err_1q;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(0..3usize);
+                                    inject(&mut fx, &mut fz, q, [Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                }
+                            }
+                        }
+                        ItemOp::BankRz { q, theta } => {
+                            pend_stat[*q] += *theta;
+                        }
+                        ItemOp::BankRzz { a, b, edge, theta } => {
+                            pend_rzz[*edge] += *theta;
+                            if config.gate_error {
+                                let scale = self
+                                    .plan
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                let p = sim.device.calibration.gate_err_2q(*a, *b) * scale;
+                                if p > 0.0 && rng.random::<f64>() < p {
+                                    let k = rng.random_range(1..16usize);
+                                    inject(&mut fx, &mut fz, *a, Pauli::from_index(k % 4));
+                                    inject(&mut fx, &mut fz, *b, Pauli::from_index(k / 4));
+                                }
+                            }
+                        }
+                        ItemOp::CondBankRz { q, theta, edge } => {
+                            pend_stat[*q] += *theta;
+                            if let Some((e, th)) = edge {
+                                pend_rzz[*e] += *th;
+                            }
+                        }
                         ItemOp::One { q, table, z_sign } => {
                             let q = *q;
                             match z_sign {
@@ -669,26 +961,107 @@ mod tests {
     }
 
     #[test]
-    fn supports_clifford_only() {
+    fn supports_clifford_diagonals_and_feed_forward() {
         let mut ok = Circuit::new(2, 1);
         ok.h(0)
             .ecr(0, 1)
             .rz(std::f64::consts::FRAC_PI_2, 1)
             .measure(0, 0);
         assert!(stabilizer_supports(&sched(&ok)));
+        // Arbitrary-angle *diagonal* rotations fold into the banks.
+        let mut diag = Circuit::new(2, 1);
+        diag.rz(0.3, 0).rzz(0.7, 0, 1).append(Gate::T, [1]);
+        diag.measure(0, 0);
+        assert!(stabilizer_supports(&sched(&diag)));
+        // Non-diagonal non-Clifford rotations stay out.
         let mut bad = Circuit::new(1, 0);
-        bad.rz(0.3, 0);
+        bad.append(Gate::Rx(0.3), [0]);
         assert_eq!(
             stabilizer_check(&sched(&bad)),
-            Err(SimError::NotClifford { gate: "rz" })
+            Err(SimError::NotClifford { gate: "rx" })
         );
+        // Conditional Paulis and conditional diagonal rotations are
+        // first-class feed-forward...
         let mut cond = Circuit::new(2, 1);
-        cond.measure(0, 0).gate_if(Gate::X, [1], 0, true);
+        cond.measure(0, 0)
+            .gate_if(Gate::X, [1], 0, true)
+            .gate_if(Gate::Rz(0.4), [1], 0, true);
+        assert!(stabilizer_supports(&sched(&cond)));
+        // ...conditional basis-changing gates are not.
+        let mut bad_cond = Circuit::new(2, 1);
+        bad_cond.measure(0, 0).gate_if(Gate::H, [1], 0, true);
         assert_eq!(
-            stabilizer_check(&sched(&cond)),
-            Err(SimError::NotClifford {
-                gate: "feed-forward"
-            })
+            stabilizer_check(&sched(&bad_cond)),
+            Err(SimError::UnsupportedConditional { gate: "h" })
+        );
+        // Conditions must read the packed 64-bit classical register.
+        let mut wide = Circuit::new(2, 70);
+        wide.measure(0, 65).gate_if(Gate::X, [1], 65, true);
+        assert_eq!(
+            stabilizer_check(&sched(&wide)),
+            Err(SimError::ConditionalClbitOutOfRange { clbit: 65, max: 64 })
+        );
+    }
+
+    #[test]
+    fn conditional_pauli_feed_forward_is_exact() {
+        let sim = ideal(2);
+        let eng = StabilizerEngine::new(&sim);
+        // |1⟩ outcome fires the X: deterministic |11⟩.
+        let mut fire = Circuit::new(2, 2);
+        fire.x(0)
+            .measure(0, 0)
+            .gate_if(Gate::X, [1], 0, true)
+            .measure(1, 1);
+        let res = eng.run_counts(&sched(&fire), 100, 5).unwrap();
+        assert!((res.probability(0b11) - 1.0).abs() < 1e-12);
+        // |0⟩ outcome skips it: deterministic |00⟩.
+        let mut skip = Circuit::new(2, 2);
+        skip.measure(0, 0)
+            .gate_if(Gate::X, [1], 0, true)
+            .measure(1, 1);
+        let res = eng.run_counts(&sched(&skip), 100, 5).unwrap();
+        assert!((res.probability(0b00) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feed_forward_bell_distribution_is_deterministic() {
+        // The Fig. 9 protocol, ideal: GHZ, X-basis aux measurement,
+        // conditional Z correction, disentangle. Both data bits must
+        // be 0 on every shot, for either aux outcome — only exact
+        // per-shot feed-forward gets this right.
+        let sim = ideal(3);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(3, 3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        qc.h(0).measure(0, 0);
+        qc.gate_if(Gate::Z, [1], 0, true);
+        qc.cx(1, 2).h(1);
+        qc.measure(1, 1).measure(2, 2);
+        let res = eng.run_counts(&sched(&qc), 400, 9).unwrap();
+        for &k in res.counts.keys() {
+            assert_eq!(k & 0b110, 0, "data bits must stay 0, got key {k:#b}");
+        }
+        assert!((res.marginal_one(0) - 0.5).abs() < 0.1, "aux is unbiased");
+    }
+
+    #[test]
+    fn conditional_clbit_values_follow_the_latest_write() {
+        // The condition reads the bit's value at execution time, not
+        // the first measurement's: overwrite the bit, then fire.
+        let sim = ideal(3);
+        let eng = StabilizerEngine::new(&sim);
+        let mut qc = Circuit::new(3, 2);
+        qc.x(0).measure(0, 0); // bit 0 = 1
+                               // Barrier keeps the second measurement *after* the first in
+                               // time (ASAP would otherwise start it at t = 0).
+        qc.barrier(vec![0, 1, 2]);
+        qc.measure(1, 0); // overwritten: bit 0 = 0
+        qc.gate_if(Gate::X, [2], 0, true).measure(2, 1);
+        let res = eng.run_counts(&sched(&qc), 80, 3).unwrap();
+        assert!(
+            (res.probability(0b00) - 1.0).abs() < 1e-12,
+            "overwritten bit must suppress the conditional"
         );
     }
 

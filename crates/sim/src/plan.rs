@@ -47,6 +47,18 @@ pub struct ExecutionPlan<'a> {
     /// the edge list (O(edges²·segments·shots) at 127 qubits
     /// otherwise).
     pub seg_edges: Vec<Vec<(usize, f64)>>,
+    /// Pair → index into [`Self::edge_pairs`] (keys normalized to
+    /// `(min, max)`). Includes the *virtual* edges appended for
+    /// circuit diagonal rotations on pairs the device does not
+    /// couple, so the frame engines can bank any `Rzz` / conditional
+    /// `Rz` the circuit carries. Virtual edges never accrue timeline
+    /// noise (`seg_edges` is built from the device list alone).
+    pub edge_index: std::collections::HashMap<(usize, usize), usize>,
+    /// For every scheduled item carrying a feed-forward condition:
+    /// the qubit whose earlier measurement (in plan/time order) last
+    /// wrote the condition's classical bit, or `None` when the bit is
+    /// still at its initial 0 when the conditional executes.
+    pub cond_source: std::collections::HashMap<usize, Option<usize>>,
 }
 
 impl<'a> ExecutionPlan<'a> {
@@ -67,7 +79,7 @@ impl<'a> ExecutionPlan<'a> {
             }
         }
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        let edge_pairs: Vec<(usize, usize)> =
+        let mut edge_pairs: Vec<(usize, usize)> =
             device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
         let mut incident = vec![Vec::new(); sc.num_qubits];
         let mut edge_index = std::collections::HashMap::new();
@@ -90,13 +102,83 @@ impl<'a> ExecutionPlan<'a> {
                     .collect()
             })
             .collect();
+        let ops: Vec<PlanOp> = keyed.into_iter().map(|(_, _, op)| op).collect();
+
+        // Resolve feed-forward dataflow in plan (time) order: which
+        // measurement wrote each conditional's classical bit, and
+        // which qubit pairs need an edge bank that the device's
+        // crosstalk list does not already provide (circuit `Rzz` on
+        // uncoupled pairs; conditional diagonal rotations, which the
+        // frame engines rewrite into a local-plus-edge bank term
+        // against the measured source qubit).
+        let mut cond_source: std::collections::HashMap<usize, Option<usize>> =
+            std::collections::HashMap::new();
+        let mut writer: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut ensure_edge = |a: usize,
+                               b: usize,
+                               edge_pairs: &mut Vec<(usize, usize)>,
+                               incident: &mut Vec<Vec<usize>>| {
+            let key = (a.min(b), a.max(b));
+            if let std::collections::hash_map::Entry::Vacant(slot) = edge_index.entry(key) {
+                let idx = edge_pairs.len();
+                edge_pairs.push(key);
+                slot.insert(idx);
+                if a < sc.num_qubits && b < sc.num_qubits {
+                    incident[a].push(idx);
+                    incident[b].push(idx);
+                }
+            }
+        };
+        for op in &ops {
+            match *op {
+                PlanOp::Segment(_) => {}
+                PlanOp::Project { item } => {
+                    let si = &sc.items[item];
+                    if si.instruction.gate == Gate::Measure {
+                        if let Some(c) = si.instruction.clbit {
+                            writer.insert(c, si.instruction.qubits[0]);
+                        }
+                    }
+                }
+                PlanOp::Apply { item } => {
+                    let instr = &sc.items[item].instruction;
+                    let gate = instr.gate;
+                    if let Some(cond) = instr.condition {
+                        let source = writer.get(&cond.clbit).copied();
+                        cond_source.insert(item, source);
+                        if gate.is_diagonal() && !gate.is_pauli() && gate.num_qubits() == 1 {
+                            if let Some(aux) = source {
+                                if aux != instr.qubits[0] {
+                                    ensure_edge(
+                                        aux,
+                                        instr.qubits[0],
+                                        &mut edge_pairs,
+                                        &mut incident,
+                                    );
+                                }
+                            }
+                        }
+                    } else if matches!(gate, Gate::Rzz(_)) && !gate.is_clifford() {
+                        ensure_edge(
+                            instr.qubits[0],
+                            instr.qubits[1],
+                            &mut edge_pairs,
+                            &mut incident,
+                        );
+                    }
+                }
+            }
+        }
+
         Self {
             sc,
             segments,
-            ops: keyed.into_iter().map(|(_, _, op)| op).collect(),
+            ops,
             edge_pairs,
             incident,
             seg_edges,
+            edge_index,
+            cond_source,
         }
     }
 }

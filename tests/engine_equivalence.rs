@@ -475,3 +475,212 @@ fn unsupported_circuits_error_instead_of_crashing() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Conditional-circuit equivalence: classical feed-forward on the frame
+// engines. Dense-vs-stabilizer agreement is statistical (conditional
+// Paulis are *exact* in the frame model, so noiseless and
+// Pauli-channel distributions must match up to shot noise);
+// serial-vs-batch stays bit-identical through measure / gate_if /
+// reset interleavings at odd shot counts, tail lanes, and any worker
+// count.
+// ---------------------------------------------------------------------------
+
+/// One instruction of a random dynamic (feed-forward) circuit.
+#[derive(Clone, Debug)]
+enum DynInstr {
+    Gate1(Gate, usize),
+    Gate2(Gate, usize),
+    Delay(f64, usize),
+    Measure(usize),
+    Reset(usize),
+    Cond(Gate, usize, usize, bool),
+}
+
+fn arb_dynamic_instr(n: usize) -> impl Strategy<Value = DynInstr> {
+    prop_oneof![
+        (arb_clifford_1q(), 0..n).prop_map(|(g, q)| DynInstr::Gate1(g, q)),
+        (
+            prop_oneof![Just(Gate::Ecr), Just(Gate::Cx), Just(Gate::Cz)],
+            0..n - 1
+        )
+            .prop_map(|(g, q)| DynInstr::Gate2(g, q)),
+        ((300.0f64..1500.0), 0..n).prop_map(|(d, q)| DynInstr::Delay(d, q)),
+        (0..n).prop_map(DynInstr::Measure),
+        (0..n).prop_map(DynInstr::Reset),
+        (
+            prop_oneof![Just(Gate::X), Just(Gate::Y), Just(Gate::Z)],
+            0..n,
+            0..n,
+            0..2usize
+        )
+            .prop_map(|(g, q, c, v)| DynInstr::Cond(g, q, c, v == 1)),
+    ]
+}
+
+/// A random Clifford circuit with interleaved mid-circuit
+/// measurements, resets, and conditional Pauli gates, ending in a
+/// full measurement round. Mid-circuit measurements write clbit = q,
+/// so conditions read genuinely dynamic bits (or still-unwritten
+/// ones — both paths must agree).
+fn arb_dynamic_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_dynamic_instr(n), 6..30).prop_map(move |items| {
+        let mut qc = Circuit::new(n, n);
+        for it in items {
+            match it {
+                DynInstr::Gate1(g, q) => {
+                    qc.append(g, [q]);
+                }
+                DynInstr::Gate2(g, q) => {
+                    qc.append(g, [q, q + 1]);
+                }
+                DynInstr::Delay(d, q) => {
+                    qc.append(Gate::Delay(d), [q]);
+                }
+                DynInstr::Measure(q) => {
+                    qc.measure(q, q);
+                }
+                DynInstr::Reset(q) => {
+                    qc.reset(q);
+                }
+                DynInstr::Cond(g, q, c, v) => {
+                    qc.gate_if(g, [q], c, v);
+                }
+            }
+        }
+        for q in 0..n {
+            qc.measure(q, q);
+        }
+        qc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dynamic_noiseless_distributions_match(qc in arb_dynamic_circuit(4), case_seed in 0u64..1000) {
+        let shots = 1200;
+        let (d, s) = run_both(&qc, NoiseConfig::ideal(), shots, 131 + case_seed);
+        let outcomes = d.counts.len().max(s.counts.len());
+        let t = tvd(&d, &s);
+        prop_assert!(
+            t < tvd_threshold(shots, outcomes),
+            "noiseless dynamic TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_pauli_noise_distributions_match(qc in arb_dynamic_circuit(4), case_seed in 0u64..1000) {
+        // Depolarizing + readout: conditional gates read *recorded*
+        // bits, so readout flips feed forward identically in both
+        // engines' models.
+        let noise = NoiseConfig {
+            gate_error: true,
+            readout_error: true,
+            ..NoiseConfig::ideal()
+        };
+        let shots = 1500;
+        let (d, s) = run_both(&qc, noise, shots, 17 + case_seed);
+        let outcomes = d.counts.len().max(s.counts.len());
+        let t = tvd(&d, &s);
+        prop_assert!(
+            t < tvd_threshold(shots, outcomes),
+            "noisy dynamic TVD {t:.4} (outcomes {outcomes}) for {qc:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_batch_matches_serial_at_odd_shot_counts(
+        qc in arb_dynamic_circuit(5),
+        // Deliberately not a multiple of 64 most of the time: the
+        // lane-masked conditional update must read exactly the tail
+        // lanes' keys.
+        shots in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let sim = noisy_frame_sim(qc.num_qubits);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let a = serial.run_counts(&sc, shots, seed).unwrap();
+        let b = batch.run_counts(&sc, shots, seed).unwrap();
+        prop_assert_eq!(a, b, "shots {} seed {} for {:?}", shots, seed, qc);
+    }
+}
+
+#[test]
+fn dynamic_counts_identical_across_worker_counts() {
+    // A hand-built feed-forward workload under the full noise model:
+    // 1, 2, and 8 workers must produce identical counts, and the
+    // serial engine the same again.
+    let sim = noisy_frame_sim(5);
+    let mut qc = Circuit::new(5, 5);
+    qc.h(0).cx(0, 1).cx(2, 3).h(2);
+    qc.measure(1, 1).measure(2, 2);
+    qc.gate_if(Gate::X, [4], 1, true);
+    qc.gate_if(Gate::Z, [0], 2, true);
+    qc.gate_if(Gate::Y, [3], 1, false);
+    qc.gate_if(Gate::Rz(0.8), [4], 2, true);
+    qc.reset(1);
+    qc.h(1).ecr(3, 4);
+    for q in 0..5 {
+        qc.measure(q, q);
+    }
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let serial = StabilizerEngine::new(&sim);
+    let batch = BatchedFrameEngine::new(&sim);
+    let reference = batch.run_counts_with_workers(&sc, 901, 5, Some(1)).unwrap();
+    for workers in [2usize, 8] {
+        let got = batch
+            .run_counts_with_workers(&sc, 901, 5, Some(workers))
+            .unwrap();
+        assert_eq!(reference, got, "counts differ at {workers} workers");
+    }
+    assert_eq!(
+        reference,
+        serial.run_counts(&sc, 901, 5).unwrap(),
+        "serial engine must agree bit-for-bit"
+    );
+}
+
+#[test]
+fn reset_equals_measure_plus_conditional_x() {
+    // `Reset` is exactly measure + conditional-X in the frame model;
+    // the sampled distributions over the surviving register must
+    // agree (distinct RNG consumption, so the check is statistical).
+    let masked = |r: &RunResult, mask: u64| -> RunResult {
+        let mut counts = std::collections::BTreeMap::new();
+        for (&k, &c) in &r.counts {
+            *counts.entry(k & mask).or_insert(0) += c;
+        }
+        RunResult {
+            shots: r.shots,
+            num_clbits: r.num_clbits,
+            counts,
+        }
+    };
+    let device = uniform_device(Topology::line(2), 0.0);
+    let sim = Simulator::with_engine(device, NoiseConfig::ideal(), Engine::Stabilizer);
+    let shots = 4000;
+
+    let mut native = Circuit::new(2, 3);
+    native.h(0).cx(0, 1);
+    native.reset(1);
+    native.h(1).measure(0, 0).measure(1, 1);
+    let sc = schedule_asap(&native, GateDurations::default());
+    let a = sim.run_counts(&sc, shots, 3).unwrap();
+
+    let mut expanded = Circuit::new(2, 3);
+    expanded.h(0).cx(0, 1);
+    expanded.measure(1, 2).gate_if(Gate::X, [1], 2, true);
+    expanded.h(1).measure(0, 0).measure(1, 1);
+    let sc = schedule_asap(&expanded, GateDurations::default());
+    let b = sim.run_counts(&sc, shots, 4).unwrap();
+
+    let t = tvd(&masked(&a, 0b11), &masked(&b, 0b11));
+    assert!(
+        t < tvd_threshold(shots, 4),
+        "reset vs measure+cond-X TVD {t:.4}"
+    );
+}

@@ -154,3 +154,50 @@ proptest! {
         prop_assert_eq!(out.to_circuit(false), layered.to_circuit(false));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feed_forward_waits_for_the_measurement(qc in arb_circuit(4),
+                                              mq in 0..4usize,
+                                              tq in 0..4usize) {
+        // Append measure → conditional to an arbitrary prefix: the
+        // conditional must start no earlier than the measurement's
+        // end plus the feed-forward latency.
+        let mut dynamic = Circuit::new(4, 1);
+        for instr in &qc.instructions {
+            dynamic.push(instr.clone());
+        }
+        dynamic.measure(mq, 0);
+        dynamic.gate_if(Gate::X, [tq], 0, true);
+        let d = GateDurations::default();
+        let sc = schedule_asap(&dynamic, d);
+        let measure_end = sc.items.iter()
+            .filter(|si| si.instruction.gate == Gate::Measure)
+            .map(|si| si.t1())
+            .fold(0.0, f64::max);
+        let cond = sc.items.iter()
+            .find(|si| si.instruction.condition.is_some())
+            .expect("conditional scheduled");
+        prop_assert!(
+            cond.t0 + 1e-9 >= measure_end + d.feedforward,
+            "conditional at {} before measurement end {} + feed-forward {}",
+            cond.t0, measure_end, d.feedforward
+        );
+    }
+
+    #[test]
+    fn strict_clifford_class_is_contained_in_the_frame_class(qc in arb_circuit(4)) {
+        // `clifford_supports` (the noise learner's fast-path gate) is
+        // strictly stronger than `stabilizer_supports` (the engines'
+        // own class: Clifford + diagonal rotations + feed-forward).
+        let sc = schedule_asap(&qc, GateDurations::default());
+        if ca_sim::clifford_supports(&sc) {
+            prop_assert!(
+                ca_sim::stabilizer_supports(&sc),
+                "frame class must contain the strict Clifford class: {:?}", qc
+            );
+        }
+    }
+}
