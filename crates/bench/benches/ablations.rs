@@ -65,7 +65,7 @@ fn walsh_escalation() {
                 config: CaDdConfig::default(),
             });
             let mut ctx = ca_core::Context::new(&pm_dev, seed);
-            let sc = pm.compile(&qc, &mut ctx);
+            let sc = pm.compile(&qc, &mut ctx).expect("compile");
             let vals = sim
                 .expect_paulis(&sc, &obs, budget.trajectories, seed ^ 0x33)
                 .expect("simulate");
@@ -143,7 +143,10 @@ fn twirl_sign_tracking() {
             },
             &budget,
         );
-        println!("  CA-EC {label}: P00 = {:.4}", all_zeros_fidelity(&vals));
+        println!(
+            "  CA-EC {label}: P00 = {:.4}",
+            all_zeros_fidelity(&vals.expect("experiment"))
+        );
     }
 }
 

@@ -21,7 +21,7 @@ use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::{uniform_device, Topology};
 use ca_experiments::large_scale;
 use ca_experiments::Budget;
-use ca_sim::{Engine, NoiseConfig, RunResult, Simulator};
+use ca_sim::{Engine, NoiseConfig, RunResult, Session, Simulator};
 use serde::{Serialize, Value};
 use std::time::Instant;
 
@@ -70,7 +70,78 @@ fn workload(n: usize, seed: u64) -> ca_circuit::ScheduledCircuit {
     let opts = CompileOptions::new(Strategy::CaDd, seed);
     let pm = pipeline(&opts);
     let mut ctx = Context::new(&device, seed);
-    pm.compile(&qc, &mut ctx)
+    pm.compile(&qc, &mut ctx).expect("compile workload")
+}
+
+/// The cold-vs-cached comparison: one 127-qubit LF sweep (3
+/// strategies × depths × `instances` twirl instances) run three ways
+/// over the same seeds — per-point recompilation with caching off,
+/// the twirl-ensemble fast path on a cold cache, and a warm rerun
+/// against the populated plan cache. Asserts all three produce
+/// bit-identical layer fidelities, and returns the wall times.
+fn lf_sweep_cold_vs_cached(
+    depths: &[usize],
+    instances: usize,
+    trajectories: usize,
+) -> (f64, f64, f64, Vec<(String, f64)>) {
+    let device = large_scale::eagle_device(127);
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
+    let strategies = [Strategy::Bare, Strategy::UniformDd, Strategy::CaDd];
+    let budget = Budget {
+        trajectories,
+        instances,
+        seed: 11,
+    };
+    let sweep = |session: &Session, use_ensemble: bool| -> Vec<large_scale::LargeScaleResult> {
+        strategies
+            .iter()
+            .map(|&s| {
+                large_scale::measure_large_layer_fidelity_session_with(
+                    session,
+                    s,
+                    depths,
+                    &budget,
+                    use_ensemble,
+                )
+            })
+            .collect()
+    };
+
+    // Per-point recompilation: no plan cache, no ensemble sharing —
+    // every (strategy, depth, instance) pays the full pipeline and
+    // planner.
+    let cold_session = Session::with_capacity(Simulator::with_config(device.clone(), noise), 0);
+    let t = Instant::now();
+    let cold = sweep(&cold_session, false);
+    let cold_s = t.elapsed().as_secs_f64();
+
+    // Twirl-ensemble fast path, cold cache: the pipeline and timeline
+    // segmentation run once per (strategy, depth); instances re-dress
+    // the merged twirl slots.
+    let cached_session = Session::new(Simulator::with_config(device.clone(), noise));
+    let t = Instant::now();
+    let ensemble = sweep(&cached_session, true);
+    let ensemble_s = t.elapsed().as_secs_f64();
+
+    // Warm rerun against the populated cache: every job's compiled
+    // artifact is served from the LRU.
+    let t = Instant::now();
+    let warm = sweep(&cached_session, true);
+    let warm_s = t.elapsed().as_secs_f64();
+
+    for ((c, e), w) in cold.iter().zip(ensemble.iter()).zip(warm.iter()) {
+        assert_eq!(
+            c.lf, e.lf,
+            "{}: ensemble fast path must be bit-identical to per-point recompilation",
+            c.label
+        );
+        assert_eq!(c.lf, w.lf, "{}: cache hits must be bit-identical", c.label);
+    }
+    let lfs = cold.iter().map(|r| (r.label.clone(), r.lf)).collect();
+    (cold_s, ensemble_s, warm_s, lfs)
 }
 
 fn time_run(engine: Engine, n: usize, shots: usize) -> (Row, RunResult) {
@@ -184,6 +255,37 @@ fn main() {
     }
     println!("  total wall time: {total:.2}s (acceptance budget: 10s)");
 
+    // Cold-compile vs cached-job comparison on the twirl-ensemble LF
+    // sweep: the session layer's reason to exist, quantified.
+    println!();
+    println!("-- 127q LF sweep: per-point recompilation vs session cache --");
+    let (instances, traj) = if smoke { (4, 64) } else { (8, 128) };
+    let sweep_depths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let (cold_s, ensemble_s, warm_s, lfs) = lf_sweep_cold_vs_cached(sweep_depths, instances, traj);
+    let ens_speedup = cold_s / ensemble_s.max(1e-9);
+    let cached_speedup = cold_s / warm_s.max(1e-9);
+    println!("  per-point recompilation: {cold_s:.3}s");
+    println!("  twirl-ensemble (cold cache): {ensemble_s:.3}s  ({ens_speedup:.2}x)");
+    println!("  cached rerun: {warm_s:.3}s  ({cached_speedup:.2}x)");
+    for (label, lf) in &lfs {
+        println!("    {label}: LF {lf:.4} (bit-identical in all three modes)");
+    }
+    // Wall-clock assertion only on the full (non-smoke) run — smoke
+    // sweeps are tens of milliseconds and noise-dominated on shared
+    // runners — and only when the environment hasn't disabled the
+    // plan cache out from under the "cached" session.
+    let cache_disabled = matches!(
+        std::env::var("CA_SIM_PLAN_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("OFF")
+    );
+    if !smoke && !cache_disabled {
+        assert!(
+            cached_speedup >= 2.0,
+            "cached twirl-ensemble sweep must be >= 2x faster than \
+             per-point recompilation (got {cached_speedup:.2}x)"
+        );
+    }
+
     if smoke {
         println!("  smoke run: BENCH_scaling.json left untouched");
         return;
@@ -211,6 +313,29 @@ fn main() {
             ),
         ),
     ]);
+    let lf_sweep = Value::Obj(vec![
+        ("depths".into(), sweep_depths.to_vec().to_value()),
+        ("instances".into(), instances.to_value()),
+        ("trajectories".into(), traj.to_value()),
+        ("cold_compile_seconds".into(), cold_s.to_value()),
+        ("ensemble_cold_seconds".into(), ensemble_s.to_value()),
+        ("cached_rerun_seconds".into(), warm_s.to_value()),
+        ("ensemble_speedup".into(), ens_speedup.to_value()),
+        ("cached_speedup".into(), cached_speedup.to_value()),
+        (
+            "lf".into(),
+            Value::Arr(
+                lfs.iter()
+                    .map(|(label, lf)| {
+                        Value::Obj(vec![
+                            ("label".into(), label.to_value()),
+                            ("lf".into(), lf.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
     let doc = Value::Obj(vec![
         ("bench".into(), "scaling".to_value()),
         ("shots".into(), SHOTS.to_value()),
@@ -220,6 +345,7 @@ fn main() {
         ),
         ("batch_speedup_127q".into(), speedup_127.to_value()),
         ("large_scale_127q".into(), experiment),
+        ("lf_sweep_cold_vs_cached_127q".into(), lf_sweep),
     ]);
     let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");

@@ -184,12 +184,7 @@ impl Circuit {
         if qs.is_empty() {
             qs = (0..self.num_qubits).collect();
         }
-        self.push(Instruction {
-            gate: Gate::Barrier,
-            qubits: qs,
-            clbit: None,
-            condition: None,
-        })
+        self.push(Instruction::new(Gate::Barrier, qs))
     }
 
     /// Gate conditioned on a classical bit (dynamic circuits).

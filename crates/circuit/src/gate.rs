@@ -131,6 +131,19 @@ impl Gate {
         )
     }
 
+    /// The gate's continuous parameters in declaration order (empty
+    /// for parameterless gates). Drives structural fingerprints: two
+    /// gates agree exactly iff their names and parameter bit patterns
+    /// agree.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Rzz(t) | Gate::Delay(t) => vec![t],
+            Gate::U { theta, phi, lam } => vec![theta, phi, lam],
+            Gate::Can { alpha, beta, gamma } => vec![alpha, beta, gamma],
+            _ => Vec::new(),
+        }
+    }
+
     /// True for the single-qubit Pauli gates (including identity).
     pub fn is_pauli(&self) -> bool {
         matches!(self, Gate::I | Gate::X | Gate::Y | Gate::Z)

@@ -26,6 +26,13 @@ pub struct Instruction {
     pub clbit: Option<usize>,
     /// Optional feed-forward condition.
     pub condition: Option<Condition>,
+    /// True when the gate is *merged* into a neighbouring physical
+    /// pulse rather than played as its own pulse: it takes no time on
+    /// the schedule, draws no gate error, and casts no drive (Stark)
+    /// shadow — exactly how hardware absorbs twirl Paulis into the
+    /// adjacent single-qubit layers at zero cost. The gate's unitary
+    /// (and its frame/bank conjugation) still applies.
+    pub merged: bool,
 }
 
 impl Instruction {
@@ -44,12 +51,20 @@ impl Instruction {
             qubits,
             clbit: None,
             condition: None,
+            merged: false,
         }
     }
 
     /// Attaches a feed-forward condition.
     pub fn with_condition(mut self, clbit: usize, value: bool) -> Self {
         self.condition = Some(Condition { clbit, value });
+        self
+    }
+
+    /// Marks the instruction as merged into a neighbouring pulse (see
+    /// [`Self::merged`]).
+    pub fn as_merged(mut self) -> Self {
+        self.merged = true;
         self
     }
 

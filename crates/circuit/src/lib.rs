@@ -37,5 +37,5 @@ pub use matrix::{Mat2, Mat4};
 pub use pauli::{Pauli, PauliString};
 pub use qasm::to_qasm3;
 pub use schedule::{
-    schedule_alap, schedule_asap, GateDurations, ScheduledCircuit, ScheduledInstruction,
+    schedule_alap, schedule_asap, Fnv, GateDurations, ScheduledCircuit, ScheduledInstruction,
 };

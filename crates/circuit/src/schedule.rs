@@ -148,7 +148,12 @@ pub fn schedule_asap(circuit: &Circuit, durations: GateDurations) -> ScheduledCi
         if let Some(cond) = instr.condition {
             t0 = t0.max(clbit_ready[cond.clbit] + durations.feedforward);
         }
-        let d = durations.duration_of(&instr.gate);
+        // Merged gates ride inside a neighbouring pulse: zero width.
+        let d = if instr.merged {
+            0.0
+        } else {
+            durations.duration_of(&instr.gate)
+        };
         for &q in &instr.qubits {
             qubit_free[q] = t0 + d;
         }
@@ -293,6 +298,56 @@ impl ScheduledCircuit {
         qc
     }
 
+    /// A structural fingerprint of the scheduled circuit: two schedules
+    /// with different gates, operands, timing, classical wiring, merge
+    /// flags, or duration tables hash differently (up to 64-bit
+    /// collisions — cache layers that key on this hash must verify
+    /// equality on hit). Floating-point fields hash by bit pattern, so
+    /// the fingerprint is exact and machine-independent.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.num_qubits as u64);
+        h.u64(self.num_clbits as u64);
+        h.f64(self.duration);
+        for d in [
+            self.durations.one_qubit,
+            self.durations.two_qubit,
+            self.durations.canonical,
+            self.durations.measure,
+            self.durations.reset,
+            self.durations.feedforward,
+        ] {
+            h.f64(d);
+        }
+        h.u64(self.items.len() as u64);
+        for si in &self.items {
+            h.f64(si.t0);
+            h.f64(si.duration);
+            let instr = &si.instruction;
+            h.str(instr.gate.name());
+            for p in instr.gate.params() {
+                h.f64(p);
+            }
+            h.u64(instr.qubits.len() as u64);
+            for &q in &instr.qubits {
+                h.u64(q as u64);
+            }
+            match instr.clbit {
+                Some(c) => h.u64(c as u64 + 1),
+                None => h.u64(0),
+            }
+            match instr.condition {
+                Some(c) => {
+                    h.u64(c.clbit as u64 + 1);
+                    h.u64(c.value as u64);
+                }
+                None => h.u64(0),
+            }
+            h.u64(instr.merged as u64);
+        }
+        h.finish()
+    }
+
     /// All event times (window boundaries) in sorted order, deduplicated.
     pub fn event_times(&self) -> Vec<f64> {
         let mut ts: Vec<f64> = Vec::with_capacity(2 * self.items.len() + 2);
@@ -305,6 +360,56 @@ impl ScheduledCircuit {
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         ts
+    }
+}
+
+/// FNV-1a accumulator for structural fingerprints. Public so sibling
+/// crates (device snapshots, simulator cache keys) hash consistently.
+#[derive(Clone, Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one byte.
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    /// Folds a 64-bit word (little-endian bytes).
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a float by bit pattern (exact; NaN patterns distinct).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Folds a string, length-prefixed.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -99,10 +99,14 @@ impl crate::pass::Pass for AvoidContextsPass {
     fn name(&self) -> &'static str {
         "avoid-contexts"
     }
-    fn run(&self, ir: crate::pass::Ir, ctx: &mut crate::pass::Context<'_>) -> crate::pass::Ir {
-        let layered = ir.expect_layered();
+    fn run(
+        &self,
+        ir: crate::pass::Ir,
+        ctx: &mut crate::pass::Context<'_>,
+    ) -> Result<crate::pass::Ir, crate::error::CompileError> {
+        let layered = ir.try_layered(self.name())?;
         let (out, _) = avoid_contexts(&layered, ctx.device);
-        crate::pass::Ir::Layered(out)
+        Ok(crate::pass::Ir::Layered(out))
     }
 }
 

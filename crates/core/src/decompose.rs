@@ -38,8 +38,14 @@ impl crate::pass::Pass for DecomposeCanPass {
     fn name(&self) -> &'static str {
         "decompose-can"
     }
-    fn run(&self, ir: crate::pass::Ir, _ctx: &mut crate::pass::Context<'_>) -> crate::pass::Ir {
-        crate::pass::Ir::Layered(decompose_can(&ir.expect_layered()))
+    fn run(
+        &self,
+        ir: crate::pass::Ir,
+        _ctx: &mut crate::pass::Context<'_>,
+    ) -> Result<crate::pass::Ir, crate::error::CompileError> {
+        Ok(crate::pass::Ir::Layered(decompose_can(
+            &ir.try_layered(self.name())?,
+        )))
     }
 }
 

@@ -1,0 +1,80 @@
+//! Structured compilation errors.
+//!
+//! The pass framework used to `panic!` on misuse (a layered-form pass
+//! scheduled after a scheduling pass); every such condition is now a
+//! [`CompileError`] surfaced through [`crate::pass::PassManager::compile`]
+//! and [`crate::strategies::compile`], mirroring the simulator's
+//! `SimError` design: library callers can report pipeline misuse
+//! without crashing a server.
+
+use std::fmt;
+
+/// Why a compilation pipeline could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A pass that consumes the layered IR ran after the circuit was
+    /// already lowered to the scheduled form (DD and other
+    /// schedule-form passes must come last in a pipeline).
+    PassRequiresLayeredForm {
+        /// Name of the offending pass.
+        pass: &'static str,
+    },
+    /// A twirl-ensemble fast path could not align an instance's twirl
+    /// draws with the base schedule's merged twirl slots, so the
+    /// shared-schedule representation would be unsound. Callers fall
+    /// back to compiling the instance independently.
+    EnsembleShapeMismatch {
+        /// Qubit whose twirl-slot count disagreed.
+        qubit: usize,
+        /// Merged slots found on the base schedule for that qubit.
+        slots: usize,
+        /// Twirl draws recorded for that qubit.
+        draws: usize,
+    },
+    /// The strategy's pipeline is not twirl-ensemble shareable (its
+    /// post-twirl passes read the twirl Paulis, e.g. CA-EC), or
+    /// twirling is disabled.
+    EnsembleUnsupported {
+        /// The strategy/pipeline label.
+        label: &'static str,
+    },
+    /// The ensemble self-check failed: re-deriving the base seed's
+    /// twirl draws did not reproduce the base schedule's own merged
+    /// Paulis, so the slot↔draw correspondence cannot be trusted.
+    EnsembleSelfCheckFailed {
+        /// Item index of the first disagreeing slot.
+        item: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::PassRequiresLayeredForm { pass } => write!(
+                f,
+                "pass '{pass}' requires the layered form, but the circuit was already \
+                 scheduled; move layered-form passes before any scheduling pass"
+            ),
+            CompileError::EnsembleShapeMismatch {
+                qubit,
+                slots,
+                draws,
+            } => write!(
+                f,
+                "twirl ensemble shape mismatch on qubit {qubit}: base schedule has {slots} \
+                 merged twirl slots but the instance drew {draws} Paulis"
+            ),
+            CompileError::EnsembleUnsupported { label } => write!(
+                f,
+                "pipeline '{label}' does not support the shared-schedule twirl ensemble"
+            ),
+            CompileError::EnsembleSelfCheckFailed { item } => write!(
+                f,
+                "twirl ensemble self-check failed at scheduled item {item}: base twirl draws \
+                 do not reproduce the base schedule's merged Paulis"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -23,6 +23,8 @@ pub mod caec;
 pub mod dd;
 pub mod decompose;
 pub mod dynamic;
+pub mod ensemble;
+pub mod error;
 pub mod pass;
 pub mod strategies;
 pub mod twirl;
@@ -34,6 +36,8 @@ pub use caec::{ca_ec, CaEcConfig, CaEcReport};
 pub use dd::{staggered_dd, uniform_dd, DEFAULT_DMIN_NS};
 pub use decompose::{decompose_can, DecomposeCanPass};
 pub use dynamic::append_measure_compensation;
+pub use ensemble::{compile_twirl_ensemble, ensemble_shareable, TwirlEnsemble};
+pub use error::CompileError;
 pub use pass::{Context, Ir, Pass, PassManager};
 pub use strategies::{compile, pipeline, CompileOptions, Strategy};
 pub use twirl::{pauli_twirl, readout_twirl, TwirlRecord};

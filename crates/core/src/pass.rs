@@ -7,6 +7,7 @@
 //! [`PassManager`] runs a pipeline, converting between forms on
 //! demand via ASAP scheduling with the device's durations.
 
+use crate::error::CompileError;
 use ca_circuit::{schedule_asap, stratify, Circuit, LayeredCircuit, ScheduledCircuit};
 use ca_device::Device;
 use rand::rngs::StdRng;
@@ -43,12 +44,14 @@ pub enum Ir {
 }
 
 impl Ir {
-    /// Coerces to the layered form (panics after scheduling — DD
-    /// passes must come last).
-    pub fn expect_layered(self) -> LayeredCircuit {
+    /// Coerces to the layered form. A pipeline that schedules first
+    /// and then runs a layered-form pass is misconfigured: the result
+    /// is a structured [`CompileError`] naming the pass, never a
+    /// panic.
+    pub fn try_layered(self, pass: &'static str) -> Result<LayeredCircuit, CompileError> {
         match self {
-            Ir::Layered(l) => l,
-            Ir::Scheduled(_) => panic!("pass requires the layered form; schedule later"),
+            Ir::Layered(l) => Ok(l),
+            Ir::Scheduled(_) => Err(CompileError::PassRequiresLayeredForm { pass }),
         }
     }
 
@@ -69,8 +72,9 @@ impl Ir {
 pub trait Pass {
     /// Short name for logs and reports.
     fn name(&self) -> &'static str;
-    /// Transforms the IR.
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir;
+    /// Transforms the IR. Pipeline misuse (e.g. requesting the
+    /// layered form after scheduling) is a [`CompileError`].
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError>;
 }
 
 /// Runs passes in order, starting from the stratified form of the
@@ -96,13 +100,18 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
-    /// Compiles a circuit: stratify → passes → schedule.
-    pub fn compile(&self, circuit: &Circuit, ctx: &mut Context<'_>) -> ScheduledCircuit {
+    /// Compiles a circuit: stratify → passes → schedule. Pipeline
+    /// misuse surfaces as a [`CompileError`] instead of a panic.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        ctx: &mut Context<'_>,
+    ) -> Result<ScheduledCircuit, CompileError> {
         let mut ir = Ir::Layered(stratify(circuit));
         for pass in &self.passes {
-            ir = pass.run(ir, ctx);
+            ir = pass.run(ir, ctx)?;
         }
-        ir.into_scheduled(ctx.device)
+        Ok(ir.into_scheduled(ctx.device))
     }
 }
 
@@ -122,8 +131,8 @@ mod tests {
         fn name(&self) -> &'static str {
             "noop"
         }
-        fn run(&self, ir: Ir, _ctx: &mut Context<'_>) -> Ir {
-            ir
+        fn run(&self, ir: Ir, _ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
+            Ok(ir)
         }
     }
 
@@ -134,7 +143,7 @@ mod tests {
         qc.h(0).ecr(0, 1);
         let mut ctx = Context::new(&dev, 1);
         let pm = PassManager::new();
-        let sc = pm.compile(&qc, &mut ctx);
+        let sc = pm.compile(&qc, &mut ctx).unwrap();
         assert!(sc.duration > 0.0);
         assert_eq!(sc.num_qubits, 2);
     }
@@ -147,11 +156,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "layered form")]
-    fn layered_after_scheduled_panics() {
+    fn layered_after_scheduled_is_a_structured_error() {
         let dev = uniform_device(Topology::line(1), 0.0);
         let qc = Circuit::new(1, 0);
         let sc = schedule_asap(&qc, dev.durations());
-        let _ = Ir::Scheduled(sc).expect_layered();
+        let err = Ir::Scheduled(sc).try_layered("pauli-twirl").unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::PassRequiresLayeredForm {
+                pass: "pauli-twirl"
+            }
+        );
     }
 }

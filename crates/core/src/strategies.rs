@@ -4,6 +4,7 @@
 use crate::cadd::{ca_dd, CaDdConfig};
 use crate::caec::{ca_ec, CaEcConfig};
 use crate::dd::{staggered_dd, uniform_dd, DEFAULT_DMIN_NS};
+use crate::error::CompileError;
 use crate::pass::{Context, Ir, Pass, PassManager};
 use crate::twirl::pauli_twirl;
 use ca_circuit::{Circuit, ScheduledCircuit};
@@ -91,10 +92,10 @@ impl Pass for TwirlPass {
     fn name(&self) -> &'static str {
         "pauli-twirl"
     }
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
-        let layered = ir.expect_layered();
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
+        let layered = ir.try_layered(self.name())?;
         let (twirled, _) = pauli_twirl(&layered, &mut ctx.rng);
-        Ir::Layered(twirled)
+        Ok(Ir::Layered(twirled))
     }
 }
 
@@ -107,10 +108,10 @@ impl Pass for CaEcPass {
     fn name(&self) -> &'static str {
         "ca-ec"
     }
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
-        let layered = ir.expect_layered();
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
+        let layered = ir.try_layered(self.name())?;
         let (out, _) = ca_ec(&layered, ctx.device, self.config);
-        Ir::Layered(out)
+        Ok(Ir::Layered(out))
     }
 }
 
@@ -123,9 +124,9 @@ impl Pass for UniformDdPass {
     fn name(&self) -> &'static str {
         "uniform-dd"
     }
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
         let sc = ir.into_scheduled(ctx.device);
-        Ir::Scheduled(uniform_dd(&sc, ctx.device, self.d_min))
+        Ok(Ir::Scheduled(uniform_dd(&sc, ctx.device, self.d_min)))
     }
 }
 
@@ -138,9 +139,9 @@ impl Pass for StaggeredDdPass {
     fn name(&self) -> &'static str {
         "staggered-dd"
     }
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
         let sc = ir.into_scheduled(ctx.device);
-        Ir::Scheduled(staggered_dd(&sc, ctx.device, self.d_min))
+        Ok(Ir::Scheduled(staggered_dd(&sc, ctx.device, self.d_min)))
     }
 }
 
@@ -153,9 +154,9 @@ impl Pass for CaDdPass {
     fn name(&self) -> &'static str {
         "ca-dd"
     }
-    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Ir {
+    fn run(&self, ir: Ir, ctx: &mut Context<'_>) -> Result<Ir, CompileError> {
         let sc = ir.into_scheduled(ctx.device);
-        Ir::Scheduled(ca_dd(&sc, ctx.device, self.config))
+        Ok(Ir::Scheduled(ca_dd(&sc, ctx.device, self.config)))
     }
 }
 
@@ -207,7 +208,14 @@ pub fn pipeline(options: &CompileOptions) -> PassManager {
 }
 
 /// One-call compilation: stratify, twirl, suppress, schedule.
-pub fn compile(circuit: &Circuit, device: &Device, options: &CompileOptions) -> ScheduledCircuit {
+/// Pipeline misuse yields a structured [`CompileError`], never a
+/// panic (the prebuilt strategy pipelines are always well-formed, but
+/// custom pass stacks built by callers are not).
+pub fn compile(
+    circuit: &Circuit,
+    device: &Device,
+    options: &CompileOptions,
+) -> Result<ScheduledCircuit, CompileError> {
     let mut ctx = Context::new(device, options.seed);
     pipeline(options).compile(circuit, &mut ctx)
 }
@@ -232,7 +240,7 @@ mod tests {
         let dev = uniform_device(Topology::line(4), 60.0);
         let qc = case_i_circuit();
         for s in Strategy::ALL {
-            let sc = compile(&qc, &dev, &CompileOptions::new(s, 3));
+            let sc = compile(&qc, &dev, &CompileOptions::new(s, 3)).unwrap();
             assert!(sc.duration > 0.0, "{}", s.label());
         }
     }
@@ -247,8 +255,8 @@ mod tests {
                 .filter(|si| si.instruction.gate == Gate::X)
                 .count()
         };
-        let bare = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::Bare, 3));
-        let cadd = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaDd, 3));
+        let bare = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::Bare, 3)).unwrap();
+        let cadd = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaDd, 3)).unwrap();
         assert_eq!(count_x(&bare), 0);
         assert!(count_x(&cadd) > 0);
     }
@@ -257,7 +265,7 @@ mod tests {
     fn caec_adds_compensation_gates() {
         let dev = uniform_device(Topology::line(4), 60.0);
         let qc = case_i_circuit();
-        let caec = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaEc, 3));
+        let caec = compile(&qc, &dev, &CompileOptions::untwirled(Strategy::CaEc, 3)).unwrap();
         let has_comp = caec
             .items
             .iter()
@@ -269,8 +277,8 @@ mod tests {
     fn twirl_changes_with_seed_strategy_pipeline() {
         let dev = uniform_device(Topology::line(4), 60.0);
         let qc = case_i_circuit();
-        let a = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 1));
-        let b = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 2));
+        let a = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 1)).unwrap();
+        let b = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 2)).unwrap();
         assert_ne!(
             a.items
                 .iter()

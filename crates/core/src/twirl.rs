@@ -5,8 +5,13 @@
 //! unchanged while tailoring the gate's error channel into a Pauli
 //! channel. Twirl Paulis are kept as explicit `OneQubit` layers so the
 //! CA-EC pass can commute compensations through them with the correct
-//! signs (Algorithm 2's commute/anti-commute bookkeeping); hardware
-//! would merge them with neighbouring 1q gates at zero cost.
+//! signs (Algorithm 2's commute/anti-commute bookkeeping), and are
+//! emitted *merged* (`Instruction::merged`): hardware absorbs them
+//! into the neighbouring 1q pulses at zero cost, so they take no
+//! schedule time, draw no gate error, and cast no Stark shadow. The
+//! merged form is also what makes every twirl instance of a circuit
+//! share one schedule — the basis of the twirl-ensemble fast path in
+//! [`crate::ensemble`].
 
 use ca_circuit::clifford::twirl_partner;
 use ca_circuit::pauli::Pauli;
@@ -61,10 +66,10 @@ pub fn pauli_twirl(layered: &LayeredCircuit, rng: &mut StdRng) -> (LayeredCircui
                 panic!("cannot twirl {}", instr.gate.name());
             };
             let (a, b) = (instr.qubits[0], instr.qubits[1]);
-            before.push(Instruction::new(pb.0.gate(), [a]));
-            before.push(Instruction::new(pb.1.gate(), [b]));
-            after.push(Instruction::new(pa.0.gate(), [a]));
-            after.push(Instruction::new(pa.1.gate(), [b]));
+            before.push(Instruction::new(pb.0.gate(), [a]).as_merged());
+            before.push(Instruction::new(pb.1.gate(), [b]).as_merged());
+            after.push(Instruction::new(pa.0.gate(), [a]).as_merged());
+            after.push(Instruction::new(pa.1.gate(), [b]).as_merged());
             let li = out.layers.len();
             record.inserted.push((li, a, pb.0));
             record.inserted.push((li, b, pb.1));

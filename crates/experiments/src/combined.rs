@@ -82,7 +82,7 @@ pub fn fig10(depths: &[usize], budget: &Budget) -> Figure {
                     &CompileOptions::new(strategy, budget.seed),
                     budget,
                 );
-                all_zeros_fidelity(&vals)
+                all_zeros_fidelity(&vals.expect("experiment"))
             })
             .collect();
         fig.push(Series::new(label, xs.clone(), ys));
@@ -111,7 +111,7 @@ mod tests {
                 seed: 1,
             },
         );
-        let f = all_zeros_fidelity(&vals);
+        let f = all_zeros_fidelity(&vals.expect("experiment"));
         assert!((f - 1.0).abs() < 1e-9, "P00 {f}");
     }
 

@@ -145,7 +145,8 @@ pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
                     instances: 1,
                     seed: budget.seed,
                 },
-            )[0]
+            )
+            .expect("experiment")[0]
         })
         .collect();
     fig.push(Series::new("ideal", xs.clone(), ideal.clone()));
@@ -189,7 +190,8 @@ pub fn fig7(depths: &[usize], budget: &Budget) -> HeisenbergResult {
                     &obs,
                     |_| make_pipeline(label),
                     budget,
-                )[0]
+                )
+                .expect("experiment")[0]
             })
             .collect();
         fig.push(Series::new(label, xs.clone(), ys.clone()));
@@ -249,7 +251,8 @@ mod tests {
                     instances: 1,
                     seed: 1,
                 },
-            )[0]
+            )
+            .expect("experiment")[0]
         };
         let a = run(&trotter_circuit(2, (1.0, 1.0, 1.0), 0.2));
         let b = run(&trotter_circuit_native(2, (1.0, 1.0, 1.0), 0.2));
@@ -290,7 +293,8 @@ mod tests {
                 instances: 1,
                 seed: 1,
             },
-        )[0];
+        )
+        .expect("experiment")[0];
         assert!((v0 - 1.0).abs() < 1e-9);
         let v3 = averaged_expectations(
             &device,
@@ -303,7 +307,8 @@ mod tests {
                 instances: 1,
                 seed: 1,
             },
-        )[0];
+        )
+        .expect("experiment")[0];
         assert!((v3 - 1.0).abs() > 0.05, "dynamics must evolve: {v3}");
     }
 
@@ -324,7 +329,8 @@ mod tests {
                 instances: 1,
                 seed: 1,
             },
-        )[0];
+        )
+        .expect("experiment")[0];
         let twirled = averaged_expectations(
             &device,
             &NoiseConfig::ideal(),
@@ -336,7 +342,8 @@ mod tests {
                 instances: 3,
                 seed: 5,
             },
-        )[0];
+        )
+        .expect("experiment")[0];
         assert!(
             (bare - twirled).abs() < 1e-9,
             "bare {bare} vs twirled {twirled}"

@@ -86,7 +86,8 @@ pub fn fig6(depths: &[usize], budget: &Budget) -> Figure {
                     instances: 1,
                     seed: budget.seed,
                 },
-            )[0]
+            )
+            .expect("experiment")[0]
         })
         .collect();
     fig.push(Series::new("ideal", xs.clone(), ideal));
@@ -106,7 +107,8 @@ pub fn fig6(depths: &[usize], budget: &Budget) -> Figure {
                     &obs,
                     &CompileOptions::new(strategy, budget.seed),
                     budget,
-                )[0]
+                )
+                .expect("experiment")[0]
             })
             .collect();
         fig.push(Series::new(label, xs.clone(), ys));
@@ -134,7 +136,8 @@ mod tests {
                     instances: 1,
                     seed: 1,
                 },
-            )[0];
+            )
+            .expect("experiment")[0];
             assert!(
                 (v.abs() - 1.0).abs() < 1e-9 || v.abs() < 1e-9,
                 "Clifford circuit must give ±1/0, got {v} at d={d}"

@@ -34,10 +34,12 @@ use crate::report::{Figure, Series};
 use crate::runner::Budget;
 use ca_circuit::clifford::propagate_2q;
 use ca_circuit::{Circuit, Gate, Pauli, PauliString};
-use ca_core::{pipeline, CompileOptions, Context, Strategy};
+use ca_core::{
+    compile_twirl_ensemble, ensemble_shareable, pipeline, CompileOptions, Context, Strategy,
+};
 use ca_device::{presets, Device, Topology};
 use ca_metrics::fit_decay;
-use ca_sim::{NoiseConfig, Simulator};
+use ca_sim::{Job, NoiseConfig, Session, Simulator};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -192,7 +194,41 @@ pub fn measure_large_layer_fidelity_with(
     depths: &[usize],
     budget: &Budget,
 ) -> LargeScaleResult {
-    let sim = Simulator::with_config(device.clone(), noise);
+    let session = Session::new(Simulator::with_config(device.clone(), noise));
+    measure_large_layer_fidelity_session(&session, strategy, depths, budget)
+}
+
+/// [`measure_large_layer_fidelity_with`] against a caller-owned
+/// session: sweeps that share one session reuse its plan cache across
+/// strategies, depths, and repeated invocations (the cached-vs-cold
+/// comparison in `benches/scaling.rs` runs exactly this way).
+///
+/// Each depth's twirl ensemble compiles through the shared-schedule
+/// fast path when the strategy supports it — the pass pipeline and
+/// timeline segmentation run once per depth, every instance re-dresses
+/// the merged twirl slots — and instances fan out as session jobs.
+pub fn measure_large_layer_fidelity_session(
+    session: &Session,
+    strategy: Strategy,
+    depths: &[usize],
+    budget: &Budget,
+) -> LargeScaleResult {
+    measure_large_layer_fidelity_session_with(session, strategy, depths, budget, true)
+}
+
+/// [`measure_large_layer_fidelity_session`] with the twirl-ensemble
+/// fast path switchable: `use_ensemble = false` compiles every
+/// instance through the full pass pipeline (the per-point
+/// recompilation baseline the scaling bench compares against).
+/// Results are bit-identical either way.
+pub fn measure_large_layer_fidelity_session_with(
+    session: &Session,
+    strategy: Strategy,
+    depths: &[usize],
+    budget: &Budget,
+    use_ensemble: bool,
+) -> LargeScaleResult {
+    let device = &session.simulator().device;
     let layer = sparse_device_layer(&device.topology);
     let parts = partitions(&device.topology, &layer);
     let mut rng = StdRng::seed_from_u64(budget.seed ^ 0xEA61E);
@@ -219,23 +255,70 @@ pub fn measure_large_layer_fidelity_with(
             })
             .collect();
         // Average over independently twirled compile instances.
-        let mut acc = vec![0.0; observables.len()];
-        for inst in 0..budget.instances {
-            let seed = budget
-                .seed
-                .wrapping_add(inst as u64 * 7919)
-                .wrapping_add(d as u64);
-            let opts = CompileOptions::new(strategy, seed);
-            let pm = pipeline(&opts);
-            let mut ctx = Context::new(device, seed);
-            let sc = pm.compile(&circuit, &mut ctx);
-            engine = sim
-                .engine_name_for(&sc)
+        let seeds: Vec<u64> = (0..budget.instances)
+            .map(|inst| {
+                budget
+                    .seed
+                    .wrapping_add(inst as u64 * 7919)
+                    .wrapping_add(d as u64)
+            })
+            .collect();
+        let sim_seeds: Vec<u64> = seeds.iter().map(|s| s ^ 0x77).collect();
+        let opts = CompileOptions::new(strategy, seeds[0]);
+        // Shape/self-check failures mean the ensemble declined to
+        // share this point's schedule; fall back to per-instance
+        // compilation below (bit-identical results either way).
+        let ensemble = if use_ensemble && ensemble_shareable(&opts) {
+            compile_twirl_ensemble(&circuit, device, &opts, &seeds).ok()
+        } else {
+            None
+        };
+        let results: Vec<Vec<f64>> = if let Some(ens) = ensemble {
+            engine = session
+                .simulator()
+                .engine_name_for(&ens.base)
                 .expect("resolve engine")
                 .to_string();
-            let vals = sim
-                .expect_paulis(&sc, &observables, budget.trajectories, seed ^ 0x77)
-                .expect("simulate");
+            session
+                .submit_ensemble(
+                    &ens.base,
+                    &ens.dressings,
+                    &observables,
+                    budget.trajectories,
+                    &sim_seeds,
+                )
+                .into_iter()
+                .map(|r| r.expect("simulate"))
+                .collect()
+        } else {
+            let jobs: Vec<Job> = seeds
+                .iter()
+                .zip(sim_seeds.iter())
+                .map(|(&seed, &sim_seed)| {
+                    let pm = pipeline(&CompileOptions { seed, ..opts });
+                    let mut ctx = Context::new(device, seed);
+                    let sc = pm.compile(&circuit, &mut ctx).expect("compile");
+                    engine = session
+                        .simulator()
+                        .engine_name_for(&sc)
+                        .expect("resolve engine")
+                        .to_string();
+                    Job::expect(sc, observables.clone(), budget.trajectories, sim_seed)
+                })
+                .collect();
+            session
+                .submit(&jobs)
+                .into_iter()
+                .map(|r| {
+                    r.expect("simulate")
+                        .expectations()
+                        .expect("expect job")
+                        .to_vec()
+                })
+                .collect()
+        };
+        let mut acc = vec![0.0; observables.len()];
+        for vals in &results {
             for (a, v) in acc.iter_mut().zip(vals.iter()) {
                 *a += v;
             }
@@ -360,7 +443,7 @@ mod tests {
         let opts = CompileOptions::new(Strategy::CaDd, 3);
         let pm = pipeline(&opts);
         let mut ctx = Context::new(&device, 3);
-        let sc = pm.compile(&circuit, &mut ctx);
+        let sc = pm.compile(&circuit, &mut ctx).unwrap();
         let sim = Simulator::with_config(device.clone(), NoiseConfig::default());
         assert_eq!(sim.engine_name_for(&sc), Ok("frame-batch"));
     }

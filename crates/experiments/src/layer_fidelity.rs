@@ -167,7 +167,7 @@ pub fn measure_layer_fidelity(
                     let opts = CompileOptions::new(strategy, seed);
                     let pm = pipeline(&opts);
                     let mut ctx = Context::new(device, seed);
-                    let sc = pm.compile(&circuit, &mut ctx);
+                    let sc = pm.compile(&circuit, &mut ctx).expect("compile");
                     acc += sim
                         .expect_pauli(&sc, &target, budget.trajectories, seed ^ 0x77)
                         .expect("simulate");
@@ -294,7 +294,7 @@ mod tests {
             let opts = CompileOptions::new(Strategy::Bare, 3);
             let pm = pipeline(&opts);
             let mut ctx = Context::new(&device, 3);
-            let sc = pm.compile(&circuit, &mut ctx);
+            let sc = pm.compile(&circuit, &mut ctx).expect("compile");
             sim.expect_pauli(&sc, &target, 1, 9).expect("simulate")
         };
         assert!((lf - 1.0).abs() < 1e-9, "ideal expectation {lf}");

@@ -119,7 +119,7 @@ fn ramsey_fidelity(
         |_seed| make_pipeline(kind),
         budget,
     );
-    all_zeros_fidelity(&vals)
+    all_zeros_fidelity(&vals.expect("experiment"))
 }
 
 fn run_case(

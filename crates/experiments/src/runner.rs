@@ -1,10 +1,56 @@
 //! Shared experiment execution: twirl-averaged expectation values of
-//! compiled circuits under the noisy simulator.
+//! compiled circuits under the noisy simulator, executed as session
+//! jobs.
+//!
+//! Every averaged estimate is a batch of independent `(instance,
+//! seed)` jobs submitted to a [`ca_sim::Session`]: jobs fan out
+//! across worker threads, plans compile through the session's LRU
+//! cache, and — when the strategy supports it — the whole twirl
+//! ensemble shares one compiled schedule via the re-dressing fast
+//! path ([`ca_core::compile_twirl_ensemble`]), so a sweep point pays
+//! the pass pipeline and timeline segmentation once instead of once
+//! per instance. Results are bit-identical to compiling and running
+//! every instance independently.
 
 use ca_circuit::{Circuit, PauliString};
-use ca_core::{pipeline, CompileOptions, Context, PassManager, Strategy};
+use ca_core::{
+    compile_twirl_ensemble, ensemble_shareable, pipeline, CompileError, CompileOptions, Context,
+    PassManager, Strategy,
+};
 use ca_device::Device;
-use ca_sim::{NoiseConfig, Simulator};
+use ca_sim::{Job, NoiseConfig, Session, SimError, Simulator};
+
+/// Why an experiment run could not produce its estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// The compile pipeline rejected the circuit or pass stack.
+    Compile(CompileError),
+    /// The simulator rejected the compiled circuit.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<CompileError> for ExperimentError {
+    fn from(e: CompileError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
 
 /// Shared budget knobs: every experiment exposes a `quick` profile for
 /// unit tests and a `full` profile for the benchmark harness.
@@ -36,10 +82,17 @@ impl Budget {
             seed: 11,
         }
     }
+
+    /// The per-instance compile seeds of this budget.
+    pub fn instance_seeds(&self) -> Vec<u64> {
+        (0..self.instances)
+            .map(|inst| self.seed.wrapping_add(inst as u64 * 0x9E37))
+            .collect()
+    }
 }
 
-/// Averages Pauli expectations over `instances` independently compiled
-/// (re-twirled) copies of the circuit.
+/// Averages Pauli expectations over `instances` independently
+/// re-twirled copies of the circuit, through a fresh session.
 pub fn averaged_expectations(
     device: &Device,
     noise: &NoiseConfig,
@@ -47,10 +100,51 @@ pub fn averaged_expectations(
     observables: &[PauliString],
     options: &CompileOptions,
     budget: &Budget,
-) -> Vec<f64> {
-    averaged_expectations_with(
-        device,
-        noise,
+) -> Result<Vec<f64>, ExperimentError> {
+    let session = Session::new(Simulator::with_config(device.clone(), *noise));
+    averaged_expectations_session(&session, circuit, observables, options, budget)
+}
+
+/// [`averaged_expectations`] against a caller-owned session, so
+/// sweeps reuse one plan cache across points. Twirl-shareable
+/// strategies compile the ensemble once and re-dress per instance;
+/// everything else compiles per instance — both paths produce
+/// bit-identical results.
+pub fn averaged_expectations_session(
+    session: &Session,
+    circuit: &Circuit,
+    observables: &[PauliString],
+    options: &CompileOptions,
+    budget: &Budget,
+) -> Result<Vec<f64>, ExperimentError> {
+    let device = &session.simulator().device;
+    let seeds = budget.instance_seeds();
+    if ensemble_shareable(options) {
+        // Shape/self-check failures are the ensemble declining to
+        // share, not a compile failure: fall back to compiling every
+        // instance independently (bit-identical results either way).
+        match compile_twirl_ensemble(circuit, device, options, &seeds) {
+            Ok(ens) => {
+                let sim_seeds: Vec<u64> = seeds.iter().map(|s| s ^ 0xABCD).collect();
+                let results = session.submit_ensemble(
+                    &ens.base,
+                    &ens.dressings,
+                    observables,
+                    budget.trajectories,
+                    &sim_seeds,
+                );
+                return average(results, observables.len(), budget.instances);
+            }
+            Err(
+                CompileError::EnsembleShapeMismatch { .. }
+                | CompileError::EnsembleSelfCheckFailed { .. }
+                | CompileError::EnsembleUnsupported { .. },
+            ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    averaged_expectations_with_session(
+        session,
         circuit,
         observables,
         |seed| pipeline(&CompileOptions { seed, ..*options }),
@@ -59,7 +153,8 @@ pub fn averaged_expectations(
 }
 
 /// Same as [`averaged_expectations`] but with a caller-supplied
-/// pipeline builder (custom pass combinations, e.g. "aligned DD + EC").
+/// pipeline builder (custom pass combinations, e.g. "aligned DD +
+/// EC").
 pub fn averaged_expectations_with(
     device: &Device,
     noise: &NoiseConfig,
@@ -67,25 +162,64 @@ pub fn averaged_expectations_with(
     observables: &[PauliString],
     make_pipeline: impl Fn(u64) -> PassManager,
     budget: &Budget,
-) -> Vec<f64> {
-    let sim = Simulator::with_config(device.clone(), *noise);
-    let mut acc = vec![0.0; observables.len()];
-    for inst in 0..budget.instances {
-        let seed = budget.seed.wrapping_add(inst as u64 * 0x9E37);
+) -> Result<Vec<f64>, ExperimentError> {
+    let session = Session::new(Simulator::with_config(device.clone(), *noise));
+    averaged_expectations_with_session(&session, circuit, observables, make_pipeline, budget)
+}
+
+/// [`averaged_expectations_with`] against a caller-owned session.
+pub fn averaged_expectations_with_session(
+    session: &Session,
+    circuit: &Circuit,
+    observables: &[PauliString],
+    make_pipeline: impl Fn(u64) -> PassManager,
+    budget: &Budget,
+) -> Result<Vec<f64>, ExperimentError> {
+    let device = &session.simulator().device;
+    let mut jobs = Vec::with_capacity(budget.instances);
+    for seed in budget.instance_seeds() {
         let pm = make_pipeline(seed);
         let mut ctx = Context::new(device, seed);
-        let sc = pm.compile(circuit, &mut ctx);
-        let vals = sim
-            .expect_paulis(&sc, observables, budget.trajectories, seed ^ 0xABCD)
-            .expect("simulate");
-        for (a, v) in acc.iter_mut().zip(vals.iter()) {
+        let sc = pm.compile(circuit, &mut ctx)?;
+        jobs.push(Job::expect(
+            sc,
+            observables.to_vec(),
+            budget.trajectories,
+            seed ^ 0xABCD,
+        ));
+    }
+    average(
+        session
+            .submit(&jobs)
+            .into_iter()
+            .map(|r| {
+                r.map(|out| match out {
+                    ca_sim::JobOutput::Expect(v) => v,
+                    _ => unreachable!("expect jobs return expectations"),
+                })
+            })
+            .collect(),
+        observables.len(),
+        budget.instances,
+    )
+}
+
+/// Averages per-instance expectation vectors.
+fn average(
+    results: Vec<Result<Vec<f64>, SimError>>,
+    width: usize,
+    instances: usize,
+) -> Result<Vec<f64>, ExperimentError> {
+    let mut acc = vec![0.0; width];
+    for vals in results {
+        for (a, v) in acc.iter_mut().zip(vals?.iter()) {
             *a += v;
         }
     }
     for a in &mut acc {
-        *a /= budget.instances as f64;
+        *a /= instances as f64;
     }
-    acc
+    Ok(acc)
 }
 
 /// The fidelity of an n-qubit all-|+⟩ Ramsey register measured after
@@ -149,7 +283,8 @@ mod tests {
             &obs,
             &CompileOptions::untwirled(Strategy::Bare, 1),
             &Budget::quick(),
-        );
+        )
+        .unwrap();
         assert!((got[0] - 1.0).abs() < 1e-9);
     }
 
@@ -166,10 +301,111 @@ mod tests {
             &obs,
             &CompileOptions::new(Strategy::Bare, 5),
             &Budget::quick(),
-        );
+        )
+        .unwrap();
         assert!(
             (got[0] - 1.0).abs() < 1e-9,
             "twirl must preserve logic: {got:?}"
         );
+    }
+
+    #[test]
+    fn uncompilable_pipeline_is_an_error_not_a_panic() {
+        // A DD pass ordered *before* a layered-form pass: the layered
+        // pass finds the circuit already scheduled and the pipeline
+        // reports a structured error through the runner.
+        let dev = uniform_device(Topology::line(2), 0.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.ecr(0, 1);
+        let obs = [PauliString::parse("ZZ").unwrap()];
+        let err = averaged_expectations_with(
+            &dev,
+            &NoiseConfig::ideal(),
+            &qc,
+            &obs,
+            |_seed| {
+                let mut pm = PassManager::new();
+                pm.push(ca_core::strategies::UniformDdPass { d_min: 150.0 });
+                pm.push(ca_core::strategies::TwirlPass);
+                pm
+            },
+            &Budget::quick(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::Compile(CompileError::PassRequiresLayeredForm {
+                pass: "pauli-twirl"
+            })
+        );
+    }
+
+    #[test]
+    fn unsimulable_circuit_is_an_error_not_a_panic() {
+        // A wide non-Clifford circuit: no engine supports it, and the
+        // runner surfaces the simulator's structured error instead of
+        // panicking mid-experiment.
+        let n = 30;
+        let dev = uniform_device(Topology::line(n), 0.0);
+        let mut qc = Circuit::new(n, 0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.append(ca_circuit::Gate::Rx(0.3), [0]);
+        let obs = [PauliString::identity(n)];
+        let err = averaged_expectations(
+            &dev,
+            &NoiseConfig::ideal(),
+            &qc,
+            &obs,
+            &CompileOptions::untwirled(Strategy::Bare, 1),
+            &Budget::quick(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExperimentError::Sim(SimError::NoSupportingEngine { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn ensemble_fast_path_matches_independent_compilation() {
+        // The load-bearing bit-identity guarantee: for a shareable
+        // strategy, the shared-schedule ensemble must give exactly
+        // the per-instance-compiled result.
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let mut qc = Circuit::new(4, 0);
+        qc.h(0).h(3);
+        qc.ecr(1, 2).ecr(1, 2);
+        qc.h(0).h(3);
+        let obs = [
+            PauliString::parse("ZIII").unwrap(),
+            PauliString::parse("IZZI").unwrap(),
+        ];
+        let noise = NoiseConfig::default();
+        let budget = Budget {
+            trajectories: 64,
+            instances: 4,
+            seed: 23,
+        };
+        for strategy in [Strategy::Bare, Strategy::CaDd] {
+            let options = CompileOptions::new(strategy, 0);
+            let fast = averaged_expectations(&dev, &noise, &qc, &obs, &options, &budget).unwrap();
+            // Independent path: same pipeline per instance, no
+            // ensemble sharing.
+            let slow = averaged_expectations_with(
+                &dev,
+                &noise,
+                &qc,
+                &obs,
+                |seed| pipeline(&CompileOptions { seed, ..options }),
+                &budget,
+            )
+            .unwrap();
+            assert_eq!(fast, slow, "{strategy:?}: ensemble must be bit-identical");
+        }
     }
 }

@@ -212,7 +212,7 @@ pub fn nnn_walsh(depths: &[usize], budget: &Budget) -> Figure {
             .map(|&d| {
                 let vals =
                     averaged_expectations_with(&device, &noise, &build(d), &obs, |_| mk(), budget);
-                all_zeros_fidelity(&vals)
+                all_zeros_fidelity(&vals.expect("experiment"))
             })
             .collect();
         fig.push(Series::new(label, xs.clone(), ys));

@@ -242,7 +242,7 @@ pub fn table1(budget: &Budget) -> Figure {
                     |_| technique_pipeline(col),
                     budget,
                 );
-                1.0 - all_zeros_fidelity(&vals)
+                1.0 - all_zeros_fidelity(&vals.expect("experiment"))
             })
             .collect();
         fig.push(Series::new(col, xs.clone(), ys));

@@ -1,6 +1,7 @@
 //! Structured mitigation errors, following the `ca-sim::SimError`
 //! conventions: degenerate inputs yield a typed error, never a panic.
 
+use ca_core::CompileError;
 use ca_metrics::MetricsError;
 use ca_sim::SimError;
 use std::fmt;
@@ -11,6 +12,9 @@ pub enum MitigationError {
     /// The simulator rejected a circuit (non-Clifford on a frame
     /// engine, arity mismatch, invalid insertion, …).
     Sim(SimError),
+    /// The compiler rejected a pipeline (layered-form pass after
+    /// scheduling, ensemble misuse, …).
+    Compile(CompileError),
     /// An analysis estimator rejected its input (degenerate layer or
     /// Pauli fidelity).
     Metrics(MetricsError),
@@ -49,6 +53,7 @@ impl fmt::Display for MitigationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MitigationError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MitigationError::Compile(e) => write!(f, "compilation failed: {e}"),
             MitigationError::Metrics(e) => write!(f, "estimator failed: {e}"),
             MitigationError::DegenerateFidelity {
                 partition,
@@ -80,6 +85,12 @@ impl std::error::Error for MitigationError {}
 impl From<SimError> for MitigationError {
     fn from(e: SimError) -> Self {
         MitigationError::Sim(e)
+    }
+}
+
+impl From<CompileError> for MitigationError {
+    fn from(e: CompileError) -> Self {
+        MitigationError::Compile(e)
     }
 }
 

@@ -30,7 +30,7 @@ use ca_circuit::{schedule_asap, Circuit, Gate, Pauli, PauliString, ScheduledCirc
 use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::Device;
 use ca_metrics::fit_decay;
-use ca_sim::{clifford_supports, Engine, NoiseConfig, Simulator};
+use ca_sim::{clifford_supports, Engine, Job, NoiseConfig, Session, Simulator};
 
 /// Budget and seeding of one learning run.
 #[derive(Clone, Debug)]
@@ -164,13 +164,31 @@ pub fn learn_layer_channel(
     let pauli_counts: Vec<usize> = widths.iter().map(|&k| (1 << (2 * k)) - 1).collect();
     let experiments = pauli_counts.iter().copied().max().unwrap_or(0);
 
-    // Fitted λ samples per (partition, Pauli index).
-    let mut samples: Vec<Vec<Vec<f64>>> = pauli_counts
-        .iter()
-        .map(|&c| vec![Vec::new(); c + 1])
-        .collect();
-    let mut engine_name = String::new();
+    // One session per engine policy: strictly Clifford decay circuits
+    // run on the pinned frame-batch session, CA-EC's non-Clifford
+    // compensations on the auto session (dense at small sizes). The
+    // sessions' plan caches persist across every (experiment, depth,
+    // instance) job of this learning run.
+    let frame_session = Session::new(Simulator::with_engine(
+        device.clone(),
+        config.noise,
+        Engine::FrameBatch,
+    ));
+    let auto_session = Session::new(Simulator::with_engine(
+        device.clone(),
+        config.noise,
+        Engine::Auto,
+    ));
 
+    // Compile every (experiment, depth, instance) point up front and
+    // run them as one job batch per session — experiments fan out
+    // across worker threads at job granularity.
+    let mut indices_by_e: Vec<Vec<usize>> = Vec::with_capacity(experiments);
+    let mut frame_jobs: Vec<Job> = Vec::new();
+    let mut auto_jobs: Vec<Job> = Vec::new();
+    // Per (e, depth index): (on_frame_session, job index) per instance.
+    let mut tags: Vec<Vec<Vec<(bool, usize)>>> = Vec::with_capacity(experiments);
+    let mut engine_name = String::new();
     for e in 0..experiments {
         // This experiment's Pauli index per partition (1-based; every
         // partition is exercised in every experiment).
@@ -190,9 +208,7 @@ pub fn learn_layer_channel(
             prep_string.paulis[q] = p;
         }
 
-        // One decay curve per partition, all measured simultaneously.
-        let mut xs: Vec<f64> = Vec::with_capacity(config.depths.len());
-        let mut ys: Vec<Vec<f64>> = vec![Vec::new(); partitions.len()];
+        let mut e_tags = Vec::with_capacity(config.depths.len());
         for &d in &config.depths {
             let circuit = layer_circuit(n, &preps, layer, d);
             let observables: Vec<PauliString> = partitions
@@ -205,7 +221,7 @@ pub fn learn_layer_channel(
                     propagate_through_layers(&p, layer, d)
                 })
                 .collect();
-            let mut acc = vec![0.0; observables.len()];
+            let mut inst_tags = Vec::with_capacity(config.instances);
             for inst in 0..config.instances {
                 let seed = config
                     .seed
@@ -215,22 +231,66 @@ pub fn learn_layer_channel(
                 let opts = CompileOptions::new(strategy, seed);
                 let pm = pipeline(&opts);
                 let mut ctx = Context::new(device, seed);
-                let sc = pm.compile(&circuit, &mut ctx);
-                let sim = simulator_for(device, &config.noise, &sc);
-                engine_name = sim.engine_name_for(&sc)?.to_string();
-                let vals = sim.expect_paulis(&sc, &observables, config.shots, seed ^ 0x77)?;
+                let sc = pm.compile(&circuit, &mut ctx)?;
+                let on_frame = clifford_supports(&sc);
+                let session = if on_frame {
+                    &frame_session
+                } else {
+                    &auto_session
+                };
+                engine_name = session.simulator().engine_name_for(&sc)?.to_string();
+                let job = Job::expect(sc, observables.clone(), config.shots, seed ^ 0x77);
+                let jobs = if on_frame {
+                    &mut frame_jobs
+                } else {
+                    &mut auto_jobs
+                };
+                inst_tags.push((on_frame, jobs.len()));
+                jobs.push(job);
+            }
+            e_tags.push(inst_tags);
+        }
+        indices_by_e.push(indices);
+        tags.push(e_tags);
+    }
+
+    let frame_out = frame_session.submit(&frame_jobs);
+    let auto_out = auto_session.submit(&auto_jobs);
+    let value_of = |&(on_frame, idx): &(bool, usize)| -> Result<Vec<f64>, MitigationError> {
+        let out = if on_frame {
+            &frame_out[idx]
+        } else {
+            &auto_out[idx]
+        };
+        match out {
+            Ok(o) => Ok(o.expectations().expect("expect job").to_vec()),
+            Err(e) => Err(e.clone().into()),
+        }
+    };
+
+    // Fitted λ samples per (partition, Pauli index).
+    let mut samples: Vec<Vec<Vec<f64>>> = pauli_counts
+        .iter()
+        .map(|&c| vec![Vec::new(); c + 1])
+        .collect();
+    for (e, e_tags) in tags.iter().enumerate() {
+        let xs: Vec<f64> = config.depths.iter().map(|&d| d as f64).collect();
+        let mut ys: Vec<Vec<f64>> = vec![Vec::new(); partitions.len()];
+        for inst_tags in e_tags {
+            let mut acc = vec![0.0; partitions.len()];
+            for tag in inst_tags {
+                let vals = value_of(tag)?;
                 for (a, v) in acc.iter_mut().zip(vals.iter()) {
                     *a += v;
                 }
             }
-            xs.push(d as f64);
             for (part_ys, a) in ys.iter_mut().zip(acc.iter()) {
                 part_ys.push(a / config.instances as f64);
             }
         }
         for (pi, part_ys) in ys.iter().enumerate() {
             let lambda = fit_decay(&xs, part_ys).lambda.clamp(1e-6, 1.0);
-            samples[pi][indices[pi]].push(lambda);
+            samples[pi][indices_by_e[e][pi]].push(lambda);
         }
     }
 
@@ -255,22 +315,6 @@ pub fn learn_layer_channel(
         raw_lambdas,
         engine: engine_name,
     })
-}
-
-/// Pins the learner's engine: strictly Clifford-compiled circuits run
-/// on the bit-parallel frame-batch engine; anything else (CA-EC's
-/// non-Clifford compensation angles) resolves through `Auto`. The
-/// *strict* Clifford predicate is deliberate: the frame engines can
-/// nowadays bank-fold arbitrary diagonal angles, but learning wants
-/// the exact dense treatment of those compensations at small sizes,
-/// not the twirl approximation.
-fn simulator_for(device: &Device, noise: &NoiseConfig, sc: &ScheduledCircuit) -> Simulator {
-    let engine = if clifford_supports(sc) {
-        Engine::FrameBatch
-    } else {
-        Engine::Auto
-    };
-    Simulator::with_engine(device.clone(), *noise, engine)
 }
 
 /// Schedules a circuit with the device's calibrated durations —

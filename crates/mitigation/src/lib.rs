@@ -24,9 +24,10 @@
 //!   partitions and layer applications);
 //! * [`pec`] — the PEC executor: draws inverse-channel Pauli
 //!   insertions per shot, runs **one** compiled plan for all sampled
-//!   instances via [`ca_sim::PreparedFrames`], and returns the
-//!   sign-weighted mitigated expectation with its γ-amplified
-//!   standard error.
+//!   instances via the session's plan cache
+//!   ([`ca_sim::Session::compiled`] → [`ca_sim::CompiledCircuit`]),
+//!   and returns the sign-weighted mitigated expectation with its
+//!   γ-amplified standard error.
 //!
 //! Everything is deterministic for a fixed seed, and the execution
 //! path inherits the frame engines' bit-identity guarantee: PEC

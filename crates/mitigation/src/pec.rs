@@ -11,16 +11,19 @@
 //! explicit (Sec. V-B).
 //!
 //! **One compiled plan serves every sampled instance**: the executor
-//! builds a [`ca_sim::PreparedFrames`] once and replays it for the
-//! mitigated and the unmitigated (paired, same noise streams)
-//! estimate, so thousands of PEC instances cost thousands of frame
-//! batches, not thousands of compilations.
+//! compiles through the session's plan cache
+//! ([`ca_sim::Session::compiled`] → [`ca_sim::CompiledCircuit`]) and
+//! replays the artifact for the mitigated and the unmitigated
+//! (paired, same noise streams) estimate, so thousands of PEC
+//! instances cost thousands of frame batches, not thousands of
+//! compilations — and repeated runs over the same circuit reuse the
+//! cached plan outright.
 
 use crate::error::MitigationError;
 use crate::invert::QuasiChannel;
 use ca_circuit::{PauliString, ScheduledCircuit};
 use ca_metrics::{mean, mitigated_estimate, std_err, MitigatedEstimate};
-use ca_sim::{InsertionSet, PauliInsertion, Simulator};
+use ca_sim::{InsertionSet, PauliInsertion, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,9 +95,10 @@ pub fn layer_anchor_items(
 /// Runs PEC for one Pauli observable on a compiled circuit whose
 /// layer applications are anchored at `anchors`: samples the inverse
 /// channel per shot, executes every instance against one cached
-/// plan, and returns the mitigated and paired raw estimates.
+/// plan (compiled through the session's LRU plan cache), and returns
+/// the mitigated and paired raw estimates.
 pub fn mitigate_pauli(
-    sim: &Simulator,
+    session: &Session,
     sc: &ScheduledCircuit,
     anchors: &[usize],
     quasi: &QuasiChannel,
@@ -104,7 +108,7 @@ pub fn mitigate_pauli(
     if config.shots == 0 {
         return Err(MitigationError::NoShots);
     }
-    let prepared = sim.prepare_frames(sc, config.seed)?;
+    let prepared = session.compiled(sc, config.seed)?;
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9EC0_11EC_5A3B_0001);
     let mut signs = vec![1i8; config.shots];
     let mut list: Vec<PauliInsertion> = Vec::new();
@@ -128,9 +132,9 @@ pub fn mitigate_pauli(
     }
     let ins = prepared.insertions(&list)?;
     let obs = std::slice::from_ref(observable);
-    let flips = prepared.expect_flips(obs, config.shots, &ins, config.workers);
+    let flips = prepared.expect_flips(obs, config.shots, &ins, config.workers)?;
     let raw_flips =
-        prepared.expect_flips(obs, config.shots, &InsertionSet::empty(), config.workers);
+        prepared.expect_flips(obs, config.shots, &InsertionSet::empty(), config.workers)?;
 
     let gamma_total = quasi.gamma.powi(anchors.len() as i32);
     let signed: Vec<f64> = signs
@@ -158,7 +162,7 @@ mod tests {
     use ca_circuit::Pauli;
     use ca_core::{compile, CompileOptions, Strategy};
     use ca_device::{uniform_device, Topology};
-    use ca_sim::{Engine, NoiseConfig};
+    use ca_sim::{Engine, NoiseConfig, Simulator};
 
     /// A 2-qubit device whose only noise is 2q depolarizing error —
     /// the cleanest end-to-end PEC check: the learner sees exactly a
@@ -181,7 +185,7 @@ mod tests {
         let dev = uniform_device(Topology::line(4), 0.0);
         let layer = [(0usize, 1usize), (2, 3)];
         let qc = layer_circuit(4, &[(0, Pauli::Z)], &layer, 3);
-        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 3));
+        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 3)).unwrap();
         let anchors = layer_anchor_items(&sc, layer.len()).unwrap();
         assert_eq!(anchors.len(), 3, "one anchor per layer application");
         // Mismatched layer size is a structured error.
@@ -210,7 +214,7 @@ mod tests {
         let depth = 4;
         let preps = [(0usize, Pauli::Z), (1usize, Pauli::Z)];
         let qc = layer_circuit(2, &preps, &layer, depth);
-        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 31));
+        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 31)).unwrap();
         let anchors = layer_anchor_items(&sc, layer.len()).unwrap();
         assert_eq!(anchors.len(), depth);
         let mut prep = ca_circuit::PauliString::identity(2);
@@ -218,9 +222,9 @@ mod tests {
         prep.paulis[1] = Pauli::Z;
         let observable = propagate_through_layers(&prep, &layer, depth);
 
-        let sim = Simulator::with_engine(dev, noise, Engine::FrameBatch);
+        let session = Session::new(Simulator::with_engine(dev, noise, Engine::FrameBatch));
         let run = mitigate_pauli(
-            &sim,
+            &session,
             &sc,
             &anchors,
             &quasi,
@@ -261,7 +265,7 @@ mod tests {
         let (dev, noise) = depol_setup(0.03);
         let layer = [(0usize, 1usize)];
         let qc = layer_circuit(2, &[(0, Pauli::Z)], &layer, 1);
-        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 7));
+        let sc = compile(&qc, &dev, &CompileOptions::new(Strategy::Bare, 7)).unwrap();
         let quasi = invert(&crate::channel::LayerChannel {
             partitions: vec![crate::channel::PartitionChannel::identity(vec![0, 1])],
         })
@@ -269,9 +273,9 @@ mod tests {
         let mut obs = ca_circuit::PauliString::identity(2);
         obs.paulis[0] = Pauli::Z;
         let observable = propagate_through_layers(&obs, &layer, 1);
-        let sim = Simulator::with_engine(dev, noise, Engine::FrameBatch);
+        let session = Session::new(Simulator::with_engine(dev, noise, Engine::FrameBatch));
         let run = mitigate_pauli(
-            &sim,
+            &session,
             &sc,
             &[],
             &quasi,

@@ -168,7 +168,7 @@ impl SimEngine for StatevectorEngine<'_> {
         seed: u64,
     ) -> Result<RunResult, SimError> {
         self.validate(sc)?;
-        Ok(self.sim.run_counts_dense(sc, shots, seed))
+        self.sim.run_counts_dense(sc, shots, seed)
     }
 
     fn expect_paulis(
@@ -179,7 +179,7 @@ impl SimEngine for StatevectorEngine<'_> {
         seed: u64,
     ) -> Result<Vec<f64>, SimError> {
         self.validate(sc)?;
-        Ok(self.sim.expect_paulis_dense(sc, paulis, shots, seed))
+        self.sim.expect_paulis_dense(sc, paulis, shots, seed)
     }
 }
 
@@ -447,6 +447,7 @@ mod tests {
             qubits: vec![0, 1, 2],
             clbit: None,
             condition: None,
+            merged: false,
         });
         let sc = sched(&qc);
         let err = sim.run_counts(&sc, 5, 3).unwrap_err();

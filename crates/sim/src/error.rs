@@ -82,6 +82,35 @@ pub enum SimError {
         /// `"feed-forward"`).
         blocking_gate: &'static str,
     },
+    /// A scheduled item carries a non-finite start time or duration
+    /// (a `Delay(NaN)`/`Delay(inf)` reaches the planner through
+    /// scheduling); the noise timeline cannot be ordered around it.
+    NonFiniteTime {
+        /// Index of the offending scheduled item.
+        item: usize,
+        /// Mnemonic of the offending gate.
+        gate: &'static str,
+    },
+    /// A twirl-dressing substitution does not fit the compiled
+    /// artifact it was applied to: the target item is out of range,
+    /// is not a merged single-qubit Pauli slot, or the backend does
+    /// not support re-dressing (dense plans replay exact unitaries,
+    /// so a dressed instance must compile independently).
+    InvalidDressing {
+        /// Target item index.
+        item: usize,
+        /// Which constraint the substitution violates.
+        reason: &'static str,
+    },
+    /// The requested operation is not available on the engine this
+    /// compiled artifact resolved to (e.g. per-shot Pauli insertions
+    /// or sign-resolved flips on the dense statevector engine).
+    UnsupportedOnEngine {
+        /// Resolved engine name.
+        engine: &'static str,
+        /// The unavailable operation.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -132,6 +161,19 @@ impl fmt::Display for SimError {
                 "no engine supports this circuit: {qubits} qubits exceeds the dense \
                  statevector cap of {dense_max}, and the stabilizer/frame-batch engines \
                  require a Clifford circuit (first blocker: {blocking_gate})"
+            ),
+            SimError::NonFiniteTime { item, gate } => write!(
+                f,
+                "scheduled item {item} (`{gate}`) has a non-finite start time or \
+                 duration; the noise timeline cannot be ordered around it"
+            ),
+            SimError::InvalidDressing { item, reason } => write!(
+                f,
+                "invalid twirl dressing at scheduled item {item}: {reason}"
+            ),
+            SimError::UnsupportedOnEngine { engine, operation } => write!(
+                f,
+                "operation `{operation}` is not available on the `{engine}` engine"
             ),
         }
     }

@@ -63,12 +63,12 @@ impl Simulator {
         }
     }
 
-    fn plan<'a>(&self, sc: &'a ScheduledCircuit) -> ExecutionPlan<'a> {
+    fn plan(&self, sc: &ScheduledCircuit) -> Result<ExecutionPlan, SimError> {
         ExecutionPlan::build(sc, &self.device, &self.config)
     }
 
     /// Runs one trajectory; returns the final state and classical bits.
-    fn trajectory(&self, plan: &ExecutionPlan<'_>, rng: &mut StdRng) -> (State, Vec<bool>) {
+    pub(crate) fn trajectory(&self, plan: &ExecutionPlan, rng: &mut StdRng) -> (State, Vec<bool>) {
         let n = plan.sc.num_qubits;
         let shot = ShotNoise::sample(&self.device, &self.config, rng);
         let mut st = State::zero(n);
@@ -177,7 +177,7 @@ impl Simulator {
                             } else {
                                 st.apply_1q(&gate.matrix1().expect("1q unitary"), q);
                             }
-                            if self.config.gate_error && !gate.is_virtual() {
+                            if self.config.gate_error && !gate.is_virtual() && !instr.merged {
                                 let p = self.device.calibration.qubits[q].gate_err_1q;
                                 if p > 0.0 && rng.random::<f64>() < p {
                                     let k = rng.random_range(0..3usize);
@@ -258,16 +258,27 @@ impl Simulator {
         sc: &ScheduledCircuit,
         shots: usize,
         seed: u64,
+    ) -> Result<RunResult, SimError> {
+        let plan = self.plan(sc)?;
+        Ok(self.run_counts_dense_plan(&plan, shots, seed))
+    }
+
+    /// [`Self::run_counts_dense`] over a prebuilt plan — the entry the
+    /// compiled-artifact layer uses so cached plans skip replanning.
+    pub(crate) fn run_counts_dense_plan(
+        &self,
+        plan: &ExecutionPlan,
+        shots: usize,
+        seed: u64,
     ) -> RunResult {
-        debug_assert!(sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
-        let plan = self.plan(sc);
-        let nbits = sc.num_clbits;
+        debug_assert!(plan.sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
+        let nbits = plan.sc.num_clbits;
         let parts = map_shots(
             shots,
             seed,
             std::collections::BTreeMap::<u64, usize>::new,
             |rng, counts| {
-                let (_, bits) = self.trajectory(&plan, rng);
+                let (_, bits) = self.trajectory(plan, rng);
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
@@ -282,15 +293,26 @@ impl Simulator {
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
+    ) -> Result<Vec<f64>, SimError> {
+        let plan = self.plan(sc)?;
+        Ok(self.expect_paulis_dense_plan(&plan, paulis, shots, seed))
+    }
+
+    /// [`Self::expect_paulis_dense`] over a prebuilt plan.
+    pub(crate) fn expect_paulis_dense_plan(
+        &self,
+        plan: &ExecutionPlan,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
     ) -> Vec<f64> {
-        debug_assert!(sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
-        let plan = self.plan(sc);
+        debug_assert!(plan.sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
         let parts = map_shots(
             shots,
             seed,
             || vec![0.0; paulis.len()],
             |rng, acc| {
-                let (st, _) = self.trajectory(&plan, rng);
+                let (st, _) = self.trajectory(plan, rng);
                 for (i, p) in paulis.iter().enumerate() {
                     acc[i] += st.expect_pauli(p);
                 }
@@ -324,7 +346,7 @@ impl Simulator {
     /// always uses the statevector engine (a tableau has no `State`).
     pub fn run_single(&self, sc: &ScheduledCircuit, seed: u64) -> (State, Vec<bool>) {
         crate::engine::check_gate_arities(sc).expect("run_single: malformed circuit");
-        let plan = self.plan(sc);
+        let plan = self.plan(sc).expect("run_single: unplannable circuit");
         let mut rng = StdRng::seed_from_u64(seed);
         self.trajectory(&plan, &mut rng)
     }

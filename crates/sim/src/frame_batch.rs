@@ -46,7 +46,7 @@
 
 use crate::error::SimError;
 use crate::executor::Simulator;
-use crate::insert::{InsertionSet, PauliInsertion};
+use crate::insert::InsertionSet;
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
 use crate::pauli_frame::{FramePlan, ItemOp};
 use crate::plan::{map_batches, shot_seed, PlanOp};
@@ -248,8 +248,12 @@ enum BatchOp {
 }
 
 /// The batch program plus the shared reference run.
-pub struct BatchPlan<'a> {
-    frame: FramePlan<'a>,
+///
+/// Owns its data like [`FramePlan`]: a fully compiled, cacheable
+/// `Send + Sync` artifact (the session layer stores these behind
+/// [`std::sync::Arc`]s and reuses them across runs).
+pub struct BatchPlan {
+    pub(crate) frame: FramePlan,
     ops: Vec<BatchOp>,
     n: usize,
     /// Words of the *serial* frame layout (`ceil(n/64)`): the initial
@@ -258,14 +262,22 @@ pub struct BatchPlan<'a> {
     serial_words: usize,
 }
 
-impl<'a> BatchPlan<'a> {
+impl BatchPlan {
     /// Builds the frame plan (reference tableau run included) and
     /// compiles the scheduled circuit + noise timeline into the
     /// linear batch program by replaying the serial sampler's control
     /// flow once with scalar banks.
-    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
+    pub fn build(sim: &Simulator, sc: &ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
         let frame = FramePlan::build(sim, sc, seed)?;
-        let n = sc.num_qubits;
+        Ok(Self::from_frame(sim, frame))
+    }
+
+    /// Compiles the batch program for an already-built frame plan.
+    /// The program replays the instance's own bank toggles (twirl
+    /// X/Y pulses flip bank signs), so every twirl instance compiles
+    /// its own program over the shared timeline plan.
+    pub(crate) fn from_frame(sim: &Simulator, frame: FramePlan) -> Self {
+        let n = frame.sc.num_qubits;
         let config = &sim.config;
         let plan = &frame.plan;
 
@@ -337,7 +349,7 @@ impl<'a> BatchPlan<'a> {
                     }
                 }
                 PlanOp::Project { item } => {
-                    let si = &plan.sc.items[item];
+                    let si = &frame.sc.items[item];
                     let q = si.instruction.qubits[0];
                     emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
                     match si.instruction.gate {
@@ -358,7 +370,7 @@ impl<'a> BatchPlan<'a> {
                     }
                 }
                 PlanOp::Apply { item } => {
-                    let si = &plan.sc.items[item];
+                    let si = &frame.sc.items[item];
                     match frame.items[item].as_ref().expect("unitary item") {
                         ItemOp::CondPauli {
                             q,
@@ -406,7 +418,7 @@ impl<'a> BatchPlan<'a> {
                         ItemOp::BankRzz { a, b, edge, theta } => {
                             rzz[*edge] += *theta;
                             let err_p = if config.gate_error {
-                                let scale = plan
+                                let scale = frame
                                     .sc
                                     .durations
                                     .two_qubit_error_scale(&si.instruction.gate);
@@ -453,7 +465,10 @@ impl<'a> BatchPlan<'a> {
                                 ),
                             }
                             let m = Symp1::from_table(table);
-                            let err_p = if config.gate_error && !si.instruction.gate.is_virtual() {
+                            let err_p = if config.gate_error
+                                && !si.instruction.gate.is_virtual()
+                                && !si.instruction.merged
+                            {
                                 sim.device.calibration.qubits[q].gate_err_1q
                             } else {
                                 0.0
@@ -489,7 +504,7 @@ impl<'a> BatchPlan<'a> {
                                 );
                             }
                             let err_p = if config.gate_error {
-                                let scale = plan
+                                let scale = frame
                                     .sc
                                     .durations
                                     .two_qubit_error_scale(&si.instruction.gate);
@@ -513,12 +528,12 @@ impl<'a> BatchPlan<'a> {
             emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
         }
 
-        Ok(Self {
+        Self {
             serial_words: frame.words,
             frame,
             ops,
             n,
-        })
+        }
     }
 
     /// Runs one batch of `active ≤ 64` shot-lanes starting at global
@@ -789,7 +804,7 @@ impl<'a> BatchPlan<'a> {
     }
 
     /// Shot-sampled classical counts over this prepared plan.
-    fn counts(
+    pub(crate) fn counts(
         &self,
         sim: &Simulator,
         shots: usize,
@@ -797,7 +812,7 @@ impl<'a> BatchPlan<'a> {
         ins: &InsertionSet,
         workers: Option<usize>,
     ) -> RunResult {
-        let nbits = self.frame.plan.sc.num_clbits;
+        let nbits = self.frame.sc.num_clbits;
         let batches = shots.div_ceil(LANES);
         let parts = map_batches(batches, workers, |b| {
             let base = b * LANES;
@@ -836,7 +851,7 @@ impl<'a> BatchPlan<'a> {
     }
 
     /// Frame-averaged Pauli expectations over this prepared plan.
-    fn expectations(
+    pub(crate) fn expectations(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
@@ -883,7 +898,7 @@ impl<'a> BatchPlan<'a> {
     /// Per-shot ±1 outcomes over this prepared plan: batch `b`'s
     /// masked parity word *is* word `b` of the shot bitvector, so the
     /// result is assembled with no per-shot work at all.
-    fn flips(
+    pub(crate) fn flips(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
@@ -1068,86 +1083,6 @@ impl<'a> BatchedFrameEngine<'a> {
     }
 }
 
-/// A compiled frame-batch execution plan cached for repeated runs —
-/// the PEC workhorse: probabilistic error cancellation samples
-/// thousands of Pauli-insertion instances of one circuit, and every
-/// instance reuses this single plan (reference tableau run, batch
-/// program, conjugation tables) instead of recompiling.
-///
-/// Built by [`Simulator::prepare_frames`]; runs are bit-identical to
-/// the one-shot engine entry points at the same seed.
-pub struct PreparedFrames<'a> {
-    sim: &'a Simulator,
-    plan: BatchPlan<'a>,
-    seed: u64,
-}
-
-impl Simulator {
-    /// Compiles `sc` once into a reusable frame-batch plan (the
-    /// plan-cache API). Fails like the frame engines on non-Clifford
-    /// or malformed circuits. The seed fixes the reference tableau
-    /// run and every shot's noise stream; repeated runs with
-    /// different insertion sets stay shot-wise paired, which is
-    /// exactly what a mitigated-vs-raw comparison wants.
-    pub fn prepare_frames<'a>(
-        &'a self,
-        sc: &'a ScheduledCircuit,
-        seed: u64,
-    ) -> Result<PreparedFrames<'a>, SimError> {
-        Ok(PreparedFrames {
-            sim: self,
-            plan: BatchPlan::build(self, sc, seed)?,
-            seed,
-        })
-    }
-}
-
-impl PreparedFrames<'_> {
-    /// The seed the plan was prepared with.
-    pub fn seed(&self) -> u64 {
-        self.seed
-    }
-
-    /// Validates a raw insertion list against this plan's circuit.
-    pub fn insertions(&self, list: &[PauliInsertion]) -> Result<InsertionSet, SimError> {
-        InsertionSet::build(self.plan.frame.plan.sc, list)
-    }
-
-    /// Shot-sampled classical counts without recompiling.
-    pub fn run_counts(
-        &self,
-        shots: usize,
-        ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> RunResult {
-        self.plan.counts(self.sim, shots, self.seed, ins, workers)
-    }
-
-    /// Frame-averaged Pauli expectations without recompiling.
-    pub fn expect_paulis(
-        &self,
-        paulis: &[PauliString],
-        shots: usize,
-        ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> Vec<f64> {
-        self.plan
-            .expectations(self.sim, paulis, shots, self.seed, ins, workers)
-    }
-
-    /// Per-shot ±1 outcomes without recompiling.
-    pub fn expect_flips(
-        &self,
-        paulis: &[PauliString],
-        shots: usize,
-        ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> PauliFlips {
-        self.plan
-            .flips(self.sim, paulis, shots, self.seed, ins, workers)
-    }
-}
-
 /// Verifies a 1q table's symplectic form against direct lookups —
 /// exposed for the property tests.
 #[cfg(test)]
@@ -1164,6 +1099,7 @@ fn symp1_matches_table(table: &[(i8, Pauli); 4]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::insert::PauliInsertion;
     use crate::noise::NoiseConfig;
     use crate::pauli_frame::StabilizerEngine;
     use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q};
@@ -1363,32 +1299,6 @@ mod tests {
         for (o, m) in means.iter().enumerate() {
             assert_eq!(fb.mean(o), *m, "observable {o}");
         }
-    }
-
-    #[test]
-    fn prepared_frames_reuse_matches_fresh_runs() {
-        let (sim, qc) = noisy_workload();
-        let sc = sched(&qc);
-        let prepared = sim.prepare_frames(&sc, 13).unwrap();
-        let batch = BatchedFrameEngine::new(&sim);
-        let none = InsertionSet::empty();
-        for shots in [40usize, 128] {
-            assert_eq!(
-                prepared.run_counts(shots, &none, None),
-                batch.run_counts(&sc, shots, 13).unwrap(),
-                "{shots} shots"
-            );
-        }
-        // Validation runs against the prepared circuit.
-        let err = prepared
-            .insertions(&[PauliInsertion {
-                shot: 0,
-                item: usize::MAX,
-                qubit: 0,
-                pauli: Pauli::Z,
-            }])
-            .unwrap_err();
-        assert!(matches!(err, SimError::InvalidInsertion { .. }));
     }
 
     /// A noisy dynamic workload: mid-circuit measurement, conditional

@@ -37,12 +37,14 @@
 //! [`SimError`].
 //!
 //! The frame engines additionally support **per-shot Pauli
-//! insertions** ([`insert`]) and a **plan cache**
-//! ([`Simulator::prepare_frames`] → [`PreparedFrames`]): the
-//! execution hooks probabilistic error cancellation uses to run
-//! thousands of sampled Pauli-insertion instances against one
-//! compiled plan, with counts bit-identical between the serial and
-//! bit-parallel paths.
+//! insertions** ([`insert`]) and compilation into owned, reusable
+//! artifacts ([`session`]): [`Simulator::compile`] produces a
+//! [`CompiledCircuit`] (scheduled circuit + timeline plan + frame
+//! programs + resolved engine, `Send + Sync`), and a [`Session`]
+//! adds an LRU plan cache and a parallel job API on top — compile
+//! once, run millions of shots many times, with results
+//! bit-identical to the one-shot entry points for any cache state
+//! and worker count.
 
 #![warn(missing_docs)]
 
@@ -55,6 +57,7 @@ pub mod noise;
 pub mod pauli_frame;
 pub mod plan;
 pub mod result;
+pub mod session;
 pub mod stabilizer;
 pub mod statevector;
 pub mod timeline;
@@ -65,7 +68,7 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use executor::{pack_bits, Simulator};
-pub use frame_batch::{BatchPlan, BatchedFrameEngine, PreparedFrames, LANES};
+pub use frame_batch::{BatchPlan, BatchedFrameEngine, LANES};
 pub use insert::{InsertionSet, PauliInsertion};
 pub use noise::{NoiseConfig, ShotNoise};
 pub use pauli_frame::{
@@ -74,6 +77,10 @@ pub use pauli_frame::{
 };
 pub use plan::ExecutionPlan;
 pub use result::{PauliFlips, RunResult};
+pub use session::{
+    CacheKey, CacheStats, CompiledCircuit, Job, JobOutput, JobRequest, Session,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use stabilizer::Tableau;
 pub use statevector::State;
 pub use timeline::{build_segments, Activity, SegmentOp};

@@ -87,6 +87,7 @@ use ca_circuit::{Gate, ScheduledCircuit};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// First classical-bit index the frame engines' conditionals cannot
 /// read (conditions are evaluated against a packed 64-bit key).
@@ -183,7 +184,9 @@ fn pauli_of(gate: Gate) -> Option<Pauli> {
 pub(crate) enum ItemOp {
     One {
         q: usize,
-        table: Box<[(i8, Pauli); 4]>,
+        /// Shared conjugation table (one allocation per distinct gate
+        /// per plan, refcounted across items and re-dressed plans).
+        table: Arc<[(i8, Pauli); 4]>,
         /// `Some(s)` when the gate conjugates `Z → s·Z` (bank toggles,
         /// no flush); `None` when it changes basis (flush first).
         z_sign: Option<i8>,
@@ -191,7 +194,8 @@ pub(crate) enum ItemOp {
     Two {
         a: usize,
         b: usize,
-        table: Box<Table2Q>,
+        /// Shared conjugation table (see [`ItemOp::One::table`]).
+        table: Arc<Table2Q>,
         diagonal: bool,
     },
     /// Conditional Pauli gate — exact classical feed-forward. The
@@ -244,8 +248,20 @@ pub(crate) enum ItemOp {
 
 /// The frame-simulation plan: the shared [`ExecutionPlan`] plus the
 /// reference tableau run and per-item conjugation tables.
-pub struct FramePlan<'a> {
-    pub(crate) plan: ExecutionPlan<'a>,
+///
+/// Owns its data (the circuit and timeline plan sit behind [`Arc`]s),
+/// so frame plans are cacheable `Send + Sync` artifacts. Twirl
+/// instances of one schedule share the `Arc<ExecutionPlan>` — the
+/// timeline segments are twirl-independent — while each instance
+/// carries its own item ops and reference run (see
+/// [`crate::session::CompiledCircuit::redress`]).
+pub struct FramePlan {
+    /// The circuit this plan executes. Equal to `plan.sc` except for
+    /// re-dressed twirl instances, where merged Pauli slots differ
+    /// (the timeline is unaffected — merged gates are zero-width and
+    /// error-free).
+    pub(crate) sc: Arc<ScheduledCircuit>,
+    pub(crate) plan: Arc<ExecutionPlan>,
     /// Frame action per scheduled item (None for structural ops).
     pub(crate) items: Vec<Option<ItemOp>>,
     /// Reference measurement outcomes, in plan (time) order.
@@ -265,17 +281,35 @@ fn table_key(gate: &Gate) -> (&'static str, u64) {
     (gate.name(), angle.to_bits())
 }
 
-impl<'a> FramePlan<'a> {
+impl FramePlan {
     /// Builds the plan and executes the noiseless reference run.
     /// Fails with a structured [`SimError`] — never a panic — when the
     /// circuit is outside the tableau representation (non-Clifford,
     /// feed-forward, or an instruction whose operand count does not
     /// match its gate's arity).
-    pub fn build(sim: &Simulator, sc: &'a ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
-        stabilizer_check(sc)?;
-        let plan = ExecutionPlan::build(sc, &sim.device, &sim.config);
-        let mut cache1: HashMap<(&'static str, u64), Box<[(i8, Pauli); 4]>> = HashMap::new();
-        let mut cache2: HashMap<(&'static str, u64), Box<Table2Q>> = HashMap::new();
+    pub fn build(sim: &Simulator, sc: &ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
+        let sc = Arc::new(sc.clone());
+        let plan = Arc::new(ExecutionPlan::build_arc(
+            sc.clone(),
+            &sim.device,
+            &sim.config,
+        )?);
+        Self::build_with_plan(sc, plan, seed)
+    }
+
+    /// Builds the frame plan over a prebuilt (possibly shared)
+    /// timeline plan. `sc` may differ from `plan.sc` only at merged
+    /// single-qubit Pauli slots — the re-dressed-twirl contract; the
+    /// timeline, item indices, and op stream are identical by
+    /// construction there.
+    pub(crate) fn build_with_plan(
+        sc: Arc<ScheduledCircuit>,
+        plan: Arc<ExecutionPlan>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        stabilizer_check(&sc)?;
+        let mut cache1: HashMap<(&'static str, u64), Arc<[(i8, Pauli); 4]>> = HashMap::new();
+        let mut cache2: HashMap<(&'static str, u64), Arc<Table2Q>> = HashMap::new();
         let mut items = Vec::with_capacity(sc.items.len());
         for (i, si) in sc.items.iter().enumerate() {
             let gate = si.instruction.gate;
@@ -366,7 +400,7 @@ impl<'a> FramePlan<'a> {
                 1 => {
                     let table = cache1
                         .entry(table_key(&gate))
-                        .or_insert_with(|| Box::new(conjugation_table_1q(gate)))
+                        .or_insert_with(|| Arc::new(conjugation_table_1q(gate)))
                         .clone();
                     let z_sign = match table[Pauli::Z.index()] {
                         (s, Pauli::Z) => Some(s),
@@ -381,7 +415,7 @@ impl<'a> FramePlan<'a> {
                 2 => {
                     let table = cache2
                         .entry(table_key(&gate))
-                        .or_insert_with(|| Box::new(conjugation_table_2q(gate)))
+                        .or_insert_with(|| Arc::new(conjugation_table_2q(gate)))
                         .clone();
                     ItemOp::Two {
                         a: si.instruction.qubits[0],
@@ -442,7 +476,7 @@ impl<'a> FramePlan<'a> {
                     ItemOp::BankRz { .. } | ItemOp::BankRzz { .. } | ItemOp::CondBankRz { .. } => {}
                 },
                 PlanOp::Project { item } => {
-                    let si = &plan.sc.items[item];
+                    let si = &sc.items[item];
                     let q = si.instruction.qubits[0];
                     match si.instruction.gate {
                         Gate::Measure => {
@@ -461,6 +495,7 @@ impl<'a> FramePlan<'a> {
 
         let words = sc.num_qubits.div_ceil(64);
         Ok(Self {
+            sc,
             plan,
             items,
             ref_outcomes,
@@ -481,14 +516,14 @@ impl<'a> FramePlan<'a> {
         shot_idx: usize,
         ins: &InsertionSet,
     ) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
-        let n = self.plan.sc.num_qubits;
+        let n = self.sc.num_qubits;
         let config = &sim.config;
         let shot = ShotNoise::sample(&sim.device, config, rng);
         let mut fx = vec![0u64; self.words];
         let mut fz = vec![0u64; self.words];
         // Initial Z-frame randomization: Z stabilizes |0…0⟩.
         randomize_z_all(&mut fz, n, rng);
-        let mut bits = vec![false; self.plan.sc.num_clbits.max(1)];
+        let mut bits = vec![false; self.sc.num_clbits.max(1)];
         // Factored Z banks (see the module docs): deterministic phase
         // plus signed time, combined with the shot's stochastic rate
         // only at flush. ZZ banks have no stochastic part.
@@ -561,7 +596,7 @@ impl<'a> FramePlan<'a> {
                     }
                 }
                 PlanOp::Project { item } => {
-                    let si = &self.plan.sc.items[item];
+                    let si = &self.sc.items[item];
                     let q = si.instruction.qubits[0];
                     flush_qubit!(q, rng);
                     match si.instruction.gate {
@@ -589,7 +624,7 @@ impl<'a> FramePlan<'a> {
                     }
                 }
                 PlanOp::Apply { item } => {
-                    let si = &self.plan.sc.items[item];
+                    let si = &self.sc.items[item];
                     match self.items[item].as_ref().expect("unitary item") {
                         ItemOp::CondPauli {
                             q,
@@ -625,7 +660,6 @@ impl<'a> FramePlan<'a> {
                             pend_rzz[*edge] += *theta;
                             if config.gate_error {
                                 let scale = self
-                                    .plan
                                     .sc
                                     .durations
                                     .two_qubit_error_scale(&si.instruction.gate);
@@ -662,7 +696,10 @@ impl<'a> FramePlan<'a> {
                             let p = get_pauli(&fx, &fz, q);
                             let (_, p2) = table[p.index()];
                             set_pauli(&mut fx, &mut fz, q, p2);
-                            if config.gate_error && !si.instruction.gate.is_virtual() {
+                            if config.gate_error
+                                && !si.instruction.gate.is_virtual()
+                                && !si.instruction.merged
+                            {
                                 let p = sim.device.calibration.qubits[q].gate_err_1q;
                                 if p > 0.0 && rng.random::<f64>() < p {
                                     let k = rng.random_range(0..3usize);
@@ -690,7 +727,6 @@ impl<'a> FramePlan<'a> {
                             set_pauli(&mut fx, &mut fz, b, qb);
                             if config.gate_error {
                                 let scale = self
-                                    .plan
                                     .sc
                                     .durations
                                     .two_qubit_error_scale(&si.instruction.gate);
@@ -715,6 +751,134 @@ impl<'a> FramePlan<'a> {
             flush_qubit!(q, rng);
         }
         (fx, fz, bits)
+    }
+}
+
+impl FramePlan {
+    /// Shot-sampled classical counts over this prepared plan.
+    pub(crate) fn counts(
+        &self,
+        sim: &Simulator,
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> RunResult {
+        let nbits = self.sc.num_clbits;
+        let parts = map_shots_indexed(
+            shots,
+            seed,
+            workers,
+            std::collections::BTreeMap::<u64, usize>::new,
+            |i, rng, counts| {
+                let (_, _, bits) = self.shot(sim, rng, i, ins);
+                *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
+            },
+        );
+        RunResult::from_parts(shots, nbits, parts)
+    }
+
+    /// Reference expectation and packed masks per observable.
+    fn prepare_observables(&self, paulis: &[PauliString]) -> Vec<(i32, Vec<u64>, Vec<u64>)> {
+        paulis
+            .iter()
+            .map(|p| {
+                let r = self.ref_tableau.expect(p);
+                let (px, pz) = pack_pauli(p);
+                (r, px, pz)
+            })
+            .collect()
+    }
+
+    /// Frame-averaged Pauli expectations over this prepared plan.
+    pub(crate) fn expectations(
+        &self,
+        sim: &Simulator,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> Vec<f64> {
+        let prepared = self.prepare_observables(paulis);
+        let sums = map_shots_indexed(
+            shots,
+            seed,
+            workers,
+            || vec![0.0; prepared.len()],
+            |i, rng, acc| {
+                let (fx, fz, _) = self.shot(sim, rng, i, ins);
+                for (o, (r, px, pz)) in prepared.iter().enumerate() {
+                    if *r == 0 {
+                        continue;
+                    }
+                    let mut parity = 0u64;
+                    for w in 0..fx.len() {
+                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
+                    }
+                    let flip = parity.count_ones() % 2 == 1;
+                    acc[o] += if flip { -*r as f64 } else { *r as f64 };
+                }
+            },
+        );
+        let mut out = vec![0.0; paulis.len()];
+        for part in sums {
+            for (o, p) in out.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= shots as f64;
+        }
+        out
+    }
+
+    /// Per-shot ±1 outcomes over this prepared plan (see
+    /// [`PauliFlips`]).
+    pub(crate) fn flips(
+        &self,
+        sim: &Simulator,
+        paulis: &[PauliString],
+        shots: usize,
+        seed: u64,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+    ) -> PauliFlips {
+        let prepared = self.prepare_observables(paulis);
+        let words = shots.div_ceil(64);
+        // Per-worker bitvectors cover disjoint shot indices, so the
+        // merge is a plain OR — order-independent and exact.
+        let parts = map_shots_indexed(
+            shots,
+            seed,
+            workers,
+            || vec![vec![0u64; words]; prepared.len()],
+            |i, rng, acc| {
+                let (fx, fz, _) = self.shot(sim, rng, i, ins);
+                for (o, (_, px, pz)) in prepared.iter().enumerate() {
+                    let mut parity = 0u64;
+                    for w in 0..fx.len() {
+                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
+                    }
+                    if parity.count_ones() % 2 == 1 {
+                        acc[o][i / 64] |= 1 << (i % 64);
+                    }
+                }
+            },
+        );
+        let mut flips = vec![vec![0u64; words]; prepared.len()];
+        for part in parts {
+            for (acc, obs) in flips.iter_mut().zip(part.iter()) {
+                for (a, w) in acc.iter_mut().zip(obs.iter()) {
+                    *a |= w;
+                }
+            }
+        }
+        PauliFlips {
+            shots,
+            refs: prepared.iter().map(|(r, _, _)| *r).collect(),
+            flips,
+        }
     }
 }
 
@@ -810,18 +974,7 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<RunResult, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        let nbits = sc.num_clbits;
-        let parts = map_shots_indexed(
-            shots,
-            seed,
-            None,
-            std::collections::BTreeMap::<u64, usize>::new,
-            |i, rng, counts| {
-                let (_, _, bits) = plan.shot(self.sim, rng, i, ins);
-                *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
-            },
-        );
-        Ok(RunResult::from_parts(shots, nbits, parts))
+        Ok(plan.counts(self.sim, shots, seed, ins, None))
     }
 
     /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
@@ -846,45 +999,7 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<Vec<f64>, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        // Reference expectation and packed masks per observable.
-        let prepared: Vec<(i32, Vec<u64>, Vec<u64>)> = paulis
-            .iter()
-            .map(|p| {
-                let r = plan.ref_tableau.expect(p);
-                let (px, pz) = pack_pauli(p);
-                (r, px, pz)
-            })
-            .collect();
-        let sums = map_shots_indexed(
-            shots,
-            seed,
-            None,
-            || vec![0.0; prepared.len()],
-            |i, rng, acc| {
-                let (fx, fz, _) = plan.shot(self.sim, rng, i, ins);
-                for (o, (r, px, pz)) in prepared.iter().enumerate() {
-                    if *r == 0 {
-                        continue;
-                    }
-                    let mut parity = 0u64;
-                    for w in 0..fx.len() {
-                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
-                    }
-                    let flip = parity.count_ones() % 2 == 1;
-                    acc[o] += if flip { -*r as f64 } else { *r as f64 };
-                }
-            },
-        );
-        let mut out = vec![0.0; paulis.len()];
-        for part in sums {
-            for (o, p) in out.iter_mut().zip(part.iter()) {
-                *o += p;
-            }
-        }
-        for o in &mut out {
-            *o /= shots as f64;
-        }
-        Ok(out)
+        Ok(plan.expectations(self.sim, paulis, shots, seed, ins, None))
     }
 
     /// Per-shot ±1 outcomes (see [`PauliFlips`]): the sign-resolved
@@ -900,48 +1015,7 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<PauliFlips, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        let prepared: Vec<(i32, Vec<u64>, Vec<u64>)> = paulis
-            .iter()
-            .map(|p| {
-                let r = plan.ref_tableau.expect(p);
-                let (px, pz) = pack_pauli(p);
-                (r, px, pz)
-            })
-            .collect();
-        let words = shots.div_ceil(64);
-        // Per-worker bitvectors cover disjoint shot indices, so the
-        // merge is a plain OR — order-independent and exact.
-        let parts = map_shots_indexed(
-            shots,
-            seed,
-            None,
-            || vec![vec![0u64; words]; prepared.len()],
-            |i, rng, acc| {
-                let (fx, fz, _) = plan.shot(self.sim, rng, i, ins);
-                for (o, (_, px, pz)) in prepared.iter().enumerate() {
-                    let mut parity = 0u64;
-                    for w in 0..fx.len() {
-                        parity ^= (fx[w] & pz[w]) ^ (fz[w] & px[w]);
-                    }
-                    if parity.count_ones() % 2 == 1 {
-                        acc[o][i / 64] |= 1 << (i % 64);
-                    }
-                }
-            },
-        );
-        let mut flips = vec![vec![0u64; words]; prepared.len()];
-        for part in parts {
-            for (acc, obs) in flips.iter_mut().zip(part.iter()) {
-                for (a, w) in acc.iter_mut().zip(obs.iter()) {
-                    *a |= w;
-                }
-            }
-        }
-        Ok(PauliFlips {
-            shots,
-            refs: prepared.iter().map(|(r, _, _)| *r).collect(),
-            flips,
-        })
+        Ok(plan.flips(self.sim, paulis, shots, seed, ins, None))
     }
 }
 
@@ -1287,6 +1361,7 @@ mod tests {
             qubits: vec![0, 1, 2],
             clbit: None,
             condition: None,
+            merged: false,
         });
         qc.measure(0, 0);
         let err = eng.run_counts(&sched(&qc), 10, 1).unwrap_err();

@@ -7,10 +7,12 @@
 //! context-aware noise timeline (echo structure, flush ordering,
 //! crosstalk edge bookkeeping) is defined in exactly one place.
 
+use crate::error::SimError;
 use crate::noise::NoiseConfig;
 use crate::timeline::{build_segments, SegmentOp};
 use ca_circuit::{Gate, ScheduledCircuit};
 use ca_device::Device;
+use std::sync::Arc;
 
 /// One step of the lowered op stream.
 #[derive(Clone, Copy, Debug)]
@@ -30,9 +32,15 @@ pub enum PlanOp {
 }
 
 /// Precomputed execution plan shared by all shots of a run.
-pub struct ExecutionPlan<'a> {
+///
+/// The plan *owns* its scheduled circuit (behind an [`Arc`], so
+/// compiled artifacts can share it): plans are plain `Send + Sync`
+/// values that can be cached, stored across calls, and shipped
+/// between threads — the foundation of the session/plan-cache layer
+/// in [`crate::session`].
+pub struct ExecutionPlan {
     /// The scheduled circuit being executed.
-    pub sc: &'a ScheduledCircuit,
+    pub sc: Arc<ScheduledCircuit>,
     /// Noise-timeline segments (see [`build_segments`]).
     pub segments: Vec<SegmentOp>,
     /// Time-ordered op stream. At equal times segments flush first,
@@ -61,10 +69,38 @@ pub struct ExecutionPlan<'a> {
     pub cond_source: std::collections::HashMap<usize, Option<usize>>,
 }
 
-impl<'a> ExecutionPlan<'a> {
+impl ExecutionPlan {
     /// Lowers a scheduled circuit against a device and noise config.
-    pub fn build(sc: &'a ScheduledCircuit, device: &Device, config: &NoiseConfig) -> Self {
-        let segments = build_segments(sc, device, config);
+    /// Clones the circuit into shared ownership; callers that already
+    /// hold an [`Arc`] should use [`Self::build_arc`].
+    pub fn build(
+        sc: &ScheduledCircuit,
+        device: &Device,
+        config: &NoiseConfig,
+    ) -> Result<Self, SimError> {
+        Self::build_arc(Arc::new(sc.clone()), device, config)
+    }
+
+    /// [`Self::build`] over a shared scheduled circuit. Fails with a
+    /// structured [`SimError`] when an item carries a non-finite time
+    /// (a `Delay(NaN)` survives scheduling); the plan's time ordering
+    /// would otherwise be undefined.
+    pub fn build_arc(
+        sc: Arc<ScheduledCircuit>,
+        device: &Device,
+        config: &NoiseConfig,
+    ) -> Result<Self, SimError> {
+        // Arity first: the lowering below indexes fixed operand slots.
+        crate::engine::check_gate_arities(&sc)?;
+        for (i, si) in sc.items.iter().enumerate() {
+            if !si.t0.is_finite() || !si.duration.is_finite() {
+                return Err(SimError::NonFiniteTime {
+                    item: i,
+                    gate: si.instruction.gate.name(),
+                });
+            }
+        }
+        let segments = build_segments(&sc, device, config);
         let mut keyed: Vec<(f64, u8, PlanOp)> = Vec::new();
         for (i, seg) in segments.iter().enumerate() {
             keyed.push((seg.t1, 0, PlanOp::Segment(i)));
@@ -78,7 +114,12 @@ impl<'a> ExecutionPlan<'a> {
                 _ => keyed.push((si.t1(), 1, PlanOp::Apply { item: i })),
             }
         }
-        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        // Times validated finite above, so the comparison is total.
+        keyed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(a.1.cmp(&b.1))
+        });
         let mut edge_pairs: Vec<(usize, usize)> =
             device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
         let mut incident = vec![Vec::new(); sc.num_qubits];
@@ -170,7 +211,7 @@ impl<'a> ExecutionPlan<'a> {
             }
         }
 
-        Self {
+        Ok(Self {
             sc,
             segments,
             ops,
@@ -179,7 +220,7 @@ impl<'a> ExecutionPlan<'a> {
             seg_edges,
             edge_index,
             cond_source,
-        }
+        })
     }
 }
 
@@ -363,7 +404,7 @@ mod tests {
         let mut qc = Circuit::new(2, 1);
         qc.h(0).ecr(0, 1).measure(1, 0);
         let sc = schedule_asap(&qc, GateDurations::default());
-        let plan = ExecutionPlan::build(&sc, &dev, &NoiseConfig::coherent_only());
+        let plan = ExecutionPlan::build(&sc, &dev, &NoiseConfig::coherent_only()).unwrap();
         // Every Apply/Project op references a valid item; segments cover
         // the full duration.
         for op in &plan.ops {

@@ -26,7 +26,7 @@
 //! qc.h(2).h(3);
 //!
 //! // Compile with context-aware dynamical decoupling and simulate.
-//! let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7));
+//! let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7)).unwrap();
 //! let sim = Simulator::with_config(device, NoiseConfig::coherent_only());
 //! let z = sim.expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7).unwrap();
 //! assert!(z > 0.99);

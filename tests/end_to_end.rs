@@ -27,7 +27,8 @@ fn idle_pair_fidelity(device: &Device, noise: &NoiseConfig, strategy: Strategy, 
             &workload(),
             device,
             &CompileOptions::new(strategy, seed + inst),
-        );
+        )
+        .unwrap();
         let vals = sim
             .expect_paulis(&compiled, &obs, 30, seed ^ inst.wrapping_mul(977))
             .expect("simulate");
@@ -78,7 +79,7 @@ fn context_aware_strategies_beat_bare_under_coherent_noise() {
 fn compiled_schedules_are_well_formed() {
     let device = uniform_device(Topology::line(4), 80.0);
     for strategy in Strategy::ALL {
-        let sc = compile(&workload(), &device, &CompileOptions::new(strategy, 9));
+        let sc = compile(&workload(), &device, &CompileOptions::new(strategy, 9)).unwrap();
         // Items sorted by start time and inside the schedule span.
         let mut last = 0.0;
         for item in &sc.items {
@@ -130,14 +131,16 @@ fn device_snapshot_roundtrips_through_json() {
         &workload(),
         &device,
         &CompileOptions::new(Strategy::CaDd, 7),
-    );
+    )
+    .unwrap();
     let mut qc4 = workload();
     qc4.num_qubits = 4;
     let b = compile(
         &workload(),
         &restored,
         &CompileOptions::new(Strategy::CaDd, 7),
-    );
+    )
+    .unwrap();
     assert_eq!(a.items.len(), b.items.len());
     let _ = qc4;
 }
@@ -149,7 +152,7 @@ fn facade_prelude_compiles_the_doc_example() {
     qc.h(2).h(3);
     qc.ecr(0, 1).ecr(0, 1);
     qc.h(2).h(3);
-    let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7));
+    let compiled = compile(&qc, &device, &CompileOptions::untwirled(Strategy::CaDd, 7)).unwrap();
     let sim = Simulator::with_config(device, NoiseConfig::coherent_only());
     let z = sim
         .expect_pauli(&compiled, &PauliString::parse("IIZI").unwrap(), 1, 7)

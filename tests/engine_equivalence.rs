@@ -424,7 +424,8 @@ fn twirled_compilation_agrees_across_engines() {
         &qc,
         &device,
         &CompileOptions::new(ca_core::Strategy::CaDd, 13),
-    );
+    )
+    .unwrap();
     assert!(
         ca_sim::stabilizer_supports(&sc),
         "compiled circuit stays Clifford"
@@ -454,6 +455,7 @@ fn unsupported_circuits_error_instead_of_crashing() {
         qubits: vec![0, 1, 2],
         clbit: None,
         condition: None,
+        merged: false,
     });
     let sc = schedule_asap(&qc, GateDurations::default());
     for engine in [
@@ -683,4 +685,150 @@ fn reset_equals_measure_plus_conditional_x() {
         t < tvd_threshold(shots, 4),
         "reset vs measure+cond-X TVD {t:.4}"
     );
+}
+
+/// Session/plan-cache identity: a cached rerun of a job must be
+/// bit-identical to the cold compile *and* to the direct engine entry
+/// points — counts and per-shot flips, at an odd shot count spanning
+/// a partial tail word, for pinned worker counts 1/2/8. Runs with the
+/// cache both enabled and disabled in CI via `CA_SIM_PLAN_CACHE`.
+#[test]
+fn session_cached_runs_are_bit_identical_to_cold_compiles() {
+    use ca_sim::{InsertionSet, Job, JobOutput, Session};
+    let sim = noisy_frame_sim(5);
+    let mut qc = Circuit::new(5, 5);
+    for q in 0..5 {
+        qc.h(q);
+    }
+    qc.ecr(0, 1).ecr(2, 3);
+    qc.delay(700.0, 4).x(4).delay(700.0, 4);
+    qc.cx(1, 2);
+    for q in 0..5 {
+        qc.measure(q, q);
+    }
+    let sc = schedule_asap(&qc, GateDurations::default());
+    let shots = 201; // three batch words, partial tail
+    let seed = 33;
+
+    let sim_batch = Simulator::with_engine(sim.device.clone(), sim.config, Engine::FrameBatch);
+    let session = Session::new(sim_batch.clone());
+    let batch = BatchedFrameEngine::new(&sim_batch);
+    let none = InsertionSet::empty();
+
+    let direct_counts = batch.run_counts(&sc, shots, seed).unwrap();
+    let obs = [
+        PauliString::parse("ZZIII").unwrap(),
+        PauliString::parse("IIZZI").unwrap(),
+    ];
+    let direct_flips = batch
+        .expect_flips(&sc, &obs, shots, seed, &none, None)
+        .unwrap();
+
+    for round in 0..2 {
+        // Round 0 compiles (cold); round 1 must hit the cache when it
+        // is enabled — and be bit-identical either way.
+        let counts = match session.run(&Job::counts(sc.clone(), shots, seed)).unwrap() {
+            JobOutput::Counts(c) => c,
+            other => panic!("counts job returned {other:?}"),
+        };
+        assert_eq!(counts, direct_counts, "round {round}");
+        let flips = match session
+            .run(&Job::flips(sc.clone(), obs.to_vec(), shots, seed))
+            .unwrap()
+        {
+            JobOutput::Flips(f) => f,
+            other => panic!("flips job returned {other:?}"),
+        };
+        assert_eq!(flips, direct_flips, "round {round}");
+    }
+
+    // Worker-count independence through the compiled artifact.
+    let compiled = session.compiled(&sc, seed).unwrap();
+    for workers in [1usize, 2, 8] {
+        assert_eq!(
+            compiled.run_counts(shots, &none, Some(workers)).unwrap(),
+            direct_counts,
+            "{workers} workers"
+        );
+        assert_eq!(
+            compiled
+                .expect_flips(&obs, shots, &none, Some(workers))
+                .unwrap(),
+            direct_flips,
+            "{workers} workers"
+        );
+    }
+}
+
+/// The twirl-ensemble shared-schedule fast path must agree bit for
+/// bit with compiling every instance independently through the full
+/// pass pipeline — the soundness contract of `CompiledCircuit::redress`.
+#[test]
+fn twirl_ensemble_fast_path_matches_independent_compilation() {
+    use ca_core::{compile, compile_twirl_ensemble, CompileOptions};
+    use ca_sim::Session;
+    let device = {
+        let mut dev = uniform_device(Topology::line(6), 55.0);
+        for q in 0..6 {
+            dev.calibration.qubits[q].quasistatic_khz = 25.0;
+            dev.calibration.qubits[q].charge_parity_khz = 4.0;
+            dev.calibration.qubits[q].t1_us = 70.0;
+            dev.calibration.qubits[q].t2_us = 80.0;
+            dev.calibration.qubits[q].gate_err_1q = 0.003;
+        }
+        dev
+    };
+    let mut qc = Circuit::new(6, 0);
+    qc.h(4).h(5);
+    qc.barrier(Vec::<usize>::new());
+    for _ in 0..3 {
+        qc.ecr(0, 1).ecr(2, 3);
+        qc.barrier(Vec::<usize>::new());
+    }
+    qc.h(4).h(5);
+    let obs = [
+        PauliString::parse("IIIIZI").unwrap(),
+        PauliString::parse("ZZIIII").unwrap(),
+    ];
+    let noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
+    let seeds = [5u64, 6, 7, 8];
+    let sim_seeds: Vec<u64> = seeds.iter().map(|s| s ^ 0x77).collect();
+    let shots = 129; // partial tail lanes inside each instance
+    for strategy in [
+        ca_core::Strategy::Bare,
+        ca_core::Strategy::StaggeredDd,
+        ca_core::Strategy::CaDd,
+    ] {
+        let options = CompileOptions::new(strategy, seeds[0]);
+        let ens = compile_twirl_ensemble(&qc, &device, &options, &seeds).unwrap();
+        let session = Session::new(Simulator::with_engine(
+            device.clone(),
+            noise,
+            Engine::FrameBatch,
+        ));
+        let fast: Vec<Vec<f64>> = session
+            .submit_ensemble(&ens.base, &ens.dressings, &obs, shots, &sim_seeds)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let sim = Simulator::with_engine(device.clone(), noise, Engine::FrameBatch);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let sc = compile(&qc, &device, &CompileOptions { seed, ..options }).unwrap();
+            let slow = sim.expect_paulis(&sc, &obs, shots, sim_seeds[i]).unwrap();
+            assert_eq!(
+                fast[i], slow,
+                "{strategy:?} seed {seed}: ensemble must be bit-identical"
+            );
+            // And the serial engine agrees with the redressed batch
+            // artifact too.
+            let serial = Simulator::with_engine(device.clone(), noise, Engine::Stabilizer);
+            let serial_vals = serial
+                .expect_paulis(&sc, &obs, shots, sim_seeds[i])
+                .unwrap();
+            assert_eq!(fast[i], serial_vals, "{strategy:?} seed {seed}: serial");
+        }
+    }
 }

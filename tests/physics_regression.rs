@@ -191,17 +191,39 @@ fn learned_gamma_trajectory_is_ordered_and_tracks_closed_form() {
     };
     let (_, results) = fig_pec_gamma(&[1, 2, 4], &budget).expect("learn the trajectory");
     let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
-    assert_eq!(labels, ["bare", "DD", "CA-EC", "CA-DD", "CA-EC+DD"]);
-    for w in results.windows(2) {
-        assert!(
-            w[0].gamma_learned > w[1].gamma_learned,
-            "γ must fall along the trajectory: {} {:.3} !> {} {:.3}",
-            w[0].label,
-            w[0].gamma_learned,
-            w[1].label,
-            w[1].gamma_learned
-        );
-    }
+    assert_eq!(labels, ["bare", "DD", "CA-DD", "CA-EC", "CA-EC+DD"]);
+    // Robust trajectory facts (the CA-DD vs CA-EC order itself flips
+    // with the twirl/shot budget — they sit at statistical parity now
+    // that twirl Paulis merge into the 1q layers at zero cost, as on
+    // hardware): bare ≫ DD, and both context-aware strategies beat DD
+    // by a clear margin.
+    let (bare, dd, ca_dd, ca_ec, combined) = (
+        results[0].gamma_learned,
+        results[1].gamma_learned,
+        results[2].gamma_learned,
+        results[3].gamma_learned,
+        results[4].gamma_learned,
+    );
+    assert!(bare > 2.0 * dd, "bare {bare:.3} must dwarf DD {dd:.3}");
+    assert!(dd > ca_dd, "DD {dd:.3} must exceed CA-DD {ca_dd:.3}");
+    assert!(dd > ca_ec, "DD {dd:.3} must exceed CA-EC {ca_ec:.3}");
+    // CA-DD and CA-EC at parity: their gap is small relative to the
+    // margin by which either beats DD (a budget-robust bound — the
+    // absolute gap moves with the twirl/shot budget).
+    assert!(
+        (ca_dd - ca_ec).abs() < 0.5 * (dd - ca_dd.min(ca_ec)),
+        "CA-DD {ca_dd:.3} and CA-EC {ca_ec:.3} must sit at parity (DD {dd:.3})"
+    );
+    // CA-EC+DD adds DD pulses to a channel CA-EC already compensated:
+    // at or near the bottom of the trajectory.
+    assert!(
+        combined <= ca_dd.min(ca_ec) + 0.02,
+        "CA-EC+DD {combined:.3} must land at/near the minimum of CA-DD {ca_dd:.3} / CA-EC {ca_ec:.3}"
+    );
+    assert!(
+        combined < dd,
+        "CA-EC+DD {combined:.3} must stay below DD {dd:.3}"
+    );
     for r in &results {
         assert!(
             r.gamma_learned >= 1.0,
