@@ -16,6 +16,7 @@
 //! Pass `--smoke` for the CI-sized run (smaller budgets, no
 //! `BENCH_dynamic.json` write).
 
+use ca_bench::Raw;
 use ca_experiments::dynamic_127::{dynamic_127, DynamicChainResult};
 use ca_experiments::Budget;
 use serde::{Serialize, Value};
@@ -35,6 +36,7 @@ fn chain_row(r: &DynamicChainResult) -> Value {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    ca_bench::obs::init();
     ca_bench::header(
         "dynamic",
         "dynamic circuits gain the most from CA-EC (Fig. 9: 9.5% -> 78.1% at the \
@@ -58,9 +60,11 @@ fn main() {
         .position(|&f| f == 1.0)
         .expect("sweep includes the true window");
 
+    let base = ca_bench::obs::snapshot();
     let start = Instant::now();
     let (fig, results) = dynamic_127(chain_lens, tau_fracs, &budget);
     let total_s = start.elapsed().as_secs_f64();
+    let phases = ca_bench::obs::phase_breakdown(&base);
     fig.print();
     println!(
         "{:>8} {:>12} {:>8} {:>12} {:>10} {:>8}",
@@ -105,6 +109,7 @@ fn main() {
 
     if smoke {
         println!("  smoke run: BENCH_dynamic.json left untouched");
+        ca_bench::obs::finish(3);
         return;
     }
 
@@ -115,24 +120,18 @@ fn main() {
             "shots_per_point".into(),
             (budget.trajectories * budget.instances).to_value(),
         ),
+        ("run".into(), ca_bench::obs::run_metadata()),
         ("tau_fracs".into(), tau_fracs.to_vec().to_value()),
         (
             "chains".into(),
             Value::Arr(results.iter().map(chain_row).collect()),
         ),
         ("total_seconds".into(), total_s.to_value()),
+        ("phases".into(), phases),
     ]);
-    let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");
+    let json = serde_json::to_string_pretty(&Raw(doc)).expect("serialise bench doc");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamic.json");
     std::fs::write(path, json + "\n").expect("write BENCH_dynamic.json");
     println!("  wrote {path}");
-}
-
-/// Adapter: serialises an already-built [`Value`] tree.
-struct RawValue(Value);
-
-impl Serialize for RawValue {
-    fn to_value(&self) -> Value {
-        self.0.clone()
-    }
+    ca_bench::obs::finish(3);
 }

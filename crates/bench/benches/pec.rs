@@ -15,6 +15,7 @@
 //! Pass `--smoke` for the CI-sized run (smaller budgets, no
 //! `BENCH_pec.json` write).
 
+use ca_bench::Raw;
 use ca_experiments::pec::{fig_pec_gamma, pec_demo_127, PecDemoResult, PecGammaResult};
 use ca_experiments::Budget;
 use serde::{Serialize, Value};
@@ -50,6 +51,7 @@ fn demo_row(d: &PecDemoResult) -> Value {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    ca_bench::obs::init();
     ca_bench::header(
         "pec",
         "learned-channel PEC: γ 2.38 → 1.81 → 1.48 → 1.29 (bare → DD → CA-DD → CA-EC); \
@@ -66,9 +68,11 @@ fn main() {
     };
     let depths: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
 
+    let gamma_base = ca_bench::obs::snapshot();
     let start = Instant::now();
     let (fig, results) = fig_pec_gamma(depths, &budget).expect("learn the γ trajectory");
     let gamma_s = start.elapsed().as_secs_f64();
+    let gamma_phases = ca_bench::obs::phase_breakdown(&gamma_base);
     fig.print();
     println!(
         "{:>10} {:>12} {:>8} {:>14} {:>14}",
@@ -115,9 +119,11 @@ fn main() {
         seed: 11,
     };
     let shots = if smoke { 4096 } else { 16384 };
+    let demo_base = ca_bench::obs::snapshot();
     let start = Instant::now();
     let demo = pec_demo_127(4, &[1, 2, 4], &demo_budget, shots).expect("run the 127q demo");
     let demo_s = start.elapsed().as_secs_f64();
+    let demo_phases = ca_bench::obs::phase_breakdown(&demo_base);
     println!(
         "  γ_layer {:.3} γ_total(depth {}) {:.3}",
         demo.gamma_layer, demo.depth, demo.gamma_total
@@ -139,31 +145,27 @@ fn main() {
 
     if smoke {
         println!("  smoke run: BENCH_pec.json left untouched");
+        ca_bench::obs::finish(3);
         return;
     }
 
     let doc = Value::Obj(vec![
         ("bench".into(), "pec".to_value()),
         ("learn_depths".into(), depths.to_vec().to_value()),
+        ("run".into(), ca_bench::obs::run_metadata()),
         ("gamma_seconds".into(), gamma_s.to_value()),
+        ("gamma_phases".into(), gamma_phases),
         (
             "strategies".into(),
             Value::Arr(results.iter().map(gamma_row).collect()),
         ),
         ("demo_127".into(), demo_row(&demo)),
         ("demo_seconds".into(), demo_s.to_value()),
+        ("demo_phases".into(), demo_phases),
     ]);
-    let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");
+    let json = serde_json::to_string_pretty(&Raw(doc)).expect("serialise bench doc");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pec.json");
     std::fs::write(path, json + "\n").expect("write BENCH_pec.json");
     println!("  wrote {path}");
-}
-
-/// Adapter: serialises an already-built [`Value`] tree.
-struct RawValue(Value);
-
-impl Serialize for RawValue {
-    fn to_value(&self) -> Value {
-        self.0.clone()
-    }
+    ca_bench::obs::finish(3);
 }

@@ -16,6 +16,7 @@
 //! shot count that still exercises the batch-vs-serial identity and
 //! the 127-qubit experiment, without touching `BENCH_scaling.json`.
 
+use ca_bench::Raw;
 use ca_circuit::Circuit;
 use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::{uniform_device, Topology};
@@ -33,6 +34,9 @@ struct Row {
     shots: usize,
     seconds: f64,
     shots_per_s: f64,
+    /// Per-phase wall-time attribution for this row (sampling /
+    /// propagation / reduction / compile seconds), from `ca-obs`.
+    phases: Value,
 }
 
 impl Row {
@@ -43,6 +47,7 @@ impl Row {
             ("shots".into(), self.shots.to_value()),
             ("seconds".into(), self.seconds.to_value()),
             ("shots_per_s".into(), self.shots_per_s.to_value()),
+            ("phases".into(), self.phases.clone()),
         ])
     }
 }
@@ -128,9 +133,31 @@ fn lf_sweep_cold_vs_cached(
 
     // Warm rerun against the populated cache: every job's compiled
     // artifact is served from the LRU.
+    let before_warm = cached_session.cache_stats();
     let t = Instant::now();
     let warm = sweep(&cached_session, true);
     let warm_s = t.elapsed().as_secs_f64();
+
+    // The warm rerun must actually be served by the cache, not merely
+    // happen to be fast — the hit-rate counters make that checkable.
+    if ca_sim::session::plan_cache_capacity_from_env() > 0 {
+        let stats = cached_session.cache_stats();
+        let hits = stats.hits - before_warm.hits;
+        let misses = stats.misses - before_warm.misses;
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        println!(
+            "  warm-run plan cache: {hits} hits / {misses} misses \
+             (hit rate {:.1}%, {} evictions, {} verify mismatches)",
+            rate * 100.0,
+            stats.evictions,
+            stats.verify_mismatches
+        );
+        assert!(
+            rate >= 0.9,
+            "warm LF sweep must be >= 90% plan-cache hits \
+             (got {hits} hits / {misses} misses)"
+        );
+    }
 
     for ((c, e), w) in cold.iter().zip(ensemble.iter()).zip(warm.iter()) {
         assert_eq!(
@@ -156,9 +183,11 @@ fn time_run(engine: Engine, n: usize, shots: usize) -> (Row, RunResult) {
         engine,
     );
     let name = sim.engine_name_for(&sc).expect("resolve engine");
+    let base = ca_bench::obs::snapshot();
     let start = Instant::now();
     let res = sim.run_counts(&sc, shots, 11).expect("simulate");
     let seconds = start.elapsed().as_secs_f64();
+    let phases = ca_bench::obs::phase_breakdown(&base);
     assert_eq!(res.shots, shots);
     (
         Row {
@@ -167,6 +196,7 @@ fn time_run(engine: Engine, n: usize, shots: usize) -> (Row, RunResult) {
             shots,
             seconds,
             shots_per_s: shots as f64 / seconds.max(1e-9),
+            phases,
         },
         res,
     )
@@ -182,6 +212,7 @@ fn print_row(r: &Row) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shots = if smoke { 192 } else { SHOTS };
+    ca_bench::obs::init();
     ca_bench::header(
         "scaling",
         "frame-batch engine packs 64 shots per word on top of the stabilizer \
@@ -242,9 +273,11 @@ fn main() {
         seed: 11,
     };
     let depths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let ls_base = ca_bench::obs::snapshot();
     let start = Instant::now();
     let (fig, results) = large_scale::fig_large_scale(depths, &budget);
     let total = start.elapsed().as_secs_f64();
+    let ls_phases = ca_bench::obs::phase_breakdown(&ls_base);
     fig.print();
     for r in &results {
         println!(
@@ -261,7 +294,9 @@ fn main() {
     println!("-- 127q LF sweep: per-point recompilation vs session cache --");
     let (instances, traj) = if smoke { (4, 64) } else { (8, 128) };
     let sweep_depths: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let lf_base = ca_bench::obs::snapshot();
     let (cold_s, ensemble_s, warm_s, lfs) = lf_sweep_cold_vs_cached(sweep_depths, instances, traj);
+    let lf_phases = ca_bench::obs::phase_breakdown(&lf_base);
     let ens_speedup = cold_s / ensemble_s.max(1e-9);
     let cached_speedup = cold_s / warm_s.max(1e-9);
     println!("  per-point recompilation: {cold_s:.3}s");
@@ -273,11 +308,10 @@ fn main() {
     // Wall-clock assertion only on the full (non-smoke) run — smoke
     // sweeps are tens of milliseconds and noise-dominated on shared
     // runners — and only when the environment hasn't disabled the
-    // plan cache out from under the "cached" session.
-    let cache_disabled = matches!(
-        std::env::var("CA_SIM_PLAN_CACHE").as_deref(),
-        Ok("0") | Ok("off") | Ok("OFF")
-    );
+    // plan cache out from under the "cached" session. The capacity
+    // resolution is the same helper `Session::new` uses, so the two
+    // can't drift apart.
+    let cache_disabled = ca_sim::session::plan_cache_capacity_from_env() == 0;
     if !smoke && !cache_disabled {
         assert!(
             cached_speedup >= 2.0,
@@ -288,6 +322,10 @@ fn main() {
 
     if smoke {
         println!("  smoke run: BENCH_scaling.json left untouched");
+        // At `CA_OBS=trace:<path>` this validates the written trace
+        // covers the compile, plan, and session layers — the CI
+        // smoke job's check.
+        ca_bench::obs::finish(3);
         return;
     }
 
@@ -295,6 +333,7 @@ fn main() {
         ("depths".into(), depths.to_vec().to_value()),
         ("shots".into(), shots.to_value()),
         ("total_seconds".into(), total.to_value()),
+        ("phases".into(), ls_phases),
         (
             "strategies".into(),
             Value::Arr(
@@ -322,6 +361,7 @@ fn main() {
         ("cached_rerun_seconds".into(), warm_s.to_value()),
         ("ensemble_speedup".into(), ens_speedup.to_value()),
         ("cached_speedup".into(), cached_speedup.to_value()),
+        ("phases".into(), lf_phases),
         (
             "lf".into(),
             Value::Arr(
@@ -339,6 +379,7 @@ fn main() {
     let doc = Value::Obj(vec![
         ("bench".into(), "scaling".to_value()),
         ("shots".into(), SHOTS.to_value()),
+        ("run".into(), ca_bench::obs::run_metadata()),
         (
             "rows".into(),
             Value::Arr(rows.iter().map(Row::to_value).collect()),
@@ -347,17 +388,9 @@ fn main() {
         ("large_scale_127q".into(), experiment),
         ("lf_sweep_cold_vs_cached_127q".into(), lf_sweep),
     ]);
-    let json = serde_json::to_string_pretty(&RawValue(doc)).expect("serialise bench doc");
+    let json = serde_json::to_string_pretty(&Raw(doc)).expect("serialise bench doc");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
     std::fs::write(path, json + "\n").expect("write BENCH_scaling.json");
     println!("  wrote {path}");
-}
-
-/// Adapter: serialises an already-built [`Value`] tree.
-struct RawValue(Value);
-
-impl Serialize for RawValue {
-    fn to_value(&self) -> Value {
-        self.0.clone()
-    }
+    ca_bench::obs::finish(3);
 }

@@ -5,8 +5,17 @@
 //! compiler-performance bench (timing the passes' O(d²n)/O(dn)
 //! scaling), and ablation benches for the design choices DESIGN.md §6
 //! calls out.
+//!
+//! The [`obs`] module binds the benches to `ca-obs`: each perf bench
+//! raises the level to `summary` so its `BENCH_*.json` document can
+//! carry a per-phase wall-time breakdown (noise sampling vs frame
+//! propagation vs reduction vs plan compilation) and the run metadata
+//! (worker count, plan-cache capacity, observability level) needed to
+//! compare timings across machines and PRs.
 
 #![warn(missing_docs)]
+
+use serde::{Serialize, Value};
 
 /// Prints a standard header for a figure bench.
 pub fn header(id: &str, claim: &str) {
@@ -15,4 +24,124 @@ pub fn header(id: &str, claim: &str) {
     println!("# {id}");
     println!("# paper claim: {claim}");
     println!("################################################################");
+}
+
+/// Adapter: serialises an already-built [`Value`] tree (the benches
+/// assemble their JSON documents by hand).
+pub struct Raw(pub Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Bench-side observability helpers: level setup, run metadata, and
+/// phase breakdowns for the `BENCH_*.json` documents.
+pub mod obs {
+    use serde::{Serialize, Value};
+
+    pub use ca_obs::{snapshot, Snapshot};
+
+    /// Initialises observability for a bench run: honours `CA_OBS`
+    /// when the user set it, otherwise raises the level to `summary`
+    /// so phase breakdowns are populated.
+    pub fn init() {
+        ca_obs::enable_summary_if_off();
+    }
+
+    /// Run metadata attached to every perf-bench JSON document, so
+    /// recorded timings can be compared across machines and PRs:
+    /// the resolved session worker count, the plan-cache capacity,
+    /// and the observability level the run executed under.
+    pub fn run_metadata() -> Value {
+        Value::Obj(vec![
+            (
+                "workers".into(),
+                ca_sim::plan::worker_count(None, usize::MAX).to_value(),
+            ),
+            (
+                "plan_cache_capacity".into(),
+                ca_sim::session::plan_cache_capacity_from_env().to_value(),
+            ),
+            ("obs_level".into(), ca_obs::level().name().to_value()),
+        ])
+    }
+
+    /// Seconds attributed to each instrumented phase since `base`:
+    /// the engines' noise-sampling / frame-propagation / reduction
+    /// split, the pass-pipeline compile time, and the simulator-side
+    /// plan compilation (timeline plan + frame program + batch
+    /// program — the leaf spans, so nothing is double-counted).
+    pub fn phase_breakdown(base: &Snapshot) -> Value {
+        let d = ca_obs::snapshot().since(base);
+        let plan_s = d.total_seconds("sim.compile/timeline-plan")
+            + d.total_seconds("sim.compile/frame-plan")
+            + d.total_seconds("sim.compile/batch-program");
+        Value::Obj(vec![
+            (
+                "sampling_seconds".into(),
+                d.total_seconds("engine/sampling").to_value(),
+            ),
+            (
+                "propagation_seconds".into(),
+                d.total_seconds("engine/propagation").to_value(),
+            ),
+            (
+                "reduction_seconds".into(),
+                d.total_seconds("engine/reduction").to_value(),
+            ),
+            (
+                "pipeline_compile_seconds".into(),
+                d.total_seconds("compile/pipeline").to_value(),
+            ),
+            ("plan_compile_seconds".into(), plan_s.to_value()),
+        ])
+    }
+
+    /// Flushes observability per the active level ([`ca_obs::finish`])
+    /// and, when a Chrome trace file was written (`CA_OBS=trace:…`),
+    /// re-reads it and asserts it is well-formed JSON whose complete
+    /// spans cover at least `min_categories` distinct instrumented
+    /// layers — the check CI's trace smoke job relies on.
+    pub fn finish(min_categories: usize) {
+        let Some(path) = ca_obs::finish() else {
+            return;
+        };
+        let text = std::fs::read_to_string(&path).expect("read trace file back");
+        let doc = serde_json::parse_value(&text).expect("trace file must be valid JSON");
+        let events = match lookup(&doc, "traceEvents") {
+            Some(Value::Arr(events)) => events,
+            _ => panic!("trace file must carry a traceEvents array"),
+        };
+        let mut categories = std::collections::BTreeSet::new();
+        for event in events {
+            if let (Some(Value::Str(ph)), Some(Value::Str(cat))) =
+                (lookup(event, "ph"), lookup(event, "cat"))
+            {
+                if ph == "X" {
+                    categories.insert(cat.clone());
+                }
+            }
+        }
+        assert!(
+            categories.len() >= min_categories,
+            "trace {} must contain spans from >= {min_categories} \
+             instrumented layers, got {categories:?}",
+            path.display()
+        );
+        println!(
+            "  trace: {} ({} events, {} span categories)",
+            path.display(),
+            events.len(),
+            categories.len()
+        );
+    }
+
+    fn lookup<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+        match value {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }

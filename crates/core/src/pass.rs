@@ -102,15 +102,28 @@ impl PassManager {
 
     /// Compiles a circuit: stratify → passes → schedule. Pipeline
     /// misuse surfaces as a [`CompileError`] instead of a panic.
+    ///
+    /// Each stage is timed under the `compile.pass` observability
+    /// category (one span per pass, named by [`Pass::name`]); the
+    /// spans read only the clock, so compilation output is identical
+    /// at every `CA_OBS` level.
     pub fn compile(
         &self,
         circuit: &Circuit,
         ctx: &mut Context<'_>,
     ) -> Result<ScheduledCircuit, CompileError> {
-        let mut ir = Ir::Layered(stratify(circuit));
+        let _pipeline =
+            ca_obs::span("compile", "pipeline").with_arg("passes", self.passes.len() as f64);
+        ca_obs::counter_add("compile.circuits", 1);
+        let mut ir = {
+            let _s = ca_obs::span("compile.pass", "stratify");
+            Ir::Layered(stratify(circuit))
+        };
         for pass in &self.passes {
+            let _s = ca_obs::span("compile.pass", pass.name());
             ir = pass.run(ir, ctx)?;
         }
+        let _s = ca_obs::span("compile.pass", "schedule");
         Ok(ir.into_scheduled(ctx.device))
     }
 }

@@ -183,6 +183,10 @@ pub fn learn_layer_channel(
     // Compile every (experiment, depth, instance) point up front and
     // run them as one job batch per session — experiments fan out
     // across worker threads at job granularity.
+    let compile_span = ca_obs::span("learn", "compile-points")
+        .with_arg("experiments", experiments as f64)
+        .with_arg("depths", config.depths.len() as f64)
+        .with_arg("instances", config.instances as f64);
     let mut indices_by_e: Vec<Vec<usize>> = Vec::with_capacity(experiments);
     let mut frame_jobs: Vec<Job> = Vec::new();
     let mut auto_jobs: Vec<Job> = Vec::new();
@@ -254,8 +258,17 @@ pub fn learn_layer_channel(
         tags.push(e_tags);
     }
 
-    let frame_out = frame_session.submit(&frame_jobs);
-    let auto_out = auto_session.submit(&auto_jobs);
+    drop(compile_span);
+    ca_obs::counter_add("learn.points", (frame_jobs.len() + auto_jobs.len()) as u64);
+
+    let frame_out = {
+        let _s = ca_obs::span("learn", "simulate").with_arg("jobs", frame_jobs.len() as f64);
+        frame_session.submit(&frame_jobs)
+    };
+    let auto_out = {
+        let _s = ca_obs::span("learn", "simulate").with_arg("jobs", auto_jobs.len() as f64);
+        auto_session.submit(&auto_jobs)
+    };
     let value_of = |&(on_frame, idx): &(bool, usize)| -> Result<Vec<f64>, MitigationError> {
         let out = if on_frame {
             &frame_out[idx]
@@ -289,9 +302,17 @@ pub fn learn_layer_channel(
             }
         }
         for (pi, part_ys) in ys.iter().enumerate() {
+            // Per-partition fit timing + progress: the learner is the
+            // slowest pipeline stage (ROADMAP item 5), so each decay
+            // fit is individually visible in traces.
+            let _s = ca_obs::span("learn", "fit-partition")
+                .with_arg("experiment", e as f64)
+                .with_arg("partition", pi as f64);
             let lambda = fit_decay(&xs, part_ys).lambda.clamp(1e-6, 1.0);
             samples[pi][indices_by_e[e][pi]].push(lambda);
+            ca_obs::counter_add("learn.fits", 1);
         }
+        ca_obs::counter_add("learn.experiments_done", 1);
     }
 
     let mut channels = Vec::with_capacity(partitions.len());

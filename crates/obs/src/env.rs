@@ -1,0 +1,103 @@
+//! Centralized environment-variable parsing with loud (but one-time)
+//! rejection of invalid values.
+//!
+//! The simulator's tuning knobs (`CA_SIM_WORKERS`,
+//! `CA_SIM_PLAN_CACHE`) used to fall back silently when set to
+//! garbage; every consumer now funnels through [`var_parsed`] /
+//! [`var_parsed_with`], which warn once per variable on stderr, bump
+//! the `obs.env.invalid` counter, and return `None` so the caller
+//! applies its default explicitly.
+
+use std::collections::BTreeSet;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static INVALID: AtomicU64 = AtomicU64::new(0);
+
+fn warned() -> &'static Mutex<BTreeSet<&'static str>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// How many set-but-invalid environment values have been observed this
+/// process (tracked even when observability is off).
+pub fn invalid_env_count() -> u64 {
+    INVALID.load(Ordering::Relaxed)
+}
+
+/// Reads and `FromStr`-parses the environment variable `name`.
+/// Returns `None` when unset; an unparsable value warns once per
+/// variable, increments the `obs.env.invalid` counter, and also
+/// returns `None` so the caller falls back to its default.
+pub fn var_parsed<T: FromStr>(name: &'static str) -> Option<T> {
+    var_parsed_with(name, |raw| raw.parse().ok())
+}
+
+/// [`var_parsed`] with a custom parse function, for variables with
+/// non-`FromStr` syntax (e.g. `CA_SIM_PLAN_CACHE=off`).
+pub fn var_parsed_with<T>(name: &'static str, parse: impl FnOnce(&str) -> Option<T>) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match parse(&raw) {
+        Some(v) => Some(v),
+        None => {
+            INVALID.fetch_add(1, Ordering::Relaxed);
+            crate::counter_add("obs.env.invalid", 1);
+            if warned().lock().unwrap().insert(name) {
+                eprintln!("ca-obs: ignoring invalid {name}={raw:?} (falling back to default)");
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; keep these serialized.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unset_reads_none_without_warning() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("CA_OBS_TEST_UNSET");
+        let before = invalid_env_count();
+        assert_eq!(var_parsed::<usize>("CA_OBS_TEST_UNSET"), None);
+        assert_eq!(invalid_env_count(), before);
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CA_OBS_TEST_VALID", "42");
+        assert_eq!(var_parsed::<usize>("CA_OBS_TEST_VALID"), Some(42));
+        std::env::remove_var("CA_OBS_TEST_VALID");
+    }
+
+    #[test]
+    fn invalid_values_counted_and_fall_back() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CA_OBS_TEST_INVALID", "garbage");
+        let before = invalid_env_count();
+        assert_eq!(var_parsed::<usize>("CA_OBS_TEST_INVALID"), None);
+        assert_eq!(var_parsed::<usize>("CA_OBS_TEST_INVALID"), None);
+        assert_eq!(invalid_env_count(), before + 2);
+        std::env::remove_var("CA_OBS_TEST_INVALID");
+    }
+
+    #[test]
+    fn custom_parse_supports_keywords() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CA_OBS_TEST_KEYWORD", "off");
+        let v = var_parsed_with("CA_OBS_TEST_KEYWORD", |raw| {
+            if raw.eq_ignore_ascii_case("off") {
+                Some(0usize)
+            } else {
+                raw.parse().ok()
+            }
+        });
+        assert_eq!(v, Some(0));
+        std::env::remove_var("CA_OBS_TEST_KEYWORD");
+    }
+}

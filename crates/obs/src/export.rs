@@ -1,0 +1,239 @@
+//! Exporters: Chrome-trace JSON (Perfetto / `chrome://tracing`) and
+//! the human-readable summary table.
+
+use crate::registry::{self, Snapshot};
+use crate::span::TraceEvent;
+use serde::{Serialize, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Adapter so a pre-built [`Value`] tree can go through the
+/// serde_json shim's `to_string`.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders trace events as a Chrome trace-event document: one `ph:
+/// "X"` complete event per span plus a `thread_name` metadata event
+/// per shard, all under `pid` 1.
+pub(crate) fn trace_to_value(events: &[TraceEvent]) -> Value {
+    let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    let mut out = Vec::with_capacity(events.len() + tids.len());
+    for tid in tids {
+        out.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("name", Value::Str("thread_name".into())),
+            ("pid", Value::Num(1.0)),
+            ("tid", Value::Num(tid as f64)),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("shard-{tid}")))]),
+            ),
+        ]));
+    }
+    for e in events {
+        let mut fields = vec![
+            ("ph", Value::Str("X".into())),
+            ("name", Value::Str(e.name.into())),
+            ("cat", Value::Str(e.cat.into())),
+            ("ts", Value::Num(e.ts_us)),
+            ("dur", Value::Num(e.dur_us)),
+            ("pid", Value::Num(1.0)),
+            ("tid", Value::Num(e.tid as f64)),
+        ];
+        if !e.args.is_empty() {
+            fields.push((
+                "args",
+                Value::Obj(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push(obj(fields));
+    }
+    obj(vec![
+        ("traceEvents", Value::Arr(out)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+/// Drains every thread's buffered trace events and writes them to
+/// `path` as Chrome-trace JSON. Usually called via [`crate::finish`].
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    let events = registry::take_events();
+    let doc = trace_to_value(&events);
+    let json =
+        serde_json::to_string(&Raw(doc)).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+/// Formats a nanosecond duration with a human-scale unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Renders the end-of-run summary table: counters, gauges, and the
+/// per-`category/name` timing distributions.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        return out;
+    }
+    out.push_str("== ca-obs summary ==\n");
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<44} {v:>12}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<44} {v:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "timings:\n  {:<34} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            "span", "count", "total", "p50", "p95", "p99", "max"
+        );
+        for (key, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                key,
+                h.count(),
+                fmt_ns(h.sum()),
+                fmt_ns(h.p50()),
+                fmt_ns(h.p95()),
+                fmt_ns(h.p99()),
+                fmt_ns(h.max()),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(
+        cat: &'static str,
+        name: &'static str,
+        ts_us: f64,
+        dur_us: f64,
+        tid: u64,
+        args: Vec<(&'static str, f64)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            cat,
+            name,
+            ts_us,
+            dur_us,
+            tid,
+            args,
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_through_serde_json() {
+        let events = vec![
+            event(
+                "compile.pass",
+                "ca-dd",
+                10.0,
+                250.5,
+                1,
+                vec![("layers", 4.0)],
+            ),
+            event("engine", "batch", 300.0, 1200.0, 2, vec![]),
+        ];
+        let json = serde_json::to_string(&Raw(trace_to_value(&events))).unwrap();
+        let doc = serde_json::parse_value(&json).unwrap();
+        let evs = doc.get("traceEvents").as_arr().unwrap();
+        // 2 thread_name metadata events + 2 span events.
+        assert_eq!(evs.len(), 4);
+        let spans: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").as_str(), Some("ca-dd"));
+        assert_eq!(spans[0].get("cat").as_str(), Some("compile.pass"));
+        assert_eq!(spans[0].get("ts").as_f64(), Some(10.0));
+        assert_eq!(spans[0].get("dur").as_f64(), Some(250.5));
+        assert_eq!(spans[0].get("args").get("layers").as_f64(), Some(4.0));
+        assert_eq!(spans[1].get("tid").as_f64(), Some(2.0));
+        let metas: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].get("args").get("name").as_str(), Some("shard-1"));
+    }
+
+    #[test]
+    fn trace_file_written_and_parseable() {
+        let path = std::env::temp_dir().join("ca_obs_export_test.json");
+        let events = vec![event("session", "job", 0.0, 5.0, 1, vec![("job", 0.0)])];
+        let json = serde_json::to_string(&Raw(trace_to_value(&events))).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::parse_value(&read_back).unwrap();
+        assert_eq!(doc.get("displayTimeUnit").as_str(), Some("ms"));
+        assert_eq!(doc.get("traceEvents").as_arr().unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(750), "750ns");
+        assert_eq!(fmt_ns(1500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn summary_table_lists_all_sections() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("session.cache.hit".into(), 12);
+        snap.gauges.insert("session.workers".into(), 8.0);
+        let mut h = crate::Histogram::default();
+        h.record(1_000_000);
+        snap.histograms.insert("engine/batch".into(), h);
+        let table = render_summary(&snap);
+        assert!(table.contains("session.cache.hit"));
+        assert!(table.contains("session.workers"));
+        assert!(table.contains("engine/batch"));
+        assert!(table.contains("1.0ms"));
+        assert!(render_summary(&Snapshot::default()).is_empty());
+    }
+}

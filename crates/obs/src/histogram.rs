@@ -1,0 +1,254 @@
+//! Log2-bucketed latency histogram with approximate percentiles.
+
+/// A histogram over `u64` samples (by convention nanoseconds) with one
+/// bucket per power of two: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds `[2^(b-1), 2^b)`. Percentiles are therefore approximate to
+/// within a factor of two, which is plenty for latency work, and
+/// recording is a handful of integer ops with no allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Midpoint of a bucket's value range, the representative returned by
+/// percentile queries (before clamping to the observed min/max).
+fn bucket_midpoint(b: usize) -> u64 {
+    if b == 0 {
+        return 0;
+    }
+    let lo = 1u128 << (b - 1);
+    let hi = (1u128 << b) - 1;
+    ((lo + hi) / 2) as u64
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 1]`): the midpoint of the
+    /// bucket holding the `ceil(p·count)`-th smallest sample, clamped
+    /// to the observed `[min, max]`. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_midpoint(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Folds another histogram into this one (used when merging
+    /// per-thread shards into a [`crate::Snapshot`]).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+    }
+
+    /// The samples recorded since `base` was captured, assuming `base`
+    /// is an earlier snapshot of this same histogram (saturating; the
+    /// min/max of the diff are approximated by this histogram's).
+    pub fn since(&self, base: &Histogram) -> Histogram {
+        let mut out = self.clone();
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        for (b, n) in out.buckets.iter_mut().zip(base.buckets.iter()) {
+            *b = b.saturating_sub(*n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn midpoints_sit_inside_their_bucket() {
+        for b in 1..65 {
+            let m = bucket_midpoint(b);
+            assert_eq!(bucket_index(m), b, "bucket {b} midpoint {m}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_accurate() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        // The 50th sample is 50, in bucket [32, 64); p50 must land there.
+        let p50 = h.p50();
+        assert!((32..64).contains(&p50), "p50 = {p50}");
+        // The 95th and 99th samples are 95 and 99, in bucket [64, 128),
+        // clamped by max = 100.
+        let p95 = h.p95();
+        assert!((64..=100).contains(&p95), "p95 = {p95}");
+        let p99 = h.p99();
+        assert!((64..=100).contains(&p99), "p99 = {p99}");
+        assert!((64..=100).contains(&h.percentile(1.0)));
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn clamping_respects_observed_range() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        // Midpoint of 100's bucket is 95, below the observed min of
+        // 100 — the clamp pulls it back into the observed range.
+        assert_eq!(h.p50(), 100);
+        // The 10 large samples are past the 99th percentile of 1010
+        // samples, but not the 99.9th.
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(0.999), 10_000);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(5);
+        a.record(500);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 555);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn since_subtracts_a_prior_snapshot() {
+        let mut h = Histogram::default();
+        h.record(10);
+        h.record(20);
+        let base = h.clone();
+        h.record(1000);
+        let d = h.since(&base);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.sum(), 1000);
+        // The only remaining sample (1000) is in bucket [512, 1024).
+        let p50 = d.p50();
+        assert!((512..1024).contains(&p50), "p50 = {p50}");
+    }
+}

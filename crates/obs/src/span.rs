@@ -1,0 +1,76 @@
+//! RAII timing spans.
+
+use crate::registry;
+use std::time::Instant;
+
+/// One completed duration event, buffered for the Chrome-trace
+/// exporter (`ph: "X"` complete events).
+#[derive(Clone, Debug)]
+pub(crate) struct TraceEvent {
+    pub cat: &'static str,
+    pub name: &'static str,
+    /// Microseconds since the process [`crate::epoch`].
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Shard id of the recording thread (stamped by the registry).
+    pub tid: u64,
+    /// Numeric arguments shown in trace viewers.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// An RAII timer opened by [`span`]: on drop it records the elapsed
+/// nanoseconds into the `(category, name)` duration histogram and, at
+/// trace level, buffers a Chrome-trace event. When observability is
+/// off, construction reads no clock and drop does nothing.
+#[must_use = "a span times the scope it lives in; bind it to a `_guard`-style local"]
+pub struct Span {
+    start: Option<Instant>,
+    cat: &'static str,
+    name: &'static str,
+    args: Vec<(&'static str, f64)>,
+}
+
+/// Opens a timing span under `category/name`. Both strings must be
+/// static so recording stays allocation-free.
+#[inline]
+pub fn span(category: &'static str, name: &'static str) -> Span {
+    let start = crate::enabled().then(Instant::now);
+    Span {
+        start,
+        cat: category,
+        name,
+        args: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attaches a numeric argument (e.g. a job index or shot count),
+    /// visible in the exported trace. No-op on disabled spans.
+    pub fn with_arg(mut self, key: &'static str, value: f64) -> Self {
+        if self.start.is_some() {
+            self.args.push((key, value));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        registry::observe_ns(self.cat, self.name, ns);
+        if crate::trace_enabled() {
+            let ts = start.saturating_duration_since(crate::epoch());
+            registry::push_event(TraceEvent {
+                cat: self.cat,
+                name: self.name,
+                ts_us: ts.as_nanos() as f64 / 1000.0,
+                dur_us: elapsed.as_nanos() as f64 / 1000.0,
+                tid: 0,
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}

@@ -277,6 +277,7 @@ impl BatchPlan {
     /// X/Y pulses flip bank signs), so every twirl instance compiles
     /// its own program over the shared timeline plan.
     pub(crate) fn from_frame(sim: &Simulator, frame: FramePlan) -> Self {
+        let _s = ca_obs::span("sim.compile", "batch-program");
         let n = frame.sc.num_qubits;
         let config = &sim.config;
         let plan = &frame.plan;
@@ -549,6 +550,10 @@ impl BatchPlan {
         ins: &InsertionSet,
     ) -> BatchOut {
         let n = self.n;
+        // Phase attribution (sampling vs propagation) reads only the
+        // clock and is inert when observability is off — the RNG
+        // streams and frame state are untouched at every CA_OBS level.
+        let mut phase = crate::obs_util::PhaseTimer::start();
         let mut fx = vec![0u64; n];
         let mut fz = vec![0u64; n];
         // Per-lane stochastic Z rates, laid out `[q][lane]` so flush
@@ -584,6 +589,7 @@ impl BatchPlan {
                 }
             }
         }
+        phase.tick_sampling();
 
         for op in &self.ops {
             match op {
@@ -644,12 +650,14 @@ impl BatchPlan {
                             fz[q] ^= zm;
                         }
                     }
+                    phase.tick_sampling();
                 }
                 BatchOp::Gate1 { q, m, err_p } => {
                     let q = *q;
                     let (nx, nz) = m.apply(fx[q], fz[q]);
                     fx[q] = nx;
                     fz[q] = nz;
+                    phase.tick_propagation();
                     if *err_p > 0.0 {
                         let mut xm = 0u64;
                         let mut zm = 0u64;
@@ -667,6 +675,7 @@ impl BatchPlan {
                         }
                         fx[q] ^= xm;
                         fz[q] ^= zm;
+                        phase.tick_sampling();
                     }
                 }
                 BatchOp::Gate2 { a, b, m, err_p } => {
@@ -676,6 +685,7 @@ impl BatchPlan {
                     fz[a] = out[1];
                     fx[b] = out[2];
                     fz[b] = out[3];
+                    phase.tick_propagation();
                     if *err_p > 0.0 {
                         let mut xa = 0u64;
                         let mut za = 0u64;
@@ -705,6 +715,7 @@ impl BatchPlan {
                         fz[a] ^= za;
                         fx[b] ^= xb;
                         fz[b] ^= zb;
+                        phase.tick_sampling();
                     }
                 }
                 BatchOp::Measure {
@@ -737,6 +748,7 @@ impl BatchPlan {
                         }
                     }
                     fz[q] = new_z;
+                    phase.tick_sampling();
                 }
                 BatchOp::Reset { q } => {
                     let q = *q;
@@ -748,6 +760,7 @@ impl BatchPlan {
                     }
                     fx[q] = 0;
                     fz[q] = new_z;
+                    phase.tick_sampling();
                 }
                 BatchOp::CondGate {
                     q,
@@ -785,6 +798,7 @@ impl BatchPlan {
                     }
                     fx[q] ^= xm;
                     fz[q] ^= zm;
+                    phase.tick_propagation();
                 }
                 BatchOp::Anchor { item } => {
                     for &(shot, q, p) in ins.in_shot_range(*item, base, base + active) {
@@ -797,9 +811,13 @@ impl BatchPlan {
                             fz[q] ^= bit;
                         }
                     }
+                    phase.tick_propagation();
                 }
             }
         }
+        phase.finish();
+        ca_obs::counter_add("engine.batches", 1);
+        ca_obs::counter_add("engine.shots", active as u64);
         BatchOut { fx, fz, keys }
     }
 
@@ -818,13 +836,17 @@ impl BatchPlan {
             let base = b * LANES;
             let active = LANES.min(shots - base);
             let out = self.run_batch(sim, seed, base, active, ins);
-            let mut counts = BTreeMap::new();
-            for &key in out.keys.iter().take(active) {
-                *counts.entry(key).or_insert(0usize) += 1;
-            }
-            counts
+            crate::obs_util::time_engine_phase("reduction", || {
+                let mut counts = BTreeMap::new();
+                for &key in out.keys.iter().take(active) {
+                    *counts.entry(key).or_insert(0usize) += 1;
+                }
+                counts
+            })
         });
-        RunResult::from_parts(shots, nbits, parts)
+        crate::obs_util::time_engine_phase("reduction", || {
+            RunResult::from_parts(shots, nbits, parts)
+        })
     }
 
     /// Reference expectation plus the observable's support as
@@ -866,33 +888,37 @@ impl BatchPlan {
             let base = b * LANES;
             let active = LANES.min(shots - base);
             let out = self.run_batch(sim, seed, base, active, ins);
-            let lane_mask = if active == LANES {
-                u64::MAX
-            } else {
-                (1u64 << active) - 1
-            };
-            prepared
-                .iter()
-                .map(|(r, support)| {
-                    if *r == 0 {
-                        return 0.0;
-                    }
-                    let parity = support_parity(&out, support);
-                    let flips = (parity & lane_mask).count_ones() as i64;
-                    (*r as i64 * (active as i64 - 2 * flips)) as f64
-                })
-                .collect()
+            crate::obs_util::time_engine_phase("reduction", || {
+                let lane_mask = if active == LANES {
+                    u64::MAX
+                } else {
+                    (1u64 << active) - 1
+                };
+                prepared
+                    .iter()
+                    .map(|(r, support)| {
+                        if *r == 0 {
+                            return 0.0;
+                        }
+                        let parity = support_parity(&out, support);
+                        let flips = (parity & lane_mask).count_ones() as i64;
+                        (*r as i64 * (active as i64 - 2 * flips)) as f64
+                    })
+                    .collect()
+            })
         });
-        let mut out = vec![0.0; paulis.len()];
-        for part in partials {
-            for (o, p) in out.iter_mut().zip(part.iter()) {
-                *o += p;
+        crate::obs_util::time_engine_phase("reduction", || {
+            let mut out = vec![0.0; paulis.len()];
+            for part in partials {
+                for (o, p) in out.iter_mut().zip(part.iter()) {
+                    *o += p;
+                }
             }
-        }
-        for o in &mut out {
-            *o /= shots as f64;
-        }
-        out
+            for o in &mut out {
+                *o /= shots as f64;
+            }
+            out
+        })
     }
 
     /// Per-shot ±1 outcomes over this prepared plan: batch `b`'s
@@ -913,27 +939,31 @@ impl BatchPlan {
             let base = b * LANES;
             let active = LANES.min(shots - base);
             let out = self.run_batch(sim, seed, base, active, ins);
-            let lane_mask = if active == LANES {
-                u64::MAX
-            } else {
-                (1u64 << active) - 1
-            };
-            prepared
-                .iter()
-                .map(|(_, support)| support_parity(&out, support) & lane_mask)
-                .collect()
+            crate::obs_util::time_engine_phase("reduction", || {
+                let lane_mask = if active == LANES {
+                    u64::MAX
+                } else {
+                    (1u64 << active) - 1
+                };
+                prepared
+                    .iter()
+                    .map(|(_, support)| support_parity(&out, support) & lane_mask)
+                    .collect()
+            })
         });
-        let mut flips = vec![vec![0u64; batches]; paulis.len()];
-        for (b, words) in partials.iter().enumerate() {
-            for (o, w) in words.iter().enumerate() {
-                flips[o][b] = *w;
+        crate::obs_util::time_engine_phase("reduction", || {
+            let mut flips = vec![vec![0u64; batches]; paulis.len()];
+            for (b, words) in partials.iter().enumerate() {
+                for (o, w) in words.iter().enumerate() {
+                    flips[o][b] = *w;
+                }
             }
-        }
-        PauliFlips {
-            shots,
-            refs: prepared.iter().map(|(r, _)| *r).collect(),
-            flips,
-        }
+            PauliFlips {
+                shots,
+                refs: prepared.iter().map(|(r, _)| *r).collect(),
+                flips,
+            }
+        })
     }
 }
 

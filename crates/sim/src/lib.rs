@@ -54,6 +54,7 @@ pub mod executor;
 pub mod frame_batch;
 pub mod insert;
 pub mod noise;
+pub(crate) mod obs_util;
 pub mod pauli_frame;
 pub mod plan;
 pub mod result;

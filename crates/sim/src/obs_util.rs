@@ -1,0 +1,76 @@
+//! Small helpers binding the engines to `ca-obs`.
+//!
+//! The engines attribute their wall time to three phases — noise
+//! *sampling* (RNG draws), frame *propagation* (symplectic updates),
+//! and *reduction* (count/expectation merges) — under the `engine`
+//! observability category. Everything here reads only the clock:
+//! no RNG is drawn and no simulation state is touched, which is what
+//! keeps results bit-identical across `CA_OBS` levels.
+
+use std::time::Instant;
+
+#[inline]
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Runs `f`, recording its duration into the `engine/<name>`
+/// histogram. When observability is off the clock is never read.
+pub(crate) fn time_engine_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let t0 = ca_obs::enabled().then(Instant::now);
+    let out = f();
+    if let Some(t0) = t0 {
+        ca_obs::observe_ns("engine", name, elapsed_ns(t0));
+    }
+    out
+}
+
+/// Tick-chained sampling/propagation timer for the engines' hot
+/// loops: each [`tick_sampling`](PhaseTimer::tick_sampling) /
+/// [`tick_propagation`](PhaseTimer::tick_propagation) reads the clock
+/// once and attributes the interval since the previous tick to that
+/// phase, so a long op sequence costs one clock read per attribution
+/// point rather than two. Inert (zero clock reads) when observability
+/// is off.
+pub(crate) struct PhaseTimer {
+    last: Option<Instant>,
+    sampling_ns: u64,
+    propagation_ns: u64,
+}
+
+impl PhaseTimer {
+    pub(crate) fn start() -> Self {
+        Self {
+            last: ca_obs::enabled().then(Instant::now),
+            sampling_ns: 0,
+            propagation_ns: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tick_sampling(&mut self) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            self.sampling_ns += now.duration_since(last).as_nanos() as u64;
+            self.last = Some(now);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tick_propagation(&mut self) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            self.propagation_ns += now.duration_since(last).as_nanos() as u64;
+            self.last = Some(now);
+        }
+    }
+
+    /// Flushes the accumulated phase times into the
+    /// `engine/sampling` and `engine/propagation` histograms.
+    pub(crate) fn finish(self) {
+        if self.last.is_some() {
+            ca_obs::observe_ns("engine", "sampling", self.sampling_ns);
+            ca_obs::observe_ns("engine", "propagation", self.propagation_ns);
+        }
+    }
+}

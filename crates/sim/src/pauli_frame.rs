@@ -307,6 +307,7 @@ impl FramePlan {
         plan: Arc<ExecutionPlan>,
         seed: u64,
     ) -> Result<Self, SimError> {
+        let _s = ca_obs::span("sim.compile", "frame-plan");
         stabilizer_check(&sc)?;
         let mut cache1: HashMap<(&'static str, u64), Arc<[(i8, Pauli); 4]>> = HashMap::new();
         let mut cache2: HashMap<(&'static str, u64), Arc<Table2Q>> = HashMap::new();
@@ -518,11 +519,22 @@ impl FramePlan {
     ) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
         let n = self.sc.num_qubits;
         let config = &sim.config;
+        // Coarse phase attribution for the serial engine: the
+        // shot-start noise draws go to `engine/sampling`, the whole
+        // shot to `engine/shot` (flush-time draws interleave with
+        // frame updates too finely to split here; the batch engine
+        // provides the full sampling/propagation breakdown). Clock
+        // reads only — never RNG.
+        let t_start = ca_obs::enabled().then(std::time::Instant::now);
         let shot = ShotNoise::sample(&sim.device, config, rng);
         let mut fx = vec![0u64; self.words];
         let mut fz = vec![0u64; self.words];
         // Initial Z-frame randomization: Z stabilizes |0…0⟩.
         randomize_z_all(&mut fz, n, rng);
+        if let Some(t0) = t_start {
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            ca_obs::observe_ns("engine", "sampling", ns);
+        }
         let mut bits = vec![false; self.sc.num_clbits.max(1)];
         // Factored Z banks (see the module docs): deterministic phase
         // plus signed time, combined with the shot's stochastic rate
@@ -750,6 +762,10 @@ impl FramePlan {
         for q in 0..n {
             flush_qubit!(q, rng);
         }
+        if let Some(t0) = t_start {
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            ca_obs::observe_ns("engine", "shot", ns);
+        }
         (fx, fz, bits)
     }
 }
@@ -775,7 +791,9 @@ impl FramePlan {
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
-        RunResult::from_parts(shots, nbits, parts)
+        crate::obs_util::time_engine_phase("reduction", || {
+            RunResult::from_parts(shots, nbits, parts)
+        })
     }
 
     /// Reference expectation and packed masks per observable.
@@ -821,16 +839,18 @@ impl FramePlan {
                 }
             },
         );
-        let mut out = vec![0.0; paulis.len()];
-        for part in sums {
-            for (o, p) in out.iter_mut().zip(part.iter()) {
-                *o += p;
+        crate::obs_util::time_engine_phase("reduction", || {
+            let mut out = vec![0.0; paulis.len()];
+            for part in sums {
+                for (o, p) in out.iter_mut().zip(part.iter()) {
+                    *o += p;
+                }
             }
-        }
-        for o in &mut out {
-            *o /= shots as f64;
-        }
-        out
+            for o in &mut out {
+                *o /= shots as f64;
+            }
+            out
+        })
     }
 
     /// Per-shot ±1 outcomes over this prepared plan (see
@@ -866,19 +886,21 @@ impl FramePlan {
                 }
             },
         );
-        let mut flips = vec![vec![0u64; words]; prepared.len()];
-        for part in parts {
-            for (acc, obs) in flips.iter_mut().zip(part.iter()) {
-                for (a, w) in acc.iter_mut().zip(obs.iter()) {
-                    *a |= w;
+        crate::obs_util::time_engine_phase("reduction", || {
+            let mut flips = vec![vec![0u64; words]; prepared.len()];
+            for part in parts {
+                for (acc, obs) in flips.iter_mut().zip(part.iter()) {
+                    for (a, w) in acc.iter_mut().zip(obs.iter()) {
+                        *a |= w;
+                    }
                 }
             }
-        }
-        PauliFlips {
-            shots,
-            refs: prepared.iter().map(|(r, _, _)| *r).collect(),
-            flips,
-        }
+            PauliFlips {
+                shots,
+                refs: prepared.iter().map(|(r, _, _)| *r).collect(),
+                flips,
+            }
+        })
     }
 }
 

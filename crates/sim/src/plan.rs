@@ -90,6 +90,8 @@ impl ExecutionPlan {
         device: &Device,
         config: &NoiseConfig,
     ) -> Result<Self, SimError> {
+        let _s =
+            ca_obs::span("sim.compile", "timeline-plan").with_arg("items", sc.items.len() as f64);
         // Arity first: the lowering below indexes fixed operand slots.
         crate::engine::check_gate_arities(&sc)?;
         for (i, si) in sc.items.iter().enumerate() {
@@ -244,14 +246,13 @@ pub fn shot_seed(seed: u64, shot: usize) -> u64 {
 /// Resolves the worker-thread count for a fan-out over `jobs` work
 /// units: an explicit request wins, then the `CA_SIM_WORKERS`
 /// environment variable (used by CI to pin thread counts in
-/// determinism checks), then the host's available parallelism.
+/// determinism checks), then the host's available parallelism. An
+/// invalid `CA_SIM_WORKERS` is not silently ignored:
+/// `ca_obs::var_parsed` warns once and counts it before the host
+/// default applies.
 pub fn worker_count(requested: Option<usize>, jobs: usize) -> usize {
     let base = requested
-        .or_else(|| {
-            std::env::var("CA_SIM_WORKERS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        })
+        .or_else(|| ca_obs::var_parsed::<usize>("CA_SIM_WORKERS"))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())

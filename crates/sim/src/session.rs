@@ -345,6 +345,8 @@ impl Simulator {
         seed: u64,
         key: CacheKey,
     ) -> Result<CompiledCircuit, SimError> {
+        let _s = ca_obs::span("sim.compile", "artifact");
+        ca_obs::counter_add("sim.compiles", 1);
         let engine = self.engine_for(&sc)?.name();
         let backend = match engine {
             "statevector" => {
@@ -491,6 +493,15 @@ impl Job {
     }
 }
 
+/// Observability counter names for one [`Lru`] level (static so
+/// recording stays allocation-free).
+struct LruCounterNames {
+    hit: &'static str,
+    miss: &'static str,
+    eviction: &'static str,
+    verify_mismatch: &'static str,
+}
+
 /// A small LRU keyed by a 64-bit structural hash. Hits are verified
 /// by the caller-supplied predicate, so hash collisions degrade to
 /// misses instead of serving wrong values.
@@ -500,16 +511,22 @@ struct Lru<T> {
     entries: HashMap<u64, (Arc<T>, u64)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    verify_mismatches: u64,
+    obs: LruCounterNames,
 }
 
 impl<T> Lru<T> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, obs: LruCounterNames) -> Self {
         Self {
             capacity,
             stamp: 0,
             entries: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
+            verify_mismatches: 0,
+            obs,
         }
     }
 
@@ -517,13 +534,26 @@ impl<T> Lru<T> {
         self.stamp += 1;
         let stamp = self.stamp;
         match self.entries.get_mut(&key) {
-            Some((v, used)) if verify(v) => {
-                *used = stamp;
-                self.hits += 1;
-                Some(v.clone())
+            Some((v, used)) => {
+                if verify(v) {
+                    *used = stamp;
+                    self.hits += 1;
+                    ca_obs::counter_add(self.obs.hit, 1);
+                    Some(v.clone())
+                } else {
+                    // 64-bit key collision: the entry under this key
+                    // is a different circuit. Degrades to a miss (the
+                    // caller recompiles); never serves a wrong plan.
+                    self.verify_mismatches += 1;
+                    self.misses += 1;
+                    ca_obs::counter_add(self.obs.verify_mismatch, 1);
+                    ca_obs::counter_add(self.obs.miss, 1);
+                    None
+                }
             }
-            _ => {
+            None => {
                 self.misses += 1;
+                ca_obs::counter_add(self.obs.miss, 1);
                 None
             }
         }
@@ -543,6 +573,8 @@ impl<T> Lru<T> {
                 .map(|(k, _)| *k)
                 .expect("non-empty cache");
             self.entries.remove(&oldest);
+            self.evictions += 1;
+            ca_obs::counter_add(self.obs.eviction, 1);
         }
     }
 }
@@ -554,14 +586,50 @@ pub struct CacheStats {
     pub hits: u64,
     /// Compiled-artifact lookups that compiled fresh.
     pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Lookups whose 64-bit key matched a different circuit: the hit
+    /// was rejected by verification and recompiled (also counted in
+    /// `misses`).
+    pub verify_mismatches: u64,
     /// Compiled artifacts currently cached.
     pub len: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Default plan-cache capacity: large enough to hold a full
 /// multi-strategy sweep's twirl ensemble, small enough to bound
 /// memory.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// The plan-cache capacity [`Session::new`] resolves from the
+/// `CA_SIM_PLAN_CACHE` environment variable: a number sets the
+/// capacity, `0`/`off` disables caching, unset means
+/// [`DEFAULT_PLAN_CACHE_CAPACITY`]. A set-but-invalid value is *not*
+/// silently absorbed: `ca_obs::var_parsed_with` warns once on stderr
+/// and bumps the `obs.env.invalid` counter before the default
+/// applies.
+pub fn plan_cache_capacity_from_env() -> usize {
+    ca_obs::var_parsed_with("CA_SIM_PLAN_CACHE", |v| {
+        if v.eq_ignore_ascii_case("off") {
+            Some(0)
+        } else {
+            v.parse().ok()
+        }
+    })
+    .unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY)
+}
 
 /// A simulator with a plan cache and a job API — the serving layer:
 /// compile each distinct `(circuit, seed)` once, answer every
@@ -584,12 +652,7 @@ impl Session {
     /// (or as overridden/disabled by the `CA_SIM_PLAN_CACHE` env
     /// var: a number sets the capacity, `0`/`off` disables caching).
     pub fn new(sim: Simulator) -> Self {
-        let capacity = match std::env::var("CA_SIM_PLAN_CACHE") {
-            Ok(v) if v.eq_ignore_ascii_case("off") => 0,
-            Ok(v) => v.parse().unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY),
-            Err(_) => DEFAULT_PLAN_CACHE_CAPACITY,
-        };
-        Self::with_capacity(sim, capacity)
+        Self::with_capacity(sim, plan_cache_capacity_from_env())
     }
 
     /// A session with an explicit cache capacity (0 disables caching).
@@ -598,8 +661,24 @@ impl Session {
         Self {
             sim,
             sim_fp,
-            cache: Mutex::new(Lru::new(capacity)),
-            exec: Mutex::new(Lru::new(capacity)),
+            cache: Mutex::new(Lru::new(
+                capacity,
+                LruCounterNames {
+                    hit: "session.cache.hit",
+                    miss: "session.cache.miss",
+                    eviction: "session.cache.eviction",
+                    verify_mismatch: "session.cache.verify_mismatch",
+                },
+            )),
+            exec: Mutex::new(Lru::new(
+                capacity,
+                LruCounterNames {
+                    hit: "session.exec_cache.hit",
+                    miss: "session.exec_cache.miss",
+                    eviction: "session.exec_cache.eviction",
+                    verify_mismatch: "session.exec_cache.verify_mismatch",
+                },
+            )),
         }
     }
 
@@ -608,13 +687,16 @@ impl Session {
         &self.sim
     }
 
-    /// Cache hit/miss counters and current size (compiled-artifact
-    /// level).
+    /// Cache traffic counters and current size (compiled-artifact
+    /// level): hits, misses, evictions, and verification rejections
+    /// of colliding keys.
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.cache.lock().expect("plan cache");
         CacheStats {
             hits: cache.hits,
             misses: cache.misses,
+            evictions: cache.evictions,
+            verify_mismatches: cache.verify_mismatches,
             len: cache.entries.len(),
         }
     }
@@ -721,6 +803,10 @@ impl Session {
     }
 
     fn run_with_workers(&self, job: &Job, workers: Option<usize>) -> Result<JobOutput, SimError> {
+        let _job_span = ca_obs::span("session", "job")
+            .with_arg("shots", job.shots as f64)
+            .with_arg("seed", job.seed as f64);
+        ca_obs::counter_add("session.jobs", 1);
         let compiled = match &job.dressing {
             Some(dressing) => self.compiled_dressed(&job.circuit, dressing, job.seed)?,
             None => self.compiled(&job.circuit, job.seed)?,
@@ -747,10 +833,24 @@ impl Session {
         if jobs.len() <= 1 {
             return jobs.iter().map(|j| self.run(j)).collect();
         }
+        let _batch_span = ca_obs::span("session", "submit").with_arg("jobs", jobs.len() as f64);
+        if ca_obs::enabled() {
+            ca_obs::gauge_set(
+                "session.workers",
+                crate::plan::worker_count(None, jobs.len()) as f64,
+            );
+        }
+        // Queue wait = time from submission until a worker picks the
+        // job up; the clock is read only when observability is on.
+        let submitted = ca_obs::enabled().then(std::time::Instant::now);
         // Jobs occupy the worker threads; pin each job's inner shot
         // fan-out to one thread to avoid oversubscription. (Results
         // are worker-count independent either way.)
         map_batches(jobs.len(), None, |i| {
+            if let Some(t0) = submitted {
+                let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                ca_obs::observe_ns("session", "job.queue_wait", ns);
+            }
             self.run_with_workers(&jobs[i], Some(1))
         })
     }

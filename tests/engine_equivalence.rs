@@ -760,6 +760,87 @@ fn session_cached_runs_are_bit_identical_to_cold_compiles() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observability bit-identity: the `ca-obs` instrumentation in the
+// compile pipeline, session layer, and both frame engines reads only
+// the clock — it never draws from the RNG and never touches
+// simulation state — so every result must be bit-identical whether
+// tracing is off, at summary level, or at trace level. These checks
+// run in CI both with `CA_OBS` unset and with `CA_OBS=summary`.
+// ---------------------------------------------------------------------------
+
+/// Serialises tests that toggle the process-global `ca-obs` level so
+/// each closure runs entirely under the level it asked for.
+static OBS_LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_obs_level<T>(level: ca_obs::Level, f: impl FnOnce() -> T) -> T {
+    let _guard = OBS_LEVEL_LOCK.lock().unwrap();
+    let prev = ca_obs::level();
+    ca_obs::set_level(level);
+    let out = f();
+    ca_obs::set_level(prev);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn obs_level_never_changes_counts(
+        qc in arb_dynamic_circuit(5),
+        // Odd shot counts: partial tail words exercise the same lane
+        // masking whether or not the phase timers run.
+        shots in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        let sim = noisy_frame_sim(qc.num_qubits);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let off = with_obs_level(ca_obs::Level::Off, || (
+            serial.run_counts(&sc, shots, seed).unwrap(),
+            batch.run_counts(&sc, shots, seed).unwrap(),
+        ));
+        let on = with_obs_level(ca_obs::Level::Summary, || (
+            serial.run_counts(&sc, shots, seed).unwrap(),
+            batch.run_counts(&sc, shots, seed).unwrap(),
+        ));
+        prop_assert_eq!(&off.0, &off.1, "serial vs batch (obs off)");
+        prop_assert_eq!(off, on, "obs must be invisible: shots {} seed {}", shots, seed);
+    }
+
+    #[test]
+    fn obs_level_never_changes_flips_across_worker_counts(
+        qc in arb_clifford_circuit(5),
+        shots in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        let sim = noisy_frame_sim(qc.num_qubits);
+        let mut open = qc.clone();
+        open.instructions.retain(|i| i.gate != Gate::Measure);
+        let sc = schedule_asap(&open, GateDurations::default());
+        let obs = [
+            PauliString::parse("ZZIII").unwrap(),
+            PauliString::parse("IXXII").unwrap(),
+        ];
+        let ins = random_insertions(&sc, shots, 1 + shots / 2, seed ^ 0x5A5A);
+        let serial = StabilizerEngine::new(&sim);
+        let batch = BatchedFrameEngine::new(&sim);
+        let off = with_obs_level(ca_obs::Level::Off, || {
+            serial.expect_flips(&sc, &obs, shots, seed, &ins).unwrap()
+        });
+        for workers in [1usize, 2, 8] {
+            let on = with_obs_level(ca_obs::Level::Summary, || {
+                batch.expect_flips(&sc, &obs, shots, seed, &ins, Some(workers)).unwrap()
+            });
+            prop_assert_eq!(
+                &off, &on,
+                "obs must be invisible: shots {} seed {} workers {}", shots, seed, workers
+            );
+        }
+    }
+}
+
 /// The twirl-ensemble shared-schedule fast path must agree bit for
 /// bit with compiling every instance independently through the full
 /// pass pipeline — the soundness contract of `CompiledCircuit::redress`.
