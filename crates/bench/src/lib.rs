@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-bench
 //!
 //! Benchmark harness: one `cargo bench` target per paper table/figure
@@ -108,11 +109,11 @@ pub mod obs {
         let Some(path) = ca_obs::finish() else {
             return;
         };
-        let text = std::fs::read_to_string(&path).expect("read trace file back");
-        let doc = serde_json::parse_value(&text).expect("trace file must be valid JSON");
+        let text = std::fs::read_to_string(&path).expect("read trace file back"); // ca-lint: allow(panic) -- bench smoke assertion must fail loudly in CI
+        let doc = serde_json::parse_value(&text).expect("trace file must be valid JSON"); // ca-lint: allow(panic) -- bench smoke assertion must fail loudly in CI
         let events = match lookup(&doc, "traceEvents") {
             Some(Value::Arr(events)) => events,
-            _ => panic!("trace file must carry a traceEvents array"),
+            _ => panic!("trace file must carry a traceEvents array"), // ca-lint: allow(panic) -- bench smoke assertion must fail loudly in CI
         };
         let mut categories = std::collections::BTreeSet::new();
         for event in events {

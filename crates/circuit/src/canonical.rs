@@ -75,7 +75,7 @@ pub fn absorb_rzz_into_can(gate: Gate, theta: f64) -> Gate {
             gamma: gamma - theta / 2.0,
         },
         Gate::Rzz(t) => Gate::Rzz(t + theta),
-        _ => panic!("cannot absorb Rzz into {}", gate.name()),
+        _ => panic!("cannot absorb Rzz into {}", gate.name()), // ca-lint: allow(panic) -- canonicalizer precondition: absorb sites are Rz/Rzz by pass construction
     }
 }
 
@@ -90,29 +90,29 @@ pub fn fragment_unitary(instrs: &[Instruction], a: usize, b: usize) -> Mat4 {
                 let u = i
                     .gate
                     .matrix1()
-                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
+                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name())); // ca-lint: allow(panic) -- gates reaching canonical form carry a 1q unitary by pass construction
                 if *q == a {
                     Mat4::kron(&Mat2::identity(), &u)
                 } else if *q == b {
                     Mat4::kron(&u, &Mat2::identity())
                 } else {
-                    panic!("qubit {q} outside fragment ({a},{b})")
+                    panic!("qubit {q} outside fragment ({a},{b})") // ca-lint: allow(panic) -- fragment bounds validated by the caller; out-of-range qubit is a pass bug
                 }
             }
             [q0, q1] => {
                 let u = i
                     .gate
                     .matrix2()
-                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name()));
+                    .unwrap_or_else(|| panic!("{} not unitary", i.gate.name())); // ca-lint: allow(panic) -- gates reaching canonical form carry a 2q unitary by pass construction
                 if (*q0, *q1) == (a, b) {
                     u
                 } else if (*q0, *q1) == (b, a) {
                     u.swap_qubits()
                 } else {
-                    panic!("qubits ({q0},{q1}) outside fragment ({a},{b})")
+                    panic!("qubits ({q0},{q1}) outside fragment ({a},{b})") // ca-lint: allow(panic) -- fragment bounds validated by the caller; out-of-range qubit is a pass bug
                 }
             }
-            _ => panic!("unsupported arity"),
+            _ => panic!("unsupported arity"), // ca-lint: allow(panic) -- arity validated before fragment extraction
         };
         m = gm.mul(&m);
     }

@@ -8,7 +8,7 @@
 use crate::gate::Gate;
 use crate::matrix::{Mat2, Mat4};
 use crate::pauli::{Pauli, PauliString};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Conjugates a single-qubit Pauli by a single-qubit Clifford gate:
@@ -21,7 +21,7 @@ pub fn conjugate_1q(gate: Gate, p: Pauli) -> (i8, Pauli) {
         "{} is not a 1q Clifford",
         gate.name()
     );
-    let u = gate.matrix1().expect("unitary");
+    let u = gate.matrix1().expect("unitary"); // ca-lint: allow(panic) -- static Clifford generators all have defined 1q unitaries
     let conj = u.mul(&pauli_mat2(p)).mul(&u.adjoint());
     for cand in Pauli::ALL {
         let m = pauli_mat2(cand);
@@ -32,7 +32,7 @@ pub fn conjugate_1q(gate: Gate, p: Pauli) -> (i8, Pauli) {
             return (-1, cand);
         }
     }
-    unreachable!("conjugate of a Pauli by a Clifford must be a signed Pauli");
+    unreachable!("conjugate of a Pauli by a Clifford must be a signed Pauli"); // ca-lint: allow(panic) -- Clifford conjugation of a Pauli is a signed Pauli by group closure
 }
 
 /// Conjugates a two-qubit Pauli pair `(p_first, p_second)` by a
@@ -104,7 +104,7 @@ pub fn propagate_2q(s: &PauliString, gate: Gate, a: usize, b: usize) -> PauliStr
 }
 
 fn pauli_mat2(p: Pauli) -> Mat2 {
-    p.gate().matrix1().expect("pauli matrix")
+    p.gate().matrix1().expect("pauli matrix") // ca-lint: allow(panic) -- Pauli gates always have defined 1q unitaries
 }
 
 fn pauli_mat4(pair: (Pauli, Pauli)) -> Mat4 {
@@ -116,7 +116,7 @@ fn pauli_mat4(pair: (Pauli, Pauli)) -> Mat4 {
 pub type Table2Q = [(i8, (Pauli, Pauli)); 16];
 
 fn compute_table(gate: Gate) -> Table2Q {
-    let u = gate.matrix2().expect("2q unitary");
+    let u = gate.matrix2().expect("2q unitary"); // ca-lint: allow(panic) -- static Clifford generators all have defined 2q unitaries
     let ud = u.adjoint();
     let mut out = [(1i8, (Pauli::I, Pauli::I)); 16];
     for (idx, slot) in out.iter_mut().enumerate() {
@@ -148,12 +148,12 @@ fn compute_table(gate: Gate) -> Table2Q {
 }
 
 fn cached_two_qubit_table(gate: Gate) -> Option<&'static Table2Q> {
-    static TABLES: OnceLock<HashMap<&'static str, Table2Q>> = OnceLock::new();
+    static TABLES: OnceLock<BTreeMap<&'static str, Table2Q>> = OnceLock::new();
     if !matches!(gate, Gate::Cx | Gate::Cz | Gate::Ecr) {
         return None;
     }
     let tables = TABLES.get_or_init(|| {
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         for g in [Gate::Cx, Gate::Cz, Gate::Ecr] {
             m.insert(g.name(), compute_table(g));
         }

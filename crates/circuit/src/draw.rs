@@ -107,7 +107,7 @@ pub fn draw_schedule(sc: &ScheduledCircuit) -> String {
             .iter()
             .filter(|si| si.instruction.acts_on(q) && si.instruction.gate != Gate::Barrier)
             .collect();
-        items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+        items.sort_by(|a, b| a.t0.total_cmp(&b.t0));
         for si in items {
             out.push_str(&format!(
                 " [{:>6.0}+{:<4.0} {}]",

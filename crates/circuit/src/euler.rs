@@ -97,7 +97,7 @@ pub fn compose_1q(gates: &[Gate]) -> Mat2 {
     for g in gates {
         let gm = g
             .matrix1()
-            .unwrap_or_else(|| panic!("{} is not 1q unitary", g.name()));
+            .unwrap_or_else(|| panic!("{} is not 1q unitary", g.name())); // ca-lint: allow(panic) -- caller guarantees a 1q unitary gate; anything else is a pass bug
         m = gm.mul(&m);
     }
     m

@@ -271,8 +271,8 @@ impl Gate {
             Gate::Ecr => {
                 // ECR = (I_t⊗X_c − X_t⊗Y_c)/√2 with control the low bit:
                 // kron(high=target factor, low=control factor).
-                let x = Gate::X.matrix1().unwrap();
-                let y = Gate::Y.matrix1().unwrap();
+                let x = Gate::X.matrix1().unwrap(); // ca-lint: allow(panic) -- X matrix is statically defined
+                let y = Gate::Y.matrix1().unwrap(); // ca-lint: allow(panic) -- Y matrix is statically defined
                 let id = Mat2::identity();
                 let t1 = Mat4::kron(&id, &x);
                 let t2 = Mat4::kron(&x, &y);

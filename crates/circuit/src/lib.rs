@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-circuit
 //!
 //! Quantum-circuit intermediate representation for the context-aware

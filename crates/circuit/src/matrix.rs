@@ -207,7 +207,7 @@ fn global_phase_between(a: impl Iterator<Item = C64>, b: impl Iterator<Item = C6
     let pairs: Vec<(C64, C64)> = a.zip(b).collect();
     let (pa, pb) = pairs
         .iter()
-        .max_by(|x, y| x.1.norm_sqr().partial_cmp(&y.1.norm_sqr()).unwrap())?;
+        .max_by(|x, y| x.1.norm_sqr().total_cmp(&y.1.norm_sqr()))?;
     if pb.norm_sqr() < 1e-24 {
         return None;
     }

@@ -67,7 +67,7 @@ fn emit(out: &mut String, instr: &Instruction) {
             return;
         }
         Gate::Measure => {
-            let c = instr.clbit.expect("measure needs a clbit");
+            let c = instr.clbit.expect("measure needs a clbit"); // ca-lint: allow(panic) -- circuit validation guarantees measures carry a clbit
             format!("c[{c}] = measure {};", q(0))
         }
         Gate::Reset => format!("reset {};", q(0)),

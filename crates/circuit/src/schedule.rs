@@ -209,7 +209,7 @@ pub fn schedule_alap(circuit: &Circuit, durations: GateDurations) -> ScheduledCi
             ScheduledInstruction { t0, ..si }
         })
         .collect();
-    items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+    items.sort_by(|a, b| a.t0.total_cmp(&b.t0));
     ScheduledCircuit {
         num_qubits: circuit.num_qubits,
         num_clbits: circuit.num_clbits,
@@ -221,7 +221,7 @@ pub fn schedule_alap(circuit: &Circuit, durations: GateDurations) -> ScheduledCi
 
 impl ScheduledCircuit {
     fn sort_items(&mut self) {
-        self.items.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+        self.items.sort_by(|a, b| a.t0.total_cmp(&b.t0));
     }
 
     /// Items whose window overlaps `[t0, t1)` and act on `q`.
@@ -250,7 +250,7 @@ impl ScheduledCircuit {
             })
             .map(|si| (si.t0, si.t1()))
             .collect();
-        busy.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        busy.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut windows = Vec::new();
         let mut cursor = 0.0;
         for (s, e) in busy {
@@ -357,7 +357,7 @@ impl ScheduledCircuit {
             ts.push(si.t0);
             ts.push(si.t1());
         }
-        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.sort_by(|a, b| a.total_cmp(b));
         ts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         ts
     }

@@ -106,7 +106,7 @@ pub fn collect_joint_delays(
         // Recursive split of the group at its widest joint window.
         split_group(&mut VecDeque::from(group), d_min, &mut windows);
     }
-    windows.sort_by(|a, b| a.t0.partial_cmp(&b.t0).unwrap());
+    windows.sort_by(|a, b| a.t0.total_cmp(&b.t0));
     windows
 }
 
@@ -130,7 +130,7 @@ fn split_group(group: &mut VecDeque<(usize, f64, f64)>, d_min: f64, out: &mut Ve
                 best = Some((i, covering));
             }
         }
-        let (wi, _) = best.expect("non-empty group");
+        let (wi, _) = best.expect("non-empty group"); // ca-lint: allow(panic) -- group is non-empty: loop pushes before selecting best
         let (_, wa, wb) = group[wi];
         let qubits: Vec<usize> = {
             let mut qs: BTreeSet<usize> = BTreeSet::new();

@@ -201,7 +201,9 @@ pub fn ca_ec(
                             match instr.gate {
                                 Gate::Ecr if instr.qubits[0] == q => {
                                     // Control: Z_c → −Z_c.
-                                    *pend_zz.get_mut(&key).unwrap() = -pend_zz[&key];
+                                    if let Some(v) = pend_zz.get_mut(&key) {
+                                        *v = -*v;
+                                    }
                                     report.sign_flips += 1;
                                 }
                                 Gate::Cx if instr.qubits[0] == q => {
@@ -245,7 +247,9 @@ pub fn ca_ec(
                             | Gate::Rz(_) => {}
                             Gate::X | Gate::Y => {
                                 if !config.ignore_twirl_signs {
-                                    *pend_zz.get_mut(&key).unwrap() = -pend_zz[&key];
+                                    if let Some(v) = pend_zz.get_mut(&key) {
+                                        *v = -*v;
+                                    }
                                     report.sign_flips += 1;
                                 }
                             }

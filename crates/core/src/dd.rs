@@ -53,7 +53,7 @@ pub fn insert_pulses(sc: &mut ScheduledCircuit, q: usize, centers: &[f64], pulse
             duration: pulse_ns,
         });
     }
-    sc.items.sort_by(|x, y| x.t0.partial_cmp(&y.t0).unwrap());
+    sc.items.sort_by(|x, y| x.t0.total_cmp(&y.t0));
 }
 
 /// Applies the sequency-`k` Walsh sequence to `q` over `[a, b]`.

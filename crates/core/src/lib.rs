@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-core
 //!
 //! The paper's contribution: a context-aware compiler that suppresses

@@ -63,7 +63,7 @@ pub fn pauli_twirl(layered: &LayeredCircuit, rng: &mut StdRng) -> (LayeredCircui
                 let p = Pauli::from_index(rng.random_range(0..4usize));
                 ((p, p), (p, p))
             } else {
-                panic!("cannot twirl {}", instr.gate.name());
+                panic!("cannot twirl {}", instr.gate.name()); // ca-lint: allow(panic) -- twirl set covers every 2q gate the compiler emits; fail loudly on a new one
             };
             let (a, b) = (instr.qubits[0], instr.qubits[1]);
             before.push(Instruction::new(pb.0.gate(), [a]).as_merged());
@@ -117,7 +117,7 @@ pub fn readout_twirl(layered: &mut LayeredCircuit, rng: &mut StdRng) -> u64 {
         .layers
         .iter()
         .position(|l| l.kind == LayerKind::Measurement)
-        .expect("measurement layer exists");
+        .expect("measurement layer exists"); // ca-lint: allow(panic) -- twirled circuits end in a measurement layer by construction
     let xs = flips
         .into_iter()
         .map(|q| Instruction::new(ca_circuit::Gate::X, [q]))

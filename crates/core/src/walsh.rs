@@ -63,7 +63,7 @@ pub fn walsh_signs(k: usize) -> Vec<i8> {
             return s;
         }
     }
-    unreachable!("sequency {k} must exist");
+    unreachable!("sequency {k} must exist"); // ca-lint: allow(panic) -- Walsh sequency table covers 0..n by construction
 }
 
 /// Fractional pulse positions for the sequency-`k` sequence: one π

@@ -61,7 +61,7 @@ impl Device {
 
     /// Serialises the device to JSON (calibration snapshot format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("device serialises")
+        serde_json::to_string_pretty(self).expect("device serialises") // ca-lint: allow(panic) -- Device is plain data; JSON serialisation cannot fail
     }
 
     /// Loads a device from its JSON snapshot.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-device
 //!
 //! Device-model substrate: coupling topologies, calibration snapshots

@@ -52,7 +52,7 @@ pub fn heavy_hex_chain(topology: &Topology, len: usize) -> Option<Vec<usize>> {
         if path.len() == len {
             return true;
         }
-        let mut nbrs = topology.neighbors(*path.last().expect("non-empty path"));
+        let mut nbrs = topology.neighbors(*path.last().expect("non-empty path")); // ca-lint: allow(panic) -- walk starts from a seeded non-empty path
         nbrs.sort_unstable();
         for n in nbrs {
             if !used[n] {
@@ -175,9 +175,9 @@ pub fn bell_chain_fidelity(
         .collect();
     let engine = sim
         .engine_name_for(&sc)
-        .expect("resolve engine")
+        .expect("resolve engine") // ca-lint: allow(panic) -- workload built in this module is engine-valid by construction
         .to_string();
-    let vals = sim.expect_paulis(&sc, &obs, shots, seed).expect("simulate");
+    let vals = sim.expect_paulis(&sc, &obs, shots, seed).expect("simulate"); // ca-lint: allow(panic) -- workload built in this module is engine-valid by construction
     ((1.0 + vals[0] - vals[1] + vals[2]) / 4.0, engine)
 }
 
@@ -206,7 +206,7 @@ impl DynamicChainResult {
         self.compensated
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite fidelity"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -236,8 +236,8 @@ pub fn dynamic_127(
         "Bell fidelity F",
     );
     for &len in chain_lens {
-        let chain = heavy_hex_chain(&device.topology, len).expect("chain fits the lattice");
-        let start = std::time::Instant::now();
+        let chain = heavy_hex_chain(&device.topology, len).expect("chain fits the lattice"); // ca-lint: allow(panic) -- requested chain lengths fit the 127-qubit heavy-hex lattice
+        let start = std::time::Instant::now(); // ca-lint: allow(wall-clock) -- bench wall-time metadata only; never feeds results
         let (bare, engine) = bell_chain_fidelity(&sim, &device, &chain, 0.0, shots, budget.seed);
         let taus_ns: Vec<f64> = tau_fracs.iter().map(|f| f * truth).collect();
         let compensated: Vec<f64> = taus_ns

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-experiments
 //!
 //! Experiment drivers reproducing every table and figure of the

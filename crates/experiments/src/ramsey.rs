@@ -98,7 +98,7 @@ fn make_pipeline(kind: &str) -> PassManager {
                 d_min: DEFAULT_DMIN_NS,
             });
         }
-        other => panic!("unknown pipeline {other}"),
+        other => panic!("unknown pipeline {other}"), // ca-lint: allow(panic) -- fail loudly on an unknown pipeline name from the CLI
     }
     pm
 }
@@ -119,7 +119,7 @@ fn ramsey_fidelity(
         |_seed| make_pipeline(kind),
         budget,
     );
-    all_zeros_fidelity(&vals.expect("experiment"))
+    all_zeros_fidelity(&vals.expect("experiment")) // ca-lint: allow(panic) -- workload built in this module is engine-valid by construction
 }
 
 fn run_case(

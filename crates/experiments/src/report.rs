@@ -26,7 +26,7 @@ impl Series {
 
     /// The final y value (often the headline number).
     pub fn last_y(&self) -> f64 {
-        *self.ys.last().expect("non-empty series")
+        *self.ys.last().expect("non-empty series") // ca-lint: allow(panic) -- series are built non-empty by every experiment
     }
 
     /// Mean of y values.

@@ -195,7 +195,7 @@ pub fn averaged_expectations_with_session(
             .map(|r| {
                 r.map(|out| match out {
                     ca_sim::JobOutput::Expect(v) => v,
-                    _ => unreachable!("expect jobs return expectations"),
+                    _ => unreachable!("expect jobs return expectations"), // ca-lint: allow(panic) -- runner submits expect jobs only
                 })
             })
             .collect(),

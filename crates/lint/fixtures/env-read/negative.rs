@@ -1,0 +1,6 @@
+//! Linted as `crates/core/src/fixture.rs`: routing through
+//! `ca_obs::var_parsed` keeps the discipline.
+
+pub fn workers() -> usize {
+    ca_obs::var_parsed("CA_SIM_WORKERS").unwrap_or(1)
+}

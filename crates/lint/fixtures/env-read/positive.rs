@@ -1,0 +1,9 @@
+//! Linted as `crates/core/src/fixture.rs`: direct environment reads
+//! bypass the warn-once/invalid-counting discipline in `ca_obs::env`.
+
+pub fn workers() -> usize {
+    std::env::var("CA_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,6 @@
+//! Linted as `crates/core/src/fixture.rs`: an environment read with a
+//! reason (e.g. bootstrap ordering) may be waived.
+
+pub fn bootstrap() -> Option<String> {
+    std::env::var("CA_BOOT").ok() // ca-lint: allow(env-read) -- fixture: read before ca-obs is initialised
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Linted as `crates/sim/src/lib.rs`: the attribute anywhere in the
+//! file satisfies the rule (by policy it sits on line 1).
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,6 @@
+//! Linted as `crates/sim/src/lib.rs` (a crate root): missing
+//! `#![forbid(unsafe_code)]` is flagged at line 1.
+
+pub fn f() -> u32 {
+    1
+}

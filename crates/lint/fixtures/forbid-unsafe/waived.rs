@@ -1,0 +1,3 @@
+pub fn f() -> u32 { // ca-lint: allow(forbid-unsafe) -- fixture: vendor-shim-style exception, reviewed
+    1
+}

@@ -1,0 +1,16 @@
+//! Linted as `crates/sim/src/fixture.rs`: ordered collections and
+//! lookup-only hash maps are fine.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn totals() -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    counts.insert(1, 2);
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+pub fn lookup_only(key: u32) -> Option<u32> {
+    let mut cache: HashMap<u32, u32> = HashMap::new();
+    cache.insert(key, key + 1);
+    cache.get(&key).copied()
+}

@@ -1,0 +1,20 @@
+//! Linted as `crates/sim/src/fixture.rs` (a result-producing crate):
+//! iterating a hash collection feeds hash order into results.
+
+use std::collections::HashMap;
+
+pub fn totals() -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn keys() -> Vec<u32> {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    seen.insert(1, 1);
+    seen.keys().copied().collect()
+}

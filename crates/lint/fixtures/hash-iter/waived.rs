@@ -1,0 +1,10 @@
+//! Linted as `crates/sim/src/fixture.rs`: order-independent reductions
+//! over a hash map may be waived with a reason.
+
+use std::collections::HashMap;
+
+pub fn sum() -> u32 {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(1, 2);
+    counts.values().sum() // ca-lint: allow(hash-iter) -- fixture: a commutative sum is order-independent
+}

@@ -1,0 +1,7 @@
+//! Linted as `crates/obs/src/fixture.rs`: instrumentation that only
+//! reads clocks and writes its own shards passes.
+
+pub fn record(ns: u64) -> u64 {
+    // Counters and histograms only; no randomness anywhere.
+    ns
+}

@@ -1,0 +1,9 @@
+//! Linted as `crates/obs/src/fixture.rs`: any `rand` reference inside
+//! the observability crate violates the no-RNG invariant — even in
+//! test code.
+
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    rand::rng().random()
+}

@@ -1,0 +1,5 @@
+//! Linted as `crates/obs/src/fixture.rs`: the waiver machinery works
+//! on `obs-no-rng` too, though etiquette says never to use it — an
+//! RNG-touching obs crate cannot honour CA_OBS-level bit-identity.
+
+pub use std::hint as rand; // ca-lint: allow(obs-no-rng) -- fixture: demonstrates the ledger; real code must not do this

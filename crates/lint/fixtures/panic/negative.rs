@@ -1,0 +1,23 @@
+//! Linted as `crates/sim/src/fixture.rs`: structured error handling,
+//! debug assertions, and test code must all pass the `panic` rule.
+
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty slice".to_string())
+}
+
+pub fn parse(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+pub fn checked(n: u32) -> u32 {
+    debug_assert!(n < 100, "callers keep n in range");
+    n + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+    }
+}

@@ -1,0 +1,34 @@
+//! Linted as `crates/sim/src/fixture.rs`: every panicking macro and
+//! Option/Result shortcut in non-test library code must be flagged.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("fixture: digits only")
+}
+
+pub fn grade(n: u32) -> char {
+    match n {
+        0..=59 => 'F',
+        60..=100 => 'P',
+        _ => panic!("score out of range"),
+    }
+}
+
+pub fn stage(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        1 => 2,
+        _ => unreachable!("stages are binary"),
+    }
+}
+
+pub fn later() -> u32 {
+    todo!()
+}
+
+pub fn never() -> u32 {
+    unimplemented!()
+}

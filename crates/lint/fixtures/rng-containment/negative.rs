@@ -1,0 +1,9 @@
+//! Linted as `crates/sim/src/noise.rs` (a sanctioned RNG module):
+//! draws that flow from `plan::shot_seed` through an engine shot loop
+//! are the sanctioned pattern.
+
+use rand::Rng;
+
+pub fn sanctioned_draw(rng: &mut impl Rng) -> f64 {
+    rng.random()
+}

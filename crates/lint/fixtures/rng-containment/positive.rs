@@ -1,0 +1,8 @@
+//! Linted as `crates/sim/src/fixture.rs` (NOT a sanctioned RNG
+//! module): stray RNG outside the `plan::shot_seed` discipline.
+
+use rand::Rng;
+
+pub fn stray_draw() -> f64 {
+    rand::rng().random()
+}

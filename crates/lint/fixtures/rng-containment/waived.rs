@@ -1,0 +1,4 @@
+//! Linted as `crates/sim/src/fixture.rs`: an RNG reference outside
+//! the sanctioned modules needs a reason.
+
+pub use std::hint as rand; // ca-lint: allow(rng-containment) -- fixture: an alias naming the crate, not a draw

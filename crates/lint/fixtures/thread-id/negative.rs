@@ -1,0 +1,6 @@
+//! Linted as `crates/sim/src/fixture.rs`: keying work off shot/job
+//! indices is deterministic at any worker count.
+
+pub fn shard(shot_index: u64, shards: u64) -> u64 {
+    shot_index % shards
+}

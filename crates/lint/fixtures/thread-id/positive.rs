@@ -1,0 +1,9 @@
+//! Linted as `crates/sim/src/fixture.rs`: thread-identity-derived
+//! logic breaks the any-worker-count bit-identity contract.
+
+pub fn shard() -> u64 {
+    let id = std::thread::current().id();
+    let mut h = std::hash::DefaultHasher::new();
+    std::hash::Hash::hash(&id, &mut h);
+    std::hash::Hasher::finish(&h)
+}

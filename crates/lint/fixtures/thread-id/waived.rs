@@ -1,0 +1,6 @@
+//! Linted as `crates/sim/src/fixture.rs`: naming threads for
+//! diagnostics does not affect results and may be waived.
+
+pub fn worker_label() -> String {
+    format!("{:?}", std::thread::current().id()) // ca-lint: allow(thread-id) -- fixture: label feeds a diagnostic string only
+}

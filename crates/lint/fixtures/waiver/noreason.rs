@@ -1,0 +1,7 @@
+//! Linted as `crates/sim/src/fixture.rs`: a waiver without `-- reason`
+//! suppresses nothing — both the original violation and a `waiver`
+//! diagnostic are emitted.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // ca-lint: allow(panic)
+}

@@ -1,0 +1,8 @@
+//! Linted as `crates/sim/src/fixture.rs`: a waiver matching no
+//! violation is flagged as `unused-waiver` so stale waivers cannot
+//! hide regressions.
+
+// ca-lint: allow(panic) -- fixture: nothing on the next line panics
+pub fn f() -> u32 {
+    1
+}

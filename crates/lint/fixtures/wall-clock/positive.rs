@@ -1,0 +1,15 @@
+//! Linted as `crates/core/src/fixture.rs` (not a clock crate): ad-hoc
+//! wall-clock reads in result paths are flagged.
+
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn since_epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,7 @@
+//! Linted as `crates/core/src/fixture.rs`: a clock read that
+//! provably never feeds results may be waived.
+
+pub fn log_line() -> String {
+    let t0 = std::time::Instant::now(); // ca-lint: allow(wall-clock) -- fixture: duration goes to a log string, never into results
+    format!("took {:?}", t0.elapsed())
+}

@@ -1,0 +1,408 @@
+//! A minimal Rust surface lexer: blanks comments and literal contents
+//! out of a source file while preserving its byte length and line
+//! structure, and extracts line comments for waiver parsing.
+//!
+//! The rules engine scans the *blanked* text, so `panic!` inside a doc
+//! comment or `"HashMap"` inside a string literal can never trip a
+//! rule. This is not a full lexer — it only needs to agree with rustc
+//! on where comments and literals start and end: line comments, nested
+//! block comments, string / byte-string / raw-string literals (any
+//! `#` count), char literals, and the char-vs-lifetime ambiguity.
+
+/// One line comment (`//`, `///`, `//!`) found in the source.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text after the leading slashes (untrimmed).
+    pub text: String,
+    /// True when the comment is the first non-whitespace on its line
+    /// (a standalone comment); false when it trails code.
+    pub own_line: bool,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug)]
+pub struct Scan {
+    /// The source with comments and literal contents replaced by
+    /// spaces. Newlines are preserved, so byte offsets and line
+    /// numbers match the original exactly.
+    pub code: String,
+    /// All line comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+}
+
+impl Scan {
+    /// 1-based line number of a byte offset in `code`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // offset sits after line_starts[i-1] -> line i
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// True when the given 1-based line holds no code (only blanked
+    /// comments/whitespace).
+    pub fn line_is_blank(&self, line: usize) -> bool {
+        if line == 0 || line > self.line_starts.len() {
+            return true;
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.code.len());
+        self.code[start..end].trim().is_empty()
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source` into a [`Scan`].
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    let mut line = 1usize;
+    let mut line_had_code = false;
+    let mut i = 0usize;
+
+    // Pushes a blank in place of a consumed byte, keeping newlines.
+    fn blank_push(out: &mut Vec<u8>, b: u8, line: &mut usize, line_starts: &mut Vec<usize>) {
+        if b == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+            line_starts.push(out.len());
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                line_starts.push(out.len());
+                line_had_code = false;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: capture text to end of line.
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    own_line: !line_had_code,
+                });
+                for k in i..j {
+                    blank_push(
+                        &mut out,
+                        if bytes[k] == b'\n' { b'\n' } else { b' ' },
+                        &mut line,
+                        &mut line_starts,
+                    );
+                }
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                for k in i..j {
+                    blank_push(&mut out, bytes[k], &mut line, &mut line_starts);
+                }
+                i = j;
+            }
+            b'"' => {
+                i = consume_string(bytes, i, &mut out, &mut line, &mut line_starts);
+                line_had_code = true;
+            }
+            b'r' | b'b' if !prev_is_ident(&out) => {
+                // Possible raw string r"..", r#".."#, byte b"..",
+                // raw byte br#".."#, or just an identifier.
+                if let Some(end) = raw_or_byte_string_end(bytes, i) {
+                    for k in i..end {
+                        blank_push(&mut out, bytes[k], &mut line, &mut line_starts);
+                    }
+                    i = end;
+                    line_had_code = true;
+                } else {
+                    out.push(b);
+                    line_had_code = true;
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    for k in i..end {
+                        blank_push(&mut out, bytes[k], &mut line, &mut line_starts);
+                    }
+                    i = end;
+                } else {
+                    out.push(b'\''); // lifetime tick
+                    i += 1;
+                }
+                line_had_code = true;
+            }
+            _ => {
+                out.push(b);
+                if !b.is_ascii_whitespace() {
+                    line_had_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    Scan {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+        line_starts,
+    }
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last().is_some_and(|&b| is_ident(b))
+}
+
+/// Consumes a plain `"…"` string starting at `i` (the opening quote),
+/// blanking it into `out`; returns the index just past the close.
+fn consume_string(
+    bytes: &[u8],
+    i: usize,
+    out: &mut Vec<u8>,
+    line: &mut usize,
+    line_starts: &mut Vec<usize>,
+) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(bytes.len());
+    for k in i..end {
+        let b = if bytes[k] == b'\n' { b'\n' } else { b' ' };
+        if b == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+            line_starts.push(out.len());
+        } else {
+            out.push(b' ');
+        }
+    }
+    end
+}
+
+/// If a raw / byte / raw-byte string starts at `i` (`r`, `b`, or `br`
+/// prefix), returns the index just past its closing delimiter.
+fn raw_or_byte_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        raw = true;
+        j += 1;
+    }
+    if !raw {
+        // b"..." — plain byte string; escapes apply.
+        if bytes.get(j) == Some(&b'"') {
+            let mut k = j + 1;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'\\' => k += 2,
+                    b'"' => return Some(k + 1),
+                    _ => k += 1,
+                }
+            }
+            return Some(bytes.len());
+        }
+        return None;
+    }
+    // r / br prefix: count hashes, then require a quote (otherwise it
+    // is a raw identifier like r#match, or a plain ident).
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    let mut k = j + 1;
+    while k < bytes.len() {
+        if bytes[k] == b'"' {
+            let mut h = 0usize;
+            while h < hashes && bytes.get(k + 1 + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return Some(k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    Some(bytes.len())
+}
+
+/// If a char literal starts at `i` (the tick), returns the index just
+/// past its closing tick; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => {
+            // Escaped char: scan to the closing tick.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        Some(&c) if c != b'\'' => {
+            // 'x' is a char literal; 'x followed by anything else is a
+            // lifetime. Multi-byte UTF-8 chars: find the next tick
+            // within 6 bytes.
+            let mut j = i + 1;
+            let limit = (i + 7).min(bytes.len());
+            while j < limit {
+                if bytes[j] == b'\'' {
+                    // ''' is not a lifetime; require at least one byte.
+                    return if j > i + 1 { Some(j + 1) } else { None };
+                }
+                if bytes[j] == b'\n'
+                    || (bytes[j] == b':'
+                        || bytes[j] == b'>'
+                        || bytes[j] == b','
+                        || bytes[j] == b' '
+                        || bytes[j] == b'('
+                        || bytes[j] == b')')
+                {
+                    return None; // lifetime position
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_blanked_and_captured() {
+        let s = scan("let x = 1; // trailing\n// own line\nlet y = 2;\n");
+        assert!(!s.code.contains("trailing"));
+        assert!(s.code.contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 2);
+        assert!(!s.comments[0].own_line);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[1].own_line);
+        assert_eq!(s.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_blanked_lines_preserved() {
+        let src = "let s = \"panic! // not a comment\";\nlet t = 1;\n";
+        let s = scan(src);
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("let t = 1;"));
+        assert_eq!(s.code.len(), src.len());
+        assert!(s.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let src = r####"let s = r#"unwrap() " inside"#; let u = 1;"####;
+        let s = scan(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let u = 1;"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let s = scan("let a = b\"x.unwrap()\"; let b2 = br#\"panic!\"#; ok();");
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains("panic"));
+        assert!(s.code.contains("ok();"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; }");
+        assert!(s.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.code.contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner unwrap() */ still */ let z = 3;");
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let src = "let s = \"line1\nline2\";\nlet x = 1;\n";
+        let s = scan(src);
+        assert_eq!(s.line_count(), 4);
+        let off = s.code.find("let x").unwrap();
+        assert_eq!(s.line_of(off), 3);
+    }
+
+    #[test]
+    fn line_blankness() {
+        let s = scan("// only a comment\nlet x = 1;\n\n");
+        assert!(s.line_is_blank(1));
+        assert!(!s.line_is_blank(2));
+        assert!(s.line_is_blank(3));
+    }
+
+    #[test]
+    fn raw_identifier_not_a_string() {
+        let s = scan("let r#match = 1; let ok = r#match;");
+        assert!(s.code.contains("r#match"));
+    }
+}

@@ -1,0 +1,238 @@
+#![forbid(unsafe_code)]
+//! `ca-lint` — a hand-rolled, zero-dependency static-analysis pass
+//! that enforces the workspace's determinism, panic-freedom, and
+//! observability no-RNG invariants at the source level.
+//!
+//! The repo's headline guarantee is bit-identical results across
+//! serial/batch engines, worker counts, cache states, and `CA_OBS`
+//! levels. The equivalence proptests enforce that *dynamically* — but
+//! only for the seeds they happen to draw. `ca-lint` is the *static*
+//! gate: it refuses the source patterns that create nondeterminism
+//! (hash-order iteration in result paths, ad-hoc clock/env/thread-id
+//! reads, stray RNG) and the panics that turn malformed inputs into
+//! aborts, before they can reach a run at all.
+//!
+//! The container is offline — no `syn`, no `proc-macro2` — so the
+//! analyzer carries its own comment/string-stripping lexer
+//! ([`lexer`]), a test/debug region tracker ([`regions`]), and a
+//! token-level rules engine ([`rules`]), in the same vendor-shim
+//! spirit as `crates/shims`. See the rule table in [`rules`] and the
+//! waiver syntax in [`waiver`].
+//!
+//! Shipped three ways so it cannot rot: the `workspace_is_lint_clean`
+//! integration test rides plain `cargo test -q` (tier-1), the
+//! `cargo run -p ca-lint -- --check` CLI gates CI with a waiver
+//! budget (`--max-waivers`), and `--fix-list` emits a mechanical
+//! sweep list.
+
+pub mod config;
+pub mod lexer;
+pub mod regions;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+pub use config::Config;
+pub use report::{Diagnostic, Report, WaiverEntry};
+
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text under a workspace-relative path (the
+/// path drives rule scoping; fixtures pass virtual paths).
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Report {
+    let scan = lexer::scan(source);
+    let regions = regions::compute(&scan);
+    let ctx = rules::FileCtx { rel_path, config };
+    let raw = rules::run_all(&ctx, &scan, &regions);
+    let mut waivers = waiver::collect(&scan);
+
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    for diag in raw {
+        let waived = waivers.iter_mut().find(|w| {
+            w.applies_to == diag.line
+                && w.rules.iter().any(|r| r == diag.rule)
+                && !w.reason.is_empty()
+        });
+        match waived {
+            Some(w) => w.used = true,
+            None => report.diagnostics.push(diag),
+        }
+    }
+
+    for w in &waivers {
+        if w.reason.is_empty() {
+            report.diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!(
+                    "waiver for `{}` is missing its reason — the syntax is \
+                     `// ca-lint: allow(<rule>) -- <non-empty reason>`; a reasonless \
+                     waiver suppresses nothing",
+                    w.rules.join(", ")
+                ),
+            });
+        } else if w.used {
+            report.waivers.push(WaiverEntry {
+                path: rel_path.to_string(),
+                line: w.line,
+                rules: w.rules.clone(),
+                reason: w.reason.clone(),
+            });
+        } else {
+            report.diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: w.line,
+                rule: "unused-waiver",
+                message: format!(
+                    "waiver for `{}` matches no violation on line {} — stale waivers \
+                     hide real regressions; delete it",
+                    w.rules.join(", "),
+                    w.applies_to
+                ),
+            });
+        }
+    }
+
+    report.sort();
+    report
+}
+
+/// Recursively lints every `.rs` file under `root` (a workspace
+/// checkout), honoring [`Config::skip_dirs`].
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let file_report = lint_source(&rel_str, &source, config);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.waivers.extend(file_report.waivers);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if path.is_dir() {
+            if config.skip_dirs.iter().any(|s| rel == *s) || rel.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, config, out)?;
+        } else if rel.ends_with(".rs") {
+            if let Ok(r) = path.strip_prefix(root) {
+                out.push(r.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn unwaived_unwrap_is_flagged_at_its_line() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "panic");
+        assert_eq!(r.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_and_is_counted() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // ca-lint: allow(panic) -- caller checked is_some\n}\n";
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].reason, "caller checked is_some");
+    }
+
+    #[test]
+    fn waiver_without_reason_rejected_and_violation_kept() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // ca-lint: allow(panic)\n}\n";
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        let rules: Vec<_> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"panic"), "{rules:?}");
+        assert!(rules.contains(&"waiver"), "{rules:?}");
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let src = "// ca-lint: allow(panic) -- nothing here panics\nfn f() -> u8 {\n    3\n}\n";
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "unused-waiver");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn non_result_crate_skips_hash_iter() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) -> usize {\n    m.iter().count()\n}\n";
+        let r = lint_source("crates/device/src/f.rs", src, &cfg());
+        assert!(r.diagnostics.iter().all(|d| d.rule != "hash-iter"));
+        let r = lint_source("crates/sim/src/f.rs", src, &cfg());
+        assert!(r.diagnostics.iter().any(|d| d.rule == "hash-iter"));
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let r = lint_source("crates/device/src/lib.rs", "pub fn f() {}\n", &cfg());
+        assert!(r.diagnostics.iter().any(|d| d.rule == "forbid-unsafe"));
+        let r = lint_source(
+            "crates/device/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &cfg(),
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn shims_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = lint_source("crates/shims/rand/src/lib.rs", src, &cfg());
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn integration_tests_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = lint_source("tests/engine_equivalence.rs", src, &cfg());
+        assert!(r.is_clean());
+        let r = lint_source("crates/sim/benches/foo.rs", src, &cfg());
+        assert!(r.is_clean());
+    }
+}

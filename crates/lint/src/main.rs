@@ -1,0 +1,123 @@
+#![forbid(unsafe_code)]
+//! `ca-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ca-lint -- --check [--max-waivers N] [--root PATH]
+//! cargo run -p ca-lint -- --fix-list
+//! cargo run -p ca-lint -- --waivers
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or waiver budget exceeded),
+//! 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    fix_list: bool,
+    waivers: bool,
+    max_waivers: Option<usize>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fix_list: false,
+        waivers: false,
+        max_waivers: None,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--fix-list" => args.fix_list = true,
+            "--waivers" => args.waivers = true,
+            "--max-waivers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--max-waivers needs a number".to_string())?;
+                args.max_waivers = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-waivers value {v:?}"))?,
+                );
+            }
+            "--root" => {
+                let v = it.next().ok_or_else(|| "--root needs a path".to_string())?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(
+                "usage: ca-lint [--check] [--fix-list] [--waivers] [--max-waivers N] [--root PATH]"
+                    .to_string(),
+            ),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the first directory whose
+/// `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ca-lint: no workspace root found (run from the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let config = ca_lint::Config::default();
+    let report = match ca_lint::lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ca-lint: IO error while scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.fix_list {
+        print!("{}", report.render_fix_list());
+    } else if args.waivers {
+        print!("{}", report.render_waivers());
+    } else {
+        print!("{}", report.render());
+    }
+
+    if !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    if let Some(max) = args.max_waivers {
+        if report.waivers.len() > max {
+            eprintln!(
+                "ca-lint: waiver budget exceeded: {} in use > {} allowed — new waivers \
+                 need review; raise the CI baseline only with one",
+                report.waivers.len(),
+                max
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,333 @@
+//! Region tracking over blanked source: which lines are test code
+//! (`#[cfg(test)]` / `#[test]` items, `mod tests` blocks) and which
+//! lines sit inside debug assertions (`debug_assert*!` invocations or
+//! `#[cfg(debug_assertions)]` items). Panic-freedom and determinism
+//! rules skip test lines; panic sites inside debug assertions are the
+//! sanctioned "checked in debug, free in release" idiom.
+
+use crate::lexer::Scan;
+
+/// Per-line region flags (index 0 = line 1).
+#[derive(Debug)]
+pub struct Regions {
+    /// Line is inside test-only code.
+    pub test: Vec<bool>,
+    /// Line is inside a debug assertion.
+    pub debug: Vec<bool>,
+}
+
+impl Regions {
+    pub fn is_test(&self, line: usize) -> bool {
+        line >= 1 && self.test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    pub fn is_debug(&self, line: usize) -> bool {
+        line >= 1 && self.debug.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AttrKind {
+    Test,
+    Debug,
+    Other,
+}
+
+/// Computes test/debug line flags for a blanked file.
+pub fn compute(scan: &Scan) -> Regions {
+    let code = scan.code.as_bytes();
+    let nlines = scan.line_count();
+    let mut test = vec![false; nlines];
+    let mut debug = vec![false; nlines];
+
+    let mut i = 0usize;
+    // When set, an item-marking attribute is waiting for its item: the
+    // next `{ … }` block or `;` at bracket depth 0 closes the region.
+    let mut pending: Option<(AttrKind, usize)> = None; // (kind, attr start)
+    let mut bracket_depth = 0usize; // [ ] depth outside attributes
+
+    while i < code.len() {
+        match code[i] {
+            b'#' => {
+                // Attribute? `#[...]` or `#![...]` — consume to the
+                // matching `]`.
+                let mut j = i + 1;
+                let inner = code.get(j) == Some(&b'!');
+                if inner {
+                    j += 1;
+                }
+                if code.get(j) == Some(&b'[') {
+                    let end = matching(code, j, b'[', b']').unwrap_or(code.len());
+                    let body = String::from_utf8_lossy(&code[j + 1..end.min(code.len())])
+                        .split_whitespace()
+                        .collect::<String>();
+                    let kind = classify_attr(&body);
+                    if !inner && kind != AttrKind::Other {
+                        // Keep an earlier pending Test over a later
+                        // Debug, but never downgrade.
+                        pending = match pending {
+                            Some((AttrKind::Test, s)) => Some((AttrKind::Test, s)),
+                            Some((_, s)) => Some((kind, s)),
+                            None => Some((kind, i)),
+                        };
+                    }
+                    i = (end + 1).min(code.len());
+                    continue;
+                }
+                i += 1;
+            }
+            b'[' => {
+                bracket_depth += 1;
+                i += 1;
+            }
+            b']' => {
+                bracket_depth = bracket_depth.saturating_sub(1);
+                i += 1;
+            }
+            b'{' => {
+                if let Some((kind, start)) = pending.take() {
+                    let end = matching(code, i, b'{', b'}').unwrap_or(code.len());
+                    mark(scan, &mut test, &mut debug, kind, start, end);
+                }
+                // Keep scanning inside the block for nested regions.
+                i += 1;
+            }
+            b';' if bracket_depth == 0 => {
+                if let Some((kind, start)) = pending.take() {
+                    mark(scan, &mut test, &mut debug, kind, start, i);
+                }
+                i += 1;
+            }
+            b'm' if ident_at(code, i, b"mod") => {
+                // `mod tests {` / `mod test {` without an attribute.
+                let mut j = i + 3;
+                while j < code.len() && code[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if ident_at(code, j, b"tests") || ident_at(code, j, b"test") {
+                    let name_len = if ident_at(code, j, b"tests") { 5 } else { 4 };
+                    let mut k = j + name_len;
+                    while k < code.len() && code[k].is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    if code.get(k) == Some(&b'{') {
+                        let end = matching(code, k, b'{', b'}').unwrap_or(code.len());
+                        mark(scan, &mut test, &mut debug, AttrKind::Test, i, end);
+                    }
+                }
+                i += 3;
+            }
+            b'd' if ident_at(code, i, b"debug_assert")
+                || ident_at(code, i, b"debug_assert_eq")
+                || ident_at(code, i, b"debug_assert_ne") =>
+            {
+                // debug_assert*!( … ) — mark the argument span.
+                let mut j = i;
+                while j < code.len() && (code[j].is_ascii_alphanumeric() || code[j] == b'_') {
+                    j += 1;
+                }
+                if code.get(j) == Some(&b'!') {
+                    let mut k = j + 1;
+                    while k < code.len() && code[k].is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    let (open, close) = match code.get(k) {
+                        Some(&b'(') => (b'(', b')'),
+                        Some(&b'[') => (b'[', b']'),
+                        Some(&b'{') => (b'{', b'}'),
+                        _ => (0, 0),
+                    };
+                    if open != 0 {
+                        let end = matching(code, k, open, close).unwrap_or(code.len());
+                        mark(scan, &mut test, &mut debug, AttrKind::Debug, i, end);
+                    }
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+
+    Regions { test, debug }
+}
+
+fn classify_attr(body: &str) -> AttrKind {
+    // body has all whitespace removed.
+    if body == "test" || body.starts_with("test(") {
+        return AttrKind::Test;
+    }
+    if body.starts_with("cfg(") {
+        if body.contains("not(test)") || body.contains("not(debug_assertions)") {
+            return AttrKind::Other;
+        }
+        if contains_word(body, "test") {
+            return AttrKind::Test;
+        }
+        if contains_word(body, "debug_assertions") {
+            return AttrKind::Debug;
+        }
+    }
+    AttrKind::Other
+}
+
+/// Word-boundary substring check over attribute text.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.len();
+    let mut start = 0usize;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(h[at - 1]);
+        let after_ok = at + n >= h.len() || !is_ident_byte(h[at + n]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + n;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `code[i..]` starts with the identifier `word` at an
+/// identifier boundary on both sides.
+fn ident_at(code: &[u8], i: usize, word: &[u8]) -> bool {
+    if i + word.len() > code.len() || &code[i..i + word.len()] != word {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_byte(code[i - 1]);
+    let after_ok = i + word.len() == code.len() || !is_ident_byte(code[i + word.len()]);
+    before_ok && after_ok
+}
+
+/// Byte offset of the delimiter matching `code[open_pos]`.
+fn matching(code: &[u8], open_pos: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open_pos;
+    while i < code.len() {
+        if code[i] == open {
+            depth += 1;
+        } else if code[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn mark(
+    scan: &Scan,
+    test: &mut [bool],
+    debug: &mut [bool],
+    kind: AttrKind,
+    start: usize,
+    end: usize,
+) {
+    let first = scan.line_of(start);
+    let last = scan.line_of(end.min(scan.code.len().saturating_sub(1)));
+    let flags = match kind {
+        AttrKind::Test => test,
+        AttrKind::Debug => debug,
+        AttrKind::Other => return,
+    };
+    for line in first..=last {
+        if line >= 1 && line <= flags.len() {
+            flags[line - 1] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn regions_of(src: &str) -> Regions {
+        compute(&scan(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test() {
+        let src =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\n";
+        let r = regions_of(src);
+        assert!(!r.is_test(1));
+        assert!(r.is_test(2));
+        assert!(r.is_test(3));
+        assert!(r.is_test(4));
+        assert!(r.is_test(5));
+    }
+
+    #[test]
+    fn test_attr_marks_one_fn() {
+        let src = "#[test]\nfn t() {\n    q.unwrap();\n}\nfn prod() {\n    p.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_test(1) && r.is_test(2) && r.is_test(3) && r.is_test(4));
+        assert!(!r.is_test(5) && !r.is_test(6));
+    }
+
+    #[test]
+    fn stacked_attributes_keep_pending() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    q.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_test(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(not(test))]\nfn prod() {\n    p.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(!r.is_test(3));
+    }
+
+    #[test]
+    fn cfg_any_test_is_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() {\n    h.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_test(3));
+    }
+
+    #[test]
+    fn attribute_on_use_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() { p(); }\n";
+        let r = regions_of(src);
+        assert!(r.is_test(2));
+        assert!(!r.is_test(3));
+    }
+
+    #[test]
+    fn debug_assert_span_is_debug() {
+        let src = "fn f() {\n    debug_assert!(\n        check().unwrap()\n    );\n    real().unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_debug(2) && r.is_debug(3) && r.is_debug(4));
+        assert!(!r.is_debug(5));
+        assert!(!r.is_test(5));
+    }
+
+    #[test]
+    fn cfg_debug_assertions_block() {
+        let src = "#[cfg(debug_assertions)]\nfn check() {\n    inner.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_debug(3));
+    }
+
+    #[test]
+    fn semicolon_inside_array_type_does_not_close_pending() {
+        let src = "#[test]\nfn t(x: [u8; 4]) {\n    q.unwrap();\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_test(3));
+    }
+
+    #[test]
+    fn mod_tests_without_attr() {
+        let src = "fn prod() {}\nmod tests {\n    fn t() { q.unwrap(); }\n}\n";
+        let r = regions_of(src);
+        assert!(r.is_test(3));
+        assert!(!r.is_test(1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Diagnostics and the aggregate report: rustc-style rendering, a
+//! `--fix-list` mode, and the waiver ledger CI budgets against.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`panic`, `hash-iter`, …).
+    pub rule: &'static str,
+    /// Human-readable message including the suggested fix.
+    pub message: String,
+}
+
+/// One accepted waiver, for the ledger.
+#[derive(Debug, Clone)]
+pub struct WaiverEntry {
+    pub path: String,
+    /// Line of the waiver comment.
+    pub line: usize,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// Aggregate result of linting one or many files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived waiver application, sorted by
+    /// (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Waivers that suppressed at least one violation.
+    pub waivers: Vec<WaiverEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.waivers
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    }
+
+    /// rustc-style error listing plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "error[ca-lint::{}]: {}", d.rule, d.message);
+            let _ = writeln!(out, "  --> {}:{}", d.path, d.line);
+        }
+        let _ = writeln!(
+            out,
+            "ca-lint: {} violation(s), {} waiver(s) in use, {} file(s) scanned",
+            self.diagnostics.len(),
+            self.waivers.len(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Compact per-file action list (`--fix-list`): one line per
+    /// violation, grouped by file, for mechanical sweeps.
+    pub fn render_fix_list(&self) -> String {
+        let mut out = String::new();
+        let mut last_path = "";
+        for d in &self.diagnostics {
+            if d.path != last_path {
+                let _ = writeln!(out, "{}:", d.path);
+                last_path = &d.path;
+            }
+            let _ = writeln!(out, "  {}: [{}]", d.line, d.rule);
+        }
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "nothing to fix");
+        }
+        out
+    }
+
+    /// The waiver ledger: every accepted waiver with its reason.
+    pub fn render_waivers(&self) -> String {
+        let mut out = String::new();
+        for w in &self.waivers {
+            let _ = writeln!(
+                out,
+                "{}:{}: allow({}) -- {}",
+                w.path,
+                w.line,
+                w.rules.join(", "),
+                w.reason
+            );
+        }
+        let _ = writeln!(out, "ca-lint: {} waiver(s) in use", self.waivers.len());
+        out
+    }
+}

@@ -1,0 +1,129 @@
+//! Waiver comments: the only sanctioned way to keep a rule violation
+//! in the tree.
+//!
+//! Syntax (a line comment, trailing the violating line or standing
+//! alone immediately above it):
+//!
+//! ```text
+//! // ca-lint: allow(panic) -- index proven in range by the loop bound
+//! ```
+//!
+//! The reason after `--` is mandatory — a waiver without one does not
+//! suppress anything and is itself reported. Waivers are counted and
+//! budgeted in CI (`--max-waivers`), and a waiver that no rule
+//! consumes is reported as stale so they cannot accumulate.
+
+use crate::lexer::Scan;
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line of the comment itself.
+    pub line: usize,
+    /// Rules the waiver names, e.g. `["panic"]`.
+    pub rules: Vec<String>,
+    /// Justification after `--` (trimmed; may be empty = invalid).
+    pub reason: String,
+    /// The code line this waiver covers.
+    pub applies_to: usize,
+    /// Set when a rule consumed the waiver.
+    pub used: bool,
+}
+
+/// Extracts waivers from a file's comments. `applies_to` is the
+/// comment's own line for trailing comments, or the next non-blank
+/// code line for standalone comments.
+pub fn collect(scan: &Scan) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &scan.comments {
+        // Strip doc-comment leaders so `/// ca-lint: …` also parses.
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("ca-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules_part, tail) = match rest.strip_prefix('(') {
+            Some(r) => match r.split_once(')') {
+                Some((inside, tail)) => (inside, tail),
+                None => (r, ""),
+            },
+            None => ("", rest),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = match tail.split_once("--") {
+            Some((_, r)) => r.trim().to_string(),
+            None => String::new(),
+        };
+        let applies_to = if c.own_line {
+            // Next non-blank code line below the comment.
+            let mut l = c.line + 1;
+            while l <= scan.line_count() && scan.line_is_blank(l) {
+                l += 1;
+            }
+            l
+        } else {
+            c.line
+        };
+        out.push(Waiver {
+            line: c.line,
+            rules,
+            reason,
+            applies_to,
+            used: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn trailing_waiver_applies_to_own_line() {
+        let s = scan("let x = y.unwrap(); // ca-lint: allow(panic) -- bounded above\n");
+        let w = collect(&s);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rules, vec!["panic"]);
+        assert_eq!(w[0].reason, "bounded above");
+        assert_eq!(w[0].applies_to, 1);
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let s = scan("// ca-lint: allow(wall-clock) -- bench metadata only\n// more prose\n\nlet t = Instant::now();\n");
+        let w = collect(&s);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].applies_to, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_empty() {
+        let s = scan("x.unwrap(); // ca-lint: allow(panic)\n");
+        let w = collect(&s);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].reason.is_empty());
+    }
+
+    #[test]
+    fn multiple_rules() {
+        let s = scan("thing(); // ca-lint: allow(panic, hash-iter) -- both fine here\n");
+        let w = collect(&s);
+        assert_eq!(w[0].rules, vec!["panic", "hash-iter"]);
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let s = scan("// plain comment\nx(); // TODO: ca-lint someday\n");
+        assert!(collect(&s).is_empty());
+    }
+}

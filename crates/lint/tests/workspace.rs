@@ -1,0 +1,44 @@
+//! The tier-1 gate: lints the entire workspace as part of plain
+//! `cargo test -q`, so a determinism/panic/RNG regression fails the
+//! default test run — no separate CI wiring required.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let config = ca_lint::Config::default();
+    let report = ca_lint::lint_workspace(workspace_root(), &config).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "ca-lint found violations — fix them or add a reasoned \
+         `// ca-lint: allow(<rule>) -- <reason>` waiver:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn waivers_all_carry_reasons() {
+    let config = ca_lint::Config::default();
+    let report = ca_lint::lint_workspace(workspace_root(), &config).expect("scan workspace");
+    for w in &report.waivers {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "waiver at {}:{} has an empty reason",
+            w.path,
+            w.line
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-metrics
 //!
 //! Analysis utilities shared by the experiments and benchmarks:

@@ -27,8 +27,8 @@ pub fn peak_frequency(ts: &[f64], ys: &[f64], f_min: f64, f_max: f64, steps: usi
     let (imax, _) = powers
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap_or((0, &0.0));
     if imax == 0 || imax == steps - 1 {
         return f_min + imax as f64 * df;
     }
@@ -62,7 +62,7 @@ pub fn beat_frequencies(
         .filter(|&i| powers[i] > powers[i - 1] && powers[i] >= powers[i + 1])
         .map(|i| (f_min + i as f64 * df, powers[i]))
         .collect();
-    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
     if peaks.len() < 2 {
         let f = peak_frequency(ts, ys, f_min, f_max, steps);
         return (f, 0.0);

@@ -48,7 +48,7 @@ pub fn bootstrap_halfwidth(xs: &[f64], resamples: usize, seed: u64) -> f64 {
             acc / xs.len() as f64
         })
         .collect();
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    means.sort_by(|a, b| a.total_cmp(b));
     let lo = means[(resamples as f64 * 0.16) as usize];
     let hi = means[(resamples as f64 * 0.84) as usize];
     (hi - lo) / 2.0

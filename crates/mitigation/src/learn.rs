@@ -276,7 +276,7 @@ pub fn learn_layer_channel(
             &auto_out[idx]
         };
         match out {
-            Ok(o) => Ok(o.expectations().expect("expect job").to_vec()),
+            Ok(o) => Ok(o.expectations().expect("expect job").to_vec()), // ca-lint: allow(panic) -- learner submits expect jobs only
             Err(e) => Err(e.clone().into()),
         }
     };

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-mitigation
 //!
 //! Noise learning and probabilistic error cancellation (PEC) — the

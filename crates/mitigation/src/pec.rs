@@ -81,14 +81,10 @@ pub fn layer_anchor_items(
             gates_per_layer,
         });
     }
-    items.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite times")
-            .then(a.1.cmp(&b.1))
-    });
+    items.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     Ok(items
         .chunks(gates_per_layer)
-        .map(|chunk| chunk.last().expect("non-empty chunk").1)
+        .map(|chunk| chunk.last().expect("non-empty chunk").1) // ca-lint: allow(panic) -- chunks() yields non-empty chunks
         .collect())
 }
 

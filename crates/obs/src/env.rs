@@ -34,8 +34,19 @@ pub fn var_parsed<T: FromStr>(name: &'static str) -> Option<T> {
     var_parsed_with(name, |raw| raw.parse().ok())
 }
 
+/// Raw environment read for `CA_OBS` itself, which cannot route
+/// through [`var_parsed_with`]: its invalid-value counter would
+/// re-enter the level check mid-initialisation. Kept here so
+/// `ca_obs::env` stays the workspace's only environment-reading
+/// module (pinned by the `env-read` lint rule).
+#[allow(clippy::disallowed_methods)] // this module IS the sanctioned env reader
+pub(crate) fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
 /// [`var_parsed`] with a custom parse function, for variables with
 /// non-`FromStr` syntax (e.g. `CA_SIM_PLAN_CACHE=off`).
+#[allow(clippy::disallowed_methods)] // this module IS the sanctioned env reader
 pub fn var_parsed_with<T>(name: &'static str, parse: impl FnOnce(&str) -> Option<T>) -> Option<T> {
     let raw = std::env::var(name).ok()?;
     match parse(&raw) {
@@ -43,7 +54,7 @@ pub fn var_parsed_with<T>(name: &'static str, parse: impl FnOnce(&str) -> Option
         None => {
             INVALID.fetch_add(1, Ordering::Relaxed);
             crate::counter_add("obs.env.invalid", 1);
-            if warned().lock().unwrap().insert(name) {
+            if crate::lock_recover(warned()).insert(name) {
                 eprintln!("ca-obs: ignoring invalid {name}={raw:?} (falling back to default)");
             }
             None

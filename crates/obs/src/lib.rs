@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Structured tracing and metrics for the context-aware-compiling
 //! pipeline.
 //!
@@ -91,6 +92,14 @@ fn trace_path_slot() -> &'static Mutex<Option<PathBuf>> {
     SLOT.get_or_init(|| Mutex::new(None))
 }
 
+/// Locks a mutex, recovering from poisoning. Instrumentation state
+/// (registry shards, the trace-path slot, warn-once sets) must stay
+/// readable after a worker thread panics — aborting inside `finish()`
+/// or a metrics call would mask the original panic.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Process-wide time origin for trace timestamps.
 pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -101,13 +110,15 @@ pub(crate) fn epoch() -> Instant {
 fn init_from_env() -> u8 {
     epoch();
     // CA_OBS cannot go through env::var_parsed_with: that helper's
-    // invalid-value counter re-enters the level check.
-    let parsed = match std::env::var("CA_OBS") {
-        Err(_) => Level::Off,
-        Ok(raw) => {
+    // invalid-value counter re-enters the level check. env::raw keeps
+    // the actual read inside ca_obs::env, the workspace's single
+    // environment-reading module.
+    let parsed = match env::raw("CA_OBS") {
+        None => Level::Off,
+        Some(raw) => {
             let lower = raw.to_ascii_lowercase();
             if let Some(path) = lower.strip_prefix("trace:") {
-                *trace_path_slot().lock().unwrap() = Some(PathBuf::from(path));
+                *lock_recover(trace_path_slot()) = Some(PathBuf::from(path));
                 Level::Trace
             } else {
                 match lower.as_str() {
@@ -174,7 +185,7 @@ pub fn set_level(level: Level) {
 /// Sets the file [`finish`] writes the Chrome trace to at
 /// [`Level::Trace`] (also settable via `CA_OBS=trace:<path>`).
 pub fn set_trace_path(path: impl Into<PathBuf>) {
-    *trace_path_slot().lock().unwrap() = Some(path.into());
+    *lock_recover(trace_path_slot()) = Some(path.into());
 }
 
 /// Raises the level to [`Level::Summary`] if it is currently off;
@@ -197,9 +208,7 @@ pub fn finish() -> Option<PathBuf> {
     }
     let mut written = None;
     if level == Level::Trace {
-        let path = trace_path_slot()
-            .lock()
-            .unwrap()
+        let path = lock_recover(trace_path_slot())
             .clone()
             .unwrap_or_else(|| PathBuf::from("ca_obs_trace.json"));
         match write_chrome_trace(&path) {

@@ -39,7 +39,7 @@ fn with_shard(f: impl FnOnce(&mut Shard)) {
     LOCAL.with(|cell| {
         let mut slot = cell.borrow_mut();
         let arc = slot.get_or_insert_with(|| {
-            let mut reg = registry().lock().unwrap();
+            let mut reg = crate::lock_recover(registry());
             let shard = Arc::new(Mutex::new(Shard {
                 tid: reg.len() as u64 + 1,
                 ..Shard::default()
@@ -47,7 +47,7 @@ fn with_shard(f: impl FnOnce(&mut Shard)) {
             reg.push(Arc::clone(&shard));
             shard
         });
-        f(&mut arc.lock().unwrap());
+        f(&mut crate::lock_recover(arc));
     });
 }
 
@@ -93,10 +93,10 @@ pub(crate) fn push_event(mut event: TraceEvent) {
 
 /// Drains all buffered trace events from every shard.
 pub(crate) fn take_events() -> Vec<TraceEvent> {
-    let reg = registry().lock().unwrap();
+    let reg = crate::lock_recover(registry());
     let mut out = Vec::new();
     for shard in reg.iter() {
-        out.append(&mut shard.lock().unwrap().events);
+        out.append(&mut crate::lock_recover(shard).events);
     }
     out
 }
@@ -117,9 +117,9 @@ pub struct Snapshot {
 pub fn snapshot() -> Snapshot {
     let mut out = Snapshot::default();
     let mut dropped = 0u64;
-    let reg = registry().lock().unwrap();
+    let reg = crate::lock_recover(registry());
     for shard in reg.iter() {
-        let s = shard.lock().unwrap();
+        let s = crate::lock_recover(shard);
         for (name, v) in &s.counters {
             *out.counters.entry((*name).to_string()).or_insert(0) += v;
         }

@@ -149,7 +149,7 @@ impl Simulator {
                             }
                         }
                         Gate::Reset => st.reset(q, rng),
-                        _ => unreachable!(),
+                        _ => unreachable!(), // ca-lint: allow(panic) -- plan stage rejects unknown ops before execution
                     }
                 }
                 PlanOp::Apply { item } => {
@@ -175,6 +175,7 @@ impl Simulator {
                             if let Gate::Rz(th) = gate {
                                 st.apply_rz(th, q);
                             } else {
+                                // ca-lint: allow(panic) -- plan stage validated gate arity and unitarity
                                 st.apply_1q(&gate.matrix1().expect("1q unitary"), q);
                             }
                             if self.config.gate_error && !gate.is_virtual() && !instr.merged {
@@ -182,7 +183,7 @@ impl Simulator {
                                 if p > 0.0 && rng.random::<f64>() < p {
                                     let k = rng.random_range(0..3usize);
                                     let pg = [Gate::X, Gate::Y, Gate::Z][k];
-                                    st.apply_1q(&pg.matrix1().unwrap(), q);
+                                    st.apply_1q(&pg.matrix1().unwrap(), q); // ca-lint: allow(panic) -- Pauli gates always have defined 1q unitaries
                                 }
                             }
                         }
@@ -191,6 +192,7 @@ impl Simulator {
                             if let Gate::Rzz(th) = gate {
                                 st.apply_rzz(th, a, b);
                             } else {
+                                // ca-lint: allow(panic) -- plan stage validated gate arity and unitarity
                                 st.apply_2q(&gate.matrix2().expect("2q unitary"), a, b);
                             }
                             if self.config.gate_error {
@@ -203,10 +205,10 @@ impl Simulator {
                                     let paulis =
                                         [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
                                     if let Some(g) = paulis[pa] {
-                                        st.apply_1q(&g.matrix1().unwrap(), a);
+                                        st.apply_1q(&g.matrix1().unwrap(), a); // ca-lint: allow(panic) -- Pauli gates always have defined 1q unitaries
                                     }
                                     if let Some(g) = paulis[pb] {
-                                        st.apply_1q(&g.matrix1().unwrap(), b);
+                                        st.apply_1q(&g.matrix1().unwrap(), b); // ca-lint: allow(panic) -- Pauli gates always have defined 1q unitaries
                                     }
                                 }
                             }
@@ -214,7 +216,7 @@ impl Simulator {
                         // Every public entry point runs
                         // `check_gate_arities` first, so operand
                         // lists here are exactly 1 or 2 long.
-                        _ => unreachable!("gate arity validated before execution"),
+                        _ => unreachable!("gate arity validated before execution"), // ca-lint: allow(panic) -- gate arity validated before execution
                     }
                 }
             }
@@ -345,8 +347,8 @@ impl Simulator {
     /// and returns the final state and classical bits. Test hook;
     /// always uses the statevector engine (a tableau has no `State`).
     pub fn run_single(&self, sc: &ScheduledCircuit, seed: u64) -> (State, Vec<bool>) {
-        crate::engine::check_gate_arities(sc).expect("run_single: malformed circuit");
-        let plan = self.plan(sc).expect("run_single: unplannable circuit");
+        crate::engine::check_gate_arities(sc).expect("run_single: malformed circuit"); // ca-lint: allow(panic) -- run_single is a fail-loud debug entry; batch paths return Result
+        let plan = self.plan(sc).expect("run_single: unplannable circuit"); // ca-lint: allow(panic) -- run_single is a fail-loud debug entry; batch paths return Result
         let mut rng = StdRng::seed_from_u64(seed);
         self.trajectory(&plan, &mut rng)
     }

@@ -367,11 +367,12 @@ impl BatchPlan {
                             });
                         }
                         Gate::Reset => ops.push(BatchOp::Reset { q }),
-                        _ => unreachable!(),
+                        _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
                     }
                 }
                 PlanOp::Apply { item } => {
                     let si = &frame.sc.items[item];
+                    // ca-lint: allow(panic) -- plan construction guarantees unitary items at Apply ops
                     match frame.items[item].as_ref().expect("unitary item") {
                         ItemOp::CondPauli {
                             q,
@@ -856,7 +857,7 @@ impl BatchPlan {
         paulis
             .iter()
             .map(|p| {
-                let r = self.frame.ref_tableau.expect(p);
+                let r = self.frame.ref_tableau.expect(p); // ca-lint: allow(panic) -- reference tableau is set during plan construction
                 let support: Vec<(usize, bool, bool)> = p
                     .paulis
                     .iter()

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ca-sim
 //!
 //! Physics-faithful noisy simulator for scheduled circuits on

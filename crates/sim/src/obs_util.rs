@@ -17,7 +17,7 @@ fn elapsed_ns(t0: Instant) -> u64 {
 /// Runs `f`, recording its duration into the `engine/<name>`
 /// histogram. When observability is off the clock is never read.
 pub(crate) fn time_engine_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
-    let t0 = ca_obs::enabled().then(Instant::now);
+    let t0 = ca_obs::enabled().then(Instant::now); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
     let out = f();
     if let Some(t0) = t0 {
         ca_obs::observe_ns("engine", name, elapsed_ns(t0));
@@ -41,7 +41,7 @@ pub(crate) struct PhaseTimer {
 impl PhaseTimer {
     pub(crate) fn start() -> Self {
         Self {
-            last: ca_obs::enabled().then(Instant::now),
+            last: ca_obs::enabled().then(Instant::now), // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
             sampling_ns: 0,
             propagation_ns: 0,
         }
@@ -50,7 +50,7 @@ impl PhaseTimer {
     #[inline]
     pub(crate) fn tick_sampling(&mut self) {
         if let Some(last) = self.last {
-            let now = Instant::now();
+            let now = Instant::now(); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
             self.sampling_ns += now.duration_since(last).as_nanos() as u64;
             self.last = Some(now);
         }
@@ -59,7 +59,7 @@ impl PhaseTimer {
     #[inline]
     pub(crate) fn tick_propagation(&mut self) {
         if let Some(last) = self.last {
-            let now = Instant::now();
+            let now = Instant::now(); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
             self.propagation_ns += now.duration_since(last).as_nanos() as u64;
             self.last = Some(now);
         }

@@ -86,7 +86,7 @@ use ca_circuit::pauli::{Pauli, PauliString};
 use ca_circuit::{Gate, ScheduledCircuit};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// First classical-bit index the frame engines' conditionals cannot
@@ -309,8 +309,8 @@ impl FramePlan {
     ) -> Result<Self, SimError> {
         let _s = ca_obs::span("sim.compile", "frame-plan");
         stabilizer_check(&sc)?;
-        let mut cache1: HashMap<(&'static str, u64), Arc<[(i8, Pauli); 4]>> = HashMap::new();
-        let mut cache2: HashMap<(&'static str, u64), Arc<Table2Q>> = HashMap::new();
+        let mut cache1: BTreeMap<(&'static str, u64), Arc<[(i8, Pauli); 4]>> = BTreeMap::new();
+        let mut cache2: BTreeMap<(&'static str, u64), Arc<Table2Q>> = BTreeMap::new();
         let mut items = Vec::with_capacity(sc.items.len());
         for (i, si) in sc.items.iter().enumerate() {
             let gate = si.instruction.gate;
@@ -452,6 +452,7 @@ impl FramePlan {
         for op in &plan.ops {
             match *op {
                 PlanOp::Segment(_) => {}
+                // ca-lint: allow(panic) -- plan construction guarantees unitary items at Apply ops
                 PlanOp::Apply { item } => match items[item].as_mut().expect("unitary item") {
                     ItemOp::One { q, table, .. } => tableau.apply_1q(table, *q),
                     ItemOp::Two { a, b, table, .. } => tableau.apply_2q(table, *a, *b),
@@ -488,7 +489,7 @@ impl FramePlan {
                             ref_outcomes.push(outcome);
                         }
                         Gate::Reset => tableau.reset(q, &mut ref_rng, &x_table),
-                        _ => unreachable!(),
+                        _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
                     }
                 }
             }
@@ -525,7 +526,7 @@ impl FramePlan {
         // frame updates too finely to split here; the batch engine
         // provides the full sampling/propagation breakdown). Clock
         // reads only — never RNG.
-        let t_start = ca_obs::enabled().then(std::time::Instant::now);
+        let t_start = ca_obs::enabled().then(std::time::Instant::now); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
         let shot = ShotNoise::sample(&sim.device, config, rng);
         let mut fx = vec![0u64; self.words];
         let mut fz = vec![0u64; self.words];
@@ -632,11 +633,12 @@ impl FramePlan {
                             set(&mut fx, q, false);
                             set(&mut fz, q, rng.random::<bool>());
                         }
-                        _ => unreachable!(),
+                        _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
                     }
                 }
                 PlanOp::Apply { item } => {
                     let si = &self.sc.items[item];
+                    // ca-lint: allow(panic) -- plan construction guarantees unitary items at Apply ops
                     match self.items[item].as_ref().expect("unitary item") {
                         ItemOp::CondPauli {
                             q,
@@ -801,7 +803,7 @@ impl FramePlan {
         paulis
             .iter()
             .map(|p| {
-                let r = self.ref_tableau.expect(p);
+                let r = self.ref_tableau.expect(p); // ca-lint: allow(panic) -- reference tableau is set during plan construction
                 let (px, pz) = pack_pauli(p);
                 (r, px, pz)
             })

@@ -61,12 +61,12 @@ pub struct ExecutionPlan {
     /// couple, so the frame engines can bank any `Rzz` / conditional
     /// `Rz` the circuit carries. Virtual edges never accrue timeline
     /// noise (`seg_edges` is built from the device list alone).
-    pub edge_index: std::collections::HashMap<(usize, usize), usize>,
+    pub edge_index: std::collections::BTreeMap<(usize, usize), usize>,
     /// For every scheduled item carrying a feed-forward condition:
     /// the qubit whose earlier measurement (in plan/time order) last
     /// wrote the condition's classical bit, or `None` when the bit is
     /// still at its initial 0 when the conditional executes.
-    pub cond_source: std::collections::HashMap<usize, Option<usize>>,
+    pub cond_source: std::collections::BTreeMap<usize, Option<usize>>,
 }
 
 impl ExecutionPlan {
@@ -116,16 +116,11 @@ impl ExecutionPlan {
                 _ => keyed.push((si.t1(), 1, PlanOp::Apply { item: i })),
             }
         }
-        // Times validated finite above, so the comparison is total.
-        keyed.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite times")
-                .then(a.1.cmp(&b.1))
-        });
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut edge_pairs: Vec<(usize, usize)> =
             device.crosstalk.edges.iter().map(|e| (e.a, e.b)).collect();
         let mut incident = vec![Vec::new(); sc.num_qubits];
-        let mut edge_index = std::collections::HashMap::new();
+        let mut edge_index = std::collections::BTreeMap::new();
         for (idx, &(a, b)) in edge_pairs.iter().enumerate() {
             edge_index.insert((a.min(b), a.max(b)), idx);
             if a < sc.num_qubits && b < sc.num_qubits {
@@ -154,15 +149,16 @@ impl ExecutionPlan {
         // uncoupled pairs; conditional diagonal rotations, which the
         // frame engines rewrite into a local-plus-edge bank term
         // against the measured source qubit).
-        let mut cond_source: std::collections::HashMap<usize, Option<usize>> =
-            std::collections::HashMap::new();
-        let mut writer: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut cond_source: std::collections::BTreeMap<usize, Option<usize>> =
+            std::collections::BTreeMap::new();
+        let mut writer: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         let mut ensure_edge = |a: usize,
                                b: usize,
                                edge_pairs: &mut Vec<(usize, usize)>,
                                incident: &mut Vec<Vec<usize>>| {
             let key = (a.min(b), a.max(b));
-            if let std::collections::hash_map::Entry::Vacant(slot) = edge_index.entry(key) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = edge_index.entry(key) {
                 let idx = edge_pairs.len();
                 edge_pairs.push(key);
                 slot.insert(idx);
@@ -298,7 +294,7 @@ pub fn map_shots_indexed<Acc: Send>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shot thread"))
+            .map(|h| h.join().expect("shot thread")) // ca-lint: allow(panic) -- fail-stop on worker panic; salvaging a partial batch would corrupt results
             .collect()
     })
 }
@@ -324,14 +320,14 @@ pub fn map_batches<Out: Send>(
             scope.spawn(move || {
                 for j in (w..jobs).step_by(workers) {
                     let out = run(j);
-                    *slots[j].lock().expect("batch slot") = Some(out);
+                    *slots[j].lock().expect("batch slot") = Some(out); // ca-lint: allow(panic) -- fail-stop on poisoned slot; determinism-critical state is unreliable after a panic
                 }
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("batch slot").expect("batch output"))
+        .map(|s| s.into_inner().expect("batch slot").expect("batch output")) // ca-lint: allow(panic) -- fail-stop on poisoned slot; determinism-critical state is unreliable after a panic
         .collect()
 }
 
@@ -388,7 +384,7 @@ pub fn map_shots<Acc: Send>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shot thread"))
+            .map(|h| h.join().expect("shot thread")) // ca-lint: allow(panic) -- fail-stop on worker panic; salvaging a partial batch would corrupt results
             .collect()
     })
 }

@@ -46,7 +46,7 @@ use crate::plan::{map_batches, ExecutionPlan};
 use crate::result::{PauliFlips, RunResult};
 use ca_circuit::pauli::Pauli;
 use ca_circuit::{Fnv, Gate, PauliString, ScheduledCircuit};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Structural identity of a compiled artifact: circuit structure ⊕
@@ -508,7 +508,7 @@ struct LruCounterNames {
 struct Lru<T> {
     capacity: usize,
     stamp: u64,
-    entries: HashMap<u64, (Arc<T>, u64)>,
+    entries: BTreeMap<u64, (Arc<T>, u64)>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -521,7 +521,7 @@ impl<T> Lru<T> {
         Self {
             capacity,
             stamp: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -571,7 +571,7 @@ impl<T> Lru<T> {
                 .iter()
                 .min_by_key(|(_, (_, used))| *used)
                 .map(|(k, _)| *k)
-                .expect("non-empty cache");
+                .expect("non-empty cache"); // ca-lint: allow(panic) -- eviction only runs when the cache is non-empty
             self.entries.remove(&oldest);
             self.evictions += 1;
             ca_obs::counter_add(self.obs.eviction, 1);
@@ -691,7 +691,7 @@ impl Session {
     /// level): hits, misses, evictions, and verification rejections
     /// of colliding keys.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().expect("plan cache");
+        let cache = self.cache.lock().expect("plan cache"); // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
         CacheStats {
             hits: cache.hits,
             misses: cache.misses,
@@ -711,7 +711,7 @@ impl Session {
         if let Some(hit) = self
             .exec
             .lock()
-            .expect("exec cache")
+            .expect("exec cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .get(key, |p| *p.sc == *sc)
         {
             return Ok(hit);
@@ -723,7 +723,7 @@ impl Session {
         )?);
         self.exec
             .lock()
-            .expect("exec cache")
+            .expect("exec cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .insert(key, plan.clone());
         Ok(plan)
     }
@@ -742,7 +742,7 @@ impl Session {
         if let Some(hit) = self
             .cache
             .lock()
-            .expect("plan cache")
+            .expect("plan cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .get(key.0, |c| c.seed() == seed && *c.circuit() == *sc)
         {
             return Ok(hit);
@@ -751,7 +751,7 @@ impl Session {
         let compiled = Arc::new(self.sim.compile_with(plan.sc.clone(), plan, seed, key)?);
         self.cache
             .lock()
-            .expect("plan cache")
+            .expect("plan cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .insert(key.0, compiled.clone());
         Ok(compiled)
     }
@@ -773,7 +773,7 @@ impl Session {
         if let Some(hit) = self
             .cache
             .lock()
-            .expect("plan cache")
+            .expect("plan cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .get(key.0, |c| c.seed() == seed && *c.circuit() == dressed)
         {
             return Ok(hit);
@@ -792,7 +792,7 @@ impl Session {
         };
         self.cache
             .lock()
-            .expect("plan cache")
+            .expect("plan cache") // ca-lint: allow(panic) -- fail-stop on poisoned cache; cached plans are unreliable after a panic
             .insert(key.0, compiled.clone());
         Ok(compiled)
     }
@@ -842,10 +842,10 @@ impl Session {
         }
         // Queue wait = time from submission until a worker picks the
         // job up; the clock is read only when observability is on.
-        let submitted = ca_obs::enabled().then(std::time::Instant::now);
-        // Jobs occupy the worker threads; pin each job's inner shot
-        // fan-out to one thread to avoid oversubscription. (Results
-        // are worker-count independent either way.)
+        let submitted = ca_obs::enabled().then(std::time::Instant::now); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
+                                                                         // Jobs occupy the worker threads; pin each job's inner shot
+                                                                         // fan-out to one thread to avoid oversubscription. (Results
+                                                                         // are worker-count independent either way.)
         map_batches(jobs.len(), None, |i| {
             if let Some(t0) = submitted {
                 let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -881,7 +881,7 @@ impl Session {
             .map(|r| {
                 r.map(|out| match out {
                     JobOutput::Expect(v) => v,
-                    _ => unreachable!("expect jobs return expectations"),
+                    _ => unreachable!("expect jobs return expectations"), // ca-lint: allow(panic) -- sessions submit expect jobs only
                 })
             })
             .collect()

@@ -153,7 +153,18 @@ impl State {
     pub fn reset(&mut self, q: usize, rng: &mut impl RngExt) {
         let outcome = self.measure(q, rng);
         if outcome {
-            self.apply_1q(&ca_circuit::Gate::X.matrix1().unwrap(), q);
+            self.apply_x(q);
+        }
+    }
+
+    /// Pauli-X on qubit `q`: swaps the paired amplitudes directly, so
+    /// the classical flip in [`Self::reset`] needs no gate matrix.
+    pub fn apply_x(&mut self, q: usize) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
         }
     }
 

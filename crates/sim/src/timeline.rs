@@ -211,7 +211,7 @@ pub fn build_segments(
             }
         }
     }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
     let windows: Vec<(f64, f64)> = times

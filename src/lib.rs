@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # context-aware-compiling
 //!
 //! A from-scratch Rust reproduction of *"Suppressing Correlated Noise
