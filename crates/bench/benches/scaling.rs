@@ -183,11 +183,24 @@ fn time_run(engine: Engine, n: usize, shots: usize) -> (Row, RunResult) {
         engine,
     );
     let name = sim.engine_name_for(&sc).expect("resolve engine");
-    let base = ca_bench::obs::snapshot();
-    let start = Instant::now();
-    let res = sim.run_counts(&sc, shots, 11).expect("simulate");
-    let seconds = start.elapsed().as_secs_f64();
-    let phases = ca_bench::obs::phase_breakdown(&base);
+    // Best of several full cold runs (compile included): one frame run
+    // is a few milliseconds at the top end, so a single sample is
+    // hostage to scheduler noise; the minimum is the reproducible
+    // cost. The dense engine gets fewer repeats — its runs are long
+    // enough that scheduler jitter is already amortised.
+    let repeats = if engine == Engine::Statevector { 3 } else { 9 };
+    let mut best: Option<(f64, Value, RunResult)> = None;
+    for _ in 0..repeats {
+        let base = ca_bench::obs::snapshot();
+        let start = Instant::now();
+        let res = sim.run_counts(&sc, shots, 11).expect("simulate");
+        let seconds = start.elapsed().as_secs_f64();
+        let phases = ca_bench::obs::phase_breakdown(&base);
+        if best.as_ref().is_none_or(|(s, _, _)| seconds < *s) {
+            best = Some((seconds, phases, res));
+        }
+    }
+    let (seconds, phases, res) = best.expect("at least one timed run");
     assert_eq!(res.shots, shots);
     (
         Row {
@@ -240,6 +253,7 @@ fn main() {
     };
     let mut serial_127 = None;
     let mut batch_127 = None;
+    let mut batch_127_phases = None;
     for &n in frame_sizes {
         let (r, serial_counts) = time_run(Engine::Stabilizer, n, shots);
         print_row(&r);
@@ -248,6 +262,9 @@ fn main() {
         let (r, batch_counts) = time_run(Engine::FrameBatch, n, shots);
         print_row(&r);
         let batch_s = r.seconds;
+        if n == 127 {
+            batch_127_phases = Some(r.phases.clone());
+        }
         rows.push(r);
         // Same seed ⇒ the two frame engines must agree bit-for-bit.
         assert_eq!(
@@ -261,6 +278,80 @@ fn main() {
     }
     let speedup_127 = serial_127.unwrap() / batch_127.unwrap().max(1e-9);
     println!("  frame-batch vs serial at 127q: {speedup_127:.1}x (bit-identical counts)");
+    // Two-pass regression guards at 127q. Phase *shares* are stable
+    // across machine speeds where absolute wall times are not:
+    // (a) the bit-plane sampler must keep strip propagation
+    // subdominant — before the counter-based schedule, replaying 64
+    // positional RNG streams serialised the whole strip and
+    // propagation-side work dominated the row; (b) the batch engine
+    // must beat the serial engine by a wide factor on the same run.
+    {
+        let phases = batch_127_phases.expect("127q batch row recorded");
+        let sampling = phases.get("sampling_seconds").as_f64().unwrap_or(0.0);
+        let propagation = phases.get("propagation_seconds").as_f64().unwrap_or(0.0);
+        assert!(
+            sampling > 0.0 && propagation > 0.0,
+            "127q batch row must attribute both engine phases \
+             (sampling {sampling:.6}s, propagation {propagation:.6}s)"
+        );
+        assert!(
+            propagation <= sampling,
+            "strip propagation ({propagation:.6}s) outweighs sampling \
+             ({sampling:.6}s) at 127q — the bit-parallel propagation \
+             pass has regressed"
+        );
+        let floor = if smoke { 2.0 } else { 4.0 };
+        assert!(
+            speedup_127 >= floor,
+            "frame-batch speedup at 127q fell to {speedup_127:.1}x (< {floor}x)"
+        );
+    }
+
+    // Worker-count scaling curve on the 127-qubit row: strips are
+    // independent, so the batch engine fans them out across threads.
+    // Counts must be bit-identical at every width (the curve itself
+    // is recorded in BENCH_scaling.json; on single-core hosts it is
+    // honestly flat).
+    println!();
+    println!("-- 127q frame-batch worker scaling ({shots} shots) --");
+    let worker_curve: Vec<(usize, f64)> = {
+        let device = uniform_device(Topology::line(127), 60.0);
+        let sc = workload(127, 7);
+        let sim = Simulator::with_engine(
+            device,
+            NoiseConfig {
+                readout_error: false,
+                ..NoiseConfig::default()
+            },
+            Engine::FrameBatch,
+        );
+        let engine = ca_sim::BatchedFrameEngine::new(&sim);
+        let mut reference: Option<RunResult> = None;
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|workers| {
+                let mut best = f64::INFINITY;
+                let mut res = None;
+                for _ in 0..3 {
+                    let start = Instant::now();
+                    let r = engine
+                        .run_counts_with_workers(&sc, shots, 11, Some(workers))
+                        .expect("simulate");
+                    best = best.min(start.elapsed().as_secs_f64());
+                    res = Some(r);
+                }
+                let res = res.expect("at least one run");
+                match &reference {
+                    None => reference = Some(res),
+                    Some(one) => {
+                        assert_eq!(one, &res, "worker count {workers} changed 127q counts")
+                    }
+                }
+                println!("  {workers} workers: {best:.3}s");
+                (workers, best)
+            })
+            .collect()
+    };
 
     // The acceptance-scale experiment: 127-qubit heavy-hex
     // layer-fidelity/DD comparison (runs on the frame-batch engine
@@ -385,6 +476,20 @@ fn main() {
             Value::Arr(rows.iter().map(Row::to_value).collect()),
         ),
         ("batch_speedup_127q".into(), speedup_127.to_value()),
+        (
+            "worker_scaling_127q".into(),
+            Value::Arr(
+                worker_curve
+                    .iter()
+                    .map(|&(workers, seconds)| {
+                        Value::Obj(vec![
+                            ("workers".into(), workers.to_value()),
+                            ("seconds".into(), seconds.to_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("large_scale_127q".into(), experiment),
         ("lf_sweep_cold_vs_cached_127q".into(), lf_sweep),
     ]);

@@ -14,7 +14,8 @@ use crate::error::SimError;
 use crate::noise::{
     amplitude_damping_kraus, damping_prob, dephasing_prob, t_phi_us, NoiseConfig, ShotNoise,
 };
-use crate::plan::{map_shots, ExecutionPlan, PlanOp};
+use crate::obs_util::{time_engine_phase, PhaseTimer};
+use crate::plan::{map_shots, seed_schedule_from_env, ExecutionPlan, PlanOp, SeedSchedule};
 use crate::result::RunResult;
 use crate::statevector::State;
 use ca_circuit::pauli::PauliString;
@@ -33,6 +34,9 @@ pub struct Simulator {
     pub config: NoiseConfig,
     /// Backend selection (defaults to [`Engine::Auto`]).
     pub engine: Engine,
+    /// Per-shot noise-draw schedule for the frame engines (defaults
+    /// to the `CA_SIM_SEED_SCHEDULE` environment variable, then v2).
+    pub schedule: SeedSchedule,
 }
 
 impl Simulator {
@@ -42,6 +46,7 @@ impl Simulator {
             device,
             config: NoiseConfig::default(),
             engine: Engine::Auto,
+            schedule: seed_schedule_from_env(),
         }
     }
 
@@ -51,6 +56,7 @@ impl Simulator {
             device,
             config,
             engine: Engine::Auto,
+            schedule: seed_schedule_from_env(),
         }
     }
 
@@ -60,7 +66,15 @@ impl Simulator {
             device,
             config,
             engine,
+            schedule: seed_schedule_from_env(),
         }
+    }
+
+    /// Pins the seed schedule explicitly, overriding the environment
+    /// default — the race-free way for tests to compare schedules.
+    pub fn with_seed_schedule(mut self, schedule: SeedSchedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     fn plan(&self, sc: &ScheduledCircuit) -> Result<ExecutionPlan, SimError> {
@@ -68,9 +82,17 @@ impl Simulator {
     }
 
     /// Runs one trajectory; returns the final state and classical bits.
+    ///
+    /// Phase attribution: per-shot parameter draws, bank accrual, and
+    /// measurement/readout randomness count as *sampling*; statevector
+    /// updates (gates, flushed phases, Kraus applications) count as
+    /// *propagation* — so the dense rows of the scaling bench report
+    /// the same phase columns as the frame engines.
     pub(crate) fn trajectory(&self, plan: &ExecutionPlan, rng: &mut StdRng) -> (State, Vec<bool>) {
+        let mut phase = PhaseTimer::start();
         let n = plan.sc.num_qubits;
         let shot = ShotNoise::sample(&self.device, &self.config, rng);
+        phase.tick_sampling();
         let mut st = State::zero(n);
         let mut bits = vec![false; plan.sc.num_clbits.max(1)];
         let mut pend_rz = vec![0.0f64; n];
@@ -126,11 +148,13 @@ impl Simulator {
                         }
                         deco_dt[q] += seg.dt();
                     }
+                    phase.tick_sampling();
                 }
                 PlanOp::Project { item } => {
                     let si = &plan.sc.items[item];
                     let q = si.instruction.qubits[0];
                     flush_qubit(q, &mut st, &mut pend_rz, &mut pend_rzz, &mut deco_dt, rng);
+                    phase.tick_propagation();
                     match si.instruction.gate {
                         Gate::Measure => {
                             let outcome = st.measure(q, rng);
@@ -151,6 +175,7 @@ impl Simulator {
                         Gate::Reset => st.reset(q, rng),
                         _ => unreachable!(), // ca-lint: allow(panic) -- plan stage rejects unknown ops before execution
                     }
+                    phase.tick_sampling();
                 }
                 PlanOp::Apply { item } => {
                     let si = &plan.sc.items[item];
@@ -218,6 +243,7 @@ impl Simulator {
                         // lists here are exactly 1 or 2 long.
                         _ => unreachable!("gate arity validated before execution"), // ca-lint: allow(panic) -- gate arity validated before execution
                     }
+                    phase.tick_propagation();
                 }
             }
         }
@@ -225,6 +251,8 @@ impl Simulator {
         for q in 0..n {
             flush_qubit(q, &mut st, &mut pend_rz, &mut pend_rzz, &mut deco_dt, rng);
         }
+        phase.tick_propagation();
+        phase.finish();
         (st, bits)
     }
 
@@ -284,7 +312,7 @@ impl Simulator {
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
-        RunResult::from_parts(shots, nbits, parts)
+        time_engine_phase("reduction", || RunResult::from_parts(shots, nbits, parts))
     }
 
     /// Dense-engine Pauli expectations (no sampling noise beyond the
@@ -320,16 +348,18 @@ impl Simulator {
                 }
             },
         );
-        let mut out = vec![0.0; paulis.len()];
-        for part in parts {
-            for (o, p) in out.iter_mut().zip(part.iter()) {
-                *o += p;
+        time_engine_phase("reduction", || {
+            let mut out = vec![0.0; paulis.len()];
+            for part in parts {
+                for (o, p) in out.iter_mut().zip(part.iter()) {
+                    *o += p;
+                }
             }
-        }
-        for o in &mut out {
-            *o /= shots as f64;
-        }
-        out
+            for o in &mut out {
+                *o /= shots as f64;
+            }
+            out
+        })
     }
 
     /// Convenience: single Pauli expectation.

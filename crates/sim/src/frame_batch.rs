@@ -49,7 +49,11 @@ use crate::executor::Simulator;
 use crate::insert::InsertionSet;
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
 use crate::pauli_frame::{FramePlan, ItemOp};
-use crate::plan::{map_batches, shot_seed, PlanOp};
+use crate::plan::{
+    bern_theta, bern_threshold, damping_thresholds, fair_plane, lattice_idx, lattice_value,
+    lt_mask, lt_masks, map_batches, pick, plane, shot_key, shot_seed, site, site_draw, PlanOp,
+    SeedSchedule, LATTICE_STEPS,
+};
 use crate::result::{PauliFlips, RunResult};
 use crate::stabilizer::pauli_to_bits;
 use ca_circuit::clifford::Table2Q;
@@ -58,9 +62,20 @@ use ca_circuit::{Gate, ScheduledCircuit};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Shot-lanes per batch word.
 pub const LANES: usize = 64;
+
+/// Words per cache-blocked strip of the v2 runner: the schedule-v2
+/// path walks the program once per `[u64; 4]` strip (256 shot-lanes),
+/// quartering the per-op walk overhead relative to single-word
+/// batches while the working set (four planes per touched qubit)
+/// stays cache-resident.
+pub const STRIP_WORDS: usize = 4;
+
+/// Shots per v2 strip.
+pub const STRIP_SHOTS: usize = STRIP_WORDS * LANES;
 
 /// The GF(2) symplectic action of a 1q Clifford on one qubit's
 /// `(x, z)` frame bits, as lane masks (all-ones or all-zeros).
@@ -183,36 +198,72 @@ impl Symp2 {
     }
 }
 
+/// One crosstalk edge flushing at a [`BatchOp::Flush`] point.
+struct FlushEdge {
+    a: usize,
+    b: usize,
+    /// Plan edge index — the v2 site unit (`FLUSH_ZZ` draws are
+    /// addressed per edge, not per qubit).
+    e: usize,
+    /// `sin²(θ/2)`, consumed by the legacy per-lane draw.
+    p: f64,
+    /// `bern_theta(θ)` — the v2 ladder threshold for the same draw.
+    t: u64,
+}
+
 /// One step of the precompiled batch program. The sequence of ops —
 /// and the draws each op makes per lane — mirrors the serial
-/// sampler's per-shot control flow exactly.
+/// sampler's per-shot control flow exactly. Under seed-schedule v1
+/// that means the *stream positions* line up; under v2 each op
+/// instead carries its plan-op index `op`, which addresses the
+/// counter-based draws by structural site so the walk order stops
+/// mattering altogether.
 enum BatchOp {
     /// A twirl-flush point for qubit `q`.
     Flush {
         q: usize,
+        /// Plan-op index of this flush (v2 site addressing). The
+        /// final end-of-circuit flushes use `plan.ops.len()`.
+        op: usize,
         /// Deterministic bank phase and signed time at this flush;
         /// absent when both are exactly zero (no draw on any lane,
         /// matching the serial `|θ| > ε` gate).
         bank: Option<(f64, f64)>,
-        /// Crosstalk edges flushing here: `(a, b, sin²(θ/2))`, in the
-        /// serial engine's incident-edge order.
-        edges: Vec<(usize, usize, f64)>,
+        /// v2 bank thresholds by per-lane noise code
+        /// (`slot · 33 + lattice index`, see [`BatchPlan::bank_table`]);
+        /// present exactly when `bank` is.
+        table: Option<Arc<[u64]>>,
+        /// Compile-assigned index of this flush's distinct
+        /// `(qubit, table)` pair, so the sampling pass caches one
+        /// transposed-threshold set per pair per word and every
+        /// repeat flush of the same bank hits it.
+        tslot: u32,
+        /// Crosstalk edges flushing here, in the serial engine's
+        /// incident-edge order.
+        edges: Vec<FlushEdge>,
         /// `(γ, p_z)` of the decoherence twirl, when enabled and the
         /// qubit accrued idle time.
         deco: Option<(f64, f64)>,
     },
     /// 1q frame conjugation + depolarizing draw (`err_p = 0` ⇒ none).
-    Gate1 { q: usize, m: Symp1, err_p: f64 },
+    Gate1 {
+        q: usize,
+        op: usize,
+        m: Symp1,
+        err_p: f64,
+    },
     /// 2q frame conjugation + two-qubit depolarizing draw.
     Gate2 {
         a: usize,
         b: usize,
+        op: usize,
         m: Symp2,
         err_p: f64,
     },
     /// Measurement against the shared reference outcome.
     Measure {
         q: usize,
+        op: usize,
         reference: bool,
         clbit: Option<usize>,
         /// Readout flip probability; `None` when readout error is
@@ -220,7 +271,7 @@ enum BatchOp {
         readout: Option<f64>,
     },
     /// Reset to |0⟩: clear X, randomize Z.
-    Reset { q: usize },
+    Reset { q: usize, op: usize },
     /// Conditional Pauli gate (classical feed-forward): per lane, the
     /// condition is evaluated against the lane's packed classical key
     /// and the Pauli's plane bits are XOR-ed in exactly when the
@@ -229,6 +280,7 @@ enum BatchOp {
     /// physical pulse additionally draws its depolarizing error.
     CondGate {
         q: usize,
+        op: usize,
         /// Plane bits of the injected Pauli.
         x: bool,
         z: bool,
@@ -258,8 +310,55 @@ pub struct BatchPlan {
     n: usize,
     /// Words of the *serial* frame layout (`ceil(n/64)`): the initial
     /// Z randomization must consume exactly this many `u64` draws per
-    /// lane to stay stream-compatible with the serial engine.
+    /// lane to stay stream-compatible with the serial engine (v1
+    /// schedule only — v2 draws are position-free).
     serial_words: usize,
+    /// Whether any flush carries a v2 bank table — only then does the
+    /// strip runner hash out per-lane noise codes.
+    needs_codes: bool,
+    /// Count of distinct `(qubit, table)` flush pairs (see
+    /// [`BatchOp::Flush::tslot`]).
+    tslot_total: usize,
+    /// Mask-buffer words per strip word: the sampling pass pushes
+    /// exactly `noise_stride · wc` words, in the order the propagation
+    /// pass consumes them.
+    noise_stride: usize,
+}
+
+/// v2 bank-flush thresholds for every per-lane noise code: code
+/// `slot · LATTICE_STEPS + idx` holds
+/// `bern_theta(stat + phase_rad(sign · δ + lattice(idx) · σ, time))`
+/// with `sign = [0, +1, −1][slot]` — the exact f64 expression the
+/// serial sampler evaluates from [`ShotNoise::sample_v2`] +
+/// [`ShotNoise::z_rate_khz`], so both engines compare identical hash
+/// words against identical thresholds. `cp`/`qk` are the *gated*
+/// per-qubit rates (0.0 when the channel is off), mirroring the
+/// sampler's gating bit for bit.
+fn bank_table(stat: f64, time: f64, cp: f64, qk: f64) -> Arc<[u64]> {
+    // Twirl randomizes `stat` per flush, so memoization rarely hits
+    // and the sin cost here is the dominant compile expense. Only the
+    // codes the runtime can emit need fresh entries: with parity
+    // gated off (`cp == 0`) every lane lands in slot 0, and with
+    // quasistatic gated off (`qk == 0`) every lattice index collapses
+    // to `det = 0` — the unreachable / collapsed entries are filled
+    // by copy, cutting the per-table sin count up to 99×.
+    let mut t = Vec::with_capacity(3 * LATTICE_STEPS);
+    for sign in [0.0f64, 1.0, -1.0] {
+        if sign != 0.0 && cp <= 0.0 {
+            t.extend_from_within(0..LATTICE_STEPS);
+            continue;
+        }
+        if qk > 0.0 {
+            for idx in 0..LATTICE_STEPS {
+                let rate = sign * cp + lattice_value(idx) * qk;
+                t.push(bern_theta(stat + ca_device::phase_rad(rate, time)));
+            }
+        } else {
+            let v = bern_theta(stat + ca_device::phase_rad(sign * cp, time));
+            t.extend(std::iter::repeat_n(v, LATTICE_STEPS));
+        }
+    }
+    t.into()
 }
 
 impl BatchPlan {
@@ -268,8 +367,7 @@ impl BatchPlan {
     /// linear batch program by replaying the serial sampler's control
     /// flow once with scalar banks.
     pub fn build(sim: &Simulator, sc: &ScheduledCircuit, seed: u64) -> Result<Self, SimError> {
-        let frame = FramePlan::build(sim, sc, seed)?;
-        Ok(Self::from_frame(sim, frame))
+        Ok(Self::from_frame(sim, FramePlan::build(sim, sc, seed)?))
     }
 
     /// Compiles the batch program for an already-built frame plan.
@@ -289,12 +387,22 @@ impl BatchPlan {
         let mut deco_dt = vec![0.0f64; n];
         let mut meas_i = 0usize;
 
+        // Bank tables are memoized on the exact f64 inputs: a
+        // homogeneous brickwork workload produces only a handful of
+        // distinct (stat, time, δ, σ) combinations, so the 99-entry
+        // sin tables cost next to nothing at compile time.
+        type TableKey = (u64, u64, u64, u64);
+        let mut tables: BTreeMap<TableKey, Arc<[u64]>> = BTreeMap::new();
+
         let emit_flush = |q: usize,
+                          op_i: usize,
                           stat: &mut [f64],
                           time: &mut [f64],
                           rzz: &mut [f64],
                           deco_dt: &mut [f64],
+                          tables: &mut BTreeMap<TableKey, Arc<[u64]>>,
                           ops: &mut Vec<BatchOp>| {
+            let cal = &sim.device.calibration.qubits[q];
             let bank = if stat[q] != 0.0 || time[q] != 0.0 {
                 let b = (stat[q], time[q]);
                 stat[q] = 0.0;
@@ -303,17 +411,38 @@ impl BatchPlan {
             } else {
                 None
             };
+            let table = bank.map(|(s, t)| {
+                let cp = if config.charge_parity && cal.charge_parity_khz > 0.0 {
+                    cal.charge_parity_khz
+                } else {
+                    0.0
+                };
+                let qk = if config.quasistatic && cal.quasistatic_khz > 0.0 {
+                    cal.quasistatic_khz
+                } else {
+                    0.0
+                };
+                tables
+                    .entry((s.to_bits(), t.to_bits(), cp.to_bits(), qk.to_bits()))
+                    .or_insert_with(|| bank_table(s, t, cp, qk))
+                    .clone()
+            });
             let mut edges = Vec::new();
             for &e in &plan.incident[q] {
                 let th = rzz[e];
                 if th.abs() > 1e-15 {
                     rzz[e] = 0.0;
                     let (a, b) = plan.edge_pairs[e];
-                    edges.push((a, b, (th / 2.0).sin().powi(2)));
+                    edges.push(FlushEdge {
+                        a,
+                        b,
+                        e,
+                        p: (th / 2.0).sin().powi(2),
+                        t: bern_theta(th),
+                    });
                 }
             }
             let deco = if config.decoherence && deco_dt[q] > 0.0 {
-                let cal = &sim.device.calibration.qubits[q];
                 let dt = deco_dt[q];
                 deco_dt[q] = 0.0;
                 Some((
@@ -326,14 +455,17 @@ impl BatchPlan {
             if bank.is_some() || !edges.is_empty() || deco.is_some() {
                 ops.push(BatchOp::Flush {
                     q,
+                    op: op_i,
                     bank,
+                    table,
+                    tslot: 0,
                     edges,
                     deco,
                 });
             }
         };
 
-        for op in &plan.ops {
+        for (op_i, op) in plan.ops.iter().enumerate() {
             match *op {
                 PlanOp::Segment(i) => {
                     let seg = &plan.segments[i];
@@ -352,13 +484,23 @@ impl BatchPlan {
                 PlanOp::Project { item } => {
                     let si = &frame.sc.items[item];
                     let q = si.instruction.qubits[0];
-                    emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
+                    emit_flush(
+                        q,
+                        op_i,
+                        &mut stat,
+                        &mut time,
+                        &mut rzz,
+                        &mut deco_dt,
+                        &mut tables,
+                        &mut ops,
+                    );
                     match si.instruction.gate {
                         Gate::Measure => {
                             let reference = frame.ref_outcomes[meas_i];
                             meas_i += 1;
                             ops.push(BatchOp::Measure {
                                 q,
+                                op: op_i,
                                 reference,
                                 clbit: si.instruction.clbit,
                                 readout: config
@@ -366,7 +508,7 @@ impl BatchPlan {
                                     .then(|| sim.device.calibration.qubits[q].readout_err),
                             });
                         }
-                        Gate::Reset => ops.push(BatchOp::Reset { q }),
+                        Gate::Reset => ops.push(BatchOp::Reset { q, op: op_i }),
                         _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
                     }
                 }
@@ -389,10 +531,12 @@ impl BatchPlan {
                                 // as the serial sampler does.
                                 emit_flush(
                                     q,
+                                    op_i,
                                     &mut stat,
                                     &mut time,
                                     &mut rzz,
                                     &mut deco_dt,
+                                    &mut tables,
                                     &mut ops,
                                 );
                             }
@@ -404,6 +548,7 @@ impl BatchPlan {
                             };
                             ops.push(BatchOp::CondGate {
                                 q,
+                                op: op_i,
                                 x,
                                 z,
                                 clbit: *clbit,
@@ -432,6 +577,7 @@ impl BatchPlan {
                                 ops.push(BatchOp::Gate2 {
                                     a: *a,
                                     b: *b,
+                                    op: op_i,
                                     m: Symp2::identity(),
                                     err_p,
                                 });
@@ -459,10 +605,12 @@ impl BatchPlan {
                                 }
                                 None => emit_flush(
                                     q,
+                                    op_i,
                                     &mut stat,
                                     &mut time,
                                     &mut rzz,
                                     &mut deco_dt,
+                                    &mut tables,
                                     &mut ops,
                                 ),
                             }
@@ -476,7 +624,12 @@ impl BatchPlan {
                                 0.0
                             };
                             if !m.is_identity() || err_p > 0.0 {
-                                ops.push(BatchOp::Gate1 { q, m, err_p });
+                                ops.push(BatchOp::Gate1 {
+                                    q,
+                                    op: op_i,
+                                    m,
+                                    err_p,
+                                });
                             }
                             ops.push(BatchOp::Anchor { item });
                         }
@@ -490,18 +643,22 @@ impl BatchPlan {
                             if !diagonal {
                                 emit_flush(
                                     a,
+                                    op_i,
                                     &mut stat,
                                     &mut time,
                                     &mut rzz,
                                     &mut deco_dt,
+                                    &mut tables,
                                     &mut ops,
                                 );
                                 emit_flush(
                                     b,
+                                    op_i,
                                     &mut stat,
                                     &mut time,
                                     &mut rzz,
                                     &mut deco_dt,
+                                    &mut tables,
                                     &mut ops,
                                 );
                             }
@@ -517,6 +674,7 @@ impl BatchPlan {
                             ops.push(BatchOp::Gate2 {
                                 a,
                                 b,
+                                op: op_i,
                                 m: Symp2::from_table(table),
                                 err_p,
                             });
@@ -526,15 +684,76 @@ impl BatchPlan {
                 }
             }
         }
+        let final_op = plan.ops.len();
         for q in 0..n {
-            emit_flush(q, &mut stat, &mut time, &mut rzz, &mut deco_dt, &mut ops);
+            emit_flush(
+                q,
+                final_op,
+                &mut stat,
+                &mut time,
+                &mut rzz,
+                &mut deco_dt,
+                &mut tables,
+                &mut ops,
+            );
         }
 
+        let needs_codes = ops
+            .iter()
+            .any(|op| matches!(op, BatchOp::Flush { table: Some(_), .. }));
+        // Number the distinct (qubit, table) pairs: ~6 flushes per
+        // qubit share a handful of memoized bank tables, and the
+        // sampling pass keys its transposed-threshold cache on this.
+        let mut tslot_total = 0usize;
+        {
+            let mut seen: Vec<Vec<(*const u64, u32)>> = vec![Vec::new(); n];
+            for op in ops.iter_mut() {
+                if let BatchOp::Flush {
+                    q,
+                    table: Some(t),
+                    tslot,
+                    ..
+                } = op
+                {
+                    let key = Arc::as_ptr(t) as *const u64;
+                    let list = &mut seen[*q];
+                    *tslot = match list.iter().find(|(p, _)| *p == key) {
+                        Some(&(_, i)) => i,
+                        None => {
+                            let i = tslot_total as u32;
+                            list.push((key, i));
+                            tslot_total += 1;
+                            i
+                        }
+                    };
+                }
+            }
+        }
+        let noise_stride = n + ops
+            .iter()
+            .map(|op| match op {
+                BatchOp::Flush {
+                    table, edges, deco, ..
+                } => usize::from(table.is_some()) + edges.len() + 2 * usize::from(deco.is_some()),
+                BatchOp::Gate1 { err_p, .. } | BatchOp::CondGate { err_p, .. } => {
+                    2 * usize::from(*err_p > 0.0)
+                }
+                BatchOp::Gate2 { err_p, .. } => 4 * usize::from(*err_p > 0.0),
+                BatchOp::Measure { readout, .. } => {
+                    1 + usize::from(matches!(readout, Some(p) if *p > 0.0))
+                }
+                BatchOp::Reset { .. } => 1,
+                BatchOp::Anchor { .. } => 0,
+            })
+            .sum::<usize>();
         Self {
             serial_words: frame.words,
             frame,
             ops,
             n,
+            needs_codes,
+            noise_stride,
+            tslot_total,
         }
     }
 
@@ -599,6 +818,7 @@ impl BatchPlan {
                     bank,
                     edges,
                     deco,
+                    ..
                 } => {
                     let q = *q;
                     if let Some((stat, time)) = bank {
@@ -613,7 +833,7 @@ impl BatchPlan {
                         }
                         fz[q] ^= zm;
                     }
-                    for &(a, b, p) in edges {
+                    for &FlushEdge { a, b, p, .. } in edges {
                         let mut zm = 0u64;
                         for (j, rng) in rngs.iter_mut().enumerate() {
                             if rng.random::<f64>() < p {
@@ -653,7 +873,7 @@ impl BatchPlan {
                     }
                     phase.tick_sampling();
                 }
-                BatchOp::Gate1 { q, m, err_p } => {
+                BatchOp::Gate1 { q, m, err_p, .. } => {
                     let q = *q;
                     let (nx, nz) = m.apply(fx[q], fz[q]);
                     fx[q] = nx;
@@ -679,7 +899,7 @@ impl BatchPlan {
                         phase.tick_sampling();
                     }
                 }
-                BatchOp::Gate2 { a, b, m, err_p } => {
+                BatchOp::Gate2 { a, b, m, err_p, .. } => {
                     let (a, b) = (*a, *b);
                     let out = m.apply([fx[a], fz[a], fx[b], fz[b]]);
                     fx[a] = out[0];
@@ -724,6 +944,7 @@ impl BatchPlan {
                     reference,
                     clbit,
                     readout,
+                    ..
                 } => {
                     let q = *q;
                     let mut new_z = 0u64;
@@ -751,7 +972,7 @@ impl BatchPlan {
                     fz[q] = new_z;
                     phase.tick_sampling();
                 }
-                BatchOp::Reset { q } => {
+                BatchOp::Reset { q, .. } => {
                     let q = *q;
                     let mut new_z = 0u64;
                     for (j, rng) in rngs.iter_mut().enumerate() {
@@ -771,6 +992,7 @@ impl BatchPlan {
                     value,
                     ref_fired,
                     err_p,
+                    ..
                 } => {
                     let q = *q;
                     let mut xm = 0u64;
@@ -822,6 +1044,538 @@ impl BatchPlan {
         BatchOut { fx, fz, keys }
     }
 
+    /// Runs one seed-schedule-v2 strip of `active ≤ STRIP_SHOTS`
+    /// shot-lanes starting at global shot index `base` (a multiple of
+    /// [`STRIP_SHOTS`]): `wc = ceil(active/64)` bit-plane words per
+    /// qubit walk the program together, so the per-op dispatch cost is
+    /// paid once per 256 shots instead of once per 64.
+    ///
+    /// Every decision is a counter-based hash of `(seed, shot, site)`
+    /// — the identical pure function the serial sampler's v2 path
+    /// evaluates — so lane `j` of strip word `w` reproduces shot
+    /// `base + 64·w + j` bit-for-bit regardless of walk order, worker
+    /// count, or tail occupancy. Order-independence makes the whole
+    /// strip two clean passes: a *sampling* pass hashes every noise
+    /// decision into a linear mask buffer with no frame state at all,
+    /// then a *propagation* pass replays the op stream as
+    /// straight-line word arithmetic over the buffer. Lane-uniform
+    /// probabilities compare whole 64-lane bit-planes against the
+    /// threshold via the [`lt_mask`] ladder (≈ `1 + log₂(1/ε)` planes
+    /// instead of 64 scalar draws); lane-varying bank thresholds walk
+    /// the same ladder once per noise-code group over shared planes.
+    fn run_strip(
+        &self,
+        sim: &Simulator,
+        seed: u64,
+        base: usize,
+        active: usize,
+        ins: &InsertionSet,
+    ) -> StripOut {
+        let n = self.n;
+        let mut phase = crate::obs_util::PhaseTimer::start();
+        let wc = active.div_ceil(LANES);
+        let lanes = wc * LANES;
+
+        // ---- Sampling pass ------------------------------------------------
+        // Hoisted stream keys: one mix64 per lane (per-shot draws) and
+        // per word (bit-plane draws), reused by every site hash below.
+        let mut inner = vec![0u64; lanes];
+        for (l, k) in inner.iter_mut().enumerate() {
+            *k = shot_key(seed, (base + l) as u64);
+        }
+        let mut wkeys = [0u64; STRIP_WORDS];
+        for (w, k) in wkeys.iter_mut().enumerate().take(wc) {
+            *k = shot_key(seed, (base / LANES + w) as u64);
+        }
+
+        // Per-(qubit, word) noise-code groups: lanes sharing a code
+        // (charge-parity slot × detuning lattice index) share every
+        // bank threshold, so each flush walks one ladder per *group*
+        // over shared planes instead of hashing per lane. The gating
+        // mirrors `ShotNoise::sample_v2` exactly.
+        let config = &sim.config;
+        // Flat group storage: entry list + offsets, so the per-strip
+        // precompute performs two allocations instead of one `Vec`
+        // per (qubit, word).
+        let mut group_data: Vec<(u8, u64)> = Vec::new();
+        let mut group_off: Vec<u32> = Vec::new();
+        if self.needs_codes {
+            group_data.reserve_exact(n * wc * 2);
+            group_off.reserve_exact(n * wc + 1);
+            group_off.push(0);
+            let mut masks = [0u64; 3 * LATTICE_STEPS];
+            for q in 0..n {
+                let cal = &sim.device.calibration.qubits[q];
+                let par = config.charge_parity && cal.charge_parity_khz > 0.0;
+                let s = site::id(site::NOISE, 0, q);
+                for w in 0..wc {
+                    // Occupied codes as a 99-bit bitmap: the per-lane
+                    // loop stays branch-free, and groups drain in code
+                    // order (the flush OR is commutative, so ordering
+                    // is free to change).
+                    let mut seen = [0u64; 2];
+                    for j in 0..LANES {
+                        let h = site_draw(inner[w * LANES + j], s);
+                        let slot = if par {
+                            if h >> 63 & 1 == 1 {
+                                1
+                            } else {
+                                2
+                            }
+                        } else {
+                            0
+                        };
+                        let c = slot * LATTICE_STEPS + lattice_idx(h);
+                        seen[c / 64] |= 1 << (c % 64);
+                        masks[c] |= 1 << j;
+                    }
+                    for (blk, &sb) in seen.iter().enumerate() {
+                        let mut bits = sb;
+                        while bits != 0 {
+                            let c = blk * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            group_data.push((c as u8, masks[c]));
+                            masks[c] = 0;
+                        }
+                    }
+                    group_off.push(group_data.len() as u32);
+                }
+            }
+        }
+        // Transposed flush thresholds, one cache slot per (qubit,
+        // word): entry `k` holds the lanes whose own bank threshold
+        // has MSB-first bit `k` set. A flush then walks ONE combined
+        // ladder — decided lanes are where the plane bit differs from
+        // the lane's threshold bit — instead of one ladder per code
+        // group. Keyed by the compile-assigned (qubit, table) slot, so
+        // repeated flushes of an unchanged table reuse the transpose;
+        // twirled circuits draw mostly-distinct tables, where the win
+        // is the combined walk itself. Depth 8 leaves a lane
+        // undecided with probability 2⁻⁸; the rare survivors finish
+        // on the exact per-group ladder below.
+        const TDEPTH: usize = 8;
+        let mut tcache: Vec<(bool, [u64; TDEPTH])> = if self.needs_codes {
+            vec![(false, [0u64; TDEPTH]); self.tslot_total * wc]
+        } else {
+            Vec::new()
+        };
+
+        // The mask buffer: `noise_stride` words per strip word, in the
+        // exact order the propagation pass consumes them.
+        let mut noise: Vec<u64> = Vec::with_capacity(self.noise_stride * wc);
+        for q in 0..n {
+            let s = site::id(site::INIT_Z, 0, q);
+            for w in 0..wc {
+                noise.push(fair_plane(site_draw(wkeys[w], s)));
+            }
+        }
+        for bop in &self.ops {
+            match bop {
+                BatchOp::Flush {
+                    q,
+                    op,
+                    table,
+                    tslot,
+                    edges,
+                    deco,
+                    ..
+                } => {
+                    let q = *q;
+                    if let Some(table) = table {
+                        let s = site::id(site::FLUSH_Z, *op, q);
+                        for w in 0..wc {
+                            let (lo, hi) = (group_off[q * wc + w], group_off[q * wc + w + 1]);
+                            let gslice = &group_data[lo as usize..hi as usize];
+                            let slot = &mut tcache[*tslot as usize * wc + w];
+                            if !slot.0 {
+                                let mut tp = [0u64; TDEPTH];
+                                for &(c, gm) in gslice {
+                                    let t = table[c as usize];
+                                    for (k, m) in tp.iter_mut().enumerate() {
+                                        *m |= (t >> (63 - k) & 1).wrapping_neg() & gm;
+                                    }
+                                }
+                                *slot = (true, tp);
+                            }
+                            let tp = &slot.1;
+                            let b = site_draw(wkeys[w], s);
+                            let mut zm = 0u64;
+                            let mut undecided = u64::MAX;
+                            for (k, &tk) in tp.iter().enumerate() {
+                                if undecided == 0 {
+                                    break;
+                                }
+                                let p = plane(b, k as u32);
+                                zm |= undecided & tk & !p;
+                                undecided &= !(tk ^ p);
+                            }
+                            if undecided != 0 {
+                                // ~2⁻⁸-probability tail: finish each
+                                // surviving lane on its own group's
+                                // exact ladder from bit TDEPTH on.
+                                for &(c, gm) in gslice {
+                                    let t = table[c as usize];
+                                    let mut und = undecided & gm;
+                                    for k in TDEPTH..64 {
+                                        if und == 0 || t << k == 0 {
+                                            break;
+                                        }
+                                        let p = plane(b, k as u32);
+                                        if t >> (63 - k) & 1 == 1 {
+                                            zm |= und & !p;
+                                            und &= p;
+                                        } else {
+                                            und &= !p;
+                                        }
+                                    }
+                                }
+                            }
+                            noise.push(zm);
+                        }
+                    }
+                    for edge in edges {
+                        let s = site::id(site::FLUSH_ZZ, *op, edge.e);
+                        for w in 0..wc {
+                            noise.push(lt_mask(site_draw(wkeys[w], s), edge.t));
+                        }
+                    }
+                    if let Some((gamma, p_z)) = deco {
+                        // Three damping thresholds over one plane
+                        // ladder (X on the middle band, Z where the
+                        // outer bands disagree), dephasing folded into
+                        // the same Z mask word.
+                        let ds = site::id(site::DECO_DAMP, *op, q);
+                        let ps = site::id(site::DECO_DEPH, *op, q);
+                        let ts = damping_thresholds(*gamma);
+                        let pt = bern_threshold(*p_z);
+                        for w in 0..wc {
+                            let (mut mx, mut mz) = (0u64, 0u64);
+                            if *gamma > 0.0 {
+                                let [m1, m2, m3] = lt_masks(site_draw(wkeys[w], ds), ts);
+                                mx = m2;
+                                mz = m1 ^ m3;
+                            }
+                            if *p_z > 0.0 {
+                                mz ^= lt_mask(site_draw(wkeys[w], ps), pt);
+                            }
+                            noise.push(mx);
+                            noise.push(mz);
+                        }
+                    }
+                }
+                BatchOp::Gate1 { q, op, m: _, err_p } => {
+                    if *err_p > 0.0 {
+                        let t = bern_threshold(*err_p);
+                        let hs = site::id(site::GATE_HIT, *op, *q);
+                        let ss = site::id(site::GATE_SEL, *op, *q);
+                        for w in 0..wc {
+                            let mut hit = lt_mask(site_draw(wkeys[w], hs), t);
+                            let mut xm = 0u64;
+                            let mut zm = 0u64;
+                            while hit != 0 {
+                                let j = hit.trailing_zeros() as usize;
+                                hit &= hit - 1;
+                                let k = pick(site_draw(inner[w * LANES + j], ss), 3) as usize;
+                                let (x, z) = pauli_to_bits([Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                if x {
+                                    xm |= 1 << j;
+                                }
+                                if z {
+                                    zm |= 1 << j;
+                                }
+                            }
+                            noise.push(xm);
+                            noise.push(zm);
+                        }
+                    }
+                }
+                BatchOp::Gate2 {
+                    a,
+                    b: _,
+                    op,
+                    m: _,
+                    err_p,
+                } => {
+                    if *err_p > 0.0 {
+                        let t = bern_threshold(*err_p);
+                        let hs = site::id(site::GATE_HIT, *op, *a);
+                        let ss = site::id(site::GATE_SEL, *op, *a);
+                        for w in 0..wc {
+                            let mut hit = lt_mask(site_draw(wkeys[w], hs), t);
+                            let mut xa = 0u64;
+                            let mut za = 0u64;
+                            let mut xb = 0u64;
+                            let mut zb = 0u64;
+                            while hit != 0 {
+                                let j = hit.trailing_zeros() as usize;
+                                hit &= hit - 1;
+                                let k = pick(site_draw(inner[w * LANES + j], ss), 15) as usize + 1;
+                                let (x1, z1) = pauli_to_bits(Pauli::from_index(k % 4));
+                                let (x2, z2) = pauli_to_bits(Pauli::from_index(k / 4));
+                                let bit = 1u64 << j;
+                                if x1 {
+                                    xa |= bit;
+                                }
+                                if z1 {
+                                    za |= bit;
+                                }
+                                if x2 {
+                                    xb |= bit;
+                                }
+                                if z2 {
+                                    zb |= bit;
+                                }
+                            }
+                            noise.push(xa);
+                            noise.push(za);
+                            noise.push(xb);
+                            noise.push(zb);
+                        }
+                    }
+                }
+                BatchOp::Measure { q, op, readout, .. } => {
+                    let rt = match readout {
+                        Some(p) if *p > 0.0 => Some(bern_threshold(*p)),
+                        _ => None,
+                    };
+                    let rs = site::id(site::READOUT, *op, *q);
+                    let ms = site::id(site::MEAS_Z, *op, *q);
+                    for w in 0..wc {
+                        if let Some(t) = rt {
+                            noise.push(lt_mask(site_draw(wkeys[w], rs), t));
+                        }
+                        noise.push(fair_plane(site_draw(wkeys[w], ms)));
+                    }
+                }
+                BatchOp::Reset { q, op } => {
+                    let s = site::id(site::RESET_Z, *op, *q);
+                    for w in 0..wc {
+                        noise.push(fair_plane(site_draw(wkeys[w], s)));
+                    }
+                }
+                BatchOp::CondGate { q, op, err_p, .. } => {
+                    // The hit/selector hashes are pure functions, so
+                    // they are sampled for every hit lane here; the
+                    // propagation pass masks them by the lanes that
+                    // actually fired.
+                    if *err_p > 0.0 {
+                        let t = bern_threshold(*err_p);
+                        let hs = site::id(site::GATE_HIT, *op, *q);
+                        let ss = site::id(site::GATE_SEL, *op, *q);
+                        for w in 0..wc {
+                            let mut hit = lt_mask(site_draw(wkeys[w], hs), t);
+                            let mut xm = 0u64;
+                            let mut zm = 0u64;
+                            while hit != 0 {
+                                let j = hit.trailing_zeros() as usize;
+                                hit &= hit - 1;
+                                let k = pick(site_draw(inner[w * LANES + j], ss), 3) as usize;
+                                let (ex, ez) = pauli_to_bits([Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                if ex {
+                                    xm |= 1 << j;
+                                }
+                                if ez {
+                                    zm |= 1 << j;
+                                }
+                            }
+                            noise.push(xm);
+                            noise.push(zm);
+                        }
+                    }
+                }
+                BatchOp::Anchor { .. } => {}
+            }
+        }
+        debug_assert_eq!(noise.len(), self.noise_stride * wc);
+        phase.tick_sampling();
+
+        // ---- Propagation pass ---------------------------------------------
+        let mut fx = vec![0u64; n * wc];
+        let mut fz = vec![0u64; n * wc];
+        let mut key_planes = [[0u64; STRIP_WORDS]; LANES];
+        let mut cur = 0usize;
+        macro_rules! next {
+            () => {{
+                let v = noise[cur];
+                cur += 1;
+                v
+            }};
+        }
+        // Initial Z-frame randomization: Z stabilizes |0…0⟩.
+        for q in 0..n {
+            for w in 0..wc {
+                fz[q * wc + w] = next!();
+            }
+        }
+        for bop in &self.ops {
+            match bop {
+                BatchOp::Flush {
+                    q,
+                    table,
+                    edges,
+                    deco,
+                    ..
+                } => {
+                    let q = *q;
+                    if table.is_some() {
+                        for w in 0..wc {
+                            fz[q * wc + w] ^= next!();
+                        }
+                    }
+                    for edge in edges {
+                        for w in 0..wc {
+                            let m = next!();
+                            fz[edge.a * wc + w] ^= m;
+                            fz[edge.b * wc + w] ^= m;
+                        }
+                    }
+                    if deco.is_some() {
+                        for w in 0..wc {
+                            fx[q * wc + w] ^= next!();
+                            fz[q * wc + w] ^= next!();
+                        }
+                    }
+                }
+                BatchOp::Gate1 { q, op: _, m, err_p } => {
+                    let q = *q;
+                    for w in 0..wc {
+                        let (nx, nz) = m.apply(fx[q * wc + w], fz[q * wc + w]);
+                        fx[q * wc + w] = nx;
+                        fz[q * wc + w] = nz;
+                    }
+                    if *err_p > 0.0 {
+                        for w in 0..wc {
+                            fx[q * wc + w] ^= next!();
+                            fz[q * wc + w] ^= next!();
+                        }
+                    }
+                }
+                BatchOp::Gate2 {
+                    a,
+                    b,
+                    op: _,
+                    m,
+                    err_p,
+                } => {
+                    let (a, b) = (*a, *b);
+                    for w in 0..wc {
+                        let out = m.apply([
+                            fx[a * wc + w],
+                            fz[a * wc + w],
+                            fx[b * wc + w],
+                            fz[b * wc + w],
+                        ]);
+                        fx[a * wc + w] = out[0];
+                        fz[a * wc + w] = out[1];
+                        fx[b * wc + w] = out[2];
+                        fz[b * wc + w] = out[3];
+                    }
+                    if *err_p > 0.0 {
+                        for w in 0..wc {
+                            fx[a * wc + w] ^= next!();
+                            fz[a * wc + w] ^= next!();
+                            fx[b * wc + w] ^= next!();
+                            fz[b * wc + w] ^= next!();
+                        }
+                    }
+                }
+                BatchOp::Measure {
+                    q,
+                    op: _,
+                    reference,
+                    clbit,
+                    readout,
+                } => {
+                    let q = *q;
+                    let rm = if *reference { u64::MAX } else { 0 };
+                    let armed = matches!(readout, Some(p) if *p > 0.0);
+                    for w in 0..wc {
+                        let mut out = rm ^ fx[q * wc + w];
+                        if armed {
+                            out ^= next!();
+                        }
+                        if let Some(c) = clbit {
+                            if *c < LANES {
+                                key_planes[*c][w] = out;
+                            }
+                        }
+                        // Post-collapse Z randomization.
+                        fz[q * wc + w] = next!();
+                    }
+                }
+                BatchOp::Reset { q, op: _ } => {
+                    let q = *q;
+                    for w in 0..wc {
+                        fx[q * wc + w] = 0;
+                        fz[q * wc + w] = next!();
+                    }
+                }
+                BatchOp::CondGate {
+                    q,
+                    op: _,
+                    x,
+                    z,
+                    clbit,
+                    value,
+                    ref_fired,
+                    err_p,
+                } => {
+                    let q = *q;
+                    let vm = if *value { u64::MAX } else { 0 };
+                    let rm = if *ref_fired { u64::MAX } else { 0 };
+                    for w in 0..wc {
+                        // Lanes whose classical bit equals `value`.
+                        let fired = !(key_planes[*clbit][w] ^ vm);
+                        let diff = fired ^ rm;
+                        if *x {
+                            fx[q * wc + w] ^= diff;
+                        }
+                        if *z {
+                            fz[q * wc + w] ^= diff;
+                        }
+                        if *err_p > 0.0 {
+                            fx[q * wc + w] ^= next!() & fired;
+                            fz[q * wc + w] ^= next!() & fired;
+                        }
+                    }
+                }
+                BatchOp::Anchor { item } => {
+                    for &(shot, q, p) in ins.in_shot_range(*item, base, base + active) {
+                        let l = shot - base;
+                        let (x, z) = pauli_to_bits(p);
+                        let bit = 1u64 << (l % LANES);
+                        if x {
+                            fx[q * wc + l / LANES] ^= bit;
+                        }
+                        if z {
+                            fz[q * wc + l / LANES] ^= bit;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(cur, noise.len());
+
+        // Per-lane classical keys from the clbit planes (sparse
+        // transpose: zero plane bits contribute nothing).
+        let mut keys = vec![0u64; lanes];
+        for (c, planes) in key_planes.iter().enumerate() {
+            for (w, &plane) in planes.iter().enumerate().take(wc) {
+                let mut p = plane;
+                while p != 0 {
+                    let j = p.trailing_zeros() as usize;
+                    p &= p - 1;
+                    keys[w * LANES + j] |= 1u64 << c;
+                }
+            }
+        }
+        phase.tick_propagation();
+        phase.finish();
+        ca_obs::counter_add("engine.batches", wc as u64);
+        ca_obs::counter_add("engine.shots", active as u64);
+        StripOut { fx, fz, keys, wc }
+    }
+
     /// Shot-sampled classical counts over this prepared plan.
     pub(crate) fn counts(
         &self,
@@ -832,19 +1586,35 @@ impl BatchPlan {
         workers: Option<usize>,
     ) -> RunResult {
         let nbits = self.frame.sc.num_clbits;
-        let batches = shots.div_ceil(LANES);
-        let parts = map_batches(batches, workers, |b| {
-            let base = b * LANES;
-            let active = LANES.min(shots - base);
-            let out = self.run_batch(sim, seed, base, active, ins);
-            crate::obs_util::time_engine_phase("reduction", || {
-                let mut counts = BTreeMap::new();
-                for &key in out.keys.iter().take(active) {
-                    *counts.entry(key).or_insert(0usize) += 1;
-                }
-                counts
+        let parts = if sim.schedule == SeedSchedule::V2 {
+            let strips = shots.div_ceil(STRIP_SHOTS);
+            map_batches(strips, workers, |s| {
+                let base = s * STRIP_SHOTS;
+                let active = STRIP_SHOTS.min(shots - base);
+                let out = self.run_strip(sim, seed, base, active, ins);
+                crate::obs_util::time_engine_phase("reduction", || {
+                    let mut counts = BTreeMap::new();
+                    for &key in out.keys.iter().take(active) {
+                        *counts.entry(key).or_insert(0usize) += 1;
+                    }
+                    counts
+                })
             })
-        });
+        } else {
+            let batches = shots.div_ceil(LANES);
+            map_batches(batches, workers, |b| {
+                let base = b * LANES;
+                let active = LANES.min(shots - base);
+                let out = self.run_batch(sim, seed, base, active, ins);
+                crate::obs_util::time_engine_phase("reduction", || {
+                    let mut counts = BTreeMap::new();
+                    for &key in out.keys.iter().take(active) {
+                        *counts.entry(key).or_insert(0usize) += 1;
+                    }
+                    counts
+                })
+            })
+        };
         crate::obs_util::time_engine_phase("reduction", || {
             RunResult::from_parts(shots, nbits, parts)
         })
@@ -884,30 +1654,62 @@ impl BatchPlan {
         workers: Option<usize>,
     ) -> Vec<f64> {
         let prepared = self.prepare_observables(paulis);
-        let batches = shots.div_ceil(LANES);
-        let partials: Vec<Vec<f64>> = map_batches(batches, workers, |b| {
-            let base = b * LANES;
-            let active = LANES.min(shots - base);
-            let out = self.run_batch(sim, seed, base, active, ins);
-            crate::obs_util::time_engine_phase("reduction", || {
-                let lane_mask = if active == LANES {
-                    u64::MAX
-                } else {
-                    (1u64 << active) - 1
-                };
-                prepared
-                    .iter()
-                    .map(|(r, support)| {
-                        if *r == 0 {
-                            return 0.0;
-                        }
-                        let parity = support_parity(&out, support);
-                        let flips = (parity & lane_mask).count_ones() as i64;
-                        (*r as i64 * (active as i64 - 2 * flips)) as f64
-                    })
-                    .collect()
+        let partials: Vec<Vec<f64>> = if sim.schedule == SeedSchedule::V2 {
+            let strips = shots.div_ceil(STRIP_SHOTS);
+            map_batches(strips, workers, |s| {
+                let base = s * STRIP_SHOTS;
+                let active = STRIP_SHOTS.min(shots - base);
+                let out = self.run_strip(sim, seed, base, active, ins);
+                crate::obs_util::time_engine_phase("reduction", || {
+                    prepared
+                        .iter()
+                        .map(|(r, support)| {
+                            if *r == 0 {
+                                return 0.0;
+                            }
+                            let mut sum = 0i64;
+                            for w in 0..out.wc {
+                                let aw = LANES.min(active - w * LANES);
+                                let mask = if aw == LANES {
+                                    u64::MAX
+                                } else {
+                                    (1u64 << aw) - 1
+                                };
+                                let parity = strip_parity(&out, w, support);
+                                let flips = (parity & mask).count_ones() as i64;
+                                sum += aw as i64 - 2 * flips;
+                            }
+                            (*r as i64 * sum) as f64
+                        })
+                        .collect()
+                })
             })
-        });
+        } else {
+            let batches = shots.div_ceil(LANES);
+            map_batches(batches, workers, |b| {
+                let base = b * LANES;
+                let active = LANES.min(shots - base);
+                let out = self.run_batch(sim, seed, base, active, ins);
+                crate::obs_util::time_engine_phase("reduction", || {
+                    let lane_mask = if active == LANES {
+                        u64::MAX
+                    } else {
+                        (1u64 << active) - 1
+                    };
+                    prepared
+                        .iter()
+                        .map(|(r, support)| {
+                            if *r == 0 {
+                                return 0.0;
+                            }
+                            let parity = support_parity(&out, support);
+                            let flips = (parity & lane_mask).count_ones() as i64;
+                            (*r as i64 * (active as i64 - 2 * flips)) as f64
+                        })
+                        .collect()
+                })
+            })
+        };
         crate::obs_util::time_engine_phase("reduction", || {
             let mut out = vec![0.0; paulis.len()];
             for part in partials {
@@ -935,8 +1737,49 @@ impl BatchPlan {
         workers: Option<usize>,
     ) -> PauliFlips {
         let prepared = self.prepare_observables(paulis);
-        let batches = shots.div_ceil(LANES);
-        let partials: Vec<Vec<u64>> = map_batches(batches, workers, |b| {
+        let words = shots.div_ceil(LANES);
+        if sim.schedule == SeedSchedule::V2 {
+            let strips = shots.div_ceil(STRIP_SHOTS);
+            let partials: Vec<Vec<Vec<u64>>> = map_batches(strips, workers, |s| {
+                let base = s * STRIP_SHOTS;
+                let active = STRIP_SHOTS.min(shots - base);
+                let out = self.run_strip(sim, seed, base, active, ins);
+                crate::obs_util::time_engine_phase("reduction", || {
+                    prepared
+                        .iter()
+                        .map(|(_, support)| {
+                            (0..out.wc)
+                                .map(|w| {
+                                    let aw = LANES.min(active - w * LANES);
+                                    let mask = if aw == LANES {
+                                        u64::MAX
+                                    } else {
+                                        (1u64 << aw) - 1
+                                    };
+                                    strip_parity(&out, w, support) & mask
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+            });
+            return crate::obs_util::time_engine_phase("reduction", || {
+                let mut flips = vec![vec![0u64; words]; paulis.len()];
+                for (s, per_obs) in partials.iter().enumerate() {
+                    for (o, obs_words) in per_obs.iter().enumerate() {
+                        for (w, word) in obs_words.iter().enumerate() {
+                            flips[o][s * STRIP_WORDS + w] = *word;
+                        }
+                    }
+                }
+                PauliFlips {
+                    shots,
+                    refs: prepared.iter().map(|(r, _)| *r).collect(),
+                    flips,
+                }
+            });
+        }
+        let partials: Vec<Vec<u64>> = map_batches(words, workers, |b| {
             let base = b * LANES;
             let active = LANES.min(shots - base);
             let out = self.run_batch(sim, seed, base, active, ins);
@@ -953,9 +1796,9 @@ impl BatchPlan {
             })
         });
         crate::obs_util::time_engine_phase("reduction", || {
-            let mut flips = vec![vec![0u64; batches]; paulis.len()];
-            for (b, words) in partials.iter().enumerate() {
-                for (o, w) in words.iter().enumerate() {
+            let mut flips = vec![vec![0u64; words]; paulis.len()];
+            for (b, batch_words) in partials.iter().enumerate() {
+                for (o, w) in batch_words.iter().enumerate() {
                     flips[o][b] = *w;
                 }
             }
@@ -986,12 +1829,38 @@ fn support_parity(out: &BatchOut, support: &[(usize, bool, bool)]) -> u64 {
     parity
 }
 
+/// Lane-parity word of one observable against one word of a v2
+/// strip's final planes (layout `[q * wc + w]`).
+#[inline]
+fn strip_parity(out: &StripOut, w: usize, support: &[(usize, bool, bool)]) -> u64 {
+    let mut parity = 0u64;
+    for &(q, x_obs, z_obs) in support {
+        if z_obs {
+            parity ^= out.fx[q * out.wc + w];
+        }
+        if x_obs {
+            parity ^= out.fz[q * out.wc + w];
+        }
+    }
+    parity
+}
+
 /// The finished state of one batch: per-qubit frame bit-planes and
 /// per-lane classical keys.
 struct BatchOut {
     fx: Vec<u64>,
     fz: Vec<u64>,
     keys: [u64; LANES],
+}
+
+/// The finished state of one v2 strip: per-qubit plane words laid out
+/// `[q * wc + w]`, per-lane classical keys (`w * 64 + j`), and the
+/// strip's word count `wc ≤ STRIP_WORDS`.
+struct StripOut {
+    fx: Vec<u64>,
+    fz: Vec<u64>,
+    keys: Vec<u64>,
+    wc: usize,
 }
 
 /// The bit-parallel batched frame engine (see the module docs): a

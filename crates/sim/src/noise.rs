@@ -129,16 +129,51 @@ impl ShotNoise {
         }
     }
 
+    /// Samples per-shot parameters under seed-schedule v2: every
+    /// qubit's draws come from one counter-based hash of
+    /// `(seed, shot, NOISE site(q))` — the charge-parity sign from bit
+    /// 63, the quasi-static detuning from the popcount lattice
+    /// Gaussian over the low 32 bits (see [`crate::plan::lattice_value`]).
+    ///
+    /// Unlike the legacy sequential stream, a calibration-disabled
+    /// qubit consumes nothing from anyone else's draws: toggling one
+    /// qubit's `quasistatic_khz` or `charge_parity_khz` cannot shift
+    /// any other qubit's noise (the Box–Muller spare-half coupling of
+    /// [`Self::sample`] is eliminated by construction).
+    pub fn sample_v2(device: &Device, config: &NoiseConfig, seed: u64, shot: u64) -> Self {
+        use crate::plan::{lattice_idx, lattice_value, shot_site_seed, site};
+        let n = device.num_qubits();
+        let mut parity_sign = vec![0.0; n];
+        let mut detuning_khz = vec![0.0; n];
+        for q in 0..n {
+            let cal = &device.calibration.qubits[q];
+            let h = shot_site_seed(seed, shot, site::id(site::NOISE, 0, q));
+            parity_sign[q] = if config.charge_parity && cal.charge_parity_khz > 0.0 {
+                if h >> 63 & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else {
+                0.0
+            };
+            detuning_khz[q] = if config.quasistatic && cal.quasistatic_khz > 0.0 {
+                lattice_value(lattice_idx(h)) * cal.quasistatic_khz
+            } else {
+                0.0
+            };
+        }
+        Self {
+            parity_sign,
+            detuning_khz,
+        }
+    }
+
     /// The total stochastic Z rate (kHz) on `q` for this shot:
     /// `±δ + ε` (Eq. 6 plus the quasi-static term).
     pub fn z_rate_khz(&self, device: &Device, q: usize) -> f64 {
         self.parity_sign[q] * device.calibration.qubits[q].charge_parity_khz + self.detuning_khz[q]
     }
-}
-
-/// Standard normal sample (Box–Muller, cosine half).
-pub fn gaussian(rng: &mut StdRng) -> f64 {
-    gaussian_pair(rng).0
 }
 
 /// Two independent standard normal samples from one Box–Muller
@@ -230,11 +265,99 @@ mod tests {
     #[test]
     fn gaussian_moments() {
         let mut rng = StdRng::seed_from_u64(9);
-        let xs: Vec<f64> = (0..20000).map(|_| gaussian(&mut rng)).collect();
+        let xs: Vec<f64> = (0..10000)
+            .flat_map(|_| {
+                let (a, b) = gaussian_pair(&mut rng);
+                [a, b]
+            })
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.03);
         assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn shot_noise_v2_qubits_are_independent_streams() {
+        // Regression for the Box–Muller spare-half coupling: under
+        // schedule v2, disabling one qubit's quasistatic calibration
+        // must leave every other qubit's draws bit-identical.
+        let dev = uniform_device(Topology::line(5), 50.0);
+        let mut dev_off = dev.clone();
+        dev_off.calibration.qubits[2].quasistatic_khz = 0.0;
+        let cfg = NoiseConfig::default();
+        for shot in 0..64u64 {
+            let a = ShotNoise::sample_v2(&dev, &cfg, 17, shot);
+            let b = ShotNoise::sample_v2(&dev_off, &cfg, 17, shot);
+            assert_eq!(b.detuning_khz[2], 0.0);
+            for q in (0..5).filter(|&q| q != 2) {
+                assert_eq!(a.detuning_khz[q].to_bits(), b.detuning_khz[q].to_bits());
+                assert_eq!(a.parity_sign[q].to_bits(), b.parity_sign[q].to_bits());
+            }
+        }
+        // The legacy schedule has the coupling (documents the bug the
+        // v2 schedule removes): qubits after the disabled one shift.
+        let mut r1 = StdRng::seed_from_u64(17);
+        let mut r2 = StdRng::seed_from_u64(17);
+        let a = ShotNoise::sample(&dev, &cfg, &mut r1);
+        let b = ShotNoise::sample(&dev_off, &cfg, &mut r2);
+        assert_ne!(
+            a.detuning_khz[3].to_bits(),
+            b.detuning_khz[3].to_bits(),
+            "v1 spare-half coupling disappeared; re-check the pinned stream"
+        );
+    }
+
+    #[test]
+    fn shot_noise_v2_moments_and_fairness() {
+        let mut dev = uniform_device(Topology::line(1), 0.0);
+        dev.calibration.qubits[0].charge_parity_khz = 5.0;
+        let cfg = NoiseConfig::default();
+        let shots = 20000u64;
+        let (mut plus, mut sum, mut sq) = (0usize, 0.0f64, 0.0f64);
+        for shot in 0..shots {
+            let s = ShotNoise::sample_v2(&dev, &cfg, 11, shot);
+            if s.parity_sign[0] > 0.0 {
+                plus += 1;
+            }
+            let z = s.detuning_khz[0] / dev.calibration.qubits[0].quasistatic_khz;
+            sum += z;
+            sq += z * z;
+        }
+        assert!((plus as f64 / shots as f64 - 0.5).abs() < 0.02);
+        let mean = sum / shots as f64;
+        assert!(mean.abs() < 0.03, "lattice mean {mean}");
+        let var = sq / shots as f64 - mean * mean;
+        assert!((var - 1.0).abs() < 0.05, "lattice variance {var}");
+    }
+
+    #[test]
+    fn legacy_v1_stream_is_pinned() {
+        // Schedule v1 goldens depend on this exact stream; any change
+        // to `ShotNoise::sample`'s draw order breaks bit-compatibility
+        // and must be caught here rather than in a golden downstream.
+        let mut dev = uniform_device(Topology::line(3), 50.0);
+        dev.calibration.qubits[1].charge_parity_khz = 4.0;
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = ShotNoise::sample(&dev, &NoiseConfig::default(), &mut rng);
+        let got: Vec<u64> = s
+            .parity_sign
+            .iter()
+            .chain(s.detuning_khz.iter())
+            .map(|v| v.to_bits())
+            .collect();
+        let expected = [
+            0f64.to_bits(),
+            1f64.to_bits(),
+            0f64.to_bits(),
+            13840507040696365468u64,
+            4616869055831240298u64,
+            4608018101488661094u64,
+        ];
+        assert_eq!(
+            got, expected,
+            "legacy ShotNoise stream shifted; v1 goldens are invalidated"
+        );
     }
 
     #[test]

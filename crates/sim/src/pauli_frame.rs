@@ -78,7 +78,10 @@ use crate::error::SimError;
 use crate::executor::{pack_bits, Simulator};
 use crate::insert::InsertionSet;
 use crate::noise::{damping_prob, dephasing_prob, t_phi_us, ShotNoise};
-use crate::plan::{map_shots_indexed, ExecutionPlan, PlanOp};
+use crate::plan::{
+    bern_theta, bern_threshold, damping_thresholds, fair_plane, lt_lane, map_shots_indexed, pick,
+    shot_key, site, site_draw, ExecutionPlan, PlanOp, SeedSchedule,
+};
 use crate::result::{PauliFlips, RunResult};
 use crate::stabilizer::{pack_pauli, pauli_from_bits, pauli_to_bits, Tableau};
 use ca_circuit::clifford::{conjugation_table_1q, conjugation_table_2q, Table2Q};
@@ -294,7 +297,7 @@ impl FramePlan {
             &sim.device,
             &sim.config,
         )?);
-        Self::build_with_plan(sc, plan, seed)
+        Self::build_with_plan(sc, plan, seed, sim.schedule)
     }
 
     /// Builds the frame plan over a prebuilt (possibly shared)
@@ -306,6 +309,7 @@ impl FramePlan {
         sc: Arc<ScheduledCircuit>,
         plan: Arc<ExecutionPlan>,
         seed: u64,
+        schedule: SeedSchedule,
     ) -> Result<Self, SimError> {
         let _s = ca_obs::span("sim.compile", "frame-plan");
         stabilizer_check(&sc)?;
@@ -442,6 +446,33 @@ impl FramePlan {
         // reference carries its own classical register so conditional
         // Paulis fire against the reference's recorded bits; bank
         // rotations are invisible here (they live frame-side).
+        //
+        // Under schedule v2 the Pauli gates of the circuit (DD pulses,
+        // twirl dressing — the bulk of a DD-compiled workload) are not
+        // applied to the tableau at all: they accumulate in a packed
+        // Pauli *skeleton* frame that later gates conjugate in O(1),
+        // measurements XOR into their recorded outcome, and one final
+        // sweep folds into the tableau signs. The circuit-level
+        // semantics are identical; only the mapping of the reference
+        // RNG stream onto random-outcome measurements is re-anchored,
+        // which is exactly the freedom the v2 re-baseline grants. The
+        // v1 path keeps the gate-by-gate tableau walk bit-for-bit.
+        let skel = schedule == SeedSchedule::V2;
+        let pauli1: Vec<Option<(bool, bool)>> = if skel {
+            sc.items
+                .iter()
+                .zip(&items)
+                .map(|(si, it)| match it {
+                    Some(ItemOp::One { .. }) => pauli_of(si.instruction.gate).map(pauli_to_bits),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let words = sc.num_qubits.div_ceil(64);
+        let mut skx = vec![0u64; words];
+        let mut skz = vec![0u64; words];
         let mut tableau = Tableau::zero(sc.num_qubits);
         let mut ref_rng = StdRng::seed_from_u64(seed ^ 0xC1F0_0D5E_ED00_55AA);
         let x_table = conjugation_table_1q(Gate::X);
@@ -449,13 +480,49 @@ impl FramePlan {
         let z_table = conjugation_table_1q(Gate::Z);
         let mut ref_bits = vec![false; sc.num_clbits.max(1)];
         let mut ref_outcomes = Vec::new();
+        macro_rules! sk_get {
+            ($q:expr) => {
+                pauli_from_bits(
+                    skx[$q / 64] >> ($q % 64) & 1 == 1,
+                    skz[$q / 64] >> ($q % 64) & 1 == 1,
+                )
+            };
+        }
+        macro_rules! sk_set {
+            ($q:expr, $p:expr) => {{
+                let (x, z) = pauli_to_bits($p);
+                skx[$q / 64] = skx[$q / 64] & !(1 << ($q % 64)) | (x as u64) << ($q % 64);
+                skz[$q / 64] = skz[$q / 64] & !(1 << ($q % 64)) | (z as u64) << ($q % 64);
+            }};
+        }
         for op in &plan.ops {
             match *op {
                 PlanOp::Segment(_) => {}
                 // ca-lint: allow(panic) -- plan construction guarantees unitary items at Apply ops
                 PlanOp::Apply { item } => match items[item].as_mut().expect("unitary item") {
-                    ItemOp::One { q, table, .. } => tableau.apply_1q(table, *q),
-                    ItemOp::Two { a, b, table, .. } => tableau.apply_2q(table, *a, *b),
+                    ItemOp::One { q, table, .. } => {
+                        if skel {
+                            if let Some((px, pz)) = pauli1[item] {
+                                skx[*q / 64] ^= (px as u64) << (*q % 64);
+                                skz[*q / 64] ^= (pz as u64) << (*q % 64);
+                                continue;
+                            }
+                            // Conjugate the skeleton letter through the
+                            // gate (its sign is a global phase).
+                            let (_, np) = table[sk_get!(*q).index()];
+                            sk_set!(*q, np);
+                        }
+                        tableau.apply_1q(table, *q);
+                    }
+                    ItemOp::Two { a, b, table, .. } => {
+                        if skel {
+                            let (_, (na, nb)) =
+                                table[sk_get!(*a).index() + 4 * sk_get!(*b).index()];
+                            sk_set!(*a, na);
+                            sk_set!(*b, nb);
+                        }
+                        tableau.apply_2q(table, *a, *b);
+                    }
                     ItemOp::CondPauli {
                         q,
                         pauli,
@@ -467,11 +534,17 @@ impl FramePlan {
                         let fired = ref_bits[*clbit] == *value;
                         *ref_fired = fired;
                         if fired {
-                            match pauli {
-                                Pauli::I => {}
-                                Pauli::X => tableau.apply_1q(&x_table, *q),
-                                Pauli::Y => tableau.apply_1q(&y_table, *q),
-                                Pauli::Z => tableau.apply_1q(&z_table, *q),
+                            if skel {
+                                let (px, pz) = pauli_to_bits(*pauli);
+                                skx[*q / 64] ^= (px as u64) << (*q % 64);
+                                skz[*q / 64] ^= (pz as u64) << (*q % 64);
+                            } else {
+                                match pauli {
+                                    Pauli::I => {}
+                                    Pauli::X => tableau.apply_1q(&x_table, *q),
+                                    Pauli::Y => tableau.apply_1q(&y_table, *q),
+                                    Pauli::Z => tableau.apply_1q(&z_table, *q),
+                                }
                             }
                         }
                     }
@@ -482,17 +555,34 @@ impl FramePlan {
                     let q = si.instruction.qubits[0];
                     match si.instruction.gate {
                         Gate::Measure => {
-                            let outcome = tableau.measure(q, &mut ref_rng);
+                            let mut outcome = tableau.measure(q, &mut ref_rng);
+                            if skel {
+                                // The skeleton's X component flips the
+                                // Z-basis outcome; the frame itself is
+                                // untouched by the projection.
+                                outcome ^= skx[q / 64] >> (q % 64) & 1 == 1;
+                            }
                             if let Some(c) = si.instruction.clbit {
                                 ref_bits[c] = outcome;
                             }
                             ref_outcomes.push(outcome);
                         }
-                        Gate::Reset => tableau.reset(q, &mut ref_rng, &x_table),
+                        Gate::Reset => {
+                            tableau.reset(q, &mut ref_rng, &x_table);
+                            if skel {
+                                // Reset re-pins the *true* state to
+                                // |0⟩: the deferred frame at q is dead.
+                                skx[q / 64] &= !(1 << (q % 64));
+                                skz[q / 64] &= !(1 << (q % 64));
+                            }
+                        }
                         _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
                     }
                 }
             }
+        }
+        if skel {
+            tableau.conjugate_by_pauli(&skx, &skz);
         }
 
         let words = sc.num_qubits.div_ceil(64);
@@ -770,6 +860,319 @@ impl FramePlan {
         }
         (fx, fz, bits)
     }
+
+    /// [`Self::shot`] under seed-schedule v2: every draw is a pure
+    /// hash of `(seed, shot, site)` where the site id names the
+    /// draw's structural location (noise class, plan-op index,
+    /// qubit/edge — see [`crate::plan::site`]). Draws are therefore
+    /// order-independent: this path may evaluate a different *number*
+    /// of random values than the batch engine (e.g. structurally
+    /// empty flushes, unfired gate errors) without shifting any other
+    /// decision, which is exactly the freedom the bit-sliced batch
+    /// sampler exploits. Ladder draws ([`lt_lane`]) read single lane
+    /// bits of the same bit-planes the batch engine compares 64 lanes
+    /// at a time; per-lane-threshold draws (`FLUSH_Z`) walk the same
+    /// ladder with this lane's own `bern_theta` threshold, which the
+    /// batch engine evaluates code-group by code-group.
+    fn shot_v2(
+        &self,
+        sim: &Simulator,
+        seed: u64,
+        shot_idx: usize,
+        ins: &InsertionSet,
+    ) -> (Vec<u64>, Vec<u64>, Vec<bool>) {
+        let n = self.sc.num_qubits;
+        let config = &sim.config;
+        let t_start = ca_obs::enabled().then(std::time::Instant::now); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
+        let shot = ShotNoise::sample_v2(&sim.device, config, seed, shot_idx as u64);
+        // Per-shot and per-word stream keys: direct draws complete
+        // `shot_site_seed` from `skey`; ladder/fair draws complete
+        // `plane_base` from `wkey` and read this shot's lane bit.
+        let skey = shot_key(seed, shot_idx as u64);
+        let wkey = shot_key(seed, (shot_idx / 64) as u64);
+        let lane = (shot_idx % 64) as u32;
+        let mut fx = vec![0u64; self.words];
+        let mut fz = vec![0u64; self.words];
+        // Initial Z-frame randomization: Z stabilizes |0…0⟩.
+        for q in 0..n {
+            let b = fair_plane(site_draw(wkey, site::id(site::INIT_Z, 0, q)));
+            set(&mut fz, q, b >> lane & 1 == 1);
+        }
+        if let Some(t0) = t_start {
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            ca_obs::observe_ns("engine", "sampling", ns);
+        }
+        let mut bits = vec![false; self.sc.num_clbits.max(1)];
+        let mut pend_stat = vec![0.0f64; n];
+        let mut pend_time = vec![0.0f64; n];
+        let mut pend_rzz = vec![0.0f64; self.plan.edge_pairs.len()];
+        let mut deco_dt = vec![0.0f64; n];
+        let mut meas_i = 0usize;
+
+        // Ladder draw (compile-constant threshold): this shot's lane
+        // bit of the site's bit-planes.
+        macro_rules! lt {
+            ($site:expr, $t:expr) => {
+                lt_lane(site_draw(wkey, $site), lane, $t)
+            };
+        }
+        // Fair coin: lane bit of the site's plane 0.
+        macro_rules! fair {
+            ($site:expr) => {
+                fair_plane(site_draw(wkey, $site)) >> lane & 1 == 1
+            };
+        }
+
+        macro_rules! flush_qubit {
+            ($q:expr, $op:expr) => {{
+                let q = $q;
+                let theta = pend_stat[q]
+                    + ca_device::phase_rad(shot.z_rate_khz(&sim.device, q), pend_time[q]);
+                pend_stat[q] = 0.0;
+                pend_time[q] = 0.0;
+                // Per-lane threshold over shared planes: the rate (and
+                // hence θ) varies by lane, but the ladder compares
+                // each lane's bit of the *same* site planes against
+                // its own threshold — the batch engine groups lanes by
+                // noise code and walks the identical ladder word-wide.
+                // `bern_theta` folds in the |θ| dead-zone.
+                let t = bern_theta(theta);
+                if t > 0 && lt!(site::id(site::FLUSH_Z, $op, q), t) {
+                    toggle(&mut fz, q);
+                }
+                for &e in &self.plan.incident[q] {
+                    let th = pend_rzz[e];
+                    if th.abs() > 1e-15 {
+                        pend_rzz[e] = 0.0;
+                        if lt!(site::id(site::FLUSH_ZZ, $op, e), bern_theta(th)) {
+                            let (a, b) = self.plan.edge_pairs[e];
+                            toggle(&mut fz, a);
+                            toggle(&mut fz, b);
+                        }
+                    }
+                }
+                if config.decoherence && deco_dt[q] > 0.0 {
+                    let cal = &sim.device.calibration.qubits[q];
+                    let dt = deco_dt[q];
+                    deco_dt[q] = 0.0;
+                    // Pauli twirl of amplitude damping: one uniform
+                    // against γ/4, γ/2, 3γ/4 (X / Y / Z bands).
+                    let gamma = damping_prob(dt, cal.t1_us);
+                    if gamma > 0.0 {
+                        let ts = damping_thresholds(gamma);
+                        let base = site_draw(wkey, site::id(site::DECO_DAMP, $op, q));
+                        let l1 = lt_lane(base, lane, ts[0]);
+                        let l2 = lt_lane(base, lane, ts[1]);
+                        let l3 = lt_lane(base, lane, ts[2]);
+                        if l2 {
+                            toggle(&mut fx, q);
+                        }
+                        if l1 != l3 {
+                            toggle(&mut fz, q);
+                        }
+                    }
+                    let p_z = dephasing_prob(dt, t_phi_us(cal.t1_us, cal.t2_us));
+                    if p_z > 0.0 && lt!(site::id(site::DECO_DEPH, $op, q), bern_threshold(p_z)) {
+                        toggle(&mut fz, q);
+                    }
+                }
+            }};
+        }
+
+        for (op_i, op) in self.plan.ops.iter().enumerate() {
+            match *op {
+                PlanOp::Segment(i) => {
+                    let seg = &self.plan.segments[i];
+                    for &(q, th) in &seg.rz_static {
+                        pend_stat[q] += th;
+                    }
+                    for &(e, th) in &self.plan.seg_edges[i] {
+                        pend_rzz[e] += th;
+                    }
+                    let dt = seg.dt();
+                    for q in 0..n {
+                        pend_time[q] += seg.signed_dt[q];
+                        deco_dt[q] += dt;
+                    }
+                }
+                PlanOp::Project { item } => {
+                    let si = &self.sc.items[item];
+                    let q = si.instruction.qubits[0];
+                    flush_qubit!(q, op_i);
+                    match si.instruction.gate {
+                        Gate::Measure => {
+                            let reference = self.ref_outcomes[meas_i];
+                            meas_i += 1;
+                            let mut outcome = reference ^ get(&fx, q);
+                            if config.readout_error {
+                                let p = sim.device.calibration.qubits[q].readout_err;
+                                if p > 0.0
+                                    && lt!(site::id(site::READOUT, op_i, q), bern_threshold(p))
+                                {
+                                    outcome = !outcome;
+                                }
+                            }
+                            if let Some(c) = si.instruction.clbit {
+                                bits[c] = outcome;
+                            }
+                            // Post-collapse Z randomization.
+                            set(&mut fz, q, fair!(site::id(site::MEAS_Z, op_i, q)));
+                        }
+                        Gate::Reset => {
+                            set(&mut fx, q, false);
+                            set(&mut fz, q, fair!(site::id(site::RESET_Z, op_i, q)));
+                        }
+                        _ => unreachable!(), // ca-lint: allow(panic) -- plan construction guarantees the op kind at this slot
+                    }
+                }
+                PlanOp::Apply { item } => {
+                    let si = &self.sc.items[item];
+                    // ca-lint: allow(panic) -- plan construction guarantees unitary items at Apply ops
+                    match self.items[item].as_ref().expect("unitary item") {
+                        ItemOp::CondPauli {
+                            q,
+                            pauli,
+                            clbit,
+                            value,
+                            ref_fired,
+                            physical,
+                        } => {
+                            let q = *q;
+                            if *physical {
+                                flush_qubit!(q, op_i);
+                            }
+                            let fired = bits[*clbit] == *value;
+                            if fired != *ref_fired {
+                                inject(&mut fx, &mut fz, q, *pauli);
+                            }
+                            if *physical && config.gate_error && fired {
+                                let p = sim.device.calibration.qubits[q].gate_err_1q;
+                                if p > 0.0
+                                    && lt!(site::id(site::GATE_HIT, op_i, q), bern_threshold(p))
+                                {
+                                    let k =
+                                        pick(site_draw(skey, site::id(site::GATE_SEL, op_i, q)), 3)
+                                            as usize;
+                                    inject(&mut fx, &mut fz, q, [Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                }
+                            }
+                        }
+                        ItemOp::BankRz { q, theta } => {
+                            pend_stat[*q] += *theta;
+                        }
+                        ItemOp::BankRzz { a, b, edge, theta } => {
+                            pend_rzz[*edge] += *theta;
+                            if config.gate_error {
+                                let scale = self
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                let p = sim.device.calibration.gate_err_2q(*a, *b) * scale;
+                                if p > 0.0
+                                    && lt!(site::id(site::GATE_HIT, op_i, *a), bern_threshold(p))
+                                {
+                                    let k = pick(
+                                        site_draw(skey, site::id(site::GATE_SEL, op_i, *a)),
+                                        15,
+                                    ) as usize
+                                        + 1;
+                                    inject(&mut fx, &mut fz, *a, Pauli::from_index(k % 4));
+                                    inject(&mut fx, &mut fz, *b, Pauli::from_index(k / 4));
+                                }
+                            }
+                        }
+                        ItemOp::CondBankRz { q, theta, edge } => {
+                            pend_stat[*q] += *theta;
+                            if let Some((e, th)) = edge {
+                                pend_rzz[*e] += *th;
+                            }
+                        }
+                        ItemOp::One { q, table, z_sign } => {
+                            let q = *q;
+                            match z_sign {
+                                Some(s) => {
+                                    if *s < 0 {
+                                        pend_stat[q] = -pend_stat[q];
+                                        pend_time[q] = -pend_time[q];
+                                        for &e in &self.plan.incident[q] {
+                                            pend_rzz[e] = -pend_rzz[e];
+                                        }
+                                    }
+                                }
+                                None => flush_qubit!(q, op_i),
+                            }
+                            let p = get_pauli(&fx, &fz, q);
+                            let (_, p2) = table[p.index()];
+                            set_pauli(&mut fx, &mut fz, q, p2);
+                            if config.gate_error
+                                && !si.instruction.gate.is_virtual()
+                                && !si.instruction.merged
+                            {
+                                let p = sim.device.calibration.qubits[q].gate_err_1q;
+                                if p > 0.0
+                                    && lt!(site::id(site::GATE_HIT, op_i, q), bern_threshold(p))
+                                {
+                                    let k =
+                                        pick(site_draw(skey, site::id(site::GATE_SEL, op_i, q)), 3)
+                                            as usize;
+                                    inject(&mut fx, &mut fz, q, [Pauli::X, Pauli::Y, Pauli::Z][k]);
+                                }
+                            }
+                        }
+                        ItemOp::Two {
+                            a,
+                            b,
+                            table,
+                            diagonal,
+                        } => {
+                            let (a, b) = (*a, *b);
+                            if !diagonal {
+                                flush_qubit!(a, op_i);
+                                flush_qubit!(b, op_i);
+                            }
+                            let pa = get_pauli(&fx, &fz, a);
+                            let pb = get_pauli(&fx, &fz, b);
+                            let (_, (qa, qb)) = table[pa.index() + 4 * pb.index()];
+                            set_pauli(&mut fx, &mut fz, a, qa);
+                            set_pauli(&mut fx, &mut fz, b, qb);
+                            if config.gate_error {
+                                let scale = self
+                                    .sc
+                                    .durations
+                                    .two_qubit_error_scale(&si.instruction.gate);
+                                let p = sim.device.calibration.gate_err_2q(a, b) * scale;
+                                if p > 0.0
+                                    && lt!(site::id(site::GATE_HIT, op_i, a), bern_threshold(p))
+                                {
+                                    let k = pick(
+                                        site_draw(skey, site::id(site::GATE_SEL, op_i, a)),
+                                        15,
+                                    ) as usize
+                                        + 1;
+                                    inject(&mut fx, &mut fz, a, Pauli::from_index(k % 4));
+                                    inject(&mut fx, &mut fz, b, Pauli::from_index(k / 4));
+                                }
+                            }
+                        }
+                    }
+                    // Scheduled per-shot Pauli insertions (PEC): pure
+                    // frame XORs after the item's own error draws.
+                    for &(_, q, p) in ins.for_shot(item, shot_idx) {
+                        inject(&mut fx, &mut fz, q, p);
+                    }
+                }
+            }
+        }
+        let final_op = self.plan.ops.len();
+        for q in 0..n {
+            flush_qubit!(q, final_op);
+        }
+        if let Some(t0) = t_start {
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            ca_obs::observe_ns("engine", "shot", ns);
+        }
+        (fx, fz, bits)
+    }
 }
 
 impl FramePlan {
@@ -783,13 +1186,18 @@ impl FramePlan {
         workers: Option<usize>,
     ) -> RunResult {
         let nbits = self.sc.num_clbits;
+        let v2 = sim.schedule == SeedSchedule::V2;
         let parts = map_shots_indexed(
             shots,
             seed,
             workers,
             std::collections::BTreeMap::<u64, usize>::new,
             |i, rng, counts| {
-                let (_, _, bits) = self.shot(sim, rng, i, ins);
+                let (_, _, bits) = if v2 {
+                    self.shot_v2(sim, seed, i, ins)
+                } else {
+                    self.shot(sim, rng, i, ins)
+                };
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
         );
@@ -821,13 +1229,18 @@ impl FramePlan {
         workers: Option<usize>,
     ) -> Vec<f64> {
         let prepared = self.prepare_observables(paulis);
+        let v2 = sim.schedule == SeedSchedule::V2;
         let sums = map_shots_indexed(
             shots,
             seed,
             workers,
             || vec![0.0; prepared.len()],
             |i, rng, acc| {
-                let (fx, fz, _) = self.shot(sim, rng, i, ins);
+                let (fx, fz, _) = if v2 {
+                    self.shot_v2(sim, seed, i, ins)
+                } else {
+                    self.shot(sim, rng, i, ins)
+                };
                 for (o, (r, px, pz)) in prepared.iter().enumerate() {
                     if *r == 0 {
                         continue;
@@ -868,6 +1281,7 @@ impl FramePlan {
     ) -> PauliFlips {
         let prepared = self.prepare_observables(paulis);
         let words = shots.div_ceil(64);
+        let v2 = sim.schedule == SeedSchedule::V2;
         // Per-worker bitvectors cover disjoint shot indices, so the
         // merge is a plain OR — order-independent and exact.
         let parts = map_shots_indexed(
@@ -876,7 +1290,11 @@ impl FramePlan {
             workers,
             || vec![vec![0u64; words]; prepared.len()],
             |i, rng, acc| {
-                let (fx, fz, _) = self.shot(sim, rng, i, ins);
+                let (fx, fz, _) = if v2 {
+                    self.shot_v2(sim, seed, i, ins)
+                } else {
+                    self.shot(sim, rng, i, ins)
+                };
                 for (o, (_, px, pz)) in prepared.iter().enumerate() {
                     let mut parity = 0u64;
                     for w in 0..fx.len() {

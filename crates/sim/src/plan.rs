@@ -239,6 +239,300 @@ pub fn shot_seed(seed: u64, shot: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Which per-shot noise-draw schedule the frame engines use.
+///
+/// * [`SeedSchedule::V1`] — the legacy sequential schedule: shot `i`
+///   owns a `StdRng` seeded from [`shot_seed`], and every draw
+///   consumes the next value of that stream. Draw identity is
+///   positional, so engines must replay the exact draw *order*.
+/// * [`SeedSchedule::V2`] — the counter-based schedule: every draw is
+///   a pure hash of `(seed, shot, site)` (see [`shot_site_seed`]),
+///   where the site id names the structural location of the draw
+///   (noise class, plan-op index, qubit/edge). Draws are
+///   order-independent, which lets the batch engine sample Bernoulli
+///   decisions as bit-planes instead of 64 sequential streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedSchedule {
+    /// Legacy per-shot sequential streams (pre-v2 goldens).
+    V1,
+    /// Counter-based per-(shot, site) hashing (default).
+    V2,
+}
+
+impl SeedSchedule {
+    /// Stable name, hashed into the session fingerprint.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedSchedule::V1 => "v1",
+            SeedSchedule::V2 => "v2",
+        }
+    }
+}
+
+/// Reads `CA_SIM_SEED_SCHEDULE` (`1`/`v1`/`legacy` or `2`/`v2`);
+/// defaults to [`SeedSchedule::V2`]. An invalid value warns once via
+/// the obs layer and falls back to the default.
+pub fn seed_schedule_from_env() -> SeedSchedule {
+    ca_obs::var_parsed_with("CA_SIM_SEED_SCHEDULE", |s| {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "1" | "v1" | "legacy" => Some(SeedSchedule::V1),
+            "2" | "v2" => Some(SeedSchedule::V2),
+            _ => None,
+        }
+    })
+    .unwrap_or(SeedSchedule::V2)
+}
+
+/// SplitMix64 finalizer: the avalanche permutation behind both seed
+/// schedules.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SHOT_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+const SITE_MUL: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Schedule-v2 per-shot stream key: `mix64(seed ^ shot·φ)`. The inner
+/// half of [`shot_site_seed`], exposed so the batch engine can hoist
+/// it per lane and pay only one multiply + finalizer per site.
+#[inline]
+pub fn shot_key(seed: u64, shot: u64) -> u64 {
+    mix64(seed ^ shot.wrapping_mul(SHOT_MUL))
+}
+
+/// Schedule-v2 draw: a full-avalanche 64-bit word that is a pure
+/// function of `(seed, shot, site)`. Two rounds of the SplitMix64
+/// finalizer, keyed by shot on the inner round and by site on the
+/// outer, so draws at different sites (or shots) are decorrelated and
+/// *order-independent* — the property the bit-sliced batch sampler is
+/// built on.
+#[inline]
+pub fn shot_site_seed(seed: u64, shot: u64, site: u64) -> u64 {
+    mix64(shot_key(seed, shot) ^ site.wrapping_mul(SITE_MUL))
+}
+
+/// [`shot_site_seed`] completed from a hoisted [`shot_key`].
+#[inline]
+pub fn site_draw(shot_key: u64, site: u64) -> u64 {
+    mix64(shot_key ^ site.wrapping_mul(SITE_MUL))
+}
+
+/// Schedule-v2 bit-plane base for a (64-shot word, site) pair: plane
+/// `k` of the word's 64 lanes is [`plane`]` (base, k)`. Lane `j` of
+/// plane `k` is bit `k` (MSB-first) of lane `j`'s conceptual uniform
+/// draw at this site; the serial engine extracts single lane bits from
+/// the *same* planes, which is what keeps the engines bit-identical.
+#[inline]
+pub fn plane_base(seed: u64, word: u64, site: u64) -> u64 {
+    mix64(mix64(seed ^ word.wrapping_mul(SHOT_MUL)) ^ site.wrapping_mul(SITE_MUL))
+}
+
+/// Plane `k` (MSB-first bit `k` of all 64 lanes) of a site's uniform
+/// draw word. Planes are pure functions of `k`: consuming a different
+/// number of planes on different code paths (the ladder's early exit)
+/// cannot shift any other draw.
+#[inline]
+pub fn plane(base: u64, k: u32) -> u64 {
+    mix64(base ^ (k as u64 + 1).wrapping_mul(SHOT_MUL))
+}
+
+/// A fair coin per lane: plane 0 used as the mask directly.
+#[inline]
+pub fn fair_plane(base: u64) -> u64 {
+    plane(base, 0)
+}
+
+/// Bernoulli threshold: `u < bern_threshold(p)` over a uniform
+/// `u: u64` fires with probability `p` (up to 2⁻⁶⁴ quantization;
+/// `p ≥ 1` saturates to firing always except on `u == u64::MAX`).
+#[inline]
+pub fn bern_threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else if p > 0.0 {
+        (p * 18_446_744_073_709_551_616.0) as u64
+    } else {
+        0
+    }
+}
+
+/// The phase-flip Bernoulli threshold of a banked rotation angle:
+/// `sin²(θ/2)` pushed through [`bern_threshold`], with the same
+/// `|θ| > 1e-15` dead-zone both engines use. The single source of
+/// truth that keeps the serial runtime draw and the batch
+/// compile-time threshold tables bit-identical.
+#[inline]
+pub fn bern_theta(theta: f64) -> u64 {
+    if theta.abs() > 1e-15 {
+        bern_threshold((theta / 2.0).sin().powi(2))
+    } else {
+        0
+    }
+}
+
+/// The three amplitude-damping twirl thresholds `(γ/4, γ/2, 3γ/4)` as
+/// Bernoulli thresholds over one shared uniform. Shared by the serial
+/// v2 draw and the batch compile step.
+#[inline]
+pub fn damping_thresholds(gamma: f64) -> [u64; 3] {
+    [
+        bern_threshold(gamma / 4.0),
+        bern_threshold(gamma / 2.0),
+        bern_threshold(0.75 * gamma),
+    ]
+}
+
+/// Lanes (bitmask) whose uniform draw at this site is `< t`, computed
+/// from MSB-first bit-planes with early exit: once every remaining
+/// threshold bit is 0, undecided lanes can no longer be below `t`.
+/// Expected planes consumed ≈ 8 for a generic threshold, 1 for
+/// dyadic `p = 1/2`.
+#[inline]
+pub fn lt_mask(base: u64, t: u64) -> u64 {
+    let mut result = 0u64;
+    let mut undecided = u64::MAX;
+    for k in 0..64 {
+        if undecided == 0 || t << k == 0 {
+            break;
+        }
+        let p = plane(base, k);
+        if t >> (63 - k) & 1 == 1 {
+            result |= undecided & !p;
+            undecided &= p;
+        } else {
+            undecided &= !p;
+        }
+    }
+    result
+}
+
+/// [`lt_mask`] for several thresholds over one shared uniform,
+/// hashing each bit-plane at most once (the amplitude-damping twirl
+/// compares its three thresholds against a single draw). Entry `i`
+/// equals `lt_mask(base, ts[i])` bit for bit: each ladder freezes
+/// exactly where its standalone run would have exited, and planes are
+/// pure functions of `k`, so sharing them cannot perturb any ladder.
+#[inline]
+pub fn lt_masks<const N: usize>(base: u64, ts: [u64; N]) -> [u64; N] {
+    let mut result = [0u64; N];
+    let mut undecided = [u64::MAX; N];
+    // Ladders still running, as an index bitmask. An index leaves for
+    // good once its lanes are all decided or its remaining threshold
+    // bits are zero — both conditions are monotone in `k`, so dropping
+    // it permanently matches the per-`k` skip bit for bit.
+    let mut live: u32 = (1 << N) - 1;
+    let mut k = 0u32;
+    while live != 0 && k < 64 {
+        let p = plane(base, k);
+        let mut rem = live;
+        while rem != 0 {
+            let i = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            if ts[i] << k == 0 {
+                live &= !(1 << i);
+                continue;
+            }
+            if ts[i] >> (63 - k) & 1 == 1 {
+                result[i] |= undecided[i] & !p;
+                undecided[i] &= p;
+            } else {
+                undecided[i] &= !p;
+            }
+            if undecided[i] == 0 {
+                live &= !(1 << i);
+            }
+        }
+        k += 1;
+    }
+    result
+}
+
+/// Single-lane [`lt_mask`]: the serial engine's view of the same
+/// bit-plane comparison. `lt_lane(base, j, t)` equals bit `j` of
+/// `lt_mask(base, t)` for every lane, threshold, and base.
+#[inline]
+pub fn lt_lane(base: u64, lane: u32, t: u64) -> bool {
+    for k in 0..64 {
+        if t << k == 0 {
+            return false;
+        }
+        let ubit = plane(base, k) >> lane & 1;
+        let tbit = t >> (63 - k) & 1;
+        if ubit != tbit {
+            return tbit == 1;
+        }
+    }
+    false
+}
+
+/// Unbiased-enough index pick in `0..n` via the widening-multiply
+/// trick (bias ≤ n·2⁻⁶⁴). Used for error-Pauli selectors.
+#[inline]
+pub fn pick(h: u64, n: u64) -> u64 {
+    ((h as u128 * n as u128) >> 64) as u64
+}
+
+/// Trials in the schedule-v2 lattice Gaussian: `popcount` of the low
+/// 32 hash bits, recentred and rescaled to zero mean, unit variance.
+/// A Binomial(32, ½) lattice (step σ/√8, range ±4√2·σ) — within the
+/// quasistatic-detuning physics bands while costing one popcount per
+/// draw, and free of the Box–Muller spare-half stream coupling.
+pub const LATTICE_STEPS: usize = 33;
+const LATTICE_SCALE: f64 = 0.353_553_390_593_273_8; // 1/√8
+
+/// The lattice-Gaussian value of popcount index `idx ∈ 0..=32`.
+#[inline]
+pub fn lattice_value(idx: usize) -> f64 {
+    (idx as i32 - 16) as f64 * LATTICE_SCALE
+}
+
+/// The lattice-Gaussian popcount index of a hash word.
+#[inline]
+pub fn lattice_idx(h: u64) -> usize {
+    (h & 0xFFFF_FFFF).count_ones() as usize
+}
+
+/// Structural site ids for schedule v2: every noise draw is named by
+/// `(class, plan-op index, unit)` where `unit` is a qubit or
+/// crosstalk-edge index. Identity is *structural*, not positional —
+/// both engines compute the same site id for the same physical draw
+/// no matter how many other draws each path happens to evaluate.
+pub mod site {
+    /// Per-qubit shot-noise hash (charge-parity sign in bit 63,
+    /// quasistatic lattice index in the low 32 bits).
+    pub const NOISE: u64 = 1;
+    /// Initial Z-frame randomization of a qubit.
+    pub const INIT_Z: u64 = 2;
+    /// Banked single-qubit phase flush (per-shot threshold).
+    pub const FLUSH_Z: u64 = 3;
+    /// Banked crosstalk-edge flush (compile-constant threshold).
+    pub const FLUSH_ZZ: u64 = 4;
+    /// Amplitude-damping twirl (three thresholds, one uniform).
+    pub const DECO_DAMP: u64 = 5;
+    /// Pure-dephasing flip.
+    pub const DECO_DEPH: u64 = 6;
+    /// Gate-error hit decision.
+    pub const GATE_HIT: u64 = 7;
+    /// Gate-error Pauli selector (consumed only on hit lanes).
+    pub const GATE_SEL: u64 = 8;
+    /// Readout flip of a measurement.
+    pub const READOUT: u64 = 9;
+    /// Post-collapse Z-frame randomization of a measurement.
+    pub const MEAS_Z: u64 = 10;
+    /// Post-reset Z-frame randomization.
+    pub const RESET_Z: u64 = 11;
+
+    /// Packs a site id: class in the low byte, unit (qubit or edge
+    /// index, < 2²⁴) above it, plan-op index in the high 32 bits.
+    #[inline]
+    pub fn id(class: u64, op: usize, unit: usize) -> u64 {
+        class | ((unit as u64) << 8) | ((op as u64) << 32)
+    }
+}
+
 /// Resolves the worker-thread count for a fan-out over `jobs` work
 /// units: an explicit request wins, then the `CA_SIM_WORKERS`
 /// environment variable (used by CI to pin thread counts in

@@ -278,10 +278,12 @@ fn apply_dressing(
 }
 
 /// Fingerprint of everything except the circuit and seed: device,
-/// noise switches, engine policy. Computed once per [`Session`].
+/// noise switches, engine policy, seed schedule. Computed once per
+/// [`Session`].
 fn sim_fingerprint(sim: &Simulator) -> u64 {
     let mut h = Fnv::new();
     h.u64(sim.device.fingerprint());
+    h.str(sim.schedule.name());
     let c = &sim.config;
     for (i, b) in [
         c.zz_crosstalk,
@@ -363,12 +365,15 @@ impl Simulator {
                 );
                 CompiledBackend::Dense
             }
-            "stabilizer" => {
-                CompiledBackend::Serial(FramePlan::build_with_plan(sc.clone(), plan.clone(), seed)?)
-            }
+            "stabilizer" => CompiledBackend::Serial(FramePlan::build_with_plan(
+                sc.clone(),
+                plan.clone(),
+                seed,
+                self.schedule,
+            )?),
             _ => CompiledBackend::Batch(BatchPlan::from_frame(
                 self,
-                FramePlan::build_with_plan(sc.clone(), plan.clone(), seed)?,
+                FramePlan::build_with_plan(sc.clone(), plan.clone(), seed, self.schedule)?,
             )),
         };
         Ok(CompiledCircuit {

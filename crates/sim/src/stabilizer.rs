@@ -51,6 +51,19 @@ pub fn pauli_to_bits(p: Pauli) -> (bool, bool) {
     }
 }
 
+/// Phase contribution (mod 4) of multiplying 64 Pauli letter pairs at
+/// once: `src` letters `(x2, z2)` left-multiplied onto `dst` letters
+/// `(x1, z1)`. Each non-trivial unequal pair contributes `i^±1`; the
+/// six cases split into a `+1` mask (X·Y, Y·Z, Z·X) and a `−1` mask
+/// (X·Z, Y·X, Z·Y), so the total is a pair of popcounts. Matches
+/// `Pauli::mul` bit-for-bit by construction.
+#[inline]
+fn mul_phase_word(x2: u64, z2: u64, x1: u64, z1: u64) -> u32 {
+    let plus = (x2 & !z2 & x1 & z1) | (x2 & z2 & !x1 & z1) | (!x2 & z2 & x1 & !z1);
+    let minus = (x2 & !z2 & !x1 & z1) | (x2 & z2 & x1 & !z1) | (!x2 & z2 & x1 & z1);
+    plus.count_ones() + 3 * minus.count_ones()
+}
+
 /// Inverse of [`pauli_to_bits`].
 #[inline]
 pub fn pauli_from_bits(x: bool, z: bool) -> Pauli {
@@ -136,7 +149,13 @@ impl Tableau {
     /// table (see [`ca_circuit::clifford::conjugation_table_1q`]).
     pub fn apply_1q(&mut self, table: &[(i8, Pauli); 4], q: usize) {
         for r in 0..2 * self.n {
-            let (s, p) = table[self.get(r, q).index()];
+            let p0 = self.get(r, q);
+            // U I U† = I with sign +1: rows acting trivially on `q`
+            // (the vast majority in shallow circuits) are unchanged.
+            if p0 == Pauli::I {
+                continue;
+            }
+            let (s, p) = table[p0.index()];
             self.set(r, q, p);
             if s < 0 {
                 self.phases[r] = (self.phases[r] + 2) % 4;
@@ -149,11 +168,29 @@ impl Tableau {
     pub fn apply_2q(&mut self, table: &Table2Q, a: usize, b: usize) {
         assert_ne!(a, b);
         for r in 0..2 * self.n {
-            let pair = (self.get(r, a), self.get(r, b));
-            let (s, (pa, pb)) = table[pair.0.index() + 4 * pair.1.index()];
+            let idx = self.get(r, a).index() + 4 * self.get(r, b).index();
+            // U (I⊗I) U† = I⊗I with sign +1: rows acting trivially on
+            // the pair (outside the circuit's light cone) are
+            // unchanged.
+            if idx == 0 {
+                continue;
+            }
+            let (s, (pa, pb)) = table[idx];
             self.set(r, a, pa);
             self.set(r, b, pb);
             if s < 0 {
+                self.phases[r] = (self.phases[r] + 2) % 4;
+            }
+        }
+    }
+
+    /// Conjugates every row by the packed Pauli `(px, pz)`: letters
+    /// are unchanged and rows anticommuting with the Pauli flip sign.
+    /// This folds a deferred Pauli frame into the tableau in one
+    /// O(n²/64) sweep instead of one O(n) row pass per deferred gate.
+    pub(crate) fn conjugate_by_pauli(&mut self, px: &[u64], pz: &[u64]) {
+        for r in 0..2 * self.n {
+            if self.row_anticommutes(r, px, pz) {
                 self.phases[r] = (self.phases[r] + 2) % 4;
             }
         }
@@ -171,14 +208,24 @@ impl Tableau {
     }
 
     /// Left-multiplies row `dst` by row `src`: `row_dst ← row_src · row_dst`.
+    ///
+    /// Word-parallel: letters XOR in the symplectic picture, and the
+    /// `i^k` letter-product phases reduce to popcounts of two masks
+    /// (see [`mul_phase_word`]) — the same arithmetic as the scalar
+    /// `Pauli::mul` loop, 64 qubits at a time.
     fn row_mul(&mut self, dst: usize, src: usize) {
-        let mut k = (self.phases[src] + self.phases[dst]) % 4;
-        for q in 0..self.n {
-            let (dk, p) = self.get(src, q).mul(self.get(dst, q));
-            k = (k + dk) % 4;
-            self.set(dst, q, p);
+        let (ds, ss) = (dst * self.words, src * self.words);
+        let mut k = (self.phases[src] + self.phases[dst]) as u32;
+        for w in 0..self.words {
+            let x2 = self.xs[ss + w];
+            let z2 = self.zs[ss + w];
+            let x1 = self.xs[ds + w];
+            let z1 = self.zs[ds + w];
+            k += mul_phase_word(x2, z2, x1, z1);
+            self.xs[ds + w] = x1 ^ x2;
+            self.zs[ds + w] = z1 ^ z2;
         }
-        self.phases[dst] = k;
+        self.phases[dst] = (k % 4) as u8;
     }
 
     fn copy_row(&mut self, dst: usize, src: usize) {
@@ -221,31 +268,37 @@ impl Tableau {
             outcome
         } else {
             // Deterministic: ±Z_q is in the stabilizer group. Multiply
-            // the stabilizers indexed by destabilizers hitting q.
-            let mut k: u8 = 0;
-            let mut letters = vec![Pauli::I; n];
+            // the stabilizers indexed by destabilizers hitting q,
+            // word-parallel (same arithmetic as `row_mul`).
+            let mut k: u32 = 0;
+            let mut accx = vec![0u64; self.words];
+            let mut accz = vec![0u64; self.words];
             for i in 0..n {
                 if self.xs[i * self.words + qw] & qm != 0 {
-                    k = (k + self.phases[n + i]) % 4;
-                    for qq in 0..n {
-                        let (dk, pl) = self.get(n + i, qq).mul(letters[qq]);
-                        k = (k + dk) % 4;
-                        letters[qq] = pl;
+                    k += self.phases[n + i] as u32;
+                    let s = (n + i) * self.words;
+                    for w in 0..self.words {
+                        let x2 = self.xs[s + w];
+                        let z2 = self.zs[s + w];
+                        k += mul_phase_word(x2, z2, accx[w], accz[w]);
+                        accx[w] ^= x2;
+                        accz[w] ^= z2;
                     }
                 }
             }
             debug_assert!(
-                letters
-                    .iter()
-                    .enumerate()
-                    .all(|(qq, &pl)| (qq == q) == (pl != Pauli::I)),
+                accx.iter().all(|&w| w == 0)
+                    && accz
+                        .iter()
+                        .enumerate()
+                        .all(|(w, &v)| v == if w == qw { qm } else { 0 }),
                 "deterministic measurement row must be ±Z_q"
             );
             debug_assert!(
-                k.is_multiple_of(2),
+                (k % 4).is_multiple_of(2),
                 "stabilizer element with imaginary phase"
             );
-            k == 2
+            k % 4 == 2
         }
     }
 
@@ -271,25 +324,30 @@ impl Tableau {
             }
         }
         // Otherwise P = ±(product of the stabilizers indexed by the
-        // destabilizers it anticommutes with); recover the sign.
-        let mut k: u8 = 0;
-        let mut letters = vec![Pauli::I; self.n];
+        // destabilizers it anticommutes with); recover the sign,
+        // word-parallel (same arithmetic as `row_mul`).
+        let mut k: u32 = 0;
+        let mut accx = vec![0u64; self.words];
+        let mut accz = vec![0u64; self.words];
         for i in 0..self.n {
             if self.row_anticommutes(i, &px, &pz) {
-                k = (k + self.phases[self.n + i]) % 4;
-                for q in 0..self.n {
-                    let (dk, pl) = self.get(self.n + i, q).mul(letters[q]);
-                    k = (k + dk) % 4;
-                    letters[q] = pl;
+                k += self.phases[self.n + i] as u32;
+                let s = (self.n + i) * self.words;
+                for w in 0..self.words {
+                    let x2 = self.xs[s + w];
+                    let z2 = self.zs[s + w];
+                    k += mul_phase_word(x2, z2, accx[w], accz[w]);
+                    accx[w] ^= x2;
+                    accz[w] ^= z2;
                 }
             }
         }
-        debug_assert_eq!(
-            &letters, &p.paulis,
+        debug_assert!(
+            accx == px && accz == pz,
             "commuting Pauli must match its stabilizer decomposition"
         );
-        debug_assert!(k.is_multiple_of(2));
-        let group_sign = if k == 2 { -1 } else { 1 };
+        debug_assert!((k % 4).is_multiple_of(2));
+        let group_sign = if k % 4 == 2 { -1 } else { 1 };
         p.sign as i32 * group_sign
     }
 
