@@ -1,0 +1,214 @@
+//! Serving loadgen: end-to-end throughput and latency through the
+//! `ca-server` HTTP front-end.
+//!
+//! Binds an in-process daemon on a loopback socket and drives it with
+//! 1, 8, and 64 concurrent clients submitting QASM jobs, recording
+//! requests/s, shots/s, and latency percentiles per concurrency level
+//! into `BENCH_serve.json` at the repository root.
+//!
+//! Pass `--smoke` for the CI-sized run (fewer clients and shots, no
+//! JSON write) — it still covers connect → parse → admit → execute →
+//! respond for every request and asserts every response is a 200.
+
+use ca_bench::Raw;
+use ca_device::{uniform_device, Topology};
+use ca_server::{Server, ServerConfig};
+use ca_sim::NoiseConfig;
+use serde::{Serialize, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const QUBITS: usize = 8;
+
+/// A GHZ-like circuit measuring every qubit, as QASM3 — the workload
+/// every client submits.
+fn workload_qasm() -> String {
+    let mut qc = ca_circuit::Circuit::new(QUBITS, QUBITS);
+    qc.h(0);
+    for q in 0..QUBITS - 1 {
+        qc.cx(q, q + 1);
+    }
+    for q in 0..QUBITS {
+        qc.measure(q, q);
+    }
+    ca_circuit::to_qasm3(&qc)
+}
+
+/// One request over a fresh connection; returns the latency. Panics
+/// on any non-200 so a misconfigured run fails loudly.
+fn submit(addr: SocketAddr, body: &str) -> Duration {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect loadgen client");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set timeout");
+    let request = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head = String::from_utf8_lossy(&response[..response.len().min(64)]).into_owned();
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "loadgen expects 200s, got: {head}"
+    );
+    started.elapsed()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+struct LevelResult {
+    concurrency: usize,
+    requests: usize,
+    shots_per_request: usize,
+    seconds: f64,
+    requests_per_s: f64,
+    shots_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+impl LevelResult {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("concurrency".into(), self.concurrency.to_value()),
+            ("requests".into(), self.requests.to_value()),
+            (
+                "shots_per_request".into(),
+                self.shots_per_request.to_value(),
+            ),
+            ("seconds".into(), self.seconds.to_value()),
+            ("requests_per_s".into(), self.requests_per_s.to_value()),
+            ("shots_per_s".into(), self.shots_per_s.to_value()),
+            ("p50_ms".into(), self.p50_ms.to_value()),
+            ("p95_ms".into(), self.p95_ms.to_value()),
+            ("p99_ms".into(), self.p99_ms.to_value()),
+        ])
+    }
+}
+
+/// Drives one concurrency level: `concurrency` client threads each
+/// firing `per_client` sequential requests at `shots` shots.
+fn run_level(
+    addr: SocketAddr,
+    qasm: &str,
+    concurrency: usize,
+    per_client: usize,
+    shots: usize,
+) -> LevelResult {
+    let qasm_json = serde_json::to_string(&qasm.to_string()).expect("encode workload");
+    let started = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|client| {
+                let qasm_json = &qasm_json;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for round in 0..per_client {
+                        let seed = (client * per_client + round) as u64;
+                        let body = format!(
+                            "{{\"tenant\":\"loadgen-{client}\",\"shots\":{shots},\
+                             \"seed\":{seed},\"qasm\":{qasm_json}}}"
+                        );
+                        latencies.push(submit(addr, &body).as_secs_f64() * 1000.0);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let requests = concurrency * per_client;
+    LevelResult {
+        concurrency,
+        requests,
+        shots_per_request: shots,
+        seconds,
+        requests_per_s: requests as f64 / seconds,
+        shots_per_s: (requests * shots) as f64 / seconds,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    ca_bench::header(
+        "serve",
+        "HTTP front-end sustains concurrent tenants without result drift",
+    );
+    ca_bench::obs::init();
+
+    let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64] };
+    let per_client = if smoke { 4 } else { 24 };
+    let shots = if smoke { 64 } else { 1024 };
+
+    let device = uniform_device(Topology::line(QUBITS), 60.0);
+    let config = ServerConfig {
+        workers: 8,
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", device, NoiseConfig::default(), config)
+        .expect("bind loadgen server");
+    let addr = handle.addr();
+    let qasm = workload_qasm();
+
+    println!(
+        "  {:>11}  {:>8}  {:>9}  {:>10}  {:>9}  {:>8}  {:>8}  {:>8}",
+        "concurrency", "requests", "seconds", "req/s", "shots/s", "p50 ms", "p95 ms", "p99 ms"
+    );
+    let mut rows = Vec::new();
+    for &concurrency in levels {
+        let row = run_level(addr, &qasm, concurrency, per_client, shots);
+        println!(
+            "  {:>11}  {:>8}  {:>9.3}  {:>10.1}  {:>9.0}  {:>8.2}  {:>8.2}  {:>8.2}",
+            row.concurrency,
+            row.requests,
+            row.seconds,
+            row.requests_per_s,
+            row.shots_per_s,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms
+        );
+        rows.push(row);
+    }
+    handle.shutdown();
+
+    if smoke {
+        println!("  smoke run: BENCH_serve.json left untouched");
+        return;
+    }
+
+    let doc = Value::Obj(vec![
+        ("bench".into(), "serve".to_value()),
+        ("qubits".into(), QUBITS.to_value()),
+        ("workers".into(), 8usize.to_value()),
+        ("metadata".into(), ca_bench::obs::run_metadata()),
+        (
+            "levels".into(),
+            Value::Arr(rows.iter().map(LevelResult::to_value).collect()),
+        ),
+    ]);
+    let json = serde_json::to_string(&Raw(doc)).expect("serialise BENCH_serve.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+}

@@ -36,7 +36,7 @@ pub use instruction::{Condition, Instruction};
 pub use layered::{stratify, Layer, LayerKind, LayeredCircuit};
 pub use matrix::{Mat2, Mat4};
 pub use pauli::{Pauli, PauliString};
-pub use qasm::to_qasm3;
+pub use qasm::{parse, to_qasm3, QasmError};
 pub use schedule::{
     schedule_alap, schedule_asap, Fnv, GateDurations, ScheduledCircuit, ScheduledInstruction,
 };

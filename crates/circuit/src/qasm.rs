@@ -1,15 +1,21 @@
-//! OpenQASM 3 export.
+//! OpenQASM 3 export and import.
 //!
-//! Emits circuits in a portable subset of OpenQASM 3 so compiled
-//! results can be inspected with external tooling or shipped to a real
-//! backend. Canonical gates are exported through their 3-CNOT
-//! decomposition; delays use `delay[…ns]`; feed-forward conditions use
-//! `if (c[k] == v)` blocks.
+//! [`to_qasm3`] emits circuits in a portable subset of OpenQASM 3 so
+//! compiled results can be inspected with external tooling or shipped
+//! to a real backend. Canonical gates are exported through their
+//! 3-CNOT decomposition; delays use `delay[…ns]`; feed-forward
+//! conditions use `if (c[k] == v)` blocks.
+//!
+//! [`parse`] reads the same subset back — everything the exporter can
+//! emit round-trips (`parse(to_qasm3(c))` re-exports to the identical
+//! source), plus `//` line comments and flexible whitespace. Parsing
+//! never panics: malformed source yields a [`QasmError`] carrying the
+//! 1-based line and column of the offending token.
 
 use crate::canonical::can_to_cx;
 use crate::circuit::Circuit;
 use crate::gate::Gate;
-use crate::instruction::Instruction;
+use crate::instruction::{Condition, Instruction};
 use std::fmt::Write as _;
 
 /// Renders a circuit as OpenQASM 3 source.
@@ -81,6 +87,591 @@ fn emit(out: &mut String, instr: &Instruction) {
     out.push('\n');
 }
 
+/// A parse failure: what went wrong and where.
+///
+/// `line`/`col` are 1-based and point at the first character of the
+/// offending token (or at end-of-input for truncated source).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// What was expected or what constraint the source violates.
+    pub message: String,
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "qasm parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Parses the OpenQASM 3 subset [`to_qasm3`] emits back into a
+/// [`Circuit`].
+///
+/// Supported statements: the header (`OPENQASM 3.x;`, an optional
+/// `include`), one `qubit[N] q;` and at most one `bit[M] c;`
+/// declaration, the exporter's gate set (`id x y z h s sdg t tdg sx
+/// sxdg`, `rx ry rz` and `U` with parenthesised angles, `cx cz ecr`,
+/// `rzz`), `c[k] = measure q[i];`, `reset`, `delay[…ns]`, `barrier`
+/// (including the exporter's empty `barrier ;`), and single-level
+/// `if (c[k] == v) { … }` feed-forward blocks. `//` comments and
+/// arbitrary whitespace are accepted anywhere.
+///
+/// All qubit/clbit indices are validated against the declarations, so
+/// the returned circuit upholds [`Circuit::push`]'s invariants;
+/// malformed source returns a [`QasmError`] and never panics.
+pub fn parse(src: &str) -> Result<Circuit, QasmError> {
+    Parser::new(src).parse_program()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// Register declarations seen so far (`None` until declared).
+struct Regs {
+    qubits: Option<usize>,
+    clbits: Option<usize>,
+}
+
+impl Parser {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> QasmError {
+        QasmError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn err_at(&self, at: (usize, usize), message: impl Into<String>) -> QasmError {
+        QasmError {
+            line: at.0,
+            col: at.1,
+            message: message.into(),
+        }
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Skips whitespace and `//` line comments.
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.chars.get(self.pos + 1) == Some(&'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.peek().is_none()
+    }
+
+    fn expect_char(&mut self, want: char) -> Result<(), QasmError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected `{want}`, found `{c}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    /// Consumes `want` if it is next (after whitespace).
+    fn eat_char(&mut self, want: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// An identifier / keyword: `[A-Za-z_][A-Za-z0-9_]*`.
+    fn parse_ident(&mut self) -> Result<String, QasmError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            Some(c) => return Err(self.err(format!("expected identifier, found `{c}`"))),
+            None => return Err(self.err("expected identifier, found end of input")),
+        }
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, QasmError> {
+        self.skip_ws();
+        let start = self.here();
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(self.err("expected an unsigned integer"));
+        }
+        digits
+            .parse()
+            .map_err(|_| self.err_at(start, format!("integer `{digits}` out of range")))
+    }
+
+    /// A float in the formats Rust's `{}` / `{:?}` emit for `f64`
+    /// (digits, optional fraction and exponent, `inf`, `NaN`), with
+    /// an optional leading sign.
+    fn parse_f64(&mut self) -> Result<f64, QasmError> {
+        self.skip_ws();
+        let start = self.here();
+        let mut text = String::new();
+        if matches!(self.peek(), Some('+' | '-')) {
+            // bump() returned the peeked char above.
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        if self.peek() == Some('i') || self.peek() == Some('N') {
+            // `inf` / `NaN`: consume the alphabetic run.
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphabetic() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while matches!(self.peek(), Some('0'..='9' | '.')) {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            if matches!(self.peek(), Some('e' | 'E')) {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+                if matches!(self.peek(), Some('+' | '-')) {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                while matches!(self.peek(), Some('0'..='9')) {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+            }
+        }
+        text.parse()
+            .map_err(|_| self.err_at(start, format!("expected a number, found `{text}`")))
+    }
+
+    /// `q[i]`, validated against the qubit declaration.
+    fn parse_qubit(&mut self, regs: &Regs) -> Result<usize, QasmError> {
+        self.skip_ws();
+        let start = self.here();
+        let name = self.parse_ident()?;
+        if name != "q" {
+            return Err(self.err_at(
+                start,
+                format!("expected qubit operand `q[...]`, found `{name}`"),
+            ));
+        }
+        let Some(nq) = regs.qubits else {
+            return Err(self.err_at(start, "qubit register `q` used before `qubit[N] q;`"));
+        };
+        self.expect_char('[')?;
+        let idx_at = {
+            self.skip_ws();
+            self.here()
+        };
+        let i = self.parse_usize()?;
+        self.expect_char(']')?;
+        if i >= nq {
+            return Err(self.err_at(
+                idx_at,
+                format!("qubit index {i} out of range for `qubit[{nq}] q;`"),
+            ));
+        }
+        Ok(i)
+    }
+
+    /// `[k]` after an already-consumed `c`, validated against the bit
+    /// declaration.
+    fn parse_clbit_index(&mut self, regs: &Regs, at: (usize, usize)) -> Result<usize, QasmError> {
+        let Some(nc) = regs.clbits else {
+            return Err(self.err_at(at, "classical register `c` used before `bit[M] c;`"));
+        };
+        self.expect_char('[')?;
+        let idx_at = {
+            self.skip_ws();
+            self.here()
+        };
+        let k = self.parse_usize()?;
+        self.expect_char(']')?;
+        if k >= nc {
+            return Err(self.err_at(
+                idx_at,
+                format!("classical bit index {k} out of range for `bit[{nc}] c;`"),
+            ));
+        }
+        Ok(k)
+    }
+
+    fn parse_program(&mut self) -> Result<Circuit, QasmError> {
+        // Header: `OPENQASM 3.x;`
+        self.skip_ws();
+        let start = self.here();
+        let kw = self.parse_ident()?;
+        if kw != "OPENQASM" {
+            return Err(self.err_at(start, format!("expected `OPENQASM` header, found `{kw}`")));
+        }
+        self.skip_ws();
+        let ver_at = self.here();
+        let version = self.parse_f64()?;
+        if !(3.0..4.0).contains(&version) {
+            return Err(self.err_at(
+                ver_at,
+                format!("unsupported OpenQASM version {version}; this parser reads 3.x"),
+            ));
+        }
+        self.expect_char(';')?;
+
+        let mut regs = Regs {
+            qubits: None,
+            clbits: None,
+        };
+        let mut instructions: Vec<Instruction> = Vec::new();
+        while !self.at_end() {
+            let start = self.here();
+            let ident = self.parse_ident()?;
+            match ident.as_str() {
+                "include" => {
+                    // `include "...";` — accepted and ignored.
+                    self.expect_char('"')?;
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some(_) => {}
+                            None => {
+                                return Err(self.err("unterminated include string"));
+                            }
+                        }
+                    }
+                    self.expect_char(';')?;
+                }
+                "qubit" => {
+                    if regs.qubits.is_some() {
+                        return Err(self.err_at(start, "duplicate `qubit` declaration"));
+                    }
+                    self.expect_char('[')?;
+                    let n = self.parse_usize()?;
+                    self.expect_char(']')?;
+                    let name_at = {
+                        self.skip_ws();
+                        self.here()
+                    };
+                    let name = self.parse_ident()?;
+                    if name != "q" {
+                        return Err(self.err_at(
+                            name_at,
+                            format!("expected qubit register name `q`, found `{name}`"),
+                        ));
+                    }
+                    self.expect_char(';')?;
+                    regs.qubits = Some(n);
+                }
+                "bit" => {
+                    if regs.clbits.is_some() {
+                        return Err(self.err_at(start, "duplicate `bit` declaration"));
+                    }
+                    self.expect_char('[')?;
+                    let n = self.parse_usize()?;
+                    self.expect_char(']')?;
+                    let name_at = {
+                        self.skip_ws();
+                        self.here()
+                    };
+                    let name = self.parse_ident()?;
+                    if name != "c" {
+                        return Err(self.err_at(
+                            name_at,
+                            format!("expected bit register name `c`, found `{name}`"),
+                        ));
+                    }
+                    self.expect_char(';')?;
+                    regs.clbits = Some(n);
+                }
+                "if" => {
+                    self.expect_char('(')?;
+                    self.skip_ws();
+                    let c_at = self.here();
+                    let reg = self.parse_ident()?;
+                    if reg != "c" {
+                        return Err(self.err_at(
+                            c_at,
+                            format!("expected condition on `c[...]`, found `{reg}`"),
+                        ));
+                    }
+                    let clbit = self.parse_clbit_index(&regs, c_at)?;
+                    self.expect_char('=')?;
+                    self.expect_char('=')?;
+                    self.skip_ws();
+                    let v_at = self.here();
+                    let value = self.parse_usize()?;
+                    if value > 1 {
+                        return Err(self.err_at(
+                            v_at,
+                            format!("condition value must be 0 or 1, found {value}"),
+                        ));
+                    }
+                    self.expect_char(')')?;
+                    self.expect_char('{')?;
+                    let cond = Condition {
+                        clbit,
+                        value: value == 1,
+                    };
+                    // The body: statements until `}`, each guarded by
+                    // the condition. Nested `if` is outside the
+                    // exporter's subset.
+                    loop {
+                        if self.eat_char('}') {
+                            break;
+                        }
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated `if` block: expected `}`"));
+                        }
+                        let inner_at = self.here();
+                        let inner = self.parse_ident()?;
+                        if inner == "if" {
+                            return Err(
+                                self.err_at(inner_at, "nested `if` blocks are not supported")
+                            );
+                        }
+                        self.parse_op(&inner, inner_at, Some(cond), &regs, &mut instructions)?;
+                    }
+                }
+                _ => {
+                    self.parse_op(&ident, start, None, &regs, &mut instructions)?;
+                }
+            }
+        }
+        let mut circuit = Circuit::new(regs.qubits.unwrap_or(0), regs.clbits.unwrap_or(0));
+        circuit.instructions = instructions;
+        Ok(circuit)
+    }
+
+    /// One gate/measure/reset/delay/barrier statement whose leading
+    /// identifier is already consumed. Indices are validated here, so
+    /// the instructions uphold the circuit invariants by construction.
+    fn parse_op(
+        &mut self,
+        ident: &str,
+        at: (usize, usize),
+        condition: Option<Condition>,
+        regs: &Regs,
+        out: &mut Vec<Instruction>,
+    ) -> Result<(), QasmError> {
+        let fixed_1q = |g: Gate| Some(g);
+        let gate_1q = match ident {
+            "id" => fixed_1q(Gate::I),
+            "x" => fixed_1q(Gate::X),
+            "y" => fixed_1q(Gate::Y),
+            "z" => fixed_1q(Gate::Z),
+            "h" => fixed_1q(Gate::H),
+            "s" => fixed_1q(Gate::S),
+            "sdg" => fixed_1q(Gate::Sdg),
+            "t" => fixed_1q(Gate::T),
+            "tdg" => fixed_1q(Gate::Tdg),
+            "sx" => fixed_1q(Gate::Sx),
+            "sxdg" => fixed_1q(Gate::Sxdg),
+            _ => None,
+        };
+        let mut push = |instr: Instruction| {
+            out.push(Instruction { condition, ..instr });
+        };
+        if let Some(gate) = gate_1q {
+            let q = self.parse_qubit(regs)?;
+            self.expect_char(';')?;
+            push(Instruction::new(gate, [q]));
+            return Ok(());
+        }
+        match ident {
+            "rx" | "ry" | "rz" => {
+                self.expect_char('(')?;
+                let theta = self.parse_f64()?;
+                self.expect_char(')')?;
+                let q = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                let gate = match ident {
+                    "rx" => Gate::Rx(theta),
+                    "ry" => Gate::Ry(theta),
+                    _ => Gate::Rz(theta),
+                };
+                push(Instruction::new(gate, [q]));
+            }
+            "U" => {
+                self.expect_char('(')?;
+                let theta = self.parse_f64()?;
+                self.expect_char(',')?;
+                let phi = self.parse_f64()?;
+                self.expect_char(',')?;
+                let lam = self.parse_f64()?;
+                self.expect_char(')')?;
+                let q = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                push(Instruction::new(Gate::U { theta, phi, lam }, [q]));
+            }
+            "cx" | "cz" | "ecr" => {
+                let a = self.parse_qubit(regs)?;
+                self.expect_char(',')?;
+                let b = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                let gate = match ident {
+                    "cx" => Gate::Cx,
+                    "cz" => Gate::Cz,
+                    _ => Gate::Ecr,
+                };
+                push(Instruction::new(gate, [a, b]));
+            }
+            "rzz" => {
+                self.expect_char('(')?;
+                let theta = self.parse_f64()?;
+                self.expect_char(')')?;
+                let a = self.parse_qubit(regs)?;
+                self.expect_char(',')?;
+                let b = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                push(Instruction::new(Gate::Rzz(theta), [a, b]));
+            }
+            "reset" => {
+                let q = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                push(Instruction::new(Gate::Reset, [q]));
+            }
+            "delay" => {
+                self.expect_char('[')?;
+                let ns = self.parse_f64()?;
+                let unit_at = {
+                    self.skip_ws();
+                    self.here()
+                };
+                let unit = self.parse_ident()?;
+                if unit != "ns" {
+                    return Err(self.err_at(
+                        unit_at,
+                        format!("expected duration unit `ns`, found `{unit}`"),
+                    ));
+                }
+                self.expect_char(']')?;
+                let q = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                push(Instruction::new(Gate::Delay(ns), [q]));
+            }
+            "barrier" => {
+                let mut qubits = Vec::new();
+                if !self.eat_char(';') {
+                    loop {
+                        qubits.push(self.parse_qubit(regs)?);
+                        if self.eat_char(',') {
+                            continue;
+                        }
+                        self.expect_char(';')?;
+                        break;
+                    }
+                }
+                push(Instruction::new(Gate::Barrier, qubits));
+            }
+            "c" => {
+                // `c[k] = measure q[i];`
+                let k = self.parse_clbit_index(regs, at)?;
+                self.expect_char('=')?;
+                self.skip_ws();
+                let kw_at = self.here();
+                let kw = self.parse_ident()?;
+                if kw != "measure" {
+                    return Err(self.err_at(kw_at, format!("expected `measure`, found `{kw}`")));
+                }
+                let q = self.parse_qubit(regs)?;
+                self.expect_char(';')?;
+                push(Instruction {
+                    gate: Gate::Measure,
+                    qubits: vec![q],
+                    clbit: Some(k),
+                    condition: None,
+                    merged: false,
+                });
+            }
+            _ => {
+                return Err(self.err_at(at, format!("unknown statement or gate `{ident}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +729,110 @@ mod tests {
         let s = to_qasm3(&qc);
         assert!(s.contains("delay[480ns] q[0];"));
         assert!(s.contains("barrier q[0], q[1];"));
+    }
+
+    fn roundtrip(qc: &Circuit) {
+        let first = to_qasm3(qc);
+        let parsed = parse(&first).expect("exporter output must parse");
+        assert_eq!(
+            to_qasm3(&parsed),
+            first,
+            "re-export differs from original export"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrips_every_statement_kind() {
+        let mut qc = Circuit::new(3, 2);
+        qc.h(0).x(1).sdg(2).sx(0);
+        qc.rx(0.25, 0).rz(-1.5, 1);
+        qc.push(Instruction::new(
+            Gate::U {
+                theta: 0.1,
+                phi: -0.2,
+                lam: 3.5,
+            },
+            [2],
+        ));
+        qc.cx(0, 1).cz(1, 2).ecr(2, 0).rzz(0.75, 0, 2);
+        qc.delay(480.0, 1);
+        qc.barrier(vec![0, 2]);
+        qc.barrier(Vec::new());
+        qc.reset(1);
+        qc.measure(0, 0);
+        qc.gate_if(Gate::X, [1], 0, true);
+        qc.measure(1, 1);
+        roundtrip(&qc);
+    }
+
+    #[test]
+    fn parse_recovers_structure() {
+        let mut qc = Circuit::new(2, 1);
+        qc.h(0)
+            .cx(0, 1)
+            .measure(1, 0)
+            .gate_if(Gate::Z, [0], 0, false);
+        let parsed = parse(&to_qasm3(&qc)).expect("valid export");
+        assert_eq!(parsed.num_qubits, 2);
+        assert_eq!(parsed.num_clbits, 1);
+        assert_eq!(parsed.instructions, qc.instructions);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_whitespace() {
+        let src =
+            "// generated\nOPENQASM 3.0;\n\nqubit[2] q; // two qubits\n  h   q[0] ;\ncx q[0],q[1];";
+        let qc = parse(src).expect("comments and loose spacing are fine");
+        assert_eq!(qc.instructions.len(), 2);
+        assert_eq!(qc.instructions[1].gate, Gate::Cx);
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_qubit_with_position() {
+        let src = "OPENQASM 3.0;\nqubit[2] q;\nh q[5];\n";
+        let err = parse(src).expect_err("index 5 exceeds register");
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("out of range"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_gate() {
+        let err =
+            parse("OPENQASM 3.0;\nqubit[1] q;\nfrobnicate q[0];\n").expect_err("unknown statement");
+        assert_eq!((err.line, err.col), (3, 1));
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn parse_rejects_clbit_use_without_declaration() {
+        let err = parse("OPENQASM 3.0;\nqubit[1] q;\nc[0] = measure q[0];\n")
+            .expect_err("no bit register declared");
+        assert!(err.message.contains("bit["), "got: {}", err.message);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_source() {
+        let err = parse("OPENQASM 3.0;\nqubit[1] q;\nh q[0]").expect_err("missing semicolon");
+        assert!(err.message.contains("`;`"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let err = parse("OPENQASM 2.0;\nqubit[1] q;\n").expect_err("only 3.x supported");
+        assert!(err.message.contains("version"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn parse_error_displays_location() {
+        let err = parse("OPENQASM 3.0;\nbogus;\n").expect_err("bogus statement");
+        let text = err.to_string();
+        assert!(text.contains("2:"), "got: {text}");
+    }
+
+    #[test]
+    fn parse_canonical_gate_expansion_roundtrips() {
+        let mut qc = Circuit::new(2, 0);
+        qc.can(0.1, 0.2, 0.3, 0, 1);
+        roundtrip(&qc);
     }
 }

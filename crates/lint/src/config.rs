@@ -31,6 +31,7 @@ impl Default for Config {
                 "crates/core",
                 "crates/circuit",
                 "crates/mitigation",
+                "crates/server",
             ],
             clock_crates: vec!["crates/obs", "crates/bench"],
             env_module: "crates/obs/src/env.rs",

@@ -106,6 +106,17 @@ pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Monotonic nanoseconds since the process-wide epoch (first clock
+/// use in this process). The workspace's single sanctioned wall-clock
+/// read outside `ca-bench`: deadline enforcement (`ca-sim` cancel
+/// tokens, `ca-server` job timeouts) measures elapsed time through
+/// this function so every clock read stays inside `ca-obs`, the crate
+/// the `wall-clock` lint rule scopes to. Timekeeping only — the value
+/// never feeds simulation results.
+pub fn monotonic_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 #[cold]
 fn init_from_env() -> u8 {
     epoch();

@@ -1,0 +1,326 @@
+//! Minimal HTTP/1.1 on blocking sockets: request parsing with
+//! `Content-Length` bodies, fixed-length responses, and chunked
+//! transfer encoding for streamed payloads.
+//!
+//! Deliberately small: one request per connection
+//! (`Connection: close`), no keep-alive, no compression, headers
+//! case-folded to lowercase. Size limits are enforced while reading,
+//! so a hostile peer cannot balloon memory.
+
+use std::io::{self, Read, Write};
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Request target, e.g. `/v1/jobs`.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value under `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers, or framing.
+    BadRequest(String),
+    /// Headers or body exceeded the configured limit.
+    PayloadTooLarge,
+    /// The socket failed mid-read.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::PayloadTooLarge => write!(f, "payload too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`, holding the head (request line +
+/// headers) under `max_head` bytes and the body under `max_body`.
+pub fn read_request(
+    stream: &mut impl Read,
+    max_head: usize,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    // Read until the blank line terminating the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut scratch = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_subslice(&buf, b"\r\n\r\n") {
+            break i;
+        }
+        if buf.len() > max_head {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        let n = stream.read(&mut scratch)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before end of headers".into(),
+            ));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge);
+    }
+
+    // Body bytes already read past the head, then the remainder.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(scratch.len());
+        let n = stream.read(&mut scratch[..want])?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before end of body".into(),
+            ));
+        }
+        body.extend_from_slice(&scratch[..n]);
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response with `Content-Length` framing.
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response body writer. Construction
+/// sends the response head; [`finish`](ChunkedWriter::finish) sends
+/// the terminating zero-length chunk.
+pub struct ChunkedWriter<'a, W: Write> {
+    stream: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Starts a chunked `200 OK` response with the given content type.
+    pub fn start(stream: &'a mut W, content_type: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one chunk (empty input is skipped — a zero-length chunk
+    /// would terminate the stream prematurely).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")
+    }
+
+    /// Terminates the stream and flushes.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// First index of `needle` in `haystack`.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..], 8192, 1 << 20).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 8192, 1024).expect("parse");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 8192, 10),
+            Err(HttpError::PayloadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(&vec![b'a'; 9000]);
+        assert!(matches!(
+            read_request(&mut &raw[..], 8192, 1024),
+            Err(HttpError::PayloadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        let raw = b"GET / HTTP/1.1\r\nnocolon\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 8192, 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        let raw = b"NONSENSE\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 8192, 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_writer_frames_payload() {
+        let mut out: Vec<u8> = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, "application/json").expect("start");
+        w.chunk(b"{\"a\":").expect("chunk");
+        w.chunk(b"1}").expect("chunk");
+        w.finish().expect("finish");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("5\r\n{\"a\":\r\n2\r\n1}\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn respond_writes_content_length() {
+        let mut out: Vec<u8> = Vec::new();
+        respond(
+            &mut out,
+            429,
+            &[("Retry-After", "2".into())],
+            "application/json",
+            b"{}",
+        )
+        .expect("respond");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2"));
+        assert!(text.contains("Retry-After: 2"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,87 @@
+//! `ca-serverd` — the simulation daemon.
+//!
+//! ```text
+//! ca-serverd [--addr HOST:PORT] [--qubits N | --eagle] [--workers W]
+//!            [--queue N] [--cache N] [--shots-per-sec R] [--burst B]
+//!            [--max-shots N]
+//! ```
+//!
+//! Binds the HTTP front-end over a uniform line device of `--qubits`
+//! qubits (default 16) or the 127-qubit Eagle-like preset, then
+//! serves until killed. See `ca_server` crate docs for the API.
+
+#![forbid(unsafe_code)]
+
+use ca_device::{eagle_like, uniform_device, Topology};
+use ca_server::{Server, ServerConfig};
+use ca_sim::NoiseConfig;
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("ca-serverd: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:8787".to_string();
+    let mut qubits = 16usize;
+    let mut eagle = false;
+    let mut config = ServerConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--addr" => addr = take(&mut i)?,
+            "--qubits" => qubits = parse(&take(&mut i)?, flag)?,
+            "--eagle" => eagle = true,
+            "--workers" => config.workers = parse(&take(&mut i)?, flag)?,
+            "--queue" => config.queue_capacity = parse(&take(&mut i)?, flag)?,
+            "--cache" => config.cache_capacity = parse(&take(&mut i)?, flag)?,
+            "--shots-per-sec" => config.quota.shots_per_sec = parse(&take(&mut i)?, flag)?,
+            "--burst" => config.quota.burst_shots = parse(&take(&mut i)?, flag)?,
+            "--max-shots" => config.max_shots_per_job = parse(&take(&mut i)?, flag)?,
+            "--help" | "-h" => {
+                println!(
+                    "ca-serverd [--addr HOST:PORT] [--qubits N | --eagle] [--workers W] \
+                     [--queue N] [--cache N] [--shots-per-sec R] [--burst B] [--max-shots N]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let device = if eagle {
+        eagle_like(7)
+    } else {
+        uniform_device(Topology::line(qubits.max(1)), 60.0)
+    };
+    let n = device.num_qubits();
+    let mut handle = Server::bind(&addr, device, NoiseConfig::default(), config)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "ca-serverd listening on http://{} ({n} qubits); POST /v1/jobs, GET /stats, GET /healthz",
+        handle.addr()
+    );
+    handle.wait();
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value `{value}` for {flag}"))
+}

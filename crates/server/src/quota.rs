@@ -1,0 +1,170 @@
+//! Per-tenant admission control: token buckets denominated in shots.
+//!
+//! Every tenant owns one bucket holding up to `burst_shots` tokens,
+//! refilled continuously at `shots_per_sec`. A job is admitted only
+//! if the bucket covers its full shot count — so one tenant spraying
+//! million-shot jobs throttles itself, not its neighbours. Time comes
+//! from [`ca_obs::monotonic_ns`], the workspace's sanctioned clock,
+//! and feeds nothing but admission (results stay deterministic).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Bucket parameters shared by every tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Sustained refill rate.
+    pub shots_per_sec: f64,
+    /// Bucket capacity (instantaneous burst).
+    pub burst_shots: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            shots_per_sec: 1_000_000.0,
+            burst_shots: 4_000_000.0,
+        }
+    }
+}
+
+/// The outcome of an admission check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// Tokens deducted; run the job.
+    Granted,
+    /// Bucket exhausted; retry after roughly this long.
+    Denied {
+        /// Milliseconds until the bucket covers the request (rounded
+        /// up, at least 1).
+        retry_after_ms: u64,
+    },
+}
+
+struct Bucket {
+    available: f64,
+    last_ns: u64,
+}
+
+/// All tenants' buckets.
+pub struct QuotaRegistry {
+    config: QuotaConfig,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+}
+
+impl QuotaRegistry {
+    /// An empty registry; buckets are created full on first use.
+    pub fn new(config: QuotaConfig) -> Self {
+        QuotaRegistry {
+            config,
+            buckets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Admits or denies `shots` for `tenant`, deducting on success.
+    pub fn try_admit(&self, tenant: &str, shots: usize) -> Admission {
+        self.admit_at(tenant, shots, ca_obs::monotonic_ns())
+    }
+
+    /// [`try_admit`](Self::try_admit) with an explicit clock, for
+    /// deterministic tests.
+    pub fn admit_at(&self, tenant: &str, shots: usize, now_ns: u64) -> Admission {
+        let cost = shots as f64;
+        let mut buckets = crate::lock_recover(&self.buckets);
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            available: self.config.burst_shots,
+            last_ns: now_ns,
+        });
+        let elapsed_s = now_ns.saturating_sub(bucket.last_ns) as f64 * 1e-9;
+        bucket.available =
+            (bucket.available + elapsed_s * self.config.shots_per_sec).min(self.config.burst_shots);
+        bucket.last_ns = now_ns;
+        if cost <= bucket.available {
+            bucket.available -= cost;
+            Admission::Granted
+        } else {
+            let deficit = cost - bucket.available;
+            let secs = if self.config.shots_per_sec > 0.0 {
+                deficit / self.config.shots_per_sec
+            } else {
+                // No refill: signal a long, finite backoff.
+                3600.0
+            };
+            Admission::Denied {
+                retry_after_ms: (secs * 1000.0).ceil().max(1.0) as u64,
+            }
+        }
+    }
+
+    /// Tokens currently available to `tenant` (full bucket when the
+    /// tenant has never submitted). Surfaced by `/stats`.
+    pub fn available(&self, tenant: &str) -> f64 {
+        let buckets = crate::lock_recover(&self.buckets);
+        buckets
+            .get(tenant)
+            .map_or(self.config.burst_shots, |b| b.available)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(rate: f64, burst: f64) -> QuotaRegistry {
+        QuotaRegistry::new(QuotaConfig {
+            shots_per_sec: rate,
+            burst_shots: burst,
+        })
+    }
+
+    #[test]
+    fn fresh_bucket_grants_up_to_burst() {
+        let q = registry(100.0, 1000.0);
+        assert_eq!(q.admit_at("t", 1000, 0), Admission::Granted);
+        assert!(matches!(q.admit_at("t", 1, 0), Admission::Denied { .. }));
+    }
+
+    #[test]
+    fn refill_restores_tokens() {
+        let q = registry(100.0, 1000.0);
+        assert_eq!(q.admit_at("t", 1000, 0), Admission::Granted);
+        // 5 seconds at 100 shots/s -> 500 tokens.
+        assert_eq!(q.admit_at("t", 500, 5_000_000_000), Admission::Granted);
+        assert!(matches!(
+            q.admit_at("t", 1, 5_000_000_000),
+            Admission::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let q = registry(100.0, 1000.0);
+        assert_eq!(q.admit_at("t", 1000, 0), Admission::Granted);
+        // A year later the bucket holds `burst`, not rate x elapsed.
+        let year_ns = 31_536_000_000_000_000;
+        assert_eq!(q.admit_at("t", 1000, year_ns), Admission::Granted);
+        assert!(matches!(
+            q.admit_at("t", 1, year_ns),
+            Admission::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn denial_reports_retry_hint() {
+        let q = registry(1000.0, 1000.0);
+        assert_eq!(q.admit_at("t", 1000, 0), Admission::Granted);
+        match q.admit_at("t", 500, 0) {
+            Admission::Denied { retry_after_ms } => assert_eq!(retry_after_ms, 500),
+            other => panic!("expected denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let q = registry(100.0, 1000.0);
+        assert_eq!(q.admit_at("a", 1000, 0), Admission::Granted);
+        assert_eq!(q.admit_at("b", 1000, 0), Admission::Granted);
+        assert!(q.available("a") < 1.0);
+        assert!((q.available("never-seen") - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,341 @@
+//! The JSON job schema and response rendering.
+//!
+//! A job is a JSON object:
+//!
+//! ```json
+//! {
+//!   "tenant": "alice",            // optional, default "anonymous"
+//!   "shots": 1024,                // required, >= 1
+//!   "seed": 7,                    // optional, default 0
+//!   "deadline_ms": 2000,          // optional job deadline
+//!   "qasm": "OPENQASM 3.0; ..."   // either an OpenQASM 3 program…
+//!   "circuit": { ... }            // …or the native circuit schema
+//! }
+//! ```
+//!
+//! The QASM path goes through [`ca_circuit::parse`], so syntax errors
+//! come back with the 1-based line/column; the native path is the
+//! serde tree of [`Circuit`] itself (what `serde_json::to_string(&circuit)`
+//! emits). Either way the circuit is validated — qubit/clbit indices
+//! in range, conditions on declared bits — before it reaches the
+//! session layer, keeping hostile input away from the engines'
+//! invariants.
+//!
+//! Count maps render with bitstring keys (leftmost character =
+//! highest classical bit), split into bounded pieces so large results
+//! can stream as HTTP chunks.
+
+use ca_circuit::Circuit;
+use ca_sim::RunResult;
+use serde::{Deserialize, Value};
+
+/// A validated job, ready to schedule and submit.
+#[derive(Debug)]
+pub struct JobRequest {
+    /// Tenant key for session/quota lookup.
+    pub tenant: String,
+    /// Shots to run.
+    pub shots: usize,
+    /// Base seed for the deterministic noise schedule.
+    pub seed: u64,
+    /// Relative deadline, if any.
+    pub deadline_ms: Option<u64>,
+    /// The circuit to execute.
+    pub circuit: Circuit,
+}
+
+/// A schema rejection: maps to `400 Bad Request`.
+#[derive(Debug)]
+pub struct SchemaError {
+    /// What the client got wrong.
+    pub message: String,
+}
+
+impl SchemaError {
+    fn new(message: impl Into<String>) -> Self {
+        SchemaError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Parses and validates a job body.
+pub fn parse_job(body: &[u8]) -> Result<JobRequest, SchemaError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| SchemaError::new("body is not valid UTF-8"))?;
+    let value = serde_json::parse_value(text)
+        .map_err(|e| SchemaError::new(format!("malformed JSON: {e}")))?;
+    if value.as_obj().is_none() {
+        return Err(SchemaError::new("job must be a JSON object"));
+    }
+
+    let tenant = match value.get("tenant") {
+        Value::Null => "anonymous".to_string(),
+        v => v
+            .as_str()
+            .ok_or_else(|| SchemaError::new("`tenant` must be a string"))?
+            .to_string(),
+    };
+    if tenant.is_empty() || tenant.len() > 128 {
+        return Err(SchemaError::new("`tenant` must be 1..=128 characters"));
+    }
+
+    let shots = non_negative_int(value.get("shots"), "shots")?
+        .ok_or_else(|| SchemaError::new("`shots` is required"))?;
+    if shots == 0 {
+        return Err(SchemaError::new("`shots` must be >= 1"));
+    }
+    let seed = non_negative_int(value.get("seed"), "seed")?.unwrap_or(0);
+    let deadline_ms = non_negative_int(value.get("deadline_ms"), "deadline_ms")?;
+
+    let circuit = match (value.get("qasm"), value.get("circuit")) {
+        (Value::Str(src), Value::Null) => ca_circuit::parse(src).map_err(|e| {
+            SchemaError::new(format!(
+                "qasm parse error at line {}, column {}: {}",
+                e.line, e.col, e.message
+            ))
+        })?,
+        (Value::Null, circuit @ Value::Obj(_)) => Circuit::from_value(circuit)
+            .map_err(|e| SchemaError::new(format!("bad native circuit: {e}")))?,
+        (Value::Null, Value::Null) => {
+            return Err(SchemaError::new(
+                "job must carry either `qasm` (string) or `circuit` (object)",
+            ))
+        }
+        (_, Value::Null) => return Err(SchemaError::new("`qasm` must be a string")),
+        (Value::Null, _) => return Err(SchemaError::new("`circuit` must be an object")),
+        _ => {
+            return Err(SchemaError::new(
+                "`qasm` and `circuit` are mutually exclusive",
+            ))
+        }
+    };
+    validate_circuit(&circuit)?;
+
+    Ok(JobRequest {
+        tenant,
+        shots: shots as usize,
+        seed,
+        deadline_ms,
+        circuit,
+    })
+}
+
+/// Reads an optional non-negative integer field.
+fn non_negative_int(v: &Value, name: &str) -> Result<Option<u64>, SchemaError> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+            Ok(Some(*x as u64))
+        }
+        _ => Err(SchemaError::new(format!(
+            "`{name}` must be a non-negative integer"
+        ))),
+    }
+}
+
+/// Rejects circuits whose instructions violate the IR invariants that
+/// [`Circuit::push`] (and the engines) assert: indices in range,
+/// measures carrying a clbit, conditions on declared bits.
+fn validate_circuit(qc: &Circuit) -> Result<(), SchemaError> {
+    if qc.num_qubits == 0 {
+        return Err(SchemaError::new("circuit declares zero qubits"));
+    }
+    for (i, instr) in qc.instructions.iter().enumerate() {
+        if let Some(&q) = instr.qubits.iter().find(|&&q| q >= qc.num_qubits) {
+            return Err(SchemaError::new(format!(
+                "instruction {i}: qubit {q} out of range for {} qubits",
+                qc.num_qubits
+            )));
+        }
+        if let Some(c) = instr.clbit {
+            if c >= qc.num_clbits {
+                return Err(SchemaError::new(format!(
+                    "instruction {i}: clbit {c} out of range for {} clbits",
+                    qc.num_clbits
+                )));
+            }
+        }
+        if let Some(cond) = &instr.condition {
+            if cond.clbit >= qc.num_clbits {
+                return Err(SchemaError::new(format!(
+                    "instruction {i}: condition clbit {} out of range for {} clbits",
+                    cond.clbit, qc.num_clbits
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Newtype lending the shim's `Serialize` to a raw [`Value`] tree
+/// (the shim implements the trait for data types, not `Value`).
+pub(crate) struct Raw(pub Value);
+
+impl serde::Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// A JSON error body: `{"error": "..."}` with proper escaping.
+pub fn error_json(message: &str) -> String {
+    let value = Value::Obj(vec![("error".to_string(), Value::Str(message.to_string()))]);
+    serde_json::to_string(&Raw(value))
+        .unwrap_or_else(|_| "{\"error\":\"unrenderable\"}".to_string())
+}
+
+/// Renders a count map as JSON pieces sized for chunked streaming:
+/// the opening object, then batches of `entries_per_piece` outcome
+/// entries, then the closing braces. Concatenating the pieces yields
+/// one valid JSON document; keys are bitstrings (leftmost character =
+/// highest classical bit).
+pub fn counts_pieces(result: &RunResult, entries_per_piece: usize) -> Vec<String> {
+    let width = result.num_clbits.max(1);
+    let per = entries_per_piece.max(1);
+    let mut pieces = Vec::with_capacity(2 + result.counts.len() / per);
+    pieces.push(format!(
+        "{{\"shots\":{},\"num_clbits\":{},\"counts\":{{",
+        result.shots, result.num_clbits
+    ));
+    let mut piece = String::new();
+    for (i, (key, count)) in result.counts.iter().enumerate() {
+        if i > 0 {
+            piece.push(',');
+        }
+        piece.push_str(&format!("\"{key:0width$b}\":{count}"));
+        if (i + 1) % per == 0 {
+            pieces.push(std::mem::take(&mut piece));
+        }
+    }
+    if !piece.is_empty() {
+        pieces.push(piece);
+    }
+    pieces.push("}}".to_string());
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    fn qasm_job(extra: &str) -> String {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let qasm = serde_json::to_string(&ca_circuit::to_qasm3(&qc)).expect("string");
+        format!("{{\"shots\": 128, \"qasm\": {qasm}{extra}}}")
+    }
+
+    #[test]
+    fn parses_qasm_job() {
+        let job = parse_job(qasm_job("").as_bytes()).expect("valid job");
+        assert_eq!(job.tenant, "anonymous");
+        assert_eq!(job.shots, 128);
+        assert_eq!(job.seed, 0);
+        assert_eq!(job.circuit.num_qubits, 2);
+        assert_eq!(job.circuit.instructions.len(), 4);
+    }
+
+    #[test]
+    fn parses_native_job_with_options() {
+        let mut qc = Circuit::new(3, 1);
+        qc.h(2).measure(2, 0);
+        let circuit = serde_json::to_string(&qc).expect("string");
+        let body = format!(
+            "{{\"tenant\":\"alice\",\"shots\":64,\"seed\":9,\"deadline_ms\":250,\"circuit\":{circuit}}}"
+        );
+        let job = parse_job(body.as_bytes()).expect("valid job");
+        assert_eq!(job.tenant, "alice");
+        assert_eq!(job.seed, 9);
+        assert_eq!(job.deadline_ms, Some(250));
+        assert_eq!(job.circuit, qc);
+    }
+
+    #[test]
+    fn rejects_malformed_json_and_bad_fields() {
+        assert!(parse_job(b"{not json").is_err());
+        assert!(parse_job(b"[]").is_err());
+        assert!(
+            parse_job(b"{\"qasm\":\"OPENQASM 3.0;\\nqubit[1] q;\\nh q[0];\"}")
+                .expect_err("shots required")
+                .message
+                .contains("shots")
+        );
+        assert!(parse_job(b"{\"shots\":0,\"qasm\":\"x\"}").is_err());
+        assert!(parse_job(b"{\"shots\":1.5,\"qasm\":\"x\"}").is_err());
+        assert!(parse_job(b"{\"shots\":1}")
+            .expect_err("circuit required")
+            .message
+            .contains("qasm"));
+    }
+
+    #[test]
+    fn qasm_errors_carry_position() {
+        let err =
+            parse_job(b"{\"shots\":1,\"qasm\":\"OPENQASM 3.0;\\nqubit[1] q;\\nbogus q[0];\"}")
+                .expect_err("bad gate");
+        assert!(err.message.contains("line 3"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn rejects_out_of_range_native_indices() {
+        // Hand-built JSON sidesteps Circuit::push's assertions: the
+        // schema validator must catch it instead.
+        let mut qc = Circuit::new(2, 1);
+        qc.h(0);
+        let mut v = qc.to_value();
+        if let serde::Value::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "num_qubits" {
+                    *val = serde::Value::Num(1.0);
+                }
+            }
+        }
+        let body = format!(
+            "{{\"shots\":4,\"circuit\":{}}}",
+            serde_json::to_string(&Raw(v)).expect("string")
+        );
+        // h on qubit 0 is fine for 1 qubit; make it out of range too.
+        let bad = body.replace("\"qubits\":[0]", "\"qubits\":[5]");
+        let err = parse_job(bad.as_bytes()).expect_err("index out of range");
+        assert!(err.message.contains("out of range"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn counts_pieces_concatenate_to_valid_json() {
+        let mut counts = BTreeMap::new();
+        counts.insert(0b00u64, 5usize);
+        counts.insert(0b01u64, 7);
+        counts.insert(0b10u64, 2);
+        let result = RunResult {
+            shots: 14,
+            num_clbits: 2,
+            counts,
+        };
+        let pieces = counts_pieces(&result, 2);
+        assert!(pieces.len() >= 3, "opening + >=1 entries + closing");
+        let whole: String = pieces.concat();
+        assert_eq!(
+            whole,
+            "{\"shots\":14,\"num_clbits\":2,\"counts\":{\"00\":5,\"01\":7,\"10\":2}}"
+        );
+        let parsed = serde_json::parse_value(&whole).expect("valid JSON");
+        assert_eq!(parsed.get("shots").as_f64(), Some(14.0));
+    }
+
+    #[test]
+    fn error_json_escapes() {
+        let body = error_json("bad \"quote\"");
+        assert!(serde_json::parse_value(&body).is_ok());
+    }
+}

@@ -1,0 +1,471 @@
+//! The daemon: acceptor, fixed worker pool, routing, and the
+//! admission/execution path from HTTP request to session job.
+
+use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::quota::{Admission, QuotaConfig, QuotaRegistry};
+use crate::schema::{self, JobRequest, Raw};
+use ca_circuit::{schedule_asap, GateDurations};
+use ca_device::Device;
+use ca_sim::session::{Job, JobOutput, Session};
+use ca_sim::{Engine, NoiseConfig, SimError, Simulator};
+use serde::Value;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server tunables. The defaults suit an interactive local daemon;
+/// the integration tests shrink them to force each rejection path.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Handler threads draining the connection queue.
+    pub workers: usize,
+    /// Connections queued ahead of the workers before the acceptor
+    /// answers `429` (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Request head size cap in bytes.
+    pub max_header_bytes: usize,
+    /// Request body size cap in bytes.
+    pub max_body_bytes: usize,
+    /// Hard per-job shot cap (`400` above it).
+    pub max_shots_per_job: usize,
+    /// Per-tenant token-bucket parameters.
+    pub quota: QuotaConfig,
+    /// Plan-cache capacity for each tenant's session.
+    pub cache_capacity: usize,
+    /// Count-map entries per streamed chunk; maps larger than one
+    /// chunk stream with `Transfer-Encoding: chunked`.
+    pub chunk_entries: usize,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_shots_per_job: 10_000_000,
+            quota: QuotaConfig::default(),
+            cache_capacity: 64,
+            chunk_entries: 256,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    device: Device,
+    noise: NoiseConfig,
+    config: ServerConfig,
+    sessions: Mutex<BTreeMap<String, Arc<Session>>>,
+    quotas: QuotaRegistry,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the acceptor and
+    /// worker threads. Jobs execute against clones of `device` under
+    /// `noise`, one [`Session`] per tenant.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        device: Device,
+        noise: NoiseConfig,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        // Metrics feed `/stats`; summary level costs one atomic load
+        // per site and never perturbs results.
+        ca_obs::enable_summary_if_off();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            device,
+            noise,
+            quotas: QuotaRegistry::new(config.quota),
+            config,
+            sessions: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle leaves the threads running;
+/// call [`shutdown`](ServerHandle::shutdown) for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the acceptor exits (i.e. until another thread
+    /// calls nothing — the daemon runs until killed — or shutdown).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut queue = crate::lock_recover(&shared.queue);
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            ca_obs::counter_add("server.rejected_queue_full", 1);
+            reject_overloaded(stream, shared);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.ready.notify_one();
+    }
+    // Drain: wake workers so they observe shutdown.
+    shared.ready.notify_all();
+}
+
+/// Answers `429` on the acceptor thread — a bounded, small write so a
+/// slow client cannot stall accept for long.
+fn reject_overloaded(mut stream: TcpStream, shared: &Shared) {
+    let bound = shared.config.io_timeout.min(Duration::from_secs(1));
+    let _ = stream.set_write_timeout(Some(bound));
+    // Drain what the client already sent: closing with unread bytes
+    // provokes a TCP reset that can discard the 429 in flight.
+    let _ = stream.set_read_timeout(Some(bound));
+    let mut sink = [0u8; 4096];
+    let _ = std::io::Read::read(&mut stream, &mut sink);
+    let body = schema::error_json("server overloaded: connection queue full");
+    let _ = http::respond(
+        &mut stream,
+        429,
+        &[("Retry-After", "1".to_string())],
+        "application/json",
+        body.as_bytes(),
+    );
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = crate::lock_recover(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = match shared.ready.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _span = ca_obs::span("server", "request");
+    ca_obs::counter_add("server.requests", 1);
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let request = match http::read_request(
+        &mut stream,
+        shared.config.max_header_bytes,
+        shared.config.max_body_bytes,
+    ) {
+        Ok(request) => request,
+        Err(err) => {
+            let (status, message) = match err {
+                HttpError::PayloadTooLarge => (413, "request too large".to_string()),
+                HttpError::BadRequest(m) => (400, m),
+                HttpError::Io(e) => {
+                    // Nothing readable arrived; there may be nobody to
+                    // answer either.
+                    ca_obs::counter_add("server.io_errors", 1);
+                    let _ = respond_error(&mut stream, 400, &format!("read failed: {e}"));
+                    return;
+                }
+            };
+            ca_obs::counter_add("server.bad_requests", 1);
+            let _ = respond_error(&mut stream, status, &message);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = http::respond(
+                &mut stream,
+                200,
+                &[],
+                "application/json",
+                b"{\"status\":\"ok\"}",
+            );
+        }
+        ("GET", "/stats") => {
+            let body = stats_json(shared);
+            let _ = http::respond(&mut stream, 200, &[], "application/json", body.as_bytes());
+        }
+        ("POST", "/v1/jobs") => handle_job(&mut stream, &request, shared),
+        (_, "/healthz" | "/stats" | "/v1/jobs") => {
+            let _ = respond_error(&mut stream, 405, "method not allowed");
+        }
+        _ => {
+            let _ = respond_error(&mut stream, 404, "no such endpoint");
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    let body = schema::error_json(message);
+    http::respond(stream, status, &[], "application/json", body.as_bytes())
+}
+
+fn handle_job(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let job = match schema::parse_job(&request.body) {
+        Ok(job) => job,
+        Err(err) => {
+            ca_obs::counter_add("server.bad_requests", 1);
+            let _ = respond_error(stream, 400, &err.message);
+            return;
+        }
+    };
+
+    // Admission: device fit, shot cap, then the tenant's bucket.
+    let device_qubits = shared.device.num_qubits();
+    if job.circuit.num_qubits > device_qubits {
+        let _ = respond_error(
+            stream,
+            400,
+            &format!(
+                "circuit uses {} qubits but the device has {device_qubits}",
+                job.circuit.num_qubits
+            ),
+        );
+        return;
+    }
+    if job.shots > shared.config.max_shots_per_job {
+        let _ = respond_error(
+            stream,
+            400,
+            &format!(
+                "shots {} exceed the per-job cap {}",
+                job.shots, shared.config.max_shots_per_job
+            ),
+        );
+        return;
+    }
+    match shared.quotas.try_admit(&job.tenant, job.shots) {
+        Admission::Granted => {}
+        Admission::Denied { retry_after_ms } => {
+            ca_obs::counter_add("server.rejected_quota", 1);
+            let retry_s = retry_after_ms.div_ceil(1000).max(1);
+            let body = schema::error_json(&format!(
+                "shot quota exhausted for tenant `{}`; retry in ~{retry_after_ms}ms",
+                job.tenant
+            ));
+            let _ = http::respond(
+                stream,
+                429,
+                &[("Retry-After", retry_s.to_string())],
+                "application/json",
+                body.as_bytes(),
+            );
+            return;
+        }
+    }
+
+    let session = tenant_session(shared, &job.tenant);
+    match run_job(&session, &job) {
+        Ok(JobOutput::Counts(result)) => {
+            ca_obs::counter_add("server.jobs_ok", 1);
+            let pieces = schema::counts_pieces(&result, shared.config.chunk_entries);
+            // Head + one entry piece + closer fits a fixed response;
+            // anything larger streams chunk by chunk.
+            if pieces.len() <= 3 {
+                let _ = http::respond(
+                    stream,
+                    200,
+                    &[],
+                    "application/json",
+                    pieces.concat().as_bytes(),
+                );
+            } else {
+                ca_obs::counter_add("server.chunked_responses", 1);
+                let _ = stream_pieces(stream, &pieces);
+            }
+        }
+        Ok(other) => {
+            // Count jobs are the only kind the schema can express.
+            ca_obs::counter_add("server.internal_errors", 1);
+            let _ = respond_error(stream, 500, &format!("unexpected job output {other:?}"));
+        }
+        Err(err) => {
+            let (status, counter) = match &err {
+                SimError::DeadlineExceeded | SimError::Cancelled => (408, "server.jobs_deadline"),
+                SimError::JobPanicked { .. } => (500, "server.jobs_panicked"),
+                _ => (422, "server.jobs_rejected"),
+            };
+            ca_obs::counter_add(counter, 1);
+            let _ = respond_error(stream, status, &format!("job failed: {err}"));
+        }
+    }
+}
+
+/// The tenant's session, created on first use.
+fn tenant_session(shared: &Shared, tenant: &str) -> Arc<Session> {
+    let mut sessions = crate::lock_recover(&shared.sessions);
+    if let Some(session) = sessions.get(tenant) {
+        return session.clone();
+    }
+    let sim = Simulator::with_engine(shared.device.clone(), shared.noise, Engine::Auto);
+    let session = Arc::new(Session::with_capacity(sim, shared.config.cache_capacity));
+    sessions.insert(tenant.to_string(), session.clone());
+    session
+}
+
+fn run_job(session: &Session, job: &JobRequest) -> Result<JobOutput, SimError> {
+    let _span = ca_obs::span("server", "job").with_arg("shots", job.shots as f64);
+    let sc = schedule_asap(&job.circuit, GateDurations::default());
+    let mut sim_job = Job::counts(sc, job.shots, job.seed);
+    if let Some(ms) = job.deadline_ms {
+        sim_job = sim_job.with_deadline(Duration::from_millis(ms));
+    }
+    session.run(&sim_job)
+}
+
+fn stream_pieces(stream: &mut TcpStream, pieces: &[String]) -> std::io::Result<()> {
+    let mut writer = ChunkedWriter::start(stream, "application/json")?;
+    for piece in pieces {
+        writer.chunk(piece.as_bytes())?;
+    }
+    writer.finish()
+}
+
+/// The `/stats` document: queue depth, per-tenant cache stats and
+/// remaining quota, and the `ca-obs` counters/gauges plus latency
+/// percentiles for the server's own histograms.
+fn stats_json(shared: &Shared) -> String {
+    let queue_depth = crate::lock_recover(&shared.queue).len();
+    let tenants: Vec<(String, Value)> = {
+        let sessions = crate::lock_recover(&shared.sessions);
+        sessions
+            .iter()
+            .map(|(tenant, session)| {
+                let stats = session.cache_stats();
+                (
+                    tenant.clone(),
+                    Value::Obj(vec![
+                        ("cache_hits".into(), Value::Num(stats.hits as f64)),
+                        ("cache_misses".into(), Value::Num(stats.misses as f64)),
+                        ("cache_evictions".into(), Value::Num(stats.evictions as f64)),
+                        (
+                            "cache_verify_mismatches".into(),
+                            Value::Num(stats.verify_mismatches as f64),
+                        ),
+                        ("cache_len".into(), Value::Num(stats.len as f64)),
+                        ("cache_hit_rate".into(), Value::Num(stats.hit_rate())),
+                        (
+                            "quota_shots_available".into(),
+                            Value::Num(shared.quotas.available(tenant)),
+                        ),
+                    ]),
+                )
+            })
+            .collect()
+    };
+    let snapshot = ca_obs::snapshot();
+    let counters: Vec<(String, Value)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, v)| (name.clone(), Value::Num(*v as f64)))
+        .collect();
+    let gauges: Vec<(String, Value)> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, v)| (name.clone(), Value::Num(*v)))
+        .collect();
+    let latencies: Vec<(String, Value)> = snapshot
+        .histograms
+        .iter()
+        .map(|(key, h)| {
+            (
+                key.clone(),
+                Value::Obj(vec![
+                    ("count".into(), Value::Num(h.count() as f64)),
+                    ("p50_us".into(), Value::Num(h.p50() as f64 / 1000.0)),
+                    ("p95_us".into(), Value::Num(h.p95() as f64 / 1000.0)),
+                    ("p99_us".into(), Value::Num(h.p99() as f64 / 1000.0)),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("queue_depth".into(), Value::Num(queue_depth as f64)),
+        (
+            "queue_capacity".into(),
+            Value::Num(shared.config.queue_capacity as f64),
+        ),
+        ("workers".into(), Value::Num(shared.config.workers as f64)),
+        ("tenants".into(), Value::Obj(tenants)),
+        ("counters".into(), Value::Obj(counters)),
+        ("gauges".into(), Value::Obj(gauges)),
+        ("latencies".into(), Value::Obj(latencies)),
+    ]);
+    serde_json::to_string(&Raw(doc)).unwrap_or_else(|_| "{}".to_string())
+}

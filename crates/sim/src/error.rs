@@ -111,6 +111,24 @@ pub enum SimError {
         /// The unavailable operation.
         operation: &'static str,
     },
+    /// The job's [`CancelToken`](crate::cancel::CancelToken) was
+    /// cancelled while the job was queued or running. Execution
+    /// stopped cooperatively at the next shot-chunk / batch-strip
+    /// boundary; no partial result is returned.
+    Cancelled,
+    /// The job's deadline expired while it was queued or running.
+    /// Like [`SimError::Cancelled`], execution stopped at the next
+    /// chunk boundary without producing a partial result.
+    DeadlineExceeded,
+    /// The job panicked while executing. The panic was caught at the
+    /// job boundary so the rest of the submitted batch completes
+    /// normally; the payload's message (when it was a string) is
+    /// preserved here.
+    JobPanicked {
+        /// The panic payload rendered as text, or
+        /// `"non-string panic payload"`.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -175,6 +193,19 @@ impl fmt::Display for SimError {
                 f,
                 "operation `{operation}` is not available on the `{engine}` engine"
             ),
+            SimError::Cancelled => write!(
+                f,
+                "job cancelled before completion (cooperative stop at a \
+                 shot-chunk boundary; no partial result)"
+            ),
+            SimError::DeadlineExceeded => write!(
+                f,
+                "job deadline expired before completion (cooperative stop at a \
+                 shot-chunk boundary; no partial result)"
+            ),
+            SimError::JobPanicked { ref message } => {
+                write!(f, "job panicked during execution: {message}")
+            }
         }
     }
 }

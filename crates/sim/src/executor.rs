@@ -290,29 +290,34 @@ impl Simulator {
         seed: u64,
     ) -> Result<RunResult, SimError> {
         let plan = self.plan(sc)?;
-        Ok(self.run_counts_dense_plan(&plan, shots, seed))
+        self.run_counts_dense_plan(&plan, shots, seed, None)
     }
 
     /// [`Self::run_counts_dense`] over a prebuilt plan — the entry the
     /// compiled-artifact layer uses so cached plans skip replanning.
+    /// `cancel` is polled at shot-chunk boundaries.
     pub(crate) fn run_counts_dense_plan(
         &self,
         plan: &ExecutionPlan,
         shots: usize,
         seed: u64,
-    ) -> RunResult {
+        cancel: Option<&crate::cancel::CancelToken>,
+    ) -> Result<RunResult, SimError> {
         debug_assert!(plan.sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
         let nbits = plan.sc.num_clbits;
         let parts = map_shots(
             shots,
             seed,
+            cancel,
             std::collections::BTreeMap::<u64, usize>::new,
             |rng, counts| {
                 let (_, bits) = self.trajectory(plan, rng);
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
-        );
-        time_engine_phase("reduction", || RunResult::from_parts(shots, nbits, parts))
+        )?;
+        Ok(time_engine_phase("reduction", || {
+            RunResult::from_parts(shots, nbits, parts)
+        }))
     }
 
     /// Dense-engine Pauli expectations (no sampling noise beyond the
@@ -325,21 +330,24 @@ impl Simulator {
         seed: u64,
     ) -> Result<Vec<f64>, SimError> {
         let plan = self.plan(sc)?;
-        Ok(self.expect_paulis_dense_plan(&plan, paulis, shots, seed))
+        self.expect_paulis_dense_plan(&plan, paulis, shots, seed, None)
     }
 
-    /// [`Self::expect_paulis_dense`] over a prebuilt plan.
+    /// [`Self::expect_paulis_dense`] over a prebuilt plan. `cancel` is
+    /// polled at shot-chunk boundaries.
     pub(crate) fn expect_paulis_dense_plan(
         &self,
         plan: &ExecutionPlan,
         paulis: &[PauliString],
         shots: usize,
         seed: u64,
-    ) -> Vec<f64> {
+        cancel: Option<&crate::cancel::CancelToken>,
+    ) -> Result<Vec<f64>, SimError> {
         debug_assert!(plan.sc.num_qubits <= crate::engine::DENSE_MAX_QUBITS);
         let parts = map_shots(
             shots,
             seed,
+            cancel,
             || vec![0.0; paulis.len()],
             |rng, acc| {
                 let (st, _) = self.trajectory(plan, rng);
@@ -347,8 +355,8 @@ impl Simulator {
                     acc[i] += st.expect_pauli(p);
                 }
             },
-        );
-        time_engine_phase("reduction", || {
+        )?;
+        Ok(time_engine_phase("reduction", || {
             let mut out = vec![0.0; paulis.len()];
             for part in parts {
                 for (o, p) in out.iter_mut().zip(part.iter()) {
@@ -359,7 +367,7 @@ impl Simulator {
                 *o /= shots as f64;
             }
             out
-        })
+        }))
     }
 
     /// Convenience: single Pauli expectation.

@@ -1577,47 +1577,58 @@ impl BatchPlan {
     }
 
     /// Shot-sampled classical counts over this prepared plan.
+    /// `cancel` is polled at the start of every batch strip: each
+    /// strip closure returns `Result`, and the first error in strip
+    /// order aborts the whole run with no partial counts.
     pub(crate) fn counts(
         &self,
         sim: &Simulator,
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> RunResult {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<RunResult, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let nbits = self.frame.sc.num_clbits;
         let parts = if sim.schedule == SeedSchedule::V2 {
             let strips = shots.div_ceil(STRIP_SHOTS);
-            map_batches(strips, workers, |s| {
+            map_batches(strips, workers, |s| -> Result<_, SimError> {
+                crate::cancel::check_opt(cancel)?;
                 let base = s * STRIP_SHOTS;
                 let active = STRIP_SHOTS.min(shots - base);
                 let out = self.run_strip(sim, seed, base, active, ins);
-                crate::obs_util::time_engine_phase("reduction", || {
+                Ok(crate::obs_util::time_engine_phase("reduction", || {
                     let mut counts = BTreeMap::new();
                     for &key in out.keys.iter().take(active) {
                         *counts.entry(key).or_insert(0usize) += 1;
                     }
                     counts
-                })
+                }))
             })
         } else {
             let batches = shots.div_ceil(LANES);
-            map_batches(batches, workers, |b| {
+            map_batches(batches, workers, |b| -> Result<_, SimError> {
+                crate::cancel::check_opt(cancel)?;
                 let base = b * LANES;
                 let active = LANES.min(shots - base);
                 let out = self.run_batch(sim, seed, base, active, ins);
-                crate::obs_util::time_engine_phase("reduction", || {
+                Ok(crate::obs_util::time_engine_phase("reduction", || {
                     let mut counts = BTreeMap::new();
                     for &key in out.keys.iter().take(active) {
                         *counts.entry(key).or_insert(0usize) += 1;
                     }
                     counts
-                })
+                }))
             })
-        };
-        crate::obs_util::time_engine_phase("reduction", || {
+        }
+        .into_iter()
+        .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             RunResult::from_parts(shots, nbits, parts)
-        })
+        }))
     }
 
     /// Reference expectation plus the observable's support as
@@ -1644,23 +1655,29 @@ impl BatchPlan {
     }
 
     /// Frame-averaged Pauli expectations over this prepared plan.
+    /// `cancel` is polled at the start of every batch strip.
     pub(crate) fn expectations(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> Vec<f64> {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<Vec<f64>, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let prepared = self.prepare_observables(paulis);
         let partials: Vec<Vec<f64>> = if sim.schedule == SeedSchedule::V2 {
             let strips = shots.div_ceil(STRIP_SHOTS);
-            map_batches(strips, workers, |s| {
+            map_batches(strips, workers, |s| -> Result<Vec<f64>, SimError> {
+                crate::cancel::check_opt(cancel)?;
                 let base = s * STRIP_SHOTS;
                 let active = STRIP_SHOTS.min(shots - base);
                 let out = self.run_strip(sim, seed, base, active, ins);
-                crate::obs_util::time_engine_phase("reduction", || {
+                Ok(crate::obs_util::time_engine_phase("reduction", || {
                     prepared
                         .iter()
                         .map(|(r, support)| {
@@ -1682,15 +1699,16 @@ impl BatchPlan {
                             (*r as i64 * sum) as f64
                         })
                         .collect()
-                })
+                }))
             })
         } else {
             let batches = shots.div_ceil(LANES);
-            map_batches(batches, workers, |b| {
+            map_batches(batches, workers, |b| -> Result<Vec<f64>, SimError> {
+                crate::cancel::check_opt(cancel)?;
                 let base = b * LANES;
                 let active = LANES.min(shots - base);
                 let out = self.run_batch(sim, seed, base, active, ins);
-                crate::obs_util::time_engine_phase("reduction", || {
+                Ok(crate::obs_util::time_engine_phase("reduction", || {
                     let lane_mask = if active == LANES {
                         u64::MAX
                     } else {
@@ -1707,10 +1725,12 @@ impl BatchPlan {
                             (*r as i64 * (active as i64 - 2 * flips)) as f64
                         })
                         .collect()
-                })
+                }))
             })
-        };
-        crate::obs_util::time_engine_phase("reduction", || {
+        }
+        .into_iter()
+        .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             let mut out = vec![0.0; paulis.len()];
             for part in partials {
                 for (o, p) in out.iter_mut().zip(part.iter()) {
@@ -1721,49 +1741,58 @@ impl BatchPlan {
                 *o /= shots as f64;
             }
             out
-        })
+        }))
     }
 
     /// Per-shot ±1 outcomes over this prepared plan: batch `b`'s
     /// masked parity word *is* word `b` of the shot bitvector, so the
-    /// result is assembled with no per-shot work at all.
+    /// result is assembled with no per-shot work at all. `cancel` is
+    /// polled at the start of every batch strip.
     pub(crate) fn flips(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> PauliFlips {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<PauliFlips, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let prepared = self.prepare_observables(paulis);
         let words = shots.div_ceil(LANES);
         if sim.schedule == SeedSchedule::V2 {
             let strips = shots.div_ceil(STRIP_SHOTS);
-            let partials: Vec<Vec<Vec<u64>>> = map_batches(strips, workers, |s| {
-                let base = s * STRIP_SHOTS;
-                let active = STRIP_SHOTS.min(shots - base);
-                let out = self.run_strip(sim, seed, base, active, ins);
-                crate::obs_util::time_engine_phase("reduction", || {
-                    prepared
-                        .iter()
-                        .map(|(_, support)| {
-                            (0..out.wc)
-                                .map(|w| {
-                                    let aw = LANES.min(active - w * LANES);
-                                    let mask = if aw == LANES {
-                                        u64::MAX
-                                    } else {
-                                        (1u64 << aw) - 1
-                                    };
-                                    strip_parity(&out, w, support) & mask
-                                })
-                                .collect()
-                        })
-                        .collect()
+            let partials: Vec<Vec<Vec<u64>>> =
+                map_batches(strips, workers, |s| -> Result<_, SimError> {
+                    crate::cancel::check_opt(cancel)?;
+                    let base = s * STRIP_SHOTS;
+                    let active = STRIP_SHOTS.min(shots - base);
+                    let out = self.run_strip(sim, seed, base, active, ins);
+                    Ok(crate::obs_util::time_engine_phase("reduction", || {
+                        prepared
+                            .iter()
+                            .map(|(_, support)| {
+                                (0..out.wc)
+                                    .map(|w| {
+                                        let aw = LANES.min(active - w * LANES);
+                                        let mask = if aw == LANES {
+                                            u64::MAX
+                                        } else {
+                                            (1u64 << aw) - 1
+                                        };
+                                        strip_parity(&out, w, support) & mask
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    }))
                 })
-            });
-            return crate::obs_util::time_engine_phase("reduction", || {
+                .into_iter()
+                .collect::<Result<Vec<_>, SimError>>()?;
+            return Ok(crate::obs_util::time_engine_phase("reduction", || {
                 let mut flips = vec![vec![0u64; words]; paulis.len()];
                 for (s, per_obs) in partials.iter().enumerate() {
                     for (o, obs_words) in per_obs.iter().enumerate() {
@@ -1777,13 +1806,14 @@ impl BatchPlan {
                     refs: prepared.iter().map(|(r, _)| *r).collect(),
                     flips,
                 }
-            });
+            }));
         }
-        let partials: Vec<Vec<u64>> = map_batches(words, workers, |b| {
+        let partials: Vec<Vec<u64>> = map_batches(words, workers, |b| -> Result<_, SimError> {
+            crate::cancel::check_opt(cancel)?;
             let base = b * LANES;
             let active = LANES.min(shots - base);
             let out = self.run_batch(sim, seed, base, active, ins);
-            crate::obs_util::time_engine_phase("reduction", || {
+            Ok(crate::obs_util::time_engine_phase("reduction", || {
                 let lane_mask = if active == LANES {
                     u64::MAX
                 } else {
@@ -1793,9 +1823,11 @@ impl BatchPlan {
                     .iter()
                     .map(|(_, support)| support_parity(&out, support) & lane_mask)
                     .collect()
-            })
-        });
-        crate::obs_util::time_engine_phase("reduction", || {
+            }))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             let mut flips = vec![vec![0u64; words]; paulis.len()];
             for (b, batch_words) in partials.iter().enumerate() {
                 for (o, w) in batch_words.iter().enumerate() {
@@ -1807,7 +1839,7 @@ impl BatchPlan {
                 refs: prepared.iter().map(|(r, _)| *r).collect(),
                 flips,
             }
-        })
+        }))
     }
 }
 
@@ -1898,7 +1930,16 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<RunResult, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        Ok(plan.counts(self.sim, shots, seed, &InsertionSet::empty(), workers))
+        plan.counts(
+            self.sim,
+            &InsertionSet::empty(),
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers,
+                cancel: None,
+            },
+        )
     }
 
     /// [`Self::run_counts`] with scheduled per-shot Pauli insertions
@@ -1914,7 +1955,16 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<RunResult, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        Ok(plan.counts(self.sim, shots, seed, ins, workers))
+        plan.counts(
+            self.sim,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers,
+                cancel: None,
+            },
+        )
     }
 
     /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
@@ -1941,14 +1991,17 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<Vec<f64>, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        Ok(plan.expectations(
+        plan.expectations(
             self.sim,
             paulis,
-            shots,
-            seed,
             &InsertionSet::empty(),
-            workers,
-        ))
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers,
+                cancel: None,
+            },
+        )
     }
 
     /// [`Self::expect_paulis`] with scheduled per-shot Pauli
@@ -1963,7 +2016,17 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<Vec<f64>, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        Ok(plan.expectations(self.sim, paulis, shots, seed, ins, workers))
+        plan.expectations(
+            self.sim,
+            paulis,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers,
+                cancel: None,
+            },
+        )
     }
 
     /// Per-shot ±1 outcomes (see [`crate::result::PauliFlips`]):
@@ -1979,7 +2042,17 @@ impl<'a> BatchedFrameEngine<'a> {
         workers: Option<usize>,
     ) -> Result<PauliFlips, SimError> {
         let plan = BatchPlan::build(self.sim, sc, seed)?;
-        Ok(plan.flips(self.sim, paulis, shots, seed, ins, workers))
+        plan.flips(
+            self.sim,
+            paulis,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers,
+                cancel: None,
+            },
+        )
     }
 }
 

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod executor;
@@ -64,6 +65,7 @@ pub mod stabilizer;
 pub mod statevector;
 pub mod timeline;
 
+pub use cancel::CancelToken;
 pub use engine::{
     check_gate_arities, Engine, SimEngine, StatevectorEngine, AUTO_DENSE_MAX_QUBITS,
     DENSE_MAX_QUBITS,

@@ -1177,20 +1177,26 @@ impl FramePlan {
 
 impl FramePlan {
     /// Shot-sampled classical counts over this prepared plan.
+    /// `cancel` is polled at shot-chunk boundaries.
     pub(crate) fn counts(
         &self,
         sim: &Simulator,
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> RunResult {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<RunResult, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let nbits = self.sc.num_clbits;
         let v2 = sim.schedule == SeedSchedule::V2;
         let parts = map_shots_indexed(
             shots,
             seed,
             workers,
+            cancel,
             std::collections::BTreeMap::<u64, usize>::new,
             |i, rng, counts| {
                 let (_, _, bits) = if v2 {
@@ -1200,10 +1206,10 @@ impl FramePlan {
                 };
                 *counts.entry(pack_bits(&bits, nbits)).or_insert(0) += 1;
             },
-        );
-        crate::obs_util::time_engine_phase("reduction", || {
+        )?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             RunResult::from_parts(shots, nbits, parts)
-        })
+        }))
     }
 
     /// Reference expectation and packed masks per observable.
@@ -1219,21 +1225,27 @@ impl FramePlan {
     }
 
     /// Frame-averaged Pauli expectations over this prepared plan.
+    /// `cancel` is polled at shot-chunk boundaries.
     pub(crate) fn expectations(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> Vec<f64> {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<Vec<f64>, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let prepared = self.prepare_observables(paulis);
         let v2 = sim.schedule == SeedSchedule::V2;
         let sums = map_shots_indexed(
             shots,
             seed,
             workers,
+            cancel,
             || vec![0.0; prepared.len()],
             |i, rng, acc| {
                 let (fx, fz, _) = if v2 {
@@ -1253,8 +1265,8 @@ impl FramePlan {
                     acc[o] += if flip { -*r as f64 } else { *r as f64 };
                 }
             },
-        );
-        crate::obs_util::time_engine_phase("reduction", || {
+        )?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             let mut out = vec![0.0; paulis.len()];
             for part in sums {
                 for (o, p) in out.iter_mut().zip(part.iter()) {
@@ -1265,20 +1277,24 @@ impl FramePlan {
                 *o /= shots as f64;
             }
             out
-        })
+        }))
     }
 
     /// Per-shot ±1 outcomes over this prepared plan (see
-    /// [`PauliFlips`]).
+    /// [`PauliFlips`]). `cancel` is polled at shot-chunk boundaries.
     pub(crate) fn flips(
         &self,
         sim: &Simulator,
         paulis: &[PauliString],
-        shots: usize,
-        seed: u64,
         ins: &InsertionSet,
-        workers: Option<usize>,
-    ) -> PauliFlips {
+        params: crate::plan::ShotParams<'_>,
+    ) -> Result<PauliFlips, SimError> {
+        let crate::plan::ShotParams {
+            shots,
+            seed,
+            workers,
+            cancel,
+        } = params;
         let prepared = self.prepare_observables(paulis);
         let words = shots.div_ceil(64);
         let v2 = sim.schedule == SeedSchedule::V2;
@@ -1288,6 +1304,7 @@ impl FramePlan {
             shots,
             seed,
             workers,
+            cancel,
             || vec![vec![0u64; words]; prepared.len()],
             |i, rng, acc| {
                 let (fx, fz, _) = if v2 {
@@ -1305,8 +1322,8 @@ impl FramePlan {
                     }
                 }
             },
-        );
-        crate::obs_util::time_engine_phase("reduction", || {
+        )?;
+        Ok(crate::obs_util::time_engine_phase("reduction", || {
             let mut flips = vec![vec![0u64; words]; prepared.len()];
             for part in parts {
                 for (acc, obs) in flips.iter_mut().zip(part.iter()) {
@@ -1320,7 +1337,7 @@ impl FramePlan {
                 refs: prepared.iter().map(|(r, _, _)| *r).collect(),
                 flips,
             }
-        })
+        }))
     }
 }
 
@@ -1416,7 +1433,16 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<RunResult, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        Ok(plan.counts(self.sim, shots, seed, ins, None))
+        plan.counts(
+            self.sim,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers: None,
+                cancel: None,
+            },
+        )
     }
 
     /// Frame-averaged Pauli expectations (see [`crate::SimEngine`]).
@@ -1441,7 +1467,17 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<Vec<f64>, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        Ok(plan.expectations(self.sim, paulis, shots, seed, ins, None))
+        plan.expectations(
+            self.sim,
+            paulis,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers: None,
+                cancel: None,
+            },
+        )
     }
 
     /// Per-shot ±1 outcomes (see [`PauliFlips`]): the sign-resolved
@@ -1457,7 +1493,17 @@ impl<'a> StabilizerEngine<'a> {
         ins: &InsertionSet,
     ) -> Result<PauliFlips, SimError> {
         let plan = FramePlan::build(self.sim, sc, seed)?;
-        Ok(plan.flips(self.sim, paulis, shots, seed, ins, None))
+        plan.flips(
+            self.sim,
+            paulis,
+            ins,
+            crate::plan::ShotParams {
+                shots,
+                seed,
+                workers: None,
+                cancel: None,
+            },
+        )
     }
 }
 

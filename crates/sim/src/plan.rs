@@ -558,13 +558,19 @@ pub fn worker_count(requested: Option<usize>, jobs: usize) -> usize {
 /// Returns per-worker accumulators for the caller to merge. Used by
 /// the serial Pauli-frame sampler; the batch engine reproduces the
 /// identical per-shot streams 64 lanes at a time.
+///
+/// `cancel` is polled at every chunk boundary: a cancelled or
+/// deadline-expired token stops all workers within one chunk of work
+/// and the whole call returns the structured error instead of a
+/// partial accumulation.
 pub fn map_shots_indexed<Acc: Send>(
     shots: usize,
     seed: u64,
     workers: Option<usize>,
+    cancel: Option<&crate::cancel::CancelToken>,
     new_acc: impl Fn() -> Acc + Sync,
     per_shot: impl Fn(usize, &mut rand::rngs::StdRng, &mut Acc) + Sync,
-) -> Vec<Acc> {
+) -> Result<Vec<Acc>, SimError> {
     use rand::SeedableRng;
     let chunks = chunk_ranges(shots);
     let workers = worker_count(workers, chunks.len());
@@ -574,15 +580,16 @@ pub fn map_shots_indexed<Acc: Send>(
                 let chunks = &chunks;
                 let new_acc = &new_acc;
                 let per_shot = &per_shot;
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Acc, SimError> {
                     let mut acc = new_acc();
                     for &(start, len) in chunks.iter().skip(w).step_by(workers) {
+                        crate::cancel::check_opt(cancel)?;
                         for i in start..start + len {
                             let mut rng = rand::rngs::StdRng::seed_from_u64(shot_seed(seed, i));
                             per_shot(i, &mut rng, &mut acc);
                         }
                     }
-                    acc
+                    Ok(acc)
                 })
             })
             .collect();
@@ -649,12 +656,16 @@ pub fn chunk_seed(seed: u64, start: usize) -> u64 {
 /// reproducible up to summation order. Returns the per-worker
 /// accumulators for the caller to merge. The single fan-out used by
 /// both engines' `run_counts` and `expect_paulis`.
+///
+/// `cancel` is polled at every chunk boundary, as in
+/// [`map_shots_indexed`].
 pub fn map_shots<Acc: Send>(
     shots: usize,
     seed: u64,
+    cancel: Option<&crate::cancel::CancelToken>,
     new_acc: impl Fn() -> Acc + Sync,
     per_shot: impl Fn(&mut rand::rngs::StdRng, &mut Acc) + Sync,
-) -> Vec<Acc> {
+) -> Result<Vec<Acc>, SimError> {
     use rand::SeedableRng;
     let chunks = chunk_ranges(shots);
     let workers = worker_count(None, chunks.len());
@@ -664,15 +675,16 @@ pub fn map_shots<Acc: Send>(
                 let chunks = &chunks;
                 let new_acc = &new_acc;
                 let per_shot = &per_shot;
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Acc, SimError> {
                     let mut acc = new_acc();
                     for &(start, len) in chunks.iter().skip(w).step_by(workers) {
+                        crate::cancel::check_opt(cancel)?;
                         let mut rng = rand::rngs::StdRng::seed_from_u64(chunk_seed(seed, start));
                         for _ in 0..len {
                             per_shot(&mut rng, &mut acc);
                         }
                     }
-                    acc
+                    Ok(acc)
                 })
             })
             .collect();
@@ -721,4 +733,16 @@ mod tests {
             assert_eq!(chunks[0].0, 0);
         }
     }
+}
+
+/// Shot-loop parameters shared by the frame engines' expectation and
+/// flips entry points: shot count, run seed, worker spread, and an
+/// optional cooperative cancel token polled at chunk/strip
+/// boundaries.
+#[derive(Clone, Copy)]
+pub(crate) struct ShotParams<'a> {
+    pub shots: usize,
+    pub seed: u64,
+    pub workers: Option<usize>,
+    pub cancel: Option<&'a crate::cancel::CancelToken>,
 }

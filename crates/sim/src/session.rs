@@ -36,6 +36,7 @@
 //!   never paid again — and is bit-identical to compiling the
 //!   dressed circuit from scratch.
 
+use crate::cancel::CancelToken;
 use crate::engine::{check_gate_arities, Engine, DENSE_MAX_QUBITS};
 use crate::error::SimError;
 use crate::executor::Simulator;
@@ -145,6 +146,20 @@ impl CompiledCircuit {
         ins: &InsertionSet,
         workers: Option<usize>,
     ) -> Result<RunResult, SimError> {
+        self.run_counts_cancel(shots, ins, workers, None)
+    }
+
+    /// [`Self::run_counts`] with a cooperative [`CancelToken`],
+    /// polled at shot-chunk / batch-strip boundaries: a cancelled or
+    /// deadline-expired token aborts with [`SimError::Cancelled`] /
+    /// [`SimError::DeadlineExceeded`] and no partial result.
+    pub fn run_counts_cancel(
+        &self,
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunResult, SimError> {
         match &self.backend {
             CompiledBackend::Dense => {
                 if !ins.is_empty() {
@@ -153,14 +168,29 @@ impl CompiledCircuit {
                         operation: "per-shot Pauli insertions",
                     });
                 }
-                Ok(self.sim.run_counts_dense_plan(&self.plan, shots, self.seed))
+                self.sim
+                    .run_counts_dense_plan(&self.plan, shots, self.seed, cancel)
             }
-            CompiledBackend::Serial(frame) => {
-                Ok(frame.counts(&self.sim, shots, self.seed, ins, workers))
-            }
-            CompiledBackend::Batch(batch) => {
-                Ok(batch.counts(&self.sim, shots, self.seed, ins, workers))
-            }
+            CompiledBackend::Serial(frame) => frame.counts(
+                &self.sim,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
+            CompiledBackend::Batch(batch) => batch.counts(
+                &self.sim,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
         }
     }
 
@@ -173,6 +203,19 @@ impl CompiledCircuit {
         ins: &InsertionSet,
         workers: Option<usize>,
     ) -> Result<Vec<f64>, SimError> {
+        self.expect_paulis_cancel(paulis, shots, ins, workers, None)
+    }
+
+    /// [`Self::expect_paulis`] with a cooperative [`CancelToken`]
+    /// (see [`Self::run_counts_cancel`]).
+    pub fn expect_paulis_cancel(
+        &self,
+        paulis: &[PauliString],
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<f64>, SimError> {
         match &self.backend {
             CompiledBackend::Dense => {
                 if !ins.is_empty() {
@@ -181,16 +224,31 @@ impl CompiledCircuit {
                         operation: "per-shot Pauli insertions",
                     });
                 }
-                Ok(self
-                    .sim
-                    .expect_paulis_dense_plan(&self.plan, paulis, shots, self.seed))
+                self.sim
+                    .expect_paulis_dense_plan(&self.plan, paulis, shots, self.seed, cancel)
             }
-            CompiledBackend::Serial(frame) => {
-                Ok(frame.expectations(&self.sim, paulis, shots, self.seed, ins, workers))
-            }
-            CompiledBackend::Batch(batch) => {
-                Ok(batch.expectations(&self.sim, paulis, shots, self.seed, ins, workers))
-            }
+            CompiledBackend::Serial(frame) => frame.expectations(
+                &self.sim,
+                paulis,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
+            CompiledBackend::Batch(batch) => batch.expectations(
+                &self.sim,
+                paulis,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
         }
     }
 
@@ -203,17 +261,46 @@ impl CompiledCircuit {
         ins: &InsertionSet,
         workers: Option<usize>,
     ) -> Result<PauliFlips, SimError> {
+        self.expect_flips_cancel(paulis, shots, ins, workers, None)
+    }
+
+    /// [`Self::expect_flips`] with a cooperative [`CancelToken`]
+    /// (see [`Self::run_counts_cancel`]).
+    pub fn expect_flips_cancel(
+        &self,
+        paulis: &[PauliString],
+        shots: usize,
+        ins: &InsertionSet,
+        workers: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PauliFlips, SimError> {
         match &self.backend {
             CompiledBackend::Dense => Err(SimError::UnsupportedOnEngine {
                 engine: "statevector",
                 operation: "per-shot sign-resolved outcomes",
             }),
-            CompiledBackend::Serial(frame) => {
-                Ok(frame.flips(&self.sim, paulis, shots, self.seed, ins, workers))
-            }
-            CompiledBackend::Batch(batch) => {
-                Ok(batch.flips(&self.sim, paulis, shots, self.seed, ins, workers))
-            }
+            CompiledBackend::Serial(frame) => frame.flips(
+                &self.sim,
+                paulis,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
+            CompiledBackend::Batch(batch) => batch.flips(
+                &self.sim,
+                paulis,
+                ins,
+                crate::plan::ShotParams {
+                    shots,
+                    seed: self.seed,
+                    workers,
+                    cancel,
+                },
+            ),
         }
     }
 
@@ -275,6 +362,19 @@ fn apply_dressing(
         instr.gate = pauli.gate();
     }
     Ok(sc)
+}
+
+/// Renders a caught panic payload for [`SimError::JobPanicked`]
+/// (`panic!` carries `&str` or `String` in practice; anything else
+/// is reported generically).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Fingerprint of everything except the circuit and seed: device,
@@ -404,6 +504,13 @@ pub struct Job {
     pub shots: usize,
     /// Seed for the reference run and every shot's noise stream.
     pub seed: u64,
+    /// Cooperative cancellation handle (see [`Job::with_cancel`]).
+    /// Cloning the job shares the token: cancelling one clone cancels
+    /// all of them.
+    pub cancel: Option<CancelToken>,
+    /// Relative deadline, armed when the job is submitted (see
+    /// [`Job::with_deadline`]) — queue wait counts against it.
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// What a [`Job`] measures.
@@ -453,6 +560,8 @@ impl Job {
             request: JobRequest::Expect(observables.into()),
             shots,
             seed,
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -465,6 +574,8 @@ impl Job {
             request: JobRequest::Counts,
             shots,
             seed,
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -482,6 +593,8 @@ impl Job {
             request: JobRequest::Flips(observables.into()),
             shots,
             seed,
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -495,6 +608,43 @@ impl Job {
     pub fn with_insertions(mut self, insertions: Vec<PauliInsertion>) -> Self {
         self.insertions = insertions;
         self
+    }
+
+    /// Attaches a relative deadline. The countdown starts when the
+    /// job is submitted ([`Session::run`] / [`Session::submit`]), so
+    /// time spent queued behind other jobs counts against it; once it
+    /// expires the job stops at the next shot-chunk boundary with
+    /// [`SimError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a caller-held [`CancelToken`]: cancelling it (from
+    /// any thread) stops the job at the next shot-chunk boundary with
+    /// [`SimError::Cancelled`], freeing its worker.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The token execution polls for this job, arming the relative
+    /// deadline *now* (submission time). `None` when the job carries
+    /// neither a token nor a deadline — the zero-overhead default.
+    fn armed_token(&self) -> Option<CancelToken> {
+        match (&self.cancel, self.deadline) {
+            (Some(token), Some(deadline)) => {
+                token.set_deadline_in(deadline);
+                Some(token.clone())
+            }
+            (Some(token), None) => Some(token.clone()),
+            (None, Some(deadline)) => {
+                let token = CancelToken::new();
+                token.set_deadline_in(deadline);
+                Some(token)
+            }
+            (None, None) => None,
+        }
     }
 }
 
@@ -802,16 +952,28 @@ impl Session {
         Ok(compiled)
     }
 
-    /// Runs one job (compiling through the cache).
+    /// Runs one job (compiling through the cache). The job's relative
+    /// deadline, if any, is armed now. Panics anywhere in the job —
+    /// including plan compilation — surface as
+    /// [`SimError::JobPanicked`], exactly as in [`Self::submit`], so
+    /// a hostile circuit cannot unwind through the caller's thread.
     pub fn run(&self, job: &Job) -> Result<JobOutput, SimError> {
-        self.run_with_workers(job, None)
+        let token = job.armed_token();
+        self.run_caught(job, None, token.as_ref())
     }
 
-    fn run_with_workers(&self, job: &Job, workers: Option<usize>) -> Result<JobOutput, SimError> {
+    fn run_with_workers(
+        &self,
+        job: &Job,
+        workers: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<JobOutput, SimError> {
         let _job_span = ca_obs::span("session", "job")
             .with_arg("shots", job.shots as f64)
             .with_arg("seed", job.seed as f64);
         ca_obs::counter_add("session.jobs", 1);
+        // A job cancelled while queued never compiles at all.
+        crate::cancel::check_opt(cancel)?;
         let compiled = match &job.dressing {
             Some(dressing) => self.compiled_dressed(&job.circuit, dressing, job.seed)?,
             None => self.compiled(&job.circuit, job.seed)?,
@@ -819,25 +981,51 @@ impl Session {
         let ins = compiled.insertions(&job.insertions)?;
         match &job.request {
             JobRequest::Counts => Ok(JobOutput::Counts(
-                compiled.run_counts(job.shots, &ins, workers)?,
+                compiled.run_counts_cancel(job.shots, &ins, workers, cancel)?,
             )),
             JobRequest::Expect(obs) => Ok(JobOutput::Expect(
-                compiled.expect_paulis(obs, job.shots, &ins, workers)?,
+                compiled.expect_paulis_cancel(obs, job.shots, &ins, workers, cancel)?,
             )),
             JobRequest::Flips(obs) => Ok(JobOutput::Flips(
-                compiled.expect_flips(obs, job.shots, &ins, workers)?,
+                compiled.expect_flips_cancel(obs, job.shots, &ins, workers, cancel)?,
             )),
         }
+    }
+
+    /// [`Self::run_with_workers`] with the panic boundary: a job that
+    /// panics (an engine invariant violation, a malformed calibration
+    /// index) fails *itself* with [`SimError::JobPanicked`] instead of
+    /// unwinding through the batch fan-out and poisoning every other
+    /// job in the submission.
+    fn run_caught(
+        &self,
+        job: &Job,
+        workers: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<JobOutput, SimError> {
+        // AssertUnwindSafe: job execution never holds the session's
+        // cache locks while running user circuits (lock scopes cover
+        // only LRU get/insert, which call no engine code), so a caught
+        // panic cannot leave a cache entry half-written.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_with_workers(job, workers, cancel)
+        }))
+        .unwrap_or_else(|payload| {
+            ca_obs::counter_add("session.job_panics", 1);
+            Err(SimError::JobPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+        })
     }
 
     /// Runs a batch of independent jobs, fanned out across worker
     /// threads at job granularity (shot-level chunking stays inside
     /// each job). Results come back in job order and are
-    /// bit-identical for every worker count and cache state.
+    /// bit-identical for every worker count and cache state. A
+    /// panicking job fails with [`SimError::JobPanicked`] without
+    /// affecting the other jobs; relative deadlines are armed at
+    /// submission, so queue wait counts against them.
     pub fn submit(&self, jobs: &[Job]) -> Vec<Result<JobOutput, SimError>> {
-        if jobs.len() <= 1 {
-            return jobs.iter().map(|j| self.run(j)).collect();
-        }
         let _batch_span = ca_obs::span("session", "submit").with_arg("jobs", jobs.len() as f64);
         if ca_obs::enabled() {
             ca_obs::gauge_set(
@@ -845,18 +1033,36 @@ impl Session {
                 crate::plan::worker_count(None, jobs.len()) as f64,
             );
         }
+        let tokens: Vec<Option<CancelToken>> = jobs.iter().map(Job::armed_token).collect();
         // Queue wait = time from submission until a worker picks the
         // job up; the clock is read only when observability is on.
         let submitted = ca_obs::enabled().then(std::time::Instant::now); // ca-lint: allow(wall-clock) -- obs-gated timing attribution; never feeds results
-                                                                         // Jobs occupy the worker threads; pin each job's inner shot
-                                                                         // fan-out to one thread to avoid oversubscription. (Results
-                                                                         // are worker-count independent either way.)
+        if jobs.len() <= 1 {
+            // A lone job runs inline with the full shot-level fan-out
+            // (the batch path below pins inner workers to one thread),
+            // through the same span/gauge/histogram instrumentation as
+            // every other submission.
+            return jobs
+                .iter()
+                .zip(&tokens)
+                .map(|(job, token)| {
+                    if let Some(t0) = submitted {
+                        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        ca_obs::observe_ns("session", "job.queue_wait", ns);
+                    }
+                    self.run_caught(job, None, token.as_ref())
+                })
+                .collect();
+        }
+        // Jobs occupy the worker threads; pin each job's inner shot
+        // fan-out to one thread to avoid oversubscription. (Results
+        // are worker-count independent either way.)
         map_batches(jobs.len(), None, |i| {
             if let Some(t0) = submitted {
                 let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 ca_obs::observe_ns("session", "job.queue_wait", ns);
             }
-            self.run_with_workers(&jobs[i], Some(1))
+            self.run_caught(&jobs[i], Some(1), tokens[i].as_ref())
         })
     }
 

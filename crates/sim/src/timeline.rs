@@ -236,6 +236,13 @@ pub fn build_segments(
         if config.zz_crosstalk {
             for e in &device.crosstalk.edges {
                 let (i, j) = (e.a, e.b);
+                // Edges reaching past the circuit's registers couple
+                // to device qubits the program never touches: those
+                // sit idle, and phase kicked onto them is unobservable
+                // (no gate or measurement ever reads it back).
+                if i >= sc.num_qubits || j >= sc.num_qubits {
+                    continue;
+                }
                 let ai = activity[i];
                 let aj = activity[j];
                 // The gate's own pair: the intended interaction is part
@@ -257,6 +264,12 @@ pub fn build_segments(
                     continue;
                 }
                 for s in device.crosstalk.neighbors(q) {
+                    // Same register-bound rule as the ZZ edges above:
+                    // Stark shift on a qubit outside the circuit is
+                    // unobservable, so skip it.
+                    if s >= sc.num_qubits {
+                        continue;
+                    }
                     if activity[s] == Activity::Idle {
                         let nu = device.calibration.stark_on(q, s);
                         if nu != 0.0 {
@@ -389,6 +402,30 @@ mod tests {
             .sum();
         let expect = ca_device::phase_rad(20.0, 40.0);
         assert!((z1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_circuit_on_wide_device_skips_out_of_register_qubits() {
+        // A 2-qubit program on a 4-qubit line: crosstalk edges (1,2)
+        // and (2,3) and a Stark term driven from qubit 1 all reach
+        // past the circuit's registers and must be dropped, not
+        // indexed (this used to panic with a circuit-width `activity`
+        // array and device-width edge endpoints).
+        let mut dev = uniform_device(Topology::line(4), 100.0);
+        dev.calibration.stark_khz.insert((1, 2), 20.0);
+        let mut qc = Circuit::new(2, 0);
+        qc.x(1).delay(500.0, 0);
+        let sc = schedule_asap(&qc, GateDurations::default());
+        let s = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
+        assert!(!s.is_empty());
+        for seg in &s {
+            for (i, j, _) in &seg.rzz_static {
+                assert!(*i < 2 && *j < 2, "ZZ term references qubit >= width");
+            }
+            for (q, _) in &seg.rz_static {
+                assert!(*q < 2, "Z term references qubit >= width");
+            }
+        }
     }
 
     #[test]
