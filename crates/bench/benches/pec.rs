@@ -85,6 +85,34 @@ fn main() {
         );
     }
     println!("  learned in {gamma_s:.2}s");
+    // The phase breakdown must genuinely explain the learn wall
+    // clock: the CA-EC strategies run their points on the dense
+    // engine, whose per-shot work the engine's own phase timer
+    // attributes to sampling/propagation — before the recording was
+    // refreshed, the recorded phases summed to well under 1% of the
+    // learn wall and the breakdown was decorative. Smoke runs are
+    // too short for the ratio to be stable.
+    {
+        let attributed: f64 = match &gamma_phases {
+            serde::Value::Obj(fields) => {
+                fields.iter().map(|(_, v)| v.as_f64().unwrap_or(0.0)).sum()
+            }
+            _ => 0.0,
+        };
+        let coverage = attributed / gamma_s.max(1e-9);
+        println!(
+            "  phase attribution: {:.1}% of learn wall",
+            coverage * 100.0
+        );
+        if !smoke {
+            assert!(
+                coverage >= 0.9,
+                "learn phase breakdown accounts for only {:.1}% of the \
+                 {gamma_s:.2}s learn wall — a phase has gone unattributed",
+                coverage * 100.0
+            );
+        }
+    }
     // The acceptance ordering — context-aware compiling makes the
     // channel cheaper to cancel at every step: bare ≫ DD, both CA
     // strategies beat DD by a clear margin and sit at statistical

@@ -12,17 +12,26 @@
 //! bit-identical — the batch speedup is free of any statistical
 //! caveat.
 //!
+//! Beyond the engine sweep, the heavy-hex qubit axis pins the
+//! scale-past-127 claim: a fixed driven region on Eagle (127q),
+//! Osprey (433q), and Condor (1121q) lattices, asserting that wall
+//! time grows sub-linearly in device width — engine cost tracks
+//! activity, with idle width costing only the per-qubit noise-code
+//! floor — and that counts stay bit-identical across worker counts
+//! and plan-cache states.
+//!
 //! Pass `--smoke` for the CI-sized run: a reduced sweep at a small
-//! shot count that still exercises the batch-vs-serial identity and
-//! the 127-qubit experiment, without touching `BENCH_scaling.json`.
+//! shot count that still exercises the batch-vs-serial identity, the
+//! 433-qubit sub-linearity row, and the 127-qubit experiment, without
+//! touching `BENCH_scaling.json`.
 
 use ca_bench::Raw;
-use ca_circuit::Circuit;
+use ca_circuit::{schedule_asap, Circuit, GateDurations};
 use ca_core::{pipeline, CompileOptions, Context, Strategy};
 use ca_device::{uniform_device, Topology};
 use ca_experiments::large_scale;
 use ca_experiments::Budget;
-use ca_sim::{Engine, NoiseConfig, RunResult, Session, Simulator};
+use ca_sim::{Engine, Job, JobOutput, NoiseConfig, RunResult, Session, Simulator};
 use serde::{Serialize, Value};
 use std::time::Instant;
 
@@ -76,6 +85,37 @@ fn workload(n: usize, seed: u64) -> ca_circuit::ScheduledCircuit {
     let pm = pipeline(&opts);
     let mut ctx = Context::new(&device, seed);
     pm.compile(&qc, &mut ctx).expect("compile workload")
+}
+
+/// A sparse layer-fidelity workload at fixed driven activity on a
+/// heavy-hex lattice of any width: 16 pairs spread evenly across the
+/// device's sparse LF layer are prepared, driven for two ECR rounds,
+/// and read out, while the rest of the lattice sits idle. Scheduled
+/// bare (no DD) so the idle width stays honestly idle — the point of
+/// the qubit axis is that engine cost tracks the driven region, not
+/// the device width, and DD insertion would re-densify the lattice by
+/// construction.
+fn heavy_hex_workload(device: &ca_device::Device) -> ca_circuit::ScheduledCircuit {
+    let n = device.num_qubits();
+    let full = large_scale::sparse_device_layer(&device.topology);
+    let step = (full.len() / 16).max(1);
+    let layer: Vec<(usize, usize)> = full.iter().copied().step_by(step).take(16).collect();
+    let driven: Vec<usize> = layer.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut qc = Circuit::new(n, driven.len());
+    for &q in &driven {
+        qc.h(q);
+    }
+    qc.barrier(Vec::<usize>::new());
+    for _ in 0..2 {
+        for &(c, t) in &layer {
+            qc.ecr(c, t);
+        }
+        qc.barrier(Vec::<usize>::new());
+    }
+    for (c, &q) in driven.iter().enumerate() {
+        qc.measure(q, c);
+    }
+    schedule_asap(&qc, GateDurations::default())
 }
 
 /// The cold-vs-cached comparison: one 127-qubit LF sweep (3
@@ -353,6 +393,123 @@ fn main() {
             .collect()
     };
 
+    // Heavy-hex qubit axis: Eagle 127 → Osprey 433 → Condor 1121.
+    // Fixed driven activity (16 sparse-layer ECR pairs, 32 measured
+    // bits) on lattices of increasing width. A width-proportional
+    // engine would grow wall time linearly in the qubit count; the
+    // activity-keyed pending banks and the qubit-sharded strip
+    // sampler must hold the added idle width to the per-qubit
+    // noise-code floor, so the axis asserts sub-linear wall growth
+    // and a per-(qubit·shot) cost at the widest row below the
+    // all-qubits-driven brickwork 127q row measured in this same run.
+    // Counts are served, and must be bit-identical across worker
+    // counts (which cross the shard dispatch boundary) and across
+    // cold/warm plan-cache states.
+    println!();
+    println!("-- heavy-hex qubit axis: fixed driven region, widening lattice ({shots} shots) --");
+    let hh_devices = if smoke {
+        vec![
+            large_scale::eagle_device(127),
+            large_scale::osprey_device(127),
+        ]
+    } else {
+        vec![
+            large_scale::eagle_device(127),
+            large_scale::osprey_device(127),
+            large_scale::condor_device(127),
+        ]
+    };
+    let hh_noise = NoiseConfig {
+        readout_error: false,
+        ..NoiseConfig::default()
+    };
+    let mut hh_rows: Vec<(usize, usize, f64, f64, Value)> = Vec::new();
+    for device in &hh_devices {
+        let n = device.num_qubits();
+        let edges = device.topology.edges.len();
+        let sc = heavy_hex_workload(device);
+        let sim = Simulator::with_engine(device.clone(), hh_noise, Engine::FrameBatch);
+        let name = sim.engine_name_for(&sc).expect("resolve engine");
+        assert_eq!(
+            name, "frame-batch",
+            "{n}q workload must stay on frame-batch"
+        );
+        let mut best: Option<(f64, Value, RunResult)> = None;
+        for _ in 0..5 {
+            let base = ca_bench::obs::snapshot();
+            let start = Instant::now();
+            let res = sim.run_counts(&sc, shots, 11).expect("simulate");
+            let seconds = start.elapsed().as_secs_f64();
+            let phases = ca_bench::obs::phase_breakdown(&base);
+            if best.as_ref().is_none_or(|(s, _, _)| seconds < *s) {
+                best = Some((seconds, phases, res));
+            }
+        }
+        let (seconds, phases, reference) = best.expect("at least one timed run");
+        assert_eq!(reference.shots, shots);
+        let ns_per_qubit_shot = seconds * 1e9 / (n as f64 * shots as f64);
+        println!(
+            "  {n:>5} qubits ({edges:>4} edges): {seconds:>8.4}s  \
+             {ns_per_qubit_shot:>7.2} ns/(qubit-shot)"
+        );
+        // Shard/worker invariance on every row of the axis: 1 worker
+        // never shards, 8 workers shard the sampling pass at 433+.
+        let engine = ca_sim::BatchedFrameEngine::new(&sim);
+        for workers in [1usize, 2, 8] {
+            let got = engine
+                .run_counts_with_workers(&sc, shots, 11, Some(workers))
+                .expect("simulate");
+            assert_eq!(
+                reference, got,
+                "worker count {workers} changed {n}q heavy-hex counts"
+            );
+        }
+        // Cache-state invariance: the cold submit compiles and plans,
+        // the warm resubmit is served from the session LRU; both must
+        // reproduce the direct-engine counts bit for bit.
+        let session = Session::new(Simulator::with_config(device.clone(), hh_noise));
+        let job = Job::counts(sc.clone(), shots, 11);
+        for state in ["cold", "warm"] {
+            let out = session
+                .submit(std::slice::from_ref(&job))
+                .pop()
+                .expect("one job output")
+                .expect("simulate");
+            let JobOutput::Counts(got) = out else {
+                panic!("counts job returned a non-counts output");
+            };
+            assert_eq!(reference, got, "{state} plan-cache counts diverge at {n}q");
+        }
+        hh_rows.push((n, edges, seconds, ns_per_qubit_shot, phases));
+    }
+    let hh_first = &hh_rows[0];
+    let hh_last = &hh_rows[hh_rows.len() - 1];
+    let hh_growth = hh_last.2 / hh_first.2.max(1e-9);
+    let hh_linear = hh_last.0 as f64 / hh_first.0 as f64;
+    println!(
+        "  wall growth {}q -> {}q: {hh_growth:.2}x (linear bound {hh_linear:.2}x)",
+        hh_first.0, hh_last.0
+    );
+    assert!(
+        hh_growth < hh_linear,
+        "heavy-hex wall time grew {hh_growth:.2}x from {}q to {}q — at or \
+         above the linear bound {hh_linear:.2}x; engine cost is no longer \
+         tracking activity",
+        hh_first.0,
+        hh_last.0
+    );
+    // The widest row must also beat the all-qubits-driven brickwork
+    // 127q row on per-(qubit·shot) cost: idle width has to be much
+    // cheaper than driven width, not merely no worse.
+    let brickwork_ratio = batch_127.unwrap() * 1e9 / (127.0 * shots as f64);
+    assert!(
+        hh_last.3 < brickwork_ratio,
+        "heavy-hex {}q costs {:.2} ns/(qubit-shot), not below the 127q \
+         brickwork row's {brickwork_ratio:.2}",
+        hh_last.0,
+        hh_last.3
+    );
+
     // The acceptance-scale experiment: 127-qubit heavy-hex
     // layer-fidelity/DD comparison (runs on the frame-batch engine
     // via `Engine::Auto`).
@@ -467,6 +624,34 @@ fn main() {
             ),
         ),
     ]);
+    let heavy_hex_axis = Value::Obj(vec![
+        ("shots".into(), shots.to_value()),
+        ("driven_pairs".into(), 16usize.to_value()),
+        (
+            "rows".into(),
+            Value::Arr(
+                hh_rows
+                    .iter()
+                    .map(|(n, edges, seconds, ratio, phases)| {
+                        Value::Obj(vec![
+                            ("engine".into(), "frame-batch".to_value()),
+                            ("qubits".into(), n.to_value()),
+                            ("edges".into(), edges.to_value()),
+                            ("seconds".into(), seconds.to_value()),
+                            ("ns_per_qubit_shot".into(), ratio.to_value()),
+                            ("phases".into(), phases.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("wall_growth_vs_127q".into(), hh_growth.to_value()),
+        ("linear_bound".into(), hh_linear.to_value()),
+        (
+            "brickwork_127q_ns_per_qubit_shot".into(),
+            brickwork_ratio.to_value(),
+        ),
+    ]);
     let doc = Value::Obj(vec![
         ("bench".into(), "scaling".to_value()),
         ("shots".into(), SHOTS.to_value()),
@@ -490,6 +675,7 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("heavy_hex_qubit_axis".into(), heavy_hex_axis),
         ("large_scale_127q".into(), experiment),
         ("lf_sweep_cold_vs_cached_127q".into(), lf_sweep),
     ]);

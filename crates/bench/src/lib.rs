@@ -97,6 +97,21 @@ pub mod obs {
                 d.total_seconds("compile/pipeline").to_value(),
             ),
             ("plan_compile_seconds".into(), plan_s.to_value()),
+            // Learner-side phases outside the engines: per-point
+            // circuit construction / observable propagation, decay
+            // fits, and the Walsh–Hadamard channel transforms.
+            (
+                "circuit_construction_seconds".into(),
+                d.total_seconds("learn/build-point").to_value(),
+            ),
+            (
+                "fit_seconds".into(),
+                d.total_seconds("learn/fit-partition").to_value(),
+            ),
+            (
+                "wht_seconds".into(),
+                d.total_seconds("channel/wht").to_value(),
+            ),
         ])
     }
 

@@ -40,5 +40,5 @@ pub use dynamic::append_measure_compensation;
 pub use ensemble::{compile_twirl_ensemble, ensemble_shareable, TwirlEnsemble};
 pub use error::CompileError;
 pub use pass::{Context, Ir, Pass, PassManager};
-pub use strategies::{compile, pipeline, CompileOptions, Strategy};
+pub use strategies::{compile, compile_batch, pipeline, CompileOptions, Strategy};
 pub use twirl::{pauli_twirl, readout_twirl, TwirlRecord};

@@ -220,6 +220,64 @@ pub fn compile(
     pipeline(options).compile(circuit, &mut ctx)
 }
 
+/// Compiles one circuit under many option sets (typically twirl
+/// seeds) across scoped worker threads, returning results **in job
+/// order** regardless of worker count or scheduling. Each job runs
+/// the full pass pipeline independently with its own seeded
+/// [`Context`], so `compile_batch(qc, dev, opts, w)[i]` equals
+/// `compile(qc, dev, &opts[i])` exactly for every `w` — the
+/// parallelism is a wall-clock knob only. This is the cold-start
+/// lever at Osprey/Condor widths, where one 433- or 1121-qubit
+/// pipeline walk (stratify, twirl, DD insertion, ASAP scheduling)
+/// takes long enough that compiling twirl instances serially
+/// dominates a sweep point's setup time.
+///
+/// `workers = None` sizes the pool from the host's available
+/// parallelism (capped at 16 and at the job count).
+pub fn compile_batch(
+    circuit: &Circuit,
+    device: &Device,
+    options: &[CompileOptions],
+    workers: Option<usize>,
+) -> Vec<Result<ScheduledCircuit, CompileError>> {
+    let jobs = options.len();
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, 16)
+        .min(jobs.max(1));
+    if workers <= 1 {
+        return options
+            .iter()
+            .map(|o| compile(circuit, device, o))
+            .collect();
+    }
+    // Results travel back over a channel tagged with their job index
+    // and are sorted into job order afterwards — no shared slots, no
+    // lock poisoning to reason about. A worker panic propagates when
+    // the scope joins, so a short result vector is unobservable.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for j in (w..jobs).step_by(workers) {
+                    // The receiver outlives the scope; a failed send
+                    // is unreachable and safely ignorable.
+                    let _ = tx.send((j, compile(circuit, device, &options[j])));
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<(usize, Result<ScheduledCircuit, CompileError>)> = rx.into_iter().collect();
+    out.sort_by_key(|&(j, _)| j);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +300,24 @@ mod tests {
         for s in Strategy::ALL {
             let sc = compile(&qc, &dev, &CompileOptions::new(s, 3)).unwrap();
             assert!(sc.duration > 0.0, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn compile_batch_matches_serial_for_every_worker_count() {
+        let dev = uniform_device(Topology::line(4), 60.0);
+        let qc = case_i_circuit();
+        let options: Vec<CompileOptions> = (0..5)
+            .map(|i| CompileOptions::new(Strategy::CaDd, 100 + i))
+            .collect();
+        let serial: Vec<_> = options
+            .iter()
+            .map(|o| compile(&qc, &dev, o).unwrap())
+            .collect();
+        for workers in [1, 2, 8] {
+            let batch = compile_batch(&qc, &dev, &options, Some(workers));
+            let batch: Vec<_> = batch.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(batch, serial, "workers = {workers}");
         }
     }
 

@@ -182,6 +182,28 @@ pub fn eagle_like(seed: u64) -> Device {
     Device::new("eagle_like", topology, cal)
 }
 
+/// A full 433-qubit Osprey-class device on the heavy-hex lattice of
+/// [`Topology::heavy_hex_433`] with the default noise profile — the
+/// first post-Eagle scale step. Only the sparse frame engines are
+/// practical here; the batched engine's activity-tracked storage keeps
+/// per-shot cost proportional to the driven sublattice, not the full
+/// width.
+pub fn osprey_like(seed: u64) -> Device {
+    let topology = Topology::heavy_hex_433();
+    let cal = sample_calibration(&topology, &NoiseProfile::default(), seed);
+    Device::new("osprey_like", topology, cal)
+}
+
+/// A full 1121-qubit Condor-class device on the heavy-hex lattice of
+/// [`Topology::heavy_hex_1121`] with the default noise profile — the
+/// largest heavy-hex generation, exercising the engine's sparse
+/// pending banks and qubit-sharded strip sampling at full stretch.
+pub fn condor_like(seed: u64) -> Device {
+    let topology = Topology::heavy_hex_1121();
+    let cal = sample_calibration(&topology, &NoiseProfile::default(), seed);
+    Device::new("condor_like", topology, cal)
+}
+
 /// A deterministic uniform device: identical ZZ on every edge, default
 /// qubit records, no Stark/NNN. The workhorse for unit tests and
 /// isolated characterization experiments.
@@ -232,6 +254,19 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(dev, eagle_like(3));
         assert_ne!(dev, eagle_like(4));
+    }
+
+    #[test]
+    fn osprey_and_condor_presets_have_full_scale() {
+        let osprey = osprey_like(3);
+        assert_eq!(osprey.num_qubits(), 433);
+        assert_eq!(osprey.calibration.edges.len(), 504);
+        assert_eq!(osprey, osprey_like(3));
+        let condor = condor_like(3);
+        assert_eq!(condor.num_qubits(), 1121);
+        assert_eq!(condor.calibration.edges.len(), 1320);
+        assert_eq!(condor, condor_like(3));
+        assert_ne!(condor, condor_like(4));
     }
 
     #[test]

@@ -79,29 +79,36 @@ impl Topology {
         Self::new(next, edges)
     }
 
-    /// The 127-qubit heavy-hex lattice of IBM's Eagle processors
-    /// (`ibm_washington` / `ibm_nazca` class): seven qubit rows of
-    /// length 14/15/15/15/15/15/14 joined by four-qubit bridge groups
-    /// whose columns alternate between {0,4,8,12} and {2,6,10,14}.
-    /// Qubit numbering interleaves rows and bridge groups exactly like
-    /// the real device (row 0 = 0–13, bridges 14–17, row 1 = 18–32, …,
-    /// row 6 = 113–126).
-    pub fn heavy_hex_127() -> Self {
-        let row_cols: [(usize, usize); 7] = [
-            (0, 13),
-            (0, 14),
-            (0, 14),
-            (0, 14),
-            (0, 14),
-            (0, 14),
-            (1, 14),
-        ];
+    /// The IBM heavy-hex device family at generation `k`: `2k + 1`
+    /// qubit rows spanning columns `0..=4k + 2` (the first row drops
+    /// its last column, the last row its first) joined by
+    /// `(k + 1)`-qubit bridge groups whose columns alternate between
+    /// `{0, 4, …, 4k}` and `{2, 6, …, 4k + 2}`. Qubit numbering
+    /// interleaves rows and bridge groups exactly like the real
+    /// devices (for `k = 3`: row 0 = 0–13, bridges 14–17,
+    /// row 1 = 18–32, …, row 6 = 113–126).
+    ///
+    /// Sizes follow `10k² + 12k + 1` qubits and `12k² + 12k` edges:
+    /// `k = 3` is Eagle (127q), `k = 6` Osprey (433q), `k = 10`
+    /// Condor (1121q).
+    pub fn heavy_hex_family(k: usize) -> Self {
+        assert!(k >= 1, "heavy-hex family needs k >= 1");
+        let last_col = 4 * k + 2;
+        let rows = 2 * k + 1;
         let mut next = 0usize;
         let mut row_qubit: Vec<std::collections::BTreeMap<usize, usize>> = Vec::new();
         let mut edges = Vec::new();
         let mut bridge_starts = Vec::new();
-        for (r, &(c0, c1)) in row_cols.iter().enumerate() {
-            // Row chain.
+        for r in 0..rows {
+            // Row chain: the top row ends one column early, the bottom
+            // row starts one column late.
+            let (c0, c1) = if r == 0 {
+                (0, last_col - 1)
+            } else if r == rows - 1 {
+                (1, last_col)
+            } else {
+                (0, last_col)
+            };
             let mut map = std::collections::BTreeMap::new();
             for c in c0..=c1 {
                 map.insert(c, next);
@@ -112,19 +119,16 @@ impl Topology {
             }
             row_qubit.push(map);
             // Bridge group below this row (none after the last row).
-            if r < 6 {
+            if r < rows - 1 {
                 bridge_starts.push(next);
-                next += 4;
+                next += k + 1;
             }
         }
         for (r, &start) in bridge_starts.iter().enumerate() {
-            let cols: [usize; 4] = if r % 2 == 0 {
-                [0, 4, 8, 12]
-            } else {
-                [2, 6, 10, 14]
-            };
-            for (k, &c) in cols.iter().enumerate() {
-                let bridge = start + k;
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            for b in 0..=k {
+                let c = offset + 4 * b;
+                let bridge = start + b;
                 if let Some(&top) = row_qubit[r].get(&c) {
                     edges.push((top, bridge));
                 }
@@ -134,8 +138,28 @@ impl Topology {
             }
         }
         let t = Self::new(next, edges);
-        debug_assert_eq!(t.num_qubits, 127);
+        debug_assert_eq!(t.num_qubits, 10 * k * k + 12 * k + 1);
+        debug_assert_eq!(t.edges.len(), 12 * k * k + 12 * k);
         t
+    }
+
+    /// The 127-qubit heavy-hex lattice of IBM's Eagle processors
+    /// (`ibm_washington` / `ibm_nazca` class):
+    /// [`Topology::heavy_hex_family`] at `k = 3`.
+    pub fn heavy_hex_127() -> Self {
+        Self::heavy_hex_family(3)
+    }
+
+    /// The 433-qubit heavy-hex lattice of IBM's Osprey processor:
+    /// [`Topology::heavy_hex_family`] at `k = 6`.
+    pub fn heavy_hex_433() -> Self {
+        Self::heavy_hex_family(6)
+    }
+
+    /// The 1121-qubit heavy-hex lattice of IBM's Condor processor:
+    /// [`Topology::heavy_hex_family`] at `k = 10`.
+    pub fn heavy_hex_1121() -> Self {
+        Self::heavy_hex_family(10)
     }
 
     /// The 10-qubit sparse-layer layout of Fig. 8a (`ibm_nazca` qubits
@@ -310,6 +334,39 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|s| *s), "lattice is connected");
+    }
+
+    #[test]
+    fn heavy_hex_family_scales_to_osprey_and_condor() {
+        for (k, qubits, edge_count) in [(6, 433, 504), (10, 1121, 1320)] {
+            let t = Topology::heavy_hex_family(k);
+            assert_eq!(t.num_qubits, qubits, "k={k}");
+            assert_eq!(t.edges.len(), edge_count, "k={k}");
+            // Heavy hex: degree ≤ 3 everywhere, graph fully connected.
+            for q in 0..qubits {
+                let d = t.degree(q);
+                assert!((1..=3).contains(&d), "k={k} qubit {q} degree {d}");
+            }
+            let mut seen = vec![false; qubits];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(q) = stack.pop() {
+                for nb in t.neighbors(q) {
+                    if !seen[nb] {
+                        seen[nb] = true;
+                        stack.push(nb);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|s| *s), "k={k} lattice is connected");
+        }
+        assert_eq!(Topology::heavy_hex_433(), Topology::heavy_hex_family(6));
+        assert_eq!(Topology::heavy_hex_1121(), Topology::heavy_hex_family(10));
+    }
+
+    #[test]
+    fn heavy_hex_127_is_family_k3() {
+        assert_eq!(Topology::heavy_hex_127(), Topology::heavy_hex_family(3));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub fn product_index(a: usize, b: usize, k: usize) -> usize {
 
 /// Pauli fidelities of a probability vector: `f_b = Σ_a ±p_a`.
 pub fn probs_to_fidelities(probs: &[f64]) -> Vec<f64> {
+    let _s = ca_obs::span("channel", "wht").with_arg("len", probs.len() as f64);
     let k = partition_width(probs.len());
     (0..probs.len())
         .map(|b| {
@@ -82,6 +83,7 @@ pub fn probs_to_fidelities(probs: &[f64]) -> Vec<f64> {
 /// fidelities came from a genuine distribution; fitted fidelities may
 /// produce small negatives (see [`PartitionChannel::from_fidelities`]).
 pub fn fidelities_to_probs(fidelities: &[f64]) -> Vec<f64> {
+    let _s = ca_obs::span("channel", "wht").with_arg("len", fidelities.len() as f64);
     let k = partition_width(fidelities.len());
     let norm = 1.0 / fidelities.len() as f64;
     (0..fidelities.len())

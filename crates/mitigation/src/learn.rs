@@ -214,6 +214,14 @@ pub fn learn_layer_channel(
 
         let mut e_tags = Vec::with_capacity(config.depths.len());
         for &d in &config.depths {
+            // Circuit construction and observable propagation are
+            // attributed separately from the compile pipeline: at deep
+            // depths the Clifford propagation of every partition's
+            // observable is real wall time that would otherwise vanish
+            // from the learn breakdown.
+            let build_span = ca_obs::span("learn", "build-point")
+                .with_arg("experiment", e as f64)
+                .with_arg("depth", d as f64);
             let circuit = layer_circuit(n, &preps, layer, d);
             let observables: Vec<PauliString> = partitions
                 .iter()
@@ -225,6 +233,7 @@ pub fn learn_layer_channel(
                     propagate_through_layers(&p, layer, d)
                 })
                 .collect();
+            drop(build_span);
             let mut inst_tags = Vec::with_capacity(config.instances);
             for inst in 0..config.instances {
                 let seed = config

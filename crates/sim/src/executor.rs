@@ -144,7 +144,7 @@ impl Simulator {
                     for q in 0..n {
                         let rate = shot.z_rate_khz(&self.device, q);
                         if rate != 0.0 {
-                            pend_rz[q] += phase_rad(rate, seg.signed_dt[q]);
+                            pend_rz[q] += phase_rad(rate, seg.signed_dt(q));
                         }
                         deco_dt[q] += seg.dt();
                     }

@@ -61,6 +61,7 @@ pub mod pauli_frame;
 pub mod plan;
 pub mod result;
 pub mod session;
+pub(crate) mod shard;
 pub mod stabilizer;
 pub mod statevector;
 pub mod timeline;

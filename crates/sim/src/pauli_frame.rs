@@ -272,6 +272,16 @@ pub struct FramePlan {
     /// Reference tableau after the full circuit (for expectations).
     pub(crate) ref_tableau: Tableau,
     pub(crate) words: usize,
+    /// Per-qubit flag: true when some item op can flush or negate the
+    /// qubit's pending bank mid-stream. Only these qubits accrue
+    /// signed time segment by segment; every other qubit's bank is
+    /// read exactly once (at the final flush), so its accrual
+    /// collapses to one shared idle scalar — idle sign is +1, making
+    /// the shared accumulator's f64 add sequence identical to the
+    /// dense per-qubit walk it replaces.
+    pub(crate) streamed: Vec<bool>,
+    /// Indices where `streamed` is true, ascending.
+    pub(crate) streamed_list: Vec<usize>,
 }
 
 /// Exact cache key for conjugation tables: gate mnemonic plus the
@@ -586,6 +596,15 @@ impl FramePlan {
         }
 
         let words = sc.num_qubits.div_ceil(64);
+        let mut streamed = vec![false; sc.num_qubits];
+        for op in plan.ops.iter() {
+            if let PlanOp::Project { item } | PlanOp::Apply { item } = *op {
+                for &q in &sc.items[item].instruction.qubits {
+                    streamed[q] = true;
+                }
+            }
+        }
+        let streamed_list: Vec<usize> = (0..sc.num_qubits).filter(|&q| streamed[q]).collect();
         Ok(Self {
             sc,
             plan,
@@ -593,6 +612,8 @@ impl FramePlan {
             ref_outcomes,
             ref_tableau: tableau,
             words,
+            streamed,
+            streamed_list,
         })
     }
 
@@ -634,6 +655,7 @@ impl FramePlan {
         let mut pend_time = vec![0.0f64; n];
         let mut pend_rzz = vec![0.0f64; self.plan.edge_pairs.len()];
         let mut deco_dt = vec![0.0f64; n];
+        let mut idle_elapsed = 0.0f64;
         let mut meas_i = 0usize;
 
         macro_rules! flush_qubit {
@@ -693,8 +715,9 @@ impl FramePlan {
                         pend_rzz[e] += th;
                     }
                     let dt = seg.dt();
-                    for q in 0..n {
-                        pend_time[q] += seg.signed_dt[q];
+                    idle_elapsed += dt;
+                    for &q in &self.streamed_list {
+                        pend_time[q] += seg.signed_dt(q);
                         deco_dt[q] += dt;
                     }
                 }
@@ -852,6 +875,11 @@ impl FramePlan {
             }
         }
         for q in 0..n {
+            if !self.streamed[q] {
+                // Settle the deferred idle accrual (see `streamed`).
+                pend_time[q] = idle_elapsed;
+                deco_dt[q] = idle_elapsed;
+            }
             flush_qubit!(q, rng);
         }
         if let Some(t0) = t_start {
@@ -907,6 +935,7 @@ impl FramePlan {
         let mut pend_time = vec![0.0f64; n];
         let mut pend_rzz = vec![0.0f64; self.plan.edge_pairs.len()];
         let mut deco_dt = vec![0.0f64; n];
+        let mut idle_elapsed = 0.0f64;
         let mut meas_i = 0usize;
 
         // Ladder draw (compile-constant threshold): this shot's lane
@@ -990,8 +1019,9 @@ impl FramePlan {
                         pend_rzz[e] += th;
                     }
                     let dt = seg.dt();
-                    for q in 0..n {
-                        pend_time[q] += seg.signed_dt[q];
+                    idle_elapsed += dt;
+                    for &q in &self.streamed_list {
+                        pend_time[q] += seg.signed_dt(q);
                         deco_dt[q] += dt;
                     }
                 }
@@ -1165,6 +1195,11 @@ impl FramePlan {
         }
         let final_op = self.plan.ops.len();
         for q in 0..n {
+            if !self.streamed[q] {
+                // Settle the deferred idle accrual (see `streamed`).
+                pend_time[q] = idle_elapsed;
+                deco_dt[q] = idle_elapsed;
+            }
             flush_qubit!(q, final_op);
         }
         if let Some(t0) = t_start {

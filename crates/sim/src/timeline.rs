@@ -106,8 +106,14 @@ impl Activity {
 /// One timeline segment with precomputed *static* coherent phases.
 ///
 /// The executor adds the static phases to its pending diagonal banks
-/// and multiplies `signed_dt` by the per-shot stochastic Z rates; all
-/// per-segment work is scalar.
+/// and multiplies each qubit's `signed_dt` by the per-shot stochastic
+/// Z rates; all per-segment work is scalar.
+///
+/// Storage is *sparse in activity*: only qubits doing something
+/// non-idle are listed, so a segment on a 1121-qubit device whose
+/// layer drives 40 qubits stores 40 entries, not 1121. Idle qubits
+/// are implicit — sign +1, no covering item — which is exactly what
+/// the dense per-qubit arrays used to record for them.
 #[derive(Clone, Debug)]
 pub struct SegmentOp {
     /// Segment start (ns).
@@ -118,16 +124,29 @@ pub struct SegmentOp {
     pub rz_static: Vec<(usize, f64)>,
     /// Coherent ZZ phases per edge: `(i, j, θ)`.
     pub rzz_static: Vec<(usize, usize, f64)>,
-    /// Per-qubit σ·Δt in ns (for per-shot stochastic Z rates).
-    pub signed_dt: Vec<f64>,
-    /// Per-qubit activities (kept for inspection / tests).
-    pub activity: Vec<Activity>,
+    /// Non-idle qubits and their activities, ascending by qubit.
+    pub active: Vec<(usize, Activity)>,
 }
 
 impl SegmentOp {
     /// Segment length in ns.
     pub fn dt(&self) -> f64 {
         self.t1 - self.t0
+    }
+
+    /// The qubit's activity in this segment ([`Activity::Idle`] when
+    /// unlisted).
+    pub fn activity(&self, q: usize) -> Activity {
+        self.active
+            .binary_search_by_key(&q, |&(qq, _)| qq)
+            .map(|i| self.active[i].1)
+            .unwrap_or(Activity::Idle)
+    }
+
+    /// σ·Δt in ns for one qubit (for per-shot stochastic Z rates).
+    /// Idle qubits accrue `+Δt` exactly.
+    pub fn signed_dt(&self, q: usize) -> f64 {
+        self.activity(q).sign() * self.dt()
     }
 }
 
@@ -139,8 +158,11 @@ impl SegmentOp {
 /// activities are decided by the items covering its midpoint, with
 /// later items overriding earlier ones exactly as the previous
 /// per-window scan did.
-fn activities_for_windows(sc: &ScheduledCircuit, mids: &[f64]) -> Vec<Vec<Activity>> {
-    let mut out = vec![vec![Activity::Idle; sc.num_qubits]; mids.len()];
+fn activities_for_windows(
+    sc: &ScheduledCircuit,
+    mids: &[f64],
+) -> Vec<std::collections::BTreeMap<usize, Activity>> {
+    let mut out = vec![std::collections::BTreeMap::new(); mids.len()];
     for (idx, si) in sc.items.iter().enumerate() {
         if si.duration <= 0.0 {
             continue;
@@ -164,30 +186,36 @@ fn activities_for_windows(sc: &ScheduledCircuit, mids: &[f64]) -> Vec<Vec<Activi
                     let csign = if frac < 0.5 { 1.0 } else { -1.0 };
                     let quarter = (frac * 4.0).floor() as i32 % 4;
                     let tsign = if quarter % 2 == 0 { 1.0 } else { -1.0 };
-                    row[c] = Activity::EcrControl {
-                        item: idx,
-                        sign: csign,
-                    };
-                    row[t] = Activity::EcrTarget {
-                        item: idx,
-                        sign: tsign,
-                    };
+                    row.insert(
+                        c,
+                        Activity::EcrControl {
+                            item: idx,
+                            sign: csign,
+                        },
+                    );
+                    row.insert(
+                        t,
+                        Activity::EcrTarget {
+                            item: idx,
+                            sign: tsign,
+                        },
+                    );
                 }
                 Gate::Can { .. } | Gate::Rzz(_) | Gate::Cx | Gate::Cz => {
                     let sign = if frac < 0.5 { 1.0 } else { -1.0 };
                     for &q in &si.instruction.qubits {
-                        row[q] = Activity::CanActive { item: idx, sign };
+                        row.insert(q, Activity::CanActive { item: idx, sign });
                     }
                 }
                 Gate::Measure => {
-                    row[si.instruction.qubits[0]] = Activity::Measuring { item: idx };
+                    row.insert(si.instruction.qubits[0], Activity::Measuring { item: idx });
                 }
                 Gate::Reset => {
-                    row[si.instruction.qubits[0]] = Activity::Resetting { item: idx };
+                    row.insert(si.instruction.qubits[0], Activity::Resetting { item: idx });
                 }
                 _ => {
                     for &q in &si.instruction.qubits {
-                        row[q] = Activity::Driven1Q { item: idx };
+                        row.insert(q, Activity::Driven1Q { item: idx });
                     }
                 }
             }
@@ -222,16 +250,16 @@ pub fn build_segments(
     let mids: Vec<f64> = windows.iter().map(|(a, b)| 0.5 * (a + b)).collect();
     let mut activities = activities_for_windows(sc, &mids);
 
+    // One device-width scratch row reused across windows; per-window
+    // work touches only driven qubits and their neighbours.
+    let mut rz: Vec<f64> = vec![0.0; sc.num_qubits];
+    let mut touched: Vec<usize> = Vec::new();
     let mut segments = Vec::new();
     for (w, &(a, b)) in windows.iter().enumerate() {
         let dt = b - a;
-        let activity = std::mem::take(&mut activities[w]);
-        let mut rz: Vec<f64> = vec![0.0; sc.num_qubits];
+        let act_map = std::mem::take(&mut activities[w]);
+        let act_of = |q: usize| act_map.get(&q).copied().unwrap_or(Activity::Idle);
         let mut rzz: Vec<(usize, usize, f64)> = Vec::new();
-        let mut signed_dt = vec![0.0; sc.num_qubits];
-        for (q, act) in activity.iter().enumerate() {
-            signed_dt[q] = act.sign() * dt;
-        }
 
         if config.zz_crosstalk {
             for e in &device.crosstalk.edges {
@@ -243,8 +271,8 @@ pub fn build_segments(
                 if i >= sc.num_qubits || j >= sc.num_qubits {
                     continue;
                 }
-                let ai = activity[i];
-                let aj = activity[j];
+                let ai = act_of(i);
+                let aj = act_of(j);
                 // The gate's own pair: the intended interaction is part
                 // of the calibrated gate unitary, not an error.
                 if ai.item().is_some() && ai.item() == aj.item() {
@@ -255,11 +283,13 @@ pub fn build_segments(
                 rzz.push((i, j, theta * si * sj));
                 rz[i] -= theta * si;
                 rz[j] -= theta * sj;
+                touched.push(i);
+                touched.push(j);
             }
         }
 
         if config.stark {
-            for (q, act) in activity.iter().enumerate() {
+            for (&q, act) in &act_map {
                 if !act.is_starking() {
                     continue;
                 }
@@ -270,29 +300,34 @@ pub fn build_segments(
                     if s >= sc.num_qubits {
                         continue;
                     }
-                    if activity[s] == Activity::Idle {
+                    if act_of(s) == Activity::Idle {
                         let nu = device.calibration.stark_on(q, s);
                         if nu != 0.0 {
                             rz[s] += phase_rad(nu, dt);
+                            touched.push(s);
                         }
                     }
                 }
             }
         }
 
-        let rz_static: Vec<(usize, f64)> = rz
+        touched.sort_unstable();
+        touched.dedup();
+        let rz_static: Vec<(usize, f64)> = touched
             .iter()
-            .enumerate()
-            .filter(|(_, th)| th.abs() > 1e-15)
-            .map(|(q, th)| (q, *th))
+            .filter(|&&q| rz[q].abs() > 1e-15)
+            .map(|&q| (q, rz[q]))
             .collect();
+        for &q in &touched {
+            rz[q] = 0.0;
+        }
+        touched.clear();
         segments.push(SegmentOp {
             t0: a,
             t1: b,
             rz_static,
             rzz_static: rzz,
-            signed_dt,
-            activity,
+            active: act_map.into_iter().collect(),
         });
     }
     segments
@@ -336,8 +371,8 @@ mod tests {
         let s = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
         assert_eq!(s.len(), 4, "ECR chops into quarters");
         // Control sign: +,+,−,− ; target sign: +,−,+,−.
-        let csigns: Vec<f64> = s.iter().map(|x| x.activity[0].sign()).collect();
-        let tsigns: Vec<f64> = s.iter().map(|x| x.activity[1].sign()).collect();
+        let csigns: Vec<f64> = s.iter().map(|x| x.activity(0).sign()).collect();
+        let tsigns: Vec<f64> = s.iter().map(|x| x.activity(1).sign()).collect();
         assert_eq!(csigns, vec![1.0, 1.0, -1.0, -1.0]);
         assert_eq!(tsigns, vec![1.0, -1.0, 1.0, -1.0]);
         // Edge (1,2): target–spectator ZZ phases cancel over the gate.
@@ -435,10 +470,10 @@ mod tests {
         qc.ecr(0, 1);
         let s = segs(&qc, &dev);
         // Control signed time sums to zero over the echoed gate.
-        let total: f64 = s.iter().map(|x| x.signed_dt[0]).sum();
+        let total: f64 = s.iter().map(|x| x.signed_dt(0)).sum();
         assert!(total.abs() < 1e-9);
         // Target too (rotary quarters).
-        let total_t: f64 = s.iter().map(|x| x.signed_dt[1]).sum();
+        let total_t: f64 = s.iter().map(|x| x.signed_dt(1)).sum();
         assert!(total_t.abs() < 1e-9);
     }
 
@@ -508,7 +543,7 @@ mod more_tests {
         let sc = schedule_asap(&qc, GateDurations::default());
         let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
         // Both gate qubits carry ±1 halves; spectator ZZ refocuses.
-        let signs: Vec<f64> = segs.iter().map(|s| s.activity[0].sign()).collect();
+        let signs: Vec<f64> = segs.iter().map(|s| s.activity(0).sign()).collect();
         assert!(signs.contains(&1.0) && signs.contains(&-1.0));
         let zz_12: f64 = segs
             .iter()
@@ -529,7 +564,7 @@ mod more_tests {
         qc.reset(0);
         let sc = schedule_asap(&qc, GateDurations::default());
         let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
-        assert!(matches!(segs[0].activity[0], Activity::Resetting { .. }));
+        assert!(matches!(segs[0].activity(0), Activity::Resetting { .. }));
         let total: f64 = segs
             .iter()
             .flat_map(|s| s.rzz_static.iter())
@@ -547,7 +582,7 @@ mod more_tests {
         let segs = build_segments(&sc, &dev, &NoiseConfig::coherent_only());
         let has_driven_q1 = segs
             .iter()
-            .any(|s| matches!(s.activity[1], Activity::Driven1Q { .. }));
+            .any(|s| matches!(s.activity(1), Activity::Driven1Q { .. }));
         assert!(has_driven_q1);
     }
 }
